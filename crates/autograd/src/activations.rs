@@ -1,0 +1,141 @@
+//! Scalar activation functions and their derivatives.
+//!
+//! Shared between the tape ops in [`crate::graph`] and the layer
+//! implementations in `rn-nn`, so forward values and adjoints can never drift
+//! apart.
+
+/// SELU scale constant (Klambauer et al., 2017).
+pub const SELU_LAMBDA: f32 = 1.050_700_9;
+/// SELU alpha constant.
+pub const SELU_ALPHA: f32 = 1.673_263_2;
+
+/// Logistic sigmoid, numerically stable for large |x|.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid expressed through its output `y = sigmoid(x)`.
+#[inline]
+pub fn sigmoid_deriv_from_output(y: f32) -> f32 {
+    y * (1.0 - y)
+}
+
+/// Hyperbolic tangent.
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed through its output `y = tanh(x)`.
+#[inline]
+pub fn tanh_deriv_from_output(y: f32) -> f32 {
+    1.0 - y * y
+}
+
+/// Rectified linear unit.
+#[inline]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU with the `x = 0` subgradient fixed at 0.
+#[inline]
+pub fn relu_deriv(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Scaled exponential linear unit — the readout activation used by RouteNet.
+#[inline]
+pub fn selu(x: f32) -> f32 {
+    if x > 0.0 {
+        SELU_LAMBDA * x
+    } else {
+        SELU_LAMBDA * SELU_ALPHA * (x.exp() - 1.0)
+    }
+}
+
+/// Derivative of SELU as a function of the input.
+#[inline]
+pub fn selu_deriv(x: f32) -> f32 {
+    if x > 0.0 {
+        SELU_LAMBDA
+    } else {
+        SELU_LAMBDA * SELU_ALPHA * x.exp()
+    }
+}
+
+/// Softplus `ln(1 + e^x)`, numerically stable.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Derivative of softplus (= sigmoid).
+#[inline]
+pub fn softplus_deriv(x: f32) -> f32 {
+    sigmoid(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_deriv(f: impl Fn(f32) -> f32, x: f32) -> f32 {
+        let h = 1e-3;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(30.0) > 0.999_999);
+        assert!(sigmoid(-30.0) < 1e-6);
+        // stability: no NaN at extremes
+        assert!(sigmoid(1e4).is_finite());
+        assert!(sigmoid(-1e4).is_finite());
+    }
+
+    #[test]
+    fn derivative_formulas_match_numeric() {
+        for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+            let y = sigmoid(x);
+            assert!((sigmoid_deriv_from_output(y) - numeric_deriv(sigmoid, x)).abs() < 1e-3);
+            let t = tanh(x);
+            assert!((tanh_deriv_from_output(t) - numeric_deriv(tanh, x)).abs() < 1e-3);
+            assert!((selu_deriv(x) - numeric_deriv(selu, x)).abs() < 2e-3);
+            assert!((softplus_deriv(x) - numeric_deriv(softplus, x)).abs() < 1e-3);
+        }
+        for &x in &[-1.5f32, 0.5, 2.0] {
+            assert!((relu_deriv(x) - numeric_deriv(relu, x)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn selu_is_continuous_at_zero() {
+        assert!((selu(1e-6) - selu(-1e-6)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softplus_extremes_are_stable() {
+        assert!((softplus(50.0) - 50.0).abs() < 1e-3);
+        assert!(softplus(-50.0) >= 0.0);
+        assert!(softplus(-50.0) < 1e-6);
+    }
+}

@@ -1,0 +1,229 @@
+//! Finite-difference gradient checking.
+//!
+//! Every op's adjoint in this crate, and every layer in `rn-nn`, is validated
+//! against a central-difference approximation through [`check_gradients`].
+//! Keeping the checker here (rather than in test code) lets downstream crates
+//! reuse it for their own composite functions.
+
+use crate::{Graph, Var};
+use rn_tensor::Matrix;
+
+/// Result of a gradient check: the worst absolute and relative deviation
+/// observed across all checked elements.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f64,
+    /// Largest relative difference (normalized by magnitude, floored at 1).
+    pub max_rel_err: f64,
+    /// Number of elements compared.
+    pub elements: usize,
+}
+
+impl CheckReport {
+    /// True when the analytic gradient is within `tol` of the numeric one.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Compare the analytic gradients of `f` with central finite differences.
+///
+/// `f` receives a fresh [`Graph`] plus the registered input [`Var`]s (in the
+/// order of `inputs`) and must return a scalar loss `Var`. The inputs are
+/// registered as differentiable parameters. `eps` is the perturbation step —
+/// `1e-2` to `1e-3` works well for f32.
+///
+/// Panics if `f` returns a non-scalar node.
+pub fn check_gradients(
+    f: impl Fn(&mut Graph, &[Var]) -> Var,
+    inputs: &[Matrix],
+    eps: f32,
+) -> CheckReport {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|m| g.param(m.clone())).collect();
+    let loss = f(&mut g, &vars);
+    g.backward(loss);
+    let analytic: Vec<Matrix> = vars
+        .iter()
+        .zip(inputs)
+        .map(|(&v, m)| g.grad(v).cloned().unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols())))
+        .collect();
+
+    // Numeric pass: perturb each element of each input.
+    let eval = |perturbed: &[Matrix]| -> f64 {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = perturbed.iter().map(|m| g.param(m.clone())).collect();
+        let loss = f(&mut g, &vars);
+        g.value(loss).get(0, 0) as f64
+    };
+
+    let mut max_abs_err = 0.0f64;
+    let mut max_rel_err = 0.0f64;
+    let mut elements = 0usize;
+    let mut work: Vec<Matrix> = inputs.to_vec();
+    for (i, input) in inputs.iter().enumerate() {
+        for r in 0..input.rows() {
+            for c in 0..input.cols() {
+                let orig = input.get(r, c);
+                work[i].set(r, c, orig + eps);
+                let up = eval(&work);
+                work[i].set(r, c, orig - eps);
+                let down = eval(&work);
+                work[i].set(r, c, orig);
+                let numeric = (up - down) / (2.0 * eps as f64);
+                let a = analytic[i].get(r, c) as f64;
+                let abs_err = (a - numeric).abs();
+                let rel_err = abs_err / numeric.abs().max(a.abs()).max(1.0);
+                max_abs_err = max_abs_err.max(abs_err);
+                max_rel_err = max_rel_err.max(rel_err);
+                elements += 1;
+            }
+        }
+    }
+    CheckReport { max_abs_err, max_rel_err, elements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_tensor::Prng;
+
+    const TOL: f64 = 2e-2;
+    const EPS: f32 = 1e-2;
+
+    fn rand_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+        Prng::new(seed).uniform_matrix(rows, cols, -1.0, 1.0)
+    }
+
+    #[test]
+    fn check_matmul_chain() {
+        let report = check_gradients(
+            |g, vars| {
+                let y = g.matmul(vars[0], vars[1]);
+                let t = g.tanh(y);
+                g.mean(t)
+            },
+            &[rand_matrix(1, 3, 4), rand_matrix(2, 4, 2)],
+            EPS,
+        );
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn check_bias_and_activations() {
+        for activation in ["sigmoid", "tanh", "selu", "softplus"] {
+            let report = check_gradients(
+                |g, vars| {
+                    let y = g.add_bias(vars[0], vars[1]);
+                    let a = match activation {
+                        "sigmoid" => g.sigmoid(y),
+                        "tanh" => g.tanh(y),
+                        "selu" => g.selu(y),
+                        _ => g.softplus(y),
+                    };
+                    g.mean(a)
+                },
+                &[rand_matrix(3, 4, 3), rand_matrix(4, 1, 3)],
+                EPS,
+            );
+            assert!(report.passes(TOL), "{activation}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn check_relu_away_from_kink() {
+        // Shift inputs away from 0 where ReLU is non-differentiable.
+        let x = rand_matrix(5, 2, 3).add_scalar(2.0);
+        let report = check_gradients(
+            |g, vars| {
+                let y = g.relu(vars[0]);
+                g.sum(y)
+            },
+            &[x],
+            EPS,
+        );
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn check_structural_ops() {
+        let report = check_gradients(
+            |g, vars| {
+                let gathered = g.gather_rows(vars[0], &[0, 2, 1, 2, 0]);
+                let summed = g.segment_sum(gathered, &[0, 0, 1, 1, 2], 3);
+                let s = g.sigmoid(summed);
+                g.mean(s)
+            },
+            &[rand_matrix(6, 3, 3)],
+            EPS,
+        );
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn check_concat_slice_mask() {
+        let mask = Matrix::column_vector(&[1.0, 0.0, 1.0]);
+        let report = check_gradients(
+            move |g, vars| {
+                let cat = g.concat_cols(vars[0], vars[1]);
+                let masked = g.mask_rows(cat, &mask);
+                let left = g.slice_cols(masked, 0, 2);
+                let sq = g.square(left);
+                g.mean(sq)
+            },
+            &[rand_matrix(7, 3, 2), rand_matrix(8, 3, 2)],
+            EPS,
+        );
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn check_gru_like_composite() {
+        // A hand-rolled GRU step: validates the exact op mix the models use.
+        let report = check_gradients(
+            |g, vars| {
+                let (h, x, wz, wr, wh) = (vars[0], vars[1], vars[2], vars[3], vars[4]);
+                let hx = g.concat_cols(h, x);
+                let zr_lin = g.matmul(hx, wz);
+                let z = g.sigmoid(zr_lin);
+                let r_lin = g.matmul(hx, wr);
+                let r = g.sigmoid(r_lin);
+                let rh = g.mul(r, h);
+                let rhx = g.concat_cols(rh, x);
+                let c_lin = g.matmul(rhx, wh);
+                let c = g.tanh(c_lin);
+                let zc = g.mul(z, c);
+                let omz = g.one_minus(z);
+                let zh = g.mul(omz, h);
+                let h_new = g.add(zh, zc);
+                let sq = g.square(h_new);
+                g.mean(sq)
+            },
+            &[
+                rand_matrix(11, 2, 3), // h
+                rand_matrix(12, 2, 2), // x
+                rand_matrix(13, 5, 3), // wz
+                rand_matrix(14, 5, 3), // wr
+                rand_matrix(15, 5, 3), // wh
+            ],
+            EPS,
+        );
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn check_losses() {
+        let target = rand_matrix(21, 4, 1);
+        let report = check_gradients(
+            move |g, vars| {
+                let t = g.constant(target.clone());
+                g.mse(vars[0], t)
+            },
+            &[rand_matrix(22, 4, 1)],
+            EPS,
+        );
+        assert!(report.passes(TOL), "{report:?}");
+    }
+}

@@ -1,0 +1,578 @@
+//! The differentiation tape.
+//!
+//! [`Graph`] owns a flat vector of nodes; every operation appends one node
+//! holding the forward value plus enough information to compute the adjoint.
+//! [`Var`] is a copyable handle (an index into the tape). Because nodes are
+//! appended in execution order, a single reverse sweep in `backward` visits
+//! every node after all of its consumers — the classic tape invariant.
+
+use crate::activations as act;
+use rn_tensor::Matrix;
+
+/// Handle to a node on the tape. Cheap to copy; only valid for the [`Graph`]
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Recorded operation: the inputs and any auxiliary data the adjoint needs.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf node. `requires_grad = false` marks constants whose gradient is
+    /// never materialized (saves memory for targets and masks).
+    Leaf { requires_grad: bool },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    MatMul(Var, Var),
+    /// Broadcast-add a `1 x c` bias row to every row of `x`.
+    AddBias { x: Var, bias: Var },
+    /// Element-wise `a * x + b`. Only the slope is recorded: the adjoint of
+    /// an affine map does not depend on the offset.
+    Affine { x: Var, a: f32 },
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    Selu(Var),
+    Softplus(Var),
+    Abs(Var),
+    Square(Var),
+    /// Element-wise `min(x, c)` for a scalar cap `c`.
+    ClampMax { x: Var, cap: f32 },
+    ConcatCols(Var, Var),
+    SliceCols { x: Var, start: usize, end: usize },
+    GatherRows { x: Var, indices: Vec<usize> },
+    SegmentSum { x: Var, segments: Vec<usize> },
+    /// Multiply each row of `x` by the matching entry of a constant `n x 1`
+    /// mask. The mask is captured by value: it is padding structure, not a
+    /// differentiable quantity.
+    MaskRows { x: Var, mask: Matrix },
+    Sum(Var),
+    Mean(Var),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// A define-by-run differentiation tape.
+///
+/// Typical lifecycle: create, register parameters/inputs, run ops, call
+/// [`Graph::backward`] once, read gradients with [`Graph::grad`], drop.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Empty tape with room for `capacity` nodes (avoids reallocation in the
+    /// message-passing hot loop, where the node count is predictable).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { nodes: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Register a differentiable leaf (a model parameter or input).
+    pub fn param(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf { requires_grad: true })
+    }
+
+    /// Register a non-differentiable leaf (targets, masks, constants).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf { requires_grad: false })
+    }
+
+    /// Forward value of a variable.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of the last `backward` call w.r.t. `v`, if one was produced.
+    ///
+    /// `None` for constants and for nodes the loss does not depend on.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Element-wise sum. Shapes must match.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Element-wise difference. Shapes must match.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Element-wise (Hadamard) product. Shapes must match.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Broadcast-add a `1 x c` bias row vector to every row of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let v = self.value(x).add_row_broadcast(self.value(bias));
+        self.push(v, Op::AddBias { x, bias })
+    }
+
+    /// Element-wise affine map `a * x + b`.
+    pub fn affine(&mut self, x: Var, a: f32, b: f32) -> Var {
+        let v = self.value(x).map(|t| a * t + b);
+        self.push(v, Op::Affine { x, a })
+    }
+
+    /// Multiply by a scalar.
+    pub fn scale(&mut self, x: Var, a: f32) -> Var {
+        self.affine(x, a, 0.0)
+    }
+
+    /// `1 - x`, element-wise (the GRU blend complement).
+    pub fn one_minus(&mut self, x: Var) -> Var {
+        self.affine(x, -1.0, 1.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Activations
+    // ------------------------------------------------------------------
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(act::sigmoid);
+        self.push(v, Op::Sigmoid(x))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(act::tanh);
+        self.push(v, Op::Tanh(x))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(act::relu);
+        self.push(v, Op::Relu(x))
+    }
+
+    /// Scaled exponential linear unit (RouteNet's readout activation).
+    pub fn selu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(act::selu);
+        self.push(v, Op::Selu(x))
+    }
+
+    /// Softplus `ln(1+e^x)`.
+    pub fn softplus(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(act::softplus);
+        self.push(v, Op::Softplus(x))
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(f32::abs);
+        self.push(v, Op::Abs(x))
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|t| t * t);
+        self.push(v, Op::Square(x))
+    }
+
+    /// Element-wise `min(x, cap)`. Gradient flows only where `x < cap`
+    /// (the tie at `x == cap` takes the pass-through branch).
+    pub fn clamp_max(&mut self, x: Var, cap: f32) -> Var {
+        let v = self.value(x).map(|t| t.min(cap));
+        self.push(v, Op::ClampMax { x, cap })
+    }
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    /// Horizontal concatenation `[a | b]`. Row counts must match.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_cols(self.value(b));
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Column slice `x[:, start..end]`.
+    pub fn slice_cols(&mut self, x: Var, start: usize, end: usize) -> Var {
+        let v = self.value(x).slice_cols(start, end);
+        self.push(v, Op::SliceCols { x, start, end })
+    }
+
+    /// Gather rows: `out[i] = x[indices[i]]`. Indices may repeat; the adjoint
+    /// scatter-adds into the repeated rows.
+    pub fn gather_rows(&mut self, x: Var, indices: &[usize]) -> Var {
+        let v = self.value(x).gather_rows(indices);
+        self.push(v, Op::GatherRows { x, indices: indices.to_vec() })
+    }
+
+    /// Segment sum: `out[segments[i]] += x[i]` with `num_segments` output rows.
+    /// This is RouteNet's message aggregation (paths → links, paths → nodes).
+    pub fn segment_sum(&mut self, x: Var, segments: &[usize], num_segments: usize) -> Var {
+        let v = self.value(x).segment_sum(segments, num_segments);
+        self.push(v, Op::SegmentSum { x, segments: segments.to_vec() })
+    }
+
+    /// Multiply each row of `x` by the matching entry of the constant `n x 1`
+    /// mask matrix (used to zero padded sequence positions).
+    pub fn mask_rows(&mut self, x: Var, mask: &Matrix) -> Var {
+        let v = self.value(x).mul_col_broadcast(mask);
+        self.push(v, Op::MaskRows { x, mask: mask.clone() })
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements, as a `1 x 1` matrix.
+    pub fn sum(&mut self, x: Var) -> Var {
+        let v = Matrix::filled(1, 1, self.value(x).sum());
+        self.push(v, Op::Sum(x))
+    }
+
+    /// Mean of all elements, as a `1 x 1` matrix.
+    pub fn mean(&mut self, x: Var) -> Var {
+        let v = Matrix::filled(1, 1, self.value(x).mean());
+        self.push(v, Op::Mean(x))
+    }
+
+    /// Mean squared error between `pred` and `target` as a scalar node.
+    pub fn mse(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let sq = self.square(d);
+        self.mean(sq)
+    }
+
+    /// Mean absolute error between `pred` and `target` as a scalar node.
+    pub fn mae(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let a = self.abs(d);
+        self.mean(a)
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Run the reverse sweep from `loss`, which must be a `1 x 1` node.
+    ///
+    /// Gradients accumulate into every node that (transitively) influences the
+    /// loss; read them with [`Graph::grad`]. Calling `backward` twice on the
+    /// same tape accumulates into existing gradients, which is almost never
+    /// what you want — build a fresh tape per step instead.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be scalar (1x1), got {:?}",
+            self.value(loss).shape()
+        );
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::ones(1, 1));
+
+        for id in (0..n).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            // Split borrows: the op and value of the current node are read-only
+            // while we accumulate into `grads` entries of its inputs.
+            let op = self.nodes[id].op.clone();
+            match op {
+                Op::Leaf { .. } => {}
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a, g.clone());
+                    accumulate(&mut grads, b, g.clone());
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a, g.clone());
+                    accumulate(&mut grads, b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.mul(self.value(b));
+                    let gb = g.mul(self.value(a));
+                    accumulate(&mut grads, a, ga);
+                    accumulate(&mut grads, b, gb);
+                }
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul_nt(self.value(b));
+                    let gb = self.value(a).matmul_tn(&g);
+                    accumulate(&mut grads, a, ga);
+                    accumulate(&mut grads, b, gb);
+                }
+                Op::AddBias { x, bias } => {
+                    accumulate(&mut grads, bias, g.sum_rows());
+                    accumulate(&mut grads, x, g.clone());
+                }
+                Op::Affine { x, a } => {
+                    accumulate(&mut grads, x, g.scale(a));
+                }
+                Op::Sigmoid(x) => {
+                    let gx = g.zip(&self.nodes[id].value, |gi, y| gi * act::sigmoid_deriv_from_output(y));
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::Tanh(x) => {
+                    let gx = g.zip(&self.nodes[id].value, |gi, y| gi * act::tanh_deriv_from_output(y));
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::Relu(x) => {
+                    let gx = g.zip(self.value(x), |gi, xi| gi * act::relu_deriv(xi));
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::Selu(x) => {
+                    let gx = g.zip(self.value(x), |gi, xi| gi * act::selu_deriv(xi));
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::Softplus(x) => {
+                    let gx = g.zip(self.value(x), |gi, xi| gi * act::softplus_deriv(xi));
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::Abs(x) => {
+                    let gx = g.zip(self.value(x), |gi, xi| gi * xi.signum());
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::Square(x) => {
+                    let gx = g.zip(self.value(x), |gi, xi| gi * 2.0 * xi);
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::ClampMax { x, cap } => {
+                    let gx = g.zip(self.value(x), |gi, xi| if xi <= cap { gi } else { 0.0 });
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ca = self.value(a).cols();
+                    let cb = self.value(b).cols();
+                    accumulate(&mut grads, a, g.slice_cols(0, ca));
+                    accumulate(&mut grads, b, g.slice_cols(ca, ca + cb));
+                }
+                Op::SliceCols { x, start, end } => {
+                    let (rows, cols) = self.value(x).shape();
+                    let mut gx = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        let src = g.row(r);
+                        gx.row_mut(r)[start..end].copy_from_slice(src);
+                    }
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::GatherRows { x, ref indices } => {
+                    // Adjoint of gather = scatter-add back to the source rows.
+                    let gx = g.segment_sum(indices, self.value(x).rows());
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::SegmentSum { x, ref segments } => {
+                    // Adjoint of scatter-add = gather from the output rows.
+                    let gx = g.gather_rows(segments);
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::MaskRows { x, ref mask } => {
+                    let gx = g.mul_col_broadcast(mask);
+                    accumulate(&mut grads, x, gx);
+                }
+                Op::Sum(x) => {
+                    let s = g.get(0, 0);
+                    let (rows, cols) = self.value(x).shape();
+                    accumulate(&mut grads, x, Matrix::filled(rows, cols, s));
+                }
+                Op::Mean(x) => {
+                    let (rows, cols) = self.value(x).shape();
+                    let denom = (rows * cols).max(1) as f32;
+                    let s = g.get(0, 0) / denom;
+                    accumulate(&mut grads, x, Matrix::filled(rows, cols, s));
+                }
+            }
+            grads[id] = Some(g);
+        }
+
+        // Persist gradients onto the tape, skipping constants.
+        for (node, g) in self.nodes.iter_mut().zip(grads) {
+            if let Op::Leaf { requires_grad: false } = node.op {
+                continue;
+            }
+            node.grad = g;
+        }
+    }
+}
+
+/// Accumulate `delta` into the pending gradient of node `v`.
+fn accumulate(grads: &mut [Option<Matrix>], v: Var, delta: Matrix) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_and_grad_of_simple_chain() {
+        // loss = mean((x * 3 + 1)^2), x = [1, 2]
+        let mut g = Graph::new();
+        let x = g.param(Matrix::row_vector(&[1.0, 2.0]));
+        let y = g.affine(x, 3.0, 1.0); // [4, 7]
+        let sq = g.square(y); // [16, 49]
+        let loss = g.mean(sq); // 32.5
+        assert!((g.value(loss).get(0, 0) - 32.5).abs() < 1e-5);
+        g.backward(loss);
+        // d/dx = 2*(3x+1)*3 / 2 = 3*(3x+1) -> [12, 21]
+        let gx = g.grad(x).unwrap();
+        assert!(gx.approx_eq(&Matrix::row_vector(&[12.0, 21.0]), 1e-4));
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1
+        let mut g = Graph::new();
+        let a = g.param(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.param(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = g.matmul(a, b);
+        let loss = g.sum(c);
+        g.backward(loss);
+        let ga = g.grad(a).unwrap();
+        let gb = g.grad(b).unwrap();
+        assert!(ga.approx_eq(&Matrix::from_vec(2, 2, vec![11.0, 15.0, 11.0, 15.0]), 1e-4));
+        assert!(gb.approx_eq(&Matrix::from_vec(2, 2, vec![4.0, 4.0, 6.0, 6.0]), 1e-4));
+    }
+
+    #[test]
+    fn constants_receive_no_grad() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::ones(1, 2));
+        let t = g.constant(Matrix::ones(1, 2));
+        let loss = g.mse(x, t);
+        g.backward(loss);
+        assert!(g.grad(t).is_none());
+        assert!(g.grad(x).is_some());
+    }
+
+    #[test]
+    fn grad_flows_through_gather_and_segment_sum() {
+        // states: 3 rows. Gather [0, 1, 0, 2], sum each gathered row, loss=sum.
+        // Row 0 is gathered twice so its grad should be 2, others 1.
+        let mut g = Graph::new();
+        let states = g.param(Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]));
+        let gathered = g.gather_rows(states, &[0, 1, 0, 2]);
+        let loss = g.sum(gathered);
+        g.backward(loss);
+        let gs = g.grad(states).unwrap();
+        assert!(gs.approx_eq(&Matrix::from_rows(&[vec![2.0], vec![1.0], vec![1.0]]), 1e-5));
+    }
+
+    #[test]
+    fn segment_sum_grad_is_gather() {
+        // 4 rows scattered into 2 segments; loss weights segment 0 by 10.
+        let mut g = Graph::new();
+        let x = g.param(Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]));
+        let s = g.segment_sum(x, &[0, 1, 0, 1], 2);
+        let w = g.constant(Matrix::from_rows(&[vec![10.0], vec![1.0]]));
+        let weighted = g.mul(s, w);
+        let loss = g.sum(weighted);
+        g.backward(loss);
+        let gx = g.grad(x).unwrap();
+        assert!(gx.approx_eq(&Matrix::from_rows(&[vec![10.0], vec![1.0], vec![10.0], vec![1.0]]), 1e-5));
+    }
+
+    #[test]
+    fn mask_rows_zeroes_gradient_of_padded_rows() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::ones(3, 2));
+        let mask = Matrix::column_vector(&[1.0, 0.0, 1.0]);
+        let m = g.mask_rows(x, &mask);
+        let loss = g.sum(m);
+        g.backward(loss);
+        let gx = g.grad(x).unwrap();
+        assert_eq!(gx.row(0), &[1.0, 1.0]);
+        assert_eq!(gx.row(1), &[0.0, 0.0]);
+        assert_eq!(gx.row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_slice_gradients_route_correctly() {
+        let mut g = Graph::new();
+        let a = g.param(Matrix::ones(2, 2));
+        let b = g.param(Matrix::ones(2, 3));
+        let cat = g.concat_cols(a, b);
+        // keep only the b-half scaled by 2 -> grad(a)=0, grad(b)=2
+        let right = g.slice_cols(cat, 2, 5);
+        let scaled = g.scale(right, 2.0);
+        let loss = g.sum(scaled);
+        g.backward(loss);
+        assert!(g.grad(a).unwrap().approx_eq(&Matrix::zeros(2, 2), 1e-6));
+        assert!(g.grad(b).unwrap().approx_eq(&Matrix::filled(2, 3, 2.0), 1e-6));
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // y = x + x  =>  dy/dx = 2
+        let mut g = Graph::new();
+        let x = g.param(Matrix::ones(1, 1));
+        let y = g.add(x, x);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert!((g.grad(x).unwrap().get(0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unused_nodes_have_no_grad() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::ones(1, 1));
+        let orphan = g.param(Matrix::ones(1, 1));
+        let loss = g.sum(x);
+        g.backward(loss);
+        assert!(g.grad(orphan).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_rejects_non_scalar_loss() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::ones(2, 2));
+        g.backward(x);
+    }
+
+    #[test]
+    fn mse_value() {
+        let mut g = Graph::new();
+        let p = g.param(Matrix::row_vector(&[1.0, 2.0]));
+        let t = g.constant(Matrix::row_vector(&[3.0, 2.0]));
+        let loss = g.mse(p, t);
+        assert!((g.value(loss).get(0, 0) - 2.0).abs() < 1e-6);
+    }
+}

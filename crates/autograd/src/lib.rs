@@ -1,0 +1,42 @@
+//! # rn-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation over [`rn_tensor::Matrix`].
+//!
+//! The RouteNet message-passing loop is a *define-by-run* computation: the
+//! structure of the graph (which links/nodes each path traverses) changes with
+//! every sample, so the differentiation tape is rebuilt per forward pass.
+//! [`Graph`] records every operation as it executes; [`Graph::backward`]
+//! replays the tape in reverse, accumulating gradients into every node.
+//!
+//! Besides the usual dense ops (matmul, elementwise arithmetic, activations)
+//! the tape supports the two *structural* primitives GNN message passing is
+//! made of, with exact adjoints:
+//!
+//! - [`Graph::gather_rows`] — read entity states into per-position rows
+//!   (adjoint: scatter-add), and
+//! - [`Graph::segment_sum`] — aggregate per-position messages back into entity
+//!   states (adjoint: gather).
+//!
+//! [`check`] provides finite-difference gradient checking, used extensively in
+//! the test suites of this crate and of `rn-nn`.
+//!
+//! ## Example
+//!
+//! ```
+//! use rn_tensor::Matrix;
+//! use rn_autograd::Graph;
+//!
+//! let mut g = Graph::new();
+//! let x = g.param(Matrix::row_vector(&[1.0, 2.0]));
+//! let w = g.param(Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+//! let y = g.matmul(x, w);          // y = x·w = 11
+//! let loss = g.mean(y);
+//! g.backward(loss);
+//! assert_eq!(g.grad(w).unwrap().as_slice(), &[1.0, 2.0]); // d(loss)/dw = xᵀ
+//! ```
+
+pub mod activations;
+pub mod check;
+pub mod graph;
+
+pub use graph::{Graph, Var};

@@ -1,0 +1,110 @@
+//! Property-based validation of the tape: random composite functions must
+//! always agree with finite differences, and structural ops must preserve
+//! linearity invariants.
+
+use proptest::prelude::*;
+use rn_autograd::check::check_gradients;
+use rn_autograd::Graph;
+use rn_tensor::{Matrix, Prng};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_dense_chain_passes_gradient_check(
+        x in matrix_strategy(3, 4),
+        w in matrix_strategy(4, 3),
+        b in matrix_strategy(1, 3),
+        pick in 0usize..4,
+    ) {
+        let report = check_gradients(
+            move |g, vars| {
+                let h = g.matmul(vars[0], vars[1]);
+                let hb = g.add_bias(h, vars[2]);
+                let a = match pick {
+                    0 => g.sigmoid(hb),
+                    1 => g.tanh(hb),
+                    2 => g.selu(hb),
+                    _ => g.softplus(hb),
+                };
+                let sq = g.square(a);
+                g.mean(sq)
+            },
+            &[x, w, b],
+            1e-2,
+        );
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn gather_scatter_chain_passes_gradient_check(
+        x in matrix_strategy(5, 3),
+        raw_idx in proptest::collection::vec(0usize..5, 1..8),
+    ) {
+        let idx = raw_idx.clone();
+        let segs: Vec<usize> = (0..idx.len()).map(|i| i % 3).collect();
+        let report = check_gradients(
+            move |g, vars| {
+                let gathered = g.gather_rows(vars[0], &idx);
+                let summed = g.segment_sum(gathered, &segs, 3);
+                let t = g.tanh(summed);
+                g.mean(t)
+            },
+            &[x],
+            1e-2,
+        );
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn backward_of_linear_function_is_input_independent(
+        x in matrix_strategy(3, 3),
+        y in matrix_strategy(3, 3),
+    ) {
+        // For loss = sum(a + b), gradients are all-ones regardless of values.
+        let mut g = Graph::new();
+        let a = g.param(x);
+        let b = g.param(y);
+        let s = g.add(a, b);
+        let loss = g.sum(s);
+        g.backward(loss);
+        prop_assert!(g.grad(a).unwrap().approx_eq(&Matrix::ones(3, 3), 1e-6));
+        prop_assert!(g.grad(b).unwrap().approx_eq(&Matrix::ones(3, 3), 1e-6));
+    }
+
+    #[test]
+    fn gradient_scales_linearly_with_loss_scale(seed in any::<u64>(), k in 1.0f32..5.0) {
+        let mut rng = Prng::new(seed);
+        let x0 = rng.uniform_matrix(2, 3, -1.0, 1.0);
+
+        let run = |scale: f32, x: Matrix| -> Matrix {
+            let mut g = Graph::new();
+            let v = g.param(x);
+            let t = g.tanh(v);
+            let m = g.mean(t);
+            let loss = g.scale(m, scale);
+            g.backward(loss);
+            g.grad(v).unwrap().clone()
+        };
+        let g1 = run(1.0, x0.clone());
+        let gk = run(k, x0);
+        prop_assert!(gk.approx_eq(&g1.scale(k), 1e-4));
+    }
+
+    #[test]
+    fn value_of_segment_sum_preserves_mass(
+        x in matrix_strategy(6, 2),
+        nseg in 1usize..4,
+    ) {
+        let segs: Vec<usize> = (0..6).map(|i| i % nseg).collect();
+        let mut g = Graph::new();
+        let v = g.param(x.clone());
+        let s = g.segment_sum(v, &segs, nseg);
+        prop_assert!((g.value(s).sum() - x.sum()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion bench: the tensor/autograd primitives that dominate the
+//! message-passing hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rn_autograd::Graph;
+use rn_tensor::{Matrix, Prng};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = Prng::new(1);
+    // Shapes matching a GEANT2 sweep step: 552 paths, state 16.
+    let paths = rng.uniform_matrix(552, 32, -1.0, 1.0);
+    let weights = rng.uniform_matrix(32, 16, -1.0, 1.0);
+    let indices: Vec<usize> = (0..552).map(|i| (i * 7) % 74).collect();
+    let states = rng.uniform_matrix(74, 16, -1.0, 1.0);
+    let msgs = rng.uniform_matrix(552, 16, -1.0, 1.0);
+
+    let mut group = c.benchmark_group("autograd_ops");
+    group.bench_function("matmul_552x32x16", |b| b.iter(|| paths.matmul(&weights)));
+    group.bench_function("gather_552_from_74", |b| b.iter(|| states.gather_rows(&indices)));
+    group.bench_function("segment_sum_552_to_74", |b| b.iter(|| msgs.segment_sum(&indices, 74)));
+    group.bench_function("gru_step_tape_552x16", |b| {
+        let mut init_rng = Prng::new(2);
+        let cell = rn_nn::GruCell::new(&mut init_rng, 16, 16);
+        let h0 = Prng::new(3).uniform_matrix(552, 16, -1.0, 1.0);
+        let x0 = Prng::new(4).uniform_matrix(552, 16, -1.0, 1.0);
+        b.iter(|| {
+            use rn_nn::Layer;
+            let mut g = Graph::new();
+            let bound = cell.bind(&mut g);
+            let h = g.constant(h0.clone());
+            let x = g.constant(x0.clone());
+            let h2 = bound.step(&mut g, h, x);
+            g.value(h2).sum()
+        })
+    });
+    group.bench_function("backward_mlp_552x16", |b| {
+        let mut init_rng = Prng::new(5);
+        let mlp = rn_nn::Mlp::new(&mut init_rng, &[16, 32, 32, 1], rn_nn::Activation::Selu, rn_nn::Activation::Identity);
+        let x0 = Prng::new(6).uniform_matrix(552, 16, -1.0, 1.0);
+        b.iter(|| {
+            use rn_nn::Layer;
+            let mut g = Graph::new();
+            let bound = mlp.bind(&mut g);
+            let x = g.constant(x0.clone());
+            let y = bound.forward(&mut g, x);
+            let loss = g.mean(y);
+            g.backward(loss);
+            g.len()
+        })
+    });
+    group.finish();
+
+    // Keep the borrow checker quiet about the unused helper matrix.
+    let _ = Matrix::zeros(1, 1);
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

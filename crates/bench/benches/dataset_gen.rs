@@ -1,0 +1,29 @@
+//! Criterion bench: end-to-end dataset sample generation (routing + traffic +
+//! queue assignment + packet-level simulation + label extraction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_dataset::{generate_sample, GeneratorConfig};
+use rn_netgraph::topologies;
+use rn_netsim::SimConfig;
+
+fn bench_dataset_gen(c: &mut Criterion) {
+    let gen = GeneratorConfig {
+        sim: SimConfig { duration_s: 120.0, warmup_s: 20.0, ..SimConfig::default() },
+        ..GeneratorConfig::default()
+    };
+    let mut group = c.benchmark_group("dataset_gen");
+    group.sample_size(10);
+    for (name, topo) in [("toy5", topologies::toy5()), ("nsfnet", topologies::nsfnet_default())] {
+        group.bench_with_input(BenchmarkId::new("sample_120s", name), &topo, |b, topo| {
+            let mut idx = 0u64;
+            b.iter(|| {
+                idx += 1;
+                generate_sample(topo, &gen, 99, idx).num_paths()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset_gen);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: RouteNet forward-pass latency per sample graph.
+//!
+//! The paper's pitch is that RouteNet matches simulator accuracy "with a very
+//! low computational cost"; this bench quantifies that cost for both model
+//! variants and both evaluation topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_dataset::{generate_sample, Dataset, GeneratorConfig};
+use rn_netgraph::topologies;
+use rn_netsim::SimConfig;
+use routenet::model::PathPredictor;
+use routenet::{ExtendedRouteNet, ModelConfig, OriginalRouteNet};
+
+fn quick_gen() -> GeneratorConfig {
+    GeneratorConfig {
+        sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+        ..GeneratorConfig::default()
+    }
+}
+
+fn small_model() -> ModelConfig {
+    ModelConfig { state_dim: 16, mp_iterations: 4, readout_hidden: 32, ..ModelConfig::default() }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    for (name, topo) in [("nsfnet", topologies::nsfnet_default()), ("geant2", topologies::geant2_default())] {
+        let sample = generate_sample(&topo, &quick_gen(), 3, 0);
+        let ds = Dataset { topology: topo.clone(), samples: vec![sample] };
+
+        let mut ext = ExtendedRouteNet::new(small_model());
+        ext.fit_preprocessing(&ds, 5);
+        let plan_e = ext.plan(&ds.samples[0]);
+        group.bench_with_input(BenchmarkId::new("extended", name), &plan_e, |b, plan| {
+            b.iter(|| ext.predict(plan))
+        });
+
+        let mut orig = OriginalRouteNet::new(small_model());
+        orig.fit_preprocessing(&ds, 5);
+        let plan_o = orig.plan(&ds.samples[0]);
+        group.bench_with_input(BenchmarkId::new("original", name), &plan_o, |b, plan| {
+            b.iter(|| orig.predict(plan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

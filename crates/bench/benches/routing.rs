@@ -1,0 +1,26 @@
+//! Criterion bench: routing-scheme computation (all-pairs Dijkstra).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_netgraph::{topologies, Routing};
+use rn_tensor::Prng;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for (name, topo) in [
+        ("nsfnet", topologies::nsfnet_default()),
+        ("geant2", topologies::geant2_default()),
+        ("abilene", topologies::abilene_default()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("all_pairs_shortest", name), &topo, |b, topo| {
+            b.iter(|| Routing::shortest_paths(topo).num_paths())
+        });
+        group.bench_with_input(BenchmarkId::new("all_pairs_randomized", name), &topo, |b, topo| {
+            let mut rng = Prng::new(42);
+            b.iter(|| Routing::randomized(topo, &mut rng).num_paths())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: one training step (forward + backward + gradient
+//! extraction) on a single sample graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_autograd::Graph;
+use rn_dataset::{generate_sample, Dataset, GeneratorConfig};
+use rn_netgraph::topologies;
+use rn_netsim::SimConfig;
+use rn_nn::Layer;
+use routenet::model::PathPredictor;
+use routenet::{ExtendedRouteNet, ModelConfig, OriginalRouteNet};
+
+fn bench_training_step(c: &mut Criterion) {
+    let gen = GeneratorConfig {
+        sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+        ..GeneratorConfig::default()
+    };
+    let topo = topologies::nsfnet_default();
+    let sample = generate_sample(&topo, &gen, 5, 0);
+    let ds = Dataset { topology: topo, samples: vec![sample] };
+    let model_cfg = ModelConfig { state_dim: 16, mp_iterations: 4, readout_hidden: 32, ..ModelConfig::default() };
+
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+
+    let mut ext = ExtendedRouteNet::new(model_cfg.clone());
+    ext.fit_preprocessing(&ds, 5);
+    let plan = ext.plan(&ds.samples[0]);
+    group.bench_with_input(BenchmarkId::new("fwd_bwd", "extended/nsfnet"), &plan, |b, plan| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let bound = ext.bind(&mut g);
+            let pred = ext.forward(&mut g, &bound, plan);
+            let reliable = g.gather_rows(pred, &plan.reliable_idx);
+            let target = g.constant(plan.reliable_targets_norm());
+            let loss = g.mse(reliable, target);
+            g.backward(loss);
+            ext.grads(&g, &bound).len()
+        })
+    });
+
+    let mut orig = OriginalRouteNet::new(model_cfg);
+    orig.fit_preprocessing(&ds, 5);
+    let plan_o = orig.plan(&ds.samples[0]);
+    group.bench_with_input(BenchmarkId::new("fwd_bwd", "original/nsfnet"), &plan_o, |b, plan| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let bound = orig.bind(&mut g);
+            let pred = orig.forward(&mut g, &bound, plan);
+            let reliable = g.gather_rows(pred, &plan.reliable_idx);
+            let target = g.constant(plan.reliable_targets_norm());
+            let loss = g.mse(reliable, target);
+            g.backward(loss);
+            orig.grads(&g, &bound).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

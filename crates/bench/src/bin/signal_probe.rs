@@ -1,0 +1,75 @@
+//! Diagnostic: (a) what load regime does the experiment traffic model put
+//! each topology in, and (b) how strongly do queue sizes influence per-path
+//! delay there? If the std/tiny delay ratio is near 1, the dataset cannot
+//! separate the extended model from the original. Maintenance tool, not a
+//! paper figure.
+//!
+//! Run: `cargo run --release -p rn-bench --bin signal_probe`
+
+use rn_bench::ExperimentConfig;
+use rn_dataset::generate_sample;
+use rn_netsim::{simulate, FaultPlan};
+use rn_tensor::stats::Summary;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let (geant2, nsfnet) = rn_bench::paper_topologies();
+    let gen = cfg.generator();
+
+    for topo in [&geant2, &nsfnet] {
+        let mut utils = Vec::new();
+        let mut busiest = Vec::new();
+        let mut ratios = Vec::new();
+        let mut loss_tiny = Vec::new();
+        let mut rate_max = 0.0f64;
+        for seed in 0..6u64 {
+            let sample = generate_sample(topo, &gen, 424_242, seed);
+            // Rebuild per-sample topology (capacities may differ per sample).
+            let mut sample_topo = topo.clone();
+            for (l, &c) in sample.link_capacities.iter().enumerate() {
+                sample_topo.set_link_capacity(l, c);
+            }
+            let loads = sample.traffic.link_loads(&sample_topo, &sample.routing);
+            let per_link: Vec<f64> = loads
+                .iter()
+                .enumerate()
+                .map(|(l, &x)| x / sample_topo.link(l).capacity_bps)
+                .collect();
+            utils.push(per_link.iter().sum::<f64>() / per_link.len() as f64);
+            busiest.push(per_link.iter().cloned().fold(0.0, f64::max));
+            for (s, d, _) in sample.routing.iter_paths() {
+                rate_max = rate_max.max(sample.traffic.rate(s, d));
+            }
+
+            // Same scenario, all-standard vs all-tiny queues.
+            let mut sim = gen.sim.clone();
+            sim.seed = seed;
+            let std_caps = vec![32usize; topo.num_nodes()];
+            let tiny_caps = vec![1usize; topo.num_nodes()];
+            let r_std =
+                simulate(&sample_topo, &sample.routing, &sample.traffic, &std_caps, &sim, &FaultPlan::none())
+                    .unwrap();
+            let r_tiny =
+                simulate(&sample_topo, &sample.routing, &sample.traffic, &tiny_caps, &sim, &FaultPlan::none())
+                    .unwrap();
+            for (a, b) in r_std.flows.iter().zip(&r_tiny.flows) {
+                if a.delivered >= 20 && b.delivered >= 20 && b.mean_delay_s > 0.0 {
+                    ratios.push(a.mean_delay_s / b.mean_delay_s);
+                    loss_tiny.push(b.loss_ratio);
+                }
+            }
+        }
+        let u = Summary::of(&utils);
+        let b = Summary::of(&busiest);
+        let r = Summary::of(&ratios);
+        let l = Summary::of(&loss_tiny);
+        println!(
+            "{:>7}: mean-util med {:.2} | busiest-link med {:.2} max {:.2} | max pair rate {:.0} bps",
+            topo.name, u.median, b.median, b.max, rate_max
+        );
+        println!(
+            "         delay ratio std/tiny med {:.3} p90 {:.3} | tiny loss med {:.3}",
+            r.median, r.p90, l.median
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Timing probe: measures the cost of the pipeline's building blocks so the
+//! default experiment sizes in `ExperimentConfig` stay honest. Not a paper
+//! figure — a maintenance tool.
+//!
+//! Run: `cargo run --release -p rn-bench --bin timing_probe`
+
+use rn_autograd::Graph;
+use rn_bench::ExperimentConfig;
+use rn_dataset::generate_sample;
+use rn_nn::Layer;
+use routenet::model::PathPredictor;
+use routenet::{ExtendedRouteNet, OriginalRouteNet};
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let (geant2, nsfnet) = rn_bench::paper_topologies();
+    let gen = cfg.generator();
+
+    // Simulation cost per sample.
+    for topo in [&geant2, &nsfnet] {
+        let t0 = Instant::now();
+        let sample = generate_sample(topo, &gen, 1, 0);
+        let dt = t0.elapsed().as_secs_f64();
+        let reliable = sample.reliable_fraction(10);
+        println!(
+            "simulate {:>7}: {:6.2}s/sample, {} paths, reliable(>=10 pkts) {:.1}%",
+            topo.name,
+            dt,
+            sample.num_paths(),
+            100.0 * reliable
+        );
+    }
+
+    // Model forward/backward cost per sample graph.
+    let sample = generate_sample(&geant2, &gen, 1, 0);
+    let ds = rn_dataset::Dataset { topology: geant2.clone(), samples: vec![sample] };
+
+    let mut ext = ExtendedRouteNet::new(cfg.model());
+    ext.fit_preprocessing(&ds, 10);
+    let plan = ext.plan(&ds.samples[0]);
+
+    let t0 = Instant::now();
+    let reps = 3;
+    for _ in 0..reps {
+        let _ = ext.predict(&plan);
+    }
+    println!("extended forward (geant2):  {:6.3}s/graph", t0.elapsed().as_secs_f64() / reps as f64);
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut g = Graph::new();
+        let bound = ext.bind(&mut g);
+        let pred = ext.forward(&mut g, &bound, &plan);
+        let reliable = g.gather_rows(pred, &plan.reliable_idx);
+        let target = g.constant(plan.reliable_targets_norm());
+        let loss = g.mse(reliable, target);
+        g.backward(loss);
+        let _ = ext.grads(&g, &bound);
+    }
+    println!("extended fwd+bwd (geant2):  {:6.3}s/graph", t0.elapsed().as_secs_f64() / reps as f64);
+
+    let mut orig = OriginalRouteNet::new(cfg.model());
+    orig.fit_preprocessing(&ds, 10);
+    let plan_o = orig.plan(&ds.samples[0]);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut g = Graph::new();
+        let bound = orig.bind(&mut g);
+        let pred = orig.forward(&mut g, &bound, &plan_o);
+        let reliable = g.gather_rows(pred, &plan_o.reliable_idx);
+        let target = g.constant(plan_o.reliable_targets_norm());
+        let loss = g.mse(reliable, target);
+        g.backward(loss);
+        let _ = orig.grads(&g, &bound);
+    }
+    println!("original fwd+bwd (geant2):  {:6.3}s/graph", t0.elapsed().as_secs_f64() / reps as f64);
+
+    // NSFNET eval-side cost.
+    let sample_n = generate_sample(&nsfnet, &gen, 2, 0);
+    let ds_n = rn_dataset::Dataset { topology: nsfnet, samples: vec![sample_n] };
+    let plan_n = ext.plan(&ds_n.samples[0]);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = ext.predict(&plan_n);
+    }
+    println!("extended forward (nsfnet):  {:6.3}s/graph", t0.elapsed().as_secs_f64() / reps as f64);
+}

@@ -1,0 +1,446 @@
+//! From dataset samples to message-passing plans.
+//!
+//! A [`SamplePlan`] is everything a forward pass needs, precomputed once per
+//! sample and reused across epochs:
+//!
+//! - initial entity states (features zero-padded to `state_dim`),
+//! - per-sequence-position gather/scatter index plans ([`StepPlan`]) for both
+//!   the original (links only) and extended (interleaved `node-link-node-…`)
+//!   path sequences,
+//! - the path↔node incidence lists used by the
+//!   [`crate::NodeUpdate::FinalPathStateSum`] ablation,
+//! - normalized regression targets and the indices of paths whose labels are
+//!   statistically reliable.
+//!
+//! ## Sequence convention
+//!
+//! For a path `v₀ → v₁ → … → v_k` over links `l₁ … l_k`, the extended
+//! sequence is `v₀, l₁, v₁, l₂, …, v_{k-1}, l_k` (length `2k`): each link is
+//! preceded by the node whose output queue feeds it, so the source node is
+//! included and the destination node (which performs no forwarding) is not.
+//! Even positions are therefore always nodes and odd positions always links —
+//! a uniform alternation that lets a whole batch of paths advance through one
+//! GRU step per position.
+
+use crate::config::ModelConfig;
+use crate::features::FeatureScales;
+use rn_dataset::{Normalizer, Sample};
+use rn_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Which entity type a sequence position refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// A directed link.
+    Link,
+    /// A forwarding device.
+    Node,
+}
+
+/// What the regression target is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// Per-path mean delay (the paper's experiment).
+    Delay,
+    /// Per-path jitter (delay standard deviation) — supported as an
+    /// extension; RouteNet predicts it with the same architecture.
+    Jitter,
+}
+
+/// One sequence position across all paths of a sample.
+#[derive(Debug, Clone)]
+pub struct StepPlan {
+    /// Entity type at this position (uniform across paths by construction).
+    pub kind: EntityKind,
+    /// Per-path entity id at this position; 0 (an arbitrary valid id) for
+    /// paths shorter than the position — those rows are masked out.
+    pub ids: Vec<usize>,
+    /// `n_paths x 1` activity mask: 1.0 where the path has this position.
+    pub mask: Matrix,
+    /// Number of active paths at this position.
+    pub active: usize,
+}
+
+/// Precomputed forward-pass inputs for one sample.
+#[derive(Debug, Clone)]
+pub struct SamplePlan {
+    /// Number of paths (rows of `path_init` and of the prediction).
+    pub n_paths: usize,
+    /// Number of directed links.
+    pub num_links: usize,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// `(src, dst)` per path, aligned with rows.
+    pub pairs: Vec<(usize, usize)>,
+    /// Initial path states: `n_paths x state_dim` (traffic feature in col 0).
+    pub path_init: Matrix,
+    /// Initial link states: `num_links x state_dim` (capacity in col 0).
+    pub link_init: Matrix,
+    /// Initial node states: `num_nodes x state_dim` (queue size in col 0,
+    /// tiny-queue indicator in col 1).
+    pub node_init: Matrix,
+    /// Steps of the extended interleaved sequence.
+    pub extended_steps: Vec<StepPlan>,
+    /// Steps of the original links-only sequence.
+    pub original_steps: Vec<StepPlan>,
+    /// Flattened path-node incidence: for every (path, traversed node) pair,
+    /// the path row index…
+    pub node_incidence_paths: Vec<usize>,
+    /// …and the node id (aligned with `node_incidence_paths`).
+    pub node_incidence_nodes: Vec<usize>,
+    /// Normalized regression targets, `n_paths x 1` (0.0 for unreliable rows).
+    pub targets_norm: Matrix,
+    /// Raw (denormalized) targets in seconds, aligned with rows.
+    pub targets_raw: Vec<f64>,
+    /// Rows whose labels are reliable enough to train/evaluate on.
+    pub reliable_idx: Vec<usize>,
+}
+
+/// Options controlling plan construction.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Feature scaling (fitted on the training set).
+    pub scales: FeatureScales,
+    /// Target normalizer (fitted on the training set).
+    pub normalizer: Normalizer,
+    /// Entity state width.
+    pub state_dim: usize,
+    /// Minimum delivered packets for a label to count as reliable.
+    pub min_packets: u64,
+    /// Which label to regress.
+    pub target: TargetKind,
+}
+
+impl PlanConfig {
+    /// Plan options from a model configuration plus preprocessing state.
+    pub fn new(config: &ModelConfig, scales: FeatureScales, normalizer: Normalizer) -> Self {
+        Self {
+            scales,
+            normalizer,
+            state_dim: config.state_dim,
+            min_packets: 10,
+            target: TargetKind::Delay,
+        }
+    }
+}
+
+/// Build the message-passing plan for one sample.
+///
+/// Panics if `state_dim < 2` (features need two leading columns).
+pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
+    assert!(config.state_dim >= 2, "state_dim must be at least 2");
+    let d = config.state_dim;
+    let num_nodes = sample.queue_capacities.len();
+    let num_links = sample.link_capacities.len();
+
+    // ---- Entity features -> initial states -------------------------------
+    let paths: Vec<(usize, usize, &rn_netgraph::Path)> = sample.routing.iter_paths().collect();
+    let n_paths = paths.len();
+    assert_eq!(n_paths, sample.targets.len(), "targets misaligned with routing");
+
+    let mut path_init = Matrix::zeros(n_paths, d);
+    for (row, &(s, dst, _)) in paths.iter().enumerate() {
+        path_init.set(row, 0, config.scales.rate(sample.traffic.rate(s, dst)));
+    }
+    let mut link_init = Matrix::zeros(num_links, d);
+    for (l, &cap) in sample.link_capacities.iter().enumerate() {
+        link_init.set(l, 0, config.scales.capacity(cap));
+    }
+    let mut node_init = Matrix::zeros(num_nodes, d);
+    for (n, &q) in sample.queue_capacities.iter().enumerate() {
+        node_init.set(n, 0, config.scales.queue(q));
+        // Binary tiny-queue indicator: gives the model the same categorical
+        // signal the scenario generator used.
+        let is_tiny = if q <= 1 { 1.0 } else { 0.0 };
+        node_init.set(n, 1, is_tiny);
+    }
+
+    // ---- Sequences --------------------------------------------------------
+    // Extended: v0, l1, v1, l2, ..., v_{k-1}, l_k  (length 2k)
+    // Original: l1, ..., l_k                        (length k)
+    let max_hops = paths.iter().map(|(_, _, p)| p.hop_count()).max().unwrap_or(0);
+    let mut extended_steps = Vec::with_capacity(2 * max_hops);
+    for pos in 0..(2 * max_hops) {
+        let kind = if pos % 2 == 0 { EntityKind::Node } else { EntityKind::Link };
+        let mut ids = vec![0usize; n_paths];
+        let mut mask = Matrix::zeros(n_paths, 1);
+        let mut active = 0;
+        for (row, (_, _, path)) in paths.iter().enumerate() {
+            let hop = pos / 2;
+            if hop < path.hop_count() {
+                ids[row] = match kind {
+                    EntityKind::Node => path.nodes[hop],
+                    EntityKind::Link => path.links[hop],
+                };
+                mask.set(row, 0, 1.0);
+                active += 1;
+            }
+        }
+        extended_steps.push(StepPlan { kind, ids, mask, active });
+    }
+    let mut original_steps = Vec::with_capacity(max_hops);
+    for hop in 0..max_hops {
+        let mut ids = vec![0usize; n_paths];
+        let mut mask = Matrix::zeros(n_paths, 1);
+        let mut active = 0;
+        for (row, (_, _, path)) in paths.iter().enumerate() {
+            if hop < path.hop_count() {
+                ids[row] = path.links[hop];
+                mask.set(row, 0, 1.0);
+                active += 1;
+            }
+        }
+        original_steps.push(StepPlan { kind: EntityKind::Link, ids, mask, active });
+    }
+
+    // ---- Node incidences (forwarding nodes: all but the destination) ------
+    let mut node_incidence_paths = Vec::new();
+    let mut node_incidence_nodes = Vec::new();
+    for (row, (_, _, path)) in paths.iter().enumerate() {
+        for hop in 0..path.hop_count() {
+            node_incidence_paths.push(row);
+            node_incidence_nodes.push(path.nodes[hop]);
+        }
+    }
+
+    // ---- Targets -----------------------------------------------------------
+    let mut targets_norm = Matrix::zeros(n_paths, 1);
+    let mut targets_raw = vec![0.0; n_paths];
+    let mut reliable_idx = Vec::new();
+    for (row, t) in sample.targets.iter().enumerate() {
+        let raw = match config.target {
+            TargetKind::Delay => t.mean_delay_s,
+            TargetKind::Jitter => t.jitter_s,
+        };
+        targets_raw[row] = raw;
+        let positive_enough = !config.normalizer.log_space || raw > 0.0;
+        if t.is_reliable(config.min_packets) && positive_enough {
+            targets_norm.set(row, 0, config.normalizer.normalize(raw) as f32);
+            reliable_idx.push(row);
+        }
+    }
+
+    SamplePlan {
+        n_paths,
+        num_links,
+        num_nodes,
+        pairs: paths.iter().map(|&(s, d2, _)| (s, d2)).collect(),
+        path_init,
+        link_init,
+        node_init,
+        extended_steps,
+        original_steps,
+        node_incidence_paths,
+        node_incidence_nodes,
+        targets_norm,
+        targets_raw,
+        reliable_idx,
+    }
+}
+
+impl SamplePlan {
+    /// Raw targets restricted to reliable rows.
+    pub fn reliable_targets_raw(&self) -> Vec<f64> {
+        self.reliable_idx.iter().map(|&i| self.targets_raw[i]).collect()
+    }
+
+    /// Normalized targets restricted to reliable rows, as a column matrix.
+    pub fn reliable_targets_norm(&self) -> Matrix {
+        self.targets_norm.gather_rows(&self.reliable_idx)
+    }
+
+    /// A human-readable trace of the extended message-passing schedule for
+    /// the first `max_paths` paths — the machine-checkable counterpart of the
+    /// paper's Figure 1.
+    pub fn schedule_trace(&self, max_paths: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "extended message passing: {} paths, {} links, {} nodes, {} sequence steps\n",
+            self.n_paths,
+            self.num_links,
+            self.num_nodes,
+            self.extended_steps.len()
+        ));
+        for (row, &(s, d)) in self.pairs.iter().take(max_paths).enumerate() {
+            out.push_str(&format!("path {row} ({s} -> {d}): "));
+            let mut parts = Vec::new();
+            for step in &self.extended_steps {
+                if step.mask.get(row, 0) > 0.0 {
+                    let tag = match step.kind {
+                        EntityKind::Node => format!("RNN_P<-node{}", step.ids[row]),
+                        EntityKind::Link => format!("RNN_P<-link{}", step.ids[row]),
+                    };
+                    parts.push(tag);
+                }
+            }
+            out.push_str(&parts.join(" "));
+            out.push('\n');
+        }
+        out.push_str("aggregation: msg(path,pos)->link via RNN_L; msg(path,pos)->node via RNN_N\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_dataset::{generate, GeneratorConfig, Normalizer};
+    use rn_netgraph::topologies;
+    use rn_netsim::SimConfig;
+
+    fn toy_sample() -> (rn_netgraph::Topology, Sample) {
+        let topo = topologies::toy5();
+        let config = GeneratorConfig {
+            sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+            ..GeneratorConfig::default()
+        };
+        let mut ds = generate(&topo, &config, 31, 1);
+        (topo, ds.samples.pop().unwrap())
+    }
+
+    fn plan_config(ds_delays: &[f64]) -> PlanConfig {
+        PlanConfig {
+            scales: FeatureScales::unit(),
+            normalizer: Normalizer::fit(ds_delays, true),
+            state_dim: 8,
+            min_packets: 5,
+            target: TargetKind::Delay,
+        }
+    }
+
+    #[test]
+    fn plan_shapes_are_consistent() {
+        let (topo, sample) = toy_sample();
+        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
+        let plan = build_plan(&sample, &plan_config(&delays));
+        assert_eq!(plan.n_paths, 20);
+        assert_eq!(plan.num_links, topo.num_links());
+        assert_eq!(plan.num_nodes, 5);
+        assert_eq!(plan.path_init.shape(), (20, 8));
+        assert_eq!(plan.link_init.shape(), (topo.num_links(), 8));
+        assert_eq!(plan.node_init.shape(), (5, 8));
+        assert_eq!(plan.targets_norm.shape(), (20, 1));
+    }
+
+    #[test]
+    fn extended_sequence_alternates_node_link() {
+        let (_, sample) = toy_sample();
+        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
+        let plan = build_plan(&sample, &plan_config(&delays));
+        for (i, step) in plan.extended_steps.iter().enumerate() {
+            let expected = if i % 2 == 0 { EntityKind::Node } else { EntityKind::Link };
+            assert_eq!(step.kind, expected, "position {i}");
+        }
+        assert_eq!(plan.extended_steps.len(), 2 * plan.original_steps.len());
+    }
+
+    #[test]
+    fn sequences_match_paths() {
+        let (_, sample) = toy_sample();
+        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
+        let plan = build_plan(&sample, &plan_config(&delays));
+        for (row, (s, d, path)) in sample.routing.iter_paths().enumerate() {
+            assert_eq!(plan.pairs[row], (s, d));
+            // Extended: node at even 2*h, the traversed link at odd 2*h+1.
+            for (h, &l) in path.links.iter().enumerate() {
+                let node_step = &plan.extended_steps[2 * h];
+                let link_step = &plan.extended_steps[2 * h + 1];
+                assert_eq!(node_step.ids[row], path.nodes[h]);
+                assert_eq!(node_step.mask.get(row, 0), 1.0);
+                assert_eq!(link_step.ids[row], l);
+                assert_eq!(link_step.mask.get(row, 0), 1.0);
+                // Original: link at position h.
+                assert_eq!(plan.original_steps[h].ids[row], l);
+            }
+            // Positions past the path length are masked out.
+            for pos in (2 * path.hop_count())..plan.extended_steps.len() {
+                assert_eq!(plan.extended_steps[pos].mask.get(row, 0), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn active_counts_match_masks() {
+        let (_, sample) = toy_sample();
+        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
+        let plan = build_plan(&sample, &plan_config(&delays));
+        for step in plan.extended_steps.iter().chain(&plan.original_steps) {
+            let mask_sum = step.mask.sum() as usize;
+            assert_eq!(step.active, mask_sum);
+        }
+        // The first position involves every path (every path has >= 1 hop).
+        assert_eq!(plan.extended_steps[0].active, plan.n_paths);
+    }
+
+    #[test]
+    fn node_incidence_excludes_destination() {
+        let (_, sample) = toy_sample();
+        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
+        let plan = build_plan(&sample, &plan_config(&delays));
+        for (row, (_, dst, path)) in sample.routing.iter_paths().enumerate() {
+            let visited: Vec<usize> = plan
+                .node_incidence_paths
+                .iter()
+                .zip(&plan.node_incidence_nodes)
+                .filter(|&(&p, _)| p == row)
+                .map(|(_, &n)| n)
+                .collect();
+            assert_eq!(visited.len(), path.hop_count());
+            assert!(!visited.contains(&dst), "destination must not forward");
+            assert_eq!(visited[0], path.src());
+        }
+    }
+
+    #[test]
+    fn node_features_encode_queue_size() {
+        let (_, mut sample) = toy_sample();
+        sample.queue_capacities = vec![32, 1, 32, 1, 32];
+        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
+        let plan = build_plan(&sample, &plan_config(&delays));
+        assert_eq!(plan.node_init.get(0, 0), 32.0);
+        assert_eq!(plan.node_init.get(0, 1), 0.0);
+        assert_eq!(plan.node_init.get(1, 0), 1.0);
+        assert_eq!(plan.node_init.get(1, 1), 1.0, "tiny flag set");
+    }
+
+    #[test]
+    fn unreliable_paths_are_excluded() {
+        let (_, mut sample) = toy_sample();
+        sample.targets[3].delivered = 0;
+        sample.targets[3].mean_delay_s = 0.0;
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .filter(|t| t.mean_delay_s > 0.0)
+            .map(|t| t.mean_delay_s)
+            .collect();
+        let plan = build_plan(&sample, &plan_config(&delays));
+        assert!(!plan.reliable_idx.contains(&3));
+        assert_eq!(plan.targets_norm.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn normalized_targets_round_trip() {
+        let (_, sample) = toy_sample();
+        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
+        let cfg = plan_config(&delays);
+        let plan = build_plan(&sample, &cfg);
+        for &i in &plan.reliable_idx {
+            let raw_back = cfg.normalizer.denormalize(plan.targets_norm.get(i, 0) as f64);
+            let rel = (raw_back - plan.targets_raw[i]).abs() / plan.targets_raw[i];
+            assert!(rel < 1e-5, "row {i}: {raw_back} vs {}", plan.targets_raw[i]);
+        }
+    }
+
+    #[test]
+    fn schedule_trace_mentions_all_rnns() {
+        let (_, sample) = toy_sample();
+        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
+        let plan = build_plan(&sample, &plan_config(&delays));
+        let trace = plan.schedule_trace(3);
+        assert!(trace.contains("RNN_P<-node"));
+        assert!(trace.contains("RNN_P<-link"));
+        assert!(trace.contains("RNN_L"));
+        assert!(trace.contains("RNN_N"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Evaluation: relative-error distributions — the paper's Figure 2 artifact.
+
+use crate::entities::SamplePlan;
+use crate::model::PathPredictor;
+use rayon::prelude::*;
+use rn_dataset::Dataset;
+use rn_tensor::stats::{EmpiricalCdf, Summary};
+use serde::{Deserialize, Serialize};
+
+/// The evaluation record of one (model, dataset) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Model identifier ("original" / "extended" / baseline name).
+    pub model: String,
+    /// Dataset/topology identifier (e.g. "geant2", "nsfnet").
+    pub dataset: String,
+    /// Signed relative errors `(pred − true) / true` over all reliable paths
+    /// of all samples — the quantity whose CDF the paper plots.
+    pub rel_errors: Vec<f64>,
+    /// Mean absolute error in seconds.
+    pub mae_s: f64,
+    /// Root-mean-square error in seconds.
+    pub rmse_s: f64,
+    /// Summary of |relative error|.
+    pub abs_rel_summary: Summary,
+}
+
+impl EvalReport {
+    /// Build a report from aligned prediction/target vectors.
+    pub fn from_predictions(
+        model: impl Into<String>,
+        dataset: impl Into<String>,
+        predictions: &[f64],
+        targets: &[f64],
+    ) -> Self {
+        assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+        assert!(!predictions.is_empty(), "cannot evaluate zero paths");
+        let mut rel = Vec::with_capacity(predictions.len());
+        let mut abs_sum = 0.0;
+        let mut sq_sum = 0.0;
+        for (&p, &t) in predictions.iter().zip(targets) {
+            assert!(t > 0.0, "targets must be positive (filtered upstream), got {t}");
+            rel.push((p - t) / t);
+            abs_sum += (p - t).abs();
+            sq_sum += (p - t) * (p - t);
+        }
+        let n = predictions.len() as f64;
+        let abs_rel: Vec<f64> = rel.iter().map(|e| e.abs()).collect();
+        Self {
+            model: model.into(),
+            dataset: dataset.into(),
+            rel_errors: rel,
+            mae_s: abs_sum / n,
+            rmse_s: (sq_sum / n).sqrt(),
+            abs_rel_summary: Summary::of(&abs_rel),
+        }
+    }
+
+    /// Number of evaluated paths.
+    pub fn num_paths(&self) -> usize {
+        self.rel_errors.len()
+    }
+
+    /// Empirical CDF of the signed relative error (the Figure 2 curve).
+    pub fn cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::new(&self.rel_errors)
+    }
+
+    /// `(x, F(x))` series of the signed relative-error CDF at the given xs.
+    pub fn cdf_series_at(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        self.cdf().series_at(xs)
+    }
+
+    /// Median of |relative error| — the headline accuracy number.
+    pub fn median_abs_rel(&self) -> f64 {
+        self.abs_rel_summary.median
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<9} on {:<7}: paths {:>7}, median|rel| {:>6.3}, p90|rel| {:>6.3}, p95|rel| {:>6.3}, MAE {:.4}s, RMSE {:.4}s",
+            self.model,
+            self.dataset,
+            self.num_paths(),
+            self.abs_rel_summary.median,
+            self.abs_rel_summary.p90,
+            self.abs_rel_summary.p95,
+            self.mae_s,
+            self.rmse_s
+        )
+    }
+}
+
+/// Evaluate a trained model over a dataset: predict every sample (in
+/// parallel), collect reliable paths, compute the relative-error report.
+pub fn evaluate<M: PathPredictor>(
+    model: &M,
+    dataset: &Dataset,
+    dataset_name: &str,
+    min_packets: u64,
+) -> EvalReport {
+    let pairs: Vec<(f64, f64)> = dataset
+        .samples
+        .par_iter()
+        .flat_map_iter(|sample| {
+            let mut plan = model.plan(sample);
+            // Respect the caller's reliability threshold even if it differs
+            // from the model's default plan config.
+            plan.reliable_idx = sample
+                .targets
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.is_reliable(min_packets) && t.mean_delay_s > 0.0)
+                .map(|(i, _)| i)
+                .collect();
+            let preds = model.predict(&plan);
+            plan.reliable_idx
+                .iter()
+                .map(|&i| (preds[i], plan.targets_raw[i]))
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+        .collect();
+    let (preds, targets): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+    EvalReport::from_predictions(model.name(), dataset_name, &preds, &targets)
+}
+
+/// Evaluate raw `(prediction, target)` pairs from a non-learned baseline.
+pub fn evaluate_baseline(
+    name: &str,
+    dataset_name: &str,
+    pairs: &[(f64, f64)],
+) -> EvalReport {
+    let (preds, targets): (Vec<f64>, Vec<f64>) = pairs.iter().copied().unzip();
+    EvalReport::from_predictions(name, dataset_name, &preds, &targets)
+}
+
+/// Plan-level prediction collection — exposed for harnesses that already
+/// built plans (avoids re-planning in ablation sweeps).
+pub fn collect_predictions<M: PathPredictor>(
+    model: &M,
+    plans: &[SamplePlan],
+) -> Vec<(f64, f64)> {
+    plans
+        .par_iter()
+        .flat_map_iter(|plan| {
+            let preds = model.predict(plan);
+            plan.reliable_idx
+                .iter()
+                .map(|&i| (preds[i], plan.targets_raw[i]))
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_give_zero_errors() {
+        let t = [0.1, 0.2, 0.3];
+        let r = EvalReport::from_predictions("m", "d", &t, &t);
+        assert_eq!(r.mae_s, 0.0);
+        assert_eq!(r.rmse_s, 0.0);
+        assert!(r.rel_errors.iter().all(|&e| e == 0.0));
+        assert_eq!(r.median_abs_rel(), 0.0);
+    }
+
+    #[test]
+    fn signed_errors_keep_direction() {
+        let r = EvalReport::from_predictions("m", "d", &[0.2, 0.05], &[0.1, 0.1]);
+        assert!((r.rel_errors[0] - 1.0).abs() < 1e-12, "overprediction is +100%");
+        assert!((r.rel_errors[1] + 0.5).abs() < 1e-12, "underprediction is -50%");
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let preds = [0.11, 0.19, 0.33, 0.09, 0.52];
+        let targets = [0.1, 0.2, 0.3, 0.1, 0.5];
+        let r = EvalReport::from_predictions("m", "d", &preds, &targets);
+        let xs: Vec<f64> = (-10..=10).map(|i| i as f64 / 10.0).collect();
+        let series = r.cdf_series_at(&xs);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn better_model_has_smaller_median() {
+        let targets = [0.1, 0.2, 0.3, 0.4];
+        let good: Vec<f64> = targets.iter().map(|t| t * 1.05).collect();
+        let bad: Vec<f64> = targets.iter().map(|t| t * 1.8).collect();
+        let rg = EvalReport::from_predictions("good", "d", &good, &targets);
+        let rb = EvalReport::from_predictions("bad", "d", &bad, &targets);
+        assert!(rg.median_abs_rel() < rb.median_abs_rel());
+    }
+
+    #[test]
+    fn summary_line_mentions_model_and_dataset() {
+        let r = EvalReport::from_predictions("extended", "nsfnet", &[0.1], &[0.1]);
+        let line = r.summary_line();
+        assert!(line.contains("extended") && line.contains("nsfnet"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_rejected() {
+        let _ = EvalReport::from_predictions("m", "d", &[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Feature scaling.
+//!
+//! Raw inputs span very different ranges (traffic in hundreds of bit/s, link
+//! capacity in tens of kbit/s, queue sizes in packets). Scales are fitted on
+//! the training dataset and stored inside the trained model so evaluation on
+//! other topologies applies identical scaling — crucial for the paper's
+//! train-on-GEANT2 / test-on-NSFNET generalization experiment.
+
+use rn_dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Divisors mapping raw features into roughly `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureScales {
+    /// Divisor for per-pair traffic rates (bps).
+    pub rate_scale: f64,
+    /// Divisor for link capacities (bps).
+    pub capacity_scale: f64,
+    /// Divisor for queue capacities (packets).
+    pub queue_scale: f64,
+}
+
+impl FeatureScales {
+    /// Fit on a training dataset: each scale is the maximum observed value
+    /// (floored at 1 to avoid degenerate divisors).
+    pub fn fit(dataset: &Dataset) -> Self {
+        let mut rate_max = 0.0f64;
+        let mut cap_max = 0.0f64;
+        let mut queue_max = 0.0f64;
+        for s in &dataset.samples {
+            for (src, dst, _) in s.routing.iter_paths() {
+                rate_max = rate_max.max(s.traffic.rate(src, dst));
+            }
+            for &c in &s.link_capacities {
+                cap_max = cap_max.max(c);
+            }
+            for &q in &s.queue_capacities {
+                queue_max = queue_max.max(q as f64);
+            }
+        }
+        Self {
+            rate_scale: rate_max.max(1.0),
+            capacity_scale: cap_max.max(1.0),
+            queue_scale: queue_max.max(1.0),
+        }
+    }
+
+    /// Unit scales (features pass through unchanged) — for tests.
+    pub fn unit() -> Self {
+        Self { rate_scale: 1.0, capacity_scale: 1.0, queue_scale: 1.0 }
+    }
+
+    /// Scale a traffic rate.
+    pub fn rate(&self, bps: f64) -> f32 {
+        (bps / self.rate_scale) as f32
+    }
+
+    /// Scale a link capacity.
+    pub fn capacity(&self, bps: f64) -> f32 {
+        (bps / self.capacity_scale) as f32
+    }
+
+    /// Scale a queue capacity.
+    pub fn queue(&self, packets: usize) -> f32 {
+        (packets as f64 / self.queue_scale) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_dataset::{generate, GeneratorConfig};
+    use rn_netgraph::topologies;
+    use rn_netsim::SimConfig;
+
+    #[test]
+    fn fit_produces_scales_that_bound_features() {
+        let config = GeneratorConfig {
+            sim: SimConfig { duration_s: 30.0, warmup_s: 5.0, ..SimConfig::default() },
+            ..GeneratorConfig::default()
+        };
+        let ds = generate(&topologies::toy5(), &config, 21, 3);
+        let scales = FeatureScales::fit(&ds);
+        for s in &ds.samples {
+            for (src, dst, _) in s.routing.iter_paths() {
+                assert!(scales.rate(s.traffic.rate(src, dst)) <= 1.0 + 1e-6);
+            }
+            for &c in &s.link_capacities {
+                assert!(scales.capacity(c) <= 1.0 + 1e-6);
+            }
+            for &q in &s.queue_capacities {
+                assert!(scales.queue(q) <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_scales_are_identity() {
+        let s = FeatureScales::unit();
+        assert_eq!(s.rate(5.0), 5.0);
+        assert_eq!(s.capacity(3.0), 3.0);
+        assert_eq!(s.queue(7), 7.0);
+    }
+
+    #[test]
+    fn empty_dataset_gives_safe_scales() {
+        let ds = Dataset { topology: topologies::toy5(), samples: vec![] };
+        let s = FeatureScales::fit(&ds);
+        assert_eq!(s.rate_scale, 1.0);
+        assert_eq!(s.capacity_scale, 1.0);
+        assert_eq!(s.queue_scale, 1.0);
+    }
+}

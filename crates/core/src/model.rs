@@ -1,0 +1,558 @@
+//! The original and extended RouteNet models.
+
+use crate::config::{ModelConfig, NodeUpdate};
+use crate::entities::{build_plan, EntityKind, PlanConfig, SamplePlan, StepPlan, TargetKind};
+use crate::features::FeatureScales;
+use rn_autograd::{Graph, Var};
+use rn_dataset::{Dataset, Normalizer, Sample};
+use rn_nn::{Activation, BoundGruCell, BoundMlp, GruCell, Layer, Mlp};
+use rn_tensor::{Matrix, Prng};
+use serde::{Deserialize, Serialize};
+
+/// Common interface of both RouteNet variants: bindable layers plus a
+/// plan-driven forward pass producing one normalized prediction per path.
+pub trait PathPredictor: Layer + Clone + Send + Sync {
+    /// Short identifier used in reports ("original" / "extended").
+    fn name(&self) -> &'static str;
+
+    /// The hyper-parameters.
+    fn config(&self) -> &ModelConfig;
+
+    /// The preprocessing state (feature scales + target normalizer).
+    fn preprocessing(&self) -> (&FeatureScales, &Normalizer);
+
+    /// Fit feature scales and the target normalizer on the training set.
+    /// Must be called before training; stored with the model thereafter.
+    fn fit_preprocessing(&mut self, train: &Dataset, min_packets: u64);
+
+    /// Replace the target normalizer (used when training on a different
+    /// target, e.g. jitter, after `fit_preprocessing` fitted delay).
+    fn set_normalizer(&mut self, normalizer: Normalizer);
+
+    /// Forward pass on the tape: returns the `n_paths x 1` normalized
+    /// prediction node.
+    fn forward(&self, g: &mut Graph, bound: &Self::Bound, plan: &SamplePlan) -> Var;
+
+    /// Build the message-passing plan for one sample using this model's
+    /// preprocessing state.
+    fn plan(&self, sample: &Sample) -> SamplePlan {
+        let (scales, normalizer) = self.preprocessing();
+        let cfg = PlanConfig::new(self.config(), scales.clone(), normalizer.clone());
+        build_plan(sample, &cfg)
+    }
+
+    /// Plan with an explicit target kind (delay or jitter).
+    fn plan_for_target(&self, sample: &Sample, target: TargetKind) -> SamplePlan {
+        let (scales, normalizer) = self.preprocessing();
+        let mut cfg = PlanConfig::new(self.config(), scales.clone(), normalizer.clone());
+        cfg.target = target;
+        build_plan(sample, &cfg)
+    }
+
+    /// Inference: predicted raw (denormalized) targets for every path.
+    fn predict(&self, plan: &SamplePlan) -> Vec<f64> {
+        let mut g = Graph::new();
+        let bound = self.bind(&mut g);
+        let pred = self.forward(&mut g, &bound, plan);
+        let (_, normalizer) = self.preprocessing();
+        g.value(pred)
+            .as_slice()
+            .iter()
+            .map(|&v| normalizer.denormalize(v as f64))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared message-passing machinery
+// ---------------------------------------------------------------------------
+
+/// Run one path-RNN sweep over `steps`, accumulating per-entity message sums.
+///
+/// Returns `(final_path_state, link_message_sum, node_message_sum)`. The node
+/// accumulator is `None` when `collect_node_messages` is false (original
+/// model, or the FinalPathStateSum ablation).
+fn path_sweep(
+    g: &mut Graph,
+    gru_path: &BoundGruCell,
+    steps: &[StepPlan],
+    mut path_state: Var,
+    link_state: Var,
+    node_state: Option<Var>,
+    num_links: usize,
+    num_nodes: usize,
+    collect_node_messages: bool,
+) -> (Var, Var, Option<Var>) {
+    let mut link_acc = g.constant(Matrix::zeros(num_links, g.value(link_state).cols()));
+    let mut node_acc = if collect_node_messages {
+        Some(g.constant(Matrix::zeros(num_nodes, g.value(link_state).cols())))
+    } else {
+        None
+    };
+    for step in steps {
+        if step.active == 0 {
+            continue;
+        }
+        let states = match step.kind {
+            EntityKind::Link => link_state,
+            EntityKind::Node => node_state.expect("node step requires node states"),
+        };
+        let x_raw = g.gather_rows(states, &step.ids);
+        let x = g.mask_rows(x_raw, &step.mask);
+        path_state = gru_path.step_masked(g, path_state, x, &step.mask);
+        // The post-step hidden state is the message to this position's entity.
+        let msg = g.mask_rows(path_state, &step.mask);
+        match step.kind {
+            EntityKind::Link => {
+                let contribution = g.segment_sum(msg, &step.ids, num_links);
+                link_acc = g.add(link_acc, contribution);
+            }
+            EntityKind::Node => {
+                if let Some(acc) = node_acc {
+                    let contribution = g.segment_sum(msg, &step.ids, num_nodes);
+                    node_acc = Some(g.add(acc, contribution));
+                }
+            }
+        }
+    }
+    (path_state, link_acc, node_acc)
+}
+
+// ---------------------------------------------------------------------------
+// Original RouteNet
+// ---------------------------------------------------------------------------
+
+/// The original RouteNet: link and path entities only. Node features (queue
+/// sizes) are invisible to this model — exactly the limitation the paper
+/// demonstrates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OriginalRouteNet {
+    config: ModelConfig,
+    scales: FeatureScales,
+    normalizer: Normalizer,
+    gru_path: GruCell,
+    gru_link: GruCell,
+    readout: Mlp,
+}
+
+/// Tape bindings for [`OriginalRouteNet`].
+#[derive(Debug, Clone)]
+pub struct BoundOriginal {
+    gru_path: BoundGruCell,
+    gru_link: BoundGruCell,
+    readout: BoundMlp,
+}
+
+impl OriginalRouteNet {
+    /// Fresh model with Xavier-initialized weights.
+    pub fn new(config: ModelConfig) -> Self {
+        config.validate().expect("invalid model config");
+        let d = config.state_dim;
+        let h = config.readout_hidden;
+        let mut rng = Prng::new(config.seed);
+        Self {
+            gru_path: GruCell::new(&mut rng, d, d),
+            gru_link: GruCell::new(&mut rng, d, d),
+            readout: Mlp::new(&mut rng, &[d, h, h, 1], Activation::Selu, Activation::Identity),
+            config,
+            scales: FeatureScales::unit(),
+            normalizer: Normalizer::identity(),
+        }
+    }
+}
+
+impl Layer for OriginalRouteNet {
+    type Bound = BoundOriginal;
+
+    fn bind(&self, g: &mut Graph) -> BoundOriginal {
+        BoundOriginal {
+            gru_path: self.gru_path.bind(g),
+            gru_link: self.gru_link.bind(g),
+            readout: self.readout.bind(g),
+        }
+    }
+
+    fn params(&self) -> Vec<&Matrix> {
+        let mut p = self.gru_path.params();
+        p.extend(self.gru_link.params());
+        p.extend(self.readout.params());
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p = self.gru_path.params_mut();
+        p.extend(self.gru_link.params_mut());
+        p.extend(self.readout.params_mut());
+        p
+    }
+
+    fn bound_vars(bound: &BoundOriginal) -> Vec<Var> {
+        let mut v = GruCell::bound_vars(&bound.gru_path);
+        v.extend(GruCell::bound_vars(&bound.gru_link));
+        v.extend(Mlp::bound_vars(&bound.readout));
+        v
+    }
+}
+
+impl PathPredictor for OriginalRouteNet {
+    fn name(&self) -> &'static str {
+        "original"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn preprocessing(&self) -> (&FeatureScales, &Normalizer) {
+        (&self.scales, &self.normalizer)
+    }
+
+    fn fit_preprocessing(&mut self, train: &Dataset, min_packets: u64) {
+        self.scales = FeatureScales::fit(train);
+        let delays = train.all_delays(min_packets);
+        let positive: Vec<f64> = delays.into_iter().filter(|&d| d > 0.0).collect();
+        assert!(!positive.is_empty(), "training set has no positive delay labels");
+        self.normalizer = Normalizer::fit(&positive, true);
+    }
+
+    fn set_normalizer(&mut self, normalizer: Normalizer) {
+        self.normalizer = normalizer;
+    }
+
+    fn forward(&self, g: &mut Graph, bound: &BoundOriginal, plan: &SamplePlan) -> Var {
+        let mut path_state = g.constant(plan.path_init.clone());
+        let mut link_state = g.constant(plan.link_init.clone());
+        for _ in 0..self.config.mp_iterations {
+            let (new_path, link_acc, _) = path_sweep(
+                g,
+                &bound.gru_path,
+                &plan.original_steps,
+                path_state,
+                link_state,
+                None,
+                plan.num_links,
+                plan.num_nodes,
+                false,
+            );
+            path_state = new_path;
+            link_state = bound.gru_link.step(g, link_state, link_acc);
+        }
+        bound.readout.forward(g, path_state)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extended RouteNet
+// ---------------------------------------------------------------------------
+
+/// The extended RouteNet of the paper: adds the node entity (`RNN_N`) and
+/// interleaves node states into the path sequences.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtendedRouteNet {
+    config: ModelConfig,
+    scales: FeatureScales,
+    normalizer: Normalizer,
+    gru_path: GruCell,
+    gru_link: GruCell,
+    gru_node: GruCell,
+    readout: Mlp,
+}
+
+/// Tape bindings for [`ExtendedRouteNet`].
+#[derive(Debug, Clone)]
+pub struct BoundExtended {
+    gru_path: BoundGruCell,
+    gru_link: BoundGruCell,
+    gru_node: BoundGruCell,
+    readout: BoundMlp,
+}
+
+impl ExtendedRouteNet {
+    /// Fresh model with Xavier-initialized weights.
+    pub fn new(config: ModelConfig) -> Self {
+        config.validate().expect("invalid model config");
+        let d = config.state_dim;
+        let h = config.readout_hidden;
+        let mut rng = Prng::new(config.seed);
+        Self {
+            gru_path: GruCell::new(&mut rng, d, d),
+            gru_link: GruCell::new(&mut rng, d, d),
+            gru_node: GruCell::new(&mut rng, d, d),
+            readout: Mlp::new(&mut rng, &[d, h, h, 1], Activation::Selu, Activation::Identity),
+            config,
+            scales: FeatureScales::unit(),
+            normalizer: Normalizer::identity(),
+        }
+    }
+}
+
+impl Layer for ExtendedRouteNet {
+    type Bound = BoundExtended;
+
+    fn bind(&self, g: &mut Graph) -> BoundExtended {
+        BoundExtended {
+            gru_path: self.gru_path.bind(g),
+            gru_link: self.gru_link.bind(g),
+            gru_node: self.gru_node.bind(g),
+            readout: self.readout.bind(g),
+        }
+    }
+
+    fn params(&self) -> Vec<&Matrix> {
+        let mut p = self.gru_path.params();
+        p.extend(self.gru_link.params());
+        p.extend(self.gru_node.params());
+        p.extend(self.readout.params());
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p = self.gru_path.params_mut();
+        p.extend(self.gru_link.params_mut());
+        p.extend(self.gru_node.params_mut());
+        p.extend(self.readout.params_mut());
+        p
+    }
+
+    fn bound_vars(bound: &BoundExtended) -> Vec<Var> {
+        let mut v = GruCell::bound_vars(&bound.gru_path);
+        v.extend(GruCell::bound_vars(&bound.gru_link));
+        v.extend(GruCell::bound_vars(&bound.gru_node));
+        v.extend(Mlp::bound_vars(&bound.readout));
+        v
+    }
+}
+
+impl PathPredictor for ExtendedRouteNet {
+    fn name(&self) -> &'static str {
+        "extended"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn preprocessing(&self) -> (&FeatureScales, &Normalizer) {
+        (&self.scales, &self.normalizer)
+    }
+
+    fn fit_preprocessing(&mut self, train: &Dataset, min_packets: u64) {
+        self.scales = FeatureScales::fit(train);
+        let delays = train.all_delays(min_packets);
+        let positive: Vec<f64> = delays.into_iter().filter(|&d| d > 0.0).collect();
+        assert!(!positive.is_empty(), "training set has no positive delay labels");
+        self.normalizer = Normalizer::fit(&positive, true);
+    }
+
+    fn set_normalizer(&mut self, normalizer: Normalizer) {
+        self.normalizer = normalizer;
+    }
+
+    fn forward(&self, g: &mut Graph, bound: &BoundExtended, plan: &SamplePlan) -> Var {
+        let mut path_state = g.constant(plan.path_init.clone());
+        let mut link_state = g.constant(plan.link_init.clone());
+        let mut node_state = g.constant(plan.node_init.clone());
+        let positional = self.config.node_update == NodeUpdate::PositionalMessages;
+        for _ in 0..self.config.mp_iterations {
+            let (new_path, link_acc, node_acc) = path_sweep(
+                g,
+                &bound.gru_path,
+                &plan.extended_steps,
+                path_state,
+                link_state,
+                Some(node_state),
+                plan.num_links,
+                plan.num_nodes,
+                positional,
+            );
+            path_state = new_path;
+            let node_input = if positional {
+                node_acc.expect("positional sweep collects node messages")
+            } else {
+                // Paper wording: element-wise sum of the (final) path states
+                // of all paths traversing the node.
+                let gathered = g.gather_rows(path_state, &plan.node_incidence_paths);
+                g.segment_sum(gathered, &plan.node_incidence_nodes, plan.num_nodes)
+            };
+            link_state = bound.gru_link.step(g, link_state, link_acc);
+            node_state = bound.gru_node.step(g, node_state, node_input);
+        }
+        bound.readout.forward(g, path_state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_dataset::{generate, GeneratorConfig};
+    use rn_netgraph::topologies;
+    use rn_netsim::SimConfig;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        let config = GeneratorConfig {
+            sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+            ..GeneratorConfig::default()
+        };
+        generate(&topologies::toy5(), &config, 41, n)
+    }
+
+    fn small_config() -> ModelConfig {
+        ModelConfig { state_dim: 8, mp_iterations: 2, readout_hidden: 8, ..ModelConfig::default() }
+    }
+
+    #[test]
+    fn both_models_produce_one_prediction_per_path() {
+        let ds = toy_dataset(1);
+        let mut original = OriginalRouteNet::new(small_config());
+        let mut extended = ExtendedRouteNet::new(small_config());
+        original.fit_preprocessing(&ds, 5);
+        extended.fit_preprocessing(&ds, 5);
+
+        let plan_o = original.plan(&ds.samples[0]);
+        let plan_e = extended.plan(&ds.samples[0]);
+        assert_eq!(original.predict(&plan_o).len(), 20);
+        assert_eq!(extended.predict(&plan_e).len(), 20);
+    }
+
+    #[test]
+    fn predictions_are_finite_and_positive() {
+        let ds = toy_dataset(1);
+        let mut model = ExtendedRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan = model.plan(&ds.samples[0]);
+        for p in model.predict(&plan) {
+            assert!(p.is_finite() && p > 0.0, "prediction {p}");
+        }
+    }
+
+    #[test]
+    fn extended_model_reacts_to_queue_sizes_original_does_not() {
+        // Flip every node's queue profile; the extended model's output must
+        // change, the original's must not (it cannot see node features).
+        let ds = toy_dataset(1);
+        let mut sample_b = ds.samples[0].clone();
+        sample_b.queue_capacities = vec![1; 5];
+
+        let mut original = OriginalRouteNet::new(small_config());
+        let mut extended = ExtendedRouteNet::new(small_config());
+        original.fit_preprocessing(&ds, 5);
+        extended.fit_preprocessing(&ds, 5);
+
+        let o_a = original.predict(&original.plan(&ds.samples[0]));
+        let o_b = original.predict(&original.plan(&sample_b));
+        let e_a = extended.predict(&extended.plan(&ds.samples[0]));
+        let e_b = extended.predict(&extended.plan(&sample_b));
+
+        let diff = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+        };
+        assert!(diff(&o_a, &o_b) < 1e-9, "original model must ignore queue sizes");
+        assert!(diff(&e_a, &e_b) > 1e-6, "extended model must react to queue sizes");
+    }
+
+    #[test]
+    fn node_update_variants_differ() {
+        let ds = toy_dataset(1);
+        let mut positional = ExtendedRouteNet::new(small_config());
+        let mut final_sum = ExtendedRouteNet::new(ModelConfig {
+            node_update: NodeUpdate::FinalPathStateSum,
+            ..small_config()
+        });
+        positional.fit_preprocessing(&ds, 5);
+        final_sum.fit_preprocessing(&ds, 5);
+        let pp = positional.predict(&positional.plan(&ds.samples[0]));
+        let pf = final_sum.predict(&final_sum.plan(&ds.samples[0]));
+        let total_diff: f64 = pp.iter().zip(&pf).map(|(a, b)| (a - b).abs()).sum();
+        assert!(total_diff > 1e-9, "ablation variants should not coincide");
+    }
+
+    #[test]
+    fn forward_gradients_reach_every_parameter_extended() {
+        let ds = toy_dataset(1);
+        let mut model = ExtendedRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan = model.plan(&ds.samples[0]);
+        let mut g = Graph::new();
+        let bound = model.bind(&mut g);
+        let pred = model.forward(&mut g, &bound, &plan);
+        let reliable = g.gather_rows(pred, &plan.reliable_idx);
+        let target = g.constant(plan.reliable_targets_norm());
+        let loss = g.mse(reliable, target);
+        g.backward(loss);
+        let grads = model.grads(&g, &bound);
+        let nonzero = grads.iter().filter(|m| m.max_abs() > 0.0).count();
+        // All kernels should receive gradient; some biases may be zero by
+        // symmetry but the vast majority must be live.
+        assert!(
+            nonzero >= grads.len() - 2,
+            "only {nonzero}/{} parameter tensors received gradient",
+            grads.len()
+        );
+    }
+
+    #[test]
+    fn forward_gradients_reach_every_parameter_original() {
+        let ds = toy_dataset(1);
+        let mut model = OriginalRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan = model.plan(&ds.samples[0]);
+        let mut g = Graph::new();
+        let bound = model.bind(&mut g);
+        let pred = model.forward(&mut g, &bound, &plan);
+        let reliable = g.gather_rows(pred, &plan.reliable_idx);
+        let target = g.constant(plan.reliable_targets_norm());
+        let loss = g.mse(reliable, target);
+        g.backward(loss);
+        let grads = model.grads(&g, &bound);
+        let nonzero = grads.iter().filter(|m| m.max_abs() > 0.0).count();
+        assert!(nonzero >= grads.len() - 2, "only {nonzero}/{} live grads", grads.len());
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let ds = toy_dataset(1);
+        let mut model = ExtendedRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan = model.plan(&ds.samples[0]);
+        let a = model.predict(&plan);
+        let b = model.predict(&plan);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let ds = toy_dataset(1);
+        let mut model = ExtendedRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan = model.plan(&ds.samples[0]);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: ExtendedRouteNet = serde_json::from_str(&json).unwrap();
+        assert_eq!(model.predict(&plan), back.predict(&plan));
+    }
+
+    #[test]
+    fn jitter_target_plans_use_jitter_labels() {
+        use crate::entities::TargetKind;
+        let ds = toy_dataset(1);
+        let mut model = ExtendedRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let delay_plan = model.plan_for_target(&ds.samples[0], TargetKind::Delay);
+        let jitter_plan = model.plan_for_target(&ds.samples[0], TargetKind::Jitter);
+        for (row, t) in ds.samples[0].targets.iter().enumerate() {
+            assert_eq!(delay_plan.targets_raw[row], t.mean_delay_s);
+            assert_eq!(jitter_plan.targets_raw[row], t.jitter_s);
+        }
+        // The model still produces one prediction per path on jitter plans.
+        assert_eq!(model.predict(&jitter_plan).len(), jitter_plan.n_paths);
+    }
+
+    #[test]
+    fn param_counts_scale_with_config() {
+        let small = ExtendedRouteNet::new(small_config());
+        let big = ExtendedRouteNet::new(ModelConfig { state_dim: 16, ..small_config() });
+        assert!(big.param_count() > small.param_count());
+        // Extended has one more GRU than original at equal config.
+        let orig = OriginalRouteNet::new(small_config());
+        assert!(small.param_count() > orig.param_count());
+    }
+}

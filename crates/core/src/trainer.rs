@@ -1,0 +1,353 @@
+//! Minibatch training with data-parallel gradients.
+//!
+//! Each training step picks a minibatch of sample graphs, computes the loss
+//! gradient of every graph on its own autograd tape (in parallel with rayon —
+//! samples are independent), averages the gradients, clips the global norm
+//! and applies one Adam update. This mirrors how the TensorFlow RouteNet
+//! trained (Adam on per-sample graphs), minus the GPU.
+
+use crate::entities::SamplePlan;
+use crate::model::PathPredictor;
+use rayon::prelude::*;
+use rn_autograd::Graph;
+use rn_dataset::Dataset;
+use rn_nn::loss::Loss;
+use rn_nn::{clip_global_norm, Adam, Optimizer};
+use rn_tensor::{Matrix, Prng};
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Sample graphs per optimizer step.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+    /// Regression loss.
+    pub loss: Loss,
+    /// Minimum delivered packets for a path label to be trained on.
+    pub min_packets: u64,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Stop early when validation loss fails to improve for this many epochs
+    /// (`None` disables; requires a validation set).
+    pub patience: Option<usize>,
+    /// Halve the learning rate at the start of these (0-based) epochs — a
+    /// simple step schedule that stabilizes the late phase of training.
+    pub lr_halve_epochs: Vec<usize>,
+    /// Print one progress line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 20,
+            batch_size: 8,
+            learning_rate: 1e-3,
+            grad_clip: 5.0,
+            loss: Loss::Mse,
+            min_packets: 10,
+            seed: 0,
+            patience: None,
+            lr_halve_epochs: Vec::new(),
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch loss record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// Mean training loss per epoch (normalized-target space).
+    pub train_loss: Vec<f64>,
+    /// Mean validation loss per epoch (empty without a validation set).
+    pub val_loss: Vec<f64>,
+    /// Epoch index training stopped at (== `epochs` unless early-stopped).
+    pub stopped_at: usize,
+}
+
+impl TrainingHistory {
+    /// Final training loss.
+    pub fn final_train_loss(&self) -> f64 {
+        *self.train_loss.last().expect("at least one epoch")
+    }
+
+    /// Best validation loss, if validation ran.
+    pub fn best_val_loss(&self) -> Option<f64> {
+        self.val_loss.iter().copied().fold(None, |best, v| match best {
+            None => Some(v),
+            Some(b) => Some(b.min(v)),
+        })
+    }
+}
+
+/// Forward + loss on one plan; returns `(loss, grads)` or `None` when the
+/// plan has no reliable labels.
+fn sample_gradients<M: PathPredictor>(model: &M, plan: &SamplePlan, loss: Loss) -> Option<(f64, Vec<Matrix>)> {
+    if plan.reliable_idx.is_empty() {
+        return None;
+    }
+    let mut g = Graph::new();
+    let bound = model.bind(&mut g);
+    let pred = model.forward(&mut g, &bound, plan);
+    let reliable = g.gather_rows(pred, &plan.reliable_idx);
+    let target = g.constant(plan.reliable_targets_norm());
+    let loss_node = loss.apply(&mut g, reliable, target);
+    let loss_value = g.value(loss_node).get(0, 0) as f64;
+    g.backward(loss_node);
+    Some((loss_value, model.grads(&g, &bound)))
+}
+
+/// Loss only (no backward) — used for validation.
+fn sample_loss<M: PathPredictor>(model: &M, plan: &SamplePlan, loss: Loss) -> Option<f64> {
+    if plan.reliable_idx.is_empty() {
+        return None;
+    }
+    let mut g = Graph::new();
+    let bound = model.bind(&mut g);
+    let pred = model.forward(&mut g, &bound, plan);
+    let reliable = g.gather_rows(pred, &plan.reliable_idx);
+    let target = g.constant(plan.reliable_targets_norm());
+    let loss_node = loss.apply(&mut g, reliable, target);
+    Some(g.value(loss_node).get(0, 0) as f64)
+}
+
+/// Train `model` on `train_set`, optionally tracking `val_set`.
+///
+/// Fits preprocessing (feature scales, target normalizer) on the training set
+/// first, then precomputes every sample's message-passing plan once and
+/// reuses it across epochs.
+pub fn train<M: PathPredictor>(
+    model: &mut M,
+    train_set: &Dataset,
+    val_set: Option<&Dataset>,
+    config: &TrainConfig,
+) -> TrainingHistory {
+    assert!(!train_set.is_empty(), "train: empty training set");
+    model.fit_preprocessing(train_set, config.min_packets);
+    let immutable: &M = model;
+    let plans: Vec<SamplePlan> =
+        train_set.samples.par_iter().map(|s| immutable.plan(s)).collect();
+    let val_plans: Vec<SamplePlan> = val_set
+        .map(|ds| ds.samples.par_iter().map(|s| immutable.plan(s)).collect())
+        .unwrap_or_default();
+    train_on_plans_with_val(model, &plans, &val_plans, config)
+}
+
+/// Train on prebuilt plans, no validation. Preprocessing (scales and
+/// normalizer) must already be set on the model — this is the entry point
+/// for non-default targets such as jitter.
+pub fn train_on_plans<M: PathPredictor>(
+    model: &mut M,
+    plans: &[SamplePlan],
+    config: &TrainConfig,
+) -> TrainingHistory {
+    train_on_plans_with_val(model, plans, &[], config)
+}
+
+/// Train on prebuilt plans with an optional prebuilt validation set.
+pub fn train_on_plans_with_val<M: PathPredictor>(
+    model: &mut M,
+    plans: &[SamplePlan],
+    val_plans: &[SamplePlan],
+    config: &TrainConfig,
+) -> TrainingHistory {
+    assert!(!plans.is_empty(), "train: empty training set");
+    assert!(config.epochs > 0 && config.batch_size > 0, "train: degenerate config");
+
+    let mut optimizer = Adam::new(config.learning_rate);
+    let mut rng = Prng::new(config.seed);
+    let mut history = TrainingHistory { train_loss: Vec::new(), val_loss: Vec::new(), stopped_at: 0 };
+    let mut best_val = f64::INFINITY;
+    let mut bad_epochs = 0usize;
+
+    for epoch in 0..config.epochs {
+        if config.lr_halve_epochs.contains(&epoch) {
+            let lr = optimizer.learning_rate() * 0.5;
+            optimizer.set_learning_rate(lr);
+            if config.verbose {
+                eprintln!("[{}] epoch {:>3}: learning rate halved to {lr:.2e}", model.name(), epoch + 1);
+            }
+        }
+        let mut order: Vec<usize> = (0..plans.len()).collect();
+        rng.shuffle(&mut order);
+
+        let mut epoch_loss_sum = 0.0;
+        let mut epoch_loss_count = 0usize;
+        for batch in order.chunks(config.batch_size) {
+            let snapshot: &M = model;
+            let results: Vec<(f64, Vec<Matrix>)> = batch
+                .par_iter()
+                .filter_map(|&i| sample_gradients(snapshot, &plans[i], config.loss))
+                .collect();
+            if results.is_empty() {
+                continue;
+            }
+            let count = results.len();
+            let mut grads: Option<Vec<Matrix>> = None;
+            for (loss_value, sample_grads) in results {
+                epoch_loss_sum += loss_value;
+                epoch_loss_count += 1;
+                match &mut grads {
+                    None => grads = Some(sample_grads),
+                    Some(acc) => {
+                        for (a, g) in acc.iter_mut().zip(&sample_grads) {
+                            a.add_assign(g);
+                        }
+                    }
+                }
+            }
+            let mut grads = grads.expect("non-empty batch");
+            let scale = 1.0 / count as f32;
+            for g in &mut grads {
+                g.map_inplace(|v| v * scale);
+            }
+            clip_global_norm(&mut grads, config.grad_clip);
+            optimizer.step(&mut model.params_mut(), &grads);
+        }
+        let train_loss =
+            if epoch_loss_count > 0 { epoch_loss_sum / epoch_loss_count as f64 } else { f64::NAN };
+        history.train_loss.push(train_loss);
+        history.stopped_at = epoch + 1;
+
+        let mut val_msg = String::new();
+        if !val_plans.is_empty() {
+            let snapshot: &M = model;
+            let (sum, count) = val_plans
+                .par_iter()
+                .filter_map(|p| sample_loss(snapshot, p, config.loss))
+                .map(|l| (l, 1usize))
+                .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+            let val = if count > 0 { sum / count as f64 } else { f64::NAN };
+            history.val_loss.push(val);
+            val_msg = format!(", val {val:.5}");
+
+            if let Some(patience) = config.patience {
+                if val < best_val - 1e-9 {
+                    best_val = val;
+                    bad_epochs = 0;
+                } else {
+                    bad_epochs += 1;
+                    if bad_epochs > patience {
+                        if config.verbose {
+                            eprintln!(
+                                "[{}] early stop at epoch {} (no val improvement for {} epochs)",
+                                model.name(),
+                                epoch + 1,
+                                patience
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if config.verbose {
+            eprintln!("[{}] epoch {:>3}: train {train_loss:.5}{val_msg}", model.name(), epoch + 1);
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::{ExtendedRouteNet, OriginalRouteNet};
+    use rn_dataset::{generate, GeneratorConfig};
+    use rn_netgraph::topologies;
+    use rn_netsim::SimConfig;
+
+    fn toy_dataset(n: usize, seed: u64) -> Dataset {
+        let config = GeneratorConfig {
+            sim: SimConfig { duration_s: 120.0, warmup_s: 20.0, ..SimConfig::default() },
+            ..GeneratorConfig::default()
+        };
+        generate(&topologies::toy5(), &config, seed, n)
+    }
+
+    fn quick_train_config(epochs: usize) -> TrainConfig {
+        TrainConfig { epochs, batch_size: 4, learning_rate: 2e-3, ..TrainConfig::default() }
+    }
+
+    #[test]
+    fn training_reduces_loss_extended() {
+        let ds = toy_dataset(8, 51);
+        let mut model = ExtendedRouteNet::new(ModelConfig {
+            state_dim: 8,
+            mp_iterations: 2,
+            readout_hidden: 8,
+            ..ModelConfig::default()
+        });
+        let history = train(&mut model, &ds, None, &quick_train_config(8));
+        let first = history.train_loss[0];
+        let last = history.final_train_loss();
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+        assert_eq!(history.stopped_at, 8);
+    }
+
+    #[test]
+    fn training_reduces_loss_original() {
+        let ds = toy_dataset(8, 52);
+        let mut model = OriginalRouteNet::new(ModelConfig {
+            state_dim: 8,
+            mp_iterations: 2,
+            readout_hidden: 8,
+            ..ModelConfig::default()
+        });
+        let history = train(&mut model, &ds, None, &quick_train_config(8));
+        assert!(history.final_train_loss() < history.train_loss[0]);
+    }
+
+    #[test]
+    fn validation_is_tracked_and_early_stopping_fires() {
+        let train_ds = toy_dataset(6, 53);
+        let val_ds = toy_dataset(3, 54);
+        let mut model = ExtendedRouteNet::new(ModelConfig {
+            state_dim: 8,
+            mp_iterations: 1,
+            readout_hidden: 8,
+            ..ModelConfig::default()
+        });
+        let mut config = quick_train_config(50);
+        config.patience = Some(2);
+        let history = train(&mut model, &train_ds, Some(&val_ds), &config);
+        assert_eq!(history.val_loss.len(), history.train_loss.len());
+        assert!(history.stopped_at <= 50);
+        assert!(history.best_val_loss().is_some());
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let ds = toy_dataset(4, 55);
+        let make = || {
+            let mut model = ExtendedRouteNet::new(ModelConfig {
+                state_dim: 8,
+                mp_iterations: 1,
+                readout_hidden: 8,
+                seed: 3,
+                ..ModelConfig::default()
+            });
+            let h = train(&mut model, &ds, None, &quick_train_config(3));
+            (h.final_train_loss(), model)
+        };
+        let (loss_a, model_a) = make();
+        let (loss_b, model_b) = make();
+        assert_eq!(loss_a, loss_b);
+        let plan = model_a.plan(&ds.samples[0]);
+        assert_eq!(model_a.predict(&plan), model_b.predict(&plan));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_is_rejected() {
+        let ds = Dataset { topology: topologies::toy5(), samples: vec![] };
+        let mut model = OriginalRouteNet::new(ModelConfig::default());
+        train(&mut model, &ds, None, &TrainConfig::default());
+    }
+}

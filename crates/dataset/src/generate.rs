@@ -1,0 +1,340 @@
+//! Simulator-backed sample generation.
+//!
+//! Each sample draws — deterministically from `(master_seed, index)` — a
+//! routing scheme, a traffic matrix at a random load level, a queue-profile
+//! assignment, optionally heterogeneous link capacities; runs the
+//! packet-level simulator; and records the per-path labels. Samples are
+//! generated in parallel with rayon, which is safe because every sample owns
+//! an independent split RNG stream.
+
+use crate::schema::{Dataset, PathTarget, Sample};
+use rayon::prelude::*;
+use rn_netgraph::{Routing, Topology, TrafficMatrix};
+use rn_netsim::{simulate, FaultPlan, QueueProfile, SimConfig};
+use rn_tensor::Prng;
+use serde::{Deserialize, Serialize};
+
+/// How per-sample traffic matrices are drawn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Draw uniform per-pair rates, then rescale so the busiest link's
+    /// offered utilization hits a per-sample target from
+    /// [`GeneratorConfig::utilization_range`]. Gives precise control of the
+    /// congestion regime, but couples per-flow rates to the topology (bigger
+    /// topologies get smaller per-flow rates at equal utilization).
+    TargetUtilization,
+    /// Draw per-pair rates uniformly from `rate_range_bps`, multiplied by a
+    /// per-sample global intensity from `intensity_range` — the KDN-dataset
+    /// approach. Rate features are identically distributed across
+    /// topologies, which is what lets a model trained on GEANT2 see
+    /// in-distribution inputs on NSFNET (the paper's generalization
+    /// experiment).
+    AbsoluteRates {
+        /// Per-pair base rate range in bits per second.
+        rate_range_bps: (f64, f64),
+        /// Per-sample global multiplier range (the "traffic intensity").
+        intensity_range: (f64, f64),
+    },
+}
+
+/// Controls for the dataset generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Simulator parameters (per-sample seeds are derived, the `seed` field
+    /// here is ignored).
+    pub sim: SimConfig,
+    /// Traffic-matrix model.
+    pub traffic_model: TrafficModel,
+    /// Per-sample target utilization of the busiest link, drawn uniformly
+    /// from this range (used by [`TrafficModel::TargetUtilization`]).
+    pub utilization_range: (f64, f64),
+    /// Per-sample fraction of nodes with [`QueueProfile::Tiny`] queues, drawn
+    /// uniformly from this range before assigning profiles per node.
+    pub tiny_fraction_range: (f64, f64),
+    /// Optional menu of link capacities (bps). When non-empty, every directed
+    /// link independently draws a capacity from the menu per sample —
+    /// exercising the variable-capacity support of the reference RouteNet.
+    pub capacity_choices_bps: Vec<f64>,
+    /// Randomize the routing scheme per sample (Dijkstra under random link
+    /// weights). When false, minimum-hop routing is used for every sample.
+    pub randomize_routing: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            sim: SimConfig::default(),
+            traffic_model: TrafficModel::TargetUtilization,
+            utilization_range: (0.4, 0.95),
+            tiny_fraction_range: (0.2, 0.8),
+            capacity_choices_bps: Vec::new(),
+            randomize_routing: true,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        self.sim.validate()?;
+        let (ulo, uhi) = self.utilization_range;
+        if !(ulo > 0.0 && uhi >= ulo) {
+            return Err(format!("bad utilization range ({ulo}, {uhi})"));
+        }
+        if let TrafficModel::AbsoluteRates { rate_range_bps: (rlo, rhi), intensity_range: (ilo, ihi) } =
+            self.traffic_model
+        {
+            if !(rlo > 0.0 && rhi >= rlo) {
+                return Err(format!("bad rate range ({rlo}, {rhi})"));
+            }
+            if !(ilo > 0.0 && ihi >= ilo) {
+                return Err(format!("bad intensity range ({ilo}, {ihi})"));
+            }
+        }
+        let (tlo, thi) = self.tiny_fraction_range;
+        if !(0.0..=1.0).contains(&tlo) || !(0.0..=1.0).contains(&thi) || thi < tlo {
+            return Err(format!("bad tiny-fraction range ({tlo}, {thi})"));
+        }
+        if self.capacity_choices_bps.iter().any(|&c| c <= 0.0) {
+            return Err("capacity choices must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Generate one sample deterministically from `(master_seed, index)`.
+pub fn generate_sample(
+    topo: &Topology,
+    config: &GeneratorConfig,
+    master_seed: u64,
+    index: u64,
+) -> Sample {
+    let master = Prng::new(master_seed);
+    let mut rng = master.split(index);
+
+    // Per-sample topology: clone and (optionally) re-draw link capacities.
+    let mut sample_topo = topo.clone();
+    if !config.capacity_choices_bps.is_empty() {
+        for l in 0..sample_topo.num_links() {
+            let cap = *rng.choose(&config.capacity_choices_bps);
+            sample_topo.set_link_capacity(l, cap);
+        }
+    }
+
+    let routing = if config.randomize_routing {
+        Routing::randomized(&sample_topo, &mut rng)
+    } else {
+        Routing::shortest_paths(&sample_topo)
+    };
+
+    let traffic = match config.traffic_model {
+        TrafficModel::TargetUtilization => {
+            let (ulo, uhi) = config.utilization_range;
+            let target_util = ulo + (uhi - ulo) * rng.uniform() as f64;
+            TrafficMatrix::with_target_utilization(&sample_topo, &routing, &mut rng, target_util)
+        }
+        TrafficModel::AbsoluteRates { rate_range_bps: (rlo, rhi), intensity_range: (ilo, ihi) } => {
+            let intensity = ilo + (ihi - ilo) * rng.uniform() as f64;
+            TrafficMatrix::uniform_random(
+                sample_topo.num_nodes(),
+                &mut rng,
+                rlo * intensity,
+                rhi * intensity,
+            )
+        }
+    };
+
+    let (tlo, thi) = config.tiny_fraction_range;
+    let tiny_fraction = tlo + (thi - tlo) * rng.uniform() as f64;
+    let queue_profiles = QueueProfile::random_assignment(sample_topo.num_nodes(), tiny_fraction, &mut rng);
+    let queue_capacities = QueueProfile::capacities(&queue_profiles, &config.sim);
+
+    let sim_seed = rng.int_range(0, u64::MAX);
+    let sim_config = SimConfig { seed: sim_seed, ..config.sim.clone() };
+    let result = simulate(
+        &sample_topo,
+        &routing,
+        &traffic,
+        &queue_capacities,
+        &sim_config,
+        &FaultPlan::none(),
+    )
+    .expect("generator inputs are validated");
+    debug_assert!(result.conservation_holds(), "simulator lost packets");
+
+    let targets = result
+        .flows
+        .iter()
+        .zip(&result.flow_pairs)
+        .map(|(f, &(src, dst))| PathTarget {
+            src,
+            dst,
+            mean_delay_s: f.mean_delay_s,
+            jitter_s: f.jitter_s,
+            loss_ratio: f.loss_ratio,
+            delivered: f.delivered,
+        })
+        .collect();
+
+    Sample {
+        routing,
+        traffic,
+        queue_profiles,
+        queue_capacities,
+        link_capacities: sample_topo.links().iter().map(|l| l.capacity_bps).collect(),
+        targets,
+        seed: sim_seed,
+    }
+}
+
+/// Generate `count` samples in parallel.
+pub fn generate(topo: &Topology, config: &GeneratorConfig, master_seed: u64, count: usize) -> Dataset {
+    config.validate().expect("invalid generator config");
+    let samples: Vec<Sample> = (0..count as u64)
+        .into_par_iter()
+        .map(|i| generate_sample(topo, config, master_seed, i))
+        .collect();
+    Dataset { topology: topo.clone(), samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_netgraph::topologies;
+
+    fn quick_config() -> GeneratorConfig {
+        GeneratorConfig {
+            sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+            ..GeneratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_valid_samples() {
+        let topo = topologies::toy5();
+        let ds = generate(&topo, &quick_config(), 42, 4);
+        assert_eq!(ds.len(), 4);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let topo = topologies::toy5();
+        let a = generate(&topo, &quick_config(), 7, 3);
+        let b = generate(&topo, &quick_config(), 7, 3);
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(sa.seed, sb.seed);
+            assert_eq!(sa.targets, sb.targets);
+            assert_eq!(sa.queue_profiles, sb.queue_profiles);
+        }
+    }
+
+    #[test]
+    fn single_sample_reproduces_independently() {
+        let topo = topologies::toy5();
+        let ds = generate(&topo, &quick_config(), 11, 3);
+        let regenerated = generate_sample(&topo, &quick_config(), 11, 2);
+        assert_eq!(ds.samples[2].targets, regenerated.targets);
+    }
+
+    #[test]
+    fn samples_differ_from_each_other() {
+        let topo = topologies::toy5();
+        let ds = generate(&topo, &quick_config(), 13, 2);
+        assert_ne!(ds.samples[0].targets, ds.samples[1].targets);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_are_drawn_from_menu() {
+        let topo = topologies::toy5();
+        let mut config = quick_config();
+        config.capacity_choices_bps = vec![10_000.0, 40_000.0];
+        let ds = generate(&topo, &config, 17, 3);
+        for s in &ds.samples {
+            assert!(s.link_capacities.iter().all(|c| *c == 10_000.0 || *c == 40_000.0));
+        }
+        // At least one sample should mix both speeds.
+        assert!(ds
+            .samples
+            .iter()
+            .any(|s| s.link_capacities.iter().any(|&c| c == 10_000.0)
+                && s.link_capacities.iter().any(|&c| c == 40_000.0)));
+    }
+
+    #[test]
+    fn queue_profiles_mix_tiny_and_standard() {
+        let topo = topologies::nsfnet_default();
+        let config = quick_config();
+        let ds = generate(&topo, &config, 19, 4);
+        let mut saw_tiny = false;
+        let mut saw_std = false;
+        for s in &ds.samples {
+            saw_tiny |= s.queue_profiles.contains(&QueueProfile::Tiny);
+            saw_std |= s.queue_profiles.contains(&QueueProfile::Standard);
+        }
+        assert!(saw_tiny && saw_std, "expected both queue archetypes across samples");
+    }
+
+    #[test]
+    fn higher_load_range_produces_higher_delays() {
+        let topo = topologies::toy5();
+        let mut low = quick_config();
+        low.utilization_range = (0.1, 0.2);
+        let mut high = quick_config();
+        high.utilization_range = (0.9, 0.95);
+        let d_low = generate(&topo, &low, 23, 3);
+        let d_high = generate(&topo, &high, 23, 3);
+        let mean = |ds: &Dataset| {
+            let v = ds.all_delays(1);
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(&d_high) > mean(&d_low));
+    }
+
+    #[test]
+    fn absolute_rates_are_topology_independent() {
+        let mut config = quick_config();
+        config.traffic_model = TrafficModel::AbsoluteRates {
+            rate_range_bps: (100.0, 200.0),
+            intensity_range: (1.0, 1.0),
+        };
+        let small = generate(&topologies::toy5(), &config, 71, 2);
+        let large = generate(&topologies::nsfnet_default(), &config, 71, 2);
+        // Every pair's rate must come from the same absolute range on both.
+        for ds in [&small, &large] {
+            for s in &ds.samples {
+                for (src, dst, _) in s.routing.iter_paths() {
+                    let r = s.traffic.rate(src, dst);
+                    assert!((100.0..200.0).contains(&r), "rate {r} outside the absolute range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_scales_absolute_rates() {
+        let mut lo = quick_config();
+        lo.traffic_model = TrafficModel::AbsoluteRates {
+            rate_range_bps: (100.0, 200.0),
+            intensity_range: (0.5, 0.5),
+        };
+        let mut hi = quick_config();
+        hi.traffic_model = TrafficModel::AbsoluteRates {
+            rate_range_bps: (100.0, 200.0),
+            intensity_range: (2.0, 2.0),
+        };
+        let ds_lo = generate(&topologies::toy5(), &lo, 73, 1);
+        let ds_hi = generate(&topologies::toy5(), &hi, 73, 1);
+        assert!(ds_hi.samples[0].traffic.total_bps() > 3.0 * ds_lo.samples[0].traffic.total_bps());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut c = quick_config();
+        c.utilization_range = (0.5, 0.1);
+        assert!(c.validate().is_err());
+        let mut c = quick_config();
+        c.tiny_fraction_range = (0.5, 1.5);
+        assert!(c.validate().is_err());
+    }
+}

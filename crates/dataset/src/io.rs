@@ -1,0 +1,128 @@
+//! Dataset persistence.
+//!
+//! Datasets serialize to a single JSON document (convenient, diffable,
+//! inspectable with standard tooling) or to JSON-lines (one sample per line;
+//! streams without holding the whole set in memory). Benchmarks cache
+//! generated datasets on disk so reruns skip simulation.
+
+use crate::schema::{Dataset, Sample};
+use rn_netgraph::Topology;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Save a dataset as one pretty-printed JSON document.
+pub fn save_json(dataset: &Dataset, path: &Path) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    serde_json::to_writer(BufWriter::new(file), dataset)
+        .map_err(|e| format!("serialize {}: {e}", path.display()))
+}
+
+/// Load a dataset saved by [`save_json`].
+pub fn load_json(path: &Path) -> Result<Dataset, String> {
+    let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    serde_json::from_reader(BufReader::new(file)).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Save as JSON-lines: line 1 is the topology, each further line one sample.
+pub fn save_jsonl(dataset: &Dataset, path: &Path) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let mut w = BufWriter::new(file);
+    let topo_line =
+        serde_json::to_string(&dataset.topology).map_err(|e| format!("serialize topology: {e}"))?;
+    writeln!(w, "{topo_line}").map_err(|e| format!("write {}: {e}", path.display()))?;
+    for (i, sample) in dataset.samples.iter().enumerate() {
+        let line = serde_json::to_string(sample).map_err(|e| format!("serialize sample {i}: {e}"))?;
+        writeln!(w, "{line}").map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// Load a JSON-lines dataset saved by [`save_jsonl`].
+pub fn load_jsonl(path: &Path) -> Result<Dataset, String> {
+    let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut lines = BufReader::new(file).lines();
+    let topo_line = lines
+        .next()
+        .ok_or_else(|| format!("{}: empty file", path.display()))?
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let topology: Topology =
+        serde_json::from_str(&topo_line).map_err(|e| format!("parse topology: {e}"))?;
+    let mut samples = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line.map_err(|e| format!("read {}: {e}", path.display()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let sample: Sample =
+            serde_json::from_str(&line).map_err(|e| format!("parse sample {i}: {e}"))?;
+        samples.push(sample);
+    }
+    Ok(Dataset { topology, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+    use rn_netgraph::topologies;
+    use rn_netsim::SimConfig;
+
+    fn small_dataset() -> Dataset {
+        let config = GeneratorConfig {
+            sim: SimConfig { duration_s: 30.0, warmup_s: 5.0, ..SimConfig::default() },
+            ..GeneratorConfig::default()
+        };
+        generate(&topologies::toy5(), &config, 5, 3)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rn_dataset_io_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = small_dataset();
+        let path = tmp("ds.json");
+        save_json(&ds, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), ds.len());
+        back.validate().unwrap();
+        for (a, b) in ds.samples.iter().zip(&back.samples) {
+            assert_eq!(a.targets, b.targets);
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let ds = small_dataset();
+        let path = tmp("ds.jsonl");
+        save_jsonl(&ds, &path).unwrap();
+        let back = load_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), ds.len());
+        back.validate().unwrap();
+        for (a, b) in ds.samples.iter().zip(&back.samples) {
+            assert_eq!(a.targets, b.targets);
+        }
+    }
+
+    #[test]
+    fn load_missing_file_errors_cleanly() {
+        let err = load_json(Path::new("/nonexistent/nope.json")).unwrap_err();
+        assert!(err.contains("open"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_rejects_empty_file() {
+        let path = tmp("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        let err = load_jsonl(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("empty"), "{err}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Dataset schema: samples, per-path labels, and the dataset container.
+
+use rn_netgraph::{Routing, Topology, TrafficMatrix};
+use rn_netsim::QueueProfile;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth labels for one source–destination path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathTarget {
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Simulated mean end-to-end delay in seconds.
+    pub mean_delay_s: f64,
+    /// Simulated delay standard deviation (jitter) in seconds.
+    pub jitter_s: f64,
+    /// Simulated loss ratio.
+    pub loss_ratio: f64,
+    /// Packets the statistic is based on; low counts mean noisy labels and
+    /// are filtered by [`PathTarget::is_reliable`].
+    pub delivered: u64,
+}
+
+impl PathTarget {
+    /// True when the label rests on at least `min_packets` deliveries.
+    pub fn is_reliable(&self, min_packets: u64) -> bool {
+        self.delivered >= min_packets
+    }
+}
+
+/// One simulated network scenario with its labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// The routing scheme of this scenario.
+    pub routing: Routing,
+    /// The offered traffic matrix (bits per second per ordered pair).
+    pub traffic: TrafficMatrix,
+    /// Per-node queue archetype (the feature the extended model sees).
+    pub queue_profiles: Vec<QueueProfile>,
+    /// Per-node waiting-room capacity in packets (derived from the profiles
+    /// and the simulator config; stored so consumers need no sim config).
+    pub queue_capacities: Vec<usize>,
+    /// Per-directed-link capacity in bits per second (may vary per sample).
+    pub link_capacities: Vec<f64>,
+    /// Ground-truth labels, in `routing.iter_paths()` order.
+    pub targets: Vec<PathTarget>,
+    /// The seed that generated this sample (provenance).
+    pub seed: u64,
+}
+
+impl Sample {
+    /// Number of labeled paths.
+    pub fn num_paths(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Fraction of paths whose labels rest on at least `min_packets`
+    /// deliveries.
+    pub fn reliable_fraction(&self, min_packets: u64) -> f64 {
+        if self.targets.is_empty() {
+            return 0.0;
+        }
+        self.targets.iter().filter(|t| t.is_reliable(min_packets)).count() as f64
+            / self.targets.len() as f64
+    }
+
+    /// Structural validation against the dataset topology.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        if self.queue_profiles.len() != topo.num_nodes() {
+            return Err(format!(
+                "{} queue profiles for {} nodes",
+                self.queue_profiles.len(),
+                topo.num_nodes()
+            ));
+        }
+        if self.queue_capacities.len() != topo.num_nodes() {
+            return Err(format!(
+                "{} queue capacities for {} nodes",
+                self.queue_capacities.len(),
+                topo.num_nodes()
+            ));
+        }
+        if self.link_capacities.len() != topo.num_links() {
+            return Err(format!(
+                "{} link capacities for {} links",
+                self.link_capacities.len(),
+                topo.num_links()
+            ));
+        }
+        self.routing.validate(topo)?;
+        if self.targets.len() != self.routing.num_paths() {
+            return Err(format!(
+                "{} targets for {} routed paths",
+                self.targets.len(),
+                self.routing.num_paths()
+            ));
+        }
+        for t in &self.targets {
+            if !(t.mean_delay_s.is_finite() && t.jitter_s.is_finite() && t.loss_ratio.is_finite()) {
+                return Err(format!("non-finite label on path {}->{}", t.src, t.dst));
+            }
+            if t.mean_delay_s < 0.0 || t.jitter_s < 0.0 || !(0.0..=1.0).contains(&t.loss_ratio) {
+                return Err(format!("out-of-range label on path {}->{}", t.src, t.dst));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A topology plus its simulated samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The shared topology (per-sample link capacities may override the
+    /// topology's nominal ones).
+    pub topology: Topology,
+    /// The scenarios.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Validate every sample against the topology.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.samples.iter().enumerate() {
+            s.validate(&self.topology).map_err(|e| format!("sample {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All reliable mean-delay labels across the dataset (for normalization).
+    pub fn all_delays(&self, min_packets: u64) -> Vec<f64> {
+        self.samples
+            .iter()
+            .flat_map(|s| {
+                s.targets
+                    .iter()
+                    .filter(move |t| t.is_reliable(min_packets))
+                    .map(|t| t.mean_delay_s)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_netgraph::topologies;
+
+    fn tiny_sample(topo: &Topology) -> Sample {
+        let routing = Routing::shortest_paths(topo);
+        let n = topo.num_nodes();
+        let targets: Vec<PathTarget> = routing
+            .iter_paths()
+            .map(|(s, d, _)| PathTarget {
+                src: s,
+                dst: d,
+                mean_delay_s: 0.1,
+                jitter_s: 0.01,
+                loss_ratio: 0.0,
+                delivered: 100,
+            })
+            .collect();
+        Sample {
+            routing,
+            traffic: TrafficMatrix::zeros(n),
+            queue_profiles: vec![QueueProfile::Standard; n],
+            queue_capacities: vec![32; n],
+            link_capacities: vec![1e4; topo.num_links()],
+            targets,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn valid_sample_validates() {
+        let topo = topologies::toy5();
+        let s = tiny_sample(&topo);
+        s.validate(&topo).unwrap();
+        assert_eq!(s.num_paths(), 20);
+        assert_eq!(s.reliable_fraction(50), 1.0);
+        assert_eq!(s.reliable_fraction(200), 0.0);
+    }
+
+    #[test]
+    fn corrupted_sample_fails_validation() {
+        let topo = topologies::toy5();
+        let mut s = tiny_sample(&topo);
+        s.targets[0].mean_delay_s = f64::NAN;
+        assert!(s.validate(&topo).is_err());
+
+        let mut s = tiny_sample(&topo);
+        s.queue_capacities.pop();
+        assert!(s.validate(&topo).is_err());
+
+        let mut s = tiny_sample(&topo);
+        s.targets.pop();
+        assert!(s.validate(&topo).is_err());
+    }
+
+    #[test]
+    fn dataset_collects_delays() {
+        let topo = topologies::toy5();
+        let ds = Dataset { topology: topo.clone(), samples: vec![tiny_sample(&topo), tiny_sample(&topo)] };
+        ds.validate().unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.all_delays(1).len(), 40);
+        assert!(ds.all_delays(1000).is_empty());
+    }
+}

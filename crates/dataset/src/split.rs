@@ -1,0 +1,81 @@
+//! Train/test splitting.
+
+use crate::schema::Dataset;
+use rn_tensor::Prng;
+
+/// Shuffle the samples with `rng` and split them into
+/// `(train, test)` with `train_fraction` of the samples in the first part.
+///
+/// Panics unless `0 < train_fraction < 1`. A split of a non-empty dataset
+/// always leaves at least one sample on each side.
+pub fn train_test_split(dataset: Dataset, train_fraction: f64, rng: &mut Prng) -> (Dataset, Dataset) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must be in (0,1), got {train_fraction}"
+    );
+    let Dataset { topology, mut samples } = dataset;
+    rng.shuffle(&mut samples);
+    let n = samples.len();
+    let mut n_train = ((n as f64) * train_fraction).round() as usize;
+    if n >= 2 {
+        n_train = n_train.clamp(1, n - 1);
+    }
+    let test_samples = samples.split_off(n_train);
+    (
+        Dataset { topology: topology.clone(), samples },
+        Dataset { topology, samples: test_samples },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+    use rn_netgraph::topologies;
+    use rn_netsim::SimConfig;
+
+    fn small_dataset(n: usize) -> Dataset {
+        let config = GeneratorConfig {
+            sim: SimConfig { duration_s: 30.0, warmup_s: 5.0, ..SimConfig::default() },
+            ..GeneratorConfig::default()
+        };
+        generate(&topologies::toy5(), &config, 3, n)
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let ds = small_dataset(10);
+        let seeds: Vec<u64> = ds.samples.iter().map(|s| s.seed).collect();
+        let (train, test) = train_test_split(ds, 0.7, &mut Prng::new(1));
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        let mut all: Vec<u64> = train.samples.iter().chain(&test.samples).map(|s| s.seed).collect();
+        all.sort_unstable();
+        let mut expected = seeds;
+        expected.sort_unstable();
+        assert_eq!(all, expected, "split must be a partition");
+    }
+
+    #[test]
+    fn split_never_empties_a_side() {
+        let ds = small_dataset(2);
+        let (train, test) = train_test_split(ds, 0.99, &mut Prng::new(2));
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let a = train_test_split(small_dataset(8), 0.5, &mut Prng::new(9));
+        let b = train_test_split(small_dataset(8), 0.5, &mut Prng::new(9));
+        let ids = |d: &Dataset| d.samples.iter().map(|s| s.seed).collect::<Vec<_>>();
+        assert_eq!(ids(&a.0), ids(&b.0));
+        assert_eq!(ids(&a.1), ids(&b.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn rejects_degenerate_fraction() {
+        let _ = train_test_split(small_dataset(4), 1.0, &mut Prng::new(1));
+    }
+}

@@ -1,0 +1,127 @@
+//! Random topology generators.
+//!
+//! Used by property tests (routing/simulator invariants must hold on *any*
+//! connected graph, not just the canonical ones) and by robustness experiments
+//! beyond the paper.
+
+use crate::graph::Topology;
+use rn_tensor::Prng;
+
+/// A connected Erdős–Rényi-style random topology.
+///
+/// Starts from a random spanning tree (guaranteeing connectivity), then adds
+/// each remaining undirected edge independently with probability `p`. All
+/// links get `capacity_bps` and zero propagation delay.
+pub fn erdos_renyi_connected(num_nodes: usize, p: f64, capacity_bps: f64, rng: &mut Prng) -> Topology {
+    assert!(num_nodes >= 2, "need at least two nodes");
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    let mut topo = Topology::new(format!("er{num_nodes}"), num_nodes);
+    let mut present = vec![false; num_nodes * num_nodes];
+
+    // Random spanning tree: attach each node to a uniformly random earlier
+    // node (a random recursive tree).
+    let mut order: Vec<usize> = (0..num_nodes).collect();
+    rng.shuffle(&mut order);
+    for i in 1..num_nodes {
+        let a = order[i];
+        let b = order[rng.index(i)];
+        topo.add_duplex(a, b, capacity_bps, 0.0);
+        present[a * num_nodes + b] = true;
+        present[b * num_nodes + a] = true;
+    }
+
+    // Extra edges.
+    for a in 0..num_nodes {
+        for b in (a + 1)..num_nodes {
+            if !present[a * num_nodes + b] && rng.bernoulli(p) {
+                topo.add_duplex(a, b, capacity_bps, 0.0);
+                present[a * num_nodes + b] = true;
+                present[b * num_nodes + a] = true;
+            }
+        }
+    }
+    topo
+}
+
+/// A preferential-attachment (Barabási–Albert-style) topology: each new node
+/// attaches to `m` distinct existing nodes chosen proportionally to degree.
+/// Produces the hub-dominated profiles typical of real backbones.
+pub fn preferential_attachment(num_nodes: usize, m: usize, capacity_bps: f64, rng: &mut Prng) -> Topology {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(num_nodes > m, "need more nodes than attachment edges");
+    let mut topo = Topology::new(format!("ba{num_nodes}"), num_nodes);
+    // Seed: a small clique over the first m+1 nodes.
+    for a in 0..=m {
+        for b in (a + 1)..=m {
+            topo.add_duplex(a, b, capacity_bps, 0.0);
+        }
+    }
+    // Degree-weighted target pool: node id appears once per incident edge.
+    let mut pool: Vec<usize> = Vec::new();
+    for a in 0..=m {
+        for _ in 0..m {
+            pool.push(a);
+        }
+    }
+    for new in (m + 1)..num_nodes {
+        let mut targets = Vec::new();
+        let mut guard = 0;
+        while targets.len() < m {
+            let candidate = *rng.choose(&pool);
+            if !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "preferential attachment failed to find distinct targets");
+        }
+        for &t in &targets {
+            topo.add_duplex(new, t, capacity_bps, 0.0);
+            pool.push(t);
+            pool.push(new);
+        }
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_is_connected_for_any_p() {
+        for seed in 0..5 {
+            let mut rng = Prng::new(seed);
+            let topo = erdos_renyi_connected(12, 0.0, 1e4, &mut rng);
+            assert!(topo.is_strongly_connected(), "seed {seed}");
+            // p = 0 leaves exactly the spanning tree: n-1 duplex edges.
+            assert_eq!(topo.num_links(), 2 * 11);
+        }
+    }
+
+    #[test]
+    fn er_adds_edges_with_positive_p() {
+        let rng = Prng::new(3);
+        let sparse = erdos_renyi_connected(15, 0.0, 1e4, &mut rng.split(0));
+        let dense = erdos_renyi_connected(15, 0.8, 1e4, &mut rng.split(1));
+        assert!(dense.num_links() > sparse.num_links());
+    }
+
+    #[test]
+    fn ba_is_connected_and_hubby() {
+        let mut rng = Prng::new(11);
+        let topo = preferential_attachment(30, 2, 1e4, &mut rng);
+        assert!(topo.is_strongly_connected());
+        let max_deg = topo.degrees().into_iter().max().unwrap();
+        assert!(max_deg >= 6, "expected hubs, max degree {max_deg}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = erdos_renyi_connected(10, 0.3, 1e4, &mut Prng::new(42));
+        let b = erdos_renyi_connected(10, 0.3, 1e4, &mut Prng::new(42));
+        assert_eq!(a.num_links(), b.num_links());
+        for (la, lb) in a.links().iter().zip(b.links()) {
+            assert_eq!(la, lb);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based routing and traffic invariants on random topologies.
+
+use proptest::prelude::*;
+use rn_netgraph::{generators, Routing, TrafficMatrix};
+use rn_tensor::Prng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn routing_covers_all_pairs_on_connected_graphs(
+        seed in any::<u64>(),
+        n in 3usize..12,
+        p in 0.0f64..0.6,
+    ) {
+        let mut rng = Prng::new(seed);
+        let topo = generators::erdos_renyi_connected(n, p, 1e4, &mut rng);
+        let routing = Routing::randomized(&topo, &mut rng);
+        prop_assert_eq!(routing.num_paths(), n * (n - 1));
+        prop_assert!(routing.validate(&topo).is_ok());
+    }
+
+    #[test]
+    fn shortest_paths_are_no_longer_than_randomized(
+        seed in any::<u64>(),
+        n in 4usize..10,
+    ) {
+        let mut rng = Prng::new(seed);
+        let topo = generators::erdos_renyi_connected(n, 0.3, 1e4, &mut rng);
+        let min_hop = Routing::shortest_paths(&topo);
+        let weighted = Routing::randomized(&topo, &mut rng);
+        for (s, d, p) in weighted.iter_paths() {
+            let base = min_hop.path(s, d).unwrap().hop_count();
+            prop_assert!(p.hop_count() >= base,
+                "weighted path {s}->{d} shorter than min-hop: {} < {base}", p.hop_count());
+        }
+    }
+
+    #[test]
+    fn subpath_optimality_of_min_hop_routing(
+        seed in any::<u64>(),
+        n in 4usize..10,
+    ) {
+        // Every prefix of a shortest path is itself within the shortest
+        // distance bound (Bellman's principle, hop-count metric).
+        let mut rng = Prng::new(seed);
+        let topo = generators::erdos_renyi_connected(n, 0.25, 1e4, &mut rng);
+        let routing = Routing::shortest_paths(&topo);
+        for (s, _d, p) in routing.iter_paths() {
+            for (i, &mid) in p.nodes.iter().enumerate().skip(1) {
+                let via = i; // hops used to reach `mid` along this path
+                let direct = routing.path(s, mid).unwrap().hop_count();
+                prop_assert!(direct <= via,
+                    "prefix to {mid} uses {via} hops but direct path is {direct}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_loads_conserve_traffic_volume(
+        seed in any::<u64>(),
+        n in 3usize..9,
+    ) {
+        // Sum of link loads == sum over pairs of rate * hop_count.
+        let mut rng = Prng::new(seed);
+        let topo = generators::erdos_renyi_connected(n, 0.3, 1e4, &mut rng);
+        let routing = Routing::shortest_paths(&topo);
+        let tm = TrafficMatrix::uniform_random(n, &mut rng, 10.0, 100.0);
+        let loads: f64 = tm.link_loads(&topo, &routing).iter().sum();
+        let expected: f64 = routing
+            .iter_paths()
+            .map(|(s, d, p)| tm.rate(s, d) * p.hop_count() as f64)
+            .sum();
+        prop_assert!((loads - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    #[test]
+    fn preferential_attachment_is_connected(
+        seed in any::<u64>(),
+        n in 5usize..20,
+        m in 1usize..3,
+    ) {
+        let mut rng = Prng::new(seed);
+        let topo = generators::preferential_attachment(n, m, 1e4, &mut rng);
+        prop_assert!(topo.is_strongly_connected());
+        // Every new node contributes m duplex edges; the seed clique has
+        // m*(m+1)/2 duplex edges.
+        let expected_edges = m * (m + 1) / 2 + (n - m - 1) * m;
+        prop_assert_eq!(topo.num_links(), 2 * expected_edges);
+    }
+}

@@ -1,0 +1,148 @@
+//! Simulation configuration and per-node queue profiles.
+
+use rn_tensor::Prng;
+use serde::{Deserialize, Serialize};
+
+/// The queue capacity archetypes of the paper's evaluation: forwarding devices
+/// have queues "either of standard size or only with support for 1 packet".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueProfile {
+    /// Standard buffer (32 waiting packets by default).
+    Standard,
+    /// Tiny buffer: a single waiting packet.
+    Tiny,
+}
+
+impl QueueProfile {
+    /// Waiting-packet capacity of this profile under `config`.
+    pub fn capacity(self, config: &SimConfig) -> usize {
+        match self {
+            QueueProfile::Standard => config.standard_queue_pkts,
+            QueueProfile::Tiny => 1,
+        }
+    }
+
+    /// Draw a per-node profile vector: each node independently `Tiny` with
+    /// probability `tiny_fraction`, else `Standard`.
+    pub fn random_assignment(num_nodes: usize, tiny_fraction: f64, rng: &mut Prng) -> Vec<QueueProfile> {
+        (0..num_nodes)
+            .map(|_| if rng.bernoulli(tiny_fraction) { QueueProfile::Tiny } else { QueueProfile::Standard })
+            .collect()
+    }
+
+    /// Convert a profile vector into waiting-packet capacities.
+    pub fn capacities(profiles: &[QueueProfile], config: &SimConfig) -> Vec<usize> {
+        profiles.iter().map(|p| p.capacity(config)).collect()
+    }
+}
+
+/// Global simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated horizon in seconds (includes warmup).
+    pub duration_s: f64,
+    /// Deliveries before this time are excluded from the metrics, letting
+    /// queues reach steady state first.
+    pub warmup_s: f64,
+    /// Mean packet size in bits (sizes are exponential with this mean).
+    pub mean_packet_bits: f64,
+    /// Upper cap on packet size in bits (exponential tail truncated here).
+    pub max_packet_bits: f64,
+    /// Waiting-packet capacity of a [`QueueProfile::Standard`] queue.
+    pub standard_queue_pkts: usize,
+    /// RNG seed; fully determines the simulation given the other inputs.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            duration_s: 1_000.0,
+            warmup_s: 100.0,
+            mean_packet_bits: 1_000.0,
+            max_packet_bits: 8_000.0,
+            standard_queue_pkts: 32,
+            seed: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validate invariants; called by the engine before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.duration_s <= 0.0 {
+            return Err("duration must be positive".into());
+        }
+        if self.warmup_s < 0.0 || self.warmup_s >= self.duration_s {
+            return Err(format!(
+                "warmup ({}) must be in [0, duration {})",
+                self.warmup_s, self.duration_s
+            ));
+        }
+        if self.mean_packet_bits <= 0.0 {
+            return Err("mean packet size must be positive".into());
+        }
+        if self.max_packet_bits < self.mean_packet_bits {
+            return Err("max packet size must be at least the mean".into());
+        }
+        if self.standard_queue_pkts == 0 {
+            return Err("standard queue must hold at least one packet".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        SimConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut c = SimConfig::default();
+        c.duration_s = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.warmup_s = c.duration_s;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.max_packet_bits = c.mean_packet_bits / 2.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.standard_queue_pkts = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn profile_capacities() {
+        let config = SimConfig::default();
+        assert_eq!(QueueProfile::Standard.capacity(&config), 32);
+        assert_eq!(QueueProfile::Tiny.capacity(&config), 1);
+        let caps = QueueProfile::capacities(&[QueueProfile::Tiny, QueueProfile::Standard], &config);
+        assert_eq!(caps, vec![1, 32]);
+    }
+
+    #[test]
+    fn random_assignment_extremes() {
+        let mut rng = Prng::new(1);
+        let all_std = QueueProfile::random_assignment(20, 0.0, &mut rng);
+        assert!(all_std.iter().all(|&p| p == QueueProfile::Standard));
+        let all_tiny = QueueProfile::random_assignment(20, 1.0, &mut rng);
+        assert!(all_tiny.iter().all(|&p| p == QueueProfile::Tiny));
+    }
+
+    #[test]
+    fn random_assignment_mixes() {
+        let mut rng = Prng::new(2);
+        let profiles = QueueProfile::random_assignment(200, 0.5, &mut rng);
+        let tiny = profiles.iter().filter(|&&p| p == QueueProfile::Tiny).count();
+        assert!((60..140).contains(&tiny), "tiny count {tiny} far from half");
+    }
+}

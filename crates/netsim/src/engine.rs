@@ -1,0 +1,433 @@
+//! The simulation engine: event loop, flow sources, hop-by-hop forwarding.
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::fault::FaultPlan;
+use crate::metrics::{FlowAccumulator, LinkStats, SimResult};
+use crate::port::{Offer, OutputPort, Packet};
+use rn_netgraph::{Routing, Topology, TrafficMatrix};
+use rn_tensor::Prng;
+
+/// One traffic source: an ordered pair with positive demand and a routed path.
+#[derive(Debug, Clone)]
+struct Flow {
+    src: usize,
+    dst: usize,
+    /// Packet arrival rate in packets per second.
+    lambda: f64,
+}
+
+/// A fully specified simulation, ready to run.
+///
+/// Prefer the [`simulate`] convenience function; construct `Simulation`
+/// directly when you need access to the flow table before running.
+pub struct Simulation<'a> {
+    topo: &'a Topology,
+    routing: &'a Routing,
+    config: &'a SimConfig,
+    faults: &'a FaultPlan,
+    flows: Vec<Flow>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Validate inputs and build the flow table.
+    ///
+    /// `queue_capacity_pkts` holds one waiting-room size per *node*; every
+    /// output port of a node inherits the node's capacity (queue size is a
+    /// node property — the feature the extended RouteNet models).
+    pub fn new(
+        topo: &'a Topology,
+        routing: &'a Routing,
+        traffic: &'a TrafficMatrix,
+        config: &'a SimConfig,
+        faults: &'a FaultPlan,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        if traffic.num_nodes() != topo.num_nodes() {
+            return Err(format!(
+                "traffic matrix covers {} nodes, topology has {}",
+                traffic.num_nodes(),
+                topo.num_nodes()
+            ));
+        }
+        if routing.num_nodes() != topo.num_nodes() {
+            return Err(format!(
+                "routing covers {} nodes, topology has {}",
+                routing.num_nodes(),
+                topo.num_nodes()
+            ));
+        }
+        let mut flows = Vec::new();
+        for (s, d, _path) in routing.iter_paths() {
+            let rate = traffic.rate(s, d);
+            if rate > 0.0 {
+                flows.push(Flow { src: s, dst: d, lambda: rate / config.mean_packet_bits });
+            }
+        }
+        Ok(Self { topo, routing, config, faults, flows })
+    }
+
+    /// `(src, dst)` of every flow, in simulation order.
+    pub fn flow_pairs(&self) -> Vec<(usize, usize)> {
+        self.flows.iter().map(|f| (f.src, f.dst)).collect()
+    }
+
+    /// Run to the configured horizon.
+    ///
+    /// `queue_capacity_pkts[n]` is the waiting-packet capacity at node `n`.
+    pub fn run(&self, queue_capacity_pkts: &[usize]) -> SimResult {
+        assert_eq!(
+            queue_capacity_pkts.len(),
+            self.topo.num_nodes(),
+            "need one queue capacity per node"
+        );
+        let master = Prng::new(self.config.seed);
+        // Independent streams: one per flow for arrivals/sizes, one for faults.
+        let mut flow_rngs: Vec<Prng> = (0..self.flows.len()).map(|i| master.split(i as u64)).collect();
+        let mut fault_rng = master.split(u64::MAX / 2);
+
+        let mut ports: Vec<OutputPort> = self
+            .topo
+            .links()
+            .iter()
+            .map(|link| OutputPort::new(queue_capacity_pkts[link.src]))
+            .collect();
+        let mut accs: Vec<FlowAccumulator> = vec![FlowAccumulator::default(); self.flows.len()];
+        let mut events = EventQueue::new();
+        // Packets in propagation, stored in a slab with a free list.
+        let mut in_flight: Vec<Option<Packet>> = Vec::new();
+        let mut free_slots: Vec<usize> = Vec::new();
+
+        // Paths are fetched once per flow: (link sequence, destination).
+        let flow_paths: Vec<&rn_netgraph::Path> = self
+            .flows
+            .iter()
+            .map(|f| self.routing.path(f.src, f.dst).expect("flow implies routed path"))
+            .collect();
+
+        // Prime each flow's first arrival.
+        for (i, flow) in self.flows.iter().enumerate() {
+            let t = flow_rngs[i].exponential(flow.lambda);
+            if t < self.config.duration_s {
+                events.schedule(t, EventKind::FlowArrival { flow: i });
+            }
+        }
+
+        while let Some(ev) = events.pop() {
+            if ev.time > self.config.duration_s {
+                break;
+            }
+            match ev.kind {
+                EventKind::FlowArrival { flow } => {
+                    let spec = &self.flows[flow];
+                    // Draw size (truncated exponential) and next arrival first,
+                    // so the flow's RNG stream is consumed in a fixed order.
+                    let size = flow_rngs[flow]
+                        .exponential(1.0 / self.config.mean_packet_bits)
+                        .min(self.config.max_packet_bits)
+                        .max(1.0);
+                    let next = ev.time + flow_rngs[flow].exponential(spec.lambda);
+                    if next < self.config.duration_s {
+                        events.schedule(next, EventKind::FlowArrival { flow });
+                    }
+
+                    accs[flow].created += 1;
+                    let pkt = Packet { flow, size_bits: size, created_at: ev.time, hop: 0 };
+                    self.launch_on_next_hop(
+                        pkt,
+                        ev.time,
+                        flow_paths[flow],
+                        &mut ports,
+                        &mut events,
+                        &mut accs,
+                    );
+                }
+                EventKind::Departure { link } => {
+                    let (departed, next_in_service) = ports[link].complete_service();
+                    if let Some(next) = next_in_service {
+                        let cap = self.topo.link(link).capacity_bps;
+                        events.schedule(ev.time + next.size_bits / cap, EventKind::Departure { link });
+                    }
+
+                    // Random hop loss (fault injection).
+                    if self.faults.drop_chance > 0.0 && fault_rng.bernoulli(self.faults.drop_chance) {
+                        accs[departed.flow].dropped += 1;
+                        continue;
+                    }
+
+                    let prop = self.topo.link(link).prop_delay_s;
+                    if prop > 0.0 {
+                        let slot = match free_slots.pop() {
+                            Some(s) => {
+                                in_flight[s] = Some(departed);
+                                s
+                            }
+                            None => {
+                                in_flight.push(Some(departed));
+                                in_flight.len() - 1
+                            }
+                        };
+                        events.schedule(ev.time + prop, EventKind::HopArrival { link, packet: slot });
+                    } else {
+                        self.complete_hop(departed, ev.time, &mut ports, &mut events, &mut accs, &flow_paths);
+                    }
+                }
+                EventKind::HopArrival { link: _, packet } => {
+                    let pkt = in_flight[packet].take().expect("hop arrival for missing packet");
+                    free_slots.push(packet);
+                    self.complete_hop(pkt, ev.time, &mut ports, &mut events, &mut accs, &flow_paths);
+                }
+            }
+        }
+
+        // Finalize.
+        let mut total_created = 0;
+        let mut total_delivered = 0;
+        let mut total_dropped = 0;
+        for acc in &accs {
+            total_created += acc.created;
+            total_delivered += acc.delivered + acc.delivered_warmup;
+            total_dropped += acc.dropped;
+        }
+        let links = ports
+            .iter()
+            .enumerate()
+            .map(|(l, port)| LinkStats {
+                bits_sent: port.bits_sent,
+                drops: port.drops,
+                utilization: port.bits_sent / (self.topo.link(l).capacity_bps * self.config.duration_s),
+            })
+            .collect();
+        SimResult {
+            flows: accs.iter().map(FlowAccumulator::stats).collect(),
+            flow_pairs: self.flow_pairs(),
+            links,
+            total_created,
+            total_delivered,
+            total_dropped,
+            total_in_flight: total_created - total_delivered - total_dropped,
+            duration_s: self.config.duration_s,
+        }
+    }
+
+    /// A packet has fully arrived at the node at the end of `hop - 1` (or was
+    /// just created at its source). Deliver it or queue it on the next hop.
+    fn complete_hop(
+        &self,
+        mut pkt: Packet,
+        now: f64,
+        ports: &mut [OutputPort],
+        events: &mut EventQueue,
+        accs: &mut [FlowAccumulator],
+        flow_paths: &[&rn_netgraph::Path],
+    ) {
+        pkt.hop += 1;
+        let path = flow_paths[pkt.flow];
+        if pkt.hop == path.links.len() {
+            // Reached the destination node.
+            if now >= self.config.warmup_s {
+                accs[pkt.flow].record_delivery(now - pkt.created_at);
+            } else {
+                accs[pkt.flow].delivered_warmup += 1;
+            }
+        } else {
+            self.launch_on_next_hop(pkt, now, path, ports, events, accs);
+        }
+    }
+
+    /// Offer `pkt` to the output port of its next hop link.
+    fn launch_on_next_hop(
+        &self,
+        pkt: Packet,
+        now: f64,
+        path: &rn_netgraph::Path,
+        ports: &mut [OutputPort],
+        events: &mut EventQueue,
+        accs: &mut [FlowAccumulator],
+    ) {
+        let link = path.links[pkt.hop];
+        if self.faults.link_down(link, now) {
+            accs[pkt.flow].dropped += 1;
+            return;
+        }
+        match ports[link].offer(pkt) {
+            Offer::StartService => {
+                let cap = self.topo.link(link).capacity_bps;
+                events.schedule(now + pkt.size_bits / cap, EventKind::Departure { link });
+            }
+            Offer::Queued => {}
+            Offer::Dropped => accs[pkt.flow].dropped += 1,
+        }
+    }
+}
+
+/// Run one simulation: the main entry point of this crate.
+///
+/// `queue_capacity_pkts[n]` is the waiting-packet capacity of every output
+/// port at node `n`. See the crate docs for the full model.
+pub fn simulate(
+    topo: &Topology,
+    routing: &Routing,
+    traffic: &TrafficMatrix,
+    queue_capacity_pkts: &[usize],
+    config: &SimConfig,
+    faults: &FaultPlan,
+) -> Result<SimResult, String> {
+    Ok(Simulation::new(topo, routing, traffic, config, faults)?.run(queue_capacity_pkts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_netgraph::topologies;
+
+    fn line3() -> (Topology, Routing) {
+        let topo = Topology::from_undirected_edges("line", 3, &[(0, 1), (1, 2)], 10_000.0, 0.0);
+        let routing = Routing::shortest_paths(&topo);
+        (topo, routing)
+    }
+
+    fn run_line3(rate: f64, caps: &[usize], seed: u64) -> SimResult {
+        let (topo, routing) = line3();
+        let mut tm = TrafficMatrix::zeros(3);
+        tm.set(0, 2, rate);
+        let config = SimConfig { duration_s: 500.0, warmup_s: 50.0, seed, ..SimConfig::default() };
+        simulate(&topo, &routing, &tm, caps, &config, &FaultPlan::none()).unwrap()
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let r = run_line3(2_000.0, &[32, 32, 32], 1);
+        let f = r.flow(0, 2).expect("flow exists");
+        assert!(f.delivered > 100, "delivered {}", f.delivered);
+        assert!(f.mean_delay_s > 0.0);
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn delay_includes_both_hops() {
+        // At very low load delay ≈ 2 transmissions: 2 * size/capacity.
+        let r = run_line3(50.0, &[32, 32, 32], 2);
+        let f = r.flow(0, 2).unwrap();
+        // mean size 1000 bits at 10kbps -> 0.1s per hop -> ~0.2s total
+        assert!((f.mean_delay_s - 0.2).abs() < 0.05, "mean delay {}", f.mean_delay_s);
+        assert!(f.loss_ratio < 1e-3);
+    }
+
+    #[test]
+    fn overload_causes_loss_with_tiny_queues() {
+        // Offered 1.5x capacity with tiny buffers: heavy loss.
+        let r = run_line3(15_000.0, &[1, 1, 1], 3);
+        let f = r.flow(0, 2).unwrap();
+        assert!(f.loss_ratio > 0.2, "loss {}", f.loss_ratio);
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn bigger_queues_mean_fewer_drops_but_more_delay() {
+        let tiny = run_line3(9_000.0, &[1, 1, 1], 4);
+        let big = run_line3(9_000.0, &[64, 64, 64], 4);
+        let ft = tiny.flow(0, 2).unwrap();
+        let fb = big.flow(0, 2).unwrap();
+        assert!(ft.loss_ratio > fb.loss_ratio, "tiny {} vs big {}", ft.loss_ratio, fb.loss_ratio);
+        assert!(fb.mean_delay_s > ft.mean_delay_s, "big buffers queue longer");
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let a = run_line3(8_000.0, &[4, 4, 4], 42);
+        let b = run_line3(8_000.0, &[4, 4, 4], 42);
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.total_created, b.total_created);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_line3(8_000.0, &[4, 4, 4], 1);
+        let b = run_line3(8_000.0, &[4, 4, 4], 2);
+        assert_ne!(a.total_created, b.total_created);
+    }
+
+    #[test]
+    fn full_mesh_on_nsfnet_runs_clean() {
+        let topo = topologies::nsfnet_default();
+        let routing = Routing::shortest_paths(&topo);
+        let mut rng = Prng::new(9);
+        let tm = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 0.5);
+        let config = SimConfig { duration_s: 200.0, warmup_s: 20.0, seed: 9, ..SimConfig::default() };
+        let caps = vec![32; topo.num_nodes()];
+        let r = simulate(&topo, &routing, &tm, &caps, &config, &FaultPlan::none()).unwrap();
+        assert!(r.conservation_holds());
+        assert_eq!(r.flows.len(), 14 * 13);
+        assert!(r.mean_delay_s() > 0.0);
+        // Utilization must stay physical.
+        for l in &r.links {
+            assert!(l.utilization >= 0.0 && l.utilization <= 1.0 + 1e-9, "util {}", l.utilization);
+        }
+    }
+
+    #[test]
+    fn propagation_delay_adds_to_latency() {
+        let topo_fast = Topology::from_undirected_edges("fast", 2, &[(0, 1)], 10_000.0, 0.0);
+        let topo_slow = Topology::from_undirected_edges("slow", 2, &[(0, 1)], 10_000.0, 0.25);
+        let mut results = Vec::new();
+        for topo in [&topo_fast, &topo_slow] {
+            let routing = Routing::shortest_paths(topo);
+            let mut tm = TrafficMatrix::zeros(2);
+            tm.set(0, 1, 100.0);
+            let config = SimConfig { duration_s: 300.0, warmup_s: 30.0, seed: 5, ..SimConfig::default() };
+            let r = simulate(topo, &routing, &tm, &[32, 32], &config, &FaultPlan::none()).unwrap();
+            results.push(r.flow(0, 1).unwrap().mean_delay_s);
+        }
+        let extra = results[1] - results[0];
+        assert!((extra - 0.25).abs() < 0.02, "propagation delta {extra}");
+    }
+
+    #[test]
+    fn drop_chance_causes_loss() {
+        let (topo, routing) = line3();
+        let mut tm = TrafficMatrix::zeros(3);
+        tm.set(0, 2, 2_000.0);
+        let config = SimConfig { duration_s: 300.0, warmup_s: 30.0, seed: 6, ..SimConfig::default() };
+        let faults = FaultPlan::with_drop_chance(0.1);
+        let r = simulate(&topo, &routing, &tm, &[32, 32, 32], &config, &faults).unwrap();
+        let f = r.flow(0, 2).unwrap();
+        // two hops, 10% per hop -> ~19% loss
+        assert!((f.loss_ratio - 0.19).abs() < 0.05, "loss {}", f.loss_ratio);
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn outage_kills_traffic_during_window() {
+        let (topo, routing) = line3();
+        let l01 = topo.find_link(0, 1).unwrap();
+        let mut tm = TrafficMatrix::zeros(3);
+        tm.set(0, 2, 2_000.0);
+        let config = SimConfig { duration_s: 200.0, warmup_s: 0.0, seed: 7, ..SimConfig::default() };
+        // Link down for the whole run: everything drops at the first hop.
+        let faults = FaultPlan::none().with_outage(l01, 0.0, 1_000.0);
+        let r = simulate(&topo, &routing, &tm, &[32, 32, 32], &config, &faults).unwrap();
+        let f = r.flow(0, 2).unwrap();
+        assert_eq!(f.delivered, 0);
+        assert!(f.loss_ratio > 0.999);
+    }
+
+    #[test]
+    fn zero_traffic_is_a_quiet_network() {
+        let (topo, routing) = line3();
+        let tm = TrafficMatrix::zeros(3);
+        let config = SimConfig::default();
+        let r = simulate(&topo, &routing, &tm, &[32, 32, 32], &config, &FaultPlan::none()).unwrap();
+        assert_eq!(r.total_created, 0);
+        assert!(r.flows.is_empty());
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let (topo, routing) = line3();
+        let tm = TrafficMatrix::zeros(5); // wrong size
+        let config = SimConfig::default();
+        assert!(simulate(&topo, &routing, &tm, &[32, 32, 32], &config, &FaultPlan::none()).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! The event calendar: a deterministic future-event list.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Kinds of scheduled events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A flow emits its next packet.
+    FlowArrival {
+        /// Index into the simulation's flow table.
+        flow: usize,
+    },
+    /// The output port of `link` finishes transmitting its in-service packet.
+    Departure {
+        /// The directed link whose port completes service.
+        link: usize,
+    },
+    /// A packet previously launched on `link` arrives at the receiving node
+    /// after propagation (only scheduled when the link has a positive
+    /// propagation delay).
+    HopArrival {
+        /// The directed link the packet traveled on.
+        link: usize,
+        /// Index into the in-flight packet store.
+        packet: usize,
+    },
+}
+
+/// A scheduled event. Ordering is `(time, seq)`: `seq` is a global insertion
+/// counter that makes simultaneous events fire in schedule order, keeping runs
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Simulated time at which the event fires.
+    pub time: f64,
+    /// Global insertion sequence number (tie-breaker).
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so the earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at `time`. Panics on non-finite or negative times —
+    /// those are always engine bugs.
+    pub fn schedule(&mut self, time: f64, kind: EventKind) {
+        assert!(time.is_finite() && time >= 0.0, "schedule: bad event time {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, EventKind::FlowArrival { flow: 0 });
+        q.schedule(1.0, EventKind::FlowArrival { flow: 1 });
+        q.schedule(2.0, EventKind::FlowArrival { flow: 2 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, EventKind::FlowArrival { flow: 10 });
+        q.schedule(5.0, EventKind::FlowArrival { flow: 20 });
+        q.schedule(5.0, EventKind::FlowArrival { flow: 30 });
+        let flows: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::FlowArrival { flow } => flow,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(flows, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, EventKind::Departure { link: 0 });
+        q.schedule(2.0, EventKind::Departure { link: 1 });
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad event time")]
+    fn rejects_nan_time() {
+        EventQueue::new().schedule(f64::NAN, EventKind::Departure { link: 0 });
+    }
+}

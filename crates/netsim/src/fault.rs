@@ -1,0 +1,88 @@
+//! Fault injection, in the spirit of smoltcp's `--drop-chance`-style knobs.
+//!
+//! Faults let tests and robustness experiments exercise the simulator (and the
+//! models trained on its output) under adverse conditions:
+//!
+//! - random per-hop packet corruption/drop with probability `drop_chance`;
+//! - scheduled link outages: packets offered to a downed link are dropped.
+
+use serde::{Deserialize, Serialize};
+
+/// A scheduled outage of one directed link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkOutage {
+    /// The directed link that goes down.
+    pub link: usize,
+    /// Outage start (simulated seconds).
+    pub start_s: f64,
+    /// Outage end (simulated seconds, exclusive).
+    pub end_s: f64,
+}
+
+/// A fault-injection plan for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that any individual hop transmission is lost (models link
+    /// corruption). `0.0` disables.
+    pub drop_chance: f64,
+    /// Scheduled link outages.
+    pub outages: Vec<LinkOutage>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the default for dataset generation).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with uniform random hop loss.
+    pub fn with_drop_chance(drop_chance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_chance), "drop chance must be a probability");
+        Self { drop_chance, outages: Vec::new() }
+    }
+
+    /// Add a scheduled outage.
+    pub fn with_outage(mut self, link: usize, start_s: f64, end_s: f64) -> Self {
+        assert!(start_s >= 0.0 && end_s > start_s, "invalid outage window [{start_s}, {end_s})");
+        self.outages.push(LinkOutage { link, start_s, end_s });
+        self
+    }
+
+    /// True when `link` is down at time `t`.
+    pub fn link_down(&self, link: usize, t: f64) -> bool {
+        self.outages.iter().any(|o| o.link == link && t >= o.start_s && t < o.end_s)
+    }
+
+    /// True when the plan injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.drop_chance == 0.0 && self.outages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert!(!plan.link_down(0, 5.0));
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let plan = FaultPlan::none().with_outage(3, 10.0, 20.0);
+        assert!(!plan.link_down(3, 9.99));
+        assert!(plan.link_down(3, 10.0));
+        assert!(plan.link_down(3, 19.99));
+        assert!(!plan.link_down(3, 20.0));
+        assert!(!plan.link_down(4, 15.0), "other links unaffected");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_drop_chance() {
+        let _ = FaultPlan::with_drop_chance(1.5);
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-flow and per-link measurement, plus conservation accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Online accumulator for one flow's delivered packets.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowAccumulator {
+    /// Packets created (entered the first queue).
+    pub created: u64,
+    /// Packets delivered after warmup.
+    pub delivered: u64,
+    /// Packets delivered during warmup (counted for conservation only).
+    pub delivered_warmup: u64,
+    /// Packets dropped anywhere along the path.
+    pub dropped: u64,
+    delay_sum: f64,
+    delay_sq_sum: f64,
+}
+
+impl FlowAccumulator {
+    /// Record a post-warmup delivery with end-to-end delay `delay_s`.
+    pub fn record_delivery(&mut self, delay_s: f64) {
+        debug_assert!(delay_s >= 0.0, "negative delay {delay_s}");
+        self.delivered += 1;
+        self.delay_sum += delay_s;
+        self.delay_sq_sum += delay_s * delay_s;
+    }
+
+    /// Finalize into reportable statistics.
+    pub fn stats(&self) -> FlowStats {
+        let mean = if self.delivered > 0 { self.delay_sum / self.delivered as f64 } else { 0.0 };
+        let var = if self.delivered > 0 {
+            (self.delay_sq_sum / self.delivered as f64 - mean * mean).max(0.0)
+        } else {
+            0.0
+        };
+        let attempts = self.delivered + self.delivered_warmup + self.dropped;
+        FlowStats {
+            delivered: self.delivered,
+            dropped: self.dropped,
+            mean_delay_s: mean,
+            jitter_s: var.sqrt(),
+            loss_ratio: if attempts > 0 { self.dropped as f64 / attempts as f64 } else { 0.0 },
+        }
+    }
+}
+
+/// Final per-flow statistics — the labels RouteNet learns to predict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets delivered after warmup.
+    pub delivered: u64,
+    /// Packets dropped along the path.
+    pub dropped: u64,
+    /// Mean end-to-end delay in seconds (queueing + transmission +
+    /// propagation over every hop).
+    pub mean_delay_s: f64,
+    /// Delay standard deviation in seconds (the paper's jitter metric).
+    pub jitter_s: f64,
+    /// Fraction of attempted packets that were dropped.
+    pub loss_ratio: f64,
+}
+
+/// Per-link throughput statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Bits accepted for transmission over the whole run.
+    pub bits_sent: f64,
+    /// Packets dropped at this port.
+    pub drops: u64,
+    /// bits_sent / (capacity × duration): average utilization over the run.
+    pub utilization: f64,
+}
+
+/// Complete result of one simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Per-flow statistics, indexed like the flow table (see
+    /// [`crate::Simulation::flows`]).
+    pub flows: Vec<FlowStats>,
+    /// `(src, dst)` of each flow, aligned with `flows`.
+    pub flow_pairs: Vec<(usize, usize)>,
+    /// Per-directed-link statistics.
+    pub links: Vec<LinkStats>,
+    /// Total packets created.
+    pub total_created: u64,
+    /// Total packets delivered (including during warmup).
+    pub total_delivered: u64,
+    /// Total packets dropped.
+    pub total_dropped: u64,
+    /// Packets still queued or in flight when the horizon ended.
+    pub total_in_flight: u64,
+    /// Simulated seconds.
+    pub duration_s: f64,
+}
+
+impl SimResult {
+    /// Conservation invariant: every created packet is delivered, dropped, or
+    /// still in the network.
+    pub fn conservation_holds(&self) -> bool {
+        self.total_created == self.total_delivered + self.total_dropped + self.total_in_flight
+    }
+
+    /// The flow stats for a pair, if that pair carried traffic.
+    pub fn flow(&self, src: usize, dst: usize) -> Option<&FlowStats> {
+        self.flow_pairs.iter().position(|&p| p == (src, dst)).map(|i| &self.flows[i])
+    }
+
+    /// Mean delay across flows, weighted by delivered packets.
+    pub fn mean_delay_s(&self) -> f64 {
+        let (sum, count) = self
+            .flows
+            .iter()
+            .fold((0.0, 0u64), |(s, c), f| (s + f.mean_delay_s * f.delivered as f64, c + f.delivered));
+        if count > 0 {
+            sum / count as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Overall loss ratio.
+    pub fn loss_ratio(&self) -> f64 {
+        let attempts = self.total_delivered + self.total_dropped;
+        if attempts > 0 {
+            self.total_dropped as f64 / attempts as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_mean_and_jitter() {
+        let mut acc = FlowAccumulator::default();
+        for d in [1.0, 2.0, 3.0] {
+            acc.record_delivery(d);
+        }
+        let s = acc.stats();
+        assert_eq!(s.delivered, 3);
+        assert!((s.mean_delay_s - 2.0).abs() < 1e-12);
+        // population std of {1,2,3} = sqrt(2/3)
+        assert!((s.jitter_s - (2.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_ratio_counts_all_attempts() {
+        let mut acc = FlowAccumulator::default();
+        acc.record_delivery(1.0);
+        acc.delivered_warmup = 1;
+        acc.dropped = 2;
+        let s = acc.stats();
+        assert!((s.loss_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_flow_yields_zeroes() {
+        let s = FlowAccumulator::default().stats();
+        assert_eq!(s.delivered, 0);
+        assert_eq!(s.mean_delay_s, 0.0);
+        assert_eq!(s.jitter_s, 0.0);
+        assert_eq!(s.loss_ratio, 0.0);
+    }
+
+    #[test]
+    fn conservation_check() {
+        let r = SimResult {
+            flows: vec![],
+            flow_pairs: vec![],
+            links: vec![],
+            total_created: 10,
+            total_delivered: 7,
+            total_dropped: 2,
+            total_in_flight: 1,
+            duration_s: 1.0,
+        };
+        assert!(r.conservation_holds());
+        let mut bad = r.clone();
+        bad.total_dropped = 3;
+        assert!(!bad.conservation_holds());
+    }
+}

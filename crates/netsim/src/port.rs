@@ -1,0 +1,169 @@
+//! Output ports: one single-server finite FIFO queue per directed link.
+
+use std::collections::VecDeque;
+
+/// A packet traversing the network.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Index into the simulation's flow table.
+    pub flow: usize,
+    /// Size in bits.
+    pub size_bits: f64,
+    /// Simulated creation time (entry into the first output queue).
+    pub created_at: f64,
+    /// Next index into the flow's link path (0 = first hop about to be
+    /// crossed). Incremented as the packet is launched on each hop.
+    pub hop: usize,
+}
+
+/// The transmission side of one directed link: a single server with a finite
+/// drop-tail FIFO of waiting packets. Capacity counts *waiting* packets only;
+/// the in-service packet occupies the server, not a queue slot.
+#[derive(Debug)]
+pub struct OutputPort {
+    /// Waiting room.
+    queue: VecDeque<Packet>,
+    /// Packet currently being transmitted, if any.
+    in_service: Option<Packet>,
+    /// Max waiting packets.
+    capacity: usize,
+    /// Packets dropped at this port (queue full).
+    pub drops: u64,
+    /// Total bits whose transmission *completed* (for utilization stats).
+    /// Counting at completion — not at service start — keeps
+    /// `bits_sent / (capacity * horizon)` bounded by 1 even when the run
+    /// ends mid-transmission.
+    pub bits_sent: f64,
+}
+
+/// Outcome of offering a packet to a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// The port was idle; the packet went straight into service and a
+    /// departure must be scheduled.
+    StartService,
+    /// The packet joined the waiting queue.
+    Queued,
+    /// The queue was full; the packet was dropped.
+    Dropped,
+}
+
+impl OutputPort {
+    /// A port with room for `capacity` waiting packets.
+    pub fn new(capacity: usize) -> Self {
+        Self { queue: VecDeque::new(), in_service: None, capacity, drops: 0, bits_sent: 0.0 }
+    }
+
+    /// Offer a packet to the port, applying drop-tail admission.
+    pub fn offer(&mut self, pkt: Packet) -> Offer {
+        if self.in_service.is_none() {
+            debug_assert!(self.queue.is_empty(), "idle server with a non-empty queue");
+            self.in_service = Some(pkt);
+            Offer::StartService
+        } else if self.queue.len() < self.capacity {
+            self.queue.push_back(pkt);
+            Offer::Queued
+        } else {
+            self.drops += 1;
+            Offer::Dropped
+        }
+    }
+
+    /// Complete the in-service transmission: returns the departed packet and,
+    /// if another packet was waiting, the packet now entering service (whose
+    /// departure the engine must schedule).
+    pub fn complete_service(&mut self) -> (Packet, Option<Packet>) {
+        let departed = self.in_service.take().expect("complete_service on idle port");
+        self.bits_sent += departed.size_bits;
+        if let Some(pkt) = self.queue.pop_front() {
+            self.in_service = Some(pkt);
+        }
+        (departed, self.in_service)
+    }
+
+    /// Number of waiting packets (excludes the in-service packet).
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when a packet is in transmission.
+    pub fn busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// Packets currently held by the port (waiting + in service).
+    pub fn occupancy(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flow: usize) -> Packet {
+        Packet { flow, size_bits: 1000.0, created_at: 0.0, hop: 0 }
+    }
+
+    #[test]
+    fn idle_port_starts_service_immediately() {
+        let mut port = OutputPort::new(2);
+        assert_eq!(port.offer(pkt(0)), Offer::StartService);
+        assert!(port.busy());
+        assert_eq!(port.backlog(), 0);
+    }
+
+    #[test]
+    fn busy_port_queues_up_to_capacity_then_drops() {
+        let mut port = OutputPort::new(2);
+        assert_eq!(port.offer(pkt(0)), Offer::StartService);
+        assert_eq!(port.offer(pkt(1)), Offer::Queued);
+        assert_eq!(port.offer(pkt(2)), Offer::Queued);
+        assert_eq!(port.offer(pkt(3)), Offer::Dropped);
+        assert_eq!(port.drops, 1);
+        assert_eq!(port.occupancy(), 3);
+    }
+
+    #[test]
+    fn tiny_queue_holds_one_waiting_packet() {
+        let mut port = OutputPort::new(1);
+        assert_eq!(port.offer(pkt(0)), Offer::StartService);
+        assert_eq!(port.offer(pkt(1)), Offer::Queued);
+        assert_eq!(port.offer(pkt(2)), Offer::Dropped);
+    }
+
+    #[test]
+    fn completion_promotes_fifo_order() {
+        let mut port = OutputPort::new(4);
+        port.offer(pkt(0));
+        port.offer(pkt(1));
+        port.offer(pkt(2));
+        let (out0, next) = port.complete_service();
+        assert_eq!(out0.flow, 0);
+        assert_eq!(next.unwrap().flow, 1, "FIFO: flow 1 enters service next");
+        let (out1, next) = port.complete_service();
+        assert_eq!(out1.flow, 1);
+        assert_eq!(next.unwrap().flow, 2);
+        let (out2, next) = port.complete_service();
+        assert_eq!(out2.flow, 2);
+        assert!(next.is_none());
+        assert!(!port.busy());
+    }
+
+    #[test]
+    fn bits_sent_counts_completed_transmissions_only() {
+        let mut port = OutputPort::new(0); // no waiting room at all
+        port.offer(pkt(0));
+        port.offer(pkt(1)); // dropped
+        assert_eq!(port.bits_sent, 0.0, "in-flight bits are not counted yet");
+        assert_eq!(port.drops, 1);
+        port.complete_service();
+        assert_eq!(port.bits_sent, 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete_service on idle port")]
+    fn completing_idle_port_is_a_bug() {
+        OutputPort::new(1).complete_service();
+    }
+}

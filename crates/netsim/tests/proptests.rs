@@ -1,0 +1,130 @@
+//! Property-based simulator invariants: conservation, determinism and
+//! physical bounds must hold on *random* connected topologies and traffic —
+//! not just the canonical scenarios.
+
+use proptest::prelude::*;
+use rn_netgraph::{generators, Routing, TrafficMatrix};
+use rn_netsim::{simulate, FaultPlan, SimConfig};
+use rn_tensor::Prng;
+
+/// A random connected topology + routing + traffic + queue assignment.
+fn random_scenario(
+    seed: u64,
+    num_nodes: usize,
+    edge_p: f64,
+    util: f64,
+) -> (rn_netgraph::Topology, Routing, TrafficMatrix, Vec<usize>) {
+    let mut rng = Prng::new(seed);
+    let topo = generators::erdos_renyi_connected(num_nodes, edge_p, 10_000.0, &mut rng);
+    let routing = Routing::randomized(&topo, &mut rng);
+    let traffic = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, util);
+    let caps: Vec<usize> =
+        (0..num_nodes).map(|_| if rng.bernoulli(0.5) { 1 } else { 16 }).collect();
+    (topo, routing, traffic, caps)
+}
+
+fn quick_sim(seed: u64) -> SimConfig {
+    SimConfig { duration_s: 60.0, warmup_s: 10.0, seed, ..SimConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservation_holds_on_random_networks(
+        seed in any::<u64>(),
+        num_nodes in 3usize..9,
+        edge_p in 0.0f64..0.5,
+        util in 0.2f64..1.3,
+    ) {
+        let (topo, routing, traffic, caps) = random_scenario(seed, num_nodes, edge_p, util);
+        let result = simulate(&topo, &routing, &traffic, &caps, &quick_sim(seed), &FaultPlan::none()).unwrap();
+        prop_assert!(result.conservation_holds(),
+            "created {} != delivered {} + dropped {} + in-flight {}",
+            result.total_created, result.total_delivered, result.total_dropped, result.total_in_flight);
+    }
+
+    #[test]
+    fn delays_respect_physical_lower_bound(
+        seed in any::<u64>(),
+        num_nodes in 3usize..8,
+        util in 0.1f64..0.9,
+    ) {
+        // No packet can beat hop_count * min_transmission_time.
+        let (topo, routing, traffic, caps) = random_scenario(seed, num_nodes, 0.2, util);
+        let result = simulate(&topo, &routing, &traffic, &caps, &quick_sim(seed), &FaultPlan::none()).unwrap();
+        for (i, f) in result.flows.iter().enumerate() {
+            if f.delivered == 0 {
+                continue;
+            }
+            let (s, d) = result.flow_pairs[i];
+            let hops = routing.path(s, d).unwrap().hop_count() as f64;
+            // Minimum size is 1 bit; transmission of the *mean* packet takes
+            // mean_bits/capacity. The mean delay must exceed hops * (1 bit
+            // transmission), a very loose but strictly physical bound.
+            let min_delay = hops * (1.0 / 10_000.0);
+            prop_assert!(f.mean_delay_s >= min_delay,
+                "flow {s}->{d}: mean delay {} below physical bound {min_delay}", f.mean_delay_s);
+        }
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one(
+        seed in any::<u64>(),
+        util in 0.5f64..2.0,
+    ) {
+        let (topo, routing, traffic, caps) = random_scenario(seed, 6, 0.3, util);
+        let result = simulate(&topo, &routing, &traffic, &caps, &quick_sim(seed), &FaultPlan::none()).unwrap();
+        for (l, stats) in result.links.iter().enumerate() {
+            prop_assert!(stats.utilization <= 1.0 + 1e-9, "link {l}: util {}", stats.utilization);
+            prop_assert!(stats.utilization >= 0.0);
+        }
+    }
+
+    #[test]
+    fn determinism_on_random_scenarios(seed in any::<u64>()) {
+        let (topo, routing, traffic, caps) = random_scenario(seed, 5, 0.3, 0.8);
+        let a = simulate(&topo, &routing, &traffic, &caps, &quick_sim(seed), &FaultPlan::none()).unwrap();
+        let b = simulate(&topo, &routing, &traffic, &caps, &quick_sim(seed), &FaultPlan::none()).unwrap();
+        prop_assert_eq!(a.flows, b.flows);
+        prop_assert_eq!(a.total_created, b.total_created);
+    }
+
+    #[test]
+    fn loss_ratios_are_probabilities(
+        seed in any::<u64>(),
+        util in 0.3f64..2.0,
+        drop_chance in 0.0f64..0.3,
+    ) {
+        let (topo, routing, traffic, caps) = random_scenario(seed, 6, 0.2, util);
+        let faults = FaultPlan::with_drop_chance(drop_chance);
+        let result = simulate(&topo, &routing, &traffic, &caps, &quick_sim(seed), &faults).unwrap();
+        for f in &result.flows {
+            prop_assert!((0.0..=1.0).contains(&f.loss_ratio));
+            prop_assert!(f.jitter_s >= 0.0);
+            prop_assert!(f.mean_delay_s >= 0.0);
+        }
+        prop_assert!(result.conservation_holds());
+    }
+
+    #[test]
+    fn more_offered_load_never_reduces_created_packets(seed in 0u64..1000) {
+        let (topo, routing, traffic, caps) = random_scenario(seed, 5, 0.3, 0.4);
+        let result_lo = simulate(&topo, &routing, &traffic, &caps, &quick_sim(seed), &FaultPlan::none()).unwrap();
+        // Double every rate: packet creation is per-flow Poisson, so the
+        // expected created count doubles; with the same seed the streams
+        // differ, so compare loosely.
+        let mut heavier = TrafficMatrix::zeros(topo.num_nodes());
+        for s in 0..topo.num_nodes() {
+            for d in 0..topo.num_nodes() {
+                if s != d {
+                    heavier.set(s, d, traffic.rate(s, d) * 2.0);
+                }
+            }
+        }
+        let result_hi = simulate(&topo, &routing, &heavier, &caps, &quick_sim(seed), &FaultPlan::none()).unwrap();
+        prop_assert!(result_hi.total_created as f64 > 1.5 * result_lo.total_created as f64,
+            "doubling rates should roughly double creations: {} vs {}",
+            result_hi.total_created, result_lo.total_created);
+    }
+}

@@ -1,0 +1,113 @@
+//! The simulator must agree with closed-form queueing theory on scenarios
+//! where theory is exact: a single M/M/1(/K) queue. This is the strongest
+//! correctness evidence a packet-level simulator can offer.
+
+use rn_netgraph::{Routing, Topology, TrafficMatrix};
+use rn_netsim::{simulate, FaultPlan, SimConfig};
+use rn_qtheory::{Mm1, Mm1k};
+
+/// One duplex link; a single flow 0 -> 1 turns the port at node 0 into a
+/// textbook single queue. Exponential sizes on a fixed-capacity link give
+/// exponential service times.
+fn single_queue_sim(rate_bps: f64, waiting_room: usize, seed: u64) -> rn_netsim::SimResult {
+    let topo = Topology::from_undirected_edges("pair", 2, &[(0, 1)], 10_000.0, 0.0);
+    let routing = Routing::shortest_paths(&topo);
+    let mut tm = TrafficMatrix::zeros(2);
+    tm.set(0, 1, rate_bps);
+    let config = SimConfig {
+        duration_s: 30_000.0,
+        warmup_s: 2_000.0,
+        mean_packet_bits: 1_000.0,
+        // Effectively untruncated exponential sizes so service is ~exponential.
+        max_packet_bits: 100_000.0,
+        standard_queue_pkts: 32,
+        seed,
+    };
+    simulate(&topo, &routing, &tm, &[waiting_room, waiting_room], &config, &FaultPlan::none()).unwrap()
+}
+
+#[test]
+fn mm1_mean_sojourn_matches_theory() {
+    // λ = 5 pkt/s (5000 bps / 1000 bit), μ = 10 pkt/s -> W = 1/(μ-λ) = 0.2 s
+    let result = single_queue_sim(5_000.0, 1_000_000, 1);
+    let f = result.flow(0, 1).unwrap();
+    let theory = Mm1::new(5.0, 10.0).mean_sojourn_s();
+    let rel_err = (f.mean_delay_s - theory).abs() / theory;
+    assert!(
+        rel_err < 0.05,
+        "M/M/1 sojourn: sim {} vs theory {theory} (rel err {rel_err:.3})",
+        f.mean_delay_s
+    );
+    assert!(f.loss_ratio < 1e-6, "infinite-buffer queue must not drop");
+}
+
+#[test]
+fn mm1_heavier_load_matches_theory_too() {
+    // ρ = 0.8 -> W = 1/(10-8) = 0.5 s
+    let result = single_queue_sim(8_000.0, 1_000_000, 2);
+    let f = result.flow(0, 1).unwrap();
+    let theory = Mm1::new(8.0, 10.0).mean_sojourn_s();
+    let rel_err = (f.mean_delay_s - theory).abs() / theory;
+    assert!(
+        rel_err < 0.10,
+        "M/M/1 at rho=0.8: sim {} vs theory {theory} (rel err {rel_err:.3})",
+        f.mean_delay_s
+    );
+}
+
+#[test]
+fn mm1k_blocking_probability_matches_theory() {
+    // waiting room 1 + server = system capacity K = 2, ρ = 0.9
+    let result = single_queue_sim(9_000.0, 1, 3);
+    let f = result.flow(0, 1).unwrap();
+    let theory = Mm1k::new(9.0, 10.0, 2).blocking_probability();
+    let rel_err = (f.loss_ratio - theory).abs() / theory;
+    assert!(
+        rel_err < 0.08,
+        "M/M/1/2 blocking: sim {} vs theory {theory} (rel err {rel_err:.3})",
+        f.loss_ratio
+    );
+}
+
+#[test]
+fn mm1k_sojourn_matches_theory() {
+    let result = single_queue_sim(9_000.0, 1, 4);
+    let f = result.flow(0, 1).unwrap();
+    let theory = Mm1k::new(9.0, 10.0, 2).mean_sojourn_s();
+    let rel_err = (f.mean_delay_s - theory).abs() / theory;
+    assert!(
+        rel_err < 0.08,
+        "M/M/1/2 sojourn: sim {} vs theory {theory} (rel err {rel_err:.3})",
+        f.mean_delay_s
+    );
+}
+
+#[test]
+fn mm1k_overload_throughput_saturates_at_mu() {
+    // Offered 2x capacity: throughput ≈ μ (1 - p_0-ish), never above capacity.
+    let result = single_queue_sim(20_000.0, 4, 5);
+    let f = result.flow(0, 1).unwrap();
+    let delivered_rate = f.delivered as f64 / (30_000.0 - 2_000.0);
+    assert!(delivered_rate < 10.5, "throughput {delivered_rate} pkt/s exceeds service rate");
+    assert!(delivered_rate > 9.0, "server should stay nearly saturated");
+    let theory = Mm1k::new(20.0, 10.0, 5); // waiting 4 + server
+    let rel = (f.loss_ratio - theory.blocking_probability()).abs() / theory.blocking_probability();
+    assert!(rel < 0.08, "overload blocking: sim {} vs theory {}", f.loss_ratio, theory.blocking_probability());
+}
+
+#[test]
+fn buffer_sweep_tracks_mm1k_delay_curve() {
+    // As the waiting room grows, simulated delay must follow the M/M/1/K
+    // sojourn curve point by point — not just qualitatively.
+    for (waiting, seed) in [(1usize, 10u64), (2, 11), (4, 12), (8, 13)] {
+        let result = single_queue_sim(9_000.0, waiting, seed);
+        let f = result.flow(0, 1).unwrap();
+        let theory = Mm1k::new(9.0, 10.0, waiting as u32 + 1).mean_sojourn_s();
+        let rel_err = (f.mean_delay_s - theory).abs() / theory;
+        assert!(
+            rel_err < 0.10,
+            "waiting={waiting}: sim {} vs theory {theory} (rel err {rel_err:.3})",
+            f.mean_delay_s
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Regression losses built from tape primitives.
+
+use rn_autograd::{Graph, Var};
+use serde::{Deserialize, Serialize};
+
+/// Which training loss to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error.
+    Mse,
+    /// Mean absolute error.
+    Mae,
+    /// Huber loss with the given transition point `delta` — quadratic near
+    /// zero, linear in the tails; robust to the heavy-tailed delay targets
+    /// congested samples produce.
+    Huber(f32),
+}
+
+impl Loss {
+    /// Build the loss node on the tape. `pred` and `target` must share shape;
+    /// the result is a `1 x 1` scalar node.
+    pub fn apply(self, g: &mut Graph, pred: Var, target: Var) -> Var {
+        match self {
+            Loss::Mse => g.mse(pred, target),
+            Loss::Mae => g.mae(pred, target),
+            Loss::Huber(delta) => {
+                assert!(delta > 0.0, "Huber delta must be positive, got {delta}");
+                // 0.5·q² + δ·(a − q) with a = |pred − target|, q = min(a, δ)
+                let d = g.sub(pred, target);
+                let a = g.abs(d);
+                let q = g.clamp_max(a, delta);
+                let q2 = g.square(q);
+                let half_q2 = g.scale(q2, 0.5);
+                let lin = g.sub(a, q);
+                let lin_scaled = g.scale(lin, delta);
+                let total = g.add(half_q2, lin_scaled);
+                g.mean(total)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_autograd::check::check_gradients;
+    use rn_tensor::Matrix;
+
+    fn eval(loss: Loss, pred: &[f32], target: &[f32]) -> f32 {
+        let mut g = Graph::new();
+        let p = g.param(Matrix::row_vector(pred));
+        let t = g.constant(Matrix::row_vector(target));
+        let l = loss.apply(&mut g, p, t);
+        g.value(l).get(0, 0)
+    }
+
+    #[test]
+    fn mse_and_mae_known_values() {
+        assert!((eval(Loss::Mse, &[1.0, 3.0], &[0.0, 0.0]) - 5.0).abs() < 1e-6);
+        assert!((eval(Loss::Mae, &[1.0, -3.0], &[0.0, 0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_linear_outside() {
+        // inside: |d| = 0.5 < delta=1 -> 0.5 * 0.25 = 0.125
+        assert!((eval(Loss::Huber(1.0), &[0.5], &[0.0]) - 0.125).abs() < 1e-6);
+        // outside: |d| = 3 -> 0.5*1 + 1*(3-1) = 2.5
+        assert!((eval(Loss::Huber(1.0), &[3.0], &[0.0]) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_matches_mse_for_small_errors() {
+        let mse = eval(Loss::Mse, &[0.1, -0.2], &[0.0, 0.0]);
+        let huber = eval(Loss::Huber(10.0), &[0.1, -0.2], &[0.0, 0.0]);
+        assert!((huber - 0.5 * mse).abs() < 1e-6, "huber {huber} vs mse/2 {}", 0.5 * mse);
+    }
+
+    #[test]
+    fn all_losses_pass_gradient_check() {
+        let target = Matrix::row_vector(&[0.3, -0.7, 1.9, 0.0]);
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber(0.5)] {
+            let t = target.clone();
+            let report = check_gradients(
+                move |g, vars| {
+                    let tv = g.constant(t.clone());
+                    loss.apply(g, vars[0], tv)
+                },
+                // keep pred away from target so |x| kinks don't spoil the check
+                &[Matrix::row_vector(&[1.3, 0.4, -0.8, 2.0])],
+                1e-3,
+            );
+            assert!(report.passes(2e-2), "{loss:?}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn zero_error_gives_zero_loss() {
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber(1.0)] {
+            assert_eq!(eval(loss, &[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! First-order optimizers.
+//!
+//! Optimizers are stateful (momentum/moment buffers keyed by parameter index)
+//! and operate on the canonical parameter order defined by
+//! [`crate::Layer::params_mut`]. State buffers are allocated lazily on the
+//! first step so an optimizer can be constructed before the model.
+
+use rn_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A first-order gradient descent method.
+pub trait Optimizer {
+    /// Apply one update. `params` and `grads` must be index-aligned and keep
+    /// the same shapes across calls.
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum coefficient `momentum` in `[0, 1)`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "Sgd: learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0,1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "Sgd::step: param/grad count mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = grads.iter().map(|g| Matrix::zeros(g.rows(), g.cols())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "Sgd::step: parameter count changed");
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            if self.momentum > 0.0 {
+                // v = μv + g;  p -= lr·v
+                let mut new_v = v.scale(self.momentum);
+                new_v.add_assign(g);
+                *v = new_v;
+                p.add_scaled(v, -self.lr);
+            } else {
+                p.add_scaled(g, -self.lr);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the optimizer RouteNet
+/// trained with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit hyper-parameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "Adam: learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "Adam: betas must be in [0,1)");
+        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "Adam::step: param/grad count mismatch");
+        if self.m.is_empty() {
+            self.m = grads.iter().map(|g| Matrix::zeros(g.rows(), g.cols())).collect();
+            self.v = grads.iter().map(|g| Matrix::zeros(g.rows(), g.cols())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "Adam::step: parameter count changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, g), m), v) in params.iter_mut().zip(grads).zip(&mut self.m).zip(&mut self.v) {
+            for i in 0..g.len() {
+                let gi = g.as_slice()[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * gi * gi;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                p.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the norm before clipping. RouteNet-style recurrent message passing
+/// needs this to survive occasional exploding gradients on congested samples.
+pub fn clip_global_norm(grads: &mut [Matrix], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "clip_global_norm: max_norm must be positive");
+    let total_sq: f32 = grads.iter().map(|g| {
+        let n = g.frobenius_norm();
+        n * n
+    }).sum();
+    let norm = total_sq.sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            g.map_inplace(|v| v * scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl: f(p) = 0.5‖p − target‖²; grad = p − target.
+    fn quadratic_grad(p: &Matrix, target: &Matrix) -> Matrix {
+        p.sub(target)
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let target = Matrix::row_vector(&[1.0, -2.0, 3.0]);
+        let mut p = Matrix::zeros(1, 3);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let g = quadratic_grad(&p, &target);
+            opt.step(&mut [&mut p], &[g]);
+        }
+        assert!(p.approx_eq(&target, 1e-3), "{p:?}");
+    }
+
+    #[test]
+    fn momentum_accelerates_on_quadratic() {
+        let target = Matrix::row_vector(&[5.0]);
+        let run = |mut opt: Sgd| {
+            let mut p = Matrix::zeros(1, 1);
+            for _ in 0..30 {
+                let g = quadratic_grad(&p, &target);
+                opt.step(&mut [&mut p], &[g]);
+            }
+            (p.get(0, 0) - 5.0).abs()
+        };
+        let plain = run(Sgd::new(0.05));
+        let momentum = run(Sgd::with_momentum(0.05, 0.9));
+        assert!(momentum < plain, "momentum {momentum} should beat plain {plain}");
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let target = Matrix::row_vector(&[0.5, -0.5]);
+        let mut p = Matrix::row_vector(&[4.0, -4.0]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..500 {
+            let g = quadratic_grad(&p, &target);
+            opt.step(&mut [&mut p], &[g]);
+        }
+        assert!(p.approx_eq(&target, 1e-2), "{p:?}");
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn adam_handles_sparse_like_grads() {
+        // One coordinate gets gradients rarely; Adam should still move it.
+        let mut p = Matrix::row_vector(&[1.0, 1.0]);
+        let mut opt = Adam::new(0.01);
+        for step in 0..400 {
+            let g = if step % 10 == 0 {
+                Matrix::row_vector(&[1.0, 1.0])
+            } else {
+                Matrix::row_vector(&[1.0, 0.0])
+            };
+            opt.step(&mut [&mut p], &[g]);
+        }
+        assert!(p.get(0, 1) < 1.0, "rare-gradient coordinate never moved");
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut grads = vec![Matrix::row_vector(&[0.3, 0.4])]; // norm 0.5
+        let norm = clip_global_norm(&mut grads, 1.0);
+        assert!((norm - 0.5).abs() < 1e-6);
+        assert_eq!(grads[0].as_slice(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients() {
+        let mut grads = vec![Matrix::row_vector(&[3.0, 4.0])]; // norm 5
+        let norm = clip_global_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let clipped_norm = grads[0].frobenius_norm();
+        assert!((clipped_norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_norm_is_global_across_tensors() {
+        let mut grads = vec![Matrix::row_vector(&[3.0]), Matrix::row_vector(&[4.0])];
+        clip_global_norm(&mut grads, 1.0);
+        let total: f32 = grads.iter().map(|g| {
+            let n = g.frobenius_norm();
+            n * n
+        }).sum();
+        assert!((total.sqrt() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lr_get_set() {
+        let mut opt = Adam::new(1e-3);
+        assert_eq!(opt.learning_rate(), 1e-3);
+        opt.set_learning_rate(5e-4);
+        assert_eq!(opt.learning_rate(), 5e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "param/grad count mismatch")]
+    fn step_rejects_mismatched_lengths() {
+        let mut p = Matrix::zeros(1, 1);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [&mut p], &[]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # rn-qtheory
+//!
+//! Closed-form queueing-theory results, serving two roles:
+//!
+//! 1. **Validation oracle** — `rn-netsim`'s test suite checks the simulator
+//!    against M/M/1 and M/M/1/K formulas on single-queue scenarios.
+//! 2. **Baseline predictor** — the paper's introduction claims traditional
+//!    queueing-theory models "often fail to provide accurate models for
+//!    complex real-world scenarios"; [`PathDelayPredictor`] is that
+//!    traditional model (per-hop M/M/1/K with offered loads from the traffic
+//!    matrix), compared against both RouteNets in experiment E6.
+
+pub mod mm1;
+pub mod mm1k;
+pub mod predictor;
+
+pub use mm1::Mm1;
+pub use mm1k::Mm1k;
+pub use predictor::PathDelayPredictor;

@@ -1,0 +1,102 @@
+//! The M/M/1 queue: Poisson arrivals, exponential service, one server,
+//! infinite waiting room.
+
+use serde::{Deserialize, Serialize};
+
+/// An M/M/1 queue with arrival rate `lambda` and service rate `mu`
+/// (customers per second).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1 {
+    /// Arrival rate λ (customers/second).
+    pub lambda: f64,
+    /// Service rate μ (customers/second).
+    pub mu: f64,
+}
+
+impl Mm1 {
+    /// Construct; panics on non-positive rates.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "M/M/1 rates must be positive");
+        Self { lambda, mu }
+    }
+
+    /// Utilization ρ = λ/μ.
+    pub fn utilization(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// True when the queue is stable (ρ < 1); the steady-state formulas below
+    /// are meaningful only then.
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// Mean number of customers in the system, L = ρ/(1−ρ).
+    pub fn mean_customers(&self) -> f64 {
+        assert!(self.is_stable(), "M/M/1 is unstable at rho = {}", self.utilization());
+        let rho = self.utilization();
+        rho / (1.0 - rho)
+    }
+
+    /// Mean time in system (waiting + service), W = 1/(μ−λ).
+    pub fn mean_sojourn_s(&self) -> f64 {
+        assert!(self.is_stable(), "M/M/1 is unstable at rho = {}", self.utilization());
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean waiting time (excluding service), Wq = ρ/(μ−λ).
+    pub fn mean_wait_s(&self) -> f64 {
+        self.utilization() * self.mean_sojourn_s()
+    }
+
+    /// Steady-state probability of exactly `n` customers, p_n = (1−ρ)ρⁿ.
+    pub fn prob_n(&self, n: u32) -> f64 {
+        assert!(self.is_stable(), "M/M/1 is unstable at rho = {}", self.utilization());
+        let rho = self.utilization();
+        (1.0 - rho) * rho.powi(n as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_loaded_queue() {
+        let q = Mm1::new(5.0, 10.0);
+        assert_eq!(q.utilization(), 0.5);
+        assert!(q.is_stable());
+        assert!((q.mean_customers() - 1.0).abs() < 1e-12);
+        assert!((q.mean_sojourn_s() - 0.2).abs() < 1e-12);
+        assert!((q.mean_wait_s() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        for (l, m) in [(1.0, 3.0), (2.0, 5.0), (7.0, 8.0)] {
+            let q = Mm1::new(l, m);
+            // L = λW
+            assert!((q.mean_customers() - l * q.mean_sojourn_s()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let q = Mm1::new(3.0, 4.0);
+        let total: f64 = (0..200).map(|n| q.prob_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sojourn_diverges_near_saturation() {
+        let near = Mm1::new(9.99, 10.0);
+        let far = Mm1::new(5.0, 10.0);
+        assert!(near.mean_sojourn_s() > 50.0 * far.mean_sojourn_s());
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_queue_panics_on_stationary_quantities() {
+        Mm1::new(10.0, 5.0).mean_customers();
+    }
+}

@@ -1,0 +1,139 @@
+//! The M/M/1/K queue: one server, at most `K` customers in the *system*
+//! (waiting room of `K − 1` plus the customer in service). Finite buffers make
+//! the queue lossy — the phenomenon the extended RouteNet must learn.
+
+use serde::{Deserialize, Serialize};
+
+/// An M/M/1/K queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1k {
+    /// Arrival rate λ (customers/second).
+    pub lambda: f64,
+    /// Service rate μ (customers/second).
+    pub mu: f64,
+    /// System capacity K (waiting + in service), K ≥ 1.
+    pub k: u32,
+}
+
+impl Mm1k {
+    /// Construct; panics on non-positive rates or `k == 0`.
+    pub fn new(lambda: f64, mu: f64, k: u32) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "M/M/1/K rates must be positive");
+        assert!(k >= 1, "M/M/1/K needs capacity for at least the server");
+        Self { lambda, mu, k }
+    }
+
+    /// Offered utilization ρ = λ/μ (may exceed 1; the queue stays stable
+    /// because excess arrivals are blocked).
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Steady-state probability of `n` customers in the system (`n ≤ K`).
+    pub fn prob_n(&self, n: u32) -> f64 {
+        assert!(n <= self.k, "prob_n: n={n} exceeds K={}", self.k);
+        let rho = self.rho();
+        let k = self.k as i32;
+        if (rho - 1.0).abs() < 1e-12 {
+            // ρ = 1 limit: uniform over 0..=K.
+            1.0 / (k as f64 + 1.0)
+        } else {
+            (1.0 - rho) * rho.powi(n as i32) / (1.0 - rho.powi(k + 1))
+        }
+    }
+
+    /// Blocking probability: the chance an arriving customer finds the system
+    /// full and is lost (PASTA: equals p_K).
+    pub fn blocking_probability(&self) -> f64 {
+        self.prob_n(self.k)
+    }
+
+    /// Mean number of customers in the system.
+    pub fn mean_customers(&self) -> f64 {
+        let rho = self.rho();
+        let k = self.k as i32;
+        if (rho - 1.0).abs() < 1e-12 {
+            return self.k as f64 / 2.0;
+        }
+        // L = ρ(1 − (K+1)ρ^K + Kρ^(K+1)) / ((1−ρ)(1−ρ^(K+1)))
+        rho * (1.0 - (k as f64 + 1.0) * rho.powi(k) + k as f64 * rho.powi(k + 1))
+            / ((1.0 - rho) * (1.0 - rho.powi(k + 1)))
+    }
+
+    /// Effective (accepted) arrival rate λ(1 − p_K).
+    pub fn effective_lambda(&self) -> f64 {
+        self.lambda * (1.0 - self.blocking_probability())
+    }
+
+    /// Mean time in system for *accepted* customers, via Little's law:
+    /// W = L / λ_eff.
+    pub fn mean_sojourn_s(&self) -> f64 {
+        self.mean_customers() / self.effective_lambda()
+    }
+
+    /// Throughput in customers per second (equals λ_eff in steady state).
+    pub fn throughput(&self) -> f64 {
+        self.effective_lambda()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for (l, m, k) in [(2.0, 4.0, 3u32), (4.0, 4.0, 5), (8.0, 4.0, 2)] {
+            let q = Mm1k::new(l, m, k);
+            let total: f64 = (0..=k).map(|n| q.prob_n(n)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "λ={l} μ={m} K={k}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn blocking_grows_with_load_and_shrinks_with_buffer() {
+        let low = Mm1k::new(2.0, 10.0, 3).blocking_probability();
+        let high = Mm1k::new(9.0, 10.0, 3).blocking_probability();
+        assert!(high > low);
+        let small_buf = Mm1k::new(9.0, 10.0, 2).blocking_probability();
+        let big_buf = Mm1k::new(9.0, 10.0, 20).blocking_probability();
+        assert!(small_buf > big_buf);
+    }
+
+    #[test]
+    fn approaches_mm1_for_large_k() {
+        use crate::Mm1;
+        let lossy = Mm1k::new(5.0, 10.0, 60);
+        let lossless = Mm1::new(5.0, 10.0);
+        assert!((lossy.mean_customers() - lossless.mean_customers()).abs() < 1e-6);
+        assert!((lossy.mean_sojourn_s() - lossless.mean_sojourn_s()).abs() < 1e-6);
+        assert!(lossy.blocking_probability() < 1e-12);
+    }
+
+    #[test]
+    fn rho_equal_one_limit_is_uniform() {
+        let q = Mm1k::new(4.0, 4.0, 4);
+        for n in 0..=4 {
+            assert!((q.prob_n(n) - 0.2).abs() < 1e-9);
+        }
+        assert!((q.mean_customers() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overloaded_queue_saturates_throughput() {
+        let q = Mm1k::new(100.0, 10.0, 2);
+        assert!(q.throughput() < 10.0, "throughput can never exceed μ");
+        assert!(q.throughput() > 9.0, "overloaded server should stay almost busy");
+        assert!(q.blocking_probability() > 0.85);
+    }
+
+    #[test]
+    fn k1_is_pure_loss_system() {
+        // K=1: no waiting room (Erlang-B with one server): p_block = ρ/(1+ρ)
+        let q = Mm1k::new(5.0, 10.0, 1);
+        let rho: f64 = 0.5;
+        assert!((q.blocking_probability() - rho / (1.0 + rho)).abs() < 1e-9);
+        // Accepted customers never wait: sojourn = service time.
+        assert!((q.mean_sojourn_s() - 0.1).abs() < 1e-9);
+    }
+}

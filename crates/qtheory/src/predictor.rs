@@ -1,0 +1,130 @@
+//! The traditional queueing-theory delay predictor (baseline E6).
+//!
+//! Models every output port as an independent M/M/1/K queue whose offered load
+//! is the sum of the traffic-matrix rates routed over the link, and predicts a
+//! path's delay as the sum of per-hop sojourn times plus propagation. This is
+//! the textbook "decomposition" approach the paper's introduction dismisses as
+//! inaccurate for complex scenarios — the point of the experiment is to
+//! quantify that claim against the learned models.
+
+use crate::Mm1k;
+use rn_netgraph::{Routing, Topology, TrafficMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Per-path delay predictions from per-hop M/M/1/K decomposition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathDelayPredictor {
+    /// Mean packet size in bits (to convert bps rates into packet rates).
+    pub mean_packet_bits: f64,
+}
+
+impl PathDelayPredictor {
+    /// A predictor assuming the given mean packet size.
+    pub fn new(mean_packet_bits: f64) -> Self {
+        assert!(mean_packet_bits > 0.0, "mean packet size must be positive");
+        Self { mean_packet_bits }
+    }
+
+    /// Predict the mean end-to-end delay (seconds) of every routed pair.
+    ///
+    /// `queue_capacity_pkts[n]` is the *waiting-room* size at node `n` (same
+    /// convention as the simulator); each hop is modeled as M/M/1/K with
+    /// system capacity `K = waiting + 1`.
+    ///
+    /// Returns `(src, dst, predicted_delay_s)` in routing iteration order.
+    pub fn predict(
+        &self,
+        topo: &Topology,
+        routing: &Routing,
+        traffic: &TrafficMatrix,
+        queue_capacity_pkts: &[usize],
+    ) -> Vec<(usize, usize, f64)> {
+        assert_eq!(queue_capacity_pkts.len(), topo.num_nodes(), "one queue capacity per node");
+        let loads = traffic.link_loads(topo, routing);
+        // Per-link mean sojourn time.
+        let sojourn: Vec<f64> = (0..topo.num_links())
+            .map(|l| {
+                let link = topo.link(l);
+                let mu = link.capacity_bps / self.mean_packet_bits;
+                let lambda = loads[l] / self.mean_packet_bits;
+                if lambda <= 0.0 {
+                    // Idle link: delay is pure transmission time.
+                    return 1.0 / mu;
+                }
+                let k = queue_capacity_pkts[link.src] as u32 + 1;
+                Mm1k::new(lambda, mu, k).mean_sojourn_s()
+            })
+            .collect();
+        routing
+            .iter_paths()
+            .map(|(s, d, path)| {
+                let delay: f64 = path
+                    .links
+                    .iter()
+                    .map(|&l| sojourn[l] + topo.link(l).prop_delay_s)
+                    .sum();
+                (s, d, delay)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_netgraph::topologies;
+    use rn_tensor::Prng;
+
+    #[test]
+    fn idle_network_predicts_pure_transmission() {
+        let topo = topologies::toy5();
+        let routing = Routing::shortest_paths(&topo);
+        let tm = TrafficMatrix::zeros(5);
+        let pred = PathDelayPredictor::new(1_000.0);
+        let out = pred.predict(&topo, &routing, &tm, &[8; 5]);
+        // 10 kbps links, 1000-bit packets: 0.1 s per hop.
+        for (s, d, delay) in out {
+            let hops = routing.path(s, d).unwrap().hop_count() as f64;
+            assert!((delay - 0.1 * hops).abs() < 1e-9, "{s}->{d}: {delay}");
+        }
+    }
+
+    #[test]
+    fn loaded_links_predict_longer_delays() {
+        let topo = topologies::nsfnet_default();
+        let routing = Routing::shortest_paths(&topo);
+        let mut rng = Prng::new(1);
+        let light = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 0.2);
+        let heavy = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 0.9);
+        let pred = PathDelayPredictor::new(1_000.0);
+        let caps = vec![16; 14];
+        let dl: f64 = pred.predict(&topo, &routing, &light, &caps).iter().map(|x| x.2).sum();
+        let dh: f64 = pred.predict(&topo, &routing, &heavy, &caps).iter().map(|x| x.2).sum();
+        assert!(dh > dl, "heavier load must predict more delay");
+    }
+
+    #[test]
+    fn tiny_buffers_predict_smaller_delays_under_load() {
+        // Counter-intuitive but correct: tiny buffers mean accepted packets
+        // wait less (the rest are lost) — exactly the trade-off the extended
+        // RouteNet has to capture.
+        let topo = topologies::toy5();
+        let routing = Routing::shortest_paths(&topo);
+        let mut rng = Prng::new(2);
+        let tm = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 0.95);
+        let pred = PathDelayPredictor::new(1_000.0);
+        let d_tiny: f64 = pred.predict(&topo, &routing, &tm, &[1; 5]).iter().map(|x| x.2).sum();
+        let d_std: f64 = pred.predict(&topo, &routing, &tm, &[32; 5]).iter().map(|x| x.2).sum();
+        assert!(d_tiny < d_std);
+    }
+
+    #[test]
+    fn prediction_covers_every_routed_pair() {
+        let topo = topologies::geant2_default();
+        let routing = Routing::shortest_paths(&topo);
+        let tm = TrafficMatrix::uniform_random(24, &mut Prng::new(3), 10.0, 100.0);
+        let out = PathDelayPredictor::new(1_000.0).predict(&topo, &routing, &tm, &[32; 24]);
+        assert_eq!(out.len(), 24 * 23);
+        assert!(out.iter().all(|&(_, _, d)| d.is_finite() && d > 0.0));
+    }
+}

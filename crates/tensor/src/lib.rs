@@ -1,0 +1,29 @@
+//! # rn-tensor
+//!
+//! Minimal dense linear-algebra substrate for the RouteNet reproduction.
+//!
+//! The whole GNN stack (autograd tape, GRU cells, readout MLPs) is built on a
+//! single concrete type: [`Matrix`], a row-major dense 2-D array of `f32`.
+//! Batches of entities (paths, links, nodes) are rows; features are columns.
+//!
+//! The crate also provides:
+//!
+//! - [`rng`]: deterministic, splittable random-number streams plus the
+//!   distributions the simulator and the initializers need (uniform, normal,
+//!   exponential, Poisson-process inter-arrivals).
+//! - [`stats`]: descriptive statistics (mean/variance/percentiles), empirical
+//!   CDFs (the output format of the paper's Figure 2) and histograms.
+//!
+//! Design notes: following the smoltcp ethos, this crate favours simplicity and
+//! robustness over cleverness — there is no SIMD, no generic scalar type, no
+//! lifetime tricks; every operation validates shapes and panics with a precise
+//! message on misuse (shape errors are programming errors, not runtime
+//! conditions).
+
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use rng::Prng;
+pub use stats::{empirical_cdf, percentile, Summary};

@@ -1,0 +1,708 @@
+//! Dense row-major 2-D `f32` matrix.
+//!
+//! [`Matrix`] is the single tensor type used throughout the workspace. Rows are
+//! entities (paths, links, nodes, samples); columns are features. All shape
+//! mismatches panic: a wrong shape is a bug in the caller, never a recoverable
+//! runtime condition.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense row-major matrix of `f32` values.
+///
+/// Invariant: `data.len() == rows * cols` at all times.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for r in 0..max_rows {
+            let row: Vec<String> = self.row(r).iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let ellipsis = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", row.join(", "), ellipsis)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// A `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows x cols` matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// A `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Build from an existing row-major buffer.
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from a slice of rows. Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "Matrix::from_rows: row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Build element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A 1 x n row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// An n x 1 column vector.
+    pub fn column_vector(values: &[f32]) -> Self {
+        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    // ------------------------------------------------------------------
+    // Shape and element access
+    // ------------------------------------------------------------------
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume and return the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(r, c)`. Panics on out-of-bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "Matrix::get({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`. Panics on out-of-bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "Matrix::set({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "Matrix::row({r}) out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "Matrix::row_mut({r}) out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "Matrix::col({c}) out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Element-wise operations
+    // ------------------------------------------------------------------
+
+    /// Apply `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise combination of two equally shaped matrices.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        self.assert_same_shape(other, "zip");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise sum. Panics on shape mismatch.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference. Panics on shape mismatch.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product. Panics on shape mismatch.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Add `other` into `self` in place. Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Self) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * other`, in place. Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Self, scale: f32) {
+        self.assert_same_shape(other, "add_scaled");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiply every element by `s`, returning a new matrix.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Add `s` to every element, returning a new matrix.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|v| v + s)
+    }
+
+    /// Broadcast-add a 1 x cols row vector to every row.
+    pub fn add_row_broadcast(&self, bias: &Self) -> Self {
+        assert_eq!(bias.rows, 1, "add_row_broadcast: bias must be a row vector, got {}x{}", bias.rows, bias.cols);
+        assert_eq!(bias.cols, self.cols, "add_row_broadcast: bias has {} cols, matrix has {}", bias.cols, self.cols);
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (v, b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product `self * other` (`m x k` times `k x n` -> `m x n`).
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimensions differ ({}x{} * {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j loop order: the innermost loop walks both `other` and `out`
+        // contiguously, which matters because this is the training hot path.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Self { rows: m, cols: n, data: out }
+    }
+
+    /// `self^T * other` without materializing the transpose
+    /// (`k x m`^T times `k x n` -> `m x n`). Used by autograd backward passes.
+    pub fn matmul_tn(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: row counts differ ({}x{} vs {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Self { rows: m, cols: n, data: out }
+    }
+
+    /// `self * other^T` without materializing the transpose
+    /// (`m x k` times `n x k`^T -> `m x n`). Used by autograd backward passes.
+    pub fn matmul_nt(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: col counts differ ({}x{} vs {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Self { rows: m, cols: n, data: out }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Zero for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum, returned as a 1 x cols row vector.
+    pub fn sum_rows(&self) -> Self {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        Self { rows: 1, cols: self.cols, data: out }
+    }
+
+    /// Row-wise sum, returned as an n x 1 column vector.
+    pub fn sum_cols(&self) -> Self {
+        let data = (0..self.rows).map(|r| self.row(r).iter().sum()).collect();
+        Self { rows: self.rows, cols: 1, data }
+    }
+
+    /// Largest absolute element. Zero for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    // ------------------------------------------------------------------
+    // Structural operations (the GNN message-passing primitives)
+    // ------------------------------------------------------------------
+
+    /// Gather rows: `out[i] = self[indices[i]]`. Panics on out-of-range indices.
+    pub fn gather_rows(&self, indices: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &idx in indices {
+            assert!(idx < self.rows, "gather_rows: index {idx} out of range for {} rows", self.rows);
+            data.extend_from_slice(self.row(idx));
+        }
+        Self { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Segment sum (scatter-add of rows): for each input row `i`,
+    /// `out[segments[i]] += self[i]`. `num_segments` fixes the output row count
+    /// so empty segments yield zero rows. This is the aggregation primitive of
+    /// RouteNet's link and node updates.
+    pub fn segment_sum(&self, segments: &[usize], num_segments: usize) -> Self {
+        assert_eq!(
+            segments.len(),
+            self.rows,
+            "segment_sum: {} segment ids for {} rows",
+            segments.len(),
+            self.rows
+        );
+        let mut out = Self::zeros(num_segments, self.cols);
+        for (i, &s) in segments.iter().enumerate() {
+            assert!(s < num_segments, "segment_sum: segment id {s} out of range {num_segments}");
+            let src = &self.data[i * self.cols..(i + 1) * self.cols];
+            let dst = &mut out.data[s * self.cols..(s + 1) * self.cols];
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d += v;
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`. Panics on row-count mismatch.
+    pub fn concat_cols(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows, other.rows,
+            "concat_cols: row counts differ ({} vs {})",
+            self.rows, other.rows
+        );
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Self { rows: self.rows, cols, data }
+    }
+
+    /// Vertical concatenation `[self; other]`. Panics on column-count mismatch.
+    pub fn concat_rows(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "concat_rows: col counts differ ({} vs {})",
+            self.cols, other.cols
+        );
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Self { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Copy of the column range `[start, end)`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.cols, "slice_cols: bad range {start}..{end} for {} cols", self.cols);
+        let cols = end - start;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.row(r)[start..end]);
+        }
+        Self { rows: self.rows, cols, data }
+    }
+
+    /// Copy of the row range `[start, end)`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.rows, "slice_rows: bad range {start}..{end} for {} rows", self.rows);
+        Self {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Multiply each row by the corresponding entry of an n x 1 mask/weight
+    /// column vector. Used for masking padded positions in batched sequences.
+    pub fn mul_col_broadcast(&self, col: &Self) -> Self {
+        assert_eq!(col.cols, 1, "mul_col_broadcast: expected column vector, got {}x{}", col.rows, col.cols);
+        assert_eq!(col.rows, self.rows, "mul_col_broadcast: {} weights for {} rows", col.rows, self.rows);
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let w = col.data[r];
+            for v in out.row_mut(r) {
+                *v *= w;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Comparisons
+    // ------------------------------------------------------------------
+
+    /// True when both matrices have the same shape and all elements differ by
+    /// at most `tol`.
+    pub fn approx_eq(&self, other: &Self, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    fn assert_same_shape(&self, other: &Self, op: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape mismatch {}x{} vs {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_expected_shapes() {
+        assert_eq!(Matrix::zeros(3, 4).shape(), (3, 4));
+        assert_eq!(Matrix::ones(2, 2).sum(), 4.0);
+        assert_eq!(Matrix::filled(2, 3, 0.5).sum(), 3.0);
+        assert_eq!(Matrix::identity(3).sum(), 3.0);
+        assert_eq!(Matrix::row_vector(&[1.0, 2.0]).shape(), (1, 2));
+        assert_eq!(Matrix::column_vector(&[1.0, 2.0, 3.0]).shape(), (3, 1));
+    }
+
+    #[test]
+    fn from_fn_indexes_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + 2 * c) as f32);
+        assert!(a.matmul(&Matrix::identity(3)).approx_eq(&a, 1e-6));
+        assert!(Matrix::identity(3).matmul(&a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5);
+        let b = Matrix::from_fn(4, 2, |r, c| (r + c) as f32);
+        assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 * 0.25);
+        let b = Matrix::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.5);
+        assert!(a.matmul_nt(&b).approx_eq(&a.matmul(&b.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.add(&b).as_slice(), &[6.0, 8.0, 10.0, 12.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.add_scalar(1.0).as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Matrix::zeros(1, 3);
+        let g = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        a.add_scaled(&g, 0.5);
+        a.add_scaled(&g, 0.5);
+        assert!(a.approx_eq(&g, 1e-6));
+    }
+
+    #[test]
+    fn bias_broadcast_adds_to_every_row() {
+        let m = Matrix::zeros(3, 2);
+        let bias = Matrix::row_vector(&[1.0, -1.0]);
+        let out = m.add_row_broadcast(&bias);
+        for r in 0..3 {
+            assert_eq!(out.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.sum(), 21.0);
+        assert!((m.mean() - 3.5).abs() < 1e-6);
+        assert_eq!(m.sum_rows().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(m.sum_cols().as_slice(), &[6.0, 15.0]);
+        assert_eq!(m.max_abs(), 6.0);
+    }
+
+    #[test]
+    fn gather_rows_selects_and_repeats() {
+        let m = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.row(0), &[3.0, 3.0]);
+        assert_eq!(g.row(1), &[1.0, 1.0]);
+        assert_eq!(g.row(2), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn segment_sum_aggregates_and_keeps_empty_segments() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![2.0, 1.0], vec![3.0, 5.0]]);
+        let s = m.segment_sum(&[0, 2, 0], 4);
+        assert_eq!(s.row(0), &[4.0, 5.0]);
+        assert_eq!(s.row(1), &[0.0, 0.0]);
+        assert_eq!(s.row(2), &[2.0, 1.0]);
+        assert_eq!(s.row(3), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn segment_sum_then_gather_is_identity_for_singleton_segments() {
+        let m = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let s = m.segment_sum(&[0, 1, 2, 3, 4], 5);
+        assert!(s.approx_eq(&m, 1e-6));
+    }
+
+    #[test]
+    fn concat_and_slice_round_trip() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(2, 3, |r, c| (r * c) as f32);
+        let cat = a.concat_cols(&b);
+        assert_eq!(cat.shape(), (2, 5));
+        assert!(cat.slice_cols(0, 2).approx_eq(&a, 1e-6));
+        assert!(cat.slice_cols(2, 5).approx_eq(&b, 1e-6));
+
+        let v = a.concat_rows(&Matrix::from_fn(1, 2, |_, c| c as f32));
+        assert_eq!(v.shape(), (3, 2));
+        assert!(v.slice_rows(0, 2).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn mul_col_broadcast_masks_rows() {
+        let m = Matrix::ones(3, 2);
+        let mask = Matrix::column_vector(&[1.0, 0.0, 2.0]);
+        let out = m.mul_col_broadcast(&mask);
+        assert_eq!(out.row(0), &[1.0, 1.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+        assert_eq!(out.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m.set(1, 1, f32::NAN);
+        assert!(m.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_panics_on_shape_mismatch() {
+        let _ = Matrix::zeros(2, 2).add(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_panics_on_inner_mismatch() {
+        let _ = Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Every experiment in this workspace is fully determined by a single `u64`
+//! seed. [`Prng`] wraps the `rand` crate's `StdRng` and adds:
+//!
+//! - **stream splitting** ([`Prng::split`]): derive independent child streams
+//!   from a parent seed so that, e.g., sample *i* of a dataset is reproducible
+//!   in isolation regardless of how many samples are generated in parallel;
+//! - the distributions the simulator and the initializers need but that
+//!   `rand` 0.8 core does not ship (normal via Box–Muller, exponential via
+//!   inverse transform).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step — used to derive child seeds. This is the standard seed
+/// scrambler recommended for seeding from sequential integers.
+#[inline]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic random stream with explicit seed provenance.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl Prng {
+    /// Create a stream from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this stream was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream identified by `stream_id`.
+    ///
+    /// Children with different ids (or from parents with different seeds) are
+    /// statistically independent; the derivation is pure, so it can be called
+    /// from parallel workers without coordination.
+    pub fn split(&self, stream_id: u64) -> Prng {
+        let child_seed = splitmix64(self.seed ^ splitmix64(stream_id.wrapping_add(0xA5A5_5A5A_DEAD_BEEF)));
+        Prng::new(child_seed)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f32 {
+        self.rng.gen::<f32>()
+    }
+
+    /// Uniform `f32` in `[lo, hi)`. Panics if `lo > hi`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform_range: lo {lo} > hi {hi}");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform `f64` in `[0, 1)`, excluding exactly 0 (safe for `ln`).
+    #[inline]
+    pub fn uniform_pos_f64(&mut self) -> f64 {
+        loop {
+            let u: f64 = self.rng.gen();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    #[inline]
+    pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "int_range: empty range {lo}..{hi}");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        let u1 = self.uniform_pos_f64();
+        let u2: f64 = self.rng.gen();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std_dev: f32) -> f32 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Exponential with the given rate `lambda` (mean `1/lambda`), in f64 for
+    /// simulator timestamps. Panics if `lambda <= 0`.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential: rate must be positive, got {lambda}");
+        -self.uniform_pos_f64().ln() / lambda
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Choose a uniformly random element. Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fill a matrix with i.i.d. uniform values in `[lo, hi)`.
+    pub fn uniform_matrix(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> crate::Matrix {
+        crate::Matrix::from_fn(rows, cols, |_, _| self.uniform_range(lo, hi))
+    }
+
+    /// Fill a matrix with i.i.d. normal values.
+    pub fn normal_matrix(&mut self, rows: usize, cols: usize, mean: f32, std_dev: f32) -> crate::Matrix {
+        crate::Matrix::from_fn(rows, cols, |_, _| self.normal_with(mean, std_dev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4, "streams with different seeds should diverge");
+    }
+
+    #[test]
+    fn split_is_pure_and_distinct() {
+        let parent = Prng::new(7);
+        let mut c1 = parent.split(0);
+        let mut c1b = parent.split(0);
+        let mut c2 = parent.split(1);
+        assert_eq!(c1.uniform(), c1b.uniform(), "same stream id must reproduce");
+        // child 0 and child 1 should not be identical streams
+        let mut diffs = 0;
+        let mut c1 = parent.split(0);
+        for _ in 0..32 {
+            if c1.uniform() != c2.uniform() {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 28);
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let mut rng = Prng::new(3);
+        for _ in 0..1000 {
+            let v = rng.uniform_range(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Prng::new(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "normal mean drifted: {mean}");
+        assert!((var - 1.0).abs() < 0.08, "normal variance drifted: {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = Prng::new(13);
+        let lambda = 4.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / lambda).abs() < 0.01, "exp mean {mean} vs {}", 1.0 / lambda);
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = Prng::new(17);
+        for _ in 0..10_000 {
+            assert!(rng.exponential(0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Prng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Prng::new(23);
+        assert!((0..100).all(|_| !rng.bernoulli(0.0)));
+        assert!((0..100).all(|_| rng.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut rng = Prng::new(29);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the tensor substrate: algebraic identities of the
+//! matrix ops and distributional sanity of the RNG.
+
+use proptest::prelude::*;
+use rn_tensor::{Matrix, Prng};
+
+/// Strategy producing a matrix with bounded dimensions and finite values.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Two matrices with an identical shape.
+fn matrix_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        (
+            proptest::collection::vec(-10.0f32..10.0, r * c),
+            proptest::collection::vec(-10.0f32..10.0, r * c),
+        )
+            .prop_map(move |(a, b)| (Matrix::from_vec(r, c, a), Matrix::from_vec(r, c, b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes((a, b) in matrix_pair(6)) {
+        prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-5));
+    }
+
+    #[test]
+    fn hadamard_commutes((a, b) in matrix_pair(6)) {
+        prop_assert!(a.mul(&b).approx_eq(&b.mul(&a), 1e-4));
+    }
+
+    #[test]
+    fn subtract_self_is_zero(a in matrix(6)) {
+        let z = a.sub(&a);
+        prop_assert!(z.approx_eq(&Matrix::zeros(a.rows(), a.cols()), 0.0));
+    }
+
+    #[test]
+    fn transpose_involution(a in matrix(6)) {
+        prop_assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_identity(a in matrix(6)) {
+        let id = Matrix::identity(a.cols());
+        prop_assert!(a.matmul(&id).approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(5), cols in 1usize..5) {
+        // (A B)^T == B^T A^T
+        let mut rng = Prng::new(a.rows() as u64 + cols as u64);
+        let b = rng.uniform_matrix(a.cols(), cols, -1.0, 1.0);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_tn_nt_consistent(a in matrix(5), n in 1usize..5) {
+        let mut rng = Prng::new(17);
+        let b = rng.uniform_matrix(a.rows(), n, -1.0, 1.0);
+        prop_assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-3));
+        let c = rng.uniform_matrix(n, a.cols(), -1.0, 1.0);
+        prop_assert!(a.matmul_nt(&c).approx_eq(&a.matmul(&c.transpose()), 1e-3));
+    }
+
+    #[test]
+    fn sum_rows_then_total_matches_sum(a in matrix(6)) {
+        let by_rows = a.sum_rows().sum();
+        prop_assert!((by_rows - a.sum()).abs() < 1e-3 * (1.0 + a.sum().abs()));
+    }
+
+    #[test]
+    fn segment_sum_preserves_total(a in matrix(6), nseg in 1usize..4) {
+        let segs: Vec<usize> = (0..a.rows()).map(|i| i % nseg).collect();
+        let s = a.segment_sum(&segs, nseg);
+        prop_assert!((s.sum() - a.sum()).abs() < 1e-3 * (1.0 + a.sum().abs()));
+    }
+
+    #[test]
+    fn gather_then_segment_sum_roundtrip(a in matrix(5)) {
+        // Gathering each row once and scattering back to its origin is identity.
+        let idx: Vec<usize> = (0..a.rows()).collect();
+        let g = a.gather_rows(&idx);
+        let back = g.segment_sum(&idx, a.rows());
+        prop_assert!(back.approx_eq(&a, 1e-5));
+    }
+
+    #[test]
+    fn concat_slice_roundtrip((a, b) in matrix_pair(5)) {
+        let cat = a.concat_cols(&b);
+        prop_assert!(cat.slice_cols(0, a.cols()).approx_eq(&a, 0.0));
+        prop_assert!(cat.slice_cols(a.cols(), a.cols() + b.cols()).approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn scale_distributes_over_add((a, b) in matrix_pair(5)) {
+        let lhs = a.add(&b).scale(2.5);
+        let rhs = a.scale(2.5).add(&b.scale(2.5));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn rng_split_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let parent = Prng::new(seed);
+        let mut a = parent.split(stream);
+        let mut b = parent.split(stream);
+        for _ in 0..8 {
+            prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn percentile_bounded(mut values in proptest::collection::vec(-100.0f64..100.0, 1..50), p in 0.0f64..100.0) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let v = rn_tensor::stats::percentile_sorted(&values, p);
+        prop_assert!(v >= values[0] - 1e-9 && v <= values[values.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone(values in proptest::collection::vec(-50.0f64..50.0, 1..60)) {
+        let cdf = rn_tensor::stats::EmpiricalCdf::new(&values);
+        let series = cdf.series(16);
+        for w in series.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert!(series.last().unwrap().1 >= 1.0 - 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! Queueing theory vs the GNN — the paper's motivating comparison.
+//!
+//! The introduction argues that "traditional methods like Queueing Theory
+//! often fail to provide accurate models for complex real-world scenarios".
+//! This example puts numbers on that: a per-hop M/M/1/K decomposition
+//! predictor and a trained extended RouteNet forecast the same held-out
+//! scenarios, and both are scored against the packet-level simulator.
+//!
+//! Run: `cargo run --release --example qtheory_vs_gnn`
+
+use rn_dataset::{generate, train_test_split, GeneratorConfig};
+use rn_netgraph::topologies;
+use rn_netsim::SimConfig;
+use rn_qtheory::PathDelayPredictor;
+use rn_tensor::Prng;
+use routenet::eval::evaluate_baseline;
+use routenet::{evaluate, train, ExtendedRouteNet, ModelConfig, TrainConfig};
+
+fn main() {
+    let topo = topologies::abilene_default();
+    // Load the network into the regime where decomposition assumptions break:
+    // high utilization plus tiny buffers make per-hop arrivals strongly
+    // non-Poisson (departure processes, blocking correlations).
+    let gen_config = GeneratorConfig {
+        sim: SimConfig { duration_s: 500.0, warmup_s: 50.0, ..SimConfig::default() },
+        utilization_range: (0.85, 1.35),
+        ..GeneratorConfig::default()
+    };
+    println!("generating 120 Abilene scenarios ...");
+    let dataset = generate(&topo, &gen_config, 77, 120);
+    let (train_set, test_set) = train_test_split(dataset, 0.8, &mut Prng::new(3));
+
+    // --- analytical baseline: per-hop M/M/1/K decomposition -----------------
+    let predictor = PathDelayPredictor::new(gen_config.sim.mean_packet_bits);
+    let mut pairs = Vec::new();
+    for sample in &test_set.samples {
+        let mut sample_topo = topo.clone();
+        for (l, &c) in sample.link_capacities.iter().enumerate() {
+            sample_topo.set_link_capacity(l, c);
+        }
+        let preds =
+            predictor.predict(&sample_topo, &sample.routing, &sample.traffic, &sample.queue_capacities);
+        for ((_, _, p), t) in preds.iter().zip(&sample.targets) {
+            if t.is_reliable(10) && t.mean_delay_s > 0.0 {
+                pairs.push((*p, t.mean_delay_s));
+            }
+        }
+    }
+    let qt_report = evaluate_baseline("mm1k-decomp", "abilene", &pairs);
+
+    // --- learned model --------------------------------------------------------
+    let mut model = ExtendedRouteNet::new(ModelConfig {
+        state_dim: 16,
+        mp_iterations: 4,
+        readout_hidden: 32,
+        ..ModelConfig::default()
+    });
+    println!("training extended RouteNet on {} scenarios ...", train_set.len());
+    let train_config = TrainConfig {
+        epochs: 24,
+        batch_size: 8,
+        lr_halve_epochs: vec![16],
+        verbose: true,
+        ..TrainConfig::default()
+    };
+    train(&mut model, &train_set, None, &train_config);
+    let gnn_report = evaluate(&model, &test_set, "abilene", 10);
+
+    println!("\n=== same test scenarios, two predictors ===");
+    println!("{}", qt_report.summary_line());
+    println!("{}", gnn_report.summary_line());
+
+    println!(
+        "\nwhere each wins: on lightly-loaded paths the decomposition is near-exact,\n\
+         so medians are close ({:.3} vs {:.3}). On the congested tail the assumptions\n\
+         collapse — compare p90 ({:.3} vs {:.3}) and p95 ({:.3} vs {:.3}); the GNN\n\
+         stays calibrated where the formula falls apart.",
+        qt_report.median_abs_rel(),
+        gnn_report.median_abs_rel(),
+        qt_report.abs_rel_summary.p90,
+        gnn_report.abs_rel_summary.p90,
+        qt_report.abs_rel_summary.p95,
+        gnn_report.abs_rel_summary.p95
+    );
+    println!("\nwhy queueing theory struggles here: the M/M/1/K decomposition assumes");
+    println!("Poisson arrivals at every hop, but downstream queues see the *departure*");
+    println!("process of upstream ones; under load and tiny buffers the independence");
+    println!("assumption collapses — exactly the regime the GNN learns from data.");
+}

@@ -1,0 +1,94 @@
+//! Simulator deep-dive: run the packet-level simulator on NSFNET, inspect
+//! per-flow and per-link statistics, contrast queue-size regimes, and inject
+//! faults (random loss and a link outage).
+//!
+//! Run: `cargo run --release --example simulate_network`
+
+use rn_netgraph::{topologies, Routing, TrafficMatrix};
+use rn_netsim::{simulate, FaultPlan, SimConfig};
+use rn_tensor::Prng;
+
+fn main() {
+    let topo = topologies::nsfnet_default();
+    let mut rng = Prng::new(42);
+    let routing = Routing::randomized(&topo, &mut rng);
+    let traffic = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 0.9);
+    let config = SimConfig { duration_s: 600.0, warmup_s: 60.0, seed: 42, ..SimConfig::default() };
+
+    println!("=== scenario: NSFNET, busiest link at 90% offered utilization ===\n");
+
+    // --- standard vs tiny queues ------------------------------------------
+    let std_caps = vec![32usize; topo.num_nodes()];
+    let tiny_caps = vec![1usize; topo.num_nodes()];
+    let r_std = simulate(&topo, &routing, &traffic, &std_caps, &config, &FaultPlan::none()).unwrap();
+    let r_tiny = simulate(&topo, &routing, &traffic, &tiny_caps, &config, &FaultPlan::none()).unwrap();
+
+    println!("queue regime     mean delay      loss      delivered");
+    println!(
+        "standard (32)    {:>8.4}s   {:>7.4}   {:>10}",
+        r_std.mean_delay_s(),
+        r_std.loss_ratio(),
+        r_std.total_delivered
+    );
+    println!(
+        "tiny (1)         {:>8.4}s   {:>7.4}   {:>10}",
+        r_tiny.mean_delay_s(),
+        r_tiny.loss_ratio(),
+        r_tiny.total_delivered
+    );
+    println!("\n(the delay/loss trade-off above is exactly what the extended RouteNet learns)");
+
+    // --- hottest links -------------------------------------------------------
+    let mut links: Vec<(usize, f64)> =
+        r_std.links.iter().enumerate().map(|(l, s)| (l, s.utilization)).collect();
+    links.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nbusiest links (standard-queue run):");
+    for &(l, util) in links.iter().take(5) {
+        let link = topo.link(l);
+        println!(
+            "  link {l:>2} ({} -> {}): utilization {:.2}, drops {}",
+            link.src,
+            link.dst,
+            util,
+            r_std.links[l].drops
+        );
+    }
+
+    // --- slowest flows -------------------------------------------------------
+    let mut flows: Vec<(usize, f64)> =
+        r_std.flows.iter().enumerate().map(|(i, f)| (i, f.mean_delay_s)).collect();
+    flows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nslowest flows (standard queues):");
+    for &(i, delay) in flows.iter().take(5) {
+        let (s, d) = r_std.flow_pairs[i];
+        let f = &r_std.flows[i];
+        let hops = routing.path(s, d).unwrap().hop_count();
+        println!(
+            "  {s:>2} -> {d:<2} ({hops} hops): delay {delay:.4}s, jitter {:.4}s, loss {:.3}",
+            f.jitter_s, f.loss_ratio
+        );
+    }
+
+    // --- fault injection ------------------------------------------------------
+    println!("\n=== fault injection ===");
+    let lossy = FaultPlan::with_drop_chance(0.05);
+    let r_lossy = simulate(&topo, &routing, &traffic, &std_caps, &config, &lossy).unwrap();
+    println!(
+        "5% per-hop corruption: loss {:.4} (clean run: {:.4})",
+        r_lossy.loss_ratio(),
+        r_std.loss_ratio()
+    );
+
+    let hot_link = links[0].0;
+    let outage = FaultPlan::none().with_outage(hot_link, 200.0, 400.0);
+    let r_outage = simulate(&topo, &routing, &traffic, &std_caps, &config, &outage).unwrap();
+    println!(
+        "hottest link down for [200s, 400s): loss {:.4}, delivered {} (clean: {})",
+        r_outage.loss_ratio(),
+        r_outage.total_delivered,
+        r_std.total_delivered
+    );
+
+    assert!(r_std.conservation_holds() && r_tiny.conservation_holds());
+    println!("\nconservation checks passed on every run.");
+}

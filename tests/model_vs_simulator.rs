@@ -1,0 +1,176 @@
+//! Integration: the models' behaviour must reflect the physics the simulator
+//! implements — queue sizes matter to the extended model only, load raises
+//! delay, and the analytical baseline agrees at low load.
+
+use rn_dataset::{generate, GeneratorConfig};
+use rn_netgraph::{topologies, Routing, TrafficMatrix};
+use rn_netsim::{simulate, FaultPlan, SimConfig};
+use rn_qtheory::PathDelayPredictor;
+use rn_tensor::Prng;
+use routenet::model::PathPredictor;
+use routenet::{train, ExtendedRouteNet, ModelConfig, OriginalRouteNet, TrainConfig};
+
+fn tiny_gen_config() -> GeneratorConfig {
+    GeneratorConfig {
+        sim: SimConfig { duration_s: 120.0, warmup_s: 20.0, ..SimConfig::default() },
+        utilization_range: (0.6, 1.0),
+        ..GeneratorConfig::default()
+    }
+}
+
+fn tiny_model_config() -> ModelConfig {
+    ModelConfig { state_dim: 8, mp_iterations: 2, readout_hidden: 8, ..ModelConfig::default() }
+}
+
+#[test]
+fn queue_visibility_splits_the_models() {
+    let ds = generate(&topologies::toy5(), &tiny_gen_config(), 606, 8);
+    let mut ext = ExtendedRouteNet::new(tiny_model_config());
+    let mut orig = OriginalRouteNet::new(tiny_model_config());
+    let tc = TrainConfig { epochs: 3, batch_size: 4, ..TrainConfig::default() };
+    train(&mut ext, &ds, None, &tc);
+    train(&mut orig, &ds, None, &tc);
+
+    let mut flipped = ds.samples[0].clone();
+    flipped.queue_capacities = flipped
+        .queue_capacities
+        .iter()
+        .map(|&c| if c <= 1 { 32 } else { 1 })
+        .collect();
+
+    let l1 = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>();
+    let ext_delta = l1(
+        &ext.predict(&ext.plan(&ds.samples[0])),
+        &ext.predict(&ext.plan(&flipped)),
+    );
+    let orig_delta = l1(
+        &orig.predict(&orig.plan(&ds.samples[0])),
+        &orig.predict(&orig.plan(&flipped)),
+    );
+    assert!(orig_delta < 1e-9, "original must be blind to queue sizes, delta {orig_delta}");
+    assert!(ext_delta > 1e-6, "extended must react to queue sizes");
+}
+
+#[test]
+fn simulator_vs_qtheory_multi_hop_shows_kleinrock_effect() {
+    // A 4-hop line. Packets keep their size across hops, so per-hop service
+    // times are positively correlated — the independence assumption behind
+    // the M/M/1 decomposition fails (Kleinrock's caveat). The test pins both
+    // facts: near-zero load the decomposition is accurate (waiting vanishes),
+    // and at moderate load the *simulated* delay exceeds the decomposition —
+    // the very inaccuracy the paper cites as motivation for learned models.
+    let topo = rn_netgraph::Topology::from_undirected_edges(
+        "line5",
+        5,
+        &[(0, 1), (1, 2), (2, 3), (3, 4)],
+        10_000.0,
+        0.0,
+    );
+    let routing = Routing::shortest_paths(&topo);
+    let caps = vec![64usize; 5];
+    let predictor = PathDelayPredictor::new(1_000.0);
+
+    let run = |rate_bps: f64| -> (f64, f64) {
+        let mut tm = TrafficMatrix::zeros(5);
+        tm.set(0, 4, rate_bps);
+        let config = SimConfig {
+            duration_s: 4_000.0,
+            warmup_s: 400.0,
+            max_packet_bits: 50_000.0,
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let sim = simulate(&topo, &routing, &tm, &caps, &config, &FaultPlan::none()).unwrap();
+        let qt = predictor
+            .predict(&topo, &routing, &tm, &caps)
+            .into_iter()
+            .find(|&(s, d, _)| (s, d) == (0, 4))
+            .unwrap()
+            .2;
+        (sim.flow(0, 4).unwrap().mean_delay_s, qt)
+    };
+
+    // Near-zero load (rho = 0.02): waiting is dominated by packets bunching
+    // behind their own flow's long packets — a small residual (<10%).
+    let (sim_lo, qt_lo) = run(200.0);
+    let rel_lo = (sim_lo - qt_lo).abs() / qt_lo;
+    assert!(rel_lo < 0.10, "rho=0.02: sim {sim_lo:.4} vs theory {qt_lo:.4} (rel {rel_lo:.3})");
+
+    // Moderate load (rho = 0.1): correlated service inflates real delay
+    // above the independence approximation, and the gap widens with load.
+    let (sim_mid, qt_mid) = run(1_000.0);
+    let rel_mid = (sim_mid - qt_mid).abs() / qt_mid;
+    assert!(
+        sim_mid > qt_mid,
+        "service-time correlation must push simulated delay ({sim_mid:.4}) above the decomposition ({qt_mid:.4})"
+    );
+    assert!(
+        rel_mid > rel_lo,
+        "decomposition error must grow with load: {rel_lo:.3} at rho=0.02 vs {rel_mid:.3} at rho=0.1"
+    );
+    // ... but not absurdly so at this load.
+    assert!(rel_mid < 0.5);
+}
+
+#[test]
+fn heavier_traffic_raises_simulated_and_learned_delays() {
+    // Train on scenarios spanning loads, then check the *model* ranks a
+    // low-load variant of a sample below a high-load one, like the simulator.
+    let topo = topologies::toy5();
+    let ds = generate(&topo, &tiny_gen_config(), 707, 10);
+    let mut model = ExtendedRouteNet::new(tiny_model_config());
+    train(&mut model, &ds, None, &TrainConfig { epochs: 5, batch_size: 4, ..TrainConfig::default() });
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Take one sample and scale its traffic matrix down 5x.
+    let heavy = ds.samples[0].clone();
+    let mut light = heavy.clone();
+    let n = topo.num_nodes();
+    let mut light_tm = TrafficMatrix::zeros(n);
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                light_tm.set(s, d, heavy.traffic.rate(s, d) / 5.0);
+            }
+        }
+    }
+    light.traffic = light_tm;
+    let heavy_pred = mean(&model.predict(&model.plan(&heavy)));
+    let light_pred = mean(&model.predict(&model.plan(&light)));
+    assert!(
+        light_pred < heavy_pred,
+        "model must predict lower delays at 5x lighter load: light {light_pred} vs heavy {heavy_pred}"
+    );
+}
+
+#[test]
+fn evaluation_is_parallelism_invariant() {
+    // rayon ordering must not affect evaluation results.
+    let ds = generate(&topologies::toy5(), &tiny_gen_config(), 808, 6);
+    let mut model = OriginalRouteNet::new(tiny_model_config());
+    train(&mut model, &ds, None, &TrainConfig { epochs: 2, batch_size: 4, ..TrainConfig::default() });
+    let a = routenet::evaluate(&model, &ds, "toy5", 10);
+    let b = routenet::evaluate(&model, &ds, "toy5", 10);
+    assert_eq!(a.rel_errors, b.rel_errors);
+}
+
+#[test]
+fn simulator_scenarios_with_tiny_queues_lose_more_under_load() {
+    let topo = topologies::toy5();
+    let mut rng = Prng::new(11);
+    let routing = Routing::randomized(&topo, &mut rng);
+    let tm = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 1.1);
+    let config = SimConfig { duration_s: 300.0, warmup_s: 30.0, seed: 11, ..SimConfig::default() };
+    let all_std = simulate(&topo, &routing, &tm, &[32; 5], &config, &FaultPlan::none()).unwrap();
+    let all_tiny = simulate(&topo, &routing, &tm, &[1; 5], &config, &FaultPlan::none()).unwrap();
+    assert!(
+        all_tiny.loss_ratio() > all_std.loss_ratio(),
+        "tiny queues must drop more: {} vs {}",
+        all_tiny.loss_ratio(),
+        all_std.loss_ratio()
+    );
+    assert!(
+        all_tiny.mean_delay_s() < all_std.mean_delay_s(),
+        "surviving packets queue less behind tiny buffers"
+    );
+}

@@ -1,0 +1,110 @@
+//! End-to-end integration: simulator → dataset → training → evaluation →
+//! persistence, across every crate in the workspace.
+//!
+//! Scales are kept tiny (toy5 topology, few samples/epochs) so the whole file
+//! runs in seconds even in debug builds.
+
+use rn_dataset::{generate, train_test_split, GeneratorConfig};
+use rn_netgraph::topologies;
+use rn_netsim::SimConfig;
+use rn_tensor::Prng;
+use routenet::model::PathPredictor;
+use routenet::persist::{load_model, save_model};
+use routenet::{evaluate, train, ExtendedRouteNet, ModelConfig, OriginalRouteNet, TrainConfig};
+
+fn tiny_gen_config() -> GeneratorConfig {
+    GeneratorConfig {
+        sim: SimConfig { duration_s: 120.0, warmup_s: 20.0, ..SimConfig::default() },
+        utilization_range: (0.6, 1.0),
+        ..GeneratorConfig::default()
+    }
+}
+
+fn tiny_model_config() -> ModelConfig {
+    ModelConfig { state_dim: 8, mp_iterations: 2, readout_hidden: 8, ..ModelConfig::default() }
+}
+
+fn tiny_train_config(epochs: usize) -> TrainConfig {
+    TrainConfig { epochs, batch_size: 4, ..TrainConfig::default() }
+}
+
+#[test]
+fn full_pipeline_runs_and_improves_over_training() {
+    let dataset = generate(&topologies::toy5(), &tiny_gen_config(), 101, 12);
+    dataset.validate().expect("generated dataset must validate");
+    let (train_set, test_set) = train_test_split(dataset, 0.75, &mut Prng::new(1));
+
+    let mut model = ExtendedRouteNet::new(tiny_model_config());
+    let history = train(&mut model, &train_set, None, &tiny_train_config(6));
+    assert!(
+        history.final_train_loss() < history.train_loss[0],
+        "training must reduce loss: {:?}",
+        history.train_loss
+    );
+
+    let report = evaluate(&model, &test_set, "toy5", 10);
+    assert!(report.num_paths() > 0);
+    assert!(report.mae_s.is_finite());
+    assert!(report.median_abs_rel().is_finite());
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let run = || {
+        let dataset = generate(&topologies::toy5(), &tiny_gen_config(), 202, 8);
+        let (train_set, test_set) = train_test_split(dataset, 0.75, &mut Prng::new(2));
+        let mut model = OriginalRouteNet::new(tiny_model_config());
+        train(&mut model, &train_set, None, &tiny_train_config(3));
+        let report = evaluate(&model, &test_set, "toy5", 10);
+        (report.mae_s, report.median_abs_rel())
+    };
+    assert_eq!(run(), run(), "same seeds must give bit-identical pipelines");
+}
+
+#[test]
+fn trained_model_survives_disk_round_trip_with_identical_predictions() {
+    let dataset = generate(&topologies::toy5(), &tiny_gen_config(), 303, 6);
+    let mut model = ExtendedRouteNet::new(tiny_model_config());
+    train(&mut model, &dataset, None, &tiny_train_config(3));
+
+    let path = std::env::temp_dir().join(format!("rn_it_model_{}.json", std::process::id()));
+    save_model(&model, &path).unwrap();
+    let reloaded: ExtendedRouteNet = load_model(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    for sample in &dataset.samples {
+        let a = model.predict(&model.plan(sample));
+        let b = reloaded.predict(&reloaded.plan(sample));
+        assert_eq!(a, b, "reloaded model must be indistinguishable");
+    }
+}
+
+#[test]
+fn dataset_round_trips_through_disk_into_training() {
+    let dataset = generate(&topologies::toy5(), &tiny_gen_config(), 404, 6);
+    let path = std::env::temp_dir().join(format!("rn_it_ds_{}.jsonl", std::process::id()));
+    rn_dataset::io::save_jsonl(&dataset, &path).unwrap();
+    let reloaded = rn_dataset::io::load_jsonl(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    reloaded.validate().unwrap();
+
+    // Training on the reloaded dataset must match training on the original.
+    let mut a = OriginalRouteNet::new(tiny_model_config());
+    let mut b = OriginalRouteNet::new(tiny_model_config());
+    let ha = train(&mut a, &dataset, None, &tiny_train_config(2));
+    let hb = train(&mut b, &reloaded, None, &tiny_train_config(2));
+    assert_eq!(ha.train_loss, hb.train_loss);
+}
+
+#[test]
+fn models_generalize_across_topologies_structurally() {
+    // A model trained on toy5 must *run* (not necessarily excel) on Abilene:
+    // nothing in the architecture is tied to one graph.
+    let train_ds = generate(&topologies::toy5(), &tiny_gen_config(), 505, 6);
+    let other_ds = generate(&topologies::abilene_default(), &tiny_gen_config(), 506, 2);
+    let mut model = ExtendedRouteNet::new(tiny_model_config());
+    train(&mut model, &train_ds, None, &tiny_train_config(2));
+    let report = evaluate(&model, &other_ds, "abilene", 10);
+    assert!(report.num_paths() > 0);
+    assert!(report.rel_errors.iter().all(|e| e.is_finite()));
+}
