@@ -48,7 +48,11 @@ pub fn check_gradients(
     let analytic: Vec<Matrix> = vars
         .iter()
         .zip(inputs)
-        .map(|(&v, m)| g.grad(v).cloned().unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols())))
+        .map(|(&v, m)| {
+            g.grad(v)
+                .cloned()
+                .unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols()))
+        })
         .collect();
 
     // Numeric pass: perturb each element of each input.
@@ -82,7 +86,11 @@ pub fn check_gradients(
             }
         }
     }
-    CheckReport { max_abs_err, max_rel_err, elements }
+    CheckReport {
+        max_abs_err,
+        max_rel_err,
+        elements,
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,28 @@
 //! [`Var`] is a copyable handle (an index into the tape). Because nodes are
 //! appended in execution order, a single reverse sweep in `backward` visits
 //! every node after all of its consumers — the classic tape invariant.
+//!
+//! ## Buffer pool
+//!
+//! Training runs thousands of short-lived tapes, and profiling showed the
+//! dominant cost after kernel time is allocator churn: every op allocates its
+//! output, every backward allocates adjoints. The tape therefore owns a free
+//! list of `Vec<f32>` buffers. [`Graph::reset`] clears the tape for reuse but
+//! harvests every node's value/grad (and fused-op scratch) into the free
+//! list, so a tape that has processed one sample replays the next one with
+//! **zero** heap allocation in steady state. Reuse is numerically inert:
+//! pooled buffers are fully overwritten (or zero-filled) before use, so a
+//! reused tape produces bit-identical values and gradients to a fresh one —
+//! a property the proptests pin down.
+//!
+//! ## Fused ops
+//!
+//! RouteNet's hot loop is one GRU step per sequence position per
+//! message-passing iteration. Expressed in primitive ops that is ~20 tape
+//! nodes per position; the fused [`Graph::gather_mask`], [`Graph::gru_step`]
+//! and [`Graph::segment_acc`] collapse it to 3, shrinking tape length (and
+//! backward dispatch + allocation) by roughly an order of magnitude. The
+//! primitive ops remain — tests use them as the numerical reference.
 
 use crate::activations as act;
 use rn_tensor::Matrix;
@@ -14,21 +36,66 @@ use rn_tensor::Matrix;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
 
+/// The six parameter handles of one bound GRU cell, as the fused
+/// [`Graph::gru_step`] op consumes them. Constructed by `rn_nn`'s
+/// `BoundGruCell`; kernels are `(hidden + input) x hidden`, biases `1 x
+/// hidden`.
+#[derive(Debug, Clone, Copy)]
+pub struct GruVars {
+    /// Update-gate kernel.
+    pub w_z: Var,
+    /// Update-gate bias.
+    pub b_z: Var,
+    /// Reset-gate kernel.
+    pub w_r: Var,
+    /// Reset-gate bias.
+    pub b_r: Var,
+    /// Candidate kernel.
+    pub w_c: Var,
+    /// Candidate bias.
+    pub b_c: Var,
+}
+
+/// Forward intermediates the fused GRU step saves for its adjoint.
+#[derive(Debug)]
+struct GruSaved {
+    /// `[h | x]`, `n x (hidden + input)`.
+    hx: Matrix,
+    /// `[r ⊙ h | x]`, `n x (hidden + input)`.
+    rhx: Matrix,
+    /// Update gate (post-sigmoid).
+    z: Matrix,
+    /// Reset gate (post-sigmoid).
+    r: Matrix,
+    /// Candidate state (post-tanh).
+    c: Matrix,
+    /// Row activity mask (`n x 1`), if this was a masked step.
+    mask: Option<Matrix>,
+}
+
 /// Recorded operation: the inputs and any auxiliary data the adjoint needs.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 enum Op {
     /// Leaf node. `requires_grad = false` marks constants whose gradient is
     /// never materialized (saves memory for targets and masks).
-    Leaf { requires_grad: bool },
+    Leaf {
+        requires_grad: bool,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
     MatMul(Var, Var),
     /// Broadcast-add a `1 x c` bias row to every row of `x`.
-    AddBias { x: Var, bias: Var },
+    AddBias {
+        x: Var,
+        bias: Var,
+    },
     /// Element-wise `a * x + b`. Only the slope is recorded: the adjoint of
     /// an affine map does not depend on the offset.
-    Affine { x: Var, a: f32 },
+    Affine {
+        x: Var,
+        a: f32,
+    },
     Sigmoid(Var),
     Tanh(Var),
     Relu(Var),
@@ -37,17 +104,71 @@ enum Op {
     Abs(Var),
     Square(Var),
     /// Element-wise `min(x, c)` for a scalar cap `c`.
-    ClampMax { x: Var, cap: f32 },
+    ClampMax {
+        x: Var,
+        cap: f32,
+    },
     ConcatCols(Var, Var),
-    SliceCols { x: Var, start: usize, end: usize },
-    GatherRows { x: Var, indices: Vec<usize> },
-    SegmentSum { x: Var, segments: Vec<usize> },
+    SliceCols {
+        x: Var,
+        start: usize,
+        end: usize,
+    },
+    GatherRows {
+        x: Var,
+        indices: Vec<usize>,
+    },
+    SegmentSum {
+        x: Var,
+        segments: Vec<usize>,
+    },
     /// Multiply each row of `x` by the matching entry of a constant `n x 1`
     /// mask. The mask is captured by value: it is padding structure, not a
     /// differentiable quantity.
-    MaskRows { x: Var, mask: Matrix },
+    MaskRows {
+        x: Var,
+        mask: Matrix,
+    },
     Sum(Var),
     Mean(Var),
+    /// Fused `gather_rows` + `mask_rows`: `out[i] = mask[i] * x[indices[i]]`.
+    GatherMask {
+        x: Var,
+        indices: Vec<usize>,
+        mask: Matrix,
+    },
+    /// Fused masked scatter-add accumulate:
+    /// `out = acc; out[segments[i]] += mask[i] * x[i]`.
+    SegmentAcc {
+        acc: Var,
+        x: Var,
+        segments: Vec<usize>,
+        mask: Matrix,
+    },
+    /// One whole (optionally masked) GRU step as a single node.
+    GruStep {
+        vars: GruVars,
+        h: Var,
+        x: Var,
+        saved: Box<GruSaved>,
+    },
+    /// Row-compacted GRU step: only `rows` advance; all other rows of `h`
+    /// pass through untouched. `x` is already compacted (`rows.len()` rows).
+    GruStepRows {
+        vars: GruVars,
+        h: Var,
+        x: Var,
+        rows: Vec<usize>,
+        saved: Box<GruSaved>,
+    },
+    /// Row-compacted scatter-add accumulate:
+    /// `out = acc; out[segments[k]] += x[rows[k]]`.
+    SegmentAccRows {
+        acc: Var,
+        x: Var,
+        rows: Vec<usize>,
+        segments: Vec<usize>,
+    },
 }
 
 struct Node {
@@ -59,22 +180,95 @@ struct Node {
 /// A define-by-run differentiation tape.
 ///
 /// Typical lifecycle: create, register parameters/inputs, run ops, call
-/// [`Graph::backward`] once, read gradients with [`Graph::grad`], drop.
+/// [`Graph::backward`] once, read gradients with [`Graph::grad`] — then
+/// either drop it or [`Graph::reset`] it to replay the next sample with the
+/// same buffers.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Free list of recycled backing buffers (see module docs).
+    pool: Vec<Vec<f32>>,
+    /// Free list of recycled index buffers (gather/scatter id lists).
+    idx_pool: Vec<Vec<usize>>,
+    /// Seed-faithful reference mode: primitive matmul/activation ops run the
+    /// pre-refactor naive kernels and libm transcendentals. Used as the
+    /// "before" side of the training-step benchmark and by equivalence tests.
+    reference_mode: bool,
+}
+
+/// Pop a recycled buffer (or allocate) and shape it into a zeroed matrix.
+fn pool_matrix(pool: &mut Vec<Vec<f32>>, rows: usize, cols: usize) -> Matrix {
+    let len = rows * cols;
+    let mut buf = pool.pop().unwrap_or_default();
+    buf.clear();
+    buf.resize(len, 0.0);
+    Matrix::from_vec(rows, cols, buf)
+}
+
+/// Return a matrix's backing buffer to the free list.
+fn pool_recycle(pool: &mut Vec<Vec<f32>>, m: Matrix) {
+    pool.push(m.into_vec());
+}
+
+/// Return a fused GRU node's saved activations to the free list.
+fn recycle_gru_saved(pool: &mut Vec<Vec<f32>>, s: GruSaved) {
+    pool_recycle(pool, s.hx);
+    pool_recycle(pool, s.rhx);
+    pool_recycle(pool, s.z);
+    pool_recycle(pool, s.r);
+    pool_recycle(pool, s.c);
+    if let Some(m) = s.mask {
+        pool_recycle(pool, m);
+    }
+}
+
+/// Copy an index slice into a recycled buffer (or a fresh one).
+fn pool_indices(pool: &mut Vec<Vec<usize>>, src: &[usize]) -> Vec<usize> {
+    let mut v = pool.pop().unwrap_or_default();
+    v.clear();
+    v.extend_from_slice(src);
+    v
+}
+
+/// Add the column sums of `src` into the `1 x cols` accumulator `bias_grad`.
+fn add_col_sums(bias_grad: &mut Matrix, src: &Matrix) {
+    debug_assert_eq!(bias_grad.cols(), src.cols());
+    let cols = src.cols();
+    let acc = bias_grad.as_mut_slice();
+    for r in 0..src.rows() {
+        for (a, &v) in acc
+            .iter_mut()
+            .zip(&src.as_slice()[r * cols..(r + 1) * cols])
+        {
+            *a += v;
+        }
+    }
+}
+
+/// Copy `[left_row | right_row]` into each row of `out`.
+fn concat_rows_into(out: &mut Matrix, left: &Matrix, right: &Matrix) {
+    let (n, lc, rc) = (left.rows(), left.cols(), right.cols());
+    debug_assert_eq!(out.shape(), (n, lc + rc));
+    for i in 0..n {
+        let dst = out.row_mut(i);
+        dst[..lc].copy_from_slice(left.row(i));
+        dst[lc..].copy_from_slice(right.row(i));
+    }
 }
 
 impl Graph {
     /// Empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Empty tape with room for `capacity` nodes (avoids reallocation in the
     /// message-passing hot loop, where the node count is predictable).
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { nodes: Vec::with_capacity(capacity) }
+        Self {
+            nodes: Vec::with_capacity(capacity),
+            ..Self::default()
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -87,8 +281,69 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Number of buffers currently parked in the free list (observability
+    /// for tests and benchmarks).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Switch the primitive ops to the pre-refactor kernels (naive matmul,
+    /// libm sigmoid/tanh/selu). Fused ops are unaffected — reference mode
+    /// exists to reproduce the seed's hot path for honest before/after
+    /// benchmarking and golden tests. Survives [`Graph::reset`].
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
+    }
+
+    /// Clear the tape for reuse, retaining every allocation.
+    ///
+    /// All `Var` handles from before the reset become invalid. Node values,
+    /// gradients and fused-op scratch matrices are harvested into the free
+    /// list, so the next forward/backward replays allocation-free once the
+    /// pool has warmed up. A reset tape computes bit-identical results to a
+    /// fresh one (pooled buffers are fully overwritten before use).
+    pub fn reset(&mut self) {
+        let pool = &mut self.pool;
+        let idx_pool = &mut self.idx_pool;
+        for node in self.nodes.drain(..) {
+            pool_recycle(pool, node.value);
+            if let Some(g) = node.grad {
+                pool_recycle(pool, g);
+            }
+            match node.op {
+                Op::MaskRows { mask, .. } => pool_recycle(pool, mask),
+                Op::GatherRows { indices, .. } => idx_pool.push(indices),
+                Op::SegmentSum { segments, .. } => idx_pool.push(segments),
+                Op::GatherMask { mask, indices, .. } => {
+                    pool_recycle(pool, mask);
+                    idx_pool.push(indices);
+                }
+                Op::SegmentAcc { mask, segments, .. } => {
+                    pool_recycle(pool, mask);
+                    idx_pool.push(segments);
+                }
+                Op::SegmentAccRows { rows, segments, .. } => {
+                    idx_pool.push(rows);
+                    idx_pool.push(segments);
+                }
+                Op::GruStep { saved, .. } => {
+                    recycle_gru_saved(pool, *saved);
+                }
+                Op::GruStepRows { rows, saved, .. } => {
+                    idx_pool.push(rows);
+                    recycle_gru_saved(pool, *saved);
+                }
+                _ => {}
+            }
+        }
+    }
+
     fn push(&mut self, value: Matrix, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -98,12 +353,37 @@ impl Graph {
 
     /// Register a differentiable leaf (a model parameter or input).
     pub fn param(&mut self, value: Matrix) -> Var {
-        self.push(value, Op::Leaf { requires_grad: true })
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: true,
+            },
+        )
     }
 
     /// Register a non-differentiable leaf (targets, masks, constants).
     pub fn constant(&mut self, value: Matrix) -> Var {
-        self.push(value, Op::Leaf { requires_grad: false })
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: false,
+            },
+        )
+    }
+
+    /// Register a non-differentiable leaf built in a pooled buffer by `fill`.
+    ///
+    /// `fill` receives a zeroed `rows x cols` matrix; this is the
+    /// allocation-free path for per-sample inputs on a reused tape.
+    pub fn constant_with(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        fill: impl FnOnce(&mut Matrix),
+    ) -> Var {
+        let mut m = pool_matrix(&mut self.pool, rows, cols);
+        fill(&mut m);
+        self.constant(m)
     }
 
     /// Forward value of a variable.
@@ -142,8 +422,15 @@ impl Graph {
 
     /// Matrix product `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::MatMul(a, b))
+        if self.reference_mode {
+            let v = self.value(a).matmul_reference(self.value(b));
+            return self.push(v, Op::MatMul(a, b));
+        }
+        let mut pool = std::mem::take(&mut self.pool);
+        let mut out = pool_matrix(&mut pool, self.value(a).rows(), self.value(b).cols());
+        self.value(a).matmul_into(self.value(b), &mut out);
+        self.pool = pool;
+        self.push(out, Op::MatMul(a, b))
     }
 
     /// Broadcast-add a `1 x c` bias row vector to every row of `x`.
@@ -174,13 +461,22 @@ impl Graph {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(act::sigmoid);
+        // Branch outside `map` so each path inlines its function item.
+        let v = if self.reference_mode {
+            self.value(x).map(act::sigmoid_precise)
+        } else {
+            self.value(x).map(act::sigmoid)
+        };
         self.push(v, Op::Sigmoid(x))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(act::tanh);
+        let v = if self.reference_mode {
+            self.value(x).map(act::tanh_precise)
+        } else {
+            self.value(x).map(act::tanh)
+        };
         self.push(v, Op::Tanh(x))
     }
 
@@ -192,7 +488,11 @@ impl Graph {
 
     /// Scaled exponential linear unit (RouteNet's readout activation).
     pub fn selu(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(act::selu);
+        let v = if self.reference_mode {
+            self.value(x).map(act::selu_precise)
+        } else {
+            self.value(x).map(act::selu)
+        };
         self.push(v, Op::Selu(x))
     }
 
@@ -238,24 +538,383 @@ impl Graph {
     }
 
     /// Gather rows: `out[i] = x[indices[i]]`. Indices may repeat; the adjoint
-    /// scatter-adds into the repeated rows.
+    /// scatter-adds into the repeated rows. Output comes from the buffer pool.
     pub fn gather_rows(&mut self, x: Var, indices: &[usize]) -> Var {
-        let v = self.value(x).gather_rows(indices);
-        self.push(v, Op::GatherRows { x, indices: indices.to_vec() })
+        let mut pool = std::mem::take(&mut self.pool);
+        let xv = self.value(x);
+        let mut out = pool_matrix(&mut pool, indices.len(), xv.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(xv.row(idx));
+        }
+        self.pool = pool;
+        let indices = pool_indices(&mut self.idx_pool, indices);
+        self.push(out, Op::GatherRows { x, indices })
     }
 
     /// Segment sum: `out[segments[i]] += x[i]` with `num_segments` output rows.
     /// This is RouteNet's message aggregation (paths → links, paths → nodes).
     pub fn segment_sum(&mut self, x: Var, segments: &[usize], num_segments: usize) -> Var {
         let v = self.value(x).segment_sum(segments, num_segments);
-        self.push(v, Op::SegmentSum { x, segments: segments.to_vec() })
+        let segments = pool_indices(&mut self.idx_pool, segments);
+        self.push(v, Op::SegmentSum { x, segments })
     }
 
     /// Multiply each row of `x` by the matching entry of the constant `n x 1`
     /// mask matrix (used to zero padded sequence positions).
     pub fn mask_rows(&mut self, x: Var, mask: &Matrix) -> Var {
         let v = self.value(x).mul_col_broadcast(mask);
-        self.push(v, Op::MaskRows { x, mask: mask.clone() })
+        self.push(
+            v,
+            Op::MaskRows {
+                x,
+                mask: mask.clone(),
+            },
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Fused message-passing ops
+    // ------------------------------------------------------------------
+
+    /// Fused gather + row mask: `out[i] = mask[i] * x[indices[i]]`.
+    ///
+    /// One tape node replacing the `gather_rows` → `mask_rows` pair. The
+    /// production sweep uses the row-compacted form ([`Graph::gather_rows`]
+    /// over active ids); this masked form is kept as the dense reference the
+    /// compacted ops are validated against, and for callers whose masks are
+    /// not 0/1. Masked rows are exact zeros, like the unfused pair.
+    pub fn gather_mask(&mut self, x: Var, indices: &[usize], mask: &Matrix) -> Var {
+        let mut pool = std::mem::take(&mut self.pool);
+        let xv = self.value(x);
+        assert_eq!(
+            indices.len(),
+            mask.rows(),
+            "gather_mask: indices/mask mismatch"
+        );
+        let cols = xv.cols();
+        let mut out = pool_matrix(&mut pool, indices.len(), cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            let m = mask.get(i, 0);
+            let dst = out.row_mut(i);
+            let src = xv.row(idx);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = m * s;
+            }
+        }
+        let mut mask_copy = pool_matrix(&mut pool, mask.rows(), 1);
+        mask_copy.as_mut_slice().copy_from_slice(mask.as_slice());
+        self.pool = pool;
+        let indices = pool_indices(&mut self.idx_pool, indices);
+        self.push(
+            out,
+            Op::GatherMask {
+                x,
+                indices,
+                mask: mask_copy,
+            },
+        )
+    }
+
+    /// Fused masked scatter-add accumulate:
+    /// `out = acc` then `out[segments[i]] += mask[i] * x[i]`.
+    ///
+    /// One tape node replacing the `mask_rows` → `segment_sum` → `add` chain
+    /// that folds per-position messages into the per-entity accumulator.
+    /// The production sweep uses [`Graph::segment_acc_rows`]; this masked
+    /// form is the dense reference it is validated against.
+    pub fn segment_acc(&mut self, acc: Var, x: Var, segments: &[usize], mask: &Matrix) -> Var {
+        let mut pool = std::mem::take(&mut self.pool);
+        let (acc_v, x_v) = (self.value(acc), self.value(x));
+        assert_eq!(
+            segments.len(),
+            x_v.rows(),
+            "segment_acc: segments/x mismatch"
+        );
+        assert_eq!(mask.rows(), x_v.rows(), "segment_acc: mask/x mismatch");
+        assert_eq!(acc_v.cols(), x_v.cols(), "segment_acc: width mismatch");
+        let num_segments = acc_v.rows();
+        let mut out = pool_matrix(&mut pool, num_segments, acc_v.cols());
+        out.as_mut_slice().copy_from_slice(acc_v.as_slice());
+        for (i, &s) in segments.iter().enumerate() {
+            assert!(
+                s < num_segments,
+                "segment_acc: segment id {s} out of range {num_segments}"
+            );
+            let m = mask.get(i, 0);
+            let src = x_v.row(i);
+            let dst = out.row_mut(s);
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d += m * v;
+            }
+        }
+        let mut mask_copy = pool_matrix(&mut pool, mask.rows(), 1);
+        mask_copy.as_mut_slice().copy_from_slice(mask.as_slice());
+        self.pool = pool;
+        let segments = pool_indices(&mut self.idx_pool, segments);
+        self.push(
+            out,
+            Op::SegmentAcc {
+                acc,
+                x,
+                segments,
+                mask: mask_copy,
+            },
+        )
+    }
+
+    /// Row-compacted scatter-add accumulate:
+    /// `out = acc` then `out[segments[k]] += x[rows[k]]`.
+    ///
+    /// The compacted sibling of [`Graph::segment_acc`]: instead of masking
+    /// inactive rows to zero and still touching them, only the active
+    /// `rows` are visited at all. With RouteNet's path-length distribution
+    /// most positions are inactive in late steps, so this trims both the
+    /// forward scatter and the backward gather to the live set.
+    pub fn segment_acc_rows(
+        &mut self,
+        acc: Var,
+        x: Var,
+        rows: &[usize],
+        segments: &[usize],
+    ) -> Var {
+        let mut pool = std::mem::take(&mut self.pool);
+        let (acc_v, x_v) = (self.value(acc), self.value(x));
+        assert_eq!(
+            rows.len(),
+            segments.len(),
+            "segment_acc_rows: rows/segments mismatch"
+        );
+        assert_eq!(acc_v.cols(), x_v.cols(), "segment_acc_rows: width mismatch");
+        let num_segments = acc_v.rows();
+        let mut out = pool_matrix(&mut pool, num_segments, acc_v.cols());
+        out.as_mut_slice().copy_from_slice(acc_v.as_slice());
+        for (&row, &s) in rows.iter().zip(segments) {
+            assert!(
+                s < num_segments,
+                "segment_acc_rows: segment id {s} out of range"
+            );
+            let src = x_v.row(row);
+            let dst = out.row_mut(s);
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d += v;
+            }
+        }
+        self.pool = pool;
+        let rows = pool_indices(&mut self.idx_pool, rows);
+        let segments = pool_indices(&mut self.idx_pool, segments);
+        self.push(
+            out,
+            Op::SegmentAccRows {
+                acc,
+                x,
+                rows,
+                segments,
+            },
+        )
+    }
+
+    /// Row-compacted GRU step: only `rows` advance, every other row of `h`
+    /// passes through bitwise untouched. `x` must already be compacted to
+    /// `rows.len()` rows (e.g. by [`Graph::gather_rows`] with active ids).
+    ///
+    /// Numerically identical to [`Graph::gru_step`] with a 0/1 mask, but the
+    /// gate matmuls and transcendentals shrink from all paths to the active
+    /// set — the biggest single win on RouteNet's tail steps, where only a
+    /// handful of long paths remain active.
+    pub fn gru_step_rows(&mut self, vars: &GruVars, h: Var, x: Var, rows: &[usize]) -> Var {
+        let mut pool = std::mem::take(&mut self.pool);
+        let (n, hidden) = self.value(h).shape();
+        let a = rows.len();
+        let input = self.value(x).cols();
+        assert_eq!(
+            self.value(x).rows(),
+            a,
+            "gru_step_rows: x must be compacted to rows"
+        );
+        let hv = self.value(h);
+        let xv = self.value(x);
+        let w_z = self.value(vars.w_z);
+        let b_z = self.value(vars.b_z);
+        let w_r = self.value(vars.w_r);
+        let b_r = self.value(vars.b_r);
+        let w_c = self.value(vars.w_c);
+        let b_c = self.value(vars.b_c);
+        assert_eq!(
+            w_z.shape(),
+            (hidden + input, hidden),
+            "gru_step_rows: W_z shape"
+        );
+
+        let mut hx = pool_matrix(&mut pool, a, hidden + input);
+        for (k, &row) in rows.iter().enumerate() {
+            assert!(row < n, "gru_step_rows: row {row} out of range {n}");
+            let dst = hx.row_mut(k);
+            dst[..hidden].copy_from_slice(hv.row(row));
+            dst[hidden..].copy_from_slice(xv.row(k));
+        }
+
+        let mut z = pool_matrix(&mut pool, a, hidden);
+        hx.matmul_into(w_z, &mut z);
+        z.add_row_broadcast_assign(b_z);
+        z.map_inplace(act::sigmoid);
+
+        let mut r = pool_matrix(&mut pool, a, hidden);
+        hx.matmul_into(w_r, &mut r);
+        r.add_row_broadcast_assign(b_r);
+        r.map_inplace(act::sigmoid);
+
+        let mut rhx = pool_matrix(&mut pool, a, hidden + input);
+        for (k, &row) in rows.iter().enumerate() {
+            let dst = rhx.row_mut(k);
+            for ((d, &rv), &hvv) in dst[..hidden].iter_mut().zip(r.row(k)).zip(hv.row(row)) {
+                *d = rv * hvv;
+            }
+            dst[hidden..].copy_from_slice(xv.row(k));
+        }
+
+        let mut c = pool_matrix(&mut pool, a, hidden);
+        rhx.matmul_into(w_c, &mut c);
+        c.add_row_broadcast_assign(b_c);
+        c.map_inplace(act::tanh);
+
+        let mut out = pool_matrix(&mut pool, n, hidden);
+        out.as_mut_slice().copy_from_slice(hv.as_slice());
+        for (k, &row) in rows.iter().enumerate() {
+            let (zr, cr) = (z.row(k), c.row(k));
+            let hr_start = row * hidden;
+            let dst = out.row_mut(row);
+            for j in 0..hidden {
+                let hvj = hv.as_slice()[hr_start + j];
+                dst[j] = (1.0 - zr[j]) * hvj + zr[j] * cr[j];
+            }
+        }
+
+        self.pool = pool;
+        let rows = pool_indices(&mut self.idx_pool, rows);
+        let saved = Box::new(GruSaved {
+            hx,
+            rhx,
+            z,
+            r,
+            c,
+            mask: None,
+        });
+        self.push(
+            out,
+            Op::GruStepRows {
+                vars: *vars,
+                h,
+                x,
+                rows,
+                saved,
+            },
+        )
+    }
+
+    /// One whole GRU step as a single tape node:
+    ///
+    /// ```text
+    /// z = σ([h|x]·W_z + b_z)       r = σ([h|x]·W_r + b_r)
+    /// c = tanh([r⊙h|x]·W_c + b_c)  h' = (1−z)⊙h + z⊙c
+    /// out = mask⊙h' + (1−mask)⊙h   (out = h' when mask is None)
+    /// ```
+    ///
+    /// Replaces the ~17-node unfused expansion. Forward intermediates are
+    /// kept on the node for the adjoint; all scratch comes from the pool.
+    /// Numerics match the unfused op chain operation-for-operation. The
+    /// production sweep uses the row-compacted [`Graph::gru_step_rows`];
+    /// the masked form here is the dense reference it is validated against
+    /// (and the fused step for callers without compaction lists).
+    pub fn gru_step(&mut self, vars: &GruVars, h: Var, x: Var, mask: Option<&Matrix>) -> Var {
+        let mut pool = std::mem::take(&mut self.pool);
+        let (n, hidden) = self.value(h).shape();
+        let input = self.value(x).cols();
+        let hv = self.value(h);
+        let xv = self.value(x);
+        let w_z = self.value(vars.w_z);
+        let b_z = self.value(vars.b_z);
+        let w_r = self.value(vars.w_r);
+        let b_r = self.value(vars.b_r);
+        let w_c = self.value(vars.w_c);
+        let b_c = self.value(vars.b_c);
+        assert_eq!(w_z.shape(), (hidden + input, hidden), "gru_step: W_z shape");
+        if let Some(m) = mask {
+            assert_eq!(m.shape(), (n, 1), "gru_step: mask shape");
+        }
+
+        let mut hx = pool_matrix(&mut pool, n, hidden + input);
+        concat_rows_into(&mut hx, hv, xv);
+
+        let mut z = pool_matrix(&mut pool, n, hidden);
+        hx.matmul_into(w_z, &mut z);
+        z.add_row_broadcast_assign(b_z);
+        z.map_inplace(act::sigmoid);
+
+        let mut r = pool_matrix(&mut pool, n, hidden);
+        hx.matmul_into(w_r, &mut r);
+        r.add_row_broadcast_assign(b_r);
+        r.map_inplace(act::sigmoid);
+
+        let mut rhx = pool_matrix(&mut pool, n, hidden + input);
+        for i in 0..n {
+            let dst = rhx.row_mut(i);
+            for ((d, &rv), &hvv) in dst[..hidden].iter_mut().zip(r.row(i)).zip(hv.row(i)) {
+                *d = rv * hvv;
+            }
+            dst[hidden..].copy_from_slice(xv.row(i));
+        }
+
+        let mut c = pool_matrix(&mut pool, n, hidden);
+        rhx.matmul_into(w_c, &mut c);
+        c.add_row_broadcast_assign(b_c);
+        c.map_inplace(act::tanh);
+
+        let mut out = pool_matrix(&mut pool, n, hidden);
+        for i in 0..n {
+            let dst = out.row_mut(i);
+            let (zr, cr, hr) = (z.row(i), c.row(i), hv.row(i));
+            match mask {
+                // Same operation sequence as the unfused chain:
+                // (1-z)*h + z*c, then blended with the mask.
+                None => {
+                    for j in 0..hidden {
+                        dst[j] = (1.0 - zr[j]) * hr[j] + zr[j] * cr[j];
+                    }
+                }
+                Some(m) => {
+                    let mv = m.get(i, 0);
+                    let keep = 1.0 - mv;
+                    for j in 0..hidden {
+                        let blended = (1.0 - zr[j]) * hr[j] + zr[j] * cr[j];
+                        dst[j] = keep * hr[j] + mv * blended;
+                    }
+                }
+            }
+        }
+
+        let mask_copy = mask.map(|m| {
+            let mut mc = pool_matrix(&mut pool, n, 1);
+            mc.as_mut_slice().copy_from_slice(m.as_slice());
+            mc
+        });
+        self.pool = pool;
+        let saved = Box::new(GruSaved {
+            hx,
+            rhx,
+            z,
+            r,
+            c,
+            mask: mask_copy,
+        });
+        self.push(
+            out,
+            Op::GruStep {
+                vars: *vars,
+                h,
+                x,
+                saved,
+            },
+        )
     }
 
     // ------------------------------------------------------------------
@@ -297,7 +956,7 @@ impl Graph {
     /// Gradients accumulate into every node that (transitively) influences the
     /// loss; read them with [`Graph::grad`]. Calling `backward` twice on the
     /// same tape accumulates into existing gradients, which is almost never
-    /// what you want — build a fresh tape per step instead.
+    /// what you want — [`Graph::reset`] and rebuild instead.
     pub fn backward(&mut self, loss: Var) {
         assert_eq!(
             self.value(loss).shape(),
@@ -306,114 +965,523 @@ impl Graph {
             self.value(loss).shape()
         );
         let n = self.nodes.len();
+        let mut pool = std::mem::take(&mut self.pool);
         let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
         grads[loss.0] = Some(Matrix::ones(1, 1));
 
         for id in (0..n).rev() {
             let Some(g) = grads[id].take() else { continue };
-            // Split borrows: the op and value of the current node are read-only
-            // while we accumulate into `grads` entries of its inputs.
-            let op = self.nodes[id].op.clone();
-            match op {
+            match &self.nodes[id].op {
                 Op::Leaf { .. } => {}
-                Op::Add(a, b) => {
+                &Op::Add(a, b) => {
                     accumulate(&mut grads, a, g.clone());
                     accumulate(&mut grads, b, g.clone());
                 }
-                Op::Sub(a, b) => {
+                &Op::Sub(a, b) => {
                     accumulate(&mut grads, a, g.clone());
                     accumulate(&mut grads, b, g.scale(-1.0));
                 }
-                Op::Mul(a, b) => {
+                &Op::Mul(a, b) => {
                     let ga = g.mul(self.value(b));
                     let gb = g.mul(self.value(a));
                     accumulate(&mut grads, a, ga);
                     accumulate(&mut grads, b, gb);
                 }
-                Op::MatMul(a, b) => {
-                    let ga = g.matmul_nt(self.value(b));
-                    let gb = self.value(a).matmul_tn(&g);
-                    accumulate(&mut grads, a, ga);
-                    accumulate(&mut grads, b, gb);
+                &Op::MatMul(a, b) => {
+                    if self.reference_mode {
+                        let ga = g.matmul_nt_reference(self.value(b));
+                        let gb = self.value(a).matmul_tn_reference(&g);
+                        accumulate(&mut grads, a, ga);
+                        accumulate(&mut grads, b, gb);
+                    } else {
+                        let bv = self.value(b);
+                        let mut bt = pool_matrix(&mut pool, bv.cols(), bv.rows());
+                        bv.transpose_into(&mut bt);
+                        let mut ga = pool_matrix(&mut pool, g.rows(), bv.rows());
+                        g.matmul_into(&bt, &mut ga);
+                        pool_recycle(&mut pool, bt);
+                        let mut gb = pool_matrix(&mut pool, self.value(a).cols(), g.cols());
+                        self.value(a).matmul_tn_into(&g, &mut gb);
+                        accumulate_pooled(&mut grads, &mut pool, a, ga);
+                        accumulate_pooled(&mut grads, &mut pool, b, gb);
+                    }
                 }
-                Op::AddBias { x, bias } => {
+                &Op::AddBias { x, bias } => {
                     accumulate(&mut grads, bias, g.sum_rows());
                     accumulate(&mut grads, x, g.clone());
                 }
-                Op::Affine { x, a } => {
+                &Op::Affine { x, a } => {
                     accumulate(&mut grads, x, g.scale(a));
                 }
-                Op::Sigmoid(x) => {
-                    let gx = g.zip(&self.nodes[id].value, |gi, y| gi * act::sigmoid_deriv_from_output(y));
+                &Op::Sigmoid(x) => {
+                    let gx = g.zip(&self.nodes[id].value, |gi, y| {
+                        gi * act::sigmoid_deriv_from_output(y)
+                    });
                     accumulate(&mut grads, x, gx);
                 }
-                Op::Tanh(x) => {
-                    let gx = g.zip(&self.nodes[id].value, |gi, y| gi * act::tanh_deriv_from_output(y));
+                &Op::Tanh(x) => {
+                    let gx = g.zip(&self.nodes[id].value, |gi, y| {
+                        gi * act::tanh_deriv_from_output(y)
+                    });
                     accumulate(&mut grads, x, gx);
                 }
-                Op::Relu(x) => {
+                &Op::Relu(x) => {
                     let gx = g.zip(self.value(x), |gi, xi| gi * act::relu_deriv(xi));
                     accumulate(&mut grads, x, gx);
                 }
-                Op::Selu(x) => {
-                    let gx = g.zip(self.value(x), |gi, xi| gi * act::selu_deriv(xi));
+                &Op::Selu(x) => {
+                    let deriv = if self.reference_mode {
+                        act::selu_deriv_precise
+                    } else {
+                        act::selu_deriv
+                    };
+                    let gx = g.zip(self.value(x), |gi, xi| gi * deriv(xi));
                     accumulate(&mut grads, x, gx);
                 }
-                Op::Softplus(x) => {
+                &Op::Softplus(x) => {
                     let gx = g.zip(self.value(x), |gi, xi| gi * act::softplus_deriv(xi));
                     accumulate(&mut grads, x, gx);
                 }
-                Op::Abs(x) => {
+                &Op::Abs(x) => {
                     let gx = g.zip(self.value(x), |gi, xi| gi * xi.signum());
                     accumulate(&mut grads, x, gx);
                 }
-                Op::Square(x) => {
+                &Op::Square(x) => {
                     let gx = g.zip(self.value(x), |gi, xi| gi * 2.0 * xi);
                     accumulate(&mut grads, x, gx);
                 }
-                Op::ClampMax { x, cap } => {
+                &Op::ClampMax { x, cap } => {
                     let gx = g.zip(self.value(x), |gi, xi| if xi <= cap { gi } else { 0.0 });
                     accumulate(&mut grads, x, gx);
                 }
-                Op::ConcatCols(a, b) => {
+                &Op::ConcatCols(a, b) => {
                     let ca = self.value(a).cols();
                     let cb = self.value(b).cols();
                     accumulate(&mut grads, a, g.slice_cols(0, ca));
                     accumulate(&mut grads, b, g.slice_cols(ca, ca + cb));
                 }
-                Op::SliceCols { x, start, end } => {
+                &Op::SliceCols { x, start, end } => {
                     let (rows, cols) = self.value(x).shape();
-                    let mut gx = Matrix::zeros(rows, cols);
+                    let mut gx = pool_matrix(&mut pool, rows, cols);
                     for r in 0..rows {
-                        let src = g.row(r);
-                        gx.row_mut(r)[start..end].copy_from_slice(src);
+                        gx.row_mut(r)[start..end].copy_from_slice(g.row(r));
                     }
-                    accumulate(&mut grads, x, gx);
+                    accumulate_pooled(&mut grads, &mut pool, x, gx);
                 }
-                Op::GatherRows { x, ref indices } => {
+                Op::GatherRows { x, indices } => {
                     // Adjoint of gather = scatter-add back to the source rows.
-                    let gx = g.segment_sum(indices, self.value(x).rows());
-                    accumulate(&mut grads, x, gx);
+                    let gx = g.segment_sum(indices, self.value(*x).rows());
+                    accumulate(&mut grads, *x, gx);
                 }
-                Op::SegmentSum { x, ref segments } => {
+                Op::SegmentSum { x, segments } => {
                     // Adjoint of scatter-add = gather from the output rows.
                     let gx = g.gather_rows(segments);
-                    accumulate(&mut grads, x, gx);
+                    accumulate(&mut grads, *x, gx);
                 }
-                Op::MaskRows { x, ref mask } => {
+                Op::MaskRows { x, mask } => {
                     let gx = g.mul_col_broadcast(mask);
-                    accumulate(&mut grads, x, gx);
+                    accumulate(&mut grads, *x, gx);
                 }
-                Op::Sum(x) => {
+                &Op::Sum(x) => {
                     let s = g.get(0, 0);
                     let (rows, cols) = self.value(x).shape();
                     accumulate(&mut grads, x, Matrix::filled(rows, cols, s));
                 }
-                Op::Mean(x) => {
+                &Op::Mean(x) => {
                     let (rows, cols) = self.value(x).shape();
                     let denom = (rows * cols).max(1) as f32;
                     let s = g.get(0, 0) / denom;
                     accumulate(&mut grads, x, Matrix::filled(rows, cols, s));
+                }
+                Op::GatherMask { x, indices, mask } => {
+                    // out[i] = mask[i] * x[idx[i]]  =>  gx[idx[i]] += mask[i]*g[i]
+                    let (rows, cols) = self.value(*x).shape();
+                    let mut gx = pool_matrix(&mut pool, rows, cols);
+                    for (i, &idx) in indices.iter().enumerate() {
+                        let m = mask.get(i, 0);
+                        if m == 0.0 {
+                            continue;
+                        }
+                        let dst = gx.row_mut(idx);
+                        for (d, &v) in dst.iter_mut().zip(g.row(i)) {
+                            *d += m * v;
+                        }
+                    }
+                    accumulate_pooled(&mut grads, &mut pool, *x, gx);
+                }
+                Op::SegmentAcc {
+                    acc,
+                    x,
+                    segments,
+                    mask,
+                } => {
+                    // out = acc + scatter(mask*x): g_acc += g,
+                    // g_x[i] += mask[i] * g[segments[i]].
+                    let (rows, cols) = self.value(*x).shape();
+                    let mut gx = pool_matrix(&mut pool, rows, cols);
+                    for (i, &s) in segments.iter().enumerate() {
+                        let m = mask.get(i, 0);
+                        if m == 0.0 {
+                            continue;
+                        }
+                        let dst = gx.row_mut(i);
+                        for (d, &v) in dst.iter_mut().zip(g.row(s)) {
+                            *d = m * v;
+                        }
+                    }
+                    accumulate_pooled(&mut grads, &mut pool, *x, gx);
+                    accumulate(&mut grads, *acc, g.clone());
+                }
+                Op::GruStep { vars, h, x, saved } => {
+                    let (vars, h, x) = (*vars, *h, *x);
+                    let s: &GruSaved = saved;
+                    let hv = self.value(h);
+                    let hidden = hv.cols();
+                    let input = self.value(x).cols();
+                    let n_rows = hv.rows();
+
+                    // Mask the incoming gradient; the pass-through part goes
+                    // straight to h.
+                    let mut gh = pool_matrix(&mut pool, n_rows, hidden);
+                    let mut gm = pool_matrix(&mut pool, n_rows, hidden);
+                    match &s.mask {
+                        None => gm.as_mut_slice().copy_from_slice(g.as_slice()),
+                        Some(m) => {
+                            for i in 0..n_rows {
+                                let mv = m.get(i, 0);
+                                let keep = 1.0 - mv;
+                                let g_row = g.row(i);
+                                let gm_row = gm.row_mut(i);
+                                for j in 0..hidden {
+                                    gm_row[j] = mv * g_row[j];
+                                }
+                                let gh_row = gh.row_mut(i);
+                                for j in 0..hidden {
+                                    gh_row[j] += keep * g_row[j];
+                                }
+                            }
+                        }
+                    }
+
+                    // gz = gm ⊙ (c - h); gc = gm ⊙ z; gh += gm ⊙ (1-z)
+                    let mut gz = pool_matrix(&mut pool, n_rows, hidden);
+                    let mut gc = pool_matrix(&mut pool, n_rows, hidden);
+                    for i in 0..n_rows {
+                        let gm_r = gm.row(i);
+                        let zr = s.z.row(i);
+                        let cr = s.c.row(i);
+                        let hr = hv.row(i);
+                        {
+                            let gz_r = gz.row_mut(i);
+                            for j in 0..hidden {
+                                gz_r[j] = gm_r[j] * (cr[j] - hr[j]);
+                            }
+                        }
+                        {
+                            let gc_r = gc.row_mut(i);
+                            for j in 0..hidden {
+                                gc_r[j] = gm_r[j] * zr[j];
+                            }
+                        }
+                        {
+                            let gh_r = gh.row_mut(i);
+                            for j in 0..hidden {
+                                gh_r[j] += gm_r[j] * (1.0 - zr[j]);
+                            }
+                        }
+                    }
+
+                    // Candidate branch: gc_pre = gc ⊙ (1 - c²)
+                    gc.as_mut_slice()
+                        .iter_mut()
+                        .zip(s.c.as_slice())
+                        .for_each(|(gcv, &cv)| *gcv *= act::tanh_deriv_from_output(cv));
+                    let gc_pre = gc;
+                    // gW_c += rhx^T · gc_pre ; gb_c += colsum(gc_pre)
+                    {
+                        let slot =
+                            grad_slot(&mut grads, vars.w_c, hidden + input, hidden, &mut pool);
+                        s.rhx.matmul_tn_acc(&gc_pre, slot);
+                    }
+                    {
+                        let slot = grad_slot(&mut grads, vars.b_c, 1, hidden, &mut pool);
+                        add_col_sums(slot, &gc_pre);
+                    }
+                    // g_rhx = gc_pre · W_c^T
+                    let mut g_rhx = pool_matrix(&mut pool, n_rows, hidden + input);
+                    {
+                        // Pooled transpose: matmul_nt_* would re-transpose the
+                        // weight (allocating) on every step's adjoint.
+                        let w_c = self.value(vars.w_c);
+                        let mut w_t = pool_matrix(&mut pool, w_c.cols(), w_c.rows());
+                        w_c.transpose_into(&mut w_t);
+                        gc_pre.matmul_into(&w_t, &mut g_rhx);
+                        pool_recycle(&mut pool, w_t);
+                    }
+                    pool_recycle(&mut pool, gc_pre);
+
+                    // Split g_rhx: left -> r⊙h branch, right -> x
+                    let mut gx_acc = pool_matrix(&mut pool, n_rows, input);
+                    let mut gr = pool_matrix(&mut pool, n_rows, hidden);
+                    for i in 0..n_rows {
+                        let row = g_rhx.row(i);
+                        let (rr, hr) = (s.r.row(i), hv.row(i));
+                        let gr_r = gr.row_mut(i);
+                        for j in 0..hidden {
+                            gr_r[j] = row[j] * hr[j];
+                        }
+                        for j in 0..hidden {
+                            // gh += g_rh ⊙ r
+                            gh.row_mut(i)[j] += row[j] * rr[j];
+                        }
+                        gx_acc.row_mut(i).copy_from_slice(&row[hidden..]);
+                    }
+                    pool_recycle(&mut pool, g_rhx);
+
+                    // Gate pre-activations: σ' from outputs.
+                    gz.as_mut_slice()
+                        .iter_mut()
+                        .zip(s.z.as_slice())
+                        .for_each(|(gv, &zv)| *gv *= act::sigmoid_deriv_from_output(zv));
+                    let gz_pre = gz;
+                    gr.as_mut_slice()
+                        .iter_mut()
+                        .zip(s.r.as_slice())
+                        .for_each(|(gv, &rv)| *gv *= act::sigmoid_deriv_from_output(rv));
+                    let gr_pre = gr;
+
+                    {
+                        let slot =
+                            grad_slot(&mut grads, vars.w_z, hidden + input, hidden, &mut pool);
+                        s.hx.matmul_tn_acc(&gz_pre, slot);
+                    }
+                    {
+                        let slot = grad_slot(&mut grads, vars.b_z, 1, hidden, &mut pool);
+                        add_col_sums(slot, &gz_pre);
+                    }
+                    {
+                        let slot =
+                            grad_slot(&mut grads, vars.w_r, hidden + input, hidden, &mut pool);
+                        s.hx.matmul_tn_acc(&gr_pre, slot);
+                    }
+                    {
+                        let slot = grad_slot(&mut grads, vars.b_r, 1, hidden, &mut pool);
+                        add_col_sums(slot, &gr_pre);
+                    }
+
+                    // g_hx = gz_pre·W_z^T + gr_pre·W_r^T
+                    let mut g_hx = pool_matrix(&mut pool, n_rows, hidden + input);
+                    {
+                        let w_z = self.value(vars.w_z);
+                        let mut w_t = pool_matrix(&mut pool, w_z.cols(), w_z.rows());
+                        w_z.transpose_into(&mut w_t);
+                        gz_pre.matmul_into(&w_t, &mut g_hx);
+                        self.value(vars.w_r).transpose_into(&mut w_t);
+                        gr_pre.matmul_acc(&w_t, &mut g_hx);
+                        pool_recycle(&mut pool, w_t);
+                    }
+                    pool_recycle(&mut pool, gz_pre);
+                    pool_recycle(&mut pool, gr_pre);
+                    for i in 0..n_rows {
+                        let row = g_hx.row(i);
+                        let gh_r = gh.row_mut(i);
+                        for j in 0..hidden {
+                            gh_r[j] += row[j];
+                        }
+                        let gx_r = gx_acc.row_mut(i);
+                        for (gxv, &v) in gx_r.iter_mut().zip(&row[hidden..]) {
+                            *gxv += v;
+                        }
+                    }
+                    pool_recycle(&mut pool, g_hx);
+                    pool_recycle(&mut pool, gm);
+
+                    accumulate_pooled(&mut grads, &mut pool, h, gh);
+                    accumulate_pooled(&mut grads, &mut pool, x, gx_acc);
+                }
+                Op::SegmentAccRows {
+                    acc,
+                    x,
+                    rows,
+                    segments,
+                } => {
+                    // out = acc + scatter(x[rows]): g_acc += g,
+                    // g_x[rows[k]] += g[segments[k]].
+                    let (x_rows, cols) = self.value(*x).shape();
+                    let mut gx = pool_matrix(&mut pool, x_rows, cols);
+                    for (&row, &s) in rows.iter().zip(segments) {
+                        let dst = gx.row_mut(row);
+                        for (d, &v) in dst.iter_mut().zip(g.row(s)) {
+                            *d += v;
+                        }
+                    }
+                    accumulate_pooled(&mut grads, &mut pool, *x, gx);
+                    accumulate(&mut grads, *acc, g.clone());
+                }
+                Op::GruStepRows {
+                    vars,
+                    h,
+                    x,
+                    rows,
+                    saved,
+                } => {
+                    let (vars, h, x) = (*vars, *h, *x);
+                    let s: &GruSaved = saved;
+                    let hv = self.value(h);
+                    let hidden = hv.cols();
+                    let input = self.value(x).cols();
+                    let a = rows.len();
+
+                    // Pass-through rows keep the incoming gradient; active
+                    // rows are replaced by the GRU adjoint below.
+                    let mut gh = pool_matrix(&mut pool, hv.rows(), hidden);
+                    gh.as_mut_slice().copy_from_slice(g.as_slice());
+
+                    // Compact incoming gradient over the active rows.
+                    let mut gm = pool_matrix(&mut pool, a, hidden);
+                    for (k, &row) in rows.iter().enumerate() {
+                        gm.row_mut(k).copy_from_slice(g.row(row));
+                    }
+
+                    // gz = gm ⊙ (c - h); gc = gm ⊙ z; gh[row] = gm ⊙ (1-z)
+                    let mut gz = pool_matrix(&mut pool, a, hidden);
+                    let mut gc = pool_matrix(&mut pool, a, hidden);
+                    for (k, &row) in rows.iter().enumerate() {
+                        let gm_r = gm.row(k);
+                        let zr = s.z.row(k);
+                        let cr = s.c.row(k);
+                        let hr = hv.row(row);
+                        {
+                            let gz_r = gz.row_mut(k);
+                            for j in 0..hidden {
+                                gz_r[j] = gm_r[j] * (cr[j] - hr[j]);
+                            }
+                        }
+                        {
+                            let gc_r = gc.row_mut(k);
+                            for j in 0..hidden {
+                                gc_r[j] = gm_r[j] * zr[j];
+                            }
+                        }
+                        {
+                            let gh_r = gh.row_mut(row);
+                            for j in 0..hidden {
+                                gh_r[j] = gm_r[j] * (1.0 - zr[j]);
+                            }
+                        }
+                    }
+
+                    // Candidate branch: gc_pre = gc ⊙ (1 - c²)
+                    gc.as_mut_slice()
+                        .iter_mut()
+                        .zip(s.c.as_slice())
+                        .for_each(|(gcv, &cv)| *gcv *= act::tanh_deriv_from_output(cv));
+                    let gc_pre = gc;
+                    {
+                        let slot =
+                            grad_slot(&mut grads, vars.w_c, hidden + input, hidden, &mut pool);
+                        s.rhx.matmul_tn_acc(&gc_pre, slot);
+                    }
+                    {
+                        let slot = grad_slot(&mut grads, vars.b_c, 1, hidden, &mut pool);
+                        add_col_sums(slot, &gc_pre);
+                    }
+                    let mut g_rhx = pool_matrix(&mut pool, a, hidden + input);
+                    {
+                        // Pooled transpose: matmul_nt_* would re-transpose the
+                        // weight (allocating) on every step's adjoint.
+                        let w_c = self.value(vars.w_c);
+                        let mut w_t = pool_matrix(&mut pool, w_c.cols(), w_c.rows());
+                        w_c.transpose_into(&mut w_t);
+                        gc_pre.matmul_into(&w_t, &mut g_rhx);
+                        pool_recycle(&mut pool, w_t);
+                    }
+                    pool_recycle(&mut pool, gc_pre);
+
+                    // Split g_rhx: left -> r⊙h branch, right -> x
+                    let mut gx_acc = pool_matrix(&mut pool, a, input);
+                    let mut gr = pool_matrix(&mut pool, a, hidden);
+                    for (k, &row) in rows.iter().enumerate() {
+                        let row_slice = g_rhx.row(k);
+                        let (rr, hr) = (s.r.row(k), hv.row(row));
+                        {
+                            let gr_r = gr.row_mut(k);
+                            for j in 0..hidden {
+                                gr_r[j] = row_slice[j] * hr[j];
+                            }
+                        }
+                        {
+                            let gh_r = gh.row_mut(row);
+                            for j in 0..hidden {
+                                gh_r[j] += row_slice[j] * rr[j];
+                            }
+                        }
+                        gx_acc.row_mut(k).copy_from_slice(&row_slice[hidden..]);
+                    }
+                    pool_recycle(&mut pool, g_rhx);
+
+                    // Gate pre-activations: σ' from outputs.
+                    gz.as_mut_slice()
+                        .iter_mut()
+                        .zip(s.z.as_slice())
+                        .for_each(|(gv, &zv)| *gv *= act::sigmoid_deriv_from_output(zv));
+                    let gz_pre = gz;
+                    gr.as_mut_slice()
+                        .iter_mut()
+                        .zip(s.r.as_slice())
+                        .for_each(|(gv, &rv)| *gv *= act::sigmoid_deriv_from_output(rv));
+                    let gr_pre = gr;
+
+                    {
+                        let slot =
+                            grad_slot(&mut grads, vars.w_z, hidden + input, hidden, &mut pool);
+                        s.hx.matmul_tn_acc(&gz_pre, slot);
+                    }
+                    {
+                        let slot = grad_slot(&mut grads, vars.b_z, 1, hidden, &mut pool);
+                        add_col_sums(slot, &gz_pre);
+                    }
+                    {
+                        let slot =
+                            grad_slot(&mut grads, vars.w_r, hidden + input, hidden, &mut pool);
+                        s.hx.matmul_tn_acc(&gr_pre, slot);
+                    }
+                    {
+                        let slot = grad_slot(&mut grads, vars.b_r, 1, hidden, &mut pool);
+                        add_col_sums(slot, &gr_pre);
+                    }
+
+                    // g_hx = gz_pre·W_z^T + gr_pre·W_r^T
+                    let mut g_hx = pool_matrix(&mut pool, a, hidden + input);
+                    {
+                        let w_z = self.value(vars.w_z);
+                        let mut w_t = pool_matrix(&mut pool, w_z.cols(), w_z.rows());
+                        w_z.transpose_into(&mut w_t);
+                        gz_pre.matmul_into(&w_t, &mut g_hx);
+                        self.value(vars.w_r).transpose_into(&mut w_t);
+                        gr_pre.matmul_acc(&w_t, &mut g_hx);
+                        pool_recycle(&mut pool, w_t);
+                    }
+                    pool_recycle(&mut pool, gz_pre);
+                    pool_recycle(&mut pool, gr_pre);
+                    for (k, &row) in rows.iter().enumerate() {
+                        let row_slice = g_hx.row(k);
+                        {
+                            let gh_r = gh.row_mut(row);
+                            for j in 0..hidden {
+                                gh_r[j] += row_slice[j];
+                            }
+                        }
+                        let gx_r = gx_acc.row_mut(k);
+                        for (gxv, &v) in gx_r.iter_mut().zip(&row_slice[hidden..]) {
+                            *gxv += v;
+                        }
+                    }
+                    pool_recycle(&mut pool, g_hx);
+                    pool_recycle(&mut pool, gm);
+
+                    accumulate_pooled(&mut grads, &mut pool, h, gh);
+                    accumulate_pooled(&mut grads, &mut pool, x, gx_acc);
                 }
             }
             grads[id] = Some(g);
@@ -421,11 +1489,21 @@ impl Graph {
 
         // Persist gradients onto the tape, skipping constants.
         for (node, g) in self.nodes.iter_mut().zip(grads) {
-            if let Op::Leaf { requires_grad: false } = node.op {
+            if let Op::Leaf {
+                requires_grad: false,
+            } = node.op
+            {
+                if let Some(gm) = g {
+                    pool_recycle(&mut pool, gm);
+                }
                 continue;
+            }
+            if let Some(old) = node.grad.take() {
+                pool_recycle(&mut pool, old);
             }
             node.grad = g;
         }
+        self.pool = pool;
     }
 }
 
@@ -435,6 +1513,40 @@ fn accumulate(grads: &mut [Option<Matrix>], v: Var, delta: Matrix) {
         Some(existing) => existing.add_assign(&delta),
         slot @ None => *slot = Some(delta),
     }
+}
+
+/// Like [`accumulate`], but recycles `delta`'s buffer when it is folded into
+/// an existing gradient instead of stored.
+fn accumulate_pooled(
+    grads: &mut [Option<Matrix>],
+    pool: &mut Vec<Vec<f32>>,
+    v: Var,
+    delta: Matrix,
+) {
+    match &mut grads[v.0] {
+        Some(existing) => {
+            existing.add_assign(&delta);
+            pool_recycle(pool, delta);
+        }
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Get (or zero-initialize) the gradient slot for `v` with the given shape.
+fn grad_slot<'a>(
+    grads: &'a mut [Option<Matrix>],
+    v: Var,
+    rows: usize,
+    cols: usize,
+    pool: &mut Vec<Vec<f32>>,
+) -> &'a mut Matrix {
+    let slot = &mut grads[v.0];
+    if slot.is_none() {
+        *slot = Some(pool_matrix(pool, rows, cols));
+    }
+    let m = slot.as_mut().expect("just initialized");
+    debug_assert_eq!(m.shape(), (rows, cols));
+    m
 }
 
 #[cfg(test)]
@@ -499,14 +1611,22 @@ mod tests {
     fn segment_sum_grad_is_gather() {
         // 4 rows scattered into 2 segments; loss weights segment 0 by 10.
         let mut g = Graph::new();
-        let x = g.param(Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]));
+        let x = g.param(Matrix::from_rows(&[
+            vec![1.0],
+            vec![1.0],
+            vec![1.0],
+            vec![1.0],
+        ]));
         let s = g.segment_sum(x, &[0, 1, 0, 1], 2);
         let w = g.constant(Matrix::from_rows(&[vec![10.0], vec![1.0]]));
         let weighted = g.mul(s, w);
         let loss = g.sum(weighted);
         g.backward(loss);
         let gx = g.grad(x).unwrap();
-        assert!(gx.approx_eq(&Matrix::from_rows(&[vec![10.0], vec![1.0], vec![10.0], vec![1.0]]), 1e-5));
+        assert!(gx.approx_eq(
+            &Matrix::from_rows(&[vec![10.0], vec![1.0], vec![10.0], vec![1.0]]),
+            1e-5
+        ));
     }
 
     #[test]
@@ -535,7 +1655,10 @@ mod tests {
         let loss = g.sum(scaled);
         g.backward(loss);
         assert!(g.grad(a).unwrap().approx_eq(&Matrix::zeros(2, 2), 1e-6));
-        assert!(g.grad(b).unwrap().approx_eq(&Matrix::filled(2, 3, 2.0), 1e-6));
+        assert!(g
+            .grad(b)
+            .unwrap()
+            .approx_eq(&Matrix::filled(2, 3, 2.0), 1e-6));
     }
 
     #[test]
@@ -574,5 +1697,320 @@ mod tests {
         let t = g.constant(Matrix::row_vector(&[3.0, 2.0]));
         let loss = g.mse(p, t);
         assert!((g.value(loss).get(0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    // ------------------------------------------------------------------
+    // Fused ops & buffer pool
+    // ------------------------------------------------------------------
+
+    fn det_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let v = (r as u64 * 31 + c as u64 * 17 + salt * 13) % 23;
+            v as f32 / 11.0 - 1.0
+        })
+    }
+
+    /// Weights for a toy GRU cell registered on the tape.
+    fn toy_gru(g: &mut Graph, hidden: usize, input: usize, salt: u64) -> GruVars {
+        GruVars {
+            w_z: g.param(det_matrix(hidden + input, hidden, salt)),
+            b_z: g.param(det_matrix(1, hidden, salt + 1)),
+            w_r: g.param(det_matrix(hidden + input, hidden, salt + 2)),
+            b_r: g.param(det_matrix(1, hidden, salt + 3)),
+            w_c: g.param(det_matrix(hidden + input, hidden, salt + 4)),
+            b_c: g.param(det_matrix(1, hidden, salt + 5)),
+        }
+    }
+
+    /// The unfused op-by-op GRU step (the numerical reference).
+    fn gru_step_unfused(
+        g: &mut Graph,
+        vars: &GruVars,
+        h: Var,
+        x: Var,
+        mask: Option<&Matrix>,
+    ) -> Var {
+        let hx = g.concat_cols(h, x);
+        let z_lin = g.matmul(hx, vars.w_z);
+        let z_b = g.add_bias(z_lin, vars.b_z);
+        let z = g.sigmoid(z_b);
+        let r_lin = g.matmul(hx, vars.w_r);
+        let r_b = g.add_bias(r_lin, vars.b_r);
+        let r = g.sigmoid(r_b);
+        let rh = g.mul(r, h);
+        let rhx = g.concat_cols(rh, x);
+        let c_lin = g.matmul(rhx, vars.w_c);
+        let c_b = g.add_bias(c_lin, vars.b_c);
+        let c = g.tanh(c_b);
+        let one_minus_z = g.one_minus(z);
+        let keep = g.mul(one_minus_z, h);
+        let update = g.mul(z, c);
+        let advanced = g.add(keep, update);
+        match mask {
+            None => advanced,
+            Some(m) => {
+                let keep_mask = m.map(|v| 1.0 - v);
+                let kept = g.mask_rows(h, &keep_mask);
+                let moved = g.mask_rows(advanced, m);
+                g.add(kept, moved)
+            }
+        }
+    }
+
+    #[test]
+    fn gather_mask_matches_unfused_pair() {
+        let indices = [2usize, 0, 1, 2, 0];
+        let mask = Matrix::column_vector(&[1.0, 0.0, 1.0, 1.0, 0.0]);
+
+        let mut ga = Graph::new();
+        let xa = ga.param(det_matrix(3, 4, 7));
+        let fused = ga.gather_mask(xa, &indices, &mask);
+        let la = ga.sum(fused);
+        ga.backward(la);
+
+        let mut gb = Graph::new();
+        let xb = gb.param(det_matrix(3, 4, 7));
+        let gathered = gb.gather_rows(xb, &indices);
+        let masked = gb.mask_rows(gathered, &mask);
+        let lb = gb.sum(masked);
+        gb.backward(lb);
+
+        assert!(
+            ga.value(fused).approx_eq(gb.value(masked), 0.0),
+            "forward must be exact"
+        );
+        assert!(ga.grad(xa).unwrap().approx_eq(gb.grad(xb).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn segment_acc_matches_unfused_chain() {
+        let segments = [1usize, 0, 1, 1];
+        let mask = Matrix::column_vector(&[1.0, 1.0, 0.0, 1.0]);
+
+        let mut ga = Graph::new();
+        let acc_a = ga.param(det_matrix(2, 3, 1));
+        let xa = ga.param(det_matrix(4, 3, 2));
+        let out_a = ga.segment_acc(acc_a, xa, &segments, &mask);
+        let wa = ga.constant(det_matrix(2, 3, 3));
+        let prod_a = ga.mul(out_a, wa);
+        let la = ga.sum(prod_a);
+        ga.backward(la);
+
+        let mut gb = Graph::new();
+        let acc_b = gb.param(det_matrix(2, 3, 1));
+        let xb = gb.param(det_matrix(4, 3, 2));
+        let masked = gb.mask_rows(xb, &mask);
+        let seg = gb.segment_sum(masked, &segments, 2);
+        let out_b = gb.add(acc_b, seg);
+        let wb = gb.constant(det_matrix(2, 3, 3));
+        let prod_b = gb.mul(out_b, wb);
+        let lb = gb.sum(prod_b);
+        gb.backward(lb);
+
+        assert!(ga.value(out_a).approx_eq(gb.value(out_b), 0.0));
+        assert!(ga.grad(xa).unwrap().approx_eq(gb.grad(xb).unwrap(), 1e-6));
+        assert!(ga
+            .grad(acc_a)
+            .unwrap()
+            .approx_eq(gb.grad(acc_b).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn gru_step_forward_matches_unfused() {
+        for mask in [None, Some(Matrix::column_vector(&[1.0, 0.0, 1.0, 1.0]))] {
+            let mut ga = Graph::new();
+            let va = toy_gru(&mut ga, 5, 3, 42);
+            let ha = ga.constant(det_matrix(4, 5, 10));
+            let xa = ga.constant(det_matrix(4, 3, 11));
+            let fused = ga.gru_step(&va, ha, xa, mask.as_ref());
+
+            let mut gb = Graph::new();
+            let vb = toy_gru(&mut gb, 5, 3, 42);
+            let hb = gb.constant(det_matrix(4, 5, 10));
+            let xb = gb.constant(det_matrix(4, 3, 11));
+            let unfused = gru_step_unfused(&mut gb, &vb, hb, xb, mask.as_ref());
+
+            assert!(
+                ga.value(fused).approx_eq(gb.value(unfused), 1e-6),
+                "fused forward diverged (mask: {})",
+                mask.is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn gru_step_gradients_match_unfused() {
+        for mask in [None, Some(Matrix::column_vector(&[1.0, 0.0, 1.0, 1.0]))] {
+            let mut ga = Graph::new();
+            let va = toy_gru(&mut ga, 5, 3, 9);
+            let ha = ga.param(det_matrix(4, 5, 20));
+            let xa = ga.param(det_matrix(4, 3, 21));
+            let fused = ga.gru_step(&va, ha, xa, mask.as_ref());
+            let sq_a = ga.square(fused);
+            let la = ga.mean(sq_a);
+            ga.backward(la);
+
+            let mut gb = Graph::new();
+            let vb = toy_gru(&mut gb, 5, 3, 9);
+            let hb = gb.param(det_matrix(4, 5, 20));
+            let xb = gb.param(det_matrix(4, 3, 21));
+            let unfused = gru_step_unfused(&mut gb, &vb, hb, xb, mask.as_ref());
+            let sq_b = gb.square(unfused);
+            let lb = gb.mean(sq_b);
+            gb.backward(lb);
+
+            let pairs = [
+                (va.w_z, vb.w_z),
+                (va.b_z, vb.b_z),
+                (va.w_r, vb.w_r),
+                (va.b_r, vb.b_r),
+                (va.w_c, vb.w_c),
+                (va.b_c, vb.b_c),
+                (ha, hb),
+                (xa, xb),
+            ];
+            for (i, (fa, fb)) in pairs.iter().enumerate() {
+                let grad_a = ga.grad(*fa).expect("fused grad");
+                let grad_b = gb.grad(*fb).expect("unfused grad");
+                assert!(
+                    grad_a.approx_eq(grad_b, 2e-5),
+                    "grad {i} diverged (mask {}): {:?} vs {:?}",
+                    mask.is_some(),
+                    grad_a,
+                    grad_b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gru_step_rows_matches_masked_gru_step() {
+        // Active rows {0, 2, 3} of 4; compact ops must agree with the masked
+        // form on values and on every gradient.
+        let rows = [0usize, 2, 3];
+        let mask = Matrix::column_vector(&[1.0, 0.0, 1.0, 1.0]);
+        let ids = [1usize, 0, 2]; // entity per active row
+
+        let mut ga = Graph::new();
+        let va = toy_gru(&mut ga, 5, 4, 9);
+        let states_a = ga.param(det_matrix(3, 4, 33));
+        let ha = ga.param(det_matrix(4, 5, 20));
+        let xa = ga.gather_rows(states_a, &ids);
+        let fused = ga.gru_step_rows(&va, ha, xa, &rows);
+        let acc_a = ga.constant(Matrix::zeros(3, 5));
+        let out_a = ga.segment_acc_rows(acc_a, fused, &rows, &ids);
+        let sq_a = ga.square(out_a);
+        let la = ga.mean(sq_a);
+        ga.backward(la);
+
+        let mut gb = Graph::new();
+        let vb = toy_gru(&mut gb, 5, 4, 9);
+        let states_b = gb.param(det_matrix(3, 4, 33));
+        let hb = gb.param(det_matrix(4, 5, 20));
+        // Masked form: gather a full-width id list (0 for inactive) + mask.
+        let full_ids = [1usize, 0, 0, 2];
+        let xb = gb.gather_mask(states_b, &full_ids, &mask);
+        let stepped = gb.gru_step(&vb, hb, xb, Some(&mask));
+        let acc_b = gb.constant(Matrix::zeros(3, 5));
+        let out_b = gb.segment_acc(acc_b, stepped, &full_ids, &mask);
+        let sq_b = gb.square(out_b);
+        let lb = gb.mean(sq_b);
+        gb.backward(lb);
+
+        assert!(
+            ga.value(fused).approx_eq(gb.value(stepped), 1e-6),
+            "forward diverged"
+        );
+        assert!(ga.value(out_a).approx_eq(gb.value(out_b), 1e-6));
+        let pairs = [
+            (va.w_z, vb.w_z),
+            (va.b_z, vb.b_z),
+            (va.w_r, vb.w_r),
+            (va.b_r, vb.b_r),
+            (va.w_c, vb.w_c),
+            (va.b_c, vb.b_c),
+            (ha, hb),
+            (states_a, states_b),
+        ];
+        for (i, (fa, fb)) in pairs.iter().enumerate() {
+            let grad_a = ga.grad(*fa).expect("compact grad");
+            let grad_b = gb.grad(*fb).expect("masked grad");
+            assert!(grad_a.approx_eq(grad_b, 2e-5), "grad {i} diverged");
+        }
+    }
+
+    #[test]
+    fn reference_mode_matches_fast_ops_closely() {
+        let run = |reference: bool| {
+            let mut g = Graph::new();
+            g.set_reference_mode(reference);
+            let a = g.param(det_matrix(6, 5, 1));
+            let b = g.param(det_matrix(5, 4, 2));
+            let mm = g.matmul(a, b);
+            let sg = g.sigmoid(mm);
+            let th = g.tanh(sg);
+            let se = g.selu(th);
+            let loss = g.mean(se);
+            g.backward(loss);
+            (
+                g.value(loss).get(0, 0),
+                g.grad(a).unwrap().clone(),
+                g.grad(b).unwrap().clone(),
+            )
+        };
+        let (l_fast, ga_fast, gb_fast) = run(false);
+        let (l_ref, ga_ref, gb_ref) = run(true);
+        assert!((l_fast - l_ref).abs() < 1e-5, "loss {l_fast} vs {l_ref}");
+        assert!(ga_fast.approx_eq(&ga_ref, 1e-4));
+        assert!(gb_fast.approx_eq(&gb_ref, 1e-4));
+    }
+
+    /// Run one fused forward+backward and return (loss, all grads).
+    fn run_fused_case(g: &mut Graph) -> (f32, Vec<Matrix>) {
+        let vars = toy_gru(g, 4, 4, 3);
+        let h0 = g.constant(det_matrix(5, 4, 30));
+        let x0 = g.constant(det_matrix(5, 4, 31));
+        let mask = Matrix::column_vector(&[1.0, 1.0, 0.0, 1.0, 1.0]);
+        let x = g.gather_mask(x0, &[0, 2, 1, 4, 3], &mask);
+        let h1 = g.gru_step(&vars, h0, x, Some(&mask));
+        let acc0 = g.constant(Matrix::zeros(3, 4));
+        let acc = g.segment_acc(acc0, h1, &[0, 1, 2, 0, 1], &mask);
+        let sq = g.square(acc);
+        let loss = g.mean(sq);
+        g.backward(loss);
+        let grads = [vars.w_z, vars.b_z, vars.w_r, vars.b_r, vars.w_c, vars.b_c]
+            .iter()
+            .map(|&v| g.grad(v).unwrap().clone())
+            .collect();
+        (g.value(loss).get(0, 0), grads)
+    }
+
+    #[test]
+    fn reset_reuse_is_bit_identical_and_allocation_free() {
+        let mut fresh = Graph::new();
+        let (loss_fresh, grads_fresh) = run_fused_case(&mut fresh);
+
+        let mut reused = Graph::new();
+        let _ = run_fused_case(&mut reused);
+        reused.reset();
+        assert!(reused.is_empty());
+        assert!(reused.pooled_buffers() > 0, "reset must harvest buffers");
+        let (loss_reused, grads_reused) = run_fused_case(&mut reused);
+
+        assert_eq!(loss_fresh, loss_reused, "reused tape must be bit-identical");
+        for (a, b) in grads_fresh.iter().zip(&grads_reused) {
+            assert!(
+                a.approx_eq(b, 0.0),
+                "gradients must be bit-identical after reset"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_with_builds_pooled_inputs() {
+        let mut g = Graph::new();
+        let v = g.constant_with(2, 3, |m| m.set(1, 2, 5.0));
+        assert_eq!(g.value(v).get(1, 2), 5.0);
+        assert_eq!(g.value(v).get(0, 0), 0.0, "pooled constants start zeroed");
     }
 }

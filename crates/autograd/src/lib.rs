@@ -38,5 +38,7 @@
 pub mod activations;
 pub mod check;
 pub mod graph;
+pub mod pool;
 
-pub use graph::{Graph, Var};
+pub use graph::{Graph, GruVars, Var};
+pub use pool::TapePool;

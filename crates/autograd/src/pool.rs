@@ -1,0 +1,92 @@
+//! A shared pool of reusable differentiation tapes.
+//!
+//! Worker threads that each process a stream of samples check a [`Graph`]
+//! out of the pool, [`Graph::reset`] it between samples, and return it when
+//! the batch is done. Because `reset` retains every buffer, a warmed pool
+//! makes the steady-state training loop allocation-free regardless of which
+//! thread picks up which tape next batch.
+
+use crate::Graph;
+use std::sync::Mutex;
+
+/// Thread-safe free list of [`Graph`] tapes.
+#[derive(Default)]
+pub struct TapePool {
+    slots: Mutex<Vec<Graph>>,
+}
+
+impl TapePool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a tape (reset and ready to record), creating one if the
+    /// pool is empty.
+    pub fn acquire(&self) -> Graph {
+        let mut g = self
+            .slots
+            .lock()
+            .expect("tape pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        g.reset();
+        g
+    }
+
+    /// Return a tape to the pool for reuse. The tape is reset lazily on the
+    /// next [`TapePool::acquire`], so buffers stay parked in the meantime.
+    pub fn release(&self, g: Graph) {
+        self.slots.lock().expect("tape pool poisoned").push(g);
+    }
+
+    /// Number of parked tapes (observability for tests).
+    pub fn parked(&self) -> usize {
+        self.slots.lock().expect("tape pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_tensor::Matrix;
+
+    #[test]
+    fn acquire_release_round_trip_retains_buffers() {
+        let pool = TapePool::new();
+        let mut g = pool.acquire();
+        let x = g.param(Matrix::ones(4, 4));
+        let y = g.square(x);
+        let loss = g.mean(y);
+        g.backward(loss);
+        pool.release(g);
+        assert_eq!(pool.parked(), 1);
+
+        let g2 = pool.acquire();
+        assert!(g2.is_empty(), "acquired tape must be reset");
+        assert!(
+            g2.pooled_buffers() > 0,
+            "acquired tape must keep its buffers"
+        );
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = TapePool::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        let mut g = pool.acquire();
+                        let x = g.param(Matrix::ones(2, 2));
+                        let loss = g.sum(x);
+                        g.backward(loss);
+                        pool.release(g);
+                    }
+                });
+            }
+        });
+        assert!(pool.parked() >= 1);
+    }
+}

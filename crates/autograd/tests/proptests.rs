@@ -107,4 +107,58 @@ proptest! {
         let s = g.segment_sum(v, &segs, nseg);
         prop_assert!((g.value(s).sum() - x.sum()).abs() < 1e-4);
     }
+
+    #[test]
+    fn reset_reuse_is_bit_identical_to_fresh_tape(
+        seed in any::<u64>(),
+        warm_runs in 1usize..4,
+    ) {
+        // A random fused chain (gather + compact GRU + scatter + loss) run
+        // on a fresh tape must produce bitwise-identical values and
+        // gradients to the same chain on a tape that has already been
+        // through `warm_runs` forward/backward/reset cycles.
+        let run = |g: &mut Graph, seed: u64| -> (f32, Vec<Matrix>) {
+            let mut rng = Prng::new(seed);
+            let vars = rn_autograd::GruVars {
+                w_z: g.param(rng.uniform_matrix(8, 4, -0.5, 0.5)),
+                b_z: g.param(rng.uniform_matrix(1, 4, -0.1, 0.1)),
+                w_r: g.param(rng.uniform_matrix(8, 4, -0.5, 0.5)),
+                b_r: g.param(rng.uniform_matrix(1, 4, -0.1, 0.1)),
+                w_c: g.param(rng.uniform_matrix(8, 4, -0.5, 0.5)),
+                b_c: g.param(rng.uniform_matrix(1, 4, -0.1, 0.1)),
+            };
+            let states = g.param(rng.uniform_matrix(3, 4, -1.0, 1.0));
+            let h = g.param(rng.uniform_matrix(5, 4, -1.0, 1.0));
+            let rows = [0usize, 2, 4];
+            let ids = [1usize, 0, 2];
+            let x = g.gather_rows(states, &ids);
+            let h2 = g.gru_step_rows(&vars, h, x, &rows);
+            let acc = g.constant(Matrix::zeros(3, 4));
+            let out = g.segment_acc_rows(acc, h2, &rows, &ids);
+            let sq = g.square(out);
+            let loss = g.mean(sq);
+            g.backward(loss);
+            let grads = [vars.w_z, vars.b_z, vars.w_r, vars.b_r, vars.w_c, vars.b_c, states, h]
+                .iter()
+                .map(|&v| g.grad(v).unwrap().clone())
+                .collect();
+            (g.value(loss).get(0, 0), grads)
+        };
+
+        let mut fresh = Graph::new();
+        let (loss_fresh, grads_fresh) = run(&mut fresh, seed);
+
+        let mut reused = Graph::new();
+        for warm in 0..warm_runs {
+            let _ = run(&mut reused, seed.wrapping_add(warm as u64 + 1));
+            reused.reset();
+        }
+        prop_assert!(reused.pooled_buffers() > 0, "reset must park buffers");
+        let (loss_reused, grads_reused) = run(&mut reused, seed);
+
+        prop_assert_eq!(loss_fresh.to_bits(), loss_reused.to_bits());
+        for (a, b) in grads_fresh.iter().zip(&grads_reused) {
+            prop_assert!(a.approx_eq(b, 0.0), "gradients must be bit-identical");
+        }
+    }
 }

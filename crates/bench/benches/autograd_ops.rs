@@ -16,8 +16,12 @@ fn bench_ops(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("autograd_ops");
     group.bench_function("matmul_552x32x16", |b| b.iter(|| paths.matmul(&weights)));
-    group.bench_function("gather_552_from_74", |b| b.iter(|| states.gather_rows(&indices)));
-    group.bench_function("segment_sum_552_to_74", |b| b.iter(|| msgs.segment_sum(&indices, 74)));
+    group.bench_function("gather_552_from_74", |b| {
+        b.iter(|| states.gather_rows(&indices))
+    });
+    group.bench_function("segment_sum_552_to_74", |b| {
+        b.iter(|| msgs.segment_sum(&indices, 74))
+    });
     group.bench_function("gru_step_tape_552x16", |b| {
         let mut init_rng = Prng::new(2);
         let cell = rn_nn::GruCell::new(&mut init_rng, 16, 16);
@@ -35,7 +39,12 @@ fn bench_ops(c: &mut Criterion) {
     });
     group.bench_function("backward_mlp_552x16", |b| {
         let mut init_rng = Prng::new(5);
-        let mlp = rn_nn::Mlp::new(&mut init_rng, &[16, 32, 32, 1], rn_nn::Activation::Selu, rn_nn::Activation::Identity);
+        let mlp = rn_nn::Mlp::new(
+            &mut init_rng,
+            &[16, 32, 32, 1],
+            rn_nn::Activation::Selu,
+            rn_nn::Activation::Identity,
+        );
         let x0 = Prng::new(6).uniform_matrix(552, 16, -1.0, 1.0);
         b.iter(|| {
             use rn_nn::Layer;

@@ -8,12 +8,19 @@ use rn_netsim::SimConfig;
 
 fn bench_dataset_gen(c: &mut Criterion) {
     let gen = GeneratorConfig {
-        sim: SimConfig { duration_s: 120.0, warmup_s: 20.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 120.0,
+            warmup_s: 20.0,
+            ..SimConfig::default()
+        },
         ..GeneratorConfig::default()
     };
     let mut group = c.benchmark_group("dataset_gen");
     group.sample_size(10);
-    for (name, topo) in [("toy5", topologies::toy5()), ("nsfnet", topologies::nsfnet_default())] {
+    for (name, topo) in [
+        ("toy5", topologies::toy5()),
+        ("nsfnet", topologies::nsfnet_default()),
+    ] {
         group.bench_with_input(BenchmarkId::new("sample_120s", name), &topo, |b, topo| {
             let mut idx = 0u64;
             b.iter(|| {

@@ -2,32 +2,50 @@
 //!
 //! The paper's pitch is that RouteNet matches simulator accuracy "with a very
 //! low computational cost"; this bench quantifies that cost for both model
-//! variants and both evaluation topologies.
+//! variants and both evaluation topologies, plus the fused megabatch path
+//! that serves batched inference in production. The criterion stand-in
+//! writes `BENCH_inference.json` (ns/op + throughput per variant).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rn_dataset::{generate_sample, Dataset, GeneratorConfig};
 use rn_netgraph::topologies;
 use rn_netsim::SimConfig;
+use routenet::entities::SamplePlan;
 use routenet::model::PathPredictor;
 use routenet::{ExtendedRouteNet, ModelConfig, OriginalRouteNet};
 
 fn quick_gen() -> GeneratorConfig {
     GeneratorConfig {
-        sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 60.0,
+            warmup_s: 10.0,
+            ..SimConfig::default()
+        },
         ..GeneratorConfig::default()
     }
 }
 
 fn small_model() -> ModelConfig {
-    ModelConfig { state_dim: 16, mp_iterations: 4, readout_hidden: 32, ..ModelConfig::default() }
+    ModelConfig {
+        state_dim: 16,
+        mp_iterations: 4,
+        readout_hidden: 32,
+        ..ModelConfig::default()
+    }
 }
 
 fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
     group.sample_size(10);
-    for (name, topo) in [("nsfnet", topologies::nsfnet_default()), ("geant2", topologies::geant2_default())] {
+    for (name, topo) in [
+        ("nsfnet", topologies::nsfnet_default()),
+        ("geant2", topologies::geant2_default()),
+    ] {
         let sample = generate_sample(&topo, &quick_gen(), 3, 0);
-        let ds = Dataset { topology: topo.clone(), samples: vec![sample] };
+        let ds = Dataset {
+            topology: topo.clone(),
+            samples: vec![sample],
+        };
 
         let mut ext = ExtendedRouteNet::new(small_model());
         ext.fit_preprocessing(&ds, 5);
@@ -35,6 +53,17 @@ fn bench_inference(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("extended", name), &plan_e, |b, plan| {
             b.iter(|| ext.predict(plan))
         });
+
+        // Batched inference: 8 copies of the sample through one fused
+        // block-diagonal pass on a pooled tape, as the evaluation path runs
+        // it (per-sample cost is ns/op divided by 8).
+        let batch: Vec<SamplePlan> = (0..8).map(|_| plan_e.clone()).collect();
+        let mut batch_tape = rn_autograd::Graph::new();
+        group.bench_with_input(
+            BenchmarkId::new("extended_megabatch8", name),
+            &batch,
+            |b, batch| b.iter(|| ext.predict_batch_with(&mut batch_tape, batch)),
+        );
 
         let mut orig = OriginalRouteNet::new(small_model());
         orig.fit_preprocessing(&ds, 5);

@@ -12,15 +12,24 @@ use rn_tensor::Prng;
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("netsim");
     group.sample_size(10);
-    for (name, topo) in [("nsfnet", topologies::nsfnet_default()), ("geant2", topologies::geant2_default())] {
+    for (name, topo) in [
+        ("nsfnet", topologies::nsfnet_default()),
+        ("geant2", topologies::geant2_default()),
+    ] {
         let routing = Routing::shortest_paths(&topo);
         let mut rng = Prng::new(1);
         let traffic = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 0.7);
         let caps = vec![16usize; topo.num_nodes()];
-        let config = SimConfig { duration_s: 100.0, warmup_s: 10.0, seed: 7, ..SimConfig::default() };
+        let config = SimConfig {
+            duration_s: 100.0,
+            warmup_s: 10.0,
+            seed: 7,
+            ..SimConfig::default()
+        };
         group.bench_with_input(BenchmarkId::new("simulate_100s", name), &topo, |b, topo| {
             b.iter(|| {
-                let r = simulate(topo, &routing, &traffic, &caps, &config, &FaultPlan::none()).unwrap();
+                let r =
+                    simulate(topo, &routing, &traffic, &caps, &config, &FaultPlan::none()).unwrap();
                 assert!(r.conservation_holds());
                 r.total_delivered
             })

@@ -11,13 +11,19 @@ fn bench_routing(c: &mut Criterion) {
         ("geant2", topologies::geant2_default()),
         ("abilene", topologies::abilene_default()),
     ] {
-        group.bench_with_input(BenchmarkId::new("all_pairs_shortest", name), &topo, |b, topo| {
-            b.iter(|| Routing::shortest_paths(topo).num_paths())
-        });
-        group.bench_with_input(BenchmarkId::new("all_pairs_randomized", name), &topo, |b, topo| {
-            let mut rng = Prng::new(42);
-            b.iter(|| Routing::randomized(topo, &mut rng).num_paths())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_pairs_shortest", name),
+            &topo,
+            |b, topo| b.iter(|| Routing::shortest_paths(topo).num_paths()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("all_pairs_randomized", name),
+            &topo,
+            |b, topo| {
+                let mut rng = Prng::new(42);
+                b.iter(|| Routing::randomized(topo, &mut rng).num_paths())
+            },
+        );
     }
     group.finish();
 }

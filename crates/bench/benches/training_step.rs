@@ -1,60 +1,182 @@
 //! Criterion bench: one training step (forward + backward + gradient
-//! extraction) on a single sample graph.
+//! extraction) at paper-scale configuration, before and after the fused
+//! hot path.
+//!
+//! Three variants process the same batch of NSFNET samples:
+//!
+//! - `before/legacy_per_sample` — the pre-refactor path: a fresh tape per
+//!   sample, unfused op-by-op forward (`forward_unfused`).
+//! - `after/fused_tape_reuse` — fused row-compacted ops (`gather_rows`/
+//!   `gru_step_rows`/`segment_acc_rows`) with one pooled tape reused across
+//!   the batch.
+//! - `after/megabatch` — the production default: the whole batch packed into
+//!   one block-diagonal megabatch, one bind, one fused forward/backward.
+//!
+//! The criterion stand-in writes `BENCH_training_step.json` with ns/op and
+//! throughput per variant, so the before/after ratio is tracked across PRs.
+//! Acceptance floor for this PR: `after/megabatch` >= 3x
+//! `before/legacy_per_sample`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Measurement};
 use rn_autograd::Graph;
 use rn_dataset::{generate_sample, Dataset, GeneratorConfig};
 use rn_netgraph::topologies;
 use rn_netsim::SimConfig;
 use rn_nn::Layer;
+use routenet::entities::{build_megabatch, SamplePlan};
 use routenet::model::PathPredictor;
-use routenet::{ExtendedRouteNet, ModelConfig, OriginalRouteNet};
+use routenet::{ExtendedRouteNet, ModelConfig};
 
-fn bench_training_step(c: &mut Criterion) {
+const BATCH: usize = 8;
+
+fn paper_scale_setup() -> (ExtendedRouteNet, Vec<SamplePlan>) {
     let gen = GeneratorConfig {
-        sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 60.0,
+            warmup_s: 10.0,
+            ..SimConfig::default()
+        },
         ..GeneratorConfig::default()
     };
     let topo = topologies::nsfnet_default();
-    let sample = generate_sample(&topo, &gen, 5, 0);
-    let ds = Dataset { topology: topo, samples: vec![sample] };
-    let model_cfg = ModelConfig { state_dim: 16, mp_iterations: 4, readout_hidden: 32, ..ModelConfig::default() };
+    let samples: Vec<_> = (0..BATCH as u64)
+        .map(|i| generate_sample(&topo, &gen, 5, i))
+        .collect();
+    let ds = Dataset {
+        topology: topo,
+        samples,
+    };
+    // Paper-scale model: state_dim=32, T=8 message-passing iterations.
+    let model_cfg = ModelConfig {
+        state_dim: 32,
+        mp_iterations: 8,
+        readout_hidden: 64,
+        ..ModelConfig::default()
+    };
+    let mut model = ExtendedRouteNet::new(model_cfg);
+    model.fit_preprocessing(&ds, 5);
+    let plans: Vec<SamplePlan> = ds.samples.iter().map(|s| model.plan(s)).collect();
+    (model, plans)
+}
 
-    let mut group = c.benchmark_group("training_step");
-    group.sample_size(10);
+/// Pre-refactor training step, reproduced faithfully: a fresh tape per
+/// sample, unfused op-by-op forward, and the tape's reference mode (the
+/// seed's naive matmul kernels and libm transcendentals).
+fn legacy_step(model: &ExtendedRouteNet, plans: &[SamplePlan]) -> usize {
+    let mut total = 0;
+    for plan in plans {
+        let mut g = Graph::new();
+        g.set_reference_mode(true);
+        let bound = model.bind(&mut g);
+        let pred = model.forward_unfused(&mut g, &bound, plan);
+        let reliable = g.gather_rows(pred, &plan.reliable_idx);
+        let target = g.constant(plan.reliable_targets_norm());
+        let loss = g.mse(reliable, target);
+        g.backward(loss);
+        total += model.grads(&g, &bound).len();
+    }
+    total
+}
 
-    let mut ext = ExtendedRouteNet::new(model_cfg.clone());
-    ext.fit_preprocessing(&ds, 5);
-    let plan = ext.plan(&ds.samples[0]);
-    group.bench_with_input(BenchmarkId::new("fwd_bwd", "extended/nsfnet"), &plan, |b, plan| {
-        b.iter(|| {
-            let mut g = Graph::new();
-            let bound = ext.bind(&mut g);
-            let pred = ext.forward(&mut g, &bound, plan);
-            let reliable = g.gather_rows(pred, &plan.reliable_idx);
-            let target = g.constant(plan.reliable_targets_norm());
-            let loss = g.mse(reliable, target);
-            g.backward(loss);
-            ext.grads(&g, &bound).len()
-        })
-    });
+/// Fused ops + one pooled tape reused across the whole batch.
+fn fused_pooled_step(model: &ExtendedRouteNet, plans: &[SamplePlan], g: &mut Graph) -> usize {
+    let mut total = 0;
+    for plan in plans {
+        g.reset();
+        let bound = model.bind(g);
+        let pred = model.forward(g, &bound, plan);
+        let reliable = g.gather_rows(pred, &plan.reliable_idx);
+        let target = g.constant(plan.reliable_targets_norm());
+        let loss = g.mse(reliable, target);
+        g.backward(loss);
+        total += model.grads(g, &bound).len();
+    }
+    total
+}
 
-    let mut orig = OriginalRouteNet::new(model_cfg);
-    orig.fit_preprocessing(&ds, 5);
-    let plan_o = orig.plan(&ds.samples[0]);
-    group.bench_with_input(BenchmarkId::new("fwd_bwd", "original/nsfnet"), &plan_o, |b, plan| {
-        b.iter(|| {
-            let mut g = Graph::new();
-            let bound = orig.bind(&mut g);
-            let pred = orig.forward(&mut g, &bound, plan);
-            let reliable = g.gather_rows(pred, &plan.reliable_idx);
-            let target = g.constant(plan.reliable_targets_norm());
-            let loss = g.mse(reliable, target);
-            g.backward(loss);
-            orig.grads(&g, &bound).len()
-        })
-    });
-    group.finish();
+/// The production default: one fused block-diagonal pass for the batch.
+fn megabatch_step(model: &ExtendedRouteNet, plans: &[SamplePlan], g: &mut Graph) -> usize {
+    let parts: Vec<&SamplePlan> = plans.iter().collect();
+    let mb = build_megabatch(&parts);
+    g.reset();
+    let bound = model.bind(g);
+    let pred = model.forward(g, &bound, &mb.plan);
+    let reliable = g.gather_rows(pred, &mb.plan.reliable_idx);
+    let target = g.constant(mb.plan.reliable_targets_norm());
+    let loss = g.mse(reliable, target);
+    g.backward(loss);
+    model.grads(g, &bound).len()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// Interleaved measurement: one legacy + one fused + one megabatch step per
+/// round, medians across rounds. Sequential per-variant timing would let
+/// slow machine-load drift (thermal throttling, noisy neighbors) bias the
+/// before/after ratio; round-robin keeps every variant exposed to the same
+/// conditions.
+fn bench_training_step(_c: &mut Criterion) {
+    let (model, plans) = paper_scale_setup();
+    const ROUNDS: usize = 9;
+
+    let mut pooled_tape = Graph::new();
+    let mut mega_tape = Graph::new();
+
+    // Warmup: touch every path once (fills tape pools, faults in pages).
+    std::hint::black_box(legacy_step(&model, &plans));
+    std::hint::black_box(fused_pooled_step(&model, &plans, &mut pooled_tape));
+    std::hint::black_box(megabatch_step(&model, &plans, &mut mega_tape));
+
+    let mut t_legacy = Vec::with_capacity(ROUNDS);
+    let mut t_fused = Vec::with_capacity(ROUNDS);
+    let mut t_mega = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t = std::time::Instant::now();
+        std::hint::black_box(legacy_step(&model, &plans));
+        t_legacy.push(t.elapsed().as_nanos() as f64);
+
+        let t = std::time::Instant::now();
+        std::hint::black_box(fused_pooled_step(&model, &plans, &mut pooled_tape));
+        t_fused.push(t.elapsed().as_nanos() as f64);
+
+        let t = std::time::Instant::now();
+        std::hint::black_box(megabatch_step(&model, &plans, &mut mega_tape));
+        t_mega.push(t.elapsed().as_nanos() as f64);
+    }
+
+    let (legacy, fused, mega) = (median(t_legacy), median(t_fused), median(t_mega));
+    let results: Vec<Measurement> = [
+        ("before/legacy_per_sample", legacy),
+        ("after/fused_tape_reuse", fused),
+        ("after/megabatch", mega),
+    ]
+    .iter()
+    .map(|&(id, ns)| Measurement {
+        id: id.to_string(),
+        ns_per_op: ns,
+        ops_per_sec: 1.0e9 / ns,
+    })
+    .collect();
+    for m in &results {
+        eprintln!(
+            "bench training_step/{:<28} {:>14.0} ns/op {:>10.2} ops/s",
+            m.id, m.ns_per_op, m.ops_per_sec
+        );
+    }
+    let speedup_mega = legacy / mega;
+    let speedup_fused = legacy / fused;
+    eprintln!("speedup legacy->megabatch: {speedup_mega:.2}x, legacy->fused_tape_reuse: {speedup_fused:.2}x");
+    criterion::write_report_with_derived(
+        "training_step",
+        &results,
+        &[
+            ("speedup_megabatch_vs_legacy", speedup_mega),
+            ("speedup_fused_tape_reuse_vs_legacy", speedup_fused),
+        ],
+    );
 }
 
 criterion_group!(benches, bench_training_step);

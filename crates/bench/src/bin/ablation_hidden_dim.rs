@@ -44,5 +44,7 @@ fn main() {
             train_secs
         );
     }
-    println!("\nExpected shape: accuracy improves with width then saturates; cost grows ~quadratically.");
+    println!(
+        "\nExpected shape: accuracy improves with width then saturates; cost grows ~quadratically."
+    );
 }

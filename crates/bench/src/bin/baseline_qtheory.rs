@@ -24,7 +24,10 @@ fn main() {
     let predictor = PathDelayPredictor::new(gen.sim.mean_packet_bits);
 
     let mut reports = Vec::new();
-    for (ds, name, topo) in [(&eval_geant2, "geant2", &geant2), (&eval_nsfnet, "nsfnet", &nsfnet)] {
+    for (ds, name, topo) in [
+        (&eval_geant2, "geant2", &geant2),
+        (&eval_nsfnet, "nsfnet", &nsfnet),
+    ] {
         let mut pairs: Vec<(f64, f64)> = Vec::new();
         for sample in &ds.samples {
             // Rebuild the per-sample topology capacities before predicting.
@@ -32,8 +35,12 @@ fn main() {
             for (l, &c) in sample.link_capacities.iter().enumerate() {
                 sample_topo.set_link_capacity(l, c);
             }
-            let preds =
-                predictor.predict(&sample_topo, &sample.routing, &sample.traffic, &sample.queue_capacities);
+            let preds = predictor.predict(
+                &sample_topo,
+                &sample.routing,
+                &sample.traffic,
+                &sample.queue_capacities,
+            );
             for ((_, _, pred), target) in preds.iter().zip(&sample.targets) {
                 if target.is_reliable(10) && target.mean_delay_s > 0.0 {
                     pairs.push((*pred, target.mean_delay_s));
@@ -61,7 +68,9 @@ fn main() {
                 // assumptions collapse. So the verdict compares p90/p95.
                 if let (Some(qt), Some(ext)) = (
                     reports.iter().find(|r| r.dataset == "geant2"),
-                    learned.iter().find(|r| r.model == "extended" && r.dataset == "geant2"),
+                    learned
+                        .iter()
+                        .find(|r| r.model == "extended" && r.dataset == "geant2"),
                 ) {
                     let tail_ok = ext.abs_rel_summary.p90 < qt.abs_rel_summary.p90;
                     println!(
@@ -92,5 +101,9 @@ fn main() {
     }
 
     std::fs::create_dir_all("target/rn-results").ok();
-    routenet::persist::save_model(&reports, std::path::Path::new("target/rn-results/baseline_qtheory.json")).ok();
+    routenet::persist::save_model(
+        &reports,
+        std::path::Path::new("target/rn-results/baseline_qtheory.json"),
+    )
+    .ok();
 }

@@ -33,22 +33,30 @@ fn main() {
     println!();
 
     let gen = GeneratorConfig {
-        sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 60.0,
+            warmup_s: 10.0,
+            ..SimConfig::default()
+        },
         ..GeneratorConfig::default()
     };
     let sample = generate_sample(&topo, &gen, 1, 0);
 
-    let model_config = ModelConfig { state_dim: 8, ..ModelConfig::default() };
-    let plan_config = PlanConfig::new(
-        &model_config,
-        FeatureScales::unit(),
-        rn_dataset::Normalizer::identity(),
-    );
+    let model_config = ModelConfig {
+        state_dim: 8,
+        ..ModelConfig::default()
+    };
+    let scales = FeatureScales::unit();
+    let normalizer = rn_dataset::Normalizer::identity();
+    let plan_config = PlanConfig::new(&model_config, &scales, &normalizer);
     let plan = build_plan(&sample, &plan_config);
 
     println!("{}", plan.schedule_trace(8));
 
-    println!("per-iteration update order (T = {} iterations):", model_config.mp_iterations);
+    println!(
+        "per-iteration update order (T = {} iterations):",
+        model_config.mp_iterations
+    );
     println!("  1. RNN_P sweep: h_p <- GRU(h_p, x) for x in [node, link, node, link, ...]");
     println!("     message m(p, pos) = h_p after consuming position pos");
     println!("  2. RNN_L: h_l <- GRU(h_l, sum over paths p crossing l of m(p, l))");
@@ -60,7 +68,9 @@ fn main() {
     let node_positions = plan.extended_steps.iter().step_by(2).count();
     let link_positions = plan.extended_steps.iter().skip(1).step_by(2).count();
     println!("schedule invariants:");
-    println!("  node positions = link positions = max hop count: {node_positions} = {link_positions}");
+    println!(
+        "  node positions = link positions = max hop count: {node_positions} = {link_positions}"
+    );
     println!(
         "  total path-entity incidences: {} path-node, {} path-link",
         plan.node_incidence_paths.len(),

@@ -75,7 +75,13 @@ fn main() {
     println!(
         "{}",
         render_cdf_table(
-            &["rel_error", "ext/geant2", "orig/geant2", "ext/nsfnet", "orig/nsfnet"],
+            &[
+                "rel_error",
+                "ext/geant2",
+                "orig/geant2",
+                "ext/nsfnet",
+                "orig/nsfnet"
+            ],
             &xs,
             &series
         )

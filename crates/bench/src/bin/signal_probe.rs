@@ -46,12 +46,24 @@ fn main() {
             sim.seed = seed;
             let std_caps = vec![32usize; topo.num_nodes()];
             let tiny_caps = vec![1usize; topo.num_nodes()];
-            let r_std =
-                simulate(&sample_topo, &sample.routing, &sample.traffic, &std_caps, &sim, &FaultPlan::none())
-                    .unwrap();
-            let r_tiny =
-                simulate(&sample_topo, &sample.routing, &sample.traffic, &tiny_caps, &sim, &FaultPlan::none())
-                    .unwrap();
+            let r_std = simulate(
+                &sample_topo,
+                &sample.routing,
+                &sample.traffic,
+                &std_caps,
+                &sim,
+                &FaultPlan::none(),
+            )
+            .unwrap();
+            let r_tiny = simulate(
+                &sample_topo,
+                &sample.routing,
+                &sample.traffic,
+                &tiny_caps,
+                &sim,
+                &FaultPlan::none(),
+            )
+            .unwrap();
             for (a, b) in r_std.flows.iter().zip(&r_tiny.flows) {
                 if a.delivered >= 20 && b.delivered >= 20 && b.mean_delay_s > 0.0 {
                     ratios.push(a.mean_delay_s / b.mean_delay_s);

@@ -58,9 +58,12 @@ fn main() {
         .map(|s| model.plan_for_target(s, TargetKind::Jitter))
         .collect();
     let pairs = routenet::eval::collect_predictions(&model, &eval_plans);
-    let report = EvalReport::from_predictions("extended-jitter", "geant2",
+    let report = EvalReport::from_predictions(
+        "extended-jitter",
+        "geant2",
         &pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
-        &pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+        &pairs.iter().map(|p| p.1).collect::<Vec<_>>(),
+    );
     println!("{}", report.summary_line());
     println!("\nJitter is intrinsically noisier than mean delay (a second moment from the");
     println!("same packet sample), so expect somewhat higher relative errors than figure2.");

@@ -34,7 +34,10 @@ fn main() {
 
     // Model forward/backward cost per sample graph.
     let sample = generate_sample(&geant2, &gen, 1, 0);
-    let ds = rn_dataset::Dataset { topology: geant2.clone(), samples: vec![sample] };
+    let ds = rn_dataset::Dataset {
+        topology: geant2.clone(),
+        samples: vec![sample],
+    };
 
     let mut ext = ExtendedRouteNet::new(cfg.model());
     ext.fit_preprocessing(&ds, 10);
@@ -45,7 +48,10 @@ fn main() {
     for _ in 0..reps {
         let _ = ext.predict(&plan);
     }
-    println!("extended forward (geant2):  {:6.3}s/graph", t0.elapsed().as_secs_f64() / reps as f64);
+    println!(
+        "extended forward (geant2):  {:6.3}s/graph",
+        t0.elapsed().as_secs_f64() / reps as f64
+    );
 
     let t0 = Instant::now();
     for _ in 0..reps {
@@ -58,7 +64,10 @@ fn main() {
         g.backward(loss);
         let _ = ext.grads(&g, &bound);
     }
-    println!("extended fwd+bwd (geant2):  {:6.3}s/graph", t0.elapsed().as_secs_f64() / reps as f64);
+    println!(
+        "extended fwd+bwd (geant2):  {:6.3}s/graph",
+        t0.elapsed().as_secs_f64() / reps as f64
+    );
 
     let mut orig = OriginalRouteNet::new(cfg.model());
     orig.fit_preprocessing(&ds, 10);
@@ -74,15 +83,24 @@ fn main() {
         g.backward(loss);
         let _ = orig.grads(&g, &bound);
     }
-    println!("original fwd+bwd (geant2):  {:6.3}s/graph", t0.elapsed().as_secs_f64() / reps as f64);
+    println!(
+        "original fwd+bwd (geant2):  {:6.3}s/graph",
+        t0.elapsed().as_secs_f64() / reps as f64
+    );
 
     // NSFNET eval-side cost.
     let sample_n = generate_sample(&nsfnet, &gen, 2, 0);
-    let ds_n = rn_dataset::Dataset { topology: nsfnet, samples: vec![sample_n] };
+    let ds_n = rn_dataset::Dataset {
+        topology: nsfnet,
+        samples: vec![sample_n],
+    };
     let plan_n = ext.plan(&ds_n.samples[0]);
     let t0 = Instant::now();
     for _ in 0..reps {
         let _ = ext.predict(&plan_n);
     }
-    println!("extended forward (nsfnet):  {:6.3}s/graph", t0.elapsed().as_secs_f64() / reps as f64);
+    println!(
+        "extended forward (nsfnet):  {:6.3}s/graph",
+        t0.elapsed().as_secs_f64() / reps as f64
+    );
 }

@@ -32,17 +32,26 @@ use std::path::PathBuf;
 
 /// Read a `usize` experiment knob from the environment.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Read an `f64` experiment knob from the environment.
 pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Read a `u64` experiment knob from the environment.
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The shared experiment configuration, resolved from env + defaults.
@@ -101,7 +110,10 @@ impl ExperimentConfig {
             // the same distribution, so no feature is out-of-distribution.
             traffic_model: TrafficModel::AbsoluteRates {
                 rate_range_bps: (env_f64("RN_RATE_LO", 50.0), env_f64("RN_RATE_HI", 500.0)),
-                intensity_range: (env_f64("RN_INTENSITY_LO", 0.4), env_f64("RN_INTENSITY_HI", 3.0)),
+                intensity_range: (
+                    env_f64("RN_INTENSITY_LO", 0.4),
+                    env_f64("RN_INTENSITY_HI", 3.0),
+                ),
             },
             ..GeneratorConfig::default()
         }
@@ -186,9 +198,19 @@ pub fn paper_topologies() -> (Topology, Topology) {
 
 /// Render an `(x, F(x))` CDF series as an aligned text table, one row per x.
 pub fn render_cdf_table(header: &[&str], xs: &[f64], series: &[Vec<(f64, f64)>]) -> String {
-    assert_eq!(header.len(), series.len() + 1, "one header per series plus the x column");
+    assert_eq!(
+        header.len(),
+        series.len() + 1,
+        "one header per series plus the x column"
+    );
     let mut out = String::new();
-    out.push_str(&header.iter().map(|h| format!("{h:>22}")).collect::<Vec<_>>().join(""));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| format!("{h:>22}"))
+            .collect::<Vec<_>>()
+            .join(""),
+    );
     out.push('\n');
     for (i, &x) in xs.iter().enumerate() {
         out.push_str(&format!("{x:>22.3}"));
@@ -226,7 +248,11 @@ mod tests {
     #[test]
     fn cdf_table_renders_all_series() {
         let xs = vec![-0.5, 0.0, 0.5];
-        let mk = |off: f64| xs.iter().map(|&x| (x, (x + off).clamp(0.0, 1.0))).collect::<Vec<_>>();
+        let mk = |off: f64| {
+            xs.iter()
+                .map(|&x| (x, (x + off).clamp(0.0, 1.0)))
+                .collect::<Vec<_>>()
+        };
         let table = render_cdf_table(&["relerr", "a", "b"], &xs, &[mk(0.5), mk(0.6)]);
         assert_eq!(table.lines().count(), 4);
         assert!(table.contains("relerr"));

@@ -59,7 +59,12 @@ impl ModelConfig {
 
     /// The configuration of the paper-scale model (state 32, T = 8).
     pub fn paper_scale() -> Self {
-        Self { state_dim: 32, mp_iterations: 8, readout_hidden: 64, ..Self::default() }
+        Self {
+            state_dim: 32,
+            mp_iterations: 8,
+            readout_hidden: 64,
+            ..Self::default()
+        }
     }
 }
 
@@ -75,20 +80,29 @@ mod tests {
 
     #[test]
     fn degenerate_configs_rejected() {
-        let mut c = ModelConfig::default();
-        c.state_dim = 1;
+        let c = ModelConfig {
+            state_dim: 1,
+            ..ModelConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ModelConfig::default();
-        c.mp_iterations = 0;
+        let c = ModelConfig {
+            mp_iterations: 0,
+            ..ModelConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ModelConfig::default();
-        c.readout_hidden = 0;
+        let c = ModelConfig {
+            readout_hidden: 0,
+            ..ModelConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn serde_round_trip() {
-        let c = ModelConfig { node_update: NodeUpdate::FinalPathStateSum, ..ModelConfig::default() };
+        let c = ModelConfig {
+            node_update: NodeUpdate::FinalPathStateSum,
+            ..ModelConfig::default()
+        };
         let back: ModelConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
         assert_eq!(c, back);
     }

@@ -61,6 +61,93 @@ pub struct StepPlan {
     pub active: usize,
 }
 
+/// Step schedule precompiled into flat CSR-style buffers.
+///
+/// The fused forward pass walks this instead of `Vec<StepPlan>`: all gather
+/// indices live in one contiguous `ids_flat` array indexed through `offsets`
+/// (a CSR indptr), and each step's activity mask is prebuilt as the `n x 1`
+/// matrix the tape ops consume. One compile per sample, reused every epoch.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledSteps {
+    /// Entity type per step.
+    pub kinds: Vec<EntityKind>,
+    /// Active-path count per step (steps with 0 are skipped entirely).
+    pub active: Vec<usize>,
+    /// CSR index pointer: step `s` covers `ids_flat[offsets[s]..offsets[s+1]]`.
+    pub offsets: Vec<usize>,
+    /// All gather indices, step-major (one per path row, padded rows
+    /// included).
+    pub ids_flat: Vec<usize>,
+    /// Per-step `n_paths x 1` masks.
+    pub masks: Vec<Matrix>,
+    /// CSR index pointer into the active-row compaction buffers.
+    pub active_offsets: Vec<usize>,
+    /// Path rows active at each step (rows whose mask is 1), step-major.
+    pub active_rows_flat: Vec<usize>,
+    /// Entity id per active row, aligned with `active_rows_flat`. The
+    /// compacted forward gathers/scatter-adds through these, skipping
+    /// padded rows entirely.
+    pub active_ids_flat: Vec<usize>,
+}
+
+impl CompiledSteps {
+    /// Flatten a step list into CSR buffers.
+    pub fn compile(steps: &[StepPlan]) -> Self {
+        let mut out = Self {
+            kinds: Vec::with_capacity(steps.len()),
+            active: Vec::with_capacity(steps.len()),
+            offsets: Vec::with_capacity(steps.len() + 1),
+            ids_flat: Vec::with_capacity(steps.iter().map(|s| s.ids.len()).sum()),
+            masks: Vec::with_capacity(steps.len()),
+            active_offsets: Vec::with_capacity(steps.len() + 1),
+            active_rows_flat: Vec::new(),
+            active_ids_flat: Vec::new(),
+        };
+        out.offsets.push(0);
+        out.active_offsets.push(0);
+        for step in steps {
+            out.kinds.push(step.kind);
+            out.active.push(step.active);
+            out.ids_flat.extend_from_slice(&step.ids);
+            out.offsets.push(out.ids_flat.len());
+            out.masks.push(step.mask.clone());
+            for (row, &id) in step.ids.iter().enumerate() {
+                if step.mask.get(row, 0) > 0.0 {
+                    out.active_rows_flat.push(row);
+                    out.active_ids_flat.push(id);
+                }
+            }
+            out.active_offsets.push(out.active_rows_flat.len());
+        }
+        out
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when there are no steps.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The gather indices of step `s` (all path rows).
+    pub fn ids(&self, s: usize) -> &[usize] {
+        &self.ids_flat[self.offsets[s]..self.offsets[s + 1]]
+    }
+
+    /// The active path rows of step `s`.
+    pub fn active_rows(&self, s: usize) -> &[usize] {
+        &self.active_rows_flat[self.active_offsets[s]..self.active_offsets[s + 1]]
+    }
+
+    /// The entity ids of the active rows of step `s`.
+    pub fn active_ids(&self, s: usize) -> &[usize] {
+        &self.active_ids_flat[self.active_offsets[s]..self.active_offsets[s + 1]]
+    }
+}
+
 /// Precomputed forward-pass inputs for one sample.
 #[derive(Debug, Clone)]
 pub struct SamplePlan {
@@ -83,6 +170,10 @@ pub struct SamplePlan {
     pub extended_steps: Vec<StepPlan>,
     /// Steps of the original links-only sequence.
     pub original_steps: Vec<StepPlan>,
+    /// `extended_steps` precompiled into flat CSR buffers (fused forward).
+    pub extended_csr: CompiledSteps,
+    /// `original_steps` precompiled into flat CSR buffers (fused forward).
+    pub original_csr: CompiledSteps,
     /// Flattened path-node incidence: for every (path, traversed node) pair,
     /// the path row index…
     pub node_incidence_paths: Vec<usize>,
@@ -97,12 +188,17 @@ pub struct SamplePlan {
 }
 
 /// Options controlling plan construction.
+///
+/// Borrows the preprocessing state instead of owning it: plans are built once
+/// per sample (often for hundreds of thousands of samples), and cloning the
+/// fitted `FeatureScales`/`Normalizer` per sample was measurable overhead in
+/// the planning pass.
 #[derive(Debug, Clone)]
-pub struct PlanConfig {
+pub struct PlanConfig<'a> {
     /// Feature scaling (fitted on the training set).
-    pub scales: FeatureScales,
+    pub scales: &'a FeatureScales,
     /// Target normalizer (fitted on the training set).
-    pub normalizer: Normalizer,
+    pub normalizer: &'a Normalizer,
     /// Entity state width.
     pub state_dim: usize,
     /// Minimum delivered packets for a label to count as reliable.
@@ -111,9 +207,13 @@ pub struct PlanConfig {
     pub target: TargetKind,
 }
 
-impl PlanConfig {
+impl<'a> PlanConfig<'a> {
     /// Plan options from a model configuration plus preprocessing state.
-    pub fn new(config: &ModelConfig, scales: FeatureScales, normalizer: Normalizer) -> Self {
+    pub fn new(
+        config: &ModelConfig,
+        scales: &'a FeatureScales,
+        normalizer: &'a Normalizer,
+    ) -> Self {
         Self {
             scales,
             normalizer,
@@ -136,7 +236,11 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
     // ---- Entity features -> initial states -------------------------------
     let paths: Vec<(usize, usize, &rn_netgraph::Path)> = sample.routing.iter_paths().collect();
     let n_paths = paths.len();
-    assert_eq!(n_paths, sample.targets.len(), "targets misaligned with routing");
+    assert_eq!(
+        n_paths,
+        sample.targets.len(),
+        "targets misaligned with routing"
+    );
 
     let mut path_init = Matrix::zeros(n_paths, d);
     for (row, &(s, dst, _)) in paths.iter().enumerate() {
@@ -158,10 +262,18 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
     // ---- Sequences --------------------------------------------------------
     // Extended: v0, l1, v1, l2, ..., v_{k-1}, l_k  (length 2k)
     // Original: l1, ..., l_k                        (length k)
-    let max_hops = paths.iter().map(|(_, _, p)| p.hop_count()).max().unwrap_or(0);
+    let max_hops = paths
+        .iter()
+        .map(|(_, _, p)| p.hop_count())
+        .max()
+        .unwrap_or(0);
     let mut extended_steps = Vec::with_capacity(2 * max_hops);
     for pos in 0..(2 * max_hops) {
-        let kind = if pos % 2 == 0 { EntityKind::Node } else { EntityKind::Link };
+        let kind = if pos % 2 == 0 {
+            EntityKind::Node
+        } else {
+            EntityKind::Link
+        };
         let mut ids = vec![0usize; n_paths];
         let mut mask = Matrix::zeros(n_paths, 1);
         let mut active = 0;
@@ -176,7 +288,12 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
                 active += 1;
             }
         }
-        extended_steps.push(StepPlan { kind, ids, mask, active });
+        extended_steps.push(StepPlan {
+            kind,
+            ids,
+            mask,
+            active,
+        });
     }
     let mut original_steps = Vec::with_capacity(max_hops);
     for hop in 0..max_hops {
@@ -190,7 +307,12 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
                 active += 1;
             }
         }
-        original_steps.push(StepPlan { kind: EntityKind::Link, ids, mask, active });
+        original_steps.push(StepPlan {
+            kind: EntityKind::Link,
+            ids,
+            mask,
+            active,
+        });
     }
 
     // ---- Node incidences (forwarding nodes: all but the destination) ------
@@ -220,6 +342,8 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
         }
     }
 
+    let extended_csr = CompiledSteps::compile(&extended_steps);
+    let original_csr = CompiledSteps::compile(&original_steps);
     SamplePlan {
         n_paths,
         num_links,
@@ -230,6 +354,8 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
         node_init,
         extended_steps,
         original_steps,
+        extended_csr,
+        original_csr,
         node_incidence_paths,
         node_incidence_nodes,
         targets_norm,
@@ -238,10 +364,200 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Megabatching
+// ---------------------------------------------------------------------------
+
+/// `B` sample plans packed into one block-diagonal plan.
+///
+/// Entity ids of sample `b` are shifted by that sample's path/link/node
+/// offsets, so the union plan runs through the *same* forward code as a
+/// single sample: gathers and scatter-adds never cross sample boundaries,
+/// matmuls grow `B`-fold taller (better kernel utilization), and one
+/// parameter `bind()` is amortized over the whole pack. Positions past a
+/// sample's sequence length are masked out, which the fused ops turn into
+/// exact no-ops, so predictions are identical to running each sample alone.
+#[derive(Debug, Clone)]
+pub struct MegabatchPlan {
+    /// The fused plan; feed it to `forward` like any single-sample plan.
+    pub plan: SamplePlan,
+    /// Per-sample path row ranges `[start, end)` in the fused plan.
+    pub path_ranges: Vec<(usize, usize)>,
+    /// Per reliable row (aligned with `plan.reliable_idx`): `1 / r_s` where
+    /// `r_s` is its sample's reliable-row count. Scaling these by
+    /// `1 / num_reliable_samples` reproduces mean-of-per-sample-means loss.
+    pub sample_mean_weights: Vec<f32>,
+    /// Samples contributing at least one reliable row.
+    pub reliable_samples: usize,
+}
+
+/// Pack `parts` into one block-diagonal [`MegabatchPlan`].
+///
+/// Panics on an empty slice or on state-width mismatches between parts.
+pub fn build_megabatch(parts: &[&SamplePlan]) -> MegabatchPlan {
+    assert!(!parts.is_empty(), "build_megabatch: empty batch");
+    let state_dim = parts[0].path_init.cols();
+    let n_paths: usize = parts.iter().map(|p| p.n_paths).sum();
+    let num_links: usize = parts.iter().map(|p| p.num_links).sum();
+    let num_nodes: usize = parts.iter().map(|p| p.num_nodes).sum();
+
+    // Entity offsets per part.
+    let mut path_off = Vec::with_capacity(parts.len());
+    let mut link_off = Vec::with_capacity(parts.len());
+    let mut node_off = Vec::with_capacity(parts.len());
+    let (mut po, mut lo, mut no) = (0usize, 0usize, 0usize);
+    for p in parts {
+        assert_eq!(
+            p.path_init.cols(),
+            state_dim,
+            "build_megabatch: state_dim mismatch"
+        );
+        path_off.push(po);
+        link_off.push(lo);
+        node_off.push(no);
+        po += p.n_paths;
+        lo += p.num_links;
+        no += p.num_nodes;
+    }
+
+    // Block-stacked initial states.
+    let mut path_init = Matrix::zeros(n_paths, state_dim);
+    let mut link_init = Matrix::zeros(num_links, state_dim);
+    let mut node_init = Matrix::zeros(num_nodes, state_dim);
+    for (b, p) in parts.iter().enumerate() {
+        copy_rows(&mut path_init, path_off[b], &p.path_init);
+        copy_rows(&mut link_init, link_off[b], &p.link_init);
+        copy_rows(&mut node_init, node_off[b], &p.node_init);
+    }
+
+    // Steps padded to the longest sequence in the pack; ids shifted into the
+    // union id space. Padded rows point at the part's first entity (any valid
+    // id works — the zero mask makes the position inert).
+    let merge_steps = |select: fn(&SamplePlan) -> &Vec<StepPlan>, alternate: bool| {
+        let max_len = parts.iter().map(|p| select(p).len()).max().unwrap_or(0);
+        let mut merged = Vec::with_capacity(max_len);
+        for pos in 0..max_len {
+            let kind = if alternate {
+                if pos % 2 == 0 {
+                    EntityKind::Node
+                } else {
+                    EntityKind::Link
+                }
+            } else {
+                EntityKind::Link
+            };
+            let mut ids = vec![0usize; n_paths];
+            let mut mask = Matrix::zeros(n_paths, 1);
+            let mut active = 0usize;
+            for (b, p) in parts.iter().enumerate() {
+                let offset = match kind {
+                    EntityKind::Link => link_off[b],
+                    EntityKind::Node => node_off[b],
+                };
+                let rows = path_off[b]..path_off[b] + p.n_paths;
+                match select(p).get(pos) {
+                    Some(step) => {
+                        debug_assert_eq!(step.kind, kind, "interleave mismatch");
+                        for (row, &id) in rows.zip(&step.ids) {
+                            ids[row] = offset + id;
+                            let m = step.mask.get(row - path_off[b], 0);
+                            mask.set(row, 0, m);
+                        }
+                        active += step.active;
+                    }
+                    None => {
+                        for row in rows {
+                            ids[row] = offset;
+                        }
+                    }
+                }
+            }
+            merged.push(StepPlan {
+                kind,
+                ids,
+                mask,
+                active,
+            });
+        }
+        merged
+    };
+    let extended_steps = merge_steps(|p| &p.extended_steps, true);
+    let original_steps = merge_steps(|p| &p.original_steps, false);
+
+    // Incidences, targets, reliability, loss weights.
+    let mut node_incidence_paths = Vec::new();
+    let mut node_incidence_nodes = Vec::new();
+    let mut pairs = Vec::with_capacity(n_paths);
+    let mut targets_norm = Matrix::zeros(n_paths, 1);
+    let mut targets_raw = Vec::with_capacity(n_paths);
+    let mut reliable_idx = Vec::new();
+    let mut sample_mean_weights = Vec::new();
+    let mut path_ranges = Vec::with_capacity(parts.len());
+    let mut reliable_samples = 0usize;
+    for (b, p) in parts.iter().enumerate() {
+        for (&pi, &ni) in p.node_incidence_paths.iter().zip(&p.node_incidence_nodes) {
+            node_incidence_paths.push(path_off[b] + pi);
+            node_incidence_nodes.push(node_off[b] + ni);
+        }
+        for &(s, d) in &p.pairs {
+            pairs.push((node_off[b] + s, node_off[b] + d));
+        }
+        for row in 0..p.n_paths {
+            targets_norm.set(path_off[b] + row, 0, p.targets_norm.get(row, 0));
+        }
+        targets_raw.extend_from_slice(&p.targets_raw);
+        let r_s = p.reliable_idx.len();
+        if r_s > 0 {
+            reliable_samples += 1;
+        }
+        for &i in &p.reliable_idx {
+            reliable_idx.push(path_off[b] + i);
+            sample_mean_weights.push(1.0 / r_s as f32);
+        }
+        path_ranges.push((path_off[b], path_off[b] + p.n_paths));
+    }
+
+    let extended_csr = CompiledSteps::compile(&extended_steps);
+    let original_csr = CompiledSteps::compile(&original_steps);
+    MegabatchPlan {
+        plan: SamplePlan {
+            n_paths,
+            num_links,
+            num_nodes,
+            pairs,
+            path_init,
+            link_init,
+            node_init,
+            extended_steps,
+            original_steps,
+            extended_csr,
+            original_csr,
+            node_incidence_paths,
+            node_incidence_nodes,
+            targets_norm,
+            targets_raw,
+            reliable_idx,
+        },
+        path_ranges,
+        sample_mean_weights,
+        reliable_samples,
+    }
+}
+
+/// Copy all of `src`'s rows into `dst` starting at row `at`.
+fn copy_rows(dst: &mut Matrix, at: usize, src: &Matrix) {
+    for r in 0..src.rows() {
+        dst.row_mut(at + r).copy_from_slice(src.row(r));
+    }
+}
+
 impl SamplePlan {
     /// Raw targets restricted to reliable rows.
     pub fn reliable_targets_raw(&self) -> Vec<f64> {
-        self.reliable_idx.iter().map(|&i| self.targets_raw[i]).collect()
+        self.reliable_idx
+            .iter()
+            .map(|&i| self.targets_raw[i])
+            .collect()
     }
 
     /// Normalized targets restricted to reliable rows, as a column matrix.
@@ -291,17 +607,26 @@ mod tests {
     fn toy_sample() -> (rn_netgraph::Topology, Sample) {
         let topo = topologies::toy5();
         let config = GeneratorConfig {
-            sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+            sim: SimConfig {
+                duration_s: 60.0,
+                warmup_s: 10.0,
+                ..SimConfig::default()
+            },
             ..GeneratorConfig::default()
         };
         let mut ds = generate(&topo, &config, 31, 1);
         (topo, ds.samples.pop().unwrap())
     }
 
-    fn plan_config(ds_delays: &[f64]) -> PlanConfig {
+    /// Owned preprocessing state the borrowed `PlanConfig` points into.
+    fn preprocessing(ds_delays: &[f64]) -> (FeatureScales, Normalizer) {
+        (FeatureScales::unit(), Normalizer::fit(ds_delays, true))
+    }
+
+    fn plan_config<'a>(prep: &'a (FeatureScales, Normalizer)) -> PlanConfig<'a> {
         PlanConfig {
-            scales: FeatureScales::unit(),
-            normalizer: Normalizer::fit(ds_delays, true),
+            scales: &prep.0,
+            normalizer: &prep.1,
             state_dim: 8,
             min_packets: 5,
             target: TargetKind::Delay,
@@ -311,8 +636,13 @@ mod tests {
     #[test]
     fn plan_shapes_are_consistent() {
         let (topo, sample) = toy_sample();
-        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
-        let plan = build_plan(&sample, &plan_config(&delays));
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
         assert_eq!(plan.n_paths, 20);
         assert_eq!(plan.num_links, topo.num_links());
         assert_eq!(plan.num_nodes, 5);
@@ -325,10 +655,19 @@ mod tests {
     #[test]
     fn extended_sequence_alternates_node_link() {
         let (_, sample) = toy_sample();
-        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
-        let plan = build_plan(&sample, &plan_config(&delays));
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
         for (i, step) in plan.extended_steps.iter().enumerate() {
-            let expected = if i % 2 == 0 { EntityKind::Node } else { EntityKind::Link };
+            let expected = if i % 2 == 0 {
+                EntityKind::Node
+            } else {
+                EntityKind::Link
+            };
             assert_eq!(step.kind, expected, "position {i}");
         }
         assert_eq!(plan.extended_steps.len(), 2 * plan.original_steps.len());
@@ -337,8 +676,13 @@ mod tests {
     #[test]
     fn sequences_match_paths() {
         let (_, sample) = toy_sample();
-        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
-        let plan = build_plan(&sample, &plan_config(&delays));
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
         for (row, (s, d, path)) in sample.routing.iter_paths().enumerate() {
             assert_eq!(plan.pairs[row], (s, d));
             // Extended: node at even 2*h, the traversed link at odd 2*h+1.
@@ -362,8 +706,13 @@ mod tests {
     #[test]
     fn active_counts_match_masks() {
         let (_, sample) = toy_sample();
-        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
-        let plan = build_plan(&sample, &plan_config(&delays));
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
         for step in plan.extended_steps.iter().chain(&plan.original_steps) {
             let mask_sum = step.mask.sum() as usize;
             assert_eq!(step.active, mask_sum);
@@ -375,8 +724,13 @@ mod tests {
     #[test]
     fn node_incidence_excludes_destination() {
         let (_, sample) = toy_sample();
-        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
-        let plan = build_plan(&sample, &plan_config(&delays));
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
         for (row, (_, dst, path)) in sample.routing.iter_paths().enumerate() {
             let visited: Vec<usize> = plan
                 .node_incidence_paths
@@ -395,8 +749,13 @@ mod tests {
     fn node_features_encode_queue_size() {
         let (_, mut sample) = toy_sample();
         sample.queue_capacities = vec![32, 1, 32, 1, 32];
-        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
-        let plan = build_plan(&sample, &plan_config(&delays));
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
         assert_eq!(plan.node_init.get(0, 0), 32.0);
         assert_eq!(plan.node_init.get(0, 1), 0.0);
         assert_eq!(plan.node_init.get(1, 0), 1.0);
@@ -414,7 +773,8 @@ mod tests {
             .filter(|t| t.mean_delay_s > 0.0)
             .map(|t| t.mean_delay_s)
             .collect();
-        let plan = build_plan(&sample, &plan_config(&delays));
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
         assert!(!plan.reliable_idx.contains(&3));
         assert_eq!(plan.targets_norm.get(3, 0), 0.0);
     }
@@ -422,21 +782,125 @@ mod tests {
     #[test]
     fn normalized_targets_round_trip() {
         let (_, sample) = toy_sample();
-        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
-        let cfg = plan_config(&delays);
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let cfg = plan_config(&prep);
         let plan = build_plan(&sample, &cfg);
         for &i in &plan.reliable_idx {
-            let raw_back = cfg.normalizer.denormalize(plan.targets_norm.get(i, 0) as f64);
+            let raw_back = cfg
+                .normalizer
+                .denormalize(plan.targets_norm.get(i, 0) as f64);
             let rel = (raw_back - plan.targets_raw[i]).abs() / plan.targets_raw[i];
             assert!(rel < 1e-5, "row {i}: {raw_back} vs {}", plan.targets_raw[i]);
         }
     }
 
     #[test]
+    fn megabatch_is_block_diagonal() {
+        let topo = topologies::toy5();
+        let config = GeneratorConfig {
+            sim: SimConfig {
+                duration_s: 60.0,
+                warmup_s: 10.0,
+                ..SimConfig::default()
+            },
+            ..GeneratorConfig::default()
+        };
+        let ds = generate(&topo, &config, 33, 3);
+        let delays: Vec<f64> = ds
+            .samples
+            .iter()
+            .flat_map(|s| s.targets.iter().map(|t| t.mean_delay_s.max(1e-6)))
+            .collect();
+        let prep = preprocessing(&delays);
+        let cfg = plan_config(&prep);
+        let plans: Vec<SamplePlan> = ds.samples.iter().map(|s| build_plan(s, &cfg)).collect();
+        let parts: Vec<&SamplePlan> = plans.iter().collect();
+        let mb = build_megabatch(&parts);
+
+        assert_eq!(mb.plan.n_paths, 3 * plans[0].n_paths);
+        assert_eq!(mb.plan.num_links, 3 * plans[0].num_links);
+        assert_eq!(mb.plan.num_nodes, 15);
+        assert_eq!(mb.path_ranges.len(), 3);
+        assert_eq!(mb.sample_mean_weights.len(), mb.plan.reliable_idx.len());
+
+        // Ids stay inside each sample's entity block (block-diagonality).
+        for (b, p) in plans.iter().enumerate() {
+            let link_base: usize = plans[..b].iter().map(|q| q.num_links).sum();
+            let node_base: usize = plans[..b].iter().map(|q| q.num_nodes).sum();
+            let (row_lo, row_hi) = mb.path_ranges[b];
+            for (pos, step) in mb.plan.extended_steps.iter().enumerate() {
+                for row in row_lo..row_hi {
+                    if step.mask.get(row, 0) > 0.0 {
+                        let local = &p.extended_steps[pos];
+                        let (base, local_id) = match step.kind {
+                            EntityKind::Link => (link_base, local.ids[row - row_lo]),
+                            EntityKind::Node => (node_base, local.ids[row - row_lo]),
+                        };
+                        assert_eq!(step.ids[row], base + local_id, "step {pos} row {row}");
+                    }
+                }
+            }
+            // Targets and reliability line up with offsets.
+            for &i in &p.reliable_idx {
+                assert!(mb.plan.reliable_idx.contains(&(row_lo + i)));
+            }
+            for row in 0..p.n_paths {
+                assert_eq!(mb.plan.targets_raw[row_lo + row], p.targets_raw[row]);
+            }
+        }
+
+        // Weights of each sample's rows sum to 1 (per-sample mean semantics).
+        for (b, p) in plans.iter().enumerate() {
+            if p.reliable_idx.is_empty() {
+                continue;
+            }
+            let (row_lo, row_hi) = mb.path_ranges[b];
+            let sum: f32 = mb
+                .plan
+                .reliable_idx
+                .iter()
+                .zip(&mb.sample_mean_weights)
+                .filter(|(&i, _)| i >= row_lo && i < row_hi)
+                .map(|(_, &w)| w)
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-5, "sample {b} weight sum {sum}");
+        }
+    }
+
+    #[test]
+    fn compiled_steps_mirror_step_plans() {
+        let (_, sample) = toy_sample();
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
+        assert_eq!(plan.extended_csr.len(), plan.extended_steps.len());
+        for (s, step) in plan.extended_steps.iter().enumerate() {
+            assert_eq!(plan.extended_csr.kinds[s], step.kind);
+            assert_eq!(plan.extended_csr.active[s], step.active);
+            assert_eq!(plan.extended_csr.ids(s), &step.ids[..]);
+            assert!(plan.extended_csr.masks[s].approx_eq(&step.mask, 0.0));
+        }
+    }
+
+    #[test]
     fn schedule_trace_mentions_all_rnns() {
         let (_, sample) = toy_sample();
-        let delays: Vec<f64> = sample.targets.iter().map(|t| t.mean_delay_s.max(1e-6)).collect();
-        let plan = build_plan(&sample, &plan_config(&delays));
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
         let trace = plan.schedule_trace(3);
         assert!(trace.contains("RNN_P<-node"));
         assert!(trace.contains("RNN_P<-link"));

@@ -33,13 +33,20 @@ impl EvalReport {
         predictions: &[f64],
         targets: &[f64],
     ) -> Self {
-        assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+        assert_eq!(
+            predictions.len(),
+            targets.len(),
+            "prediction/target length mismatch"
+        );
         assert!(!predictions.is_empty(), "cannot evaluate zero paths");
         let mut rel = Vec::with_capacity(predictions.len());
         let mut abs_sum = 0.0;
         let mut sq_sum = 0.0;
         for (&p, &t) in predictions.iter().zip(targets) {
-            assert!(t > 0.0, "targets must be positive (filtered upstream), got {t}");
+            assert!(
+                t > 0.0,
+                "targets must be positive (filtered upstream), got {t}"
+            );
             rel.push((p - t) / t);
             abs_sum += (p - t).abs();
             sq_sum += (p - t) * (p - t);
@@ -92,18 +99,46 @@ impl EvalReport {
     }
 }
 
-/// Evaluate a trained model over a dataset: predict every sample (in
-/// parallel), collect reliable paths, compute the relative-error report.
+/// Path-row budget per fused evaluation pass. Megabatching pays off by
+/// amortizing binds and fattening matmuls, but the tape keeps every step's
+/// activations resident, so packs that outgrow the cache lose more than
+/// they gain. Chunks are packed greedily until they would exceed this many
+/// path rows: small samples (toy topologies) batch up by the dozen, while
+/// GEANT2-sized samples run close to singly.
+const EVAL_PATH_BUDGET: usize = 512;
+
+/// Greedy size-aware chunking: consecutive plans packed while the path-row
+/// budget holds (every chunk gets at least one plan).
+fn eval_chunks(plans: &[SamplePlan]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    while start < plans.len() {
+        let mut end = start + 1;
+        let mut paths = plans[start].n_paths;
+        while end < plans.len() && paths + plans[end].n_paths <= EVAL_PATH_BUDGET {
+            paths += plans[end].n_paths;
+            end += 1;
+        }
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+/// Evaluate a trained model over a dataset: plan every sample (in parallel),
+/// predict in fused megabatches packed by [`eval_chunks`] (greedy, up to
+/// `EVAL_PATH_BUDGET` path rows each), collect reliable paths, compute the
+/// relative-error report.
 pub fn evaluate<M: PathPredictor>(
     model: &M,
     dataset: &Dataset,
     dataset_name: &str,
     min_packets: u64,
 ) -> EvalReport {
-    let pairs: Vec<(f64, f64)> = dataset
+    let plans: Vec<SamplePlan> = dataset
         .samples
         .par_iter()
-        .flat_map_iter(|sample| {
+        .map(|sample| {
             let mut plan = model.plan(sample);
             // Respect the caller's reliability threshold even if it differs
             // from the model's default plan config.
@@ -114,31 +149,50 @@ pub fn evaluate<M: PathPredictor>(
                 .filter(|(_, t)| t.is_reliable(min_packets) && t.mean_delay_s > 0.0)
                 .map(|(i, _)| i)
                 .collect();
-            let preds = model.predict(&plan);
-            plan.reliable_idx
-                .iter()
-                .map(|&i| (preds[i], plan.targets_raw[i]))
-                .collect::<Vec<_>>()
-                .into_iter()
+            plan
         })
         .collect();
+    let pairs = collect_predictions(model, &plans);
     let (preds, targets): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
     EvalReport::from_predictions(model.name(), dataset_name, &preds, &targets)
 }
 
 /// Evaluate raw `(prediction, target)` pairs from a non-learned baseline.
-pub fn evaluate_baseline(
-    name: &str,
-    dataset_name: &str,
-    pairs: &[(f64, f64)],
-) -> EvalReport {
+pub fn evaluate_baseline(name: &str, dataset_name: &str, pairs: &[(f64, f64)]) -> EvalReport {
     let (preds, targets): (Vec<f64>, Vec<f64>) = pairs.iter().copied().unzip();
     EvalReport::from_predictions(name, dataset_name, &preds, &targets)
 }
 
 /// Plan-level prediction collection — exposed for harnesses that already
-/// built plans (avoids re-planning in ablation sweeps).
-pub fn collect_predictions<M: PathPredictor>(
+/// built plans (avoids re-planning in ablation sweeps). Runs the fused
+/// megabatch inference path: workers pack size-aware chunks (see
+/// [`eval_chunks`]) into block-diagonal forward passes on pooled tapes.
+pub fn collect_predictions<M: PathPredictor>(model: &M, plans: &[SamplePlan]) -> Vec<(f64, f64)> {
+    let tape_pool = rn_autograd::TapePool::new();
+    eval_chunks(plans)
+        .par_iter()
+        .flat_map_iter(|&(start, end)| {
+            let chunk = &plans[start..end];
+            let mut tape = tape_pool.acquire();
+            let batch_preds = model.predict_batch_with(&mut tape, chunk);
+            tape_pool.release(tape);
+            chunk
+                .iter()
+                .zip(batch_preds)
+                .flat_map(|(plan, preds)| {
+                    plan.reliable_idx
+                        .iter()
+                        .map(|&i| (preds[i], plan.targets_raw[i]))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Per-sample (unfused) prediction collection — the legacy path, kept for
+/// comparison and for harnesses that need one tape per sample.
+pub fn collect_predictions_per_sample<M: PathPredictor>(
     model: &M,
     plans: &[SamplePlan],
 ) -> Vec<(f64, f64)> {
@@ -172,8 +226,14 @@ mod tests {
     #[test]
     fn signed_errors_keep_direction() {
         let r = EvalReport::from_predictions("m", "d", &[0.2, 0.05], &[0.1, 0.1]);
-        assert!((r.rel_errors[0] - 1.0).abs() < 1e-12, "overprediction is +100%");
-        assert!((r.rel_errors[1] + 0.5).abs() < 1e-12, "underprediction is -50%");
+        assert!(
+            (r.rel_errors[0] - 1.0).abs() < 1e-12,
+            "overprediction is +100%"
+        );
+        assert!(
+            (r.rel_errors[1] + 0.5).abs() < 1e-12,
+            "underprediction is -50%"
+        );
     }
 
     #[test]

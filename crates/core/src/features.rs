@@ -47,7 +47,11 @@ impl FeatureScales {
 
     /// Unit scales (features pass through unchanged) — for tests.
     pub fn unit() -> Self {
-        Self { rate_scale: 1.0, capacity_scale: 1.0, queue_scale: 1.0 }
+        Self {
+            rate_scale: 1.0,
+            capacity_scale: 1.0,
+            queue_scale: 1.0,
+        }
     }
 
     /// Scale a traffic rate.
@@ -76,7 +80,11 @@ mod tests {
     #[test]
     fn fit_produces_scales_that_bound_features() {
         let config = GeneratorConfig {
-            sim: SimConfig { duration_s: 30.0, warmup_s: 5.0, ..SimConfig::default() },
+            sim: SimConfig {
+                duration_s: 30.0,
+                warmup_s: 5.0,
+                ..SimConfig::default()
+            },
             ..GeneratorConfig::default()
         };
         let ds = generate(&topologies::toy5(), &config, 21, 3);
@@ -104,7 +112,10 @@ mod tests {
 
     #[test]
     fn empty_dataset_gives_safe_scales() {
-        let ds = Dataset { topology: topologies::toy5(), samples: vec![] };
+        let ds = Dataset {
+            topology: topologies::toy5(),
+            samples: vec![],
+        };
         let s = FeatureScales::fit(&ds);
         assert_eq!(s.rate_scale, 1.0);
         assert_eq!(s.capacity_scale, 1.0);

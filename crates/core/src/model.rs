@@ -1,7 +1,10 @@
 //! The original and extended RouteNet models.
 
 use crate::config::{ModelConfig, NodeUpdate};
-use crate::entities::{build_plan, EntityKind, PlanConfig, SamplePlan, StepPlan, TargetKind};
+use crate::entities::{
+    build_megabatch, build_plan, CompiledSteps, EntityKind, PlanConfig, SamplePlan, StepPlan,
+    TargetKind,
+};
 use crate::features::FeatureScales;
 use rn_autograd::{Graph, Var};
 use rn_dataset::{Dataset, Normalizer, Sample};
@@ -30,21 +33,28 @@ pub trait PathPredictor: Layer + Clone + Send + Sync {
     fn set_normalizer(&mut self, normalizer: Normalizer);
 
     /// Forward pass on the tape: returns the `n_paths x 1` normalized
-    /// prediction node.
+    /// prediction node. Uses the fused hot-path ops; accepts single-sample
+    /// plans and block-diagonal megabatch plans alike.
     fn forward(&self, g: &mut Graph, bound: &Self::Bound, plan: &SamplePlan) -> Var;
+
+    /// The pre-fusion op-by-op forward pass. Numerically equivalent to
+    /// [`PathPredictor::forward`] (the golden-equivalence tests pin this
+    /// down); kept as the reference implementation and for the
+    /// before/after benchmark.
+    fn forward_unfused(&self, g: &mut Graph, bound: &Self::Bound, plan: &SamplePlan) -> Var;
 
     /// Build the message-passing plan for one sample using this model's
     /// preprocessing state.
     fn plan(&self, sample: &Sample) -> SamplePlan {
         let (scales, normalizer) = self.preprocessing();
-        let cfg = PlanConfig::new(self.config(), scales.clone(), normalizer.clone());
+        let cfg = PlanConfig::new(self.config(), scales, normalizer);
         build_plan(sample, &cfg)
     }
 
     /// Plan with an explicit target kind (delay or jitter).
     fn plan_for_target(&self, sample: &Sample, target: TargetKind) -> SamplePlan {
         let (scales, normalizer) = self.preprocessing();
-        let mut cfg = PlanConfig::new(self.config(), scales.clone(), normalizer.clone());
+        let mut cfg = PlanConfig::new(self.config(), scales, normalizer);
         cfg.target = target;
         build_plan(sample, &cfg)
     }
@@ -52,13 +62,59 @@ pub trait PathPredictor: Layer + Clone + Send + Sync {
     /// Inference: predicted raw (denormalized) targets for every path.
     fn predict(&self, plan: &SamplePlan) -> Vec<f64> {
         let mut g = Graph::new();
-        let bound = self.bind(&mut g);
-        let pred = self.forward(&mut g, &bound, plan);
+        self.predict_with(&mut g, plan)
+    }
+
+    /// Inference on a caller-provided (pooled) tape. The tape is reset
+    /// first, so a worker can reuse one tape across a stream of samples
+    /// without reallocating.
+    fn predict_with(&self, g: &mut Graph, plan: &SamplePlan) -> Vec<f64> {
+        g.reset();
+        let bound = self.bind(g);
+        let pred = self.forward(g, &bound, plan);
         let (_, normalizer) = self.preprocessing();
         g.value(pred)
             .as_slice()
             .iter()
             .map(|&v| normalizer.denormalize(v as f64))
+            .collect()
+    }
+
+    /// Batched inference: packs `plans` into one block-diagonal megabatch,
+    /// runs a single forward pass (one parameter bind amortized over the
+    /// batch, B-fold taller matmuls), and splits the predictions back per
+    /// sample. Output `[i]` equals `self.predict(&plans[i])` to f32
+    /// round-off.
+    fn predict_batch(&self, plans: &[SamplePlan]) -> Vec<Vec<f64>> {
+        let mut g = Graph::new();
+        self.predict_batch_with(&mut g, plans)
+    }
+
+    /// Batched inference on a caller-provided (pooled) tape. Megabatch
+    /// buffers are large enough that allocator reuse matters: a worker
+    /// holding one tape across a stream of batches runs allocation-free.
+    fn predict_batch_with(&self, g: &mut Graph, plans: &[SamplePlan]) -> Vec<Vec<f64>> {
+        if plans.is_empty() {
+            return Vec::new();
+        }
+        if plans.len() == 1 {
+            return vec![self.predict_with(g, &plans[0])];
+        }
+        let parts: Vec<&SamplePlan> = plans.iter().collect();
+        let mb = build_megabatch(&parts);
+        g.reset();
+        let bound = self.bind(g);
+        let pred = self.forward(g, &bound, &mb.plan);
+        let (_, normalizer) = self.preprocessing();
+        let values = g.value(pred).as_slice();
+        mb.path_ranges
+            .iter()
+            .map(|&(start, end)| {
+                values[start..end]
+                    .iter()
+                    .map(|&v| normalizer.denormalize(v as f64))
+                    .collect()
+            })
             .collect()
     }
 }
@@ -67,12 +123,67 @@ pub trait PathPredictor: Layer + Clone + Send + Sync {
 // Shared message-passing machinery
 // ---------------------------------------------------------------------------
 
-/// Run one path-RNN sweep over `steps`, accumulating per-entity message sums.
+/// Run one fused path-RNN sweep over precompiled CSR steps, accumulating
+/// per-entity message sums.
 ///
-/// Returns `(final_path_state, link_message_sum, node_message_sum)`. The node
-/// accumulator is `None` when `collect_node_messages` is false (original
-/// model, or the FinalPathStateSum ablation).
+/// Three tape nodes per sequence position (`gather_rows`, `gru_step_rows`,
+/// `segment_acc_rows`) instead of the ~20 the unfused sweep records — this is the
+/// training hot path. Returns `(final_path_state, link_message_sum,
+/// node_message_sum)`; the node accumulator is `None` when
+/// `collect_node_messages` is false (original model, or the
+/// FinalPathStateSum ablation).
+#[allow(clippy::too_many_arguments)]
 fn path_sweep(
+    g: &mut Graph,
+    gru_path: &BoundGruCell,
+    csr: &CompiledSteps,
+    mut path_state: Var,
+    link_state: Var,
+    node_state: Option<Var>,
+    num_links: usize,
+    num_nodes: usize,
+    collect_node_messages: bool,
+) -> (Var, Var, Option<Var>) {
+    let state_dim = g.value(link_state).cols();
+    let mut link_acc = g.constant_with(num_links, state_dim, |_| {});
+    let mut node_acc = if collect_node_messages {
+        Some(g.constant_with(num_nodes, state_dim, |_| {}))
+    } else {
+        None
+    };
+    let gru_vars = gru_path.vars();
+    for s in 0..csr.len() {
+        if csr.active[s] == 0 {
+            continue;
+        }
+        // Row compaction: gather states for the *active* rows only, advance
+        // only those rows through the GRU, and scatter only their messages.
+        // Padded rows never touch a kernel.
+        let rows = csr.active_rows(s);
+        let ids = csr.active_ids(s);
+        let states = match csr.kinds[s] {
+            EntityKind::Link => link_state,
+            EntityKind::Node => node_state.expect("node step requires node states"),
+        };
+        let x = g.gather_rows(states, ids);
+        path_state = g.gru_step_rows(&gru_vars, path_state, x, rows);
+        // The post-step hidden state is the message to this position's entity.
+        match csr.kinds[s] {
+            EntityKind::Link => link_acc = g.segment_acc_rows(link_acc, path_state, rows, ids),
+            EntityKind::Node => {
+                if let Some(acc) = node_acc {
+                    node_acc = Some(g.segment_acc_rows(acc, path_state, rows, ids));
+                }
+            }
+        }
+    }
+    (path_state, link_acc, node_acc)
+}
+
+/// The pre-fusion sweep, op by op — the numerical reference for
+/// [`path_sweep`] and the "before" side of the training-step benchmark.
+#[allow(clippy::too_many_arguments)]
+fn path_sweep_unfused(
     g: &mut Graph,
     gru_path: &BoundGruCell,
     steps: &[StepPlan],
@@ -153,7 +264,12 @@ impl OriginalRouteNet {
         Self {
             gru_path: GruCell::new(&mut rng, d, d),
             gru_link: GruCell::new(&mut rng, d, d),
-            readout: Mlp::new(&mut rng, &[d, h, h, 1], Activation::Selu, Activation::Identity),
+            readout: Mlp::new(
+                &mut rng,
+                &[d, h, h, 1],
+                Activation::Selu,
+                Activation::Identity,
+            ),
             config,
             scales: FeatureScales::unit(),
             normalizer: Normalizer::identity(),
@@ -211,7 +327,10 @@ impl PathPredictor for OriginalRouteNet {
         self.scales = FeatureScales::fit(train);
         let delays = train.all_delays(min_packets);
         let positive: Vec<f64> = delays.into_iter().filter(|&d| d > 0.0).collect();
-        assert!(!positive.is_empty(), "training set has no positive delay labels");
+        assert!(
+            !positive.is_empty(),
+            "training set has no positive delay labels"
+        );
         self.normalizer = Normalizer::fit(&positive, true);
     }
 
@@ -224,6 +343,27 @@ impl PathPredictor for OriginalRouteNet {
         let mut link_state = g.constant(plan.link_init.clone());
         for _ in 0..self.config.mp_iterations {
             let (new_path, link_acc, _) = path_sweep(
+                g,
+                &bound.gru_path,
+                &plan.original_csr,
+                path_state,
+                link_state,
+                None,
+                plan.num_links,
+                plan.num_nodes,
+                false,
+            );
+            path_state = new_path;
+            link_state = bound.gru_link.step_fused(g, link_state, link_acc);
+        }
+        bound.readout.forward(g, path_state)
+    }
+
+    fn forward_unfused(&self, g: &mut Graph, bound: &BoundOriginal, plan: &SamplePlan) -> Var {
+        let mut path_state = g.constant(plan.path_init.clone());
+        let mut link_state = g.constant(plan.link_init.clone());
+        for _ in 0..self.config.mp_iterations {
+            let (new_path, link_acc, _) = path_sweep_unfused(
                 g,
                 &bound.gru_path,
                 &plan.original_steps,
@@ -278,7 +418,12 @@ impl ExtendedRouteNet {
             gru_path: GruCell::new(&mut rng, d, d),
             gru_link: GruCell::new(&mut rng, d, d),
             gru_node: GruCell::new(&mut rng, d, d),
-            readout: Mlp::new(&mut rng, &[d, h, h, 1], Activation::Selu, Activation::Identity),
+            readout: Mlp::new(
+                &mut rng,
+                &[d, h, h, 1],
+                Activation::Selu,
+                Activation::Identity,
+            ),
             config,
             scales: FeatureScales::unit(),
             normalizer: Normalizer::identity(),
@@ -340,7 +485,10 @@ impl PathPredictor for ExtendedRouteNet {
         self.scales = FeatureScales::fit(train);
         let delays = train.all_delays(min_packets);
         let positive: Vec<f64> = delays.into_iter().filter(|&d| d > 0.0).collect();
-        assert!(!positive.is_empty(), "training set has no positive delay labels");
+        assert!(
+            !positive.is_empty(),
+            "training set has no positive delay labels"
+        );
         self.normalizer = Normalizer::fit(&positive, true);
     }
 
@@ -357,7 +505,7 @@ impl PathPredictor for ExtendedRouteNet {
             let (new_path, link_acc, node_acc) = path_sweep(
                 g,
                 &bound.gru_path,
-                &plan.extended_steps,
+                &plan.extended_csr,
                 path_state,
                 link_state,
                 Some(node_state),
@@ -371,6 +519,36 @@ impl PathPredictor for ExtendedRouteNet {
             } else {
                 // Paper wording: element-wise sum of the (final) path states
                 // of all paths traversing the node.
+                let gathered = g.gather_rows(path_state, &plan.node_incidence_paths);
+                g.segment_sum(gathered, &plan.node_incidence_nodes, plan.num_nodes)
+            };
+            link_state = bound.gru_link.step_fused(g, link_state, link_acc);
+            node_state = bound.gru_node.step_fused(g, node_state, node_input);
+        }
+        bound.readout.forward(g, path_state)
+    }
+
+    fn forward_unfused(&self, g: &mut Graph, bound: &BoundExtended, plan: &SamplePlan) -> Var {
+        let mut path_state = g.constant(plan.path_init.clone());
+        let mut link_state = g.constant(plan.link_init.clone());
+        let mut node_state = g.constant(plan.node_init.clone());
+        let positional = self.config.node_update == NodeUpdate::PositionalMessages;
+        for _ in 0..self.config.mp_iterations {
+            let (new_path, link_acc, node_acc) = path_sweep_unfused(
+                g,
+                &bound.gru_path,
+                &plan.extended_steps,
+                path_state,
+                link_state,
+                Some(node_state),
+                plan.num_links,
+                plan.num_nodes,
+                positional,
+            );
+            path_state = new_path;
+            let node_input = if positional {
+                node_acc.expect("positional sweep collects node messages")
+            } else {
                 let gathered = g.gather_rows(path_state, &plan.node_incidence_paths);
                 g.segment_sum(gathered, &plan.node_incidence_nodes, plan.num_nodes)
             };
@@ -390,14 +568,23 @@ mod tests {
 
     fn toy_dataset(n: usize) -> Dataset {
         let config = GeneratorConfig {
-            sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+            sim: SimConfig {
+                duration_s: 60.0,
+                warmup_s: 10.0,
+                ..SimConfig::default()
+            },
             ..GeneratorConfig::default()
         };
         generate(&topologies::toy5(), &config, 41, n)
     }
 
     fn small_config() -> ModelConfig {
-        ModelConfig { state_dim: 8, mp_iterations: 2, readout_hidden: 8, ..ModelConfig::default() }
+        ModelConfig {
+            state_dim: 8,
+            mp_iterations: 2,
+            readout_hidden: 8,
+            ..ModelConfig::default()
+        }
     }
 
     #[test]
@@ -446,8 +633,14 @@ mod tests {
         let diff = |a: &[f64], b: &[f64]| -> f64 {
             a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
         };
-        assert!(diff(&o_a, &o_b) < 1e-9, "original model must ignore queue sizes");
-        assert!(diff(&e_a, &e_b) > 1e-6, "extended model must react to queue sizes");
+        assert!(
+            diff(&o_a, &o_b) < 1e-9,
+            "original model must ignore queue sizes"
+        );
+        assert!(
+            diff(&e_a, &e_b) > 1e-6,
+            "extended model must react to queue sizes"
+        );
     }
 
     #[test]
@@ -505,7 +698,82 @@ mod tests {
         g.backward(loss);
         let grads = model.grads(&g, &bound);
         let nonzero = grads.iter().filter(|m| m.max_abs() > 0.0).count();
-        assert!(nonzero >= grads.len() - 2, "only {nonzero}/{} live grads", grads.len());
+        assert!(
+            nonzero >= grads.len() - 2,
+            "only {nonzero}/{} live grads",
+            grads.len()
+        );
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_reference() {
+        let ds = toy_dataset(1);
+        for node_update in [
+            NodeUpdate::PositionalMessages,
+            NodeUpdate::FinalPathStateSum,
+        ] {
+            let mut model = ExtendedRouteNet::new(ModelConfig {
+                node_update,
+                ..small_config()
+            });
+            model.fit_preprocessing(&ds, 5);
+            let plan = model.plan(&ds.samples[0]);
+            let mut g = Graph::new();
+            let bound = model.bind(&mut g);
+            let fused = model.forward(&mut g, &bound, &plan);
+            let unfused = model.forward_unfused(&mut g, &bound, &plan);
+            assert!(
+                g.value(fused).approx_eq(g.value(unfused), 1e-5),
+                "fused/unfused diverged for {node_update:?}"
+            );
+        }
+        let mut orig = OriginalRouteNet::new(small_config());
+        orig.fit_preprocessing(&ds, 5);
+        let plan = orig.plan(&ds.samples[0]);
+        let mut g = Graph::new();
+        let bound = orig.bind(&mut g);
+        let fused = orig.forward(&mut g, &bound, &plan);
+        let unfused = orig.forward_unfused(&mut g, &bound, &plan);
+        assert!(g.value(fused).approx_eq(g.value(unfused), 1e-5));
+    }
+
+    #[test]
+    fn predict_batch_matches_per_sample_predict() {
+        let ds = toy_dataset(3);
+        let mut model = ExtendedRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plans: Vec<SamplePlan> = ds.samples.iter().map(|s| model.plan(s)).collect();
+        let batched = model.predict_batch(&plans);
+        assert_eq!(batched.len(), plans.len());
+        for (b, plan) in plans.iter().enumerate() {
+            let single = model.predict(plan);
+            assert_eq!(batched[b].len(), single.len());
+            for (x, y) in batched[b].iter().zip(&single) {
+                let denom = y.abs().max(1e-12);
+                assert!(
+                    ((x - y).abs() / denom) < 1e-5,
+                    "sample {b}: batched {x} vs single {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_with_reuses_one_tape_across_samples() {
+        let ds = toy_dataset(2);
+        let mut model = ExtendedRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan_a = model.plan(&ds.samples[0]);
+        let plan_b = model.plan(&ds.samples[1]);
+        let mut g = Graph::new();
+        let first = model.predict_with(&mut g, &plan_a);
+        let second = model.predict_with(&mut g, &plan_b);
+        assert_eq!(
+            first,
+            model.predict(&plan_a),
+            "pooled tape must not change results"
+        );
+        assert_eq!(second, model.predict(&plan_b));
     }
 
     #[test]
@@ -549,7 +817,10 @@ mod tests {
     #[test]
     fn param_counts_scale_with_config() {
         let small = ExtendedRouteNet::new(small_config());
-        let big = ExtendedRouteNet::new(ModelConfig { state_dim: 16, ..small_config() });
+        let big = ExtendedRouteNet::new(ModelConfig {
+            state_dim: 16,
+            ..small_config()
+        });
         assert!(big.param_count() > small.param_count());
         // Extended has one more GRU than original at equal config.
         let orig = OriginalRouteNet::new(small_config());

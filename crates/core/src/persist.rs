@@ -39,7 +39,11 @@ mod tests {
     #[test]
     fn trained_model_round_trips_with_preprocessing() {
         let gen_config = GeneratorConfig {
-            sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+            sim: SimConfig {
+                duration_s: 60.0,
+                warmup_s: 10.0,
+                ..SimConfig::default()
+            },
             ..GeneratorConfig::default()
         };
         let ds = generate(&topologies::toy5(), &gen_config, 61, 2);

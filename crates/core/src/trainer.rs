@@ -1,15 +1,23 @@
 //! Minibatch training with data-parallel gradients.
 //!
-//! Each training step picks a minibatch of sample graphs, computes the loss
-//! gradient of every graph on its own autograd tape (in parallel with rayon —
-//! samples are independent), averages the gradients, clips the global norm
-//! and applies one Adam update. This mirrors how the TensorFlow RouteNet
-//! trained (Adam on per-sample graphs), minus the GPU.
+//! Each training step picks a minibatch of sample graphs. By default the
+//! batch is packed into block-diagonal **megabatches**
+//! ([`crate::entities::build_megabatch`]): each worker runs ONE fused
+//! forward/backward over several samples at once — one parameter `bind()`
+//! amortized over the pack, `B`-fold taller (cache-friendlier) matmuls, and
+//! an order of magnitude fewer tape nodes. Workers draw reusable tapes from
+//! a [`TapePool`], so the steady-state loop is allocation-free.
+//!
+//! The loss of a megabatch is weighted per row so its gradient equals the
+//! mean of per-sample mean losses — the exact semantics of the legacy
+//! per-sample path, which remains available via
+//! [`TrainConfig::use_megabatch`] `= false` (samples then run on their own
+//! tapes, in parallel with rayon, like the original TensorFlow RouteNet).
 
-use crate::entities::SamplePlan;
+use crate::entities::{build_megabatch, SamplePlan};
 use crate::model::PathPredictor;
 use rayon::prelude::*;
-use rn_autograd::Graph;
+use rn_autograd::{Graph, TapePool};
 use rn_dataset::Dataset;
 use rn_nn::loss::Loss;
 use rn_nn::{clip_global_norm, Adam, Optimizer};
@@ -41,6 +49,14 @@ pub struct TrainConfig {
     pub lr_halve_epochs: Vec<usize>,
     /// Print one progress line per epoch to stderr.
     pub verbose: bool,
+    /// Run batches as fused block-diagonal megabatches (the fast default).
+    /// `false` restores the per-sample-tape path.
+    pub use_megabatch: bool,
+    /// Samples per megabatch shard; a batch is split into
+    /// `ceil(batch_size / megabatch_size)` shards processed in parallel.
+    /// Fixed shard boundaries keep training seed-deterministic regardless
+    /// of worker count.
+    pub megabatch_size: usize,
 }
 
 impl Default for TrainConfig {
@@ -56,6 +72,8 @@ impl Default for TrainConfig {
             patience: None,
             lr_halve_epochs: Vec::new(),
             verbose: false,
+            use_megabatch: true,
+            megabatch_size: 4,
         }
     }
 }
@@ -79,16 +97,23 @@ impl TrainingHistory {
 
     /// Best validation loss, if validation ran.
     pub fn best_val_loss(&self) -> Option<f64> {
-        self.val_loss.iter().copied().fold(None, |best, v| match best {
-            None => Some(v),
-            Some(b) => Some(b.min(v)),
-        })
+        self.val_loss
+            .iter()
+            .copied()
+            .fold(None, |best, v| match best {
+                None => Some(v),
+                Some(b) => Some(b.min(v)),
+            })
     }
 }
 
 /// Forward + loss on one plan; returns `(loss, grads)` or `None` when the
-/// plan has no reliable labels.
-fn sample_gradients<M: PathPredictor>(model: &M, plan: &SamplePlan, loss: Loss) -> Option<(f64, Vec<Matrix>)> {
+/// plan has no reliable labels. The legacy per-sample gradient path.
+fn sample_gradients<M: PathPredictor>(
+    model: &M,
+    plan: &SamplePlan,
+    loss: Loss,
+) -> Option<(f64, Vec<Matrix>)> {
     if plan.reliable_idx.is_empty() {
         return None;
     }
@@ -117,6 +142,63 @@ fn sample_loss<M: PathPredictor>(model: &M, plan: &SamplePlan, loss: Loss) -> Op
     Some(g.value(loss_node).get(0, 0) as f64)
 }
 
+/// One fused forward/backward over a megabatch shard on a pooled tape.
+///
+/// Returns `(sum_of_per_sample_mean_losses, samples_with_labels, grads)`;
+/// the gradients are of `sum_s mean_loss_s / scale`, so with
+/// `scale = reliable samples in the whole batch` the shard gradients of one
+/// batch simply add up to the batch-mean gradient.
+fn megabatch_gradients<M: PathPredictor>(
+    model: &M,
+    shard: &[&SamplePlan],
+    loss: Loss,
+    scale: usize,
+    g: &mut Graph,
+) -> Option<(f64, usize, Vec<Matrix>)> {
+    let mb = build_megabatch(shard);
+    if mb.plan.reliable_idx.is_empty() {
+        return None;
+    }
+    g.reset();
+    let bound = model.bind(g);
+    let pred = model.forward(g, &bound, &mb.plan);
+    let reliable = g.gather_rows(pred, &mb.plan.reliable_idx);
+    let target = g.constant(mb.plan.reliable_targets_norm());
+    let weights = Matrix::column_vector(
+        &mb.sample_mean_weights
+            .iter()
+            .map(|w| w / scale as f32)
+            .collect::<Vec<f32>>(),
+    );
+    let loss_node = loss.apply_weighted(g, reliable, target, &weights);
+    // The weighted node evaluates to (sum of per-sample means) / scale.
+    let sum_of_means = g.value(loss_node).get(0, 0) as f64 * scale as f64;
+    g.backward(loss_node);
+    Some((sum_of_means, mb.reliable_samples, model.grads(g, &bound)))
+}
+
+/// Validation loss of a megabatch shard: `(sum_of_per_sample_means, count)`.
+fn megabatch_loss<M: PathPredictor>(
+    model: &M,
+    shard: &[SamplePlan],
+    loss: Loss,
+    g: &mut Graph,
+) -> (f64, usize) {
+    let parts: Vec<&SamplePlan> = shard.iter().collect();
+    let mb = build_megabatch(&parts);
+    if mb.plan.reliable_idx.is_empty() {
+        return (0.0, 0);
+    }
+    g.reset();
+    let bound = model.bind(g);
+    let pred = model.forward(g, &bound, &mb.plan);
+    let reliable = g.gather_rows(pred, &mb.plan.reliable_idx);
+    let target = g.constant(mb.plan.reliable_targets_norm());
+    let weights = Matrix::column_vector(&mb.sample_mean_weights);
+    let loss_node = loss.apply_weighted(g, reliable, target, &weights);
+    (g.value(loss_node).get(0, 0) as f64, mb.reliable_samples)
+}
+
 /// Train `model` on `train_set`, optionally tracking `val_set`.
 ///
 /// Fits preprocessing (feature scales, target normalizer) on the training set
@@ -131,8 +213,11 @@ pub fn train<M: PathPredictor>(
     assert!(!train_set.is_empty(), "train: empty training set");
     model.fit_preprocessing(train_set, config.min_packets);
     let immutable: &M = model;
-    let plans: Vec<SamplePlan> =
-        train_set.samples.par_iter().map(|s| immutable.plan(s)).collect();
+    let plans: Vec<SamplePlan> = train_set
+        .samples
+        .par_iter()
+        .map(|s| immutable.plan(s))
+        .collect();
     let val_plans: Vec<SamplePlan> = val_set
         .map(|ds| ds.samples.par_iter().map(|s| immutable.plan(s)).collect())
         .unwrap_or_default();
@@ -158,20 +243,39 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
     config: &TrainConfig,
 ) -> TrainingHistory {
     assert!(!plans.is_empty(), "train: empty training set");
-    assert!(config.epochs > 0 && config.batch_size > 0, "train: degenerate config");
+    assert!(
+        config.epochs > 0 && config.batch_size > 0,
+        "train: degenerate config"
+    );
+
+    assert!(
+        config.megabatch_size > 0,
+        "train: megabatch_size must be positive"
+    );
 
     let mut optimizer = Adam::new(config.learning_rate);
     let mut rng = Prng::new(config.seed);
-    let mut history = TrainingHistory { train_loss: Vec::new(), val_loss: Vec::new(), stopped_at: 0 };
+    let mut history = TrainingHistory {
+        train_loss: Vec::new(),
+        val_loss: Vec::new(),
+        stopped_at: 0,
+    };
     let mut best_val = f64::INFINITY;
     let mut bad_epochs = 0usize;
+    // Reusable tapes shared by whichever workers process shards; buffers
+    // survive across batches and epochs.
+    let tape_pool = TapePool::new();
 
     for epoch in 0..config.epochs {
         if config.lr_halve_epochs.contains(&epoch) {
             let lr = optimizer.learning_rate() * 0.5;
             optimizer.set_learning_rate(lr);
             if config.verbose {
-                eprintln!("[{}] epoch {:>3}: learning rate halved to {lr:.2e}", model.name(), epoch + 1);
+                eprintln!(
+                    "[{}] epoch {:>3}: learning rate halved to {lr:.2e}",
+                    model.name(),
+                    epoch + 1
+                );
             }
         }
         let mut order: Vec<usize> = (0..plans.len()).collect();
@@ -181,49 +285,114 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
         let mut epoch_loss_count = 0usize;
         for batch in order.chunks(config.batch_size) {
             let snapshot: &M = model;
-            let results: Vec<(f64, Vec<Matrix>)> = batch
-                .par_iter()
-                .filter_map(|&i| sample_gradients(snapshot, &plans[i], config.loss))
-                .collect();
-            if results.is_empty() {
-                continue;
-            }
-            let count = results.len();
-            let mut grads: Option<Vec<Matrix>> = None;
-            for (loss_value, sample_grads) in results {
-                epoch_loss_sum += loss_value;
-                epoch_loss_count += 1;
-                match &mut grads {
-                    None => grads = Some(sample_grads),
-                    Some(acc) => {
-                        for (a, g) in acc.iter_mut().zip(&sample_grads) {
-                            a.add_assign(g);
+            let (batch_loss_sum, batch_count, grads) = if config.use_megabatch {
+                // Samples with labels in this batch — the gradient scale.
+                let labelled = batch
+                    .iter()
+                    .filter(|&&i| !plans[i].reliable_idx.is_empty())
+                    .count();
+                if labelled == 0 {
+                    continue;
+                }
+                let shards: Vec<&[usize]> = batch.chunks(config.megabatch_size).collect();
+                let results: Vec<(f64, usize, Vec<Matrix>)> = shards
+                    .par_iter()
+                    .filter_map(|shard| {
+                        let parts: Vec<&SamplePlan> = shard.iter().map(|&i| &plans[i]).collect();
+                        let mut tape = tape_pool.acquire();
+                        let out =
+                            megabatch_gradients(snapshot, &parts, config.loss, labelled, &mut tape);
+                        tape_pool.release(tape);
+                        out
+                    })
+                    .collect();
+                let mut loss_sum = 0.0;
+                let mut count = 0usize;
+                let mut grads: Option<Vec<Matrix>> = None;
+                for (sum_of_means, samples, shard_grads) in results {
+                    loss_sum += sum_of_means;
+                    count += samples;
+                    match &mut grads {
+                        None => grads = Some(shard_grads),
+                        Some(acc) => {
+                            for (a, g) in acc.iter_mut().zip(&shard_grads) {
+                                a.add_assign(g);
+                            }
                         }
                     }
                 }
-            }
-            let mut grads = grads.expect("non-empty batch");
-            let scale = 1.0 / count as f32;
-            for g in &mut grads {
-                g.map_inplace(|v| v * scale);
-            }
+                // Shard gradients are already scaled by 1/labelled; their sum
+                // is the batch-mean gradient.
+                let Some(grads) = grads else { continue };
+                (loss_sum, count, grads)
+            } else {
+                let results: Vec<(f64, Vec<Matrix>)> = batch
+                    .par_iter()
+                    .filter_map(|&i| sample_gradients(snapshot, &plans[i], config.loss))
+                    .collect();
+                if results.is_empty() {
+                    continue;
+                }
+                let count = results.len();
+                let mut loss_sum = 0.0;
+                let mut grads: Option<Vec<Matrix>> = None;
+                for (loss_value, sample_grads) in results {
+                    loss_sum += loss_value;
+                    match &mut grads {
+                        None => grads = Some(sample_grads),
+                        Some(acc) => {
+                            for (a, g) in acc.iter_mut().zip(&sample_grads) {
+                                a.add_assign(g);
+                            }
+                        }
+                    }
+                }
+                let mut grads = grads.expect("non-empty batch");
+                let scale = 1.0 / count as f32;
+                for g in &mut grads {
+                    g.map_inplace(|v| v * scale);
+                }
+                (loss_sum, count, grads)
+            };
+            epoch_loss_sum += batch_loss_sum;
+            epoch_loss_count += batch_count;
+            let mut grads = grads;
             clip_global_norm(&mut grads, config.grad_clip);
             optimizer.step(&mut model.params_mut(), &grads);
         }
-        let train_loss =
-            if epoch_loss_count > 0 { epoch_loss_sum / epoch_loss_count as f64 } else { f64::NAN };
+        let train_loss = if epoch_loss_count > 0 {
+            epoch_loss_sum / epoch_loss_count as f64
+        } else {
+            f64::NAN
+        };
         history.train_loss.push(train_loss);
         history.stopped_at = epoch + 1;
 
         let mut val_msg = String::new();
         if !val_plans.is_empty() {
             let snapshot: &M = model;
-            let (sum, count) = val_plans
-                .par_iter()
-                .filter_map(|p| sample_loss(snapshot, p, config.loss))
-                .map(|l| (l, 1usize))
-                .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
-            let val = if count > 0 { sum / count as f64 } else { f64::NAN };
+            let (sum, count) = if config.use_megabatch {
+                val_plans
+                    .par_chunks(config.megabatch_size)
+                    .map(|shard| {
+                        let mut tape = tape_pool.acquire();
+                        let out = megabatch_loss(snapshot, shard, config.loss, &mut tape);
+                        tape_pool.release(tape);
+                        out
+                    })
+                    .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+            } else {
+                val_plans
+                    .par_iter()
+                    .filter_map(|p| sample_loss(snapshot, p, config.loss))
+                    .map(|l| (l, 1usize))
+                    .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+            };
+            let val = if count > 0 {
+                sum / count as f64
+            } else {
+                f64::NAN
+            };
             history.val_loss.push(val);
             val_msg = format!(", val {val:.5}");
 
@@ -248,7 +417,11 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
             }
         }
         if config.verbose {
-            eprintln!("[{}] epoch {:>3}: train {train_loss:.5}{val_msg}", model.name(), epoch + 1);
+            eprintln!(
+                "[{}] epoch {:>3}: train {train_loss:.5}{val_msg}",
+                model.name(),
+                epoch + 1
+            );
         }
     }
     history
@@ -265,14 +438,23 @@ mod tests {
 
     fn toy_dataset(n: usize, seed: u64) -> Dataset {
         let config = GeneratorConfig {
-            sim: SimConfig { duration_s: 120.0, warmup_s: 20.0, ..SimConfig::default() },
+            sim: SimConfig {
+                duration_s: 120.0,
+                warmup_s: 20.0,
+                ..SimConfig::default()
+            },
             ..GeneratorConfig::default()
         };
         generate(&topologies::toy5(), &config, seed, n)
     }
 
     fn quick_train_config(epochs: usize) -> TrainConfig {
-        TrainConfig { epochs, batch_size: 4, learning_rate: 2e-3, ..TrainConfig::default() }
+        TrainConfig {
+            epochs,
+            batch_size: 4,
+            learning_rate: 2e-3,
+            ..TrainConfig::default()
+        }
     }
 
     #[test]
@@ -344,9 +526,82 @@ mod tests {
     }
 
     #[test]
+    fn legacy_per_sample_path_still_trains() {
+        let ds = toy_dataset(8, 56);
+        let mut model = ExtendedRouteNet::new(ModelConfig {
+            state_dim: 8,
+            mp_iterations: 2,
+            readout_hidden: 8,
+            ..ModelConfig::default()
+        });
+        let mut config = quick_train_config(6);
+        config.use_megabatch = false;
+        let history = train(&mut model, &ds, None, &config);
+        assert!(history.final_train_loss() < history.train_loss[0]);
+    }
+
+    #[test]
+    fn megabatch_and_per_sample_training_agree_closely() {
+        // Same seed, same data: the first-epoch loss (computed before the
+        // paths can drift apart) must agree to float accumulation error, and
+        // final losses must stay in the same ballpark.
+        let ds = toy_dataset(8, 57);
+        let make = |use_megabatch: bool| {
+            let mut model = ExtendedRouteNet::new(ModelConfig {
+                state_dim: 8,
+                mp_iterations: 2,
+                readout_hidden: 8,
+                seed: 5,
+                ..ModelConfig::default()
+            });
+            let mut config = quick_train_config(4);
+            config.use_megabatch = use_megabatch;
+
+            train(&mut model, &ds, None, &config)
+        };
+        let mega = make(true);
+        let legacy = make(false);
+        let rel = (mega.train_loss[0] - legacy.train_loss[0]).abs()
+            / legacy.train_loss[0].abs().max(1e-12);
+        assert!(
+            rel < 1e-3,
+            "first-epoch losses diverged: mega {} vs legacy {}",
+            mega.train_loss[0],
+            legacy.train_loss[0]
+        );
+        assert!(mega.final_train_loss() < mega.train_loss[0]);
+    }
+
+    #[test]
+    fn megabatch_sharding_is_deterministic() {
+        let ds = toy_dataset(6, 58);
+        let make = |megabatch_size: usize| {
+            let mut model = ExtendedRouteNet::new(ModelConfig {
+                state_dim: 8,
+                mp_iterations: 1,
+                readout_hidden: 8,
+                seed: 4,
+                ..ModelConfig::default()
+            });
+            let mut config = quick_train_config(2);
+            config.megabatch_size = megabatch_size;
+            train(&mut model, &ds, None, &config);
+            model
+        };
+        // Same shard size twice -> bitwise identical models.
+        let a = make(3);
+        let b = make(3);
+        let plan = a.plan(&ds.samples[0]);
+        assert_eq!(a.predict(&plan), b.predict(&plan));
+    }
+
+    #[test]
     #[should_panic(expected = "empty training set")]
     fn empty_training_set_is_rejected() {
-        let ds = Dataset { topology: topologies::toy5(), samples: vec![] };
+        let ds = Dataset {
+            topology: topologies::toy5(),
+            samples: vec![],
+        };
         let mut model = OriginalRouteNet::new(ModelConfig::default());
         train(&mut model, &ds, None, &TrainConfig::default());
     }

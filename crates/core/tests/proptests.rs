@@ -12,7 +12,11 @@ use routenet::{ExtendedRouteNet, FeatureScales, ModelConfig, NodeUpdate, Origina
 
 fn quick_gen() -> GeneratorConfig {
     GeneratorConfig {
-        sim: SimConfig { duration_s: 30.0, warmup_s: 5.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 30.0,
+            warmup_s: 5.0,
+            ..SimConfig::default()
+        },
         ..GeneratorConfig::default()
     }
 }
@@ -28,9 +32,11 @@ proptest! {
         let mut rng = Prng::new(seed);
         let topo = generators::erdos_renyi_connected(n, 0.3, 1e4, &mut rng);
         let sample = generate_sample(&topo, &quick_gen(), seed, 0);
+        let scales = FeatureScales::unit();
+        let normalizer = Normalizer::identity();
         let config = PlanConfig {
-            scales: FeatureScales::unit(),
-            normalizer: Normalizer::identity(),
+            scales: &scales,
+            normalizer: &normalizer,
             state_dim: 6,
             min_packets: 1,
             target: routenet::entities::TargetKind::Delay,

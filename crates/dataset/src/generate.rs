@@ -81,8 +81,10 @@ impl GeneratorConfig {
         if !(ulo > 0.0 && uhi >= ulo) {
             return Err(format!("bad utilization range ({ulo}, {uhi})"));
         }
-        if let TrafficModel::AbsoluteRates { rate_range_bps: (rlo, rhi), intensity_range: (ilo, ihi) } =
-            self.traffic_model
+        if let TrafficModel::AbsoluteRates {
+            rate_range_bps: (rlo, rhi),
+            intensity_range: (ilo, ihi),
+        } = self.traffic_model
         {
             if !(rlo > 0.0 && rhi >= rlo) {
                 return Err(format!("bad rate range ({rlo}, {rhi})"));
@@ -133,7 +135,10 @@ pub fn generate_sample(
             let target_util = ulo + (uhi - ulo) * rng.uniform() as f64;
             TrafficMatrix::with_target_utilization(&sample_topo, &routing, &mut rng, target_util)
         }
-        TrafficModel::AbsoluteRates { rate_range_bps: (rlo, rhi), intensity_range: (ilo, ihi) } => {
+        TrafficModel::AbsoluteRates {
+            rate_range_bps: (rlo, rhi),
+            intensity_range: (ilo, ihi),
+        } => {
             let intensity = ilo + (ihi - ilo) * rng.uniform() as f64;
             TrafficMatrix::uniform_random(
                 sample_topo.num_nodes(),
@@ -146,11 +151,15 @@ pub fn generate_sample(
 
     let (tlo, thi) = config.tiny_fraction_range;
     let tiny_fraction = tlo + (thi - tlo) * rng.uniform() as f64;
-    let queue_profiles = QueueProfile::random_assignment(sample_topo.num_nodes(), tiny_fraction, &mut rng);
+    let queue_profiles =
+        QueueProfile::random_assignment(sample_topo.num_nodes(), tiny_fraction, &mut rng);
     let queue_capacities = QueueProfile::capacities(&queue_profiles, &config.sim);
 
     let sim_seed = rng.int_range(0, u64::MAX);
-    let sim_config = SimConfig { seed: sim_seed, ..config.sim.clone() };
+    let sim_config = SimConfig {
+        seed: sim_seed,
+        ..config.sim.clone()
+    };
     let result = simulate(
         &sample_topo,
         &routing,
@@ -188,13 +197,21 @@ pub fn generate_sample(
 }
 
 /// Generate `count` samples in parallel.
-pub fn generate(topo: &Topology, config: &GeneratorConfig, master_seed: u64, count: usize) -> Dataset {
+pub fn generate(
+    topo: &Topology,
+    config: &GeneratorConfig,
+    master_seed: u64,
+    count: usize,
+) -> Dataset {
     config.validate().expect("invalid generator config");
     let samples: Vec<Sample> = (0..count as u64)
         .into_par_iter()
         .map(|i| generate_sample(topo, config, master_seed, i))
         .collect();
-    Dataset { topology: topo.clone(), samples }
+    Dataset {
+        topology: topo.clone(),
+        samples,
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +221,11 @@ mod tests {
 
     fn quick_config() -> GeneratorConfig {
         GeneratorConfig {
-            sim: SimConfig { duration_s: 60.0, warmup_s: 10.0, ..SimConfig::default() },
+            sim: SimConfig {
+                duration_s: 60.0,
+                warmup_s: 10.0,
+                ..SimConfig::default()
+            },
             ..GeneratorConfig::default()
         }
     }
@@ -251,14 +272,15 @@ mod tests {
         config.capacity_choices_bps = vec![10_000.0, 40_000.0];
         let ds = generate(&topo, &config, 17, 3);
         for s in &ds.samples {
-            assert!(s.link_capacities.iter().all(|c| *c == 10_000.0 || *c == 40_000.0));
+            assert!(s
+                .link_capacities
+                .iter()
+                .all(|c| *c == 10_000.0 || *c == 40_000.0));
         }
         // At least one sample should mix both speeds.
-        assert!(ds
-            .samples
-            .iter()
-            .any(|s| s.link_capacities.iter().any(|&c| c == 10_000.0)
-                && s.link_capacities.iter().any(|&c| c == 40_000.0)));
+        assert!(ds.samples.iter().any(
+            |s| s.link_capacities.contains(&10_000.0) && s.link_capacities.contains(&40_000.0)
+        ));
     }
 
     #[test]
@@ -272,7 +294,10 @@ mod tests {
             saw_tiny |= s.queue_profiles.contains(&QueueProfile::Tiny);
             saw_std |= s.queue_profiles.contains(&QueueProfile::Standard);
         }
-        assert!(saw_tiny && saw_std, "expected both queue archetypes across samples");
+        assert!(
+            saw_tiny && saw_std,
+            "expected both queue archetypes across samples"
+        );
     }
 
     #[test]
@@ -305,7 +330,10 @@ mod tests {
             for s in &ds.samples {
                 for (src, dst, _) in s.routing.iter_paths() {
                     let r = s.traffic.rate(src, dst);
-                    assert!((100.0..200.0).contains(&r), "rate {r} outside the absolute range");
+                    assert!(
+                        (100.0..200.0).contains(&r),
+                        "rate {r} outside the absolute range"
+                    );
                 }
             }
         }

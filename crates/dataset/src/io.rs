@@ -21,7 +21,8 @@ pub fn save_json(dataset: &Dataset, path: &Path) -> Result<(), String> {
 /// Load a dataset saved by [`save_json`].
 pub fn load_json(path: &Path) -> Result<Dataset, String> {
     let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
-    serde_json::from_reader(BufReader::new(file)).map_err(|e| format!("parse {}: {e}", path.display()))
+    serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| format!("parse {}: {e}", path.display()))
 }
 
 /// Save as JSON-lines: line 1 is the topology, each further line one sample.
@@ -32,7 +33,8 @@ pub fn save_jsonl(dataset: &Dataset, path: &Path) -> Result<(), String> {
         serde_json::to_string(&dataset.topology).map_err(|e| format!("serialize topology: {e}"))?;
     writeln!(w, "{topo_line}").map_err(|e| format!("write {}: {e}", path.display()))?;
     for (i, sample) in dataset.samples.iter().enumerate() {
-        let line = serde_json::to_string(sample).map_err(|e| format!("serialize sample {i}: {e}"))?;
+        let line =
+            serde_json::to_string(sample).map_err(|e| format!("serialize sample {i}: {e}"))?;
         writeln!(w, "{line}").map_err(|e| format!("write {}: {e}", path.display()))?;
     }
     Ok(())
@@ -70,7 +72,11 @@ mod tests {
 
     fn small_dataset() -> Dataset {
         let config = GeneratorConfig {
-            sim: SimConfig { duration_s: 30.0, warmup_s: 5.0, ..SimConfig::default() },
+            sim: SimConfig {
+                duration_s: 30.0,
+                warmup_s: 5.0,
+                ..SimConfig::default()
+            },
             ..GeneratorConfig::default()
         };
         generate(&topologies::toy5(), &config, 5, 3)

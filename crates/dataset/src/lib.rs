@@ -11,9 +11,9 @@
 //! the same scenario).
 //!
 //! The paper trains on 400,000 GEANT2 samples and evaluates on 100,000 GEANT2
-//! + 100,000 NSFNET samples. Dataset sizes here are arguments, not constants —
-//! `EXPERIMENTS.md` records the scaled-down defaults used for the reproduction
-//! and why the conclusion survives the scaling.
+//! plus 100,000 NSFNET samples. Dataset sizes here are arguments, not
+//! constants — `EXPERIMENTS.md` records the scaled-down defaults used for the
+//! reproduction and why the conclusion survives the scaling.
 
 pub mod generate;
 pub mod io;

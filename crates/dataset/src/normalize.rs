@@ -28,7 +28,10 @@ impl Normalizer {
             .iter()
             .map(|&v| {
                 if log_space {
-                    assert!(v > 0.0, "Normalizer::fit: non-positive value {v} in log space");
+                    assert!(
+                        v > 0.0,
+                        "Normalizer::fit: non-positive value {v} in log space"
+                    );
                     v.ln()
                 } else {
                     v
@@ -37,13 +40,25 @@ impl Normalizer {
             .collect();
         let n = transformed.len() as f64;
         let mean = transformed.iter().sum::<f64>() / n;
-        let var = transformed.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        Self { log_space, mean, std: var.sqrt().max(1e-9) }
+        let var = transformed
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
+        Self {
+            log_space,
+            mean,
+            std: var.sqrt().max(1e-9),
+        }
     }
 
     /// Identity normalizer (useful as a disabled-normalization sentinel).
     pub fn identity() -> Self {
-        Self { log_space: false, mean: 0.0, std: 1.0 }
+        Self {
+            log_space: false,
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// Forward transform: raw → normalized.

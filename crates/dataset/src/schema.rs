@@ -61,7 +61,10 @@ impl Sample {
         if self.targets.is_empty() {
             return 0.0;
         }
-        self.targets.iter().filter(|t| t.is_reliable(min_packets)).count() as f64
+        self.targets
+            .iter()
+            .filter(|t| t.is_reliable(min_packets))
+            .count() as f64
             / self.targets.len() as f64
     }
 
@@ -122,7 +125,8 @@ impl Dataset {
     /// Validate every sample against the topology.
     pub fn validate(&self) -> Result<(), String> {
         for (i, s) in self.samples.iter().enumerate() {
-            s.validate(&self.topology).map_err(|e| format!("sample {i}: {e}"))?;
+            s.validate(&self.topology)
+                .map_err(|e| format!("sample {i}: {e}"))?;
         }
         Ok(())
     }
@@ -210,7 +214,10 @@ mod tests {
     #[test]
     fn dataset_collects_delays() {
         let topo = topologies::toy5();
-        let ds = Dataset { topology: topo.clone(), samples: vec![tiny_sample(&topo), tiny_sample(&topo)] };
+        let ds = Dataset {
+            topology: topo.clone(),
+            samples: vec![tiny_sample(&topo), tiny_sample(&topo)],
+        };
         ds.validate().unwrap();
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.all_delays(1).len(), 40);

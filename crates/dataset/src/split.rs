@@ -8,12 +8,19 @@ use rn_tensor::Prng;
 ///
 /// Panics unless `0 < train_fraction < 1`. A split of a non-empty dataset
 /// always leaves at least one sample on each side.
-pub fn train_test_split(dataset: Dataset, train_fraction: f64, rng: &mut Prng) -> (Dataset, Dataset) {
+pub fn train_test_split(
+    dataset: Dataset,
+    train_fraction: f64,
+    rng: &mut Prng,
+) -> (Dataset, Dataset) {
     assert!(
         train_fraction > 0.0 && train_fraction < 1.0,
         "train_fraction must be in (0,1), got {train_fraction}"
     );
-    let Dataset { topology, mut samples } = dataset;
+    let Dataset {
+        topology,
+        mut samples,
+    } = dataset;
     rng.shuffle(&mut samples);
     let n = samples.len();
     let mut n_train = ((n as f64) * train_fraction).round() as usize;
@@ -22,8 +29,14 @@ pub fn train_test_split(dataset: Dataset, train_fraction: f64, rng: &mut Prng) -
     }
     let test_samples = samples.split_off(n_train);
     (
-        Dataset { topology: topology.clone(), samples },
-        Dataset { topology, samples: test_samples },
+        Dataset {
+            topology: topology.clone(),
+            samples,
+        },
+        Dataset {
+            topology,
+            samples: test_samples,
+        },
     )
 }
 
@@ -36,7 +49,11 @@ mod tests {
 
     fn small_dataset(n: usize) -> Dataset {
         let config = GeneratorConfig {
-            sim: SimConfig { duration_s: 30.0, warmup_s: 5.0, ..SimConfig::default() },
+            sim: SimConfig {
+                duration_s: 30.0,
+                warmup_s: 5.0,
+                ..SimConfig::default()
+            },
             ..GeneratorConfig::default()
         };
         generate(&topologies::toy5(), &config, 3, n)
@@ -49,7 +66,12 @@ mod tests {
         let (train, test) = train_test_split(ds, 0.7, &mut Prng::new(1));
         assert_eq!(train.len(), 7);
         assert_eq!(test.len(), 3);
-        let mut all: Vec<u64> = train.samples.iter().chain(&test.samples).map(|s| s.seed).collect();
+        let mut all: Vec<u64> = train
+            .samples
+            .iter()
+            .chain(&test.samples)
+            .map(|s| s.seed)
+            .collect();
         all.sort_unstable();
         let mut expected = seeds;
         expected.sort_unstable();

@@ -12,9 +12,17 @@ use rn_tensor::Prng;
 /// Starts from a random spanning tree (guaranteeing connectivity), then adds
 /// each remaining undirected edge independently with probability `p`. All
 /// links get `capacity_bps` and zero propagation delay.
-pub fn erdos_renyi_connected(num_nodes: usize, p: f64, capacity_bps: f64, rng: &mut Prng) -> Topology {
+pub fn erdos_renyi_connected(
+    num_nodes: usize,
+    p: f64,
+    capacity_bps: f64,
+    rng: &mut Prng,
+) -> Topology {
     assert!(num_nodes >= 2, "need at least two nodes");
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0,1]"
+    );
     let mut topo = Topology::new(format!("er{num_nodes}"), num_nodes);
     let mut present = vec![false; num_nodes * num_nodes];
 
@@ -46,7 +54,12 @@ pub fn erdos_renyi_connected(num_nodes: usize, p: f64, capacity_bps: f64, rng: &
 /// A preferential-attachment (Barabási–Albert-style) topology: each new node
 /// attaches to `m` distinct existing nodes chosen proportionally to degree.
 /// Produces the hub-dominated profiles typical of real backbones.
-pub fn preferential_attachment(num_nodes: usize, m: usize, capacity_bps: f64, rng: &mut Prng) -> Topology {
+pub fn preferential_attachment(
+    num_nodes: usize,
+    m: usize,
+    capacity_bps: f64,
+    rng: &mut Prng,
+) -> Topology {
     assert!(m >= 1, "m must be at least 1");
     assert!(num_nodes > m, "need more nodes than attachment edges");
     let mut topo = Topology::new(format!("ba{num_nodes}"), num_nodes);
@@ -72,7 +85,10 @@ pub fn preferential_attachment(num_nodes: usize, m: usize, capacity_bps: f64, rn
                 targets.push(candidate);
             }
             guard += 1;
-            assert!(guard < 10_000, "preferential attachment failed to find distinct targets");
+            assert!(
+                guard < 10_000,
+                "preferential attachment failed to find distinct targets"
+            );
         }
         for &t in &targets {
             topo.add_duplex(new, t, capacity_bps, 0.0);

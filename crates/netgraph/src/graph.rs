@@ -48,14 +48,28 @@ impl Topology {
     }
 
     /// Add one directed link; returns its id.
-    pub fn add_link(&mut self, src: NodeId, dst: NodeId, capacity_bps: f64, prop_delay_s: f64) -> LinkId {
+    pub fn add_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity_bps: f64,
+        prop_delay_s: f64,
+    ) -> LinkId {
         assert!(src < self.num_nodes, "add_link: src {src} out of range");
         assert!(dst < self.num_nodes, "add_link: dst {dst} out of range");
         assert_ne!(src, dst, "add_link: self-loops are not allowed");
         assert!(capacity_bps > 0.0, "add_link: capacity must be positive");
-        assert!(prop_delay_s >= 0.0, "add_link: propagation delay must be non-negative");
+        assert!(
+            prop_delay_s >= 0.0,
+            "add_link: propagation delay must be non-negative"
+        );
         let id = self.links.len();
-        self.links.push(Link { src, dst, capacity_bps, prop_delay_s });
+        self.links.push(Link {
+            src,
+            dst,
+            capacity_bps,
+            prop_delay_s,
+        });
         self.out_links[src].push(id);
         id
     }
@@ -68,7 +82,10 @@ impl Topology {
         capacity_bps: f64,
         prop_delay_s: f64,
     ) -> (LinkId, LinkId) {
-        (self.add_link(a, b, capacity_bps, prop_delay_s), self.add_link(b, a, capacity_bps, prop_delay_s))
+        (
+            self.add_link(a, b, capacity_bps, prop_delay_s),
+            self.add_link(b, a, capacity_bps, prop_delay_s),
+        )
     }
 
     /// Build from an undirected edge list, creating both directions of every
@@ -115,14 +132,20 @@ impl Topology {
     /// Replace the capacity of a link (used by dataset generators that draw
     /// heterogeneous capacities per sample). Panics on non-positive values.
     pub fn set_link_capacity(&mut self, id: LinkId, capacity_bps: f64) {
-        assert!(capacity_bps > 0.0, "set_link_capacity: capacity must be positive");
+        assert!(
+            capacity_bps > 0.0,
+            "set_link_capacity: capacity must be positive"
+        );
         self.links[id].capacity_bps = capacity_bps;
     }
 
     /// The directed link from `src` to `dst`, if one exists (first match for
     /// multigraphs).
     pub fn find_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.out_links[src].iter().copied().find(|&id| self.links[id].dst == dst)
+        self.out_links[src]
+            .iter()
+            .copied()
+            .find(|&id| self.links[id].dst == dst)
     }
 
     /// Out-degree of each node.
@@ -147,7 +170,11 @@ impl Topology {
         seen[start] = true;
         while let Some(n) = stack.pop() {
             for link in &self.links {
-                let (from, to) = if reversed { (link.dst, link.src) } else { (link.src, link.dst) };
+                let (from, to) = if reversed {
+                    (link.dst, link.src)
+                } else {
+                    (link.src, link.dst)
+                };
                 if from == n && !seen[to] {
                     seen[to] = true;
                     stack.push(to);

@@ -96,7 +96,9 @@ impl Routing {
     /// uniformly from `[1, 2)`. Different seeds yield genuinely different
     /// schemes while paths remain near-shortest and loop-free.
     pub fn randomized(topo: &Topology, rng: &mut Prng) -> Self {
-        let weights: Vec<f64> = (0..topo.num_links()).map(|_| 1.0 + rng.uniform() as f64).collect();
+        let weights: Vec<f64> = (0..topo.num_links())
+            .map(|_| 1.0 + rng.uniform() as f64)
+            .collect();
         Self::weighted_shortest_paths(topo, &weights)
     }
 
@@ -105,8 +107,15 @@ impl Routing {
     /// Ties are broken deterministically (by predecessor link id), so equal
     /// inputs produce identical routings on every platform.
     pub fn weighted_shortest_paths(topo: &Topology, weights: &[f64]) -> Self {
-        assert_eq!(weights.len(), topo.num_links(), "one weight per link required");
-        assert!(weights.iter().all(|&w| w > 0.0), "link weights must be positive");
+        assert_eq!(
+            weights.len(),
+            topo.num_links(),
+            "one weight per link required"
+        );
+        assert!(
+            weights.iter().all(|&w| w > 0.0),
+            "link weights must be positive"
+        );
         let n = topo.num_nodes();
         let mut paths: Vec<Option<Path>> = vec![None; n * n];
         for src in 0..n {
@@ -128,15 +137,23 @@ impl Routing {
                 for &l in &rev_links {
                     nodes.push(topo.link(l).dst);
                 }
-                paths[src * n + dst] = Some(Path { nodes, links: rev_links });
+                paths[src * n + dst] = Some(Path {
+                    nodes,
+                    links: rev_links,
+                });
             }
         }
-        Self { num_nodes: n, paths }
+        Self {
+            num_nodes: n,
+            paths,
+        }
     }
 
     /// The path from `src` to `dst`, if the pair is connected and distinct.
     pub fn path(&self, src: NodeId, dst: NodeId) -> Option<&Path> {
-        self.paths.get(src * self.num_nodes + dst).and_then(Option::as_ref)
+        self.paths
+            .get(src * self.num_nodes + dst)
+            .and_then(Option::as_ref)
     }
 
     /// Number of nodes this routing covers.
@@ -162,9 +179,14 @@ impl Routing {
     /// Validate every path against the topology.
     pub fn validate(&self, topo: &Topology) -> Result<(), String> {
         for (s, d, p) in self.iter_paths() {
-            p.validate(topo).map_err(|e| format!("path {s}->{d}: {e}"))?;
+            p.validate(topo)
+                .map_err(|e| format!("path {s}->{d}: {e}"))?;
             if p.src() != s || p.dst() != d {
-                return Err(format!("path {s}->{d} has endpoints {}->{}", p.src(), p.dst()));
+                return Err(format!(
+                    "path {s}->{d} has endpoints {}->{}",
+                    p.src(),
+                    p.dst()
+                ));
             }
         }
         Ok(())
@@ -208,9 +230,18 @@ fn dijkstra(topo: &Topology, weights: &[f64], src: NodeId) -> (Vec<f64>, Vec<Opt
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[src] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: src, via_link: None });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+        via_link: None,
+    });
 
-    while let Some(HeapEntry { dist: d, node, via_link }) = heap.pop() {
+    while let Some(HeapEntry {
+        dist: d,
+        node,
+        via_link,
+    }) = heap.pop()
+    {
         if done[node] {
             continue;
         }
@@ -223,11 +254,15 @@ fn dijkstra(topo: &Topology, weights: &[f64], src: NodeId) -> (Vec<f64>, Vec<Opt
             // the deterministic tie-break that keeps routings reproducible.
             let better = nd < dist[link.dst]
                 || (nd == dist[link.dst]
-                    && prev_link[link.dst].map_or(true, |existing| l < existing)
+                    && prev_link[link.dst].is_none_or(|existing| l < existing)
                     && !done[link.dst]);
             if better {
                 dist[link.dst] = nd;
-                heap.push(HeapEntry { dist: nd, node: link.dst, via_link: Some(l) });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: link.dst,
+                    via_link: Some(l),
+                });
             }
         }
     }
@@ -269,7 +304,8 @@ mod tests {
     #[test]
     fn weighted_routing_avoids_heavy_links() {
         // Square 0-1-2-3-0. Make 0->1 expensive: 0->2 must go via 3.
-        let topo = Topology::from_undirected_edges("sq", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)], 1e4, 0.0);
+        let topo =
+            Topology::from_undirected_edges("sq", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)], 1e4, 0.0);
         let mut weights = vec![1.0; topo.num_links()];
         let heavy = topo.find_link(0, 1).unwrap();
         weights[heavy] = 10.0;
@@ -291,7 +327,10 @@ mod tests {
             .iter()
             .filter(|&&(s, d)| ra.path(s, d).unwrap().nodes != rb.path(s, d).unwrap().nodes)
             .count();
-        assert!(differing > 0, "different seeds should route at least one pair differently");
+        assert!(
+            differing > 0,
+            "different seeds should route at least one pair differently"
+        );
     }
 
     #[test]

@@ -202,9 +202,18 @@ mod tests {
 
     #[test]
     fn every_node_has_a_link() {
-        for topo in [nsfnet_default(), geant2_default(), abilene_default(), toy5()] {
+        for topo in [
+            nsfnet_default(),
+            geant2_default(),
+            abilene_default(),
+            toy5(),
+        ] {
             for n in 0..topo.num_nodes() {
-                assert!(!topo.out_links(n).is_empty(), "{}: node {n} is isolated", topo.name);
+                assert!(
+                    !topo.out_links(n).is_empty(),
+                    "{}: node {n} is isolated",
+                    topo.name
+                );
             }
         }
     }
@@ -226,7 +235,10 @@ mod tests {
         // The reconstruction must preserve a hub-dominated degree profile.
         let t = geant2_default();
         let max_degree = t.degrees().into_iter().max().unwrap();
-        assert!(max_degree >= 6, "expected a hub of degree >= 6, got {max_degree}");
+        assert!(
+            max_degree >= 6,
+            "expected a hub of degree >= 6, got {max_degree}"
+        );
     }
 
     #[test]

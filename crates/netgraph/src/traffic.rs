@@ -22,13 +22,19 @@ pub struct TrafficMatrix {
 impl TrafficMatrix {
     /// All-zero matrix.
     pub fn zeros(num_nodes: usize) -> Self {
-        Self { num_nodes, rates_bps: vec![0.0; num_nodes * num_nodes] }
+        Self {
+            num_nodes,
+            rates_bps: vec![0.0; num_nodes * num_nodes],
+        }
     }
 
     /// Uniform random rates in `[lo, hi)` bits per second for every ordered
     /// pair of distinct nodes.
     pub fn uniform_random(num_nodes: usize, rng: &mut Prng, lo: f64, hi: f64) -> Self {
-        assert!(lo >= 0.0 && hi >= lo, "uniform_random: invalid range [{lo}, {hi})");
+        assert!(
+            lo >= 0.0 && hi >= lo,
+            "uniform_random: invalid range [{lo}, {hi})"
+        );
         let mut tm = Self::zeros(num_nodes);
         for s in 0..num_nodes {
             for d in 0..num_nodes {
@@ -52,7 +58,10 @@ impl TrafficMatrix {
         rng: &mut Prng,
         target_utilization: f64,
     ) -> Self {
-        assert!(target_utilization > 0.0, "target utilization must be positive");
+        assert!(
+            target_utilization > 0.0,
+            "target utilization must be positive"
+        );
         let mut tm = Self::uniform_random(topo.num_nodes(), rng, 0.1, 1.0);
         let max_util = tm.max_link_utilization(topo, routing);
         if max_util > 0.0 {
@@ -76,7 +85,10 @@ impl TrafficMatrix {
 
     /// Set the rate for one pair. Panics on the diagonal or negative rates.
     pub fn set(&mut self, src: NodeId, dst: NodeId, rate_bps: f64) {
-        assert_ne!(src, dst, "TrafficMatrix::set: diagonal entries must stay zero");
+        assert_ne!(
+            src, dst,
+            "TrafficMatrix::set: diagonal entries must stay zero"
+        );
         assert!(rate_bps >= 0.0, "TrafficMatrix::set: negative rate");
         self.rates_bps[src * self.num_nodes + dst] = rate_bps;
     }

@@ -24,9 +24,19 @@ impl QueueProfile {
 
     /// Draw a per-node profile vector: each node independently `Tiny` with
     /// probability `tiny_fraction`, else `Standard`.
-    pub fn random_assignment(num_nodes: usize, tiny_fraction: f64, rng: &mut Prng) -> Vec<QueueProfile> {
+    pub fn random_assignment(
+        num_nodes: usize,
+        tiny_fraction: f64,
+        rng: &mut Prng,
+    ) -> Vec<QueueProfile> {
         (0..num_nodes)
-            .map(|_| if rng.bernoulli(tiny_fraction) { QueueProfile::Tiny } else { QueueProfile::Standard })
+            .map(|_| {
+                if rng.bernoulli(tiny_fraction) {
+                    QueueProfile::Tiny
+                } else {
+                    QueueProfile::Standard
+                }
+            })
             .collect()
     }
 
@@ -103,20 +113,30 @@ mod tests {
 
     #[test]
     fn bad_configs_are_rejected() {
-        let mut c = SimConfig::default();
-        c.duration_s = 0.0;
+        let c = SimConfig {
+            duration_s: 0.0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.warmup_s = c.duration_s;
+        let base = SimConfig::default();
+        let c = SimConfig {
+            warmup_s: base.duration_s,
+            ..base
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.max_packet_bits = c.mean_packet_bits / 2.0;
+        let base = SimConfig::default();
+        let c = SimConfig {
+            max_packet_bits: base.mean_packet_bits / 2.0,
+            ..base
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.standard_queue_pkts = 0;
+        let c = SimConfig {
+            standard_queue_pkts: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -142,7 +162,10 @@ mod tests {
     fn random_assignment_mixes() {
         let mut rng = Prng::new(2);
         let profiles = QueueProfile::random_assignment(200, 0.5, &mut rng);
-        let tiny = profiles.iter().filter(|&&p| p == QueueProfile::Tiny).count();
+        let tiny = profiles
+            .iter()
+            .filter(|&&p| p == QueueProfile::Tiny)
+            .count();
         assert!((60..140).contains(&tiny), "tiny count {tiny} far from half");
     }
 }

@@ -81,7 +81,10 @@ impl EventQueue {
     /// Schedule `kind` at `time`. Panics on non-finite or negative times —
     /// those are always engine bugs.
     pub fn schedule(&mut self, time: f64, kind: EventKind) {
-        assert!(time.is_finite() && time >= 0.0, "schedule: bad event time {time}");
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "schedule: bad event time {time}"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Event { time, seq, kind });

@@ -37,20 +37,35 @@ impl FaultPlan {
 
     /// A plan with uniform random hop loss.
     pub fn with_drop_chance(drop_chance: f64) -> Self {
-        assert!((0.0..=1.0).contains(&drop_chance), "drop chance must be a probability");
-        Self { drop_chance, outages: Vec::new() }
+        assert!(
+            (0.0..=1.0).contains(&drop_chance),
+            "drop chance must be a probability"
+        );
+        Self {
+            drop_chance,
+            outages: Vec::new(),
+        }
     }
 
     /// Add a scheduled outage.
     pub fn with_outage(mut self, link: usize, start_s: f64, end_s: f64) -> Self {
-        assert!(start_s >= 0.0 && end_s > start_s, "invalid outage window [{start_s}, {end_s})");
-        self.outages.push(LinkOutage { link, start_s, end_s });
+        assert!(
+            start_s >= 0.0 && end_s > start_s,
+            "invalid outage window [{start_s}, {end_s})"
+        );
+        self.outages.push(LinkOutage {
+            link,
+            start_s,
+            end_s,
+        });
         self
     }
 
     /// True when `link` is down at time `t`.
     pub fn link_down(&self, link: usize, t: f64) -> bool {
-        self.outages.iter().any(|o| o.link == link && t >= o.start_s && t < o.end_s)
+        self.outages
+            .iter()
+            .any(|o| o.link == link && t >= o.start_s && t < o.end_s)
     }
 
     /// True when the plan injects no faults at all.

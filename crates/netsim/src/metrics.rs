@@ -28,7 +28,11 @@ impl FlowAccumulator {
 
     /// Finalize into reportable statistics.
     pub fn stats(&self) -> FlowStats {
-        let mean = if self.delivered > 0 { self.delay_sum / self.delivered as f64 } else { 0.0 };
+        let mean = if self.delivered > 0 {
+            self.delay_sum / self.delivered as f64
+        } else {
+            0.0
+        };
         let var = if self.delivered > 0 {
             (self.delay_sq_sum / self.delivered as f64 - mean * mean).max(0.0)
         } else {
@@ -40,7 +44,11 @@ impl FlowAccumulator {
             dropped: self.dropped,
             mean_delay_s: mean,
             jitter_s: var.sqrt(),
-            loss_ratio: if attempts > 0 { self.dropped as f64 / attempts as f64 } else { 0.0 },
+            loss_ratio: if attempts > 0 {
+                self.dropped as f64 / attempts as f64
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -103,15 +111,17 @@ impl SimResult {
 
     /// The flow stats for a pair, if that pair carried traffic.
     pub fn flow(&self, src: usize, dst: usize) -> Option<&FlowStats> {
-        self.flow_pairs.iter().position(|&p| p == (src, dst)).map(|i| &self.flows[i])
+        self.flow_pairs
+            .iter()
+            .position(|&p| p == (src, dst))
+            .map(|i| &self.flows[i])
     }
 
     /// Mean delay across flows, weighted by delivered packets.
     pub fn mean_delay_s(&self) -> f64 {
-        let (sum, count) = self
-            .flows
-            .iter()
-            .fold((0.0, 0u64), |(s, c), f| (s + f.mean_delay_s * f.delivered as f64, c + f.delivered));
+        let (sum, count) = self.flows.iter().fold((0.0, 0u64), |(s, c), f| {
+            (s + f.mean_delay_s * f.delivered as f64, c + f.delivered)
+        });
         if count > 0 {
             sum / count as f64
         } else {

@@ -51,7 +51,13 @@ pub enum Offer {
 impl OutputPort {
     /// A port with room for `capacity` waiting packets.
     pub fn new(capacity: usize) -> Self {
-        Self { queue: VecDeque::new(), in_service: None, capacity, drops: 0, bits_sent: 0.0 }
+        Self {
+            queue: VecDeque::new(),
+            in_service: None,
+            capacity,
+            drops: 0,
+            bits_sent: 0.0,
+        }
     }
 
     /// Offer a packet to the port, applying drop-tail admission.
@@ -73,7 +79,10 @@ impl OutputPort {
     /// if another packet was waiting, the packet now entering service (whose
     /// departure the engine must schedule).
     pub fn complete_service(&mut self) -> (Packet, Option<Packet>) {
-        let departed = self.in_service.take().expect("complete_service on idle port");
+        let departed = self
+            .in_service
+            .take()
+            .expect("complete_service on idle port");
         self.bits_sent += departed.size_bits;
         if let Some(pkt) = self.queue.pop_front() {
             self.in_service = Some(pkt);
@@ -102,7 +111,12 @@ mod tests {
     use super::*;
 
     fn pkt(flow: usize) -> Packet {
-        Packet { flow, size_bits: 1000.0, created_at: 0.0, hop: 0 }
+        Packet {
+            flow,
+            size_bits: 1000.0,
+            created_at: 0.0,
+            hop: 0,
+        }
     }
 
     #[test]

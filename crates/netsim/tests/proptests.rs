@@ -18,13 +18,19 @@ fn random_scenario(
     let topo = generators::erdos_renyi_connected(num_nodes, edge_p, 10_000.0, &mut rng);
     let routing = Routing::randomized(&topo, &mut rng);
     let traffic = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, util);
-    let caps: Vec<usize> =
-        (0..num_nodes).map(|_| if rng.bernoulli(0.5) { 1 } else { 16 }).collect();
+    let caps: Vec<usize> = (0..num_nodes)
+        .map(|_| if rng.bernoulli(0.5) { 1 } else { 16 })
+        .collect();
     (topo, routing, traffic, caps)
 }
 
 fn quick_sim(seed: u64) -> SimConfig {
-    SimConfig { duration_s: 60.0, warmup_s: 10.0, seed, ..SimConfig::default() }
+    SimConfig {
+        duration_s: 60.0,
+        warmup_s: 10.0,
+        seed,
+        ..SimConfig::default()
+    }
 }
 
 proptest! {

@@ -23,7 +23,15 @@ fn single_queue_sim(rate_bps: f64, waiting_room: usize, seed: u64) -> rn_netsim:
         standard_queue_pkts: 32,
         seed,
     };
-    simulate(&topo, &routing, &tm, &[waiting_room, waiting_room], &config, &FaultPlan::none()).unwrap()
+    simulate(
+        &topo,
+        &routing,
+        &tm,
+        &[waiting_room, waiting_room],
+        &config,
+        &FaultPlan::none(),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -88,11 +96,19 @@ fn mm1k_overload_throughput_saturates_at_mu() {
     let result = single_queue_sim(20_000.0, 4, 5);
     let f = result.flow(0, 1).unwrap();
     let delivered_rate = f.delivered as f64 / (30_000.0 - 2_000.0);
-    assert!(delivered_rate < 10.5, "throughput {delivered_rate} pkt/s exceeds service rate");
+    assert!(
+        delivered_rate < 10.5,
+        "throughput {delivered_rate} pkt/s exceeds service rate"
+    );
     assert!(delivered_rate > 9.0, "server should stay nearly saturated");
     let theory = Mm1k::new(20.0, 10.0, 5); // waiting 4 + server
     let rel = (f.loss_ratio - theory.blocking_probability()).abs() / theory.blocking_probability();
-    assert!(rel < 0.08, "overload blocking: sim {} vs theory {}", f.loss_ratio, theory.blocking_probability());
+    assert!(
+        rel < 0.08,
+        "overload blocking: sim {} vs theory {}",
+        f.loss_ratio,
+        theory.blocking_probability()
+    );
 }
 
 #[test]

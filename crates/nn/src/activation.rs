@@ -70,7 +70,10 @@ mod tests {
             let y = act.apply(&mut g, x);
             let via_tape = g.value(y).clone();
             let via_matrix = act.apply_matrix(&input);
-            assert!(via_tape.approx_eq(&via_matrix, 1e-6), "{act:?} paths disagree");
+            assert!(
+                via_tape.approx_eq(&via_matrix, 1e-6),
+                "{act:?} paths disagree"
+            );
         }
     }
 

@@ -18,7 +18,7 @@
 //! per call.
 
 use crate::{init, Layer};
-use rn_autograd::{Graph, Var};
+use rn_autograd::{Graph, GruVars, Var};
 use rn_tensor::{Matrix, Prng};
 use serde::{Deserialize, Serialize};
 
@@ -76,20 +76,56 @@ impl GruCell {
     pub fn step_inference(&self, h: &Matrix, x: &Matrix) -> Matrix {
         use rn_autograd::activations as act;
         let hx = h.concat_cols(x);
-        let z = hx.matmul(&self.w_z).add_row_broadcast(&self.b_z).map(act::sigmoid);
-        let r = hx.matmul(&self.w_r).add_row_broadcast(&self.b_r).map(act::sigmoid);
+        let z = hx
+            .matmul(&self.w_z)
+            .add_row_broadcast(&self.b_z)
+            .map(act::sigmoid);
+        let r = hx
+            .matmul(&self.w_r)
+            .add_row_broadcast(&self.b_r)
+            .map(act::sigmoid);
         let rhx = r.mul(h).concat_cols(x);
-        let c = rhx.matmul(&self.w_c).add_row_broadcast(&self.b_c).map(act::tanh);
+        let c = rhx
+            .matmul(&self.w_c)
+            .add_row_broadcast(&self.b_c)
+            .map(act::tanh);
         let one_minus_z = z.map(|v| 1.0 - v);
         one_minus_z.mul(h).add(&z.mul(&c))
     }
 }
 
 impl BoundGruCell {
+    /// The parameter handles in the layout the fused tape op consumes.
+    pub fn vars(&self) -> GruVars {
+        GruVars {
+            w_z: self.w_z,
+            b_z: self.b_z,
+            w_r: self.w_r,
+            b_r: self.b_r,
+            w_c: self.w_c,
+            b_c: self.b_c,
+        }
+    }
+
+    /// One recurrent step as a single fused tape node (see
+    /// [`Graph::gru_step`]). Numerically equivalent to [`BoundGruCell::step`]
+    /// but ~17x fewer tape nodes — this is the training hot path.
+    pub fn step_fused(&self, g: &mut Graph, h: Var, x: Var) -> Var {
+        g.gru_step(&self.vars(), h, x, None)
+    }
+
+    /// Fused masked step: rows with `mask == 0` keep their previous state.
+    /// Numerically equivalent to [`BoundGruCell::step_masked`].
+    pub fn step_masked_fused(&self, g: &mut Graph, h: Var, x: Var, mask: &Matrix) -> Var {
+        g.gru_step(&self.vars(), h, x, Some(mask))
+    }
+
     /// One recurrent step on the tape: `h' = GRU(h, x)`.
     ///
     /// `h` is `n x hidden`, `x` is `n x input`; returns `n x hidden`. Safe to
     /// call repeatedly with shared weights (that is the point of a binding).
+    /// This is the unfused op-by-op expansion, kept as the numerical
+    /// reference; production forward passes use [`BoundGruCell::step_fused`].
     pub fn step(&self, g: &mut Graph, h: Var, x: Var) -> Var {
         let hx = g.concat_cols(h, x);
 
@@ -140,7 +176,9 @@ impl Layer for GruCell {
     }
 
     fn params(&self) -> Vec<&Matrix> {
-        vec![&self.w_z, &self.b_z, &self.w_r, &self.b_r, &self.w_c, &self.b_c]
+        vec![
+            &self.w_z, &self.b_z, &self.w_r, &self.b_r, &self.w_c, &self.b_c,
+        ]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Matrix> {
@@ -155,7 +193,9 @@ impl Layer for GruCell {
     }
 
     fn bound_vars(bound: &BoundGruCell) -> Vec<Var> {
-        vec![bound.w_z, bound.b_z, bound.w_r, bound.b_r, bound.w_c, bound.b_c]
+        vec![
+            bound.w_z, bound.b_z, bound.w_r, bound.b_r, bound.w_c, bound.b_c,
+        ]
     }
 }
 
@@ -199,7 +239,11 @@ mod tests {
         for step in 0..50 {
             let x = rng.uniform_matrix(2, 2, -3.0, 3.0);
             h = cell.step_inference(&h, &x);
-            assert!(h.max_abs() <= 1.0 + 1e-5, "state escaped at step {step}: {}", h.max_abs());
+            assert!(
+                h.max_abs() <= 1.0 + 1e-5,
+                "state escaped at step {step}: {}",
+                h.max_abs()
+            );
         }
     }
 
@@ -233,8 +277,10 @@ mod tests {
 
         let full = cell.step_inference(&h0, &x0);
         assert_eq!(out.row(1), h0.row(1), "masked row must not change");
-        assert!(Matrix::from_rows(&[out.row(0).to_vec()]).approx_eq(&Matrix::from_rows(&[full.row(0).to_vec()]), 1e-5));
-        assert!(Matrix::from_rows(&[out.row(2).to_vec()]).approx_eq(&Matrix::from_rows(&[full.row(2).to_vec()]), 1e-5));
+        assert!(Matrix::from_rows(&[out.row(0).to_vec()])
+            .approx_eq(&Matrix::from_rows(&[full.row(0).to_vec()]), 1e-5));
+        assert!(Matrix::from_rows(&[out.row(2).to_vec()])
+            .approx_eq(&Matrix::from_rows(&[full.row(2).to_vec()]), 1e-5));
     }
 
     #[test]
@@ -243,7 +289,9 @@ mod tests {
         let mut rng = Prng::new(6);
         let cell = GruCell::new(&mut rng, 2, 3);
         let params: Vec<Matrix> = cell.params().into_iter().cloned().collect();
-        let xs: Vec<Matrix> = (0..3).map(|_| rng.uniform_matrix(2, 2, -1.0, 1.0)).collect();
+        let xs: Vec<Matrix> = (0..3)
+            .map(|_| rng.uniform_matrix(2, 2, -1.0, 1.0))
+            .collect();
 
         let report = check_gradients(
             move |g, vars| {
@@ -270,6 +318,28 @@ mod tests {
     }
 
     #[test]
+    fn fused_step_matches_unfused_reference() {
+        let mut rng = Prng::new(12);
+        let cell = GruCell::new(&mut rng, 3, 4);
+        let h0 = rng.uniform_matrix(5, 4, -0.8, 0.8);
+        let x0 = rng.uniform_matrix(5, 3, -1.0, 1.0);
+        let mask = Matrix::column_vector(&[1.0, 0.0, 1.0, 1.0, 0.0]);
+
+        let mut g = Graph::new();
+        let bound = cell.bind(&mut g);
+        let h = g.constant(h0.clone());
+        let x = g.constant(x0.clone());
+        let fused = bound.step_fused(&mut g, h, x);
+        let unfused = bound.step(&mut g, h, x);
+        assert!(g.value(fused).approx_eq(g.value(unfused), 1e-6));
+
+        let fused_m = bound.step_masked_fused(&mut g, h, x, &mask);
+        let unfused_m = bound.step_masked(&mut g, h, x, &mask);
+        assert!(g.value(fused_m).approx_eq(g.value(unfused_m), 1e-6));
+        assert_eq!(g.value(fused_m).row(1), h0.row(1), "masked row frozen");
+    }
+
+    #[test]
     fn serde_round_trip_preserves_dynamics() {
         let mut rng = Prng::new(7);
         let cell = GruCell::new(&mut rng, 3, 4);
@@ -277,7 +347,9 @@ mod tests {
         let back: GruCell = serde_json::from_str(&json).unwrap();
         let h = rng.uniform_matrix(2, 4, -1.0, 1.0);
         let x = rng.uniform_matrix(2, 3, -1.0, 1.0);
-        assert!(cell.step_inference(&h, &x).approx_eq(&back.step_inference(&h, &x), 0.0));
+        assert!(cell
+            .step_inference(&h, &x)
+            .approx_eq(&back.step_inference(&h, &x), 0.0));
     }
 
     #[test]

@@ -61,9 +61,17 @@ mod tests {
         let fan_in = 100;
         let w = lecun_normal(&mut rng, fan_in, 200);
         let mean = w.mean();
-        let var = w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / w.len() as f32;
+        let var = w
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / w.len() as f32;
         let expected = 1.0 / fan_in as f32;
-        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub trait Layer {
         Self::bound_vars(bound)
             .iter()
             .zip(self.params())
-            .map(|(&v, p)| g.grad(v).cloned().unwrap_or_else(|| Matrix::zeros(p.rows(), p.cols())))
+            .map(|(&v, p)| {
+                g.grad(v)
+                    .cloned()
+                    .unwrap_or_else(|| Matrix::zeros(p.rows(), p.cols()))
+            })
             .collect()
     }
 

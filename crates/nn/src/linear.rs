@@ -34,7 +34,12 @@ impl Linear {
     }
 
     /// Create with LeCun-normal weights (for SELU stacks).
-    pub fn new_lecun(rng: &mut Prng, in_dim: usize, out_dim: usize, activation: Activation) -> Self {
+    pub fn new_lecun(
+        rng: &mut Prng,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+    ) -> Self {
         Self {
             weight: init::lecun_normal(rng, in_dim, out_dim),
             bias: init::zeros_bias(out_dim),
@@ -178,6 +183,8 @@ mod tests {
         let json = serde_json::to_string(&layer).unwrap();
         let back: Linear = serde_json::from_str(&json).unwrap();
         let x = rng.uniform_matrix(2, 3, -1.0, 1.0);
-        assert!(layer.forward_inference(&x).approx_eq(&back.forward_inference(&x), 0.0));
+        assert!(layer
+            .forward_inference(&x)
+            .approx_eq(&back.forward_inference(&x), 0.0));
     }
 }

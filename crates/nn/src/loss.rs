@@ -1,6 +1,7 @@
 //! Regression losses built from tape primitives.
 
 use rn_autograd::{Graph, Var};
+use rn_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Which training loss to optimize.
@@ -38,6 +39,38 @@ impl Loss {
             }
         }
     }
+
+    /// Weighted form for block-diagonal megabatches: per-row errors are
+    /// multiplied by `weights` (an `n x 1` constant column) and *summed*, not
+    /// averaged. With `weights[i] = 1 / (num_samples * rows_in_sample(i))`
+    /// this reproduces the per-sample-mean-then-batch-mean semantics of the
+    /// per-sample training path, so megabatched gradients match the legacy
+    /// ones up to f32 rounding.
+    pub fn apply_weighted(self, g: &mut Graph, pred: Var, target: Var, weights: &Matrix) -> Var {
+        let per_row = match self {
+            Loss::Mse => {
+                let d = g.sub(pred, target);
+                g.square(d)
+            }
+            Loss::Mae => {
+                let d = g.sub(pred, target);
+                g.abs(d)
+            }
+            Loss::Huber(delta) => {
+                assert!(delta > 0.0, "Huber delta must be positive, got {delta}");
+                let d = g.sub(pred, target);
+                let a = g.abs(d);
+                let q = g.clamp_max(a, delta);
+                let q2 = g.square(q);
+                let half_q2 = g.scale(q2, 0.5);
+                let lin = g.sub(a, q);
+                let lin_scaled = g.scale(lin, delta);
+                g.add(half_q2, lin_scaled)
+            }
+        };
+        let weighted = g.mask_rows(per_row, weights);
+        g.sum(weighted)
+    }
 }
 
 #[cfg(test)]
@@ -72,7 +105,11 @@ mod tests {
     fn huber_matches_mse_for_small_errors() {
         let mse = eval(Loss::Mse, &[0.1, -0.2], &[0.0, 0.0]);
         let huber = eval(Loss::Huber(10.0), &[0.1, -0.2], &[0.0, 0.0]);
-        assert!((huber - 0.5 * mse).abs() < 1e-6, "huber {huber} vs mse/2 {}", 0.5 * mse);
+        assert!(
+            (huber - 0.5 * mse).abs() < 1e-6,
+            "huber {huber} vs mse/2 {}",
+            0.5 * mse
+        );
     }
 
     #[test]
@@ -97,6 +134,29 @@ mod tests {
     fn zero_error_gives_zero_loss() {
         for loss in [Loss::Mse, Loss::Mae, Loss::Huber(1.0)] {
             assert_eq!(eval(loss, &[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_loss_reproduces_mean_of_per_sample_means() {
+        // Two "samples": rows {0,1} and rows {2,3,4}. Uniform per-sample
+        // weights 1/(2*2) and 1/(2*3) must equal the mean of the two
+        // per-sample mean losses.
+        let pred = [1.0f32, 3.0, 0.0, -1.0, 2.0];
+        let target = [0.0f32; 5];
+        let weights =
+            Matrix::column_vector(&[1.0 / 4.0, 1.0 / 4.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0]);
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber(0.7)] {
+            let mut g = Graph::new();
+            let p = g.param(Matrix::column_vector(&pred));
+            let t = g.constant(Matrix::column_vector(&target));
+            let l = loss.apply_weighted(&mut g, p, t, &weights);
+            let got = g.value(l).get(0, 0);
+            let expect =
+                0.5 * (eval(loss, &pred[..2], &target[..2]) + eval(loss, &pred[2..], &target[2..]));
+            assert!((got - expect).abs() < 1e-6, "{loss:?}: {got} vs {expect}");
+            g.backward(l);
+            assert!(g.grad(p).is_some());
         }
     }
 }

@@ -31,12 +31,19 @@ impl Mlp {
         hidden_activation: Activation,
         output_activation: Activation,
     ) -> Self {
-        assert!(dims.len() >= 2, "Mlp::new: need at least [in, out] dims, got {dims:?}");
+        assert!(
+            dims.len() >= 2,
+            "Mlp::new: need at least [in, out] dims, got {dims:?}"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i + 2 == dims.len() { output_activation } else { hidden_activation };
+                let act = if i + 2 == dims.len() {
+                    output_activation
+                } else {
+                    hidden_activation
+                };
                 // SELU stacks train best from LeCun-normal init.
                 if hidden_activation == Activation::Selu {
                     Linear::new_lecun(rng, w[0], w[1], act)
@@ -55,17 +62,25 @@ impl Mlp {
 
     /// Input feature dimension.
     pub fn in_dim(&self) -> usize {
-        self.layers.first().expect("Mlp has at least one layer").in_dim()
+        self.layers
+            .first()
+            .expect("Mlp has at least one layer")
+            .in_dim()
     }
 
     /// Output feature dimension.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("Mlp has at least one layer").out_dim()
+        self.layers
+            .last()
+            .expect("Mlp has at least one layer")
+            .out_dim()
     }
 
     /// Tape-free forward for inference-only paths.
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
-        self.layers.iter().fold(x.clone(), |h, layer| layer.forward_inference(&h))
+        self.layers
+            .iter()
+            .fold(x.clone(), |h, layer| layer.forward_inference(&h))
     }
 }
 
@@ -80,7 +95,9 @@ impl Layer for Mlp {
     type Bound = BoundMlp;
 
     fn bind(&self, g: &mut Graph) -> BoundMlp {
-        BoundMlp { layers: self.layers.iter().map(|l| l.bind(g)).collect() }
+        BoundMlp {
+            layers: self.layers.iter().map(|l| l.bind(g)).collect(),
+        }
     }
 
     fn params(&self) -> Vec<&Matrix> {
@@ -88,7 +105,10 @@ impl Layer for Mlp {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Matrix> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn bound_vars(bound: &BoundMlp) -> Vec<Var> {
@@ -103,7 +123,12 @@ mod tests {
     #[test]
     fn dims_wire_up() {
         let mut rng = Prng::new(1);
-        let mlp = Mlp::new(&mut rng, &[8, 16, 8, 1], Activation::Selu, Activation::Identity);
+        let mlp = Mlp::new(
+            &mut rng,
+            &[8, 16, 8, 1],
+            Activation::Selu,
+            Activation::Identity,
+        );
         assert_eq!(mlp.depth(), 3);
         assert_eq!(mlp.in_dim(), 8);
         assert_eq!(mlp.out_dim(), 1);
@@ -171,6 +196,8 @@ mod tests {
         let json = serde_json::to_string(&mlp).unwrap();
         let back: Mlp = serde_json::from_str(&json).unwrap();
         let x = rng.uniform_matrix(3, 2, -1.0, 1.0);
-        assert!(mlp.forward_inference(&x).approx_eq(&back.forward_inference(&x), 0.0));
+        assert!(mlp
+            .forward_inference(&x)
+            .approx_eq(&back.forward_inference(&x), 0.0));
     }
 }

@@ -38,18 +38,36 @@ impl Sgd {
     /// SGD with momentum coefficient `momentum` in `[0, 1)`.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "Sgd: learning rate must be positive");
-        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0,1)");
-        Self { lr, momentum, velocity: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "Sgd: momentum must be in [0,1)"
+        );
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
-        assert_eq!(params.len(), grads.len(), "Sgd::step: param/grad count mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "Sgd::step: param/grad count mismatch"
+        );
         if self.velocity.is_empty() {
-            self.velocity = grads.iter().map(|g| Matrix::zeros(g.rows(), g.cols())).collect();
+            self.velocity = grads
+                .iter()
+                .map(|g| Matrix::zeros(g.rows(), g.cols()))
+                .collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "Sgd::step: parameter count changed");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "Sgd::step: parameter count changed"
+        );
         for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             if self.momentum > 0.0 {
                 // v = μv + g;  p -= lr·v
@@ -94,8 +112,19 @@ impl Adam {
     /// Adam with explicit hyper-parameters.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
         assert!(lr > 0.0, "Adam: learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "Adam: betas must be in [0,1)");
-        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "Adam: betas must be in [0,1)"
+        );
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Number of steps taken so far.
@@ -106,16 +135,35 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
-        assert_eq!(params.len(), grads.len(), "Adam::step: param/grad count mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "Adam::step: param/grad count mismatch"
+        );
         if self.m.is_empty() {
-            self.m = grads.iter().map(|g| Matrix::zeros(g.rows(), g.cols())).collect();
-            self.v = grads.iter().map(|g| Matrix::zeros(g.rows(), g.cols())).collect();
+            self.m = grads
+                .iter()
+                .map(|g| Matrix::zeros(g.rows(), g.cols()))
+                .collect();
+            self.v = grads
+                .iter()
+                .map(|g| Matrix::zeros(g.rows(), g.cols()))
+                .collect();
         }
-        assert_eq!(self.m.len(), params.len(), "Adam::step: parameter count changed");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "Adam::step: parameter count changed"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (((p, g), m), v) in params.iter_mut().zip(grads).zip(&mut self.m).zip(&mut self.v) {
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
             for i in 0..g.len() {
                 let gi = g.as_slice()[i];
                 let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;
@@ -142,11 +190,17 @@ impl Optimizer for Adam {
 /// Returns the norm before clipping. RouteNet-style recurrent message passing
 /// needs this to survive occasional exploding gradients on congested samples.
 pub fn clip_global_norm(grads: &mut [Matrix], max_norm: f32) -> f32 {
-    assert!(max_norm > 0.0, "clip_global_norm: max_norm must be positive");
-    let total_sq: f32 = grads.iter().map(|g| {
-        let n = g.frobenius_norm();
-        n * n
-    }).sum();
+    assert!(
+        max_norm > 0.0,
+        "clip_global_norm: max_norm must be positive"
+    );
+    let total_sq: f32 = grads
+        .iter()
+        .map(|g| {
+            let n = g.frobenius_norm();
+            n * n
+        })
+        .sum();
     let norm = total_sq.sqrt();
     if norm > max_norm && norm.is_finite() {
         let scale = max_norm / norm;
@@ -191,7 +245,10 @@ mod tests {
         };
         let plain = run(Sgd::new(0.05));
         let momentum = run(Sgd::with_momentum(0.05, 0.9));
-        assert!(momentum < plain, "momentum {momentum} should beat plain {plain}");
+        assert!(
+            momentum < plain,
+            "momentum {momentum} should beat plain {plain}"
+        );
     }
 
     #[test]
@@ -244,10 +301,13 @@ mod tests {
     fn clip_norm_is_global_across_tensors() {
         let mut grads = vec![Matrix::row_vector(&[3.0]), Matrix::row_vector(&[4.0])];
         clip_global_norm(&mut grads, 1.0);
-        let total: f32 = grads.iter().map(|g| {
-            let n = g.frobenius_norm();
-            n * n
-        }).sum();
+        let total: f32 = grads
+            .iter()
+            .map(|g| {
+                let n = g.frobenius_norm();
+                n * n
+            })
+            .sum();
         assert!((total.sqrt() - 1.0).abs() < 1e-5);
     }
 

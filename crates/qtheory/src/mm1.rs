@@ -33,14 +33,22 @@ impl Mm1 {
 
     /// Mean number of customers in the system, L = ρ/(1−ρ).
     pub fn mean_customers(&self) -> f64 {
-        assert!(self.is_stable(), "M/M/1 is unstable at rho = {}", self.utilization());
+        assert!(
+            self.is_stable(),
+            "M/M/1 is unstable at rho = {}",
+            self.utilization()
+        );
         let rho = self.utilization();
         rho / (1.0 - rho)
     }
 
     /// Mean time in system (waiting + service), W = 1/(μ−λ).
     pub fn mean_sojourn_s(&self) -> f64 {
-        assert!(self.is_stable(), "M/M/1 is unstable at rho = {}", self.utilization());
+        assert!(
+            self.is_stable(),
+            "M/M/1 is unstable at rho = {}",
+            self.utilization()
+        );
         1.0 / (self.mu - self.lambda)
     }
 
@@ -51,7 +59,11 @@ impl Mm1 {
 
     /// Steady-state probability of exactly `n` customers, p_n = (1−ρ)ρⁿ.
     pub fn prob_n(&self, n: u32) -> f64 {
-        assert!(self.is_stable(), "M/M/1 is unstable at rho = {}", self.utilization());
+        assert!(
+            self.is_stable(),
+            "M/M/1 is unstable at rho = {}",
+            self.utilization()
+        );
         let rho = self.utilization();
         (1.0 - rho) * rho.powi(n as i32)
     }

@@ -123,7 +123,10 @@ mod tests {
     fn overloaded_queue_saturates_throughput() {
         let q = Mm1k::new(100.0, 10.0, 2);
         assert!(q.throughput() < 10.0, "throughput can never exceed μ");
-        assert!(q.throughput() > 9.0, "overloaded server should stay almost busy");
+        assert!(
+            q.throughput() > 9.0,
+            "overloaded server should stay almost busy"
+        );
         assert!(q.blocking_probability() > 0.85);
     }
 

@@ -39,7 +39,11 @@ impl PathDelayPredictor {
         traffic: &TrafficMatrix,
         queue_capacity_pkts: &[usize],
     ) -> Vec<(usize, usize, f64)> {
-        assert_eq!(queue_capacity_pkts.len(), topo.num_nodes(), "one queue capacity per node");
+        assert_eq!(
+            queue_capacity_pkts.len(),
+            topo.num_nodes(),
+            "one queue capacity per node"
+        );
         let loads = traffic.link_loads(topo, routing);
         // Per-link mean sojourn time.
         let sojourn: Vec<f64> = (0..topo.num_links())
@@ -98,8 +102,16 @@ mod tests {
         let heavy = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 0.9);
         let pred = PathDelayPredictor::new(1_000.0);
         let caps = vec![16; 14];
-        let dl: f64 = pred.predict(&topo, &routing, &light, &caps).iter().map(|x| x.2).sum();
-        let dh: f64 = pred.predict(&topo, &routing, &heavy, &caps).iter().map(|x| x.2).sum();
+        let dl: f64 = pred
+            .predict(&topo, &routing, &light, &caps)
+            .iter()
+            .map(|x| x.2)
+            .sum();
+        let dh: f64 = pred
+            .predict(&topo, &routing, &heavy, &caps)
+            .iter()
+            .map(|x| x.2)
+            .sum();
         assert!(dh > dl, "heavier load must predict more delay");
     }
 
@@ -113,8 +125,16 @@ mod tests {
         let mut rng = Prng::new(2);
         let tm = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 0.95);
         let pred = PathDelayPredictor::new(1_000.0);
-        let d_tiny: f64 = pred.predict(&topo, &routing, &tm, &[1; 5]).iter().map(|x| x.2).sum();
-        let d_std: f64 = pred.predict(&topo, &routing, &tm, &[32; 5]).iter().map(|x| x.2).sum();
+        let d_tiny: f64 = pred
+            .predict(&topo, &routing, &tm, &[1; 5])
+            .iter()
+            .map(|x| x.2)
+            .sum();
+        let d_std: f64 = pred
+            .predict(&topo, &routing, &tm, &[32; 5])
+            .iter()
+            .map(|x| x.2)
+            .sum();
         assert!(d_tiny < d_std);
     }
 

@@ -23,7 +23,12 @@ impl fmt::Debug for Matrix {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
         let max_rows = 8.min(self.rows);
         for r in 0..max_rows {
-            let row: Vec<String> = self.row(r).iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let row: Vec<String> = self
+                .row(r)
+                .iter()
+                .take(8)
+                .map(|v| format!("{v:.4}"))
+                .collect();
             let ellipsis = if self.cols > 8 { ", …" } else { "" };
             writeln!(f, "  [{}{}]", row.join(", "), ellipsis)?;
         }
@@ -41,7 +46,11 @@ impl Matrix {
 
     /// A `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows x cols` matrix filled with ones.
@@ -51,7 +60,11 @@ impl Matrix {
 
     /// A `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Build from an existing row-major buffer.
@@ -77,10 +90,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "Matrix::from_rows: row {i} has length {} != {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "Matrix::from_rows: row {i} has length {} != {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Build element-wise from a function of `(row, col)`.
@@ -96,12 +118,20 @@ impl Matrix {
 
     /// A 1 x n row vector.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// An n x 1 column vector.
     pub fn column_vector(values: &[f32]) -> Self {
-        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -156,35 +186,59 @@ impl Matrix {
     /// Element at `(r, c)`. Panics on out-of-bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "Matrix::get({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "Matrix::get({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
     /// Set element at `(r, c)`. Panics on out-of-bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "Matrix::set({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "Matrix::set({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
     /// Immutable view of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "Matrix::row({r}) out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "Matrix::row({r}) out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable view of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "Matrix::row_mut({r}) out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "Matrix::row_mut({r}) out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Copy of column `c`.
     pub fn col(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "Matrix::col({c}) out of bounds for {} cols", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "Matrix::col({c}) out of bounds for {} cols",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -193,7 +247,11 @@ impl Matrix {
 
     /// Apply `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Apply `f` to every element in place.
@@ -206,8 +264,17 @@ impl Matrix {
     /// Element-wise combination of two equally shaped matrices.
     pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
         self.assert_same_shape(other, "zip");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise sum. Panics on shape mismatch.
@@ -236,8 +303,64 @@ impl Matrix {
     /// `self += scale * other`, in place. Panics on shape mismatch.
     pub fn add_scaled(&mut self, other: &Self, scale: f32) {
         self.assert_same_shape(other, "add_scaled");
+        axpy1(&mut self.data, scale, &other.data);
+    }
+
+    /// BLAS-style `self += a * x` (alias of [`Matrix::add_scaled`] under the
+    /// conventional name).
+    pub fn axpy(&mut self, a: f32, x: &Self) {
+        self.add_scaled(x, a);
+    }
+
+    /// Multiply every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Element-wise (Hadamard) product in place. Panics on shape mismatch.
+    pub fn mul_assign_elem(&mut self, other: &Self) {
+        self.assert_same_shape(other, "mul_assign_elem");
         for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += scale * b;
+            *a *= b;
+        }
+    }
+
+    /// Broadcast-add a 1 x cols row vector to every row, in place.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Self) {
+        assert_eq!(
+            bias.rows, 1,
+            "add_row_broadcast_assign: bias must be a row vector"
+        );
+        assert_eq!(
+            bias.cols, self.cols,
+            "add_row_broadcast_assign: width mismatch"
+        );
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (v, b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Multiply each row by the matching entry of an n x 1 column vector,
+    /// in place (the allocation-free form of [`Matrix::mul_col_broadcast`]).
+    pub fn mul_col_broadcast_assign(&mut self, col: &Self) {
+        assert_eq!(
+            col.cols, 1,
+            "mul_col_broadcast_assign: expected column vector"
+        );
+        assert_eq!(
+            col.rows, self.rows,
+            "mul_col_broadcast_assign: row mismatch"
+        );
+        for r in 0..self.rows {
+            let w = col.data[r];
+            for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
+                *v *= w;
+            }
         }
     }
 
@@ -253,8 +376,16 @@ impl Matrix {
 
     /// Broadcast-add a 1 x cols row vector to every row.
     pub fn add_row_broadcast(&self, bias: &Self) -> Self {
-        assert_eq!(bias.rows, 1, "add_row_broadcast: bias must be a row vector, got {}x{}", bias.rows, bias.cols);
-        assert_eq!(bias.cols, self.cols, "add_row_broadcast: bias has {} cols, matrix has {}", bias.cols, self.cols);
+        assert_eq!(
+            bias.rows, 1,
+            "add_row_broadcast: bias must be a row vector, got {}x{}",
+            bias.rows, bias.cols
+        );
+        assert_eq!(
+            bias.cols, self.cols,
+            "add_row_broadcast: bias has {} cols, matrix has {}",
+            bias.cols, self.cols
+        );
         let mut out = self.clone();
         for r in 0..out.rows {
             let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
@@ -267,19 +398,164 @@ impl Matrix {
 
     // ------------------------------------------------------------------
     // Linear algebra
+    //
+    // The matmul family is the training hot path: every GRU gate and every
+    // backward adjoint runs through these three kernels. Each comes in three
+    // forms: allocating (`matmul`), overwrite-into (`matmul_into`, writes a
+    // caller-provided buffer so pooled tapes never re-allocate), and
+    // accumulate-into (`matmul_acc`, `out += a·b`, which fuses the
+    // `grad += partial` pattern of reverse-mode autodiff into the kernel).
+    // The kernels unroll the reduction dimension four-wide and walk rows with
+    // `chunks_exact`, which is what lets LLVM vectorize the inner loops.
     // ------------------------------------------------------------------
 
-    /// Matrix product `self * other` (`m x k` times `k x n` -> `m x n`).
-    pub fn matmul(&self, other: &Self) -> Self {
+    fn assert_matmul_shapes(&self, other: &Self) -> (usize, usize, usize) {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dimensions differ ({}x{} * {}x{})",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (m, k, n) = (self.rows, self.cols, other.cols);
+        (self.rows, self.cols, other.cols)
+    }
+
+    /// Matrix product `self * other` (`m x k` times `k x n` -> `m x n`).
+    pub fn matmul(&self, other: &Self) -> Self {
+        let (m, _, n) = self.assert_matmul_shapes(other);
+        let mut out = Self {
+            rows: m,
+            cols: n,
+            data: vec![0.0; m * n],
+        };
+        self.matmul_acc(other, &mut out);
+        out
+    }
+
+    /// `out = self * other`, overwriting `out` (shape-checked).
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
+        let (m, _, n) = self.assert_matmul_shapes(other);
+        assert_eq!(out.shape(), (m, n), "matmul_into: bad output shape");
+        out.data.fill(0.0);
+        self.matmul_acc(other, out);
+    }
+
+    /// `out += self * other` (the fused form backward passes use).
+    ///
+    /// 2-row × 4-k register blocking: each sweep over `other`'s rows feeds
+    /// two output rows, halving B-matrix traffic, and four reduction steps
+    /// fuse into one pass over each output row. On x86-64 the same body is
+    /// also compiled with AVX2 enabled and dispatched at runtime — identical
+    /// per-element arithmetic (vector width only changes lane packing), so
+    /// results are bitwise equal across the two paths.
+    pub fn matmul_acc(&self, other: &Self, out: &mut Self) {
+        let (m, k, n) = self.assert_matmul_shapes(other);
+        assert_eq!(out.shape(), (m, n), "matmul_acc: bad output shape");
+        #[cfg(target_arch = "x86_64")]
+        if simd::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { simd::matmul_acc_avx2(&self.data, &other.data, m, k, n, &mut out.data) };
+            return;
+        }
+        matmul_acc_body(&self.data, &other.data, m, k, n, &mut out.data);
+    }
+
+    fn assert_tn_shapes(&self, other: &Self) -> (usize, usize, usize) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: row counts differ ({}x{} vs {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        (self.rows, self.cols, other.cols)
+    }
+
+    /// `self^T * other` without materializing the transpose
+    /// (`k x m`^T times `k x n` -> `m x n`). Used by autograd backward passes.
+    pub fn matmul_tn(&self, other: &Self) -> Self {
+        let (_, m, n) = self.assert_tn_shapes(other);
+        let mut out = Self {
+            rows: m,
+            cols: n,
+            data: vec![0.0; m * n],
+        };
+        self.matmul_tn_acc(other, &mut out);
+        out
+    }
+
+    /// `out = self^T * other`, overwriting `out`.
+    pub fn matmul_tn_into(&self, other: &Self, out: &mut Self) {
+        let (_, m, n) = self.assert_tn_shapes(other);
+        assert_eq!(out.shape(), (m, n), "matmul_tn_into: bad output shape");
+        out.data.fill(0.0);
+        self.matmul_tn_acc(other, out);
+    }
+
+    /// `out += self^T * other` (fused gradient accumulation for kernels).
+    /// Runtime-dispatched to an AVX2 build of the same body on x86-64.
+    pub fn matmul_tn_acc(&self, other: &Self, out: &mut Self) {
+        let (k, m, n) = self.assert_tn_shapes(other);
+        assert_eq!(out.shape(), (m, n), "matmul_tn_acc: bad output shape");
+        #[cfg(target_arch = "x86_64")]
+        if simd::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { simd::matmul_tn_acc_avx2(&self.data, &other.data, k, m, n, &mut out.data) };
+            return;
+        }
+        matmul_tn_acc_body(&self.data, &other.data, k, m, n, &mut out.data);
+    }
+
+    fn assert_nt_shapes(&self, other: &Self) -> (usize, usize, usize) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: col counts differ ({}x{} vs {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        (self.rows, self.cols, other.rows)
+    }
+
+    /// `self * other^T` without materializing the transpose
+    /// (`m x k` times `n x k`^T -> `m x n`). Used by autograd backward passes.
+    pub fn matmul_nt(&self, other: &Self) -> Self {
+        let (m, _, n) = self.assert_nt_shapes(other);
+        let mut out = Self {
+            rows: m,
+            cols: n,
+            data: vec![0.0; m * n],
+        };
+        self.matmul_nt_acc(other, &mut out);
+        out
+    }
+
+    /// `out = self * other^T`, overwriting `out`.
+    pub fn matmul_nt_into(&self, other: &Self, out: &mut Self) {
+        let (m, _, n) = self.assert_nt_shapes(other);
+        assert_eq!(out.shape(), (m, n), "matmul_nt_into: bad output shape");
+        out.data.fill(0.0);
+        self.matmul_nt_acc(other, out);
+    }
+
+    /// `out += self * other^T`.
+    ///
+    /// Materializes `other`'s transpose once and runs the blocked row-major
+    /// kernel: at the backward hot shapes (`other` is a small weight matrix;
+    /// the shared dimension is short) this beats dot-product loops by ~3x —
+    /// short dot products spend their time on horizontal reduction, while
+    /// the transposed form streams full output rows.
+    pub fn matmul_nt_acc(&self, other: &Self, out: &mut Self) {
+        let (m, _, n) = self.assert_nt_shapes(other);
+        assert_eq!(out.shape(), (m, n), "matmul_nt_acc: bad output shape");
+        let bt = other.transpose();
+        self.matmul_acc(&bt, out);
+    }
+
+    /// Reference `self * other` — the pre-refactor kernel, kept verbatim.
+    ///
+    /// Serves two purposes: the oracle the property tests compare the
+    /// unrolled kernels against, and the faithful "before" side of the
+    /// training-step benchmark (via the autograd reference mode).
+    pub fn matmul_reference(&self, other: &Self) -> Self {
+        let (m, k, n) = self.assert_matmul_shapes(other);
         let mut out = vec![0.0f32; m * n];
         // i-k-j loop order: the innermost loop walks both `other` and `out`
-        // contiguously, which matters because this is the training hot path.
+        // contiguously.
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out[i * n..(i + 1) * n];
@@ -293,18 +569,16 @@ impl Matrix {
                 }
             }
         }
-        Self { rows: m, cols: n, data: out }
+        Self {
+            rows: m,
+            cols: n,
+            data: out,
+        }
     }
 
-    /// `self^T * other` without materializing the transpose
-    /// (`k x m`^T times `k x n` -> `m x n`). Used by autograd backward passes.
-    pub fn matmul_tn(&self, other: &Self) -> Self {
-        assert_eq!(
-            self.rows, other.rows,
-            "matmul_tn: row counts differ ({}x{} vs {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let (k, m, n) = (self.rows, self.cols, other.cols);
+    /// Reference `self^T * other` (see [`Matrix::matmul_reference`]).
+    pub fn matmul_tn_reference(&self, other: &Self) -> Self {
+        let (k, m, n) = self.assert_tn_shapes(other);
         let mut out = vec![0.0f32; m * n];
         for kk in 0..k {
             let a_row = &self.data[kk * m..(kk + 1) * m];
@@ -319,18 +593,16 @@ impl Matrix {
                 }
             }
         }
-        Self { rows: m, cols: n, data: out }
+        Self {
+            rows: m,
+            cols: n,
+            data: out,
+        }
     }
 
-    /// `self * other^T` without materializing the transpose
-    /// (`m x k` times `n x k`^T -> `m x n`). Used by autograd backward passes.
-    pub fn matmul_nt(&self, other: &Self) -> Self {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt: col counts differ ({}x{} vs {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let (m, k, n) = (self.rows, self.cols, other.rows);
+    /// Reference `self * other^T` (see [`Matrix::matmul_reference`]).
+    pub fn matmul_nt_reference(&self, other: &Self) -> Self {
+        let (m, k, n) = self.assert_nt_shapes(other);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -344,18 +616,32 @@ impl Matrix {
                 *o = acc;
             }
         }
-        Self { rows: m, cols: n, data: out }
+        Self {
+            rows: m,
+            cols: n,
+            data: out,
+        }
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Self {
         let mut out = Self::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Write the transpose into a caller-provided (pooled) matrix.
+    pub fn transpose_into(&self, out: &mut Self) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into: bad output shape"
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     // ------------------------------------------------------------------
@@ -384,13 +670,21 @@ impl Matrix {
                 *o += v;
             }
         }
-        Self { rows: 1, cols: self.cols, data: out }
+        Self {
+            rows: 1,
+            cols: self.cols,
+            data: out,
+        }
     }
 
     /// Row-wise sum, returned as an n x 1 column vector.
     pub fn sum_cols(&self) -> Self {
         let data = (0..self.rows).map(|r| self.row(r).iter().sum()).collect();
-        Self { rows: self.rows, cols: 1, data }
+        Self {
+            rows: self.rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// Largest absolute element. Zero for an empty matrix.
@@ -411,10 +705,18 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Self {
         let mut data = Vec::with_capacity(indices.len() * self.cols);
         for &idx in indices {
-            assert!(idx < self.rows, "gather_rows: index {idx} out of range for {} rows", self.rows);
+            assert!(
+                idx < self.rows,
+                "gather_rows: index {idx} out of range for {} rows",
+                self.rows
+            );
             data.extend_from_slice(self.row(idx));
         }
-        Self { rows: indices.len(), cols: self.cols, data }
+        Self {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Segment sum (scatter-add of rows): for each input row `i`,
@@ -431,7 +733,10 @@ impl Matrix {
         );
         let mut out = Self::zeros(num_segments, self.cols);
         for (i, &s) in segments.iter().enumerate() {
-            assert!(s < num_segments, "segment_sum: segment id {s} out of range {num_segments}");
+            assert!(
+                s < num_segments,
+                "segment_sum: segment id {s} out of range {num_segments}"
+            );
             let src = &self.data[i * self.cols..(i + 1) * self.cols];
             let dst = &mut out.data[s * self.cols..(s + 1) * self.cols];
             for (d, &v) in dst.iter_mut().zip(src) {
@@ -454,7 +759,11 @@ impl Matrix {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Self { rows: self.rows, cols, data }
+        Self {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Vertical concatenation `[self; other]`. Panics on column-count mismatch.
@@ -466,23 +775,39 @@ impl Matrix {
         );
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Self { rows: self.rows + other.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Copy of the column range `[start, end)`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Self {
-        assert!(start <= end && end <= self.cols, "slice_cols: bad range {start}..{end} for {} cols", self.cols);
+        assert!(
+            start <= end && end <= self.cols,
+            "slice_cols: bad range {start}..{end} for {} cols",
+            self.cols
+        );
         let cols = end - start;
         let mut data = Vec::with_capacity(self.rows * cols);
         for r in 0..self.rows {
             data.extend_from_slice(&self.row(r)[start..end]);
         }
-        Self { rows: self.rows, cols, data }
+        Self {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Copy of the row range `[start, end)`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Self {
-        assert!(start <= end && end <= self.rows, "slice_rows: bad range {start}..{end} for {} rows", self.rows);
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows: bad range {start}..{end} for {} rows",
+            self.rows
+        );
         Self {
             rows: end - start,
             cols: self.cols,
@@ -493,8 +818,16 @@ impl Matrix {
     /// Multiply each row by the corresponding entry of an n x 1 mask/weight
     /// column vector. Used for masking padded positions in batched sequences.
     pub fn mul_col_broadcast(&self, col: &Self) -> Self {
-        assert_eq!(col.cols, 1, "mul_col_broadcast: expected column vector, got {}x{}", col.rows, col.cols);
-        assert_eq!(col.rows, self.rows, "mul_col_broadcast: {} weights for {} rows", col.rows, self.rows);
+        assert_eq!(
+            col.cols, 1,
+            "mul_col_broadcast: expected column vector, got {}x{}",
+            col.rows, col.cols
+        );
+        assert_eq!(
+            col.rows, self.rows,
+            "mul_col_broadcast: {} weights for {} rows",
+            col.rows, self.rows
+        );
         let mut out = self.clone();
         for r in 0..out.rows {
             let w = col.data[r];
@@ -513,7 +846,11 @@ impl Matrix {
     /// at most `tol`.
     pub fn approx_eq(&self, other: &Self, tol: f32) -> bool {
         self.shape() == other.shape()
-            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 
     /// True if any element is NaN or infinite.
@@ -531,6 +868,202 @@ impl Matrix {
             other.rows,
             other.cols
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized kernel helpers
+// ---------------------------------------------------------------------------
+
+const LANES: usize = 8;
+
+/// `out += a·b` (row-major, `m x k` times `k x n`), 2-row × 4-k register
+/// blocked. `#[inline(always)]` so the AVX2 wrapper in [`simd`] recompiles
+/// this exact body with wider vectors — per-element arithmetic is identical,
+/// so both builds produce bitwise-equal results.
+#[inline(always)]
+fn matmul_acc_body(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let mut i = 0;
+    while i + 2 <= m {
+        let (o01, _) = out[i * n..].split_at_mut(2 * n);
+        let (o0, o1) = o01.split_at_mut(n);
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let b0 = &b[kk * n..kk * n + n];
+            let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+            let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+            let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+            let (c00, c01, c02, c03) = (a0[kk], a0[kk + 1], a0[kk + 2], a0[kk + 3]);
+            let (c10, c11, c12, c13) = (a1[kk], a1[kk + 1], a1[kk + 2], a1[kk + 3]);
+            for j in 0..n {
+                let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+                o0[j] += c00 * v0 + c01 * v1 + c02 * v2 + c03 * v3;
+                o1[j] += c10 * v0 + c11 * v1 + c12 * v2 + c13 * v3;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let br = &b[kk * n..kk * n + n];
+            let (c0, c1) = (a0[kk], a1[kk]);
+            for j in 0..n {
+                o0[j] += c0 * br[j];
+                o1[j] += c1 * br[j];
+            }
+            kk += 1;
+        }
+        i += 2;
+    }
+    if i < m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..i * n + n];
+        let mut chunks = a_row.chunks_exact(4);
+        let mut kk = 0;
+        for quad in chunks.by_ref() {
+            axpy4(
+                out_row,
+                [quad[0], quad[1], quad[2], quad[3]],
+                [
+                    &b[kk * n..kk * n + n],
+                    &b[(kk + 1) * n..(kk + 1) * n + n],
+                    &b[(kk + 2) * n..(kk + 2) * n + n],
+                    &b[(kk + 3) * n..(kk + 3) * n + n],
+                ],
+            );
+            kk += 4;
+        }
+        for &av in chunks.remainder() {
+            axpy1(out_row, av, &b[kk * n..kk * n + n]);
+            kk += 1;
+        }
+    }
+}
+
+/// `out += a^T·b` (`a` is `k x m`, `b` is `k x n`), 4-k blocked: each sweep
+/// over the output serves four shared-dimension rows.
+#[inline(always)]
+fn matmul_tn_acc_body(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let a0 = &a[kk * m..kk * m + m];
+        let a1 = &a[(kk + 1) * m..(kk + 1) * m + m];
+        let a2 = &a[(kk + 2) * m..(kk + 2) * m + m];
+        let a3 = &a[(kk + 3) * m..(kk + 3) * m + m];
+        let b0 = &b[kk * n..kk * n + n];
+        let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+        let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+        let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+        for i in 0..m {
+            axpy4(
+                &mut out[i * n..i * n + n],
+                [a0[i], a1[i], a2[i], a3[i]],
+                [b0, b1, b2, b3],
+            );
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let a_row = &a[kk * m..kk * m + m];
+        let b_row = &b[kk * n..kk * n + n];
+        for (i, &av) in a_row.iter().enumerate() {
+            axpy1(&mut out[i * n..i * n + n], av, b_row);
+        }
+        kk += 1;
+    }
+}
+
+/// Runtime-dispatched AVX2 builds of the kernel bodies (x86-64 only).
+///
+/// `#[target_feature(enable = "avx2")]` recompiles the `#[inline(always)]`
+/// bodies with 256-bit vectorization. FMA is deliberately **not** enabled:
+/// rustc does not contract `a*b + c` on its own, so the AVX2 build performs
+/// the same rounding steps as the baseline build and results stay bitwise
+/// identical across machines.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::sync::OnceLock;
+
+    /// Cached runtime AVX2 detection.
+    pub fn have_avx2() -> bool {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 (see [`have_avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matmul_acc_avx2(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        super::matmul_acc_body(a, b, m, k, n, out);
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 (see [`have_avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matmul_tn_acc_avx2(
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        m: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        super::matmul_tn_acc_body(a, b, k, m, n, out);
+    }
+}
+
+/// `out += c0*b0 + c1*b1 + c2*b2 + c3*b3`, all slices of equal length.
+///
+/// The four-way fusion means one pass over `out` serves four reduction steps;
+/// `chunks_exact` gives LLVM fixed-width bodies it can turn into SIMD.
+#[inline]
+fn axpy4(out: &mut [f32], c: [f32; 4], b: [&[f32]; 4]) {
+    let n = out.len();
+    debug_assert!(b.iter().all(|s| s.len() == n));
+    let mut oc = out.chunks_exact_mut(LANES);
+    let mut b0 = b[0].chunks_exact(LANES);
+    let mut b1 = b[1].chunks_exact(LANES);
+    let mut b2 = b[2].chunks_exact(LANES);
+    let mut b3 = b[3].chunks_exact(LANES);
+    for o in oc.by_ref() {
+        let (q0, q1) = (b0.next().unwrap(), b1.next().unwrap());
+        let (q2, q3) = (b2.next().unwrap(), b3.next().unwrap());
+        for j in 0..LANES {
+            o[j] += c[0] * q0[j] + c[1] * q1[j] + c[2] * q2[j] + c[3] * q3[j];
+        }
+    }
+    let tail = oc.into_remainder();
+    let off = n - tail.len();
+    for (j, o) in tail.iter_mut().enumerate() {
+        let jj = off + j;
+        *o += c[0] * b[0][jj] + c[1] * b[1][jj] + c[2] * b[2][jj] + c[3] * b[3][jj];
+    }
+}
+
+/// `out += a * b`, equal-length slices.
+#[inline]
+fn axpy1(out: &mut [f32], a: f32, b: &[f32]) {
+    let n = out.len();
+    debug_assert_eq!(n, b.len());
+    let mut oc = out.chunks_exact_mut(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for o in oc.by_ref() {
+        let q = bc.next().unwrap();
+        for j in 0..LANES {
+            o[j] += a * q[j];
+        }
+    }
+    let tail = oc.into_remainder();
+    let off = n - tail.len();
+    for (j, o) in tail.iter_mut().enumerate() {
+        *o += a * b[off + j];
     }
 }
 
@@ -704,5 +1237,78 @@ mod tests {
     #[should_panic(expected = "inner dimensions differ")]
     fn matmul_panics_on_inner_mismatch() {
         let _ = Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn unrolled_kernels_match_references() {
+        // Shapes straddling the unroll width (4) and lane width (8).
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (8, 4, 8), (9, 17, 33), (2, 64, 32)] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 17 + c * 3) % 11) as f32 - 5.0);
+            assert!(
+                a.matmul(&b).approx_eq(&a.matmul_reference(&b), 1e-3),
+                "nn {m}x{k}x{n}"
+            );
+
+            let at = Matrix::from_fn(k, m, |r, c| ((r * 13 + c * 5) % 9) as f32 - 4.0);
+            let bt = Matrix::from_fn(k, n, |r, c| ((r * 7 + c) % 10) as f32 - 5.0);
+            assert!(
+                at.matmul_tn(&bt)
+                    .approx_eq(&at.matmul_tn_reference(&bt), 1e-3),
+                "tn {m}x{k}x{n}"
+            );
+
+            let bn = Matrix::from_fn(n, k, |r, c| ((r + c * 11) % 12) as f32 - 6.0);
+            assert!(
+                a.matmul_nt(&bn)
+                    .approx_eq(&a.matmul_nt_reference(&bn), 1e-3),
+                "nt {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_and_acc_variants_match_allocating_forms() {
+        let a = Matrix::from_fn(5, 6, |r, c| (r * 6 + c) as f32 * 0.25 - 3.0);
+        let b = Matrix::from_fn(6, 4, |r, c| (r + c) as f32 * 0.5 - 1.0);
+        let expect = a.matmul(&b);
+
+        let mut out = Matrix::filled(5, 4, 9.0); // garbage that must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert!(out.approx_eq(&expect, 1e-5));
+
+        a.matmul_acc(&b, &mut out); // now out = 2 * expect
+        assert!(out.approx_eq(&expect.scale(2.0), 1e-4));
+
+        // at^T * b == a * b, so the tn kernel must reproduce `expect`.
+        let at = a.transpose();
+        let mut out_tn = Matrix::filled(5, 4, -7.0);
+        at.matmul_tn_into(&b, &mut out_tn);
+        assert!(out_tn.approx_eq(&at.matmul_tn(&b), 0.0));
+        assert!(out_tn.approx_eq(&expect, 1e-4));
+
+        let bt = b.transpose();
+        let mut out_nt = Matrix::filled(5, 4, 3.5);
+        a.matmul_nt_into(&bt, &mut out_nt);
+        assert!(out_nt.approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn inplace_elementwise_ops() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.scale_inplace(2.0);
+        assert_eq!(m.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        m.axpy(0.5, &Matrix::ones(2, 2));
+        assert_eq!(m.as_slice(), &[2.5, 4.5, 6.5, 8.5]);
+        m.mul_assign_elem(&Matrix::from_vec(2, 2, vec![2.0, 0.0, 1.0, -1.0]));
+        assert_eq!(m.as_slice(), &[5.0, 0.0, 6.5, -8.5]);
+
+        let mut b = Matrix::zeros(3, 2);
+        b.add_row_broadcast_assign(&Matrix::row_vector(&[1.0, -2.0]));
+        assert_eq!(b.row(2), &[1.0, -2.0]);
+        b.mul_col_broadcast_assign(&Matrix::column_vector(&[1.0, 0.0, 2.0]));
+        assert_eq!(b.row(0), &[1.0, -2.0]);
+        assert_eq!(b.row(1), &[0.0, 0.0]);
+        assert_eq!(b.row(2), &[2.0, -4.0]);
     }
 }

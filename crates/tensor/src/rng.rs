@@ -33,7 +33,10 @@ pub struct Prng {
 impl Prng {
     /// Create a stream from a seed. Equal seeds yield equal streams.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), seed }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// The seed this stream was created with.
@@ -47,7 +50,8 @@ impl Prng {
     /// statistically independent; the derivation is pure, so it can be called
     /// from parallel workers without coordination.
     pub fn split(&self, stream_id: u64) -> Prng {
-        let child_seed = splitmix64(self.seed ^ splitmix64(stream_id.wrapping_add(0xA5A5_5A5A_DEAD_BEEF)));
+        let child_seed =
+            splitmix64(self.seed ^ splitmix64(stream_id.wrapping_add(0xA5A5_5A5A_DEAD_BEEF)));
         Prng::new(child_seed)
     }
 
@@ -110,7 +114,10 @@ impl Prng {
     /// Exponential with the given rate `lambda` (mean `1/lambda`), in f64 for
     /// simulator timestamps. Panics if `lambda <= 0`.
     pub fn exponential(&mut self, lambda: f64) -> f64 {
-        assert!(lambda > 0.0, "exponential: rate must be positive, got {lambda}");
+        assert!(
+            lambda > 0.0,
+            "exponential: rate must be positive, got {lambda}"
+        );
         -self.uniform_pos_f64().ln() / lambda
     }
 
@@ -133,7 +140,13 @@ impl Prng {
     }
 
     /// Fill a matrix with i.i.d. normal values.
-    pub fn normal_matrix(&mut self, rows: usize, cols: usize, mean: f32, std_dev: f32) -> crate::Matrix {
+    pub fn normal_matrix(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        mean: f32,
+        std_dev: f32,
+    ) -> crate::Matrix {
         crate::Matrix::from_fn(rows, cols, |_, _| self.normal_with(mean, std_dev))
     }
 }
@@ -203,7 +216,11 @@ mod tests {
         let lambda = 4.0;
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| rng.exponential(lambda)).sum::<f64>() / n as f64;
-        assert!((mean - 1.0 / lambda).abs() < 0.01, "exp mean {mean} vs {}", 1.0 / lambda);
+        assert!(
+            (mean - 1.0 / lambda).abs() < 0.01,
+            "exp mean {mean} vs {}",
+            1.0 / lambda
+        );
     }
 
     #[test]

@@ -33,7 +33,17 @@ impl Summary {
     /// Compute summary statistics. Returns a zeroed summary for empty input.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0, p90: 0.0, p95: 0.0, p99: 0.0 };
+            return Self {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
         }
         let count = values.len();
         let mean = values.iter().sum::<f64>() / count as f64;
@@ -66,7 +76,10 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 /// Percentile of an already-sorted slice with linear interpolation.
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile_sorted: empty input");
-    assert!((0.0..=100.0).contains(&p), "percentile_sorted: p={p} out of [0,100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile_sorted: p={p} out of [0,100]"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -172,7 +185,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "Histogram::new: need at least one bin");
         assert!(hi > lo, "Histogram::new: hi must exceed lo");
-        Self { lo, hi, counts: vec![0; bins], total: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Record one observation.
@@ -208,7 +226,11 @@ impl Histogram {
             .enumerate()
             .map(|(i, &c)| {
                 let center = self.lo + (i as f64 + 0.5) * width;
-                let frac = if self.total == 0 { 0.0 } else { c as f64 / self.total as f64 };
+                let frac = if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                };
                 (center, frac)
             })
             .collect()

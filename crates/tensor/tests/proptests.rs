@@ -132,4 +132,56 @@ proptest! {
         }
         prop_assert!(series.last().unwrap().1 >= 1.0 - 1e-12);
     }
+
+    // ---- Tiled-kernel equivalence: the unrolled/blocked kernels must agree
+    // ---- with the naive reference implementations on arbitrary shapes.
+
+    #[test]
+    fn tiled_matmul_matches_reference(
+        (m, k, n) in (1usize..12, 1usize..20, 1usize..20),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Prng::new(seed);
+        let a = rng.uniform_matrix(m, k, -2.0, 2.0);
+        let b = rng.uniform_matrix(k, n, -2.0, 2.0);
+        prop_assert!(a.matmul(&b).approx_eq(&a.matmul_reference(&b), 1e-3));
+    }
+
+    #[test]
+    fn tiled_matmul_tn_matches_reference(
+        (k, m, n) in (1usize..20, 1usize..12, 1usize..20),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Prng::new(seed);
+        let a = rng.uniform_matrix(k, m, -2.0, 2.0);
+        let b = rng.uniform_matrix(k, n, -2.0, 2.0);
+        prop_assert!(a.matmul_tn(&b).approx_eq(&a.matmul_tn_reference(&b), 1e-3));
+    }
+
+    #[test]
+    fn tiled_matmul_nt_matches_reference(
+        (m, k, n) in (1usize..12, 1usize..20, 1usize..20),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Prng::new(seed);
+        let a = rng.uniform_matrix(m, k, -2.0, 2.0);
+        let b = rng.uniform_matrix(n, k, -2.0, 2.0);
+        prop_assert!(a.matmul_nt(&b).approx_eq(&a.matmul_nt_reference(&b), 1e-3));
+    }
+
+    #[test]
+    fn into_and_acc_kernels_compose(
+        (m, k, n) in (1usize..10, 1usize..16, 1usize..16),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Prng::new(seed);
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        let expect = a.matmul_reference(&b);
+        let mut out = rng.uniform_matrix(m, n, -9.0, 9.0); // garbage to overwrite
+        a.matmul_into(&b, &mut out);
+        prop_assert!(out.approx_eq(&expect, 1e-3));
+        a.matmul_acc(&b, &mut out); // out = 2*expect
+        prop_assert!(out.approx_eq(&expect.scale(2.0), 1e-3));
+    }
 }

@@ -20,7 +20,11 @@ fn main() {
     // unseen topology's inputs stay in-distribution — the same methodology
     // the figure2 experiment uses (see DESIGN.md on traffic models).
     let gen_config = GeneratorConfig {
-        sim: SimConfig { duration_s: 400.0, warmup_s: 40.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 400.0,
+            warmup_s: 40.0,
+            ..SimConfig::default()
+        },
         traffic_model: TrafficModel::AbsoluteRates {
             rate_range_bps: (100.0, 1_000.0),
             intensity_range: (0.5, 1.8),
@@ -28,8 +32,16 @@ fn main() {
         ..GeneratorConfig::default()
     };
 
-    println!("training topology:   {} ({} nodes)", train_topo.name, train_topo.num_nodes());
-    println!("evaluation topology: {} ({} nodes, never seen in training)\n", unseen_topo.name, unseen_topo.num_nodes());
+    println!(
+        "training topology:   {} ({} nodes)",
+        train_topo.name,
+        train_topo.num_nodes()
+    );
+    println!(
+        "evaluation topology: {} ({} nodes, never seen in training)\n",
+        unseen_topo.name,
+        unseen_topo.num_nodes()
+    );
 
     println!("generating datasets ...");
     let train_set = generate(&train_topo, &gen_config, 31, 64);

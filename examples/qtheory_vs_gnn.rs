@@ -22,7 +22,11 @@ fn main() {
     // high utilization plus tiny buffers make per-hop arrivals strongly
     // non-Poisson (departure processes, blocking correlations).
     let gen_config = GeneratorConfig {
-        sim: SimConfig { duration_s: 500.0, warmup_s: 50.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 500.0,
+            warmup_s: 50.0,
+            ..SimConfig::default()
+        },
         utilization_range: (0.85, 1.35),
         ..GeneratorConfig::default()
     };
@@ -38,8 +42,12 @@ fn main() {
         for (l, &c) in sample.link_capacities.iter().enumerate() {
             sample_topo.set_link_capacity(l, c);
         }
-        let preds =
-            predictor.predict(&sample_topo, &sample.routing, &sample.traffic, &sample.queue_capacities);
+        let preds = predictor.predict(
+            &sample_topo,
+            &sample.routing,
+            &sample.traffic,
+            &sample.queue_capacities,
+        );
         for ((_, _, p), t) in preds.iter().zip(&sample.targets) {
             if t.is_reliable(10) && t.mean_delay_s > 0.0 {
                 pairs.push((*p, t.mean_delay_s));
@@ -55,7 +63,10 @@ fn main() {
         readout_hidden: 32,
         ..ModelConfig::default()
     });
-    println!("training extended RouteNet on {} scenarios ...", train_set.len());
+    println!(
+        "training extended RouteNet on {} scenarios ...",
+        train_set.len()
+    );
     let train_config = TrainConfig {
         epochs: 24,
         batch_size: 8,

@@ -16,13 +16,22 @@ use routenet::{evaluate, train, ExtendedRouteNet, ModelConfig, TrainConfig};
 fn main() {
     // 1. A topology: 5 forwarding devices, 12 directed links.
     let topo = topologies::toy5();
-    println!("topology: {} ({} nodes, {} links)", topo.name, topo.num_nodes(), topo.num_links());
+    println!(
+        "topology: {} ({} nodes, {} links)",
+        topo.name,
+        topo.num_nodes(),
+        topo.num_links()
+    );
 
     // 2. Ground truth from the packet-level simulator: each sample has its
     //    own routing, traffic matrix and queue-size assignment (some devices
     //    buffer 32 packets, some only 1 — the feature the model must learn).
     let gen_config = GeneratorConfig {
-        sim: SimConfig { duration_s: 300.0, warmup_s: 30.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 300.0,
+            warmup_s: 30.0,
+            ..SimConfig::default()
+        },
         ..GeneratorConfig::default()
     };
     println!("simulating 24 scenarios ...");
@@ -36,7 +45,12 @@ fn main() {
         readout_hidden: 16,
         ..ModelConfig::default()
     };
-    let train_config = TrainConfig { epochs: 15, batch_size: 4, verbose: true, ..TrainConfig::default() };
+    let train_config = TrainConfig {
+        epochs: 15,
+        batch_size: 4,
+        verbose: true,
+        ..TrainConfig::default()
+    };
     let mut model = ExtendedRouteNet::new(model_config);
     println!("training on {} scenarios ...", train_set.len());
     let history = train(&mut model, &train_set, None, &train_config);
@@ -51,9 +65,15 @@ fn main() {
     let plan = model.plan(sample);
     let predictions = model.predict(&plan);
     println!("\npath            predicted    simulated");
-    for (&(s, d), (&pred, target)) in
-        plan.pairs.iter().zip(predictions.iter().zip(&sample.targets)).take(8)
+    for (&(s, d), (&pred, target)) in plan
+        .pairs
+        .iter()
+        .zip(predictions.iter().zip(&sample.targets))
+        .take(8)
     {
-        println!("{s:>2} -> {d:<2}       {pred:>8.4}s    {:>8.4}s", target.mean_delay_s);
+        println!(
+            "{s:>2} -> {d:<2}       {pred:>8.4}s    {:>8.4}s",
+            target.mean_delay_s
+        );
     }
 }

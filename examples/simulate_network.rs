@@ -13,15 +13,36 @@ fn main() {
     let mut rng = Prng::new(42);
     let routing = Routing::randomized(&topo, &mut rng);
     let traffic = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 0.9);
-    let config = SimConfig { duration_s: 600.0, warmup_s: 60.0, seed: 42, ..SimConfig::default() };
+    let config = SimConfig {
+        duration_s: 600.0,
+        warmup_s: 60.0,
+        seed: 42,
+        ..SimConfig::default()
+    };
 
     println!("=== scenario: NSFNET, busiest link at 90% offered utilization ===\n");
 
     // --- standard vs tiny queues ------------------------------------------
     let std_caps = vec![32usize; topo.num_nodes()];
     let tiny_caps = vec![1usize; topo.num_nodes()];
-    let r_std = simulate(&topo, &routing, &traffic, &std_caps, &config, &FaultPlan::none()).unwrap();
-    let r_tiny = simulate(&topo, &routing, &traffic, &tiny_caps, &config, &FaultPlan::none()).unwrap();
+    let r_std = simulate(
+        &topo,
+        &routing,
+        &traffic,
+        &std_caps,
+        &config,
+        &FaultPlan::none(),
+    )
+    .unwrap();
+    let r_tiny = simulate(
+        &topo,
+        &routing,
+        &traffic,
+        &tiny_caps,
+        &config,
+        &FaultPlan::none(),
+    )
+    .unwrap();
 
     println!("queue regime     mean delay      loss      delivered");
     println!(
@@ -39,24 +60,29 @@ fn main() {
     println!("\n(the delay/loss trade-off above is exactly what the extended RouteNet learns)");
 
     // --- hottest links -------------------------------------------------------
-    let mut links: Vec<(usize, f64)> =
-        r_std.links.iter().enumerate().map(|(l, s)| (l, s.utilization)).collect();
+    let mut links: Vec<(usize, f64)> = r_std
+        .links
+        .iter()
+        .enumerate()
+        .map(|(l, s)| (l, s.utilization))
+        .collect();
     links.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\nbusiest links (standard-queue run):");
     for &(l, util) in links.iter().take(5) {
         let link = topo.link(l);
         println!(
             "  link {l:>2} ({} -> {}): utilization {:.2}, drops {}",
-            link.src,
-            link.dst,
-            util,
-            r_std.links[l].drops
+            link.src, link.dst, util, r_std.links[l].drops
         );
     }
 
     // --- slowest flows -------------------------------------------------------
-    let mut flows: Vec<(usize, f64)> =
-        r_std.flows.iter().enumerate().map(|(i, f)| (i, f.mean_delay_s)).collect();
+    let mut flows: Vec<(usize, f64)> = r_std
+        .flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (i, f.mean_delay_s))
+        .collect();
     flows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\nslowest flows (standard queues):");
     for &(i, delay) in flows.iter().take(5) {

@@ -14,7 +14,11 @@ use routenet::{evaluate, train, ExtendedRouteNet, ModelConfig, TrainConfig};
 fn main() {
     let topo = topologies::nsfnet_default();
     let gen_config = GeneratorConfig {
-        sim: SimConfig { duration_s: 600.0, warmup_s: 60.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 600.0,
+            warmup_s: 60.0,
+            ..SimConfig::default()
+        },
         utilization_range: (0.6, 1.1),
         ..GeneratorConfig::default()
     };

@@ -12,14 +12,23 @@ use routenet::{train, ExtendedRouteNet, ModelConfig, OriginalRouteNet, TrainConf
 
 fn tiny_gen_config() -> GeneratorConfig {
     GeneratorConfig {
-        sim: SimConfig { duration_s: 120.0, warmup_s: 20.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 120.0,
+            warmup_s: 20.0,
+            ..SimConfig::default()
+        },
         utilization_range: (0.6, 1.0),
         ..GeneratorConfig::default()
     }
 }
 
 fn tiny_model_config() -> ModelConfig {
-    ModelConfig { state_dim: 8, mp_iterations: 2, readout_hidden: 8, ..ModelConfig::default() }
+    ModelConfig {
+        state_dim: 8,
+        mp_iterations: 2,
+        readout_hidden: 8,
+        ..ModelConfig::default()
+    }
 }
 
 #[test]
@@ -27,7 +36,11 @@ fn queue_visibility_splits_the_models() {
     let ds = generate(&topologies::toy5(), &tiny_gen_config(), 606, 8);
     let mut ext = ExtendedRouteNet::new(tiny_model_config());
     let mut orig = OriginalRouteNet::new(tiny_model_config());
-    let tc = TrainConfig { epochs: 3, batch_size: 4, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 3,
+        batch_size: 4,
+        ..TrainConfig::default()
+    };
     train(&mut ext, &ds, None, &tc);
     train(&mut orig, &ds, None, &tc);
 
@@ -47,7 +60,10 @@ fn queue_visibility_splits_the_models() {
         &orig.predict(&orig.plan(&ds.samples[0])),
         &orig.predict(&orig.plan(&flipped)),
     );
-    assert!(orig_delta < 1e-9, "original must be blind to queue sizes, delta {orig_delta}");
+    assert!(
+        orig_delta < 1e-9,
+        "original must be blind to queue sizes, delta {orig_delta}"
+    );
     assert!(ext_delta > 1e-6, "extended must react to queue sizes");
 }
 
@@ -94,7 +110,10 @@ fn simulator_vs_qtheory_multi_hop_shows_kleinrock_effect() {
     // behind their own flow's long packets — a small residual (<10%).
     let (sim_lo, qt_lo) = run(200.0);
     let rel_lo = (sim_lo - qt_lo).abs() / qt_lo;
-    assert!(rel_lo < 0.10, "rho=0.02: sim {sim_lo:.4} vs theory {qt_lo:.4} (rel {rel_lo:.3})");
+    assert!(
+        rel_lo < 0.10,
+        "rho=0.02: sim {sim_lo:.4} vs theory {qt_lo:.4} (rel {rel_lo:.3})"
+    );
 
     // Moderate load (rho = 0.1): correlated service inflates real delay
     // above the independence approximation, and the gap widens with load.
@@ -119,7 +138,16 @@ fn heavier_traffic_raises_simulated_and_learned_delays() {
     let topo = topologies::toy5();
     let ds = generate(&topo, &tiny_gen_config(), 707, 10);
     let mut model = ExtendedRouteNet::new(tiny_model_config());
-    train(&mut model, &ds, None, &TrainConfig { epochs: 5, batch_size: 4, ..TrainConfig::default() });
+    train(
+        &mut model,
+        &ds,
+        None,
+        &TrainConfig {
+            epochs: 5,
+            batch_size: 4,
+            ..TrainConfig::default()
+        },
+    );
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     // Take one sample and scale its traffic matrix down 5x.
@@ -148,7 +176,16 @@ fn evaluation_is_parallelism_invariant() {
     // rayon ordering must not affect evaluation results.
     let ds = generate(&topologies::toy5(), &tiny_gen_config(), 808, 6);
     let mut model = OriginalRouteNet::new(tiny_model_config());
-    train(&mut model, &ds, None, &TrainConfig { epochs: 2, batch_size: 4, ..TrainConfig::default() });
+    train(
+        &mut model,
+        &ds,
+        None,
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..TrainConfig::default()
+        },
+    );
     let a = routenet::evaluate(&model, &ds, "toy5", 10);
     let b = routenet::evaluate(&model, &ds, "toy5", 10);
     assert_eq!(a.rel_errors, b.rel_errors);
@@ -160,7 +197,12 @@ fn simulator_scenarios_with_tiny_queues_lose_more_under_load() {
     let mut rng = Prng::new(11);
     let routing = Routing::randomized(&topo, &mut rng);
     let tm = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, 1.1);
-    let config = SimConfig { duration_s: 300.0, warmup_s: 30.0, seed: 11, ..SimConfig::default() };
+    let config = SimConfig {
+        duration_s: 300.0,
+        warmup_s: 30.0,
+        seed: 11,
+        ..SimConfig::default()
+    };
     let all_std = simulate(&topo, &routing, &tm, &[32; 5], &config, &FaultPlan::none()).unwrap();
     let all_tiny = simulate(&topo, &routing, &tm, &[1; 5], &config, &FaultPlan::none()).unwrap();
     assert!(

@@ -14,18 +14,31 @@ use routenet::{evaluate, train, ExtendedRouteNet, ModelConfig, OriginalRouteNet,
 
 fn tiny_gen_config() -> GeneratorConfig {
     GeneratorConfig {
-        sim: SimConfig { duration_s: 120.0, warmup_s: 20.0, ..SimConfig::default() },
+        sim: SimConfig {
+            duration_s: 120.0,
+            warmup_s: 20.0,
+            ..SimConfig::default()
+        },
         utilization_range: (0.6, 1.0),
         ..GeneratorConfig::default()
     }
 }
 
 fn tiny_model_config() -> ModelConfig {
-    ModelConfig { state_dim: 8, mp_iterations: 2, readout_hidden: 8, ..ModelConfig::default() }
+    ModelConfig {
+        state_dim: 8,
+        mp_iterations: 2,
+        readout_hidden: 8,
+        ..ModelConfig::default()
+    }
 }
 
 fn tiny_train_config(epochs: usize) -> TrainConfig {
-    TrainConfig { epochs, batch_size: 4, ..TrainConfig::default() }
+    TrainConfig {
+        epochs,
+        batch_size: 4,
+        ..TrainConfig::default()
+    }
 }
 
 #[test]

@@ -1,0 +1,263 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Offline build: provides the macro/type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`) with a simple
+//! warmup + median-of-samples timer instead of criterion's statistical
+//! machinery.
+//!
+//! On top of what real criterion does, every group writes a machine-readable
+//! `BENCH_<group>.json` (ns/op and ops/sec per benchmark) into
+//! `$BENCH_OUT_DIR` (default: the current working directory, which under
+//! `cargo bench` is the workspace root). CI uploads these artifacts so
+//! hot-path performance is tracked across PRs.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value wrapper (re-exported from `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter display value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    measured_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: a short warmup, then `samples` timed runs; the median
+    /// per-iteration time is recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that runs >= ~5 ms
+        // per sample so timer resolution is irrelevant.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed.as_millis() >= 5 || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-finite timing"));
+        self.measured_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id within its group.
+    pub id: String,
+    /// Median nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Throughput (operations per second).
+    pub ops_per_sec: f64,
+}
+
+/// A named collection of benchmarks; writes `BENCH_<name>.json` on `finish`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    results: Vec<Measurement>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        let ns = bencher.measured_ns;
+        let m = Measurement {
+            id: id.clone(),
+            ns_per_op: ns,
+            ops_per_sec: if ns > 0.0 { 1.0e9 / ns } else { f64::INFINITY },
+        };
+        eprintln!(
+            "bench {:<40} {:>14.0} ns/op {:>14.1} ops/s",
+            format!("{}/{}", self.name, id),
+            m.ns_per_op,
+            m.ops_per_sec
+        );
+        self.results.push(m);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into().id, f);
+        self
+    }
+
+    /// Benchmark a closure against a fixed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group: write `BENCH_<name>.json`.
+    pub fn finish(self) {
+        write_report(&self.name, &self.results);
+    }
+}
+
+/// Render and write the group report. Also used by custom bench binaries that
+/// time things without going through [`Criterion`].
+pub fn write_report(group: &str, results: &[Measurement]) {
+    write_report_with_derived(group, results, &[]);
+}
+
+/// Like [`write_report`], with extra derived scalars (e.g. speedup ratios)
+/// recorded under a `"derived"` key.
+pub fn write_report_with_derived(group: &str, results: &[Measurement], derived: &[(&str, f64)]) {
+    // `cargo bench` runs with the *package* as cwd; default to the workspace
+    // root (two levels above this vendored crate) so BENCH_*.json artifacts
+    // land in one predictable place.
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("vendored crate has a workspace root")
+            .display()
+            .to_string()
+    });
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{group}.json"));
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"group\": \"{group}\",\n  \"benchmarks\": [\n"));
+    for (i, m) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_op\": {:.1}, \"ops_per_sec\": {:.3}}}{}\n",
+            m.id,
+            m.ns_per_op,
+            m.ops_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]");
+    if !derived.is_empty() {
+        body.push_str(",\n  \"derived\": {\n");
+        for (i, (key, value)) in derived.iter().enumerate() {
+            body.push_str(&format!(
+                "    \"{key}\": {value:.4}{}\n",
+                if i + 1 < derived.len() { "," } else { "" }
+            ));
+        }
+        body.push_str("  }");
+    }
+    body.push_str("\n}\n");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!(
+            "criterion stand-in: failed to write {}: {e}",
+            path.display()
+        );
+    } else {
+        eprintln!("bench report written to {}", path.display());
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirror of criterion's CLI-config hook; accepts and ignores arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            results: Vec::new(),
+            _criterion: self,
+        }
+    }
+
+    /// Top-level single benchmark (own group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Mirror of `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

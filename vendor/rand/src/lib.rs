@@ -1,0 +1,253 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the tiny slice of the `rand` 0.8 API the workspace actually uses: a
+//! seedable `StdRng` plus `gen`/`gen_range` on an `Rng` trait. The generator
+//! is xoshiro256++ (Blackman & Vigna), seeded through SplitMix64 — the same
+//! construction `rand`'s own SmallRng family uses. Streams are deterministic
+//! per seed, which is all the workspace's reproducibility story requires.
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from 64 random bits ("standard" distribution).
+pub trait Standard: Sized {
+    /// Map 64 random bits to a value of this type.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_bits(bits: u64) -> f32 {
+        // 24 significant bits -> uniform in [0, 1).
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_bits(bits: u64) -> f64 {
+        // 53 significant bits -> uniform in [0, 1).
+        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges samplable by an [`Rng`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw a uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Widening-multiply rejection sampling (Lemire); bias is rejected, so the
+    // distribution is exactly uniform.
+    let zone = n.wrapping_neg() % n; // number of biased low values
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(n as u128);
+        if (m as u64) >= zone || zone == 0 {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($t:ty) => {
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_u64_below(rng, span + 1) as $t
+            }
+        }
+    };
+}
+
+impl_int_range!(usize);
+impl_int_range!(u64);
+impl_int_range!(u32);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start <= self.end, "gen_range: inverted float range");
+        self.start + (self.end - self.start) * f64::from_bits_standard(rng.next_u64())
+    }
+}
+
+impl SampleRange for std::ops::Range<f32> {
+    type Output = f32;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start <= self.end, "gen_range: inverted float range");
+        self.start + (self.end - self.start) * f32::from_bits_standard(rng.next_u64())
+    }
+}
+
+// Small helper shims so the float range impls read clearly.
+trait FromBitsStandard {
+    fn from_bits_standard(bits: u64) -> Self;
+}
+impl FromBitsStandard for f32 {
+    #[inline]
+    fn from_bits_standard(bits: u64) -> f32 {
+        <f32 as Standard>::from_bits(bits)
+    }
+}
+impl FromBitsStandard for f64 {
+    #[inline]
+    fn from_bits_standard(bits: u64) -> f64 {
+        <f64 as Standard>::from_bits(bits)
+    }
+}
+
+/// High-level sampling interface, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from the standard distribution.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Sample uniformly from a range.
+    #[inline]
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The default generator: xoshiro256++ seeded via SplitMix64.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 256-bit-state generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(10);
+        assert_ne!(StdRng::seed_from_u64(9).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f32 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = r.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0usize..=4);
+            assert!(w <= 4);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Workspace-local stand-in for `rayon`.
+//!
+//! Offline build: this crate supplies the parallel-iterator surface the
+//! workspace uses (`par_iter`, `into_par_iter`, `par_chunks`, `map`,
+//! `filter_map`, `flat_map_iter`, `collect`, `reduce`) on top of
+//! `std::thread::scope`. Unlike real rayon there is no work-stealing pool:
+//! each adaptor evaluates eagerly, splitting its input into one contiguous
+//! chunk per available core. That preserves rayon's ordering and determinism
+//! guarantees (outputs are concatenated in input order) while still using
+//! every core for the heavyweight per-item work this workspace does
+//! (simulating samples, per-graph backward passes).
+
+use std::num::NonZeroUsize;
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Run `f` over `items` by reference, in parallel, preserving order.
+fn par_map_ref<'a, T: Sync, U: Send>(items: &'a [T], f: &(dyn Fn(&'a T) -> U + Sync)) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Run `f` over owned `items`, in parallel, preserving order.
+fn par_map_owned<T: Send, U: Send>(items: Vec<T>, f: &(dyn Fn(T) -> U + Sync)) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|part| scope.spawn(move || part.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eagerly evaluated, order-preserving "parallel iterator" over owned items.
+pub struct ParVec<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Parallel map.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParVec<U> {
+        ParVec {
+            items: par_map_owned(self.items, &f),
+        }
+    }
+
+    /// Parallel filter-map.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParVec<U> {
+        let stage = par_map_owned(self.items, &f);
+        ParVec {
+            items: stage.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel flat-map where each item yields a sequential iterator.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParVec<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let stage = par_map_owned(self.items, &|t| f(t).into_iter().collect::<Vec<_>>());
+        ParVec {
+            items: stage.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collect into any container constructible from a `Vec` (in input order).
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+
+    /// Fold all items with `op`, starting from `identity`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Borrowing entry point: first adaptor runs in parallel over `&[T]`.
+pub struct ParSlice<'a, T: Sync> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Parallel map over references.
+    pub fn map<U: Send, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParVec<U> {
+        ParVec {
+            items: par_map_ref(self.items, &|t| f(t)),
+        }
+    }
+
+    /// Parallel filter-map over references.
+    pub fn filter_map<U: Send, F: Fn(&'a T) -> Option<U> + Sync>(self, f: F) -> ParVec<U> {
+        let stage = par_map_ref(self.items, &|t| f(t));
+        ParVec {
+            items: stage.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel flat-map over references.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParVec<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        let stage = par_map_ref(self.items, &|t| f(t).into_iter().collect::<Vec<_>>());
+        ParVec {
+            items: stage.into_iter().flatten().collect(),
+        }
+    }
+}
+
+/// `.par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Sync + 'a;
+    /// Start a borrowed parallel pipeline.
+    fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Start an owned parallel pipeline.
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParVec<$t> {
+                ParVec { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u64, u32, usize);
+
+/// `.par_chunks(n)` on slices: parallel pipeline whose items are sub-slices.
+pub trait ParallelChunks<'a> {
+    /// Element type of the underlying slice.
+    type Item: Sync + 'a;
+    /// Split into contiguous chunks of at most `size` and pipeline them.
+    fn par_chunks(&'a self, size: usize) -> ParVec<&'a [Self::Item]>;
+}
+
+impl<'a, T: Sync + Send + 'a> ParallelChunks<'a> for [T] {
+    type Item = T;
+    fn par_chunks(&'a self, size: usize) -> ParVec<&'a [T]> {
+        assert!(size > 0, "par_chunks: chunk size must be positive");
+        ParVec {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelChunks};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_and_reduce() {
+        let xs: Vec<u64> = (0..100).collect();
+        let (sum, count) = xs
+            .par_iter()
+            .filter_map(|&x| if x % 2 == 0 { Some(x) } else { None })
+            .map(|x| (x, 1u64))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(count, 50);
+        assert_eq!(sum, (0..100).filter(|x| x % 2 == 0).sum::<u64>());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let xs = vec![1usize, 2, 3];
+        let out: Vec<usize> = xs.par_iter().flat_map_iter(|&n| 0..n).collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<u64> = (0u64..17).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn par_chunks_covers_slice() {
+        let xs: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = xs.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+}

@@ -1,0 +1,349 @@
+//! Derive macros for the workspace-local `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the item
+//! shapes the workspace uses — structs with named fields and enums whose
+//! variants are unit, newtype/tuple, or struct-like — by walking the raw
+//! token stream (no `syn`/`quote`: the build environment is offline). Types
+//! with generic parameters are intentionally unsupported and fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+enum Variant {
+    Unit(String),
+    /// Tuple variant with the given arity.
+    Tuple(String, usize),
+    /// Struct variant with named fields.
+    Struct(String, Vec<String>),
+}
+
+/// Skip any `#[...]` attributes starting at `i`; returns the next index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse `name: Type, ...` named-field lists, returning the field names.
+/// Tracks angle-bracket depth so commas inside generics don't split fields.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        i = skip_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        fields.push(name);
+        i += 1;
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, found `{other}`"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count the top-level comma-separated elements of a tuple-variant body.
+fn tuple_arity(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the offline stand-in");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => panic!("serde_derive: only brace-bodied structs/enums are supported"),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                if j >= body.len() {
+                    break;
+                }
+                let vname = match &body[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("serde_derive: expected variant name, found `{other}`"),
+                };
+                j += 1;
+                match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        variants.push(Variant::Struct(vname, parse_named_fields(&inner)));
+                        j += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        variants.push(Variant::Tuple(vname, tuple_arity(&inner)));
+                        j += 1;
+                    }
+                    _ => variants.push(Variant::Unit(vname)),
+                }
+                if let Some(TokenTree::Punct(p)) = body.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// `#[derive(Serialize)]` for the stand-in serde.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut entries = String::new();
+            for f in &fields {
+                entries.push_str(&format!(
+                    "(\"{f}\".to_string(), ::serde::ser::Serialize::serialize_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::value::Value::Object(vec![(\
+                             \"{vn}\".to_string(), ::serde::ser::Serialize::serialize_value(x0))]),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("x{k}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::ser::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), ::serde::value::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binders = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::ser::Serialize::serialize_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => ::serde::value::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), ::serde::value::Value::Object(vec![{}]))]),\n",
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]` for the stand-in serde.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!("{f}: ::serde::de::field(v, \"{f}\")?,"));
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                     fn deserialize_value(v: &::serde::value::Value) \
+                         -> ::std::result::Result<Self, ::serde::value::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in &variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::de::Deserialize::deserialize_value(inner)?)),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|k| {
+                                format!("::serde::de::Deserialize::deserialize_value(&items[{k}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{\n\
+                                 ::serde::value::Value::Array(items) if items.len() == {arity} => \
+                                     ::std::result::Result::Ok({name}::{vn}({})),\n\
+                                 _ => ::std::result::Result::Err(::serde::value::DeError::new(\
+                                     \"variant {vn}: expected array of {arity}\")),\n\
+                             }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de::field(inner, \"{f}\")?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                     fn deserialize_value(v: &::serde::value::Value) \
+                         -> ::std::result::Result<Self, ::serde::value::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::value::DeError::new(\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::value::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (key, inner) = &pairs[0];\n\
+                                 let _ = inner;\n\
+                                 match key.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::value::DeError::new(\
+                                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::value::DeError::new(\
+                                 format!(\"expected {name} variant, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,382 @@
+//! JSON front-end for the workspace-local `serde` stand-in.
+//!
+//! Renders and parses the [`serde::value::Value`] tree. Numbers use Rust's
+//! shortest-round-trip float formatting, so `f32`/`f64` values survive a
+//! save/load cycle bit-exactly (the persistence tests rely on this).
+
+use serde::de::DeserializeOwned;
+use serde::ser::Serialize;
+use serde::value::Value;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::value::DeError> for Error {
+    fn from(e: serde::value::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // Shortest round-trip representation; force a `.0` so the
+                // parser keeps integral floats in the float domain.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, pv)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, pv);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value());
+    Ok(out)
+}
+
+/// Serialize to any writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("io error: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte aware).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON string into a value of `T`.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters"));
+    }
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Parse JSON from any reader.
+pub fn from_reader<R: Read, T: DeserializeOwned>(mut reader: R) -> Result<T> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::new(format!("io error: {e}")))?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let v: f64 = from_str(&to_string(&1.5f64).unwrap()).unwrap();
+        assert_eq!(v, 1.5);
+        let tricky = 0.1f64 + 0.2;
+        let back: f64 = from_str(&to_string(&tricky).unwrap()).unwrap();
+        assert_eq!(back, tricky, "shortest-round-trip floats must be exact");
+        let f: f32 = from_str(&to_string(&1.0e-7f32).unwrap()).unwrap();
+        assert_eq!(f, 1.0e-7f32);
+        let s: String = from_str(&to_string("he\"llo\n").unwrap()).unwrap();
+        assert_eq!(s, "he\"llo\n");
+        let n: i64 = from_str("-42").unwrap();
+        assert_eq!(n, -42);
+    }
+
+    #[test]
+    fn round_trip_containers() {
+        let xs = vec![(1usize, 2.5f64), (3, -0.25)];
+        let back: Vec<(usize, f64)> = from_str(&to_string(&xs).unwrap()).unwrap();
+        assert_eq!(back, xs);
+        let opt: Option<u64> = from_str(&to_string(&None::<u64>).unwrap()).unwrap();
+        assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("not json").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<u64>("1 trailing").is_err());
+    }
+}
