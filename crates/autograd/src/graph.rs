@@ -54,6 +54,14 @@ pub struct GruVars {
     pub w_c: Var,
     /// Candidate bias.
     pub b_c: Var,
+    /// Optional merged `[W_z | W_r]` kernel (`(hidden + input) x 2*hidden`),
+    /// cached at bind time. When present, the fused forward computes both
+    /// gate pre-activations with ONE matmul over `[h|x]` instead of two,
+    /// halving A-matrix traffic. Per-element accumulation order is identical
+    /// to the split matmuls, so results are bitwise equal. The adjoint still
+    /// accumulates into `w_z`/`w_r` separately; this node never receives a
+    /// gradient and should be registered as a constant.
+    pub w_zr: Option<Var>,
 }
 
 /// Forward intermediates the fused GRU step saves for its adjoint.
@@ -194,6 +202,13 @@ pub struct Graph {
     /// pre-refactor naive kernels and libm transcendentals. Used as the
     /// "before" side of the training-step benchmark and by equivalence tests.
     reference_mode: bool,
+    /// Inference mode: fused GRU ops recycle their saved-for-backward
+    /// activations immediately instead of keeping them resident until
+    /// `reset`. Forward values are bitwise unchanged; `backward` is
+    /// unavailable. This is the serving hot path's memory-footprint lever:
+    /// a megabatch forward stops dragging ~10x its working set through the
+    /// cache for gradients nobody will ask for.
+    inference_mode: bool,
 }
 
 /// Pop a recycled buffer (or allocate) and shape it into a zeroed matrix.
@@ -208,6 +223,21 @@ fn pool_matrix(pool: &mut Vec<Vec<f32>>, rows: usize, cols: usize) -> Matrix {
 /// Return a matrix's backing buffer to the free list.
 fn pool_recycle(pool: &mut Vec<Vec<f32>>, m: Matrix) {
     pool.push(m.into_vec());
+}
+
+impl GruSaved {
+    /// The post-discard placeholder inference mode stores on the node: every
+    /// matrix empty, nothing resident.
+    fn discarded() -> Self {
+        Self {
+            hx: Matrix::zeros(0, 0),
+            rhx: Matrix::zeros(0, 0),
+            z: Matrix::zeros(0, 0),
+            r: Matrix::zeros(0, 0),
+            c: Matrix::zeros(0, 0),
+            mask: None,
+        }
+    }
 }
 
 /// Return a fused GRU node's saved activations to the free list.
@@ -241,6 +271,45 @@ fn add_col_sums(bias_grad: &mut Matrix, src: &Matrix) {
             .zip(&src.as_slice()[r * cols..(r + 1) * cols])
         {
             *a += v;
+        }
+    }
+}
+
+/// Compute both gate pre-activations `z = hx·W_z` and `r = hx·W_r` — through
+/// the merged `[W_z|W_r]` kernel when one is bound (one matmul, one pass over
+/// `hx`), through two matmuls otherwise. Each output element is accumulated
+/// in the same order either way, so the two paths are bitwise identical.
+#[allow(clippy::too_many_arguments)]
+fn gate_matmuls(
+    pool: &mut Vec<Vec<f32>>,
+    hx: &Matrix,
+    w_z: &Matrix,
+    w_r: &Matrix,
+    w_zr: Option<&Matrix>,
+    hidden: usize,
+    z: &mut Matrix,
+    r: &mut Matrix,
+) {
+    match w_zr {
+        Some(wzr) => {
+            assert_eq!(
+                wzr.shape(),
+                (w_z.rows(), 2 * hidden),
+                "gru_step: merged [W_z|W_r] kernel shape"
+            );
+            let n = hx.rows();
+            let mut zr = pool_matrix(pool, n, 2 * hidden);
+            hx.matmul_into(wzr, &mut zr);
+            for i in 0..n {
+                let src = zr.row(i);
+                z.row_mut(i).copy_from_slice(&src[..hidden]);
+                r.row_mut(i).copy_from_slice(&src[hidden..]);
+            }
+            pool_recycle(pool, zr);
+        }
+        None => {
+            hx.matmul_into(w_z, z);
+            hx.matmul_into(w_r, r);
         }
     }
 }
@@ -293,6 +362,22 @@ impl Graph {
     /// benchmarking and golden tests. Survives [`Graph::reset`].
     pub fn set_reference_mode(&mut self, on: bool) {
         self.reference_mode = on;
+    }
+
+    /// Toggle inference mode (see the struct docs): fused GRU steps drop
+    /// their backward scratch as soon as the forward value is computed.
+    /// Values are bitwise identical either way. [`Graph::backward`] panics
+    /// while the mode is on; after toggling it off, [`Graph::reset`] before
+    /// recording anything you intend to differentiate — nodes recorded
+    /// under inference mode have no saved activations. The `predict_*`
+    /// entry points scope the mode per call (reset, enable, run, disable).
+    pub fn set_inference_mode(&mut self, on: bool) {
+        self.inference_mode = on;
+    }
+
+    /// True while the tape records forward-only (inference) computations.
+    pub fn inference_mode(&self) -> bool {
+        self.inference_mode
     }
 
     /// Clear the tape for reuse, retaining every allocation.
@@ -745,6 +830,8 @@ impl Graph {
             "gru_step_rows: W_z shape"
         );
 
+        let w_zr = vars.w_zr.map(|v| self.value(v));
+
         let mut hx = pool_matrix(&mut pool, a, hidden + input);
         for (k, &row) in rows.iter().enumerate() {
             assert!(row < n, "gru_step_rows: row {row} out of range {n}");
@@ -754,12 +841,10 @@ impl Graph {
         }
 
         let mut z = pool_matrix(&mut pool, a, hidden);
-        hx.matmul_into(w_z, &mut z);
+        let mut r = pool_matrix(&mut pool, a, hidden);
+        gate_matmuls(&mut pool, &hx, w_z, w_r, w_zr, hidden, &mut z, &mut r);
         z.add_row_broadcast_assign(b_z);
         z.map_inplace(act::sigmoid);
-
-        let mut r = pool_matrix(&mut pool, a, hidden);
-        hx.matmul_into(w_r, &mut r);
         r.add_row_broadcast_assign(b_r);
         r.map_inplace(act::sigmoid);
 
@@ -789,16 +874,25 @@ impl Graph {
             }
         }
 
+        let saved = if self.inference_mode {
+            pool_recycle(&mut pool, hx);
+            pool_recycle(&mut pool, rhx);
+            pool_recycle(&mut pool, z);
+            pool_recycle(&mut pool, r);
+            pool_recycle(&mut pool, c);
+            Box::new(GruSaved::discarded())
+        } else {
+            Box::new(GruSaved {
+                hx,
+                rhx,
+                z,
+                r,
+                c,
+                mask: None,
+            })
+        };
         self.pool = pool;
         let rows = pool_indices(&mut self.idx_pool, rows);
-        let saved = Box::new(GruSaved {
-            hx,
-            rhx,
-            z,
-            r,
-            c,
-            mask: None,
-        });
         self.push(
             out,
             Op::GruStepRows {
@@ -842,16 +936,16 @@ impl Graph {
             assert_eq!(m.shape(), (n, 1), "gru_step: mask shape");
         }
 
+        let w_zr = vars.w_zr.map(|v| self.value(v));
+
         let mut hx = pool_matrix(&mut pool, n, hidden + input);
         concat_rows_into(&mut hx, hv, xv);
 
         let mut z = pool_matrix(&mut pool, n, hidden);
-        hx.matmul_into(w_z, &mut z);
+        let mut r = pool_matrix(&mut pool, n, hidden);
+        gate_matmuls(&mut pool, &hx, w_z, w_r, w_zr, hidden, &mut z, &mut r);
         z.add_row_broadcast_assign(b_z);
         z.map_inplace(act::sigmoid);
-
-        let mut r = pool_matrix(&mut pool, n, hidden);
-        hx.matmul_into(w_r, &mut r);
         r.add_row_broadcast_assign(b_r);
         r.map_inplace(act::sigmoid);
 
@@ -892,20 +986,29 @@ impl Graph {
             }
         }
 
-        let mask_copy = mask.map(|m| {
-            let mut mc = pool_matrix(&mut pool, n, 1);
-            mc.as_mut_slice().copy_from_slice(m.as_slice());
-            mc
-        });
+        let saved = if self.inference_mode {
+            pool_recycle(&mut pool, hx);
+            pool_recycle(&mut pool, rhx);
+            pool_recycle(&mut pool, z);
+            pool_recycle(&mut pool, r);
+            pool_recycle(&mut pool, c);
+            Box::new(GruSaved::discarded())
+        } else {
+            let mask_copy = mask.map(|m| {
+                let mut mc = pool_matrix(&mut pool, n, 1);
+                mc.as_mut_slice().copy_from_slice(m.as_slice());
+                mc
+            });
+            Box::new(GruSaved {
+                hx,
+                rhx,
+                z,
+                r,
+                c,
+                mask: mask_copy,
+            })
+        };
         self.pool = pool;
-        let saved = Box::new(GruSaved {
-            hx,
-            rhx,
-            z,
-            r,
-            c,
-            mask: mask_copy,
-        });
         self.push(
             out,
             Op::GruStep {
@@ -958,6 +1061,10 @@ impl Graph {
     /// same tape accumulates into existing gradients, which is almost never
     /// what you want — [`Graph::reset`] and rebuild instead.
     pub fn backward(&mut self, loss: Var) {
+        assert!(
+            !self.inference_mode,
+            "backward: tape is in inference mode (saved activations were discarded)"
+        );
         assert_eq!(
             self.value(loss).shape(),
             (1, 1),
@@ -1719,6 +1826,16 @@ mod tests {
             b_r: g.param(det_matrix(1, hidden, salt + 3)),
             w_c: g.param(det_matrix(hidden + input, hidden, salt + 4)),
             b_c: g.param(det_matrix(1, hidden, salt + 5)),
+            w_zr: None,
+        }
+    }
+
+    /// The same toy cell with the merged `[W_z|W_r]` kernel bound.
+    fn with_merged_gates(g: &mut Graph, vars: GruVars) -> GruVars {
+        let merged = g.value(vars.w_z).concat_cols(g.value(vars.w_r));
+        GruVars {
+            w_zr: Some(g.constant(merged)),
+            ..vars
         }
     }
 
@@ -1940,6 +2057,47 @@ mod tests {
     }
 
     #[test]
+    fn merged_gate_kernel_is_bitwise_identical_to_split() {
+        // gru_step and gru_step_rows with a bound [W_z|W_r] kernel must
+        // produce bit-identical values and gradients to the split matmuls.
+        let rows = [0usize, 2, 3];
+
+        let run = |merged: bool| -> (Matrix, Matrix, Vec<Matrix>) {
+            let mut g = Graph::new();
+            let mut vars = toy_gru(&mut g, 5, 3, 42);
+            if merged {
+                vars = with_merged_gates(&mut g, vars);
+            }
+            let h = g.param(det_matrix(4, 5, 10));
+            let x_dense = g.param(det_matrix(4, 3, 11));
+            let dense = g.gru_step(&vars, h, x_dense, None);
+            let x_rows = g.param(det_matrix(rows.len(), 3, 12));
+            let compact = g.gru_step_rows(&vars, dense, x_rows, &rows);
+            let sq = g.square(compact);
+            let loss = g.mean(sq);
+            g.backward(loss);
+            let grads = [
+                vars.w_z, vars.b_z, vars.w_r, vars.b_r, vars.w_c, vars.b_c, h,
+            ]
+            .iter()
+            .map(|&v| g.grad(v).unwrap().clone())
+            .collect();
+            (g.value(dense).clone(), g.value(compact).clone(), grads)
+        };
+
+        let (dense_s, compact_s, grads_s) = run(false);
+        let (dense_m, compact_m, grads_m) = run(true);
+        assert!(dense_s.approx_eq(&dense_m, 0.0), "dense step diverged");
+        assert!(
+            compact_s.approx_eq(&compact_m, 0.0),
+            "compact step diverged"
+        );
+        for (i, (a, b)) in grads_s.iter().zip(&grads_m).enumerate() {
+            assert!(a.approx_eq(b, 0.0), "grad {i} diverged");
+        }
+    }
+
+    #[test]
     fn reference_mode_matches_fast_ops_closely() {
         let run = |reference: bool| {
             let mut g = Graph::new();
@@ -2004,6 +2162,45 @@ mod tests {
                 "gradients must be bit-identical after reset"
             );
         }
+    }
+
+    #[test]
+    fn inference_mode_is_bit_identical_and_discards_gru_scratch() {
+        let run = |inference: bool| -> (Matrix, usize) {
+            let mut g = Graph::new();
+            g.set_inference_mode(inference);
+            let vars = toy_gru(&mut g, 4, 4, 3);
+            let h = g.constant(det_matrix(5, 4, 30));
+            let x = g.constant(det_matrix(5, 4, 31));
+            let h1 = g.gru_step(&vars, h, x, None);
+            let x2 = g.gather_rows(h1, &[0, 1, 2]);
+            let h2 = g.gru_step_rows(&vars, h1, x2, &[1, 2, 3]);
+            (g.value(h2).clone(), g.pooled_buffers())
+        };
+        let (train_out, train_pooled) = run(false);
+        let (infer_out, infer_pooled) = run(true);
+        assert!(
+            train_out.approx_eq(&infer_out, 0.0),
+            "inference mode must not change forward bits"
+        );
+        // Training keeps GRU scratch resident on nodes; inference recycles
+        // it immediately, so each step reuses the previous step's buffers
+        // and one step's worth stays parked when recording ends.
+        assert_eq!(train_pooled, 0);
+        assert!(
+            infer_pooled >= 5,
+            "expected recycled scratch, got {infer_pooled}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inference mode")]
+    fn backward_rejects_inference_tapes() {
+        let mut g = Graph::new();
+        g.set_inference_mode(true);
+        let x = g.param(Matrix::ones(1, 1));
+        let loss = g.sum(x);
+        g.backward(loss);
     }
 
     #[test]

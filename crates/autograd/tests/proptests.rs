@@ -126,6 +126,7 @@ proptest! {
                 b_r: g.param(rng.uniform_matrix(1, 4, -0.1, 0.1)),
                 w_c: g.param(rng.uniform_matrix(8, 4, -0.5, 0.5)),
                 b_c: g.param(rng.uniform_matrix(1, 4, -0.1, 0.1)),
+                w_zr: None,
             };
             let states = g.param(rng.uniform_matrix(3, 4, -1.0, 1.0));
             let h = g.param(rng.uniform_matrix(5, 4, -1.0, 1.0));

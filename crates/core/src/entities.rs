@@ -391,11 +391,50 @@ pub struct MegabatchPlan {
     pub reliable_samples: usize,
 }
 
+/// Why a megabatch could not be assembled. All variants are caller bugs in
+/// a batch-training context, but a serving layer that admission-queues
+/// arbitrary requests needs to reject them without tearing the process down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MegabatchError {
+    /// The part list was empty: there is nothing to pack.
+    EmptyBatch,
+    /// Two parts were planned with different `state_dim`s and cannot share
+    /// one forward pass. Carries `(expected, found)`.
+    StateDimMismatch(usize, usize),
+}
+
+impl std::fmt::Display for MegabatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyBatch => write!(f, "build_megabatch: empty batch"),
+            Self::StateDimMismatch(expected, found) => write!(
+                f,
+                "build_megabatch: state_dim mismatch (expected {expected}, found {found})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MegabatchError {}
+
 /// Pack `parts` into one block-diagonal [`MegabatchPlan`].
 ///
-/// Panics on an empty slice or on state-width mismatches between parts.
+/// Panics on an empty slice or on state-width mismatches between parts; use
+/// [`try_build_megabatch`] where those are runtime conditions (e.g. a
+/// serving queue) rather than caller bugs.
 pub fn build_megabatch(parts: &[&SamplePlan]) -> MegabatchPlan {
-    assert!(!parts.is_empty(), "build_megabatch: empty batch");
+    match try_build_megabatch(parts) {
+        Ok(mb) => mb,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`build_megabatch`]: returns a [`MegabatchError`] instead of
+/// panicking on an empty part list or mismatched state widths.
+pub fn try_build_megabatch(parts: &[&SamplePlan]) -> Result<MegabatchPlan, MegabatchError> {
+    if parts.is_empty() {
+        return Err(MegabatchError::EmptyBatch);
+    }
     let state_dim = parts[0].path_init.cols();
     let n_paths: usize = parts.iter().map(|p| p.n_paths).sum();
     let num_links: usize = parts.iter().map(|p| p.num_links).sum();
@@ -407,11 +446,12 @@ pub fn build_megabatch(parts: &[&SamplePlan]) -> MegabatchPlan {
     let mut node_off = Vec::with_capacity(parts.len());
     let (mut po, mut lo, mut no) = (0usize, 0usize, 0usize);
     for p in parts {
-        assert_eq!(
-            p.path_init.cols(),
-            state_dim,
-            "build_megabatch: state_dim mismatch"
-        );
+        if p.path_init.cols() != state_dim {
+            return Err(MegabatchError::StateDimMismatch(
+                state_dim,
+                p.path_init.cols(),
+            ));
+        }
         path_off.push(po);
         link_off.push(lo);
         node_off.push(no);
@@ -519,7 +559,7 @@ pub fn build_megabatch(parts: &[&SamplePlan]) -> MegabatchPlan {
 
     let extended_csr = CompiledSteps::compile(&extended_steps);
     let original_csr = CompiledSteps::compile(&original_steps);
-    MegabatchPlan {
+    Ok(MegabatchPlan {
         plan: SamplePlan {
             n_paths,
             num_links,
@@ -541,7 +581,7 @@ pub fn build_megabatch(parts: &[&SamplePlan]) -> MegabatchPlan {
         path_ranges,
         sample_mean_weights,
         reliable_samples,
-    }
+    })
 }
 
 /// Copy all of `src`'s rows into `dst` starting at row `at`.
@@ -870,6 +910,35 @@ mod tests {
                 .sum();
             assert!((sum - 1.0).abs() < 1e-5, "sample {b} weight sum {sum}");
         }
+    }
+
+    #[test]
+    fn empty_megabatch_is_an_error_not_a_panic() {
+        assert_eq!(
+            try_build_megabatch(&[]).unwrap_err(),
+            MegabatchError::EmptyBatch
+        );
+        let msg = MegabatchError::EmptyBatch.to_string();
+        assert!(msg.contains("empty batch"), "{msg}");
+    }
+
+    #[test]
+    fn megabatch_state_dim_mismatch_is_an_error() {
+        let (_, sample) = toy_sample();
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let mut cfg = plan_config(&prep);
+        let plan_a = build_plan(&sample, &cfg);
+        cfg.state_dim = 16;
+        let plan_b = build_plan(&sample, &cfg);
+        assert_eq!(
+            try_build_megabatch(&[&plan_a, &plan_b]).unwrap_err(),
+            MegabatchError::StateDimMismatch(8, 16)
+        );
     }
 
     #[test]

@@ -38,7 +38,19 @@ impl EvalReport {
             targets.len(),
             "prediction/target length mismatch"
         );
-        assert!(!predictions.is_empty(), "cannot evaluate zero paths");
+        // Empty input yields an empty report (zero paths, zeroed summary):
+        // evaluating an empty dataset — e.g. after reliability filtering —
+        // is a legitimate no-op, not a crash.
+        if predictions.is_empty() {
+            return Self {
+                model: model.into(),
+                dataset: dataset.into(),
+                rel_errors: Vec::new(),
+                mae_s: 0.0,
+                rmse_s: 0.0,
+                abs_rel_summary: Summary::of(&[]),
+            };
+        }
         let mut rel = Vec::with_capacity(predictions.len());
         let mut abs_sum = 0.0;
         let mut sq_sum = 0.0;
@@ -269,5 +281,34 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_inputs_rejected() {
         let _ = EvalReport::from_predictions("m", "d", &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let r = EvalReport::from_predictions("m", "d", &[], &[]);
+        assert_eq!(r.num_paths(), 0);
+        assert_eq!(r.mae_s, 0.0);
+        assert_eq!(r.rmse_s, 0.0);
+        assert_eq!(r.median_abs_rel(), 0.0);
+        assert!(r.summary_line().contains('m'));
+    }
+
+    #[test]
+    fn evaluate_handles_empty_dataset() {
+        use crate::config::ModelConfig;
+        use crate::model::ExtendedRouteNet;
+        let topo = rn_netgraph::topologies::toy5();
+        let ds = rn_dataset::Dataset {
+            topology: topo,
+            samples: Vec::new(),
+        };
+        let model = ExtendedRouteNet::new(ModelConfig {
+            state_dim: 8,
+            mp_iterations: 1,
+            readout_hidden: 8,
+            ..ModelConfig::default()
+        });
+        let report = evaluate(&model, &ds, "empty", 5);
+        assert_eq!(report.num_paths(), 0);
     }
 }

@@ -35,7 +35,9 @@
 //! - [`model`] — [`OriginalRouteNet`] and [`ExtendedRouteNet`].
 //! - [`trainer`] — minibatch Adam training with rayon data-parallel gradients.
 //! - [`eval`] — relative-error evaluation and CDF series (Figure 2).
-//! - [`persist`] — JSON save/load of trained models.
+//! - [`persist`] — atomic JSON save/load of trained models.
+//! - [`plan_cache`] — scenario fingerprints and the compiled-plan LRU cache
+//!   the serving layer (`rn_serve`) builds on.
 
 pub mod config;
 pub mod entities;
@@ -43,11 +45,13 @@ pub mod eval;
 pub mod features;
 pub mod model;
 pub mod persist;
+pub mod plan_cache;
 pub mod trainer;
 
 pub use config::{ModelConfig, NodeUpdate};
-pub use entities::{EntityKind, SamplePlan};
+pub use entities::{EntityKind, MegabatchError, SamplePlan};
 pub use eval::{evaluate, EvalReport};
 pub use features::FeatureScales;
 pub use model::{ExtendedRouteNet, OriginalRouteNet, PathPredictor};
+pub use plan_cache::{sample_fingerprint, PlanCache};
 pub use trainer::{train, TrainConfig, TrainingHistory};

@@ -67,17 +67,24 @@ pub trait PathPredictor: Layer + Clone + Send + Sync {
 
     /// Inference on a caller-provided (pooled) tape. The tape is reset
     /// first, so a worker can reuse one tape across a stream of samples
-    /// without reallocating.
+    /// without reallocating. Runs in the tape's inference mode: GRU
+    /// activations are recycled as soon as each step's value exists, so the
+    /// working set stays cache-sized even for megabatches (values are
+    /// bitwise identical to a training-mode forward).
     fn predict_with(&self, g: &mut Graph, plan: &SamplePlan) -> Vec<f64> {
         g.reset();
+        g.set_inference_mode(true);
         let bound = self.bind(g);
         let pred = self.forward(g, &bound, plan);
         let (_, normalizer) = self.preprocessing();
-        g.value(pred)
+        let out = g
+            .value(pred)
             .as_slice()
             .iter()
             .map(|&v| normalizer.denormalize(v as f64))
-            .collect()
+            .collect();
+        g.set_inference_mode(false);
+        out
     }
 
     /// Batched inference: packs `plans` into one block-diagonal megabatch,
@@ -94,20 +101,38 @@ pub trait PathPredictor: Layer + Clone + Send + Sync {
     /// buffers are large enough that allocator reuse matters: a worker
     /// holding one tape across a stream of batches runs allocation-free.
     fn predict_batch_with(&self, g: &mut Graph, plans: &[SamplePlan]) -> Vec<Vec<f64>> {
+        let parts: Vec<&SamplePlan> = plans.iter().collect();
+        self.predict_batch_refs_with(g, &parts)
+    }
+
+    /// Batched inference over borrowed plans. The serving layer holds plans
+    /// behind `Arc`s in a shared cache, so batches are assembled as slices
+    /// of references rather than contiguous owned plans; results are
+    /// identical to [`PathPredictor::predict_batch`] element for element.
+    fn predict_batch_refs(&self, plans: &[&SamplePlan]) -> Vec<Vec<f64>> {
+        let mut g = Graph::new();
+        self.predict_batch_refs_with(&mut g, plans)
+    }
+
+    /// [`PathPredictor::predict_batch_refs`] on a caller-provided (pooled)
+    /// tape — the steady-state serving hot path: one bind per batch, fused
+    /// block-diagonal forward, allocation-free once the pool is warm.
+    fn predict_batch_refs_with(&self, g: &mut Graph, plans: &[&SamplePlan]) -> Vec<Vec<f64>> {
         if plans.is_empty() {
             return Vec::new();
         }
         if plans.len() == 1 {
-            return vec![self.predict_with(g, &plans[0])];
+            return vec![self.predict_with(g, plans[0])];
         }
-        let parts: Vec<&SamplePlan> = plans.iter().collect();
-        let mb = build_megabatch(&parts);
+        let mb = build_megabatch(plans);
         g.reset();
+        g.set_inference_mode(true);
         let bound = self.bind(g);
         let pred = self.forward(g, &bound, &mb.plan);
         let (_, normalizer) = self.preprocessing();
         let values = g.value(pred).as_slice();
-        mb.path_ranges
+        let out = mb
+            .path_ranges
             .iter()
             .map(|&(start, end)| {
                 values[start..end]
@@ -115,7 +140,9 @@ pub trait PathPredictor: Layer + Clone + Send + Sync {
                     .map(|&v| normalizer.denormalize(v as f64))
                     .collect()
             })
-            .collect()
+            .collect();
+        g.set_inference_mode(false);
+        out
     }
 }
 
@@ -756,6 +783,15 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn predict_batch_of_nothing_returns_nothing() {
+        let ds = toy_dataset(1);
+        let mut model = ExtendedRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        assert!(model.predict_batch(&[]).is_empty());
+        assert!(model.predict_batch_refs(&[]).is_empty());
     }
 
     #[test]

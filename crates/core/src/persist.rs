@@ -1,17 +1,25 @@
 //! Model persistence: trained models round-trip through JSON, carrying their
 //! hyper-parameters, weights, feature scales and target normalizer.
+//!
+//! Saves are **atomic** (see [`rn_dataset::io::atomic_write`]): the document
+//! is written to a temporary sibling file, fsynced, and renamed into place,
+//! so a crash mid-write — or a reader racing a hot-swap writer — never
+//! observes a torn file. The serving layer's model registry relies on this
+//! to reload safely while requests are in flight.
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufReader;
 use std::path::Path;
 
-/// Save any serializable model (or experiment artifact) as JSON.
+/// Save any serializable model (or experiment artifact) as JSON, atomically:
+/// written to a temp file in the target directory, fsynced, then renamed
+/// into place.
 pub fn save_model<T: Serialize>(value: &T, path: &Path) -> Result<(), String> {
-    let file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
-    serde_json::to_writer(BufWriter::new(file), value)
-        .map_err(|e| format!("serialize {}: {e}", path.display()))
+    rn_dataset::io::atomic_write(path, |w| {
+        serde_json::to_writer(w, value).map_err(|e| format!("serialize {}: {e}", path.display()))
+    })
 }
 
 /// Load a model saved by [`save_model`].
@@ -80,6 +88,41 @@ mod tests {
         let loaded: OriginalRouteNet = load_model(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded.config(), model.config());
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let model = OriginalRouteNet::new(ModelConfig {
+            state_dim: 8,
+            mp_iterations: 1,
+            readout_hidden: 8,
+            ..ModelConfig::default()
+        });
+        let path = tmp("atomic.json");
+        save_model(&model, &path).unwrap();
+        // Overwriting an existing file goes through the same atomic path.
+        save_model(&model, &path).unwrap();
+        let _: OriginalRouteNet = load_model(&path).unwrap();
+        // No scratch files left next to the target.
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<String> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&stem) && n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_into_missing_directory_errors_cleanly() {
+        let model = ModelConfig::default();
+        let err = save_model(&model, Path::new("/no/such/dir/model.json")).unwrap_err();
+        assert!(err.contains("create"), "{err}");
     }
 
     #[test]

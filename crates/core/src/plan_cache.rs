@@ -1,0 +1,446 @@
+//! Scenario fingerprints and the compiled-plan cache.
+//!
+//! Planning a sample — feature extraction, step construction, CSR
+//! compilation — costs real time per request, and an inference service sees
+//! the *same* scenarios over and over (what-if analysis re-queries a handful
+//! of topologies under varying assumptions). The [`PlanCache`] memoizes
+//! compiled [`SamplePlan`]s behind a cheap content fingerprint so repeated
+//! scenarios skip feature extraction and step compilation entirely.
+//!
+//! ## What a fingerprint covers
+//!
+//! A fingerprint identifies the scenario **as the forward pass sees it**:
+//! topology size, routing (the exact node/link sequence of every path),
+//! traffic rates, link capacities, queue configuration, and the
+//! preprocessing state (feature scales, normalizer, state width). It
+//! deliberately **excludes the ground-truth labels**: two samples that
+//! differ only in simulated targets produce identical predictions, so they
+//! share one cache entry. Consequently the `targets_*`/`reliable_idx`
+//! fields of a cached plan belong to whichever sample populated the entry —
+//! fine for serving, wrong for evaluation. Evaluation code keeps building
+//! its own plans.
+//!
+//! ## Trust model
+//!
+//! FNV-1a is fast and stable but **not collision-resistant**: an adversary
+//! who can submit arbitrary scenarios could craft a key collision and
+//! poison another client's cache entry (hits are served by key alone, with
+//! no content re-check). Accidental collisions are a non-issue at cache
+//! scale (~n²/2⁶⁴), so this is safe inside a trust boundary — which is how
+//! the TCP frontend is deployed (unauthenticated, trusted clients). Put an
+//! authenticating proxy in front before exposing it further.
+
+use crate::entities::{build_plan, PlanConfig, SamplePlan, TargetKind};
+use rn_dataset::Sample;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Incremental FNV-1a (64-bit): tiny, dependency-free, stable across runs
+/// and platforms — cache keys may be exchanged over the wire by serving
+/// clients, so a process-seeded hasher (`DefaultHasher`) would not do.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Fold raw bytes into the state.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Fold one `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Fold one `usize`.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Fold an `f64` by bit pattern.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Fold a slice of `f32`s by bit pattern.
+    pub fn f32s(&mut self, vs: &[f32]) -> &mut Self {
+        for v in vs {
+            self.bytes(&v.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// Fold a slice of indices.
+    pub fn usizes(&mut self, vs: &[usize]) -> &mut Self {
+        for &v in vs {
+            self.u64(v as u64);
+        }
+        self
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fingerprint of a raw [`Sample`] under a given plan configuration —
+/// computable without building the plan, which is the whole point: the cache
+/// key costs one pass over the sample's routing and features.
+pub fn sample_fingerprint(sample: &Sample, config: &PlanConfig) -> u64 {
+    let mut fp = Fingerprint::new();
+    // Preprocessing state: a model with different scales/normalizer/width
+    // compiles a different plan from the same sample.
+    fp.usize(config.state_dim)
+        .u64(config.min_packets)
+        .u64(match config.target {
+            TargetKind::Delay => 0,
+            TargetKind::Jitter => 1,
+        })
+        .f64(config.scales.rate_scale)
+        .f64(config.scales.capacity_scale)
+        .f64(config.scales.queue_scale)
+        .u64(config.normalizer.log_space as u64)
+        .f64(config.normalizer.mean)
+        .f64(config.normalizer.std);
+    // Topology-scale features.
+    fp.usize(sample.queue_capacities.len())
+        .usizes(&sample.queue_capacities)
+        .usize(sample.link_capacities.len());
+    for &c in &sample.link_capacities {
+        fp.f64(c);
+    }
+    // Routing and traffic, in path order (the row order of the plan).
+    for (src, dst, path) in sample.routing.iter_paths() {
+        fp.usize(src)
+            .usize(dst)
+            .usizes(&path.nodes)
+            .usizes(&path.links)
+            .f64(sample.traffic.rate(src, dst));
+    }
+    fp.finish()
+}
+
+impl SamplePlan {
+    /// Content fingerprint of the compiled plan: everything the forward pass
+    /// reads — entity counts, initial states (traffic/capacity/queue
+    /// features), and the full message-passing schedule. Ground-truth
+    /// targets and reliability masks are deliberately excluded (see the
+    /// module docs): plans that predict identically fingerprint identically.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.usize(self.n_paths)
+            .usize(self.num_links)
+            .usize(self.num_nodes);
+        for &(s, d) in &self.pairs {
+            fp.usize(s).usize(d);
+        }
+        fp.f32s(self.path_init.as_slice())
+            .f32s(self.link_init.as_slice())
+            .f32s(self.node_init.as_slice());
+        for csr in [&self.extended_csr, &self.original_csr] {
+            fp.usize(csr.len())
+                .usizes(&csr.offsets)
+                .usizes(&csr.ids_flat)
+                .usizes(&csr.active_offsets)
+                .usizes(&csr.active_rows_flat)
+                .usizes(&csr.active_ids_flat);
+        }
+        fp.usizes(&self.node_incidence_paths)
+            .usizes(&self.node_incidence_nodes);
+        fp.finish()
+    }
+}
+
+/// One cache slot: the shared plan plus its LRU stamp.
+struct Entry {
+    plan: Arc<SamplePlan>,
+    last_used: u64,
+}
+
+/// Interior state guarded by one mutex (lookups are short; planning happens
+/// outside the lock).
+struct Inner {
+    map: HashMap<u64, Entry>,
+    clock: u64,
+}
+
+/// Thread-safe LRU cache of compiled plans keyed by scenario fingerprint.
+///
+/// Shared by every serving worker: plans come out as `Arc`s, so a cached
+/// plan can sit in several in-flight megabatches while being evicted
+/// concurrently. Hit/miss/eviction counters feed the service metrics.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` plans (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a plan by fingerprint, refreshing its LRU stamp.
+    pub fn get(&self, key: u64) -> Option<Arc<SamplePlan>> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) a plan under `key`, evicting the least-recently
+    /// used entry when full. Returns the shared handle.
+    pub fn insert(&self, key: u64, plan: SamplePlan) -> Arc<SamplePlan> {
+        let plan = Arc::new(plan);
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // O(n) LRU scan: capacities are small (hundreds of scenarios),
+            // and insert only runs on misses, which the cache exists to
+            // make rare.
+            if let Some(&victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                last_used: clock,
+            },
+        );
+        plan
+    }
+
+    /// Fingerprint `sample`, returning the cached plan on a hit or building,
+    /// inserting and returning it on a miss. Returns `(plan, fingerprint)`.
+    ///
+    /// Concurrent misses on the same key may both build; the later insert
+    /// wins. Plans are deterministic functions of `(sample, config)`, so the
+    /// race is benign.
+    pub fn get_or_build(&self, sample: &Sample, config: &PlanConfig) -> (Arc<SamplePlan>, u64) {
+        let key = sample_fingerprint(sample, config);
+        if let Some(plan) = self.get(key) {
+            return (plan, key);
+        }
+        let plan = self.insert(key, build_plan(sample, config));
+        (plan, key)
+    }
+
+    /// Drop every resident plan (counters keep their totals). The serving
+    /// layer calls this on model hot-swap: resident plans were compiled
+    /// under the old model's preprocessing and must not answer
+    /// by-fingerprint queries under the new one. Outstanding `Arc`s stay
+    /// valid for whatever batch already holds them.
+    pub fn clear(&self) {
+        self.inner.lock().expect("plan cache poisoned").map.clear();
+    }
+
+    /// Cached plans currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").map.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Maximum resident plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureScales;
+    use rn_dataset::{generate, GeneratorConfig, Normalizer};
+    use rn_netgraph::topologies;
+    use rn_netsim::SimConfig;
+
+    fn toy_samples(n: usize) -> Vec<Sample> {
+        let config = GeneratorConfig {
+            sim: SimConfig {
+                duration_s: 60.0,
+                warmup_s: 10.0,
+                ..SimConfig::default()
+            },
+            ..GeneratorConfig::default()
+        };
+        generate(&topologies::toy5(), &config, 77, n).samples
+    }
+
+    fn prep() -> (FeatureScales, Normalizer) {
+        (FeatureScales::unit(), Normalizer::fit(&[1e-3, 2e-3], true))
+    }
+
+    fn config<'a>(prep: &'a (FeatureScales, Normalizer)) -> PlanConfig<'a> {
+        PlanConfig {
+            scales: &prep.0,
+            normalizer: &prep.1,
+            state_dim: 8,
+            min_packets: 5,
+            target: TargetKind::Delay,
+        }
+    }
+
+    #[test]
+    fn sample_fingerprint_is_stable_and_content_sensitive() {
+        let samples = toy_samples(2);
+        let p = prep();
+        let cfg = config(&p);
+        let a = sample_fingerprint(&samples[0], &cfg);
+        assert_eq!(a, sample_fingerprint(&samples[0], &cfg), "deterministic");
+        assert_ne!(
+            a,
+            sample_fingerprint(&samples[1], &cfg),
+            "different traffic must fingerprint differently"
+        );
+        // Config changes re-key the scenario too.
+        let mut wide = config(&p);
+        wide.state_dim = 16;
+        assert_ne!(a, sample_fingerprint(&samples[0], &wide));
+        // Targets do NOT participate: a label-only change keeps the key.
+        let mut relabeled = samples[0].clone();
+        for t in &mut relabeled.targets {
+            t.mean_delay_s *= 2.0;
+        }
+        assert_eq!(a, sample_fingerprint(&relabeled, &cfg));
+    }
+
+    #[test]
+    fn plan_fingerprint_matches_scenario_identity() {
+        let samples = toy_samples(2);
+        let p = prep();
+        let cfg = config(&p);
+        let plan_a1 = build_plan(&samples[0], &cfg);
+        let plan_a2 = build_plan(&samples[0], &cfg);
+        let plan_b = build_plan(&samples[1], &cfg);
+        assert_eq!(plan_a1.fingerprint(), plan_a2.fingerprint());
+        assert_ne!(plan_a1.fingerprint(), plan_b.fingerprint());
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let samples = toy_samples(2);
+        let p = prep();
+        let cfg = config(&p);
+        let cache = PlanCache::new(8);
+        let (plan_first, key) = cache.get_or_build(&samples[0], &cfg);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let (plan_again, key_again) = cache.get_or_build(&samples[0], &cfg);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(key, key_again);
+        assert!(
+            Arc::ptr_eq(&plan_first, &plan_again),
+            "hit must return the cached plan"
+        );
+        cache.get_or_build(&samples[1], &cfg);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let samples = toy_samples(3);
+        let p = prep();
+        let cfg = config(&p);
+        let cache = PlanCache::new(2);
+        let (_, k0) = cache.get_or_build(&samples[0], &cfg);
+        let (_, k1) = cache.get_or_build(&samples[1], &cfg);
+        // Touch k0 so k1 becomes the LRU victim.
+        assert!(cache.get(k0).is_some());
+        cache.get_or_build(&samples[2], &cfg);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(k0).is_some(), "recently used entry survives");
+        assert!(cache.get(k1).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let samples = toy_samples(2);
+        let p = prep();
+        let cfg = config(&p);
+        let cache = PlanCache::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for sample in &samples {
+                        let (plan, _) = cache.get_or_build(sample, &cfg);
+                        assert_eq!(plan.n_paths, sample.num_paths());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 2);
+        assert!(cache.hits() + cache.misses() == 8);
+        assert!(cache.misses() >= 2, "each distinct scenario misses once");
+    }
+}

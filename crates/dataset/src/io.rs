@@ -4,18 +4,71 @@
 //! inspectable with standard tooling) or to JSON-lines (one sample per line;
 //! streams without holding the whole set in memory). Benchmarks cache
 //! generated datasets on disk so reruns skip simulation.
+//!
+//! Both writers are **atomic** (temp file + rename in the target directory):
+//! a crashed run, or two bench processes racing on the same cache path,
+//! never leaves a torn dataset behind — the cache either has the old file,
+//! the new file, or nothing.
 
 use crate::schema::{Dataset, Sample};
 use rn_netgraph::Topology;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// Save a dataset as one pretty-printed JSON document.
+/// A temporary sibling of `path` (same directory, so the final rename never
+/// crosses a filesystem boundary). pid + per-process counter keep
+/// concurrent writers — other processes or other threads of this one — on
+/// separate scratch files.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}.{seq}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Write via `fill`, then atomically rename into place. The temp file is
+/// fsynced before the rename, so even across an OS crash the final path
+/// holds either the old content or the complete new content — never a torn
+/// file. Cleans up the temp file on any failure.
+///
+/// Shared by every JSON artifact writer in the workspace (datasets here,
+/// models in `rn_core::persist`) so the crash-safety rules live in one
+/// place.
+pub fn atomic_write(
+    path: &Path,
+    fill: impl FnOnce(&mut BufWriter<File>) -> Result<(), String>,
+) -> Result<(), String> {
+    let tmp = tmp_sibling(path);
+    let write = (|| {
+        let file = File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+        let mut w = BufWriter::new(file);
+        fill(&mut w)?;
+        w.flush()
+            .map_err(|e| format!("flush {}: {e}", tmp.display()))?;
+        // Data must be durable before the rename's metadata: otherwise a
+        // crash can journal the new directory entry ahead of the blocks,
+        // leaving a truncated file at the final path.
+        w.get_ref()
+            .sync_all()
+            .map_err(|e| format!("fsync {}: {e}", tmp.display()))
+    })();
+    if let Err(e) = write {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        format!("rename {} -> {}: {e}", tmp.display(), path.display())
+    })
+}
+
+/// Save a dataset as one JSON document (atomic: temp file + rename).
 pub fn save_json(dataset: &Dataset, path: &Path) -> Result<(), String> {
-    let file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
-    serde_json::to_writer(BufWriter::new(file), dataset)
-        .map_err(|e| format!("serialize {}: {e}", path.display()))
+    atomic_write(path, |w| {
+        serde_json::to_writer(w, dataset).map_err(|e| format!("serialize {}: {e}", path.display()))
+    })
 }
 
 /// Load a dataset saved by [`save_json`].
@@ -26,18 +79,20 @@ pub fn load_json(path: &Path) -> Result<Dataset, String> {
 }
 
 /// Save as JSON-lines: line 1 is the topology, each further line one sample.
+/// Atomic like [`save_json`]: the lines land in a temp file renamed into
+/// place only once every sample has been written.
 pub fn save_jsonl(dataset: &Dataset, path: &Path) -> Result<(), String> {
-    let file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
-    let mut w = BufWriter::new(file);
-    let topo_line =
-        serde_json::to_string(&dataset.topology).map_err(|e| format!("serialize topology: {e}"))?;
-    writeln!(w, "{topo_line}").map_err(|e| format!("write {}: {e}", path.display()))?;
-    for (i, sample) in dataset.samples.iter().enumerate() {
-        let line =
-            serde_json::to_string(sample).map_err(|e| format!("serialize sample {i}: {e}"))?;
-        writeln!(w, "{line}").map_err(|e| format!("write {}: {e}", path.display()))?;
-    }
-    Ok(())
+    atomic_write(path, |w| {
+        let topo_line = serde_json::to_string(&dataset.topology)
+            .map_err(|e| format!("serialize topology: {e}"))?;
+        writeln!(w, "{topo_line}").map_err(|e| format!("write {}: {e}", path.display()))?;
+        for (i, sample) in dataset.samples.iter().enumerate() {
+            let line =
+                serde_json::to_string(sample).map_err(|e| format!("serialize sample {i}: {e}"))?;
+            writeln!(w, "{line}").map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        Ok(())
+    })
 }
 
 /// Load a JSON-lines dataset saved by [`save_jsonl`].
@@ -115,6 +170,43 @@ mod tests {
         for (a, b) in ds.samples.iter().zip(&back.samples) {
             assert_eq!(a.targets, b.targets);
         }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_atomic_and_overwrites_cleanly() {
+        let ds = small_dataset();
+        let path = tmp("atomic.jsonl");
+        // Two consecutive saves (fresh + overwrite) both go through the
+        // temp-and-rename path; neither leaves scratch files behind.
+        save_jsonl(&ds, &path).unwrap();
+        save_jsonl(&ds, &path).unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<String> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&stem) && n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let back = load_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.topology.name, ds.topology.name);
+        for (a, b) in ds.samples.iter().zip(&back.samples) {
+            assert_eq!(a.targets, b.targets);
+            assert_eq!(a.queue_capacities, b.queue_capacities);
+            assert_eq!(a.link_capacities, b.link_capacities);
+        }
+    }
+
+    #[test]
+    fn save_into_missing_directory_errors_cleanly() {
+        let ds = small_dataset();
+        let err = save_jsonl(&ds, Path::new("/no/such/dir/ds.jsonl")).unwrap_err();
+        assert!(err.contains("create"), "{err}");
     }
 
     #[test]

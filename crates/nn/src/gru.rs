@@ -44,6 +44,11 @@ pub struct BoundGruCell {
     b_r: Var,
     w_c: Var,
     b_c: Var,
+    /// Merged `[W_z | W_r]` kernel, concatenated once at bind time and
+    /// registered as a constant: the fused forward computes both gate
+    /// pre-activations in one matmul (bitwise identical to the split pair).
+    /// Gradients still flow to `w_z`/`w_r` individually.
+    w_zr: Option<Var>,
 }
 
 impl GruCell {
@@ -104,6 +109,7 @@ impl BoundGruCell {
             b_r: self.b_r,
             w_c: self.w_c,
             b_c: self.b_c,
+            w_zr: self.w_zr,
         }
     }
 
@@ -172,6 +178,10 @@ impl Layer for GruCell {
             b_r: g.param(self.b_r.clone()),
             w_c: g.param(self.w_c.clone()),
             b_c: g.param(self.b_c.clone()),
+            // Bind-time cached gate merge: one concat per bind, amortized
+            // over every step of the forward pass (a megabatch runs hundreds
+            // of steps per bind). A constant so no gradient is materialized.
+            w_zr: Some(g.constant(self.w_z.concat_cols(&self.w_r))),
         }
     }
 
@@ -302,6 +312,7 @@ mod tests {
                     b_r: vars[3],
                     w_c: vars[4],
                     b_c: vars[5],
+                    w_zr: None,
                 };
                 let mut h = g.constant(Matrix::zeros(2, 3));
                 for x in &xs {

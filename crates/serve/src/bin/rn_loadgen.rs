@@ -1,0 +1,54 @@
+//! Load generator CLI: drive a running `rn_serve` frontend and print a
+//! throughput/latency report as JSON.
+//!
+//! ```sh
+//! rn_loadgen --addr 127.0.0.1:9977 --topology nsfnet \
+//!            --clients 4 --requests 64 --mode cached
+//! ```
+//!
+//! `--mode naive` re-sends the full scenario JSON on every request (the
+//! pre-serving usage pattern); `--mode cached` registers scenarios once and
+//! then queries by fingerprint. Scenario generation is seed-deterministic,
+//! so pointing this at a server started on the same topology works without
+//! shipping files around.
+
+use rn_serve::loadgen::{demo_scenarios, run_loadgen, LoadMode, LoadgenConfig};
+
+fn arg(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let config = LoadgenConfig {
+        addr: arg("--addr").unwrap_or_else(|| "127.0.0.1:9977".into()),
+        clients: arg("--clients").and_then(|v| v.parse().ok()).unwrap_or(4),
+        requests_per_client: arg("--requests").and_then(|v| v.parse().ok()).unwrap_or(32),
+        mode: LoadMode::parse(&arg("--mode").unwrap_or_else(|| "cached".into()))
+            .unwrap_or_else(|e| panic!("{e}")),
+    };
+    let topology = arg("--topology").unwrap_or_else(|| "nsfnet".into());
+    let scenarios: usize = arg("--scenarios").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let sim_s: f64 = arg("--sim-duration")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60.0);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(2019);
+
+    eprintln!("[loadgen] generating {scenarios} {topology} scenarios ...");
+    let (_, samples) =
+        demo_scenarios(&topology, scenarios, sim_s, seed).unwrap_or_else(|e| panic!("{e}"));
+    eprintln!(
+        "[loadgen] {} clients x {} requests ({:?}) against {}",
+        config.clients, config.requests_per_client, config.mode, config.addr
+    );
+    let report = run_loadgen(&config, &samples).unwrap_or_else(|e| panic!("loadgen: {e}"));
+    println!(
+        "{}",
+        serde_json::to_string(&report).expect("serialize report")
+    );
+}

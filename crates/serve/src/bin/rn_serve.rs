@@ -1,0 +1,92 @@
+//! Standalone serving daemon: start the JSONL-over-TCP frontend on a model.
+//!
+//! ```sh
+//! # Demo model (random weights, preprocessing fitted on generated data):
+//! rn_serve --listen 127.0.0.1:9977 --topology nsfnet
+//!
+//! # A trained model saved with routenet::persist::save_model:
+//! rn_serve --listen 127.0.0.1:9977 --topology nsfnet --model extended.json
+//! ```
+//!
+//! Prints one JSON line with the bound address, then serves until killed.
+//! See `rn_loadgen` for a measurement client and README's "Serving" section
+//! for the protocol.
+
+use rn_serve::loadgen::demo_scenarios;
+use rn_serve::{ServeConfig, Service, TcpServer};
+use routenet::model::PathPredictor;
+use routenet::{ExtendedRouteNet, ModelConfig};
+use std::time::Duration;
+
+fn arg(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let listen = arg("--listen").unwrap_or_else(|| "127.0.0.1:9977".into());
+    let topology = arg("--topology").unwrap_or_else(|| "nsfnet".into());
+    let fit_samples: usize = arg("--samples").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let state_dim: usize = arg("--state-dim")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let mp_iters: usize = arg("--mp-iters").and_then(|v| v.parse().ok()).unwrap_or(4);
+
+    let mut config = ServeConfig::default();
+    if let Some(w) = arg("--workers").and_then(|v| v.parse().ok()) {
+        config.workers = w;
+    }
+    if let Some(b) = arg("--max-batch").and_then(|v| v.parse().ok()) {
+        config.max_batch = b;
+    }
+    if let Some(us) = arg("--deadline-us").and_then(|v| v.parse().ok()) {
+        config.flush_deadline = Duration::from_micros(us);
+    }
+
+    let model: ExtendedRouteNet = match arg("--model") {
+        Some(path) => routenet::persist::load_model(std::path::Path::new(&path))
+            .unwrap_or_else(|e| panic!("load --model {path}: {e}")),
+        None => {
+            // Demo mode: random weights, real preprocessing. Predictions are
+            // untrained — this exists to exercise the serving path.
+            eprintln!(
+                "[serve] no --model given; fitting a demo model on generated {topology} data"
+            );
+            let (_, samples) = demo_scenarios(&topology, fit_samples, 60.0, 2019)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let ds = rn_dataset::Dataset {
+                topology: match topology.as_str() {
+                    "geant2" => rn_netgraph::topologies::geant2_default(),
+                    "toy5" => rn_netgraph::topologies::toy5(),
+                    _ => rn_netgraph::topologies::nsfnet_default(),
+                },
+                samples,
+            };
+            let mut m = ExtendedRouteNet::new(ModelConfig {
+                state_dim,
+                mp_iterations: mp_iters,
+                readout_hidden: 2 * state_dim,
+                ..ModelConfig::default()
+            });
+            m.fit_preprocessing(&ds, 5);
+            m
+        }
+    };
+
+    let service = Service::start(model, config);
+    let server = TcpServer::bind(service.handle(), listen.as_str())
+        .unwrap_or_else(|e| panic!("bind {listen}: {e}"));
+    println!(
+        "{{\"listening\":\"{}\",\"model\":\"extended\"}}",
+        server.local_addr()
+    );
+    // Serve forever; the daemon is stopped by killing the process.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,50 @@
+//! # rn-serve
+//!
+//! A concurrent inference service over the megabatch engine: the missing
+//! layer between "a fast `predict_batch`" and "serves heavy interactive
+//! what-if traffic".
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             ┌────────────┐   ┌──────────────────────────────┐
+//!  clients ──▶│ TCP (JSONL)│──▶│ admission queue              │
+//!   (or the   └────────────┘   │  ├ dynamic batcher: flush on │
+//!    in-proc  ┌────────────┐   │  │  max_batch / path budget /│
+//!    handle) ─▶ ServeHandle│──▶│  │  deadline                 │
+//!             └────────────┘   └──┼───────────────────────────┘
+//!                                 ▼
+//!                     worker shard pool (TapePool-backed tapes)
+//!                                 │  one fused block-diagonal
+//!                                 ▼  forward per batch
+//!            ┌─────────────┐  ┌───────────────┐  ┌─────────────┐
+//!            │ PlanCache   │  │ ModelRegistry │  │ ServeMetrics│
+//!            │ (fingerprint│  │ (atomic hot-  │  │ (latency /  │
+//!            │  → plan LRU)│  │  swap)        │  │  occupancy) │
+//!            └─────────────┘  └───────────────┘  └─────────────┘
+//! ```
+//!
+//! - [`service`] — admission queue, dynamic batching, the worker pool, and
+//!   the in-process [`ServeHandle`] API.
+//! - [`server`] — the JSONL-over-TCP frontend (`Register` / `Predict` /
+//!   `Cached` / `Metrics`).
+//! - [`registry`] — versioned model slot with atomic hot-swap.
+//! - [`metrics`] — throughput, latency percentiles, batch occupancy, cache
+//!   hit rate.
+//! - [`loadgen`] — the measurement client driving the serving benchmark.
+//!
+//! Serving results are bitwise identical to direct
+//! [`routenet::PathPredictor::predict_batch`] calls regardless of how the
+//! dynamic batcher groups requests — see the crate's stress tests.
+
+pub mod loadgen;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use registry::ModelRegistry;
+pub use server::{Request, Response, TcpServer};
+pub use service::{ServeConfig, ServeError, ServeHandle, Service};

@@ -1,0 +1,316 @@
+//! Load generator: drives a running TCP frontend and measures end-to-end
+//! throughput and latency from the client side (exact percentiles, unlike
+//! the server's bucketed histogram).
+//!
+//! Two client behaviors bracket the serving design space:
+//!
+//! - [`LoadMode::Naive`] — the pre-serving usage pattern: one connection,
+//!   one request in flight, the **full scenario JSON** serialized, shipped,
+//!   re-parsed and re-planned on every query.
+//! - [`LoadMode::Cached`] — the intended pattern: each client registers its
+//!   scenarios once, then streams tiny fingerprint queries that hit the
+//!   server's plan cache and ride shared dynamic batches.
+//!
+//! The serving benchmark reports the throughput ratio between the two.
+
+use crate::server::{fingerprint_to_hex, Request, Response};
+use rn_dataset::{generate, GeneratorConfig, Sample};
+use rn_netgraph::{topologies, Topology};
+use rn_netsim::SimConfig;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Client behavior (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Full scenario JSON per request, no registration.
+    Naive,
+    /// Register once, then query by fingerprint.
+    Cached,
+}
+
+impl LoadMode {
+    /// Parse from a CLI flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "naive" => Ok(Self::Naive),
+            "cached" => Ok(Self::Cached),
+            other => Err(format!("unknown mode `{other}` (naive|cached)")),
+        }
+    }
+}
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:9977`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Client behavior.
+    pub mode: LoadMode,
+}
+
+/// Exact client-side latency summary (milliseconds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Mean.
+    pub mean_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Exact percentiles over the recorded samples (zeros when empty).
+    pub fn of(latencies: &mut [Duration]) -> Self {
+        if latencies.is_empty() {
+            return Self {
+                p50_ms: 0.0,
+                p90_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                mean_ms: 0.0,
+                max_ms: 0.0,
+            };
+        }
+        latencies.sort();
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let at = |p: f64| {
+            let rank = ((p / 100.0) * latencies.len() as f64).ceil().max(1.0) as usize;
+            ms(latencies[rank.min(latencies.len()) - 1])
+        };
+        let sum: f64 = latencies.iter().map(|&d| ms(d)).sum();
+        Self {
+            p50_ms: at(50.0),
+            p90_ms: at(90.0),
+            p95_ms: at(95.0),
+            p99_ms: at(99.0),
+            mean_ms: sum / latencies.len() as f64,
+            max_ms: ms(*latencies.last().expect("non-empty")),
+        }
+    }
+}
+
+/// One load-generation run's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Successful requests.
+    pub requests: u64,
+    /// Failed requests (protocol errors / server errors).
+    pub errors: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Successful requests per wall-clock second.
+    pub rps: f64,
+    /// Exact client-side latency percentiles.
+    pub latency: LatencySummary,
+}
+
+/// Generate `count` scenarios on a canonical topology — the shared workload
+/// of the loadgen binary, the serving benchmark and the examples (same seed
+/// → same scenarios on both sides of a socket).
+pub fn demo_scenarios(
+    topology: &str,
+    count: usize,
+    sim_duration_s: f64,
+    seed: u64,
+) -> Result<(Topology, Vec<Sample>), String> {
+    let topo = match topology {
+        "nsfnet" => topologies::nsfnet_default(),
+        "geant2" => topologies::geant2_default(),
+        "toy5" => topologies::toy5(),
+        other => return Err(format!("unknown topology `{other}` (nsfnet|geant2|toy5)")),
+    };
+    let config = GeneratorConfig {
+        sim: SimConfig {
+            duration_s: sim_duration_s,
+            warmup_s: sim_duration_s * 0.1,
+            ..SimConfig::default()
+        },
+        ..GeneratorConfig::default()
+    };
+    let ds = generate(&topo, &config, seed, count);
+    Ok((ds.topology, ds.samples))
+}
+
+/// A connected protocol client: line-delimited JSON over one TCP stream.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a serving frontend.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one pre-rendered request line and read the response line.
+    pub fn round_trip_line(&mut self, line: &str) -> Result<Response, String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("flush: {e}"))?;
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .map_err(|e| format!("recv: {e}"))?;
+        if response.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        serde_json::from_str(&response).map_err(|e| format!("bad response: {e}"))
+    }
+
+    /// Serialize and send one request.
+    pub fn round_trip(&mut self, request: &Request) -> Result<Response, String> {
+        let line = serde_json::to_string(request).map_err(|e| format!("serialize: {e}"))?;
+        self.round_trip_line(&line)
+    }
+
+    /// Register a scenario; returns its fingerprint (hex).
+    pub fn register(&mut self, sample: &Sample) -> Result<String, String> {
+        match self.round_trip(&Request::Register {
+            sample: sample.clone(),
+        })? {
+            Response::Registered { plan, .. } => Ok(plan),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+}
+
+/// Per-client work loop; returns (latencies of successful requests, errors).
+fn run_client(
+    config: &LoadgenConfig,
+    scenarios: &[Sample],
+    client_idx: usize,
+) -> Result<(Vec<Duration>, u64), String> {
+    let mut client = Client::connect(&config.addr).map_err(|e| format!("connect: {e}"))?;
+    // Pre-render the request lines. Naive clients still pay full-sample
+    // serialization *per request* below — that is the cost being measured —
+    // while cached clients register once and reuse a ~40-byte line.
+    let naive_requests: Vec<Request> = scenarios
+        .iter()
+        .map(|s| Request::Predict { sample: s.clone() })
+        .collect();
+    let cached_lines: Vec<String> = if config.mode == LoadMode::Cached {
+        scenarios
+            .iter()
+            .map(|s| {
+                let fp = client.register(s)?;
+                serde_json::to_string(&Request::Cached { plan: fp })
+                    .map_err(|e| format!("serialize: {e}"))
+            })
+            .collect::<Result<_, String>>()?
+    } else {
+        Vec::new()
+    };
+
+    let mut latencies = Vec::with_capacity(config.requests_per_client);
+    let mut errors = 0u64;
+    for i in 0..config.requests_per_client {
+        let pick = (client_idx + i) % scenarios.len();
+        let t0 = Instant::now();
+        let response = match config.mode {
+            LoadMode::Naive => {
+                let line = serde_json::to_string(&naive_requests[pick])
+                    .map_err(|e| format!("serialize: {e}"))?;
+                client.round_trip_line(&line)
+            }
+            LoadMode::Cached => client.round_trip_line(&cached_lines[pick]),
+        };
+        match response {
+            Ok(Response::Delays { delays_s, .. }) if !delays_s.is_empty() => {
+                latencies.push(t0.elapsed());
+            }
+            Ok(_) | Err(_) => errors += 1,
+        }
+    }
+    Ok((latencies, errors))
+}
+
+/// Run the workload against a serving frontend.
+pub fn run_loadgen(config: &LoadgenConfig, scenarios: &[Sample]) -> Result<LoadgenReport, String> {
+    assert!(!scenarios.is_empty(), "loadgen needs at least one scenario");
+    let clients = config.clients.max(1);
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<Duration> = Vec::new();
+    let mut errors = 0u64;
+    let results: Vec<Result<(Vec<Duration>, u64), String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|idx| s.spawn(move || run_client(config, scenarios, idx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    for r in results {
+        let (lat, errs) = r?;
+        all_latencies.extend(lat);
+        errors += errs;
+    }
+    let requests = all_latencies.len() as u64;
+    Ok(LoadgenReport {
+        requests,
+        errors,
+        wall_s,
+        rps: if wall_s > 0.0 {
+            requests as f64 / wall_s
+        } else {
+            0.0
+        },
+        latency: LatencySummary::of(&mut all_latencies),
+    })
+}
+
+/// Render a fingerprint the way `Cached` requests expect it — re-exported
+/// here so binaries depending only on `loadgen` don't reach into `server`.
+pub fn plan_ref(fp: u64) -> String {
+    fingerprint_to_hex(fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles_are_exact() {
+        let mut lats: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencySummary::of(&mut lats);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p90_ms, 90.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demo_scenarios_are_seed_deterministic() {
+        let (_, a) = demo_scenarios("toy5", 2, 30.0, 9).unwrap();
+        let (_, b) = demo_scenarios("toy5", 2, 30.0, 9).unwrap();
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.targets, y.targets);
+        }
+        assert!(demo_scenarios("nope", 1, 30.0, 9).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Service observability: lock-free counters, a geometric latency histogram,
+//! and a batch-occupancy histogram, snapshotted into one serializable
+//! record.
+//!
+//! Everything on the request hot path is an atomic increment; the only lock
+//! is taken by [`ServeMetrics::snapshot`], which readers call at human
+//! frequency.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of geometric latency buckets. Bucket `i` covers latencies up to
+/// `LOW_US * GROWTH^i` microseconds; with 64 buckets at 1.5x growth the top
+/// bucket sits far above any plausible request latency.
+const BUCKETS: usize = 64;
+const LOW_US: f64 = 10.0;
+const GROWTH: f64 = 1.5;
+
+/// Geometric-bucket latency histogram with atomic counters.
+///
+/// Percentiles are read back as the upper bound of the bucket holding the
+/// requested rank: an over-estimate by at most one growth factor (50%),
+/// which is plenty for service dashboards. Benchmarks that need exact
+/// percentiles record client-side samples instead.
+pub struct LatencyHistogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(us: f64) -> usize {
+        if us <= LOW_US {
+            return 0;
+        }
+        let idx = (us / LOW_US).log(GROWTH).ceil() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper latency bound (µs) of bucket `i`.
+    fn bucket_upper_us(i: usize) -> f64 {
+        LOW_US * GROWTH.powi(i as i32)
+    }
+
+    /// Record one latency.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos() as u64;
+        let us = ns as f64 / 1_000.0;
+        self.counts[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimated latency (ms) at percentile `p` (0..100): the upper bound of
+    /// the bucket containing the rank. 0.0 when nothing was recorded.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_us(i) / 1_000.0;
+            }
+        }
+        self.max_ms()
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1e6
+    }
+
+    /// Maximum recorded latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ns.load(Ordering::Relaxed) as f64 / 1e6
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Histogram of dynamic-batch sizes (occupancy), bucket per exact size.
+pub struct BatchHistogram {
+    counts: Vec<AtomicU64>,
+    batches: AtomicU64,
+    requests: AtomicU64,
+    path_rows: AtomicU64,
+}
+
+impl BatchHistogram {
+    /// Histogram for batches of up to `max_batch` requests.
+    pub fn new(max_batch: usize) -> Self {
+        Self {
+            counts: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            batches: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            path_rows: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one flushed batch of `size` requests covering `paths` rows.
+    pub fn record(&self, size: usize, paths: usize) {
+        let idx = size.clamp(1, self.counts.len()) - 1;
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(size as u64, Ordering::Relaxed);
+        self.path_rows.fetch_add(paths as u64, Ordering::Relaxed);
+    }
+
+    /// Flushed batches.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Mean requests per batch (the occupancy the dynamic batcher achieved).
+    pub fn mean_occupancy(&self) -> f64 {
+        let b = self.batches();
+        if b == 0 {
+            return 0.0;
+        }
+        self.requests.load(Ordering::Relaxed) as f64 / b as f64
+    }
+
+    /// Mean path rows per batch.
+    pub fn mean_paths(&self) -> f64 {
+        let b = self.batches();
+        if b == 0 {
+            return 0.0;
+        }
+        self.path_rows.load(Ordering::Relaxed) as f64 / b as f64
+    }
+
+    /// Counts per batch size, `[0] == batches of one request`.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// All service counters, owned by the service and shared with every worker
+/// and frontend.
+pub struct ServeMetrics {
+    /// Requests admitted to the queue.
+    pub submitted: AtomicU64,
+    /// Requests answered (successfully predicted).
+    pub completed: AtomicU64,
+    /// Requests refused at admission (queue full / shutting down).
+    pub rejected: AtomicU64,
+    /// Requests that failed inside the worker.
+    pub errors: AtomicU64,
+    /// Model hot-swaps performed.
+    pub swaps: AtomicU64,
+    /// End-to-end request latency (enqueue → response ready).
+    pub latency: LatencyHistogram,
+    /// Dynamic-batch occupancy.
+    pub batches: BatchHistogram,
+    started: Instant,
+}
+
+impl ServeMetrics {
+    /// Fresh metrics for a service with the given batch ceiling.
+    pub fn new(max_batch: usize) -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            batches: BatchHistogram::new(max_batch),
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since the service started.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Snapshot every counter into a serializable record. `cache` statistics
+    /// and the model version are injected by the service, which owns them.
+    pub fn snapshot(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_len: usize,
+        model_version: u64,
+        queue_depth: usize,
+    ) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let uptime = self.uptime_s();
+        let lookups = cache_hits + cache_misses;
+        MetricsSnapshot {
+            uptime_s: uptime,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            throughput_rps: if uptime > 0.0 {
+                completed as f64 / uptime
+            } else {
+                0.0
+            },
+            latency_p50_ms: self.latency.percentile_ms(50.0),
+            latency_p95_ms: self.latency.percentile_ms(95.0),
+            latency_p99_ms: self.latency.percentile_ms(99.0),
+            latency_mean_ms: self.latency.mean_ms(),
+            latency_max_ms: self.latency.max_ms(),
+            batches: self.batches.batches(),
+            mean_batch_occupancy: self.batches.mean_occupancy(),
+            mean_batch_paths: self.batches.mean_paths(),
+            batch_size_counts: self.batches.counts(),
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if lookups > 0 {
+                cache_hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            cache_len: cache_len as u64,
+            model_version,
+            model_swaps: self.swaps.load(Ordering::Relaxed),
+            queue_depth: queue_depth as u64,
+        }
+    }
+}
+
+/// A point-in-time copy of the service metrics (JSON-serializable; returned
+/// by the in-process API and the TCP `Metrics` request).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since service start.
+    pub uptime_s: f64,
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+    /// Requests failed in workers.
+    pub errors: u64,
+    /// Completed requests per second of uptime.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency (ms, bucket upper bound).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub latency_p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub latency_p99_ms: f64,
+    /// Mean latency (ms, exact).
+    pub latency_mean_ms: f64,
+    /// Worst latency (ms, exact).
+    pub latency_max_ms: f64,
+    /// Dynamic batches flushed.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch_occupancy: f64,
+    /// Mean path rows per batch.
+    pub mean_batch_paths: f64,
+    /// Batches by exact size (`[0]` = singleton batches).
+    pub batch_size_counts: Vec<u64>,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// Hits over lookups.
+    pub cache_hit_rate: f64,
+    /// Plans resident in the cache.
+    pub cache_len: u64,
+    /// Version of the model serving right now (bumps on hot-swap).
+    pub model_version: u64,
+    /// Hot-swaps performed.
+    pub model_swaps: u64,
+    /// Requests waiting in the queue at snapshot time.
+    pub queue_depth: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.percentile_ms(50.0);
+        let p95 = h.percentile_ms(95.0);
+        let p99 = h.percentile_ms(99.0);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(
+            (5.0..=9.0).contains(&p50),
+            "median of 1..9,100 ms ≈ 5ms: {p50}"
+        );
+        assert!(p99 >= 100.0, "tail must reach the outlier: {p99}");
+        assert!((h.mean_ms() - 14.5).abs() < 0.5, "{}", h.mean_ms());
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_ms(50.0), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn batch_histogram_tracks_occupancy() {
+        let b = BatchHistogram::new(4);
+        b.record(1, 20);
+        b.record(4, 80);
+        b.record(3, 60);
+        assert_eq!(b.batches(), 3);
+        assert!((b.mean_occupancy() - 8.0 / 3.0).abs() < 1e-9);
+        assert!((b.mean_paths() - 160.0 / 3.0).abs() < 1e-9);
+        assert_eq!(b.counts(), vec![1, 0, 1, 1]);
+        // Oversized batches clamp into the top bucket instead of panicking.
+        b.record(9, 10);
+        assert_eq!(b.counts()[3], 2);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = ServeMetrics::new(8);
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.completed.fetch_add(3, Ordering::Relaxed);
+        m.latency.record(Duration::from_micros(250));
+        m.batches.record(3, 42);
+        let snap = m.snapshot(5, 1, 2, 7, 0);
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.model_version, 7);
+        assert!((snap.cache_hit_rate - 5.0 / 6.0).abs() < 1e-12);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.completed, snap.completed);
+        assert_eq!(back.batch_size_counts, snap.batch_size_counts);
+    }
+}

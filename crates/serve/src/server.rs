@@ -1,0 +1,237 @@
+//! JSONL-over-TCP frontend.
+//!
+//! One request per line, one response per line — `std::net` only, so any
+//! language with a socket and a JSON library is a client. Requests are
+//! externally tagged:
+//!
+//! ```text
+//! {"Register": {"sample": {…}}}   → {"Registered": {"plan": "<hex>", "paths": N}}
+//! {"Predict":  {"sample": {…}}}   → {"Delays": {"plan": "<hex>", "delays_s": […]}}
+//! {"Cached":   {"plan": "<hex>"}} → {"Delays": …} | {"Error": …}
+//! "Metrics"                        → {"Metrics": {"snapshot": {…}}}
+//! "Ping"                           → "Pong"
+//! ```
+//!
+//! `Register` compiles a scenario into the shared plan cache and returns its
+//! fingerprint; `Cached` predicts by fingerprint alone — the steady-state
+//! what-if loop sends a ~40-byte line instead of re-shipping (and the server
+//! re-parsing and re-planning) a multi-hundred-kilobyte scenario on every
+//! query. Fingerprints travel as fixed-width hex strings because JSON
+//! numbers cannot carry a full `u64` exactly.
+//!
+//! The frontend is unauthenticated and meant to run inside a trust
+//! boundary: clients share one plan cache keyed by a non-cryptographic
+//! fingerprint (see `routenet::plan_cache`'s trust-model notes), so put an
+//! authenticating proxy in front before exposing it to untrusted networks.
+
+use crate::service::{ServeError, ServeHandle};
+use crate::MetricsSnapshot;
+use rn_dataset::Sample;
+use routenet::model::PathPredictor;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A client request line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Compile a scenario into the plan cache; answer its fingerprint.
+    Register {
+        /// The scenario (topology-shaped routing/traffic/queue state).
+        sample: Sample,
+    },
+    /// Plan (through the cache) and predict a full scenario.
+    Predict {
+        /// The scenario to predict.
+        sample: Sample,
+    },
+    /// Predict a scenario previously registered, by fingerprint.
+    Cached {
+        /// Hex fingerprint from `Registered`/`Delays`.
+        plan: String,
+    },
+    /// Fetch the service metrics snapshot.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A server response line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Scenario compiled and cached.
+    Registered {
+        /// Hex fingerprint to use with `Cached`.
+        plan: String,
+        /// Paths (= delays per prediction) in the scenario.
+        paths: usize,
+    },
+    /// Per-path delay predictions in seconds.
+    Delays {
+        /// Hex fingerprint of the scenario that was predicted.
+        plan: String,
+        /// One mean-delay prediction per path, in path order.
+        delays_s: Vec<f64>,
+    },
+    /// Service metrics.
+    Metrics {
+        /// The point-in-time snapshot.
+        snapshot: MetricsSnapshot,
+    },
+    /// Liveness answer.
+    Pong,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Render a fingerprint as the wire format (fixed-width hex).
+pub fn fingerprint_to_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Parse the wire format back into a fingerprint.
+pub fn fingerprint_from_hex(s: &str) -> Result<u64, String> {
+    u64::from_str_radix(s.trim(), 16).map_err(|e| format!("bad plan fingerprint `{s}`: {e}"))
+}
+
+/// Compute the response for one request line. Exposed so tests (and exotic
+/// frontends) can drive the protocol without a socket.
+pub fn respond_line<M: PathPredictor>(handle: &ServeHandle<M>, line: &str) -> Response {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::Error {
+                message: format!("bad request: {e}"),
+            }
+        }
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Metrics => Response::Metrics {
+            snapshot: handle.metrics(),
+        },
+        Request::Register { sample } => {
+            let (plan, fp) = handle.plan_sample(&sample);
+            Response::Registered {
+                plan: fingerprint_to_hex(fp),
+                paths: plan.n_paths,
+            }
+        }
+        Request::Predict { sample } => match handle.predict_sample(&sample) {
+            Ok((delays_s, fp)) => Response::Delays {
+                plan: fingerprint_to_hex(fp),
+                delays_s,
+            },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Cached { plan } => match fingerprint_from_hex(&plan) {
+            Err(message) => Response::Error { message },
+            Ok(fp) => match handle.predict_cached(fp) {
+                Ok(delays_s) => Response::Delays {
+                    plan: fingerprint_to_hex(fp),
+                    delays_s,
+                },
+                Err(e @ ServeError::UnknownPlan(_)) => Response::Error {
+                    message: format!("{e}; re-send the scenario with Register"),
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+        },
+    }
+}
+
+/// A listening TCP frontend bound to a [`ServeHandle`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections, one thread per connection.
+    pub fn bind<M, A>(handle: ServeHandle<M>, addr: A) -> std::io::Result<Self>
+    where
+        M: PathPredictor + 'static,
+        A: ToSocketAddrs,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("rn-serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_accept.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let handle = handle.clone();
+                    // Connection threads live as long as their client keeps
+                    // the socket open; they end on EOF or write failure.
+                    std::thread::Builder::new()
+                        .name("rn-serve-conn".into())
+                        .spawn(move || serve_connection(handle, stream))
+                        .ok();
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(Self {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new connections and join the accept thread. Existing
+    /// connections drain naturally when their clients hang up.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        TcpStream::connect(self.addr).ok();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread panicked");
+        }
+    }
+}
+
+/// Serve one client connection: read request lines, write response lines.
+fn serve_connection<M: PathPredictor>(handle: ServeHandle<M>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond_line(&handle, &line);
+        let json = match serde_json::to_string(&response) {
+            Ok(j) => j,
+            Err(_) => "{\"Error\":{\"message\":\"response serialization failed\"}}".to_string(),
+        };
+        if writeln!(writer, "{json}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}

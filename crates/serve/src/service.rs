@@ -1,0 +1,427 @@
+//! The concurrent inference service: admission queue, dynamic batcher,
+//! worker shard pool.
+//!
+//! ## Request path
+//!
+//! 1. A caller submits a compiled plan (usually an `Arc` out of the shared
+//!    [`PlanCache`]) through a [`ServeHandle`]; admission control rejects
+//!    when the queue is at capacity.
+//! 2. Workers assemble **dynamic batches**: a batch flushes when it reaches
+//!    [`ServeConfig::max_batch`] requests (or would exceed
+//!    [`ServeConfig::max_batch_paths`] path rows — megabatches that outgrow
+//!    the cache cost more than they save), when the oldest queued request
+//!    has waited [`ServeConfig::flush_deadline`], or at shutdown — whichever
+//!    comes first. A zero deadline means "flush as soon as a worker is
+//!    free", which batches exactly the backlog that accumulated while
+//!    workers were busy (occupancy rises with load, idle latency stays
+//!    minimal).
+//! 3. Each worker owns a pooled tape from a shared [`TapePool`] for the
+//!    duration of a batch and runs one fused block-diagonal forward
+//!    ([`PathPredictor::predict_batch_refs_with`]); steady-state serving is
+//!    allocation-free. Results are split per request and delivered through
+//!    per-request channels.
+//!
+//! Predictions are **bitwise identical** to calling
+//! [`PathPredictor::predict_batch`] directly: the fused kernels accumulate
+//! every output element in the same order regardless of where a sample's
+//! rows land inside a megabatch, so batch composition cannot perturb
+//! results. The stress tests pin this down.
+
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::ModelRegistry;
+use rn_autograd::TapePool;
+use rn_dataset::Sample;
+use routenet::entities::PlanConfig;
+use routenet::model::PathPredictor;
+use routenet::plan_cache::{sample_fingerprint, PlanCache};
+use routenet::SamplePlan;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each running fused batches on its own pooled tape.
+    pub workers: usize,
+    /// Requests per dynamic batch, at most.
+    pub max_batch: usize,
+    /// Path-row budget per batch: packing stops before exceeding it (the
+    /// same cache-residency reasoning as evaluation's chunking).
+    pub max_batch_paths: usize,
+    /// How long the oldest queued request may wait for co-batchers before
+    /// the batch flushes anyway. `Duration::ZERO` flushes whenever a worker
+    /// is free.
+    pub flush_deadline: Duration,
+    /// Admission-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Compiled plans kept in the shared [`PlanCache`].
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_batch: 8,
+            max_batch_paths: 512,
+            flush_deadline: Duration::ZERO,
+            queue_capacity: 1024,
+            plan_cache_capacity: 256,
+        }
+    }
+}
+
+/// Why a request was not answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission queue at capacity — shed load and retry later.
+    QueueFull,
+    /// The service is shutting (or has shut) down.
+    Shutdown,
+    /// A referenced plan fingerprint is not resident in the cache.
+    UnknownPlan(u64),
+    /// The submitted plan's state width does not match the model serving
+    /// right now (`expected`, `found`) — it was compiled for a different
+    /// model generation. Rebuild the plan (e.g. re-`Register` the scenario).
+    IncompatiblePlan {
+        /// State width of the serving model.
+        expected: usize,
+        /// State width the plan was compiled with.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull => write!(f, "admission queue full"),
+            Self::Shutdown => write!(f, "service is shut down"),
+            Self::UnknownPlan(fp) => write!(f, "unknown plan fingerprint {fp:#018x}"),
+            Self::IncompatiblePlan { expected, found } => write!(
+                f,
+                "plan state width {found} does not match the serving model \
+                 ({expected}); rebuild the plan for the current model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One queued prediction request.
+struct Job {
+    plan: Arc<SamplePlan>,
+    respond: mpsc::SyncSender<Result<Vec<f64>, ServeError>>,
+    enqueued: Instant,
+}
+
+/// Queue state under the batcher mutex.
+struct QueueState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// State shared between handles and workers.
+struct Inner<M> {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    config: ServeConfig,
+    registry: ModelRegistry<M>,
+    metrics: ServeMetrics,
+    plans: PlanCache,
+    tapes: TapePool,
+}
+
+/// Cloneable client handle to a running [`Service`]. Dropping handles does
+/// not stop the service; [`Service::shutdown`] does.
+pub struct ServeHandle<M> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M> Clone for ServeHandle<M> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A running inference service: owns the worker threads.
+pub struct Service<M> {
+    inner: Arc<Inner<M>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<M: PathPredictor + 'static> Service<M> {
+    /// Start `config.workers` worker threads serving `model`.
+    pub fn start(model: M, config: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            metrics: ServeMetrics::new(config.max_batch),
+            registry: ModelRegistry::new(model),
+            plans: PlanCache::new(config.plan_cache_capacity),
+            tapes: TapePool::new(),
+            config,
+        });
+        let workers = (0..inner.config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("rn-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// A cloneable client handle.
+    pub fn handle(&self) -> ServeHandle<M> {
+        ServeHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Stop accepting requests, fail whatever is still queued, and join the
+    /// workers.
+    pub fn shutdown(mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("serve queue poisoned");
+            st.shutdown = true;
+            for job in st.queue.drain(..) {
+                self.inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                job.respond.try_send(Err(ServeError::Shutdown)).ok();
+            }
+        }
+        self.inner.ready.notify_all();
+        for w in self.workers.drain(..) {
+            w.join().expect("serve worker panicked");
+        }
+    }
+}
+
+impl<M: PathPredictor> ServeHandle<M> {
+    /// Submit a compiled plan and block until its predictions arrive.
+    /// Returns one denormalized delay per path, bitwise identical to
+    /// `model.predict_batch(&[plan])`.
+    pub fn predict_plan(&self, plan: Arc<SamplePlan>) -> Result<Vec<f64>, ServeError> {
+        let rx = self.submit(plan)?;
+        rx.recv().map_err(|_| ServeError::Shutdown)?
+    }
+
+    /// Plan a raw sample through the shared plan cache (hit: free; miss:
+    /// compile + insert), then predict. Returns `(delays, fingerprint)` so
+    /// callers can re-query the scenario by fingerprint alone.
+    pub fn predict_sample(&self, sample: &Sample) -> Result<(Vec<f64>, u64), ServeError> {
+        let (plan, fp) = self.plan_sample(sample);
+        Ok((self.predict_plan(plan)?, fp))
+    }
+
+    /// Predict a scenario already resident in the plan cache.
+    pub fn predict_cached(&self, fingerprint: u64) -> Result<Vec<f64>, ServeError> {
+        let plan = self
+            .inner
+            .plans
+            .get(fingerprint)
+            .ok_or(ServeError::UnknownPlan(fingerprint))?;
+        self.predict_plan(plan)
+    }
+
+    /// Compile (or fetch) the plan for `sample` under the **current** model's
+    /// preprocessing. The fingerprint covers that preprocessing state (and
+    /// hot-swaps flush the cache besides), so a plan can never be served
+    /// under a model whose features it was not compiled for.
+    pub fn plan_sample(&self, sample: &Sample) -> (Arc<SamplePlan>, u64) {
+        let (model, _) = self.inner.registry.snapshot();
+        let (scales, normalizer) = model.preprocessing();
+        let cfg = PlanConfig::new(model.config(), scales, normalizer);
+        self.inner.plans.get_or_build(sample, &cfg)
+    }
+
+    /// Fingerprint a sample under the current model without planning it.
+    pub fn fingerprint_sample(&self, sample: &Sample) -> u64 {
+        let (model, _) = self.inner.registry.snapshot();
+        let (scales, normalizer) = model.preprocessing();
+        let cfg = PlanConfig::new(model.config(), scales, normalizer);
+        sample_fingerprint(sample, &cfg)
+    }
+
+    /// Atomically hot-swap the served model; in-flight batches finish on the
+    /// version they started with. Returns the new version.
+    ///
+    /// The plan cache is flushed: resident plans were compiled under the old
+    /// model's preprocessing, and `Cached`-by-fingerprint requests would
+    /// otherwise keep serving them under the new weights. Clients holding
+    /// fingerprints get `UnknownPlan` and re-register (re-keying under the
+    /// new preprocessing); in-flight `Arc`s stay valid for their batch.
+    pub fn swap_model(&self, model: M) -> u64 {
+        let version = self.inner.registry.swap(model);
+        self.inner.plans.clear();
+        self.inner.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        version
+    }
+
+    /// Currently served model version.
+    pub fn model_version(&self) -> u64 {
+        self.inner.registry.version()
+    }
+
+    /// Point-in-time service metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let queue_depth = self
+            .inner
+            .state
+            .lock()
+            .expect("serve queue poisoned")
+            .queue
+            .len();
+        self.inner.metrics.snapshot(
+            self.inner.plans.hits(),
+            self.inner.plans.misses(),
+            self.inner.plans.len(),
+            self.inner.registry.version(),
+            queue_depth,
+        )
+    }
+
+    /// Enqueue without waiting for the result; the receiver yields it.
+    fn submit(
+        &self,
+        plan: Arc<SamplePlan>,
+    ) -> Result<mpsc::Receiver<Result<Vec<f64>, ServeError>>, ServeError> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut st = self.inner.state.lock().expect("serve queue poisoned");
+            if st.shutdown {
+                return Err(ServeError::Shutdown);
+            }
+            if st.queue.len() >= self.inner.config.queue_capacity {
+                self.inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::QueueFull);
+            }
+            st.queue.push_back(Job {
+                plan,
+                respond: tx,
+                enqueued: Instant::now(),
+            });
+        }
+        self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.ready.notify_one();
+        Ok(rx)
+    }
+}
+
+impl<M: PathPredictor> ServeHandle<M> {
+    /// Swap in a model loaded from disk (atomic save makes the read safe
+    /// against concurrent writers). Flushes the plan cache like
+    /// [`ServeHandle::swap_model`]. Returns the new version.
+    pub fn load_and_swap(&self, path: &std::path::Path) -> Result<u64, String>
+    where
+        M: serde::de::DeserializeOwned,
+    {
+        let version = self.inner.registry.load_and_swap(path)?;
+        self.inner.plans.clear();
+        self.inner.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+}
+
+/// Pop the next dynamic batch off the queue. Caller holds the lock and has
+/// verified the queue is non-empty.
+fn drain_batch(st: &mut QueueState, config: &ServeConfig) -> Vec<Job> {
+    let mut batch = Vec::with_capacity(config.max_batch.min(st.queue.len()));
+    let mut paths = 0usize;
+    while batch.len() < config.max_batch {
+        let Some(front) = st.queue.front() else { break };
+        let next_paths = front.plan.n_paths;
+        // Every batch takes at least one request, however large.
+        if !batch.is_empty() && paths + next_paths > config.max_batch_paths {
+            break;
+        }
+        paths += next_paths;
+        batch.push(st.queue.pop_front().expect("front checked"));
+    }
+    batch
+}
+
+/// Worker: wait for a flush condition, drain a batch, run one fused forward
+/// on a pooled tape, deliver per-request results.
+fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
+    loop {
+        let batch = {
+            let mut st = inner.state.lock().expect("serve queue poisoned");
+            loop {
+                if st.queue.is_empty() {
+                    if st.shutdown {
+                        return;
+                    }
+                    st = inner.ready.wait(st).expect("serve queue poisoned");
+                    continue;
+                }
+                let full = st.queue.len() >= inner.config.max_batch;
+                let deadline = st.queue[0].enqueued + inner.config.flush_deadline;
+                let now = Instant::now();
+                if full || st.shutdown || now >= deadline {
+                    break drain_batch(&mut st, &inner.config);
+                }
+                let (next, _timeout) = inner
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .expect("serve queue poisoned");
+                st = next;
+            }
+        };
+        if batch.is_empty() {
+            continue;
+        }
+
+        // One model snapshot per flush: hot-swaps never tear a batch.
+        let (model, _version) = inner.registry.snapshot();
+
+        // A plan compiled for a different model generation (its state width
+        // differs — e.g. it straddled a hot-swap to a resized model) can
+        // neither share the block-diagonal forward nor run under this
+        // model's weights. Answer those with a clean error instead of
+        // letting shape asserts kill the worker.
+        let expected = model.config().state_dim;
+        let (group, stale): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|job| job.plan.path_init.cols() == expected);
+        for job in stale {
+            inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            job.respond
+                .try_send(Err(ServeError::IncompatiblePlan {
+                    expected,
+                    found: job.plan.path_init.cols(),
+                }))
+                .ok();
+        }
+        if group.is_empty() {
+            continue;
+        }
+
+        let refs: Vec<&SamplePlan> = group.iter().map(|j| j.plan.as_ref()).collect();
+        let total_paths: usize = refs.iter().map(|p| p.n_paths).sum();
+        let mut tape = inner.tapes.acquire();
+        let results = model.predict_batch_refs_with(&mut tape, &refs);
+        inner.tapes.release(tape);
+
+        inner.metrics.batches.record(group.len(), total_paths);
+        let done = Instant::now();
+        for (job, delays) in group.into_iter().zip(results) {
+            inner.metrics.latency.record(done - job.enqueued);
+            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            // A caller that gave up (dropped the receiver) is not an error.
+            job.respond.try_send(Ok(delays)).ok();
+        }
+    }
+}

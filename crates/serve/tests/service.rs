@@ -1,0 +1,400 @@
+//! Integration tests for the serving subsystem: bitwise equivalence under
+//! concurrency, plan-cache behavior, hot-swap under load, and the TCP
+//! protocol.
+
+use rn_dataset::{generate, Dataset, GeneratorConfig};
+use rn_netgraph::topologies;
+use rn_netsim::SimConfig;
+use rn_serve::loadgen::Client;
+use rn_serve::{Request, Response, ServeConfig, ServeError, Service, TcpServer};
+use routenet::model::PathPredictor;
+use routenet::{ExtendedRouteNet, ModelConfig, SamplePlan};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn toy_dataset(n: usize, seed: u64) -> Dataset {
+    let config = GeneratorConfig {
+        sim: SimConfig {
+            duration_s: 60.0,
+            warmup_s: 10.0,
+            ..SimConfig::default()
+        },
+        ..GeneratorConfig::default()
+    };
+    generate(&topologies::toy5(), &config, seed, n)
+}
+
+fn fitted_model(ds: &Dataset, weight_seed: u64) -> ExtendedRouteNet {
+    let mut model = ExtendedRouteNet::new(ModelConfig {
+        state_dim: 8,
+        mp_iterations: 2,
+        readout_hidden: 8,
+        seed: weight_seed,
+        ..ModelConfig::default()
+    });
+    model.fit_preprocessing(ds, 5);
+    model
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn serving_is_bitwise_identical_to_predict_batch_under_concurrency() {
+    let ds = toy_dataset(3, 11);
+    let model = fitted_model(&ds, 1);
+    let plans: Vec<Arc<SamplePlan>> = ds.samples.iter().map(|s| Arc::new(model.plan(s))).collect();
+    // The reference: direct single-threaded predict_batch, one plan at a
+    // time AND all plans together — both must agree with the served result.
+    let singly: Vec<Vec<u64>> = plans
+        .iter()
+        .map(|p| bits(&model.predict_batch(std::slice::from_ref(p.as_ref()))[0]))
+        .collect();
+    let owned: Vec<SamplePlan> = plans.iter().map(|p| (**p).clone()).collect();
+    let together = model.predict_batch(&owned);
+    for (one, all) in singly.iter().zip(&together) {
+        assert_eq!(one, &bits(all), "megabatch grouping must not perturb bits");
+    }
+
+    let service = Service::start(
+        model,
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            // A generous deadline forces real multi-request batches to form
+            // while clients hammer the queue.
+            flush_deadline: Duration::from_millis(10),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 16;
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let handle = handle.clone();
+            let plans = &plans;
+            let singly = &singly;
+            s.spawn(move || {
+                for i in 0..REQUESTS {
+                    let pick = (c + i) % plans.len();
+                    let got = handle
+                        .predict_plan(Arc::clone(&plans[pick]))
+                        .expect("serve predict");
+                    assert_eq!(
+                        bits(&got),
+                        singly[pick],
+                        "client {c} request {i}: served bits diverged"
+                    );
+                }
+            });
+        }
+    });
+
+    let m = handle.metrics();
+    assert_eq!(m.completed, (CLIENTS * REQUESTS) as u64);
+    assert_eq!(m.errors, 0);
+    assert!(
+        m.batches < m.completed,
+        "dynamic batching must have grouped requests: {} batches for {} requests",
+        m.batches,
+        m.completed
+    );
+    assert!(m.mean_batch_occupancy > 1.0, "{}", m.mean_batch_occupancy);
+    service.shutdown();
+}
+
+#[test]
+fn deadline_batches_coincident_requests_together() {
+    let ds = toy_dataset(1, 13);
+    let model = fitted_model(&ds, 1);
+    let plan = Arc::new(model.plan(&ds.samples[0]));
+    let service = Service::start(
+        model,
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            flush_deadline: Duration::from_millis(250),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let handle = handle.clone();
+            let plan = Arc::clone(&plan);
+            s.spawn(move || handle.predict_plan(plan).expect("predict"));
+        }
+    });
+    let m = handle.metrics();
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.batches, 1, "both requests must ride one batch");
+    assert_eq!(m.mean_batch_occupancy, 2.0);
+    service.shutdown();
+}
+
+#[test]
+fn plan_cache_serves_hits_and_evicts_lru() {
+    let ds = toy_dataset(3, 17);
+    let model = fitted_model(&ds, 1);
+    let service = Service::start(
+        model,
+        ServeConfig {
+            workers: 1,
+            plan_cache_capacity: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+
+    let (first, fp0) = handle.predict_sample(&ds.samples[0]).expect("predict");
+    assert!(!first.is_empty());
+    let (_, fp0_again) = handle.predict_sample(&ds.samples[0]).expect("predict");
+    assert_eq!(fp0, fp0_again);
+    let m = handle.metrics();
+    assert_eq!((m.cache_hits, m.cache_misses), (1, 1));
+
+    // Fingerprint-only requests hit the cached plan.
+    let by_ref = handle.predict_cached(fp0).expect("cached predict");
+    assert_eq!(bits(&first), bits(&by_ref));
+
+    // Unknown fingerprints are a clean error.
+    match handle.predict_cached(0xdead_beef) {
+        Err(ServeError::UnknownPlan(fp)) => assert_eq!(fp, 0xdead_beef),
+        other => panic!("expected UnknownPlan, got {other:?}"),
+    }
+
+    // Capacity 2: planning scenarios 1 and 2 evicts scenario 0 (the LRU).
+    handle.predict_sample(&ds.samples[1]).expect("predict");
+    handle.predict_sample(&ds.samples[2]).expect("predict");
+    match handle.predict_cached(fp0) {
+        Err(ServeError::UnknownPlan(_)) => {}
+        other => panic!("expected eviction of the LRU plan, got {other:?}"),
+    }
+    assert_eq!(handle.metrics().cache_len, 2);
+    service.shutdown();
+}
+
+#[test]
+fn hot_swap_under_load_never_tears_a_batch() {
+    let ds = toy_dataset(2, 19);
+    let model_a = fitted_model(&ds, 1);
+    let model_b = fitted_model(&ds, 2);
+    let plans: Vec<Arc<SamplePlan>> = ds
+        .samples
+        .iter()
+        .map(|s| Arc::new(model_a.plan(s)))
+        .collect();
+    let expected_a: Vec<Vec<u64>> = plans.iter().map(|p| bits(&model_a.predict(p))).collect();
+    let expected_b: Vec<Vec<u64>> = plans.iter().map(|p| bits(&model_b.predict(p))).collect();
+    for (a, b) in expected_a.iter().zip(&expected_b) {
+        assert_ne!(a, b, "differently seeded models must disagree");
+    }
+
+    let service = Service::start(
+        model_a,
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            flush_deadline: Duration::from_millis(2),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    assert_eq!(handle.model_version(), 1);
+
+    const REQUESTS: usize = 24;
+    std::thread::scope(|s| {
+        for c in 0..3usize {
+            let handle = handle.clone();
+            let plans = &plans;
+            let (expected_a, expected_b) = (&expected_a, &expected_b);
+            s.spawn(move || {
+                for i in 0..REQUESTS {
+                    let pick = (c + i) % plans.len();
+                    let got = bits(
+                        &handle
+                            .predict_plan(Arc::clone(&plans[pick]))
+                            .expect("predict during swap"),
+                    );
+                    assert!(
+                        got == expected_a[pick] || got == expected_b[pick],
+                        "response matched neither model version (client {c}, request {i})"
+                    );
+                }
+            });
+        }
+        // Swap while the clients are mid-flight.
+        std::thread::sleep(Duration::from_millis(5));
+        let swapper = handle.clone();
+        s.spawn(move || {
+            assert_eq!(swapper.swap_model(model_b), 2);
+        });
+    });
+
+    // After the swap settles, every response comes from model B.
+    let settled = bits(&handle.predict_plan(Arc::clone(&plans[0])).expect("predict"));
+    assert_eq!(settled, expected_b[0]);
+    let m = handle.metrics();
+    assert_eq!(m.model_version, 2);
+    assert_eq!(m.model_swaps, 1);
+    assert_eq!(m.errors, 0);
+    service.shutdown();
+}
+
+#[test]
+fn hot_swap_flushes_stale_plans_and_rejects_incompatible_ones() {
+    let ds = toy_dataset(1, 37);
+    let model_small = fitted_model(&ds, 1);
+    let mut model_wide = ExtendedRouteNet::new(ModelConfig {
+        state_dim: 16,
+        mp_iterations: 2,
+        readout_hidden: 16,
+        seed: 2,
+        ..ModelConfig::default()
+    });
+    model_wide.fit_preprocessing(&ds, 5);
+    let stale_plan = Arc::new(model_small.plan(&ds.samples[0]));
+
+    let service = Service::start(model_small, ServeConfig::default());
+    let handle = service.handle();
+    let (_, fp) = handle.predict_sample(&ds.samples[0]).expect("predict");
+
+    // Swap to a model with a different state width. By-fingerprint lookups
+    // must miss (the cache was flushed), not serve v1 features to v2.
+    handle.swap_model(model_wide);
+    match handle.predict_cached(fp) {
+        Err(ServeError::UnknownPlan(_)) => {}
+        other => panic!("expected flushed cache, got {other:?}"),
+    }
+
+    // A stale pre-swap plan handle gets a clean error, and the worker
+    // survives to serve freshly planned requests.
+    match handle.predict_plan(Arc::clone(&stale_plan)) {
+        Err(ServeError::IncompatiblePlan {
+            expected: 16,
+            found: 8,
+        }) => {}
+        other => panic!("expected IncompatiblePlan, got {other:?}"),
+    }
+    let (delays, _) = handle
+        .predict_sample(&ds.samples[0])
+        .expect("service must survive incompatible plans");
+    assert!(!delays.is_empty());
+    let m = handle.metrics();
+    assert!(m.errors >= 1, "incompatible plan must count as an error");
+    service.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_when_queue_is_full() {
+    let ds = toy_dataset(1, 23);
+    let model = fitted_model(&ds, 1);
+    let plan = Arc::new(model.plan(&ds.samples[0]));
+    let service = Service::start(
+        model,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    match handle.predict_plan(Arc::clone(&plan)) {
+        Err(ServeError::QueueFull) => {}
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(handle.metrics().rejected, 1);
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_fails_pending_and_future_requests_cleanly() {
+    let ds = toy_dataset(1, 29);
+    let model = fitted_model(&ds, 1);
+    let plan = Arc::new(model.plan(&ds.samples[0]));
+    let service = Service::start(model, ServeConfig::default());
+    let handle = service.handle();
+    handle.predict_plan(Arc::clone(&plan)).expect("predict");
+    service.shutdown();
+    match handle.predict_plan(plan) {
+        Err(ServeError::Shutdown) => {}
+        other => panic!("expected Shutdown, got {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_protocol_round_trips_and_matches_direct_predictions() {
+    let ds = toy_dataset(2, 31);
+    let model = fitted_model(&ds, 1);
+    let expected: Vec<Vec<u64>> = ds
+        .samples
+        .iter()
+        .map(|s| bits(&model.predict(&model.plan(s))))
+        .collect();
+
+    let service = Service::start(model, ServeConfig::default());
+    let server = TcpServer::bind(service.handle(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.round_trip(&Request::Ping).expect("ping") {
+        Response::Pong => {}
+        other => panic!("expected Pong, got {other:?}"),
+    }
+
+    // Register, then predict by fingerprint.
+    let fp = client.register(&ds.samples[0]).expect("register");
+    match client
+        .round_trip(&Request::Cached { plan: fp.clone() })
+        .expect("cached")
+    {
+        Response::Delays { delays_s, plan } => {
+            assert_eq!(plan, fp);
+            assert_eq!(bits(&delays_s), expected[0]);
+        }
+        other => panic!("expected Delays, got {other:?}"),
+    }
+
+    // Full-sample predict matches too.
+    match client
+        .round_trip(&Request::Predict {
+            sample: ds.samples[1].clone(),
+        })
+        .expect("predict")
+    {
+        Response::Delays { delays_s, .. } => assert_eq!(bits(&delays_s), expected[1]),
+        other => panic!("expected Delays, got {other:?}"),
+    }
+
+    // Unknown fingerprints and garbage lines keep the connection usable.
+    match client
+        .round_trip(&Request::Cached {
+            plan: "00000000000000ff".into(),
+        })
+        .expect("unknown plan")
+    {
+        Response::Error { message } => assert!(message.contains("Register"), "{message}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    match client.round_trip_line("this is not json").expect("garbage") {
+        Response::Error { message } => assert!(message.contains("bad request"), "{message}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // Metrics reflect the traffic this test generated.
+    match client.round_trip(&Request::Metrics).expect("metrics") {
+        Response::Metrics { snapshot } => {
+            assert!(snapshot.completed >= 2, "{}", snapshot.completed);
+            assert!(snapshot.cache_hits >= 1);
+            assert_eq!(snapshot.model_version, 1);
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+
+    drop(client);
+    server.stop();
+    service.shutdown();
+}

@@ -1,0 +1,85 @@
+//! Serving quickstart: stand up the concurrent inference service, drive it
+//! in-process and over TCP, hot-swap the model, read the metrics.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use rn_serve::loadgen::{demo_scenarios, Client};
+use rn_serve::{Request, Response, ServeConfig, Service, TcpServer};
+use routenet::model::PathPredictor;
+use routenet::{ExtendedRouteNet, ModelConfig};
+
+fn main() {
+    // 1. A model. Real deployments load one trained with `train_extended`
+    //    via `routenet::persist::load_model`; the demo fits preprocessing on
+    //    freshly generated scenarios and serves random weights.
+    let (topology, samples) = demo_scenarios("nsfnet", 3, 60.0, 7).expect("scenarios");
+    let ds = rn_dataset::Dataset { topology, samples };
+    let mut model = ExtendedRouteNet::new(ModelConfig {
+        state_dim: 16,
+        mp_iterations: 4,
+        readout_hidden: 32,
+        ..ModelConfig::default()
+    });
+    model.fit_preprocessing(&ds, 5);
+    let swap_in = {
+        let mut m = ExtendedRouteNet::new(ModelConfig {
+            state_dim: 16,
+            mp_iterations: 4,
+            readout_hidden: 32,
+            seed: 99,
+            ..ModelConfig::default()
+        });
+        m.fit_preprocessing(&ds, 5);
+        m
+    };
+
+    // 2. Start the service: admission queue, dynamic batcher, worker pool.
+    let service = Service::start(model, ServeConfig::default());
+    let handle = service.handle();
+
+    // 3. In-process predictions: plans flow through the shared plan cache,
+    //    requests through the dynamic batcher.
+    let (delays, fingerprint) = handle.predict_sample(&ds.samples[0]).expect("predict");
+    println!(
+        "in-process: {} paths predicted, first delay {:.6}s, fingerprint {fingerprint:#018x}",
+        delays.len(),
+        delays[0]
+    );
+    let again = handle.predict_cached(fingerprint).expect("cached predict");
+    assert_eq!(delays, again, "cache hit returns identical predictions");
+
+    // 4. The same service over TCP (JSONL): register once, query by
+    //    fingerprint from then on.
+    let server = TcpServer::bind(service.handle(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    println!("tcp: listening on {addr}");
+    let mut client = Client::connect(&addr).expect("connect");
+    let plan_ref = client.register(&ds.samples[1]).expect("register");
+    match client
+        .round_trip(&Request::Cached { plan: plan_ref })
+        .expect("cached request")
+    {
+        Response::Delays { delays_s, .. } => {
+            println!("tcp: {} delays, first {:.6}s", delays_s.len(), delays_s[0])
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // 5. Hot-swap the model under load; in-flight batches finish on the old
+    //    version, later requests see the new one.
+    let version = handle.swap_model(swap_in);
+    println!("hot-swapped to model version {version}");
+
+    // 6. Service metrics: throughput, latency percentiles, batch occupancy,
+    //    cache hit rate.
+    let m = handle.metrics();
+    println!(
+        "metrics: {} completed, p50 {:.2}ms, occupancy {:.2}, cache hit rate {:.2}",
+        m.completed, m.latency_p50_ms, m.mean_batch_occupancy, m.cache_hit_rate
+    );
+
+    server.stop();
+    service.shutdown();
+}
