@@ -29,7 +29,9 @@
 //! primitive ops remain — tests use them as the numerical reference.
 
 use crate::activations as act;
-use rn_tensor::Matrix;
+use rayon::WorkerPool;
+use rn_tensor::{kernels, Matrix};
+use std::sync::{Arc, Mutex};
 
 /// Handle to a node on the tape. Cheap to copy; only valid for the [`Graph`]
 /// that produced it.
@@ -81,6 +83,144 @@ struct GruSaved {
     mask: Option<Matrix>,
 }
 
+/// Borrowed shard layout handed to the sharded fused ops at record time.
+///
+/// A megabatch packs `B` samples block-diagonally; its plan precompiles, per
+/// fused op, where each sample's slice of the work lives. All three arrays
+/// have `B + 1` ascending entries:
+///
+/// - `active`: offsets into the op's active row/index list (`rows`, `ids`);
+///   shard `s` owns entries `active[s]..active[s+1]`.
+/// - `dense`: row bounds of the dense per-path state the op reads/writes.
+/// - `entity`: row bounds of the entity space gathered from / scattered into.
+///
+/// Because the megabatch is block-diagonal, shard `s`'s active entries only
+/// reference dense rows in `dense[s]..dense[s+1]` and entity rows in
+/// `entity[s]..entity[s+1]` — which is what makes every shard's reads and
+/// writes disjoint, and therefore parallelizable without changing a single
+/// bit of the result.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSplit<'a> {
+    /// Offsets into the op's active list (len `B + 1`).
+    pub active: &'a [usize],
+    /// Dense (path-state) row bounds (len `B + 1`), spanning all rows.
+    pub dense: &'a [usize],
+    /// Entity (gather/scatter target) row bounds (len `B + 1`).
+    pub entity: &'a [usize],
+}
+
+/// Owned copy of a [`ShardSplit`] stored on a tape node (buffers recycled
+/// through the index pool on [`Graph::reset`]).
+#[derive(Debug, Default)]
+struct OpShards {
+    active: Vec<usize>,
+    dense: Vec<usize>,
+    entity: Vec<usize>,
+}
+
+impl OpShards {
+    /// Number of shards.
+    fn len(&self) -> usize {
+        self.active.len().saturating_sub(1)
+    }
+
+    fn capture(idx_pool: &mut Vec<Vec<usize>>, split: &ShardSplit<'_>) -> Self {
+        Self {
+            active: pool_indices(idx_pool, split.active),
+            dense: pool_indices(idx_pool, split.dense),
+            entity: pool_indices(idx_pool, split.entity),
+        }
+    }
+
+    fn recycle(self, idx_pool: &mut Vec<Vec<usize>>) {
+        idx_pool.push(self.active);
+        idx_pool.push(self.dense);
+        idx_pool.push(self.entity);
+    }
+}
+
+/// Validate a shard split against the op's active-list length and the row
+/// counts of the spaces it partitions (`None` skips that check).
+fn validate_split(
+    split: &ShardSplit<'_>,
+    active_len: usize,
+    dense_rows: Option<usize>,
+    entity_rows: Option<usize>,
+) {
+    let check = |bounds: &[usize], total: usize, what: &str| {
+        assert!(
+            bounds.first() == Some(&0) && bounds.last() == Some(&total),
+            "shard split: {what} bounds must span 0..{total}, got {bounds:?}"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "shard split: {what} bounds must be ascending"
+        );
+    };
+    check(split.active, active_len, "active");
+    if let Some(n) = dense_rows {
+        check(split.dense, n, "dense");
+    }
+    if let Some(n) = entity_rows {
+        check(split.entity, n, "entity");
+    }
+    assert_eq!(
+        split.active.len(),
+        split.dense.len(),
+        "shard split: bounds arrays must agree on shard count"
+    );
+    assert_eq!(
+        split.active.len(),
+        split.entity.len(),
+        "shard split: bounds arrays must agree on shard count"
+    );
+}
+
+/// Minimum per-op element-traffic estimate before fanning out to the
+/// worker pool: below this, dispatch latency beats the parallel win (late
+/// sequence positions have a handful of active rows). Inline vs pooled
+/// execution is bitwise identical, so this is purely a scheduling
+/// heuristic.
+const PAR_MIN_ELEMS: usize = 4096;
+
+/// The pool, if the estimated work is heavy enough to be worth a dispatch.
+fn pool_if_worth(
+    pool: &Option<Arc<WorkerPool>>,
+    threshold: usize,
+    work_elems: usize,
+) -> Option<&WorkerPool> {
+    pool.as_deref().filter(|_| work_elems >= threshold)
+}
+
+/// Run `f` over every task, inline or fanned out on the worker pool.
+///
+/// Workers pick tasks round-robin by index; since every task's result is a
+/// pure function of its inputs (disjoint writes, shard-local scratch), the
+/// produced bits do not depend on the worker count — including zero workers
+/// (the inline path). `f` must not panic-degrade shared state; a panicking
+/// task propagates out of the pool.
+fn run_shard_tasks<T: Send>(pool: Option<&WorkerPool>, tasks: &mut [T], f: impl Fn(&mut T) + Sync) {
+    match pool {
+        Some(pool) if tasks.len() > 1 => {
+            let workers = pool.workers();
+            let slots: Vec<Mutex<&mut T>> = tasks.iter_mut().map(Mutex::new).collect();
+            pool.run(&|w| {
+                for (s, slot) in slots.iter().enumerate() {
+                    if s % workers == w {
+                        let mut guard = slot.lock().expect("shard task poisoned");
+                        f(&mut **guard);
+                    }
+                }
+            });
+        }
+        _ => {
+            for t in tasks.iter_mut() {
+                f(t);
+            }
+        }
+    }
+}
+
 /// Recorded operation: the inputs and any auxiliary data the adjoint needs.
 #[derive(Debug)]
 enum Op {
@@ -125,6 +265,9 @@ enum Op {
     GatherRows {
         x: Var,
         indices: Vec<usize>,
+        /// Megabatch shard layout (`active` splits `indices`; `entity`
+        /// bounds the rows of `x` the adjoint scatters into).
+        shards: Option<Box<OpShards>>,
     },
     SegmentSum {
         x: Var,
@@ -168,6 +311,11 @@ enum Op {
         x: Var,
         rows: Vec<usize>,
         saved: Box<GruSaved>,
+        /// Megabatch shard layout (`active` splits `rows`; `dense` bounds
+        /// the rows of `h`). When present, the adjoint accumulates the GRU
+        /// parameter gradients as per-shard partials merged in shard order —
+        /// a canonical order that does not depend on how many workers run.
+        shards: Option<Box<OpShards>>,
     },
     /// Row-compacted scatter-add accumulate:
     /// `out = acc; out[segments[k]] += x[rows[k]]`.
@@ -176,6 +324,9 @@ enum Op {
         x: Var,
         rows: Vec<usize>,
         segments: Vec<usize>,
+        /// Megabatch shard layout (`active` splits `rows`/`segments`;
+        /// `dense` bounds the rows of `x`, `entity` the rows of `acc`).
+        shards: Option<Box<OpShards>>,
     },
 }
 
@@ -208,7 +359,21 @@ pub struct Graph {
     /// unavailable. This is the serving hot path's memory-footprint lever:
     /// a megabatch forward stops dragging ~10x its working set through the
     /// cache for gradients nobody will ask for.
+    ///
+    /// Inference mode additionally updates GRU states and scatter-add
+    /// accumulators **in place**: the fused step ops steal the input state's
+    /// buffer instead of copying it, so a megabatch inference stops paying
+    /// an `n x state_dim` copy per sequence position. The consumed input
+    /// `Var`'s value becomes empty — see [`Graph::gru_step_rows`].
     inference_mode: bool,
+    /// Optional gang for intra-megabatch sharding: fused ops recorded with a
+    /// [`ShardSplit`] fan their per-shard work out to these workers. Results
+    /// are bitwise identical with and without the pool, at any worker count.
+    worker_pool: Option<Arc<WorkerPool>>,
+    /// Work-size floor (estimated element traffic) below which sharded ops
+    /// skip the pool and run inline; 0 forces every sharded op through the
+    /// pool. Defaults to [`PAR_MIN_ELEMS`] (set lazily on first use).
+    par_threshold: Option<usize>,
 }
 
 /// Pop a recycled buffer (or allocate) and shape it into a zeroed matrix.
@@ -217,6 +382,22 @@ fn pool_matrix(pool: &mut Vec<Vec<f32>>, rows: usize, cols: usize) -> Matrix {
     let mut buf = pool.pop().unwrap_or_default();
     buf.clear();
     buf.resize(len, 0.0);
+    Matrix::from_vec(rows, cols, buf)
+}
+
+/// Pop a recycled buffer and shape it into a matrix of **arbitrary
+/// contents** — for scratch every element of which is overwritten before it
+/// is read (gathered/copied/matmul-`into` targets). Skipping the zero fill
+/// is a measurable win: the fused hot loop shapes several such buffers per
+/// tape node.
+fn pool_matrix_scratch(pool: &mut Vec<Vec<f32>>, rows: usize, cols: usize) -> Matrix {
+    let len = rows * cols;
+    let mut buf = pool.pop().unwrap_or_default();
+    if buf.len() > len {
+        buf.truncate(len);
+    } else {
+        buf.resize(len, 0.0);
+    }
     Matrix::from_vec(rows, cols, buf)
 }
 
@@ -298,7 +479,7 @@ fn gate_matmuls(
                 "gru_step: merged [W_z|W_r] kernel shape"
             );
             let n = hx.rows();
-            let mut zr = pool_matrix(pool, n, 2 * hidden);
+            let mut zr = pool_matrix_scratch(pool, n, 2 * hidden);
             hx.matmul_into(wzr, &mut zr);
             for i in 0..n {
                 let src = zr.row(i);
@@ -310,6 +491,349 @@ fn gate_matmuls(
         None => {
             hx.matmul_into(w_z, z);
             hx.matmul_into(w_r, r);
+        }
+    }
+}
+
+/// Read-only inputs shared by every shard of one fused row-compacted GRU
+/// step forward.
+struct GruRowsFwdCtx<'a> {
+    /// Old state `h`, `n x hidden` — `None` when the step runs in place (the
+    /// state rows then live in each shard's `out` block already).
+    hv: Option<&'a [f32]>,
+    /// Compacted input `x`, `a x input`.
+    xv: &'a [f32],
+    /// Active row per compacted position.
+    rows: &'a [usize],
+    w_z: &'a Matrix,
+    b_z: &'a [f32],
+    w_r: &'a Matrix,
+    b_r: &'a [f32],
+    w_c: &'a Matrix,
+    b_c: &'a [f32],
+    /// Merged `[W_z|W_r]` kernel, when bound.
+    w_zr: Option<&'a Matrix>,
+    hidden: usize,
+    input: usize,
+}
+
+/// One shard's mutable slices for the fused GRU step forward. `k_*` index
+/// the compacted (active) dimension, `p_*` the dense state rows; all slices
+/// are exactly the shard's disjoint blocks of the shared buffers.
+struct GruRowsFwdTask<'a> {
+    k_lo: usize,
+    k_hi: usize,
+    p_lo: usize,
+    hx: &'a mut [f32],
+    zr: Option<&'a mut [f32]>,
+    z: &'a mut [f32],
+    r: &'a mut [f32],
+    rhx: &'a mut [f32],
+    c: &'a mut [f32],
+    /// Dense state rows `p_lo..p_hi`: on entry either uninitialized (copy
+    /// mode: filled from `ctx.hv` first) or holding the old state rows
+    /// (in-place mode); on exit, the stepped state.
+    out: &'a mut [f32],
+}
+
+/// Advance one shard of a row-compacted GRU step (see
+/// [`Graph::gru_step_rows`]). Every read and write stays inside the shard's
+/// blocks, and each output element is computed with exactly the arithmetic
+/// of the unsharded kernel — which is what makes any shard decomposition,
+/// on any number of threads, bitwise identical.
+fn gru_rows_forward_shard(ctx: &GruRowsFwdCtx<'_>, t: &mut GruRowsFwdTask<'_>) {
+    let (hidden, input) = (ctx.hidden, ctx.input);
+    let width = hidden + input;
+    let a_s = t.k_hi - t.k_lo;
+    // Copy mode: materialize the shard's old state rows first; afterwards
+    // both modes read old state from `out`.
+    if let Some(hv) = ctx.hv {
+        t.out
+            .copy_from_slice(&hv[t.p_lo * hidden..t.p_lo * hidden + t.out.len()]);
+    }
+    // hx = [h | x] over the shard's active rows.
+    for k in 0..a_s {
+        let row = ctx.rows[t.k_lo + k];
+        let h_off = (row - t.p_lo) * hidden;
+        let dst = &mut t.hx[k * width..(k + 1) * width];
+        dst[..hidden].copy_from_slice(&t.out[h_off..h_off + hidden]);
+        dst[hidden..].copy_from_slice(&ctx.xv[(t.k_lo + k) * input..(t.k_lo + k + 1) * input]);
+    }
+    // Gate pre-activations: through the merged kernel when bound (one matmul
+    // over hx, split into z|r — per-element order identical to the split
+    // matmuls), else two matmuls.
+    match (ctx.w_zr, t.zr.as_deref_mut()) {
+        (Some(wzr), Some(zr)) => {
+            zr.fill(0.0);
+            kernels::matmul_acc(t.hx, wzr.as_slice(), a_s, width, 2 * hidden, zr);
+            for k in 0..a_s {
+                let src = &zr[k * 2 * hidden..(k + 1) * 2 * hidden];
+                t.z[k * hidden..(k + 1) * hidden].copy_from_slice(&src[..hidden]);
+                t.r[k * hidden..(k + 1) * hidden].copy_from_slice(&src[hidden..]);
+            }
+        }
+        _ => {
+            t.z.fill(0.0);
+            kernels::matmul_acc(t.hx, ctx.w_z.as_slice(), a_s, width, hidden, t.z);
+            t.r.fill(0.0);
+            kernels::matmul_acc(t.hx, ctx.w_r.as_slice(), a_s, width, hidden, t.r);
+        }
+    }
+    for k in 0..a_s {
+        for (v, &b) in t.z[k * hidden..(k + 1) * hidden].iter_mut().zip(ctx.b_z) {
+            *v = act::sigmoid(*v + b);
+        }
+        for (v, &b) in t.r[k * hidden..(k + 1) * hidden].iter_mut().zip(ctx.b_r) {
+            *v = act::sigmoid(*v + b);
+        }
+    }
+    // rhx = [r ⊙ h | x]; candidate c = tanh(rhx·W_c + b_c).
+    for k in 0..a_s {
+        let row = ctx.rows[t.k_lo + k];
+        let h_off = (row - t.p_lo) * hidden;
+        let dst = &mut t.rhx[k * width..(k + 1) * width];
+        for (j, d) in dst[..hidden].iter_mut().enumerate() {
+            *d = t.r[k * hidden + j] * t.out[h_off + j];
+        }
+        dst[hidden..].copy_from_slice(&ctx.xv[(t.k_lo + k) * input..(t.k_lo + k + 1) * input]);
+    }
+    t.c.fill(0.0);
+    kernels::matmul_acc(t.rhx, ctx.w_c.as_slice(), a_s, width, hidden, t.c);
+    for k in 0..a_s {
+        for (v, &b) in t.c[k * hidden..(k + 1) * hidden].iter_mut().zip(ctx.b_c) {
+            *v = act::tanh(*v + b);
+        }
+    }
+    // h' = (1 − z)⊙h + z⊙c on the active rows; inactive rows pass through.
+    for k in 0..a_s {
+        let row = ctx.rows[t.k_lo + k];
+        let h_off = (row - t.p_lo) * hidden;
+        for j in 0..hidden {
+            let hvj = t.out[h_off + j];
+            let (zj, cj) = (t.z[k * hidden + j], t.c[k * hidden + j]);
+            t.out[h_off + j] = (1.0 - zj) * hvj + zj * cj;
+        }
+    }
+}
+
+/// Read-only inputs shared by every shard of one fused row-compacted GRU
+/// step adjoint.
+struct GruRowsBwdCtx<'a> {
+    rows: &'a [usize],
+    /// Incoming gradient (`n x hidden`).
+    g: &'a [f32],
+    /// Old state value (`n x hidden`).
+    hv: &'a [f32],
+    saved: &'a GruSaved,
+    /// Transposed kernels, computed once per node and shared read-only.
+    w_t_z: &'a Matrix,
+    w_t_r: &'a Matrix,
+    w_t_c: &'a Matrix,
+    hidden: usize,
+    input: usize,
+}
+
+/// Shard-local scratch for the GRU adjoint: intermediates plus the shard's
+/// parameter-gradient **partials** (`pw_*`/`pb_*`, accumulated from zero and
+/// merged into the gradient slots in fixed shard order afterwards).
+struct GruBwdScratch {
+    gm: Matrix,
+    gz: Matrix,
+    gc: Matrix,
+    gr: Matrix,
+    g_rhx: Matrix,
+    g_hx: Matrix,
+    pw_z: Matrix,
+    pb_z: Matrix,
+    pw_r: Matrix,
+    pb_r: Matrix,
+    pw_c: Matrix,
+    pb_c: Matrix,
+}
+
+/// One shard's mutable state for the GRU adjoint.
+struct GruRowsBwdTask<'a> {
+    k_lo: usize,
+    k_hi: usize,
+    p_lo: usize,
+    /// Dense block of the state gradient (rows `p_lo..p_hi`).
+    gh: &'a mut [f32],
+    /// Active block of the compacted input gradient (rows `k_lo..k_hi`).
+    gx: &'a mut [f32],
+    scratch: GruBwdScratch,
+}
+
+/// `acc[0..cols] += column sums of the rows of src` (slice form of
+/// [`add_col_sums`]).
+fn add_col_sums_slice(acc: &mut [f32], src: &[f32], cols: usize) {
+    for row in src.chunks_exact(cols) {
+        for (a, &v) in acc.iter_mut().zip(row) {
+            *a += v;
+        }
+    }
+}
+
+/// The adjoint of one shard of a row-compacted GRU step. Row-disjoint
+/// gradients (`gh`, `gx`) are written with exactly the unsharded kernel's
+/// per-element arithmetic; parameter gradients land in the shard's zeroed
+/// partials. Reads and writes never leave the shard's blocks, so shards run
+/// concurrently and bitwise-reproducibly at any worker count.
+fn gru_rows_backward_shard(ctx: &GruRowsBwdCtx<'_>, t: &mut GruRowsBwdTask<'_>) {
+    let (hidden, input) = (ctx.hidden, ctx.input);
+    let width = hidden + input;
+    let a_s = t.k_hi - t.k_lo;
+    let s = ctx.saved;
+    let sc = &mut t.scratch;
+
+    // Pass-through rows keep the incoming gradient; active rows are replaced
+    // by the GRU adjoint below.
+    t.gh.copy_from_slice(&ctx.g[t.p_lo * hidden..t.p_lo * hidden + t.gh.len()]);
+
+    // Compact incoming gradient over the shard's active rows.
+    for k in 0..a_s {
+        let row = ctx.rows[t.k_lo + k];
+        sc.gm
+            .row_mut(k)
+            .copy_from_slice(&ctx.g[row * hidden..(row + 1) * hidden]);
+    }
+
+    // gz = gm ⊙ (c - h); gc = gm ⊙ z; gh[row] = gm ⊙ (1-z)
+    for k in 0..a_s {
+        let row = ctx.rows[t.k_lo + k];
+        let gm_r = sc.gm.row(k);
+        let zr = s.z.row(t.k_lo + k);
+        let cr = s.c.row(t.k_lo + k);
+        let hr = &ctx.hv[row * hidden..(row + 1) * hidden];
+        {
+            let gz_r = sc.gz.row_mut(k);
+            for j in 0..hidden {
+                gz_r[j] = gm_r[j] * (cr[j] - hr[j]);
+            }
+        }
+        {
+            let gc_r = sc.gc.row_mut(k);
+            for j in 0..hidden {
+                gc_r[j] = gm_r[j] * zr[j];
+            }
+        }
+        {
+            let gh_r = &mut t.gh[(row - t.p_lo) * hidden..(row - t.p_lo + 1) * hidden];
+            for j in 0..hidden {
+                gh_r[j] = gm_r[j] * (1.0 - zr[j]);
+            }
+        }
+    }
+
+    // Candidate branch: gc_pre = gc ⊙ (1 - c²)
+    sc.gc
+        .as_mut_slice()
+        .iter_mut()
+        .zip(&s.c.as_slice()[t.k_lo * hidden..t.k_hi * hidden])
+        .for_each(|(gcv, &cv)| *gcv *= act::tanh_deriv_from_output(cv));
+    // pW_c += rhx_shard^T · gc_pre ; pb_c += colsum(gc_pre)
+    kernels::matmul_tn_acc(
+        &s.rhx.as_slice()[t.k_lo * width..t.k_hi * width],
+        sc.gc.as_slice(),
+        a_s,
+        width,
+        hidden,
+        sc.pw_c.as_mut_slice(),
+    );
+    add_col_sums_slice(sc.pb_c.as_mut_slice(), sc.gc.as_slice(), hidden);
+    // g_rhx = gc_pre · W_c^T
+    sc.g_rhx.as_mut_slice().fill(0.0);
+    kernels::matmul_acc(
+        sc.gc.as_slice(),
+        ctx.w_t_c.as_slice(),
+        a_s,
+        hidden,
+        width,
+        sc.g_rhx.as_mut_slice(),
+    );
+
+    // Split g_rhx: left -> r⊙h branch, right -> x
+    for k in 0..a_s {
+        let row = ctx.rows[t.k_lo + k];
+        let row_slice = sc.g_rhx.row(k);
+        let rr = s.r.row(t.k_lo + k);
+        let hr = &ctx.hv[row * hidden..(row + 1) * hidden];
+        {
+            let gr_r = sc.gr.row_mut(k);
+            for j in 0..hidden {
+                gr_r[j] = row_slice[j] * hr[j];
+            }
+        }
+        {
+            let gh_r = &mut t.gh[(row - t.p_lo) * hidden..(row - t.p_lo + 1) * hidden];
+            for j in 0..hidden {
+                gh_r[j] += row_slice[j] * rr[j];
+            }
+        }
+        t.gx[k * input..(k + 1) * input].copy_from_slice(&row_slice[hidden..]);
+    }
+
+    // Gate pre-activations: σ' from outputs.
+    sc.gz
+        .as_mut_slice()
+        .iter_mut()
+        .zip(&s.z.as_slice()[t.k_lo * hidden..t.k_hi * hidden])
+        .for_each(|(gv, &zv)| *gv *= act::sigmoid_deriv_from_output(zv));
+    sc.gr
+        .as_mut_slice()
+        .iter_mut()
+        .zip(&s.r.as_slice()[t.k_lo * hidden..t.k_hi * hidden])
+        .for_each(|(gv, &rv)| *gv *= act::sigmoid_deriv_from_output(rv));
+
+    let hx_shard = &s.hx.as_slice()[t.k_lo * width..t.k_hi * width];
+    kernels::matmul_tn_acc(
+        hx_shard,
+        sc.gz.as_slice(),
+        a_s,
+        width,
+        hidden,
+        sc.pw_z.as_mut_slice(),
+    );
+    add_col_sums_slice(sc.pb_z.as_mut_slice(), sc.gz.as_slice(), hidden);
+    kernels::matmul_tn_acc(
+        hx_shard,
+        sc.gr.as_slice(),
+        a_s,
+        width,
+        hidden,
+        sc.pw_r.as_mut_slice(),
+    );
+    add_col_sums_slice(sc.pb_r.as_mut_slice(), sc.gr.as_slice(), hidden);
+
+    // g_hx = gz_pre·W_z^T + gr_pre·W_r^T
+    sc.g_hx.as_mut_slice().fill(0.0);
+    kernels::matmul_acc(
+        sc.gz.as_slice(),
+        ctx.w_t_z.as_slice(),
+        a_s,
+        hidden,
+        width,
+        sc.g_hx.as_mut_slice(),
+    );
+    kernels::matmul_acc(
+        sc.gr.as_slice(),
+        ctx.w_t_r.as_slice(),
+        a_s,
+        hidden,
+        width,
+        sc.g_hx.as_mut_slice(),
+    );
+    for k in 0..a_s {
+        let row = ctx.rows[t.k_lo + k];
+        let row_slice = sc.g_hx.row(k);
+        {
+            let gh_r = &mut t.gh[(row - t.p_lo) * hidden..(row - t.p_lo + 1) * hidden];
+            for j in 0..hidden {
+                gh_r[j] += row_slice[j];
+            }
+        }
+        let gx_r = &mut t.gx[k * input..(k + 1) * input];
+        for (gxv, &v) in gx_r.iter_mut().zip(&row_slice[hidden..]) {
+            *gxv += v;
         }
     }
 }
@@ -380,6 +904,34 @@ impl Graph {
         self.inference_mode
     }
 
+    /// Attach (or detach) a worker gang for intra-megabatch sharding. Fused
+    /// ops recorded with a [`ShardSplit`] run their per-shard forward kernels
+    /// on the gang, and [`Graph::backward`] fans per-shard adjoints out to
+    /// it. Pure acceleration: results are bitwise identical with `None`,
+    /// with one worker, or with sixty-four. Survives [`Graph::reset`].
+    pub fn set_worker_pool(&mut self, pool: Option<Arc<WorkerPool>>) {
+        self.worker_pool = pool;
+    }
+
+    /// The attached shard worker gang, if any.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.worker_pool.as_ref()
+    }
+
+    /// Override the work-size floor below which sharded ops run inline
+    /// instead of dispatching to the pool (default: [`PAR_MIN_ELEMS`] —
+    /// late sequence positions with a handful of rows are cheaper inline).
+    /// Scheduling only; bits are identical at any threshold. Survives
+    /// [`Graph::reset`].
+    pub fn set_parallel_threshold(&mut self, elems: usize) {
+        self.par_threshold = Some(elems);
+    }
+
+    /// The effective inline/pool work-size floor.
+    fn par_threshold(&self) -> usize {
+        self.par_threshold.unwrap_or(PAR_MIN_ELEMS)
+    }
+
     /// Clear the tape for reuse, retaining every allocation.
     ///
     /// All `Var` handles from before the reset become invalid. Node values,
@@ -397,7 +949,14 @@ impl Graph {
             }
             match node.op {
                 Op::MaskRows { mask, .. } => pool_recycle(pool, mask),
-                Op::GatherRows { indices, .. } => idx_pool.push(indices),
+                Op::GatherRows {
+                    indices, shards, ..
+                } => {
+                    idx_pool.push(indices);
+                    if let Some(s) = shards {
+                        s.recycle(idx_pool);
+                    }
+                }
                 Op::SegmentSum { segments, .. } => idx_pool.push(segments),
                 Op::GatherMask { mask, indices, .. } => {
                     pool_recycle(pool, mask);
@@ -407,16 +966,32 @@ impl Graph {
                     pool_recycle(pool, mask);
                     idx_pool.push(segments);
                 }
-                Op::SegmentAccRows { rows, segments, .. } => {
+                Op::SegmentAccRows {
+                    rows,
+                    segments,
+                    shards,
+                    ..
+                } => {
                     idx_pool.push(rows);
                     idx_pool.push(segments);
+                    if let Some(s) = shards {
+                        s.recycle(idx_pool);
+                    }
                 }
                 Op::GruStep { saved, .. } => {
                     recycle_gru_saved(pool, *saved);
                 }
-                Op::GruStepRows { rows, saved, .. } => {
+                Op::GruStepRows {
+                    rows,
+                    saved,
+                    shards,
+                    ..
+                } => {
                     idx_pool.push(rows);
                     recycle_gru_saved(pool, *saved);
+                    if let Some(s) = shards {
+                        s.recycle(idx_pool);
+                    }
                 }
                 _ => {}
             }
@@ -512,7 +1087,7 @@ impl Graph {
             return self.push(v, Op::MatMul(a, b));
         }
         let mut pool = std::mem::take(&mut self.pool);
-        let mut out = pool_matrix(&mut pool, self.value(a).rows(), self.value(b).cols());
+        let mut out = pool_matrix_scratch(&mut pool, self.value(a).rows(), self.value(b).cols());
         self.value(a).matmul_into(self.value(b), &mut out);
         self.pool = pool;
         self.push(out, Op::MatMul(a, b))
@@ -625,15 +1200,67 @@ impl Graph {
     /// Gather rows: `out[i] = x[indices[i]]`. Indices may repeat; the adjoint
     /// scatter-adds into the repeated rows. Output comes from the buffer pool.
     pub fn gather_rows(&mut self, x: Var, indices: &[usize]) -> Var {
+        self.gather_rows_sharded(x, indices, None)
+    }
+
+    /// [`Graph::gather_rows`] with a megabatch shard layout: `active` splits
+    /// `indices`, `entity` bounds the rows of `x` (each shard's indices must
+    /// stay inside its entity range — block-diagonality). With a worker pool
+    /// attached, shards gather (and later scatter their adjoint) in
+    /// parallel; the result is bitwise identical either way.
+    pub fn gather_rows_sharded(
+        &mut self,
+        x: Var,
+        indices: &[usize],
+        split: Option<ShardSplit<'_>>,
+    ) -> Var {
         let mut pool = std::mem::take(&mut self.pool);
-        let xv = self.value(x);
-        let mut out = pool_matrix(&mut pool, indices.len(), xv.cols());
-        for (i, &idx) in indices.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(xv.row(idx));
+        let (x_rows, cols) = self.value(x).shape();
+        let shards = split.and_then(|s| {
+            validate_split(&s, indices.len(), None, Some(x_rows));
+            debug_assert!(
+                s.active
+                    .windows(2)
+                    .zip(s.entity.windows(2))
+                    .all(|(ka, ea)| {
+                        indices[ka[0]..ka[1]]
+                            .iter()
+                            .all(|&idx| idx >= ea[0] && idx < ea[1])
+                    }),
+                "gather_rows: shard indices escape their entity range"
+            );
+            (s.active.len() > 2).then(|| Box::new(OpShards::capture(&mut self.idx_pool, &s)))
+        });
+        let mut out = pool_matrix_scratch(&mut pool, indices.len(), cols);
+        if cols > 0 {
+            let x_slice = self.value(x).as_slice();
+            let mut tasks: Vec<(usize, &mut [f32])> = match &shards {
+                Some(s) => out
+                    .row_blocks_mut(&s.active)
+                    .into_iter()
+                    .zip(s.active.iter())
+                    .map(|(block, &k_lo)| (k_lo, block))
+                    .collect(),
+                None => vec![(0, out.as_mut_slice())],
+            };
+            run_shard_tasks(
+                pool_if_worth(
+                    &self.worker_pool,
+                    self.par_threshold(),
+                    indices.len() * cols,
+                ),
+                &mut tasks,
+                |(k_lo, block): &mut (usize, &mut [f32])| {
+                    for (i, dst) in block.chunks_exact_mut(cols).enumerate() {
+                        let idx = indices[*k_lo + i];
+                        dst.copy_from_slice(&x_slice[idx * cols..(idx + 1) * cols]);
+                    }
+                },
+            );
         }
         self.pool = pool;
         let indices = pool_indices(&mut self.idx_pool, indices);
-        self.push(out, Op::GatherRows { x, indices })
+        self.push(out, Op::GatherRows { x, indices, shards })
     }
 
     /// Segment sum: `out[segments[i]] += x[i]` with `num_segments` output rows.
@@ -677,7 +1304,7 @@ impl Graph {
             "gather_mask: indices/mask mismatch"
         );
         let cols = xv.cols();
-        let mut out = pool_matrix(&mut pool, indices.len(), cols);
+        let mut out = pool_matrix_scratch(&mut pool, indices.len(), cols);
         for (i, &idx) in indices.iter().enumerate() {
             let m = mask.get(i, 0);
             let dst = out.row_mut(i);
@@ -686,7 +1313,7 @@ impl Graph {
                 *d = m * s;
             }
         }
-        let mut mask_copy = pool_matrix(&mut pool, mask.rows(), 1);
+        let mut mask_copy = pool_matrix_scratch(&mut pool, mask.rows(), 1);
         mask_copy.as_mut_slice().copy_from_slice(mask.as_slice());
         self.pool = pool;
         let indices = pool_indices(&mut self.idx_pool, indices);
@@ -718,7 +1345,7 @@ impl Graph {
         assert_eq!(mask.rows(), x_v.rows(), "segment_acc: mask/x mismatch");
         assert_eq!(acc_v.cols(), x_v.cols(), "segment_acc: width mismatch");
         let num_segments = acc_v.rows();
-        let mut out = pool_matrix(&mut pool, num_segments, acc_v.cols());
+        let mut out = pool_matrix_scratch(&mut pool, num_segments, acc_v.cols());
         out.as_mut_slice().copy_from_slice(acc_v.as_slice());
         for (i, &s) in segments.iter().enumerate() {
             assert!(
@@ -732,7 +1359,7 @@ impl Graph {
                 *d += m * v;
             }
         }
-        let mut mask_copy = pool_matrix(&mut pool, mask.rows(), 1);
+        let mut mask_copy = pool_matrix_scratch(&mut pool, mask.rows(), 1);
         mask_copy.as_mut_slice().copy_from_slice(mask.as_slice());
         self.pool = pool;
         let segments = pool_indices(&mut self.idx_pool, segments);
@@ -755,6 +1382,9 @@ impl Graph {
     /// `rows` are visited at all. With RouteNet's path-length distribution
     /// most positions are inactive in late steps, so this trims both the
     /// forward scatter and the backward gather to the live set.
+    /// In **inference mode** this op is destructive like
+    /// [`Graph::gru_step_rows`]: it steals `acc`'s buffer and scatter-adds
+    /// in place (the `Var` passed as `acc` must not be read afterwards).
     pub fn segment_acc_rows(
         &mut self,
         acc: Var,
@@ -762,27 +1392,102 @@ impl Graph {
         rows: &[usize],
         segments: &[usize],
     ) -> Var {
+        self.segment_acc_rows_sharded(acc, x, rows, segments, None)
+    }
+
+    /// [`Graph::segment_acc_rows`] with a megabatch shard layout: `active`
+    /// splits `rows`/`segments`, `dense` bounds the rows of `x`, `entity`
+    /// the rows of `acc`; shard `s`'s segments must fall inside its entity
+    /// range and its rows inside its dense range (block-diagonality). With
+    /// a worker pool attached, shards scatter in parallel — each into its
+    /// own disjoint slice of the accumulator — bitwise identically to the
+    /// sequential sweep.
+    pub fn segment_acc_rows_sharded(
+        &mut self,
+        acc: Var,
+        x: Var,
+        rows: &[usize],
+        segments: &[usize],
+        split: Option<ShardSplit<'_>>,
+    ) -> Var {
         let mut pool = std::mem::take(&mut self.pool);
-        let (acc_v, x_v) = (self.value(acc), self.value(x));
+        let (num_segments, cols) = self.value(acc).shape();
+        let x_rows = self.value(x).rows();
         assert_eq!(
             rows.len(),
             segments.len(),
             "segment_acc_rows: rows/segments mismatch"
         );
-        assert_eq!(acc_v.cols(), x_v.cols(), "segment_acc_rows: width mismatch");
-        let num_segments = acc_v.rows();
-        let mut out = pool_matrix(&mut pool, num_segments, acc_v.cols());
-        out.as_mut_slice().copy_from_slice(acc_v.as_slice());
-        for (&row, &s) in rows.iter().zip(segments) {
+        assert_eq!(
+            self.value(x).cols(),
+            cols,
+            "segment_acc_rows: width mismatch"
+        );
+        for &s in segments {
             assert!(
                 s < num_segments,
                 "segment_acc_rows: segment id {s} out of range"
             );
-            let src = x_v.row(row);
-            let dst = out.row_mut(s);
-            for (d, &v) in dst.iter_mut().zip(src) {
-                *d += v;
-            }
+        }
+        let shards = split.and_then(|s| {
+            validate_split(&s, rows.len(), Some(x_rows), Some(num_segments));
+            debug_assert!(
+                s.active
+                    .windows(2)
+                    .zip(s.entity.windows(2))
+                    .all(|(ka, ea)| {
+                        segments[ka[0]..ka[1]]
+                            .iter()
+                            .all(|&seg| seg >= ea[0] && seg < ea[1])
+                    }),
+                "segment_acc_rows: shard segments escape their entity range"
+            );
+            (s.active.len() > 2).then(|| Box::new(OpShards::capture(&mut self.idx_pool, &s)))
+        });
+
+        // In-place inference: steal the accumulator instead of copying it.
+        let inplace = self.inference_mode;
+        let mut out = if inplace {
+            std::mem::replace(&mut self.nodes[acc.0].value, Matrix::zeros(0, 0))
+        } else {
+            pool_matrix_scratch(&mut pool, num_segments, cols)
+        };
+        {
+            let acc_src = (!inplace).then(|| self.value(acc).as_slice());
+            let x_slice = self.value(x).as_slice();
+            let full_active = [0, rows.len()];
+            let full_entity = [0, num_segments];
+            let (active_bounds, entity_bounds): (&[usize], &[usize]) = match &shards {
+                Some(s) => (&s.active, &s.entity),
+                None => (&full_active, &full_entity),
+            };
+            let mut tasks: Vec<(usize, usize, &mut [f32])> = out
+                .row_blocks_mut(entity_bounds)
+                .into_iter()
+                .enumerate()
+                .map(|(s, block)| (s, entity_bounds[s], block))
+                .collect();
+            run_shard_tasks(
+                pool_if_worth(
+                    &self.worker_pool,
+                    self.par_threshold(),
+                    (num_segments + rows.len()) * cols,
+                ),
+                &mut tasks,
+                |(s, e_lo, block): &mut (usize, usize, &mut [f32])| {
+                    if let Some(acc_src) = acc_src {
+                        block.copy_from_slice(&acc_src[*e_lo * cols..*e_lo * cols + block.len()]);
+                    }
+                    for k in active_bounds[*s]..active_bounds[*s + 1] {
+                        let (row, seg) = (rows[k], segments[k]);
+                        let src = &x_slice[row * cols..(row + 1) * cols];
+                        let dst = &mut block[(seg - *e_lo) * cols..(seg - *e_lo + 1) * cols];
+                        for (d, &v) in dst.iter_mut().zip(src) {
+                            *d += v;
+                        }
+                    }
+                },
+            );
         }
         self.pool = pool;
         let rows = pool_indices(&mut self.idx_pool, rows);
@@ -794,6 +1499,7 @@ impl Graph {
                 x,
                 rows,
                 segments,
+                shards,
             },
         )
     }
@@ -806,7 +1512,30 @@ impl Graph {
     /// gate matmuls and transcendentals shrink from all paths to the active
     /// set — the biggest single win on RouteNet's tail steps, where only a
     /// handful of long paths remain active.
+    /// In **inference mode** this op is destructive: it steals `h`'s buffer
+    /// and advances the active rows in place instead of copying all `n`
+    /// rows (the `Var` passed as `h` must not be read afterwards — its value
+    /// becomes empty). Training mode copies, so `h` stays intact for the
+    /// adjoint. Output bits are identical either way.
     pub fn gru_step_rows(&mut self, vars: &GruVars, h: Var, x: Var, rows: &[usize]) -> Var {
+        self.gru_step_rows_sharded(vars, h, x, rows, None)
+    }
+
+    /// [`Graph::gru_step_rows`] with a megabatch shard layout: `active`
+    /// splits `rows`, `dense` bounds the rows of `h`; shard `s`'s active
+    /// rows must fall inside its dense range (block-diagonality). With a
+    /// worker pool attached the shards advance in parallel; the backward
+    /// pass accumulates parameter gradients as per-shard partials merged in
+    /// shard order. Results are bitwise identical at any worker count,
+    /// including none.
+    pub fn gru_step_rows_sharded(
+        &mut self,
+        vars: &GruVars,
+        h: Var,
+        x: Var,
+        rows: &[usize],
+        split: Option<ShardSplit<'_>>,
+    ) -> Var {
         let mut pool = std::mem::take(&mut self.pool);
         let (n, hidden) = self.value(h).shape();
         let a = rows.len();
@@ -816,62 +1545,111 @@ impl Graph {
             a,
             "gru_step_rows: x must be compacted to rows"
         );
-        let hv = self.value(h);
-        let xv = self.value(x);
-        let w_z = self.value(vars.w_z);
-        let b_z = self.value(vars.b_z);
-        let w_r = self.value(vars.w_r);
-        let b_r = self.value(vars.b_r);
-        let w_c = self.value(vars.w_c);
-        let b_c = self.value(vars.b_c);
         assert_eq!(
-            w_z.shape(),
+            self.value(vars.w_z).shape(),
             (hidden + input, hidden),
             "gru_step_rows: W_z shape"
         );
-
-        let w_zr = vars.w_zr.map(|v| self.value(v));
-
-        let mut hx = pool_matrix(&mut pool, a, hidden + input);
-        for (k, &row) in rows.iter().enumerate() {
+        for &row in rows {
             assert!(row < n, "gru_step_rows: row {row} out of range {n}");
-            let dst = hx.row_mut(k);
-            dst[..hidden].copy_from_slice(hv.row(row));
-            dst[hidden..].copy_from_slice(xv.row(k));
         }
+        let shards = split.and_then(|s| {
+            validate_split(&s, a, Some(n), None);
+            debug_assert!(
+                s.active.windows(2).zip(s.dense.windows(2)).all(|(ka, pa)| {
+                    rows[ka[0]..ka[1]]
+                        .iter()
+                        .all(|&row| row >= pa[0] && row < pa[1])
+                }),
+                "gru_step_rows: shard rows escape their dense range"
+            );
+            (s.active.len() > 2).then(|| Box::new(OpShards::capture(&mut self.idx_pool, &s)))
+        });
 
-        let mut z = pool_matrix(&mut pool, a, hidden);
-        let mut r = pool_matrix(&mut pool, a, hidden);
-        gate_matmuls(&mut pool, &hx, w_z, w_r, w_zr, hidden, &mut z, &mut r);
-        z.add_row_broadcast_assign(b_z);
-        z.map_inplace(act::sigmoid);
-        r.add_row_broadcast_assign(b_r);
-        r.map_inplace(act::sigmoid);
+        let needs_zr = vars.w_zr.is_some();
+        let mut hx = pool_matrix_scratch(&mut pool, a, hidden + input);
+        let mut z = pool_matrix_scratch(&mut pool, a, hidden);
+        let mut r = pool_matrix_scratch(&mut pool, a, hidden);
+        let mut rhx = pool_matrix_scratch(&mut pool, a, hidden + input);
+        let mut c = pool_matrix_scratch(&mut pool, a, hidden);
+        let mut zr = needs_zr.then(|| pool_matrix_scratch(&mut pool, a, 2 * hidden));
 
-        let mut rhx = pool_matrix(&mut pool, a, hidden + input);
-        for (k, &row) in rows.iter().enumerate() {
-            let dst = rhx.row_mut(k);
-            for ((d, &rv), &hvv) in dst[..hidden].iter_mut().zip(r.row(k)).zip(hv.row(row)) {
-                *d = rv * hvv;
-            }
-            dst[hidden..].copy_from_slice(xv.row(k));
+        // In-place inference: steal the state buffer instead of copying it.
+        // Training mode takes scratch — every dense block is copied from
+        // `hv` by its shard task before any read.
+        let inplace = self.inference_mode;
+        let mut out = if inplace {
+            let stolen = std::mem::replace(&mut self.nodes[h.0].value, Matrix::zeros(0, 0));
+            debug_assert_eq!(stolen.shape(), (n, hidden));
+            stolen
+        } else {
+            pool_matrix_scratch(&mut pool, n, hidden)
+        };
+
+        {
+            let full_active = [0, a];
+            let full_dense = [0, n];
+            let (active_bounds, dense_bounds): (&[usize], &[usize]) = match &shards {
+                Some(s) => (&s.active, &s.dense),
+                None => (&full_active, &full_dense),
+            };
+            let ctx = GruRowsFwdCtx {
+                hv: (!inplace).then(|| self.value(h).as_slice()),
+                xv: self.value(x).as_slice(),
+                rows,
+                w_z: self.value(vars.w_z),
+                b_z: self.value(vars.b_z).as_slice(),
+                w_r: self.value(vars.w_r),
+                b_r: self.value(vars.b_r).as_slice(),
+                w_c: self.value(vars.w_c),
+                b_c: self.value(vars.b_c).as_slice(),
+                w_zr: vars.w_zr.map(|v| self.value(v)),
+                hidden,
+                input,
+            };
+            let mut hx_it = hx.row_blocks_mut(active_bounds).into_iter();
+            let mut z_it = z.row_blocks_mut(active_bounds).into_iter();
+            let mut r_it = r.row_blocks_mut(active_bounds).into_iter();
+            let mut rhx_it = rhx.row_blocks_mut(active_bounds).into_iter();
+            let mut c_it = c.row_blocks_mut(active_bounds).into_iter();
+            let zr_blocks: Vec<Option<&mut [f32]>> = match zr.as_mut() {
+                Some(m) => m
+                    .row_blocks_mut(active_bounds)
+                    .into_iter()
+                    .map(Some)
+                    .collect(),
+                None => active_bounds.windows(2).map(|_| None).collect(),
+            };
+            let mut zr_it = zr_blocks.into_iter();
+            let mut tasks: Vec<GruRowsFwdTask> = out
+                .row_blocks_mut(dense_bounds)
+                .into_iter()
+                .enumerate()
+                .map(|(s, out_block)| GruRowsFwdTask {
+                    k_lo: active_bounds[s],
+                    k_hi: active_bounds[s + 1],
+                    p_lo: dense_bounds[s],
+                    hx: hx_it.next().expect("hx block"),
+                    zr: zr_it.next().expect("zr block"),
+                    z: z_it.next().expect("z block"),
+                    r: r_it.next().expect("r block"),
+                    rhx: rhx_it.next().expect("rhx block"),
+                    c: c_it.next().expect("c block"),
+                    out: out_block,
+                })
+                .collect();
+            run_shard_tasks(
+                pool_if_worth(
+                    &self.worker_pool,
+                    self.par_threshold(),
+                    a * (hidden + input) * 6,
+                ),
+                &mut tasks,
+                |t| gru_rows_forward_shard(&ctx, t),
+            );
         }
-
-        let mut c = pool_matrix(&mut pool, a, hidden);
-        rhx.matmul_into(w_c, &mut c);
-        c.add_row_broadcast_assign(b_c);
-        c.map_inplace(act::tanh);
-
-        let mut out = pool_matrix(&mut pool, n, hidden);
-        out.as_mut_slice().copy_from_slice(hv.as_slice());
-        for (k, &row) in rows.iter().enumerate() {
-            let (zr, cr) = (z.row(k), c.row(k));
-            let hr_start = row * hidden;
-            let dst = out.row_mut(row);
-            for j in 0..hidden {
-                let hvj = hv.as_slice()[hr_start + j];
-                dst[j] = (1.0 - zr[j]) * hvj + zr[j] * cr[j];
-            }
+        if let Some(zr) = zr {
+            pool_recycle(&mut pool, zr);
         }
 
         let saved = if self.inference_mode {
@@ -901,6 +1679,7 @@ impl Graph {
                 x,
                 rows,
                 saved,
+                shards,
             },
         )
     }
@@ -938,18 +1717,18 @@ impl Graph {
 
         let w_zr = vars.w_zr.map(|v| self.value(v));
 
-        let mut hx = pool_matrix(&mut pool, n, hidden + input);
+        let mut hx = pool_matrix_scratch(&mut pool, n, hidden + input);
         concat_rows_into(&mut hx, hv, xv);
 
-        let mut z = pool_matrix(&mut pool, n, hidden);
-        let mut r = pool_matrix(&mut pool, n, hidden);
+        let mut z = pool_matrix_scratch(&mut pool, n, hidden);
+        let mut r = pool_matrix_scratch(&mut pool, n, hidden);
         gate_matmuls(&mut pool, &hx, w_z, w_r, w_zr, hidden, &mut z, &mut r);
         z.add_row_broadcast_assign(b_z);
         z.map_inplace(act::sigmoid);
         r.add_row_broadcast_assign(b_r);
         r.map_inplace(act::sigmoid);
 
-        let mut rhx = pool_matrix(&mut pool, n, hidden + input);
+        let mut rhx = pool_matrix_scratch(&mut pool, n, hidden + input);
         for i in 0..n {
             let dst = rhx.row_mut(i);
             for ((d, &rv), &hvv) in dst[..hidden].iter_mut().zip(r.row(i)).zip(hv.row(i)) {
@@ -958,29 +1737,43 @@ impl Graph {
             dst[hidden..].copy_from_slice(xv.row(i));
         }
 
-        let mut c = pool_matrix(&mut pool, n, hidden);
+        let mut c = pool_matrix_scratch(&mut pool, n, hidden);
         rhx.matmul_into(w_c, &mut c);
         c.add_row_broadcast_assign(b_c);
         c.map_inplace(act::tanh);
 
-        let mut out = pool_matrix(&mut pool, n, hidden);
+        // In-place inference: steal the state buffer (the pass-through part
+        // of the blend is then already in place); training mode copies so
+        // the adjoint can still read `h`. Old state is read from `out` in
+        // both modes — identical values, identical bits.
+        let mut out = if self.inference_mode {
+            std::mem::replace(&mut self.nodes[h.0].value, Matrix::zeros(0, 0))
+        } else {
+            let mut fresh = pool_matrix_scratch(&mut pool, n, hidden);
+            fresh
+                .as_mut_slice()
+                .copy_from_slice(self.value(h).as_slice());
+            fresh
+        };
         for i in 0..n {
             let dst = out.row_mut(i);
-            let (zr, cr, hr) = (z.row(i), c.row(i), hv.row(i));
+            let (zr, cr) = (z.row(i), c.row(i));
             match mask {
                 // Same operation sequence as the unfused chain:
                 // (1-z)*h + z*c, then blended with the mask.
                 None => {
                     for j in 0..hidden {
-                        dst[j] = (1.0 - zr[j]) * hr[j] + zr[j] * cr[j];
+                        let hvj = dst[j];
+                        dst[j] = (1.0 - zr[j]) * hvj + zr[j] * cr[j];
                     }
                 }
                 Some(m) => {
                     let mv = m.get(i, 0);
                     let keep = 1.0 - mv;
                     for j in 0..hidden {
-                        let blended = (1.0 - zr[j]) * hr[j] + zr[j] * cr[j];
-                        dst[j] = keep * hr[j] + mv * blended;
+                        let hvj = dst[j];
+                        let blended = (1.0 - zr[j]) * hvj + zr[j] * cr[j];
+                        dst[j] = keep * hvj + mv * blended;
                     }
                 }
             }
@@ -995,7 +1788,7 @@ impl Graph {
             Box::new(GruSaved::discarded())
         } else {
             let mask_copy = mask.map(|m| {
-                let mut mc = pool_matrix(&mut pool, n, 1);
+                let mut mc = pool_matrix_scratch(&mut pool, n, 1);
                 mc.as_mut_slice().copy_from_slice(m.as_slice());
                 mc
             });
@@ -1102,12 +1895,12 @@ impl Graph {
                         accumulate(&mut grads, b, gb);
                     } else {
                         let bv = self.value(b);
-                        let mut bt = pool_matrix(&mut pool, bv.cols(), bv.rows());
+                        let mut bt = pool_matrix_scratch(&mut pool, bv.cols(), bv.rows());
                         bv.transpose_into(&mut bt);
-                        let mut ga = pool_matrix(&mut pool, g.rows(), bv.rows());
+                        let mut ga = pool_matrix_scratch(&mut pool, g.rows(), bv.rows());
                         g.matmul_into(&bt, &mut ga);
                         pool_recycle(&mut pool, bt);
-                        let mut gb = pool_matrix(&mut pool, self.value(a).cols(), g.cols());
+                        let mut gb = pool_matrix_scratch(&mut pool, self.value(a).cols(), g.cols());
                         self.value(a).matmul_tn_into(&g, &mut gb);
                         accumulate_pooled(&mut grads, &mut pool, a, ga);
                         accumulate_pooled(&mut grads, &mut pool, b, gb);
@@ -1175,10 +1968,50 @@ impl Graph {
                     }
                     accumulate_pooled(&mut grads, &mut pool, x, gx);
                 }
-                Op::GatherRows { x, indices } => {
-                    // Adjoint of gather = scatter-add back to the source rows.
-                    let gx = g.segment_sum(indices, self.value(*x).rows());
-                    accumulate(&mut grads, *x, gx);
+                Op::GatherRows { x, indices, shards } => {
+                    // Adjoint of gather = scatter-add back to the source
+                    // rows. With shards, each one scatters into its own
+                    // disjoint entity block (possibly in parallel); the k
+                    // order within every target row matches the sequential
+                    // sweep, so the bits do too.
+                    let (x_rows, cols) = self.value(*x).shape();
+                    let mut gx = pool_matrix(&mut pool, x_rows, cols);
+                    if cols > 0 {
+                        let g_slice = g.as_slice();
+                        let full_active = [0, indices.len()];
+                        let full_entity = [0, x_rows];
+                        let (active_bounds, entity_bounds): (&[usize], &[usize]) = match shards {
+                            Some(s) => (&s.active, &s.entity),
+                            None => (&full_active, &full_entity),
+                        };
+                        let mut tasks: Vec<(usize, usize, &mut [f32])> = gx
+                            .row_blocks_mut(entity_bounds)
+                            .into_iter()
+                            .enumerate()
+                            .map(|(s, block)| (s, entity_bounds[s], block))
+                            .collect();
+                        run_shard_tasks(
+                            pool_if_worth(
+                                &self.worker_pool,
+                                self.par_threshold(),
+                                indices.len() * cols,
+                            ),
+                            &mut tasks,
+                            |(s, e_lo, block): &mut (usize, usize, &mut [f32])| {
+                                for k in active_bounds[*s]..active_bounds[*s + 1] {
+                                    let idx = indices[k];
+                                    let dst =
+                                        &mut block[(idx - *e_lo) * cols..(idx - *e_lo + 1) * cols];
+                                    for (d, &v) in
+                                        dst.iter_mut().zip(&g_slice[k * cols..(k + 1) * cols])
+                                    {
+                                        *d += v;
+                                    }
+                                }
+                            },
+                        );
+                    }
+                    accumulate_pooled(&mut grads, &mut pool, *x, gx);
                 }
                 Op::SegmentSum { x, segments } => {
                     // Adjoint of scatter-add = gather from the output rows.
@@ -1250,7 +2083,7 @@ impl Graph {
                     // Mask the incoming gradient; the pass-through part goes
                     // straight to h.
                     let mut gh = pool_matrix(&mut pool, n_rows, hidden);
-                    let mut gm = pool_matrix(&mut pool, n_rows, hidden);
+                    let mut gm = pool_matrix_scratch(&mut pool, n_rows, hidden);
                     match &s.mask {
                         None => gm.as_mut_slice().copy_from_slice(g.as_slice()),
                         Some(m) => {
@@ -1271,8 +2104,8 @@ impl Graph {
                     }
 
                     // gz = gm ⊙ (c - h); gc = gm ⊙ z; gh += gm ⊙ (1-z)
-                    let mut gz = pool_matrix(&mut pool, n_rows, hidden);
-                    let mut gc = pool_matrix(&mut pool, n_rows, hidden);
+                    let mut gz = pool_matrix_scratch(&mut pool, n_rows, hidden);
+                    let mut gc = pool_matrix_scratch(&mut pool, n_rows, hidden);
                     for i in 0..n_rows {
                         let gm_r = gm.row(i);
                         let zr = s.z.row(i);
@@ -1315,12 +2148,12 @@ impl Graph {
                         add_col_sums(slot, &gc_pre);
                     }
                     // g_rhx = gc_pre · W_c^T
-                    let mut g_rhx = pool_matrix(&mut pool, n_rows, hidden + input);
+                    let mut g_rhx = pool_matrix_scratch(&mut pool, n_rows, hidden + input);
                     {
                         // Pooled transpose: matmul_nt_* would re-transpose the
                         // weight (allocating) on every step's adjoint.
                         let w_c = self.value(vars.w_c);
-                        let mut w_t = pool_matrix(&mut pool, w_c.cols(), w_c.rows());
+                        let mut w_t = pool_matrix_scratch(&mut pool, w_c.cols(), w_c.rows());
                         w_c.transpose_into(&mut w_t);
                         gc_pre.matmul_into(&w_t, &mut g_rhx);
                         pool_recycle(&mut pool, w_t);
@@ -1328,8 +2161,8 @@ impl Graph {
                     pool_recycle(&mut pool, gc_pre);
 
                     // Split g_rhx: left -> r⊙h branch, right -> x
-                    let mut gx_acc = pool_matrix(&mut pool, n_rows, input);
-                    let mut gr = pool_matrix(&mut pool, n_rows, hidden);
+                    let mut gx_acc = pool_matrix_scratch(&mut pool, n_rows, input);
+                    let mut gr = pool_matrix_scratch(&mut pool, n_rows, hidden);
                     for i in 0..n_rows {
                         let row = g_rhx.row(i);
                         let (rr, hr) = (s.r.row(i), hv.row(i));
@@ -1377,10 +2210,10 @@ impl Graph {
                     }
 
                     // g_hx = gz_pre·W_z^T + gr_pre·W_r^T
-                    let mut g_hx = pool_matrix(&mut pool, n_rows, hidden + input);
+                    let mut g_hx = pool_matrix_scratch(&mut pool, n_rows, hidden + input);
                     {
                         let w_z = self.value(vars.w_z);
-                        let mut w_t = pool_matrix(&mut pool, w_z.cols(), w_z.rows());
+                        let mut w_t = pool_matrix_scratch(&mut pool, w_z.cols(), w_z.rows());
                         w_z.transpose_into(&mut w_t);
                         gz_pre.matmul_into(&w_t, &mut g_hx);
                         self.value(vars.w_r).transpose_into(&mut w_t);
@@ -1411,16 +2244,47 @@ impl Graph {
                     x,
                     rows,
                     segments,
+                    shards,
                 } => {
                     // out = acc + scatter(x[rows]): g_acc += g,
-                    // g_x[rows[k]] += g[segments[k]].
+                    // g_x[rows[k]] += g[segments[k]]. Sharded: each shard
+                    // writes its own dense block of g_x.
                     let (x_rows, cols) = self.value(*x).shape();
                     let mut gx = pool_matrix(&mut pool, x_rows, cols);
-                    for (&row, &s) in rows.iter().zip(segments) {
-                        let dst = gx.row_mut(row);
-                        for (d, &v) in dst.iter_mut().zip(g.row(s)) {
-                            *d += v;
-                        }
+                    if cols > 0 {
+                        let g_slice = g.as_slice();
+                        let full_active = [0, rows.len()];
+                        let full_dense = [0, x_rows];
+                        let (active_bounds, dense_bounds): (&[usize], &[usize]) = match shards {
+                            Some(s) => (&s.active, &s.dense),
+                            None => (&full_active, &full_dense),
+                        };
+                        let mut tasks: Vec<(usize, usize, &mut [f32])> = gx
+                            .row_blocks_mut(dense_bounds)
+                            .into_iter()
+                            .enumerate()
+                            .map(|(s, block)| (s, dense_bounds[s], block))
+                            .collect();
+                        run_shard_tasks(
+                            pool_if_worth(
+                                &self.worker_pool,
+                                self.par_threshold(),
+                                rows.len() * cols,
+                            ),
+                            &mut tasks,
+                            |(s, p_lo, block): &mut (usize, usize, &mut [f32])| {
+                                for k in active_bounds[*s]..active_bounds[*s + 1] {
+                                    let (row, seg) = (rows[k], segments[k]);
+                                    let dst =
+                                        &mut block[(row - *p_lo) * cols..(row - *p_lo + 1) * cols];
+                                    for (d, &v) in
+                                        dst.iter_mut().zip(&g_slice[seg * cols..(seg + 1) * cols])
+                                    {
+                                        *d += v;
+                                    }
+                                }
+                            },
+                        );
                     }
                     accumulate_pooled(&mut grads, &mut pool, *x, gx);
                     accumulate(&mut grads, *acc, g.clone());
@@ -1431,6 +2295,7 @@ impl Graph {
                     x,
                     rows,
                     saved,
+                    shards,
                 } => {
                     let (vars, h, x) = (*vars, *h, *x);
                     let s: &GruSaved = saved;
@@ -1439,20 +2304,143 @@ impl Graph {
                     let input = self.value(x).cols();
                     let a = rows.len();
 
+                    if let Some(shards) = shards {
+                        // Sharded canonical adjoint: row-disjoint gradients
+                        // are written in place by each shard; parameter
+                        // gradients are accumulated as per-shard partials
+                        // and merged in shard order below. The result is a
+                        // pure function of the shard layout — independent
+                        // of the worker count (or the pool's absence).
+                        let width = hidden + input;
+                        let num_shards = shards.len();
+                        let mut w_t_z = pool_matrix_scratch(&mut pool, hidden, width);
+                        self.value(vars.w_z).transpose_into(&mut w_t_z);
+                        let mut w_t_r = pool_matrix_scratch(&mut pool, hidden, width);
+                        self.value(vars.w_r).transpose_into(&mut w_t_r);
+                        let mut w_t_c = pool_matrix_scratch(&mut pool, hidden, width);
+                        self.value(vars.w_c).transpose_into(&mut w_t_c);
+
+                        let mut gh = pool_matrix_scratch(&mut pool, hv.rows(), hidden);
+                        let mut gx_acc = pool_matrix_scratch(&mut pool, a, input);
+                        let ctx = GruRowsBwdCtx {
+                            rows,
+                            g: g.as_slice(),
+                            hv: hv.as_slice(),
+                            saved: s,
+                            w_t_z: &w_t_z,
+                            w_t_r: &w_t_r,
+                            w_t_c: &w_t_c,
+                            hidden,
+                            input,
+                        };
+                        let make_scratch = |pool: &mut Vec<Vec<f32>>, a_s: usize| GruBwdScratch {
+                            gm: pool_matrix_scratch(pool, a_s, hidden),
+                            gz: pool_matrix_scratch(pool, a_s, hidden),
+                            gc: pool_matrix_scratch(pool, a_s, hidden),
+                            gr: pool_matrix_scratch(pool, a_s, hidden),
+                            g_rhx: pool_matrix_scratch(pool, a_s, width),
+                            g_hx: pool_matrix_scratch(pool, a_s, width),
+                            pw_z: pool_matrix(pool, width, hidden),
+                            pb_z: pool_matrix(pool, 1, hidden),
+                            pw_r: pool_matrix(pool, width, hidden),
+                            pb_r: pool_matrix(pool, 1, hidden),
+                            pw_c: pool_matrix(pool, width, hidden),
+                            pb_c: pool_matrix(pool, 1, hidden),
+                        };
+                        let merge_and_recycle =
+                            |grads: &mut Vec<Option<Matrix>>,
+                             pool: &mut Vec<Vec<f32>>,
+                             sc: GruBwdScratch| {
+                                for (var, partial, rows_, cols_) in [
+                                    (vars.w_z, &sc.pw_z, width, hidden),
+                                    (vars.b_z, &sc.pb_z, 1, hidden),
+                                    (vars.w_r, &sc.pw_r, width, hidden),
+                                    (vars.b_r, &sc.pb_r, 1, hidden),
+                                    (vars.w_c, &sc.pw_c, width, hidden),
+                                    (vars.b_c, &sc.pb_c, 1, hidden),
+                                ] {
+                                    grad_slot(grads, var, rows_, cols_, pool).add_assign(partial);
+                                }
+                                for m in [
+                                    sc.gm, sc.gz, sc.gc, sc.gr, sc.g_rhx, sc.g_hx, sc.pw_z,
+                                    sc.pb_z, sc.pw_r, sc.pb_r, sc.pw_c, sc.pb_c,
+                                ] {
+                                    pool_recycle(pool, m);
+                                }
+                            };
+                        let worker_pool =
+                            pool_if_worth(&self.worker_pool, self.par_threshold(), a * width * 6);
+                        let mut gh_it = gh.row_blocks_mut(&shards.dense).into_iter();
+                        let mut gx_it = gx_acc.row_blocks_mut(&shards.active).into_iter();
+                        if worker_pool.is_some() {
+                            // Parallel: every shard gets its own scratch up
+                            // front; the ordered reduction below merges the
+                            // partials in shard order once all are done.
+                            let mut tasks: Vec<GruRowsBwdTask> = (0..num_shards)
+                                .map(|si| {
+                                    let a_s = shards.active[si + 1] - shards.active[si];
+                                    GruRowsBwdTask {
+                                        k_lo: shards.active[si],
+                                        k_hi: shards.active[si + 1],
+                                        p_lo: shards.dense[si],
+                                        gh: gh_it.next().expect("gh block"),
+                                        gx: gx_it.next().expect("gx block"),
+                                        scratch: make_scratch(&mut pool, a_s),
+                                    }
+                                })
+                                .collect();
+                            run_shard_tasks(worker_pool, &mut tasks, |t| {
+                                gru_rows_backward_shard(&ctx, t)
+                            });
+                            for t in tasks {
+                                merge_and_recycle(&mut grads, &mut pool, t.scratch);
+                            }
+                        } else {
+                            // Sequential canonical path: one scratch set
+                            // cycles through the pool (LIFO keeps it
+                            // cache-hot), each shard's partials merged the
+                            // moment they exist. Same partial contents, same
+                            // merge order — bitwise identical to the
+                            // parallel branch.
+                            for si in 0..num_shards {
+                                let a_s = shards.active[si + 1] - shards.active[si];
+                                let mut task = GruRowsBwdTask {
+                                    k_lo: shards.active[si],
+                                    k_hi: shards.active[si + 1],
+                                    p_lo: shards.dense[si],
+                                    gh: gh_it.next().expect("gh block"),
+                                    gx: gx_it.next().expect("gx block"),
+                                    scratch: make_scratch(&mut pool, a_s),
+                                };
+                                gru_rows_backward_shard(&ctx, &mut task);
+                                merge_and_recycle(&mut grads, &mut pool, task.scratch);
+                            }
+                        }
+                        drop(gh_it);
+                        drop(gx_it);
+                        pool_recycle(&mut pool, w_t_z);
+                        pool_recycle(&mut pool, w_t_r);
+                        pool_recycle(&mut pool, w_t_c);
+                        accumulate_pooled(&mut grads, &mut pool, h, gh);
+                        accumulate_pooled(&mut grads, &mut pool, x, gx_acc);
+                        grads[id] = Some(g);
+                        continue;
+                    }
+
                     // Pass-through rows keep the incoming gradient; active
                     // rows are replaced by the GRU adjoint below.
-                    let mut gh = pool_matrix(&mut pool, hv.rows(), hidden);
+                    let mut gh = pool_matrix_scratch(&mut pool, hv.rows(), hidden);
                     gh.as_mut_slice().copy_from_slice(g.as_slice());
 
                     // Compact incoming gradient over the active rows.
-                    let mut gm = pool_matrix(&mut pool, a, hidden);
+                    let mut gm = pool_matrix_scratch(&mut pool, a, hidden);
                     for (k, &row) in rows.iter().enumerate() {
                         gm.row_mut(k).copy_from_slice(g.row(row));
                     }
 
                     // gz = gm ⊙ (c - h); gc = gm ⊙ z; gh[row] = gm ⊙ (1-z)
-                    let mut gz = pool_matrix(&mut pool, a, hidden);
-                    let mut gc = pool_matrix(&mut pool, a, hidden);
+                    let mut gz = pool_matrix_scratch(&mut pool, a, hidden);
+                    let mut gc = pool_matrix_scratch(&mut pool, a, hidden);
                     for (k, &row) in rows.iter().enumerate() {
                         let gm_r = gm.row(k);
                         let zr = s.z.row(k);
@@ -1493,12 +2481,12 @@ impl Graph {
                         let slot = grad_slot(&mut grads, vars.b_c, 1, hidden, &mut pool);
                         add_col_sums(slot, &gc_pre);
                     }
-                    let mut g_rhx = pool_matrix(&mut pool, a, hidden + input);
+                    let mut g_rhx = pool_matrix_scratch(&mut pool, a, hidden + input);
                     {
                         // Pooled transpose: matmul_nt_* would re-transpose the
                         // weight (allocating) on every step's adjoint.
                         let w_c = self.value(vars.w_c);
-                        let mut w_t = pool_matrix(&mut pool, w_c.cols(), w_c.rows());
+                        let mut w_t = pool_matrix_scratch(&mut pool, w_c.cols(), w_c.rows());
                         w_c.transpose_into(&mut w_t);
                         gc_pre.matmul_into(&w_t, &mut g_rhx);
                         pool_recycle(&mut pool, w_t);
@@ -1506,8 +2494,8 @@ impl Graph {
                     pool_recycle(&mut pool, gc_pre);
 
                     // Split g_rhx: left -> r⊙h branch, right -> x
-                    let mut gx_acc = pool_matrix(&mut pool, a, input);
-                    let mut gr = pool_matrix(&mut pool, a, hidden);
+                    let mut gx_acc = pool_matrix_scratch(&mut pool, a, input);
+                    let mut gr = pool_matrix_scratch(&mut pool, a, hidden);
                     for (k, &row) in rows.iter().enumerate() {
                         let row_slice = g_rhx.row(k);
                         let (rr, hr) = (s.r.row(k), hv.row(row));
@@ -1559,10 +2547,10 @@ impl Graph {
                     }
 
                     // g_hx = gz_pre·W_z^T + gr_pre·W_r^T
-                    let mut g_hx = pool_matrix(&mut pool, a, hidden + input);
+                    let mut g_hx = pool_matrix_scratch(&mut pool, a, hidden + input);
                     {
                         let w_z = self.value(vars.w_z);
-                        let mut w_t = pool_matrix(&mut pool, w_z.cols(), w_z.rows());
+                        let mut w_t = pool_matrix_scratch(&mut pool, w_z.cols(), w_z.rows());
                         w_z.transpose_into(&mut w_t);
                         gz_pre.matmul_into(&w_t, &mut g_hx);
                         self.value(vars.w_r).transpose_into(&mut w_t);
@@ -2191,6 +3179,164 @@ mod tests {
             infer_pooled >= 5,
             "expected recycled scratch, got {infer_pooled}"
         );
+    }
+
+    /// A toy 2-sample block-diagonal layout: paths 0..2 / 2..5, entities
+    /// 0..3 / 3..6, one padded path (row 3) inactive.
+    const SH_ROWS: [usize; 4] = [0, 1, 2, 4];
+    const SH_IDS: [usize; 4] = [1, 0, 4, 5];
+    const SH_ACTIVE: [usize; 3] = [0, 2, 4];
+    const SH_DENSE: [usize; 3] = [0, 2, 5];
+    const SH_ENTITY: [usize; 3] = [0, 3, 6];
+
+    /// Run the full fused chain (gather → gru_step_rows → segment_acc_rows)
+    /// with an optional shard split, returning (out value, loss, grads).
+    fn sharded_case(g: &mut Graph, split: Option<ShardSplit<'_>>) -> (Matrix, f32, Vec<Matrix>) {
+        let vars = toy_gru(g, 4, 3, 11);
+        let states = g.param(det_matrix(6, 3, 50));
+        let h = g.param(det_matrix(5, 4, 51));
+        let x = g.gather_rows_sharded(states, &SH_IDS, split);
+        let h2 = g.gru_step_rows_sharded(&vars, h, x, &SH_ROWS, split);
+        let acc0 = g.constant(Matrix::zeros(6, 4));
+        let out = g.segment_acc_rows_sharded(acc0, h2, &SH_ROWS, &SH_IDS, split);
+        let sq = g.square(out);
+        let loss = g.mean(sq);
+        g.backward(loss);
+        let grads = [
+            vars.w_z, vars.b_z, vars.w_r, vars.b_r, vars.w_c, vars.b_c, h, states,
+        ]
+        .iter()
+        .map(|&v| g.grad(v).unwrap().clone())
+        .collect();
+        (g.value(out).clone(), g.value(loss).get(0, 0), grads)
+    }
+
+    fn toy_split() -> ShardSplit<'static> {
+        ShardSplit {
+            active: &SH_ACTIVE,
+            dense: &SH_DENSE,
+            entity: &SH_ENTITY,
+        }
+    }
+
+    #[test]
+    fn sharded_forward_is_bitwise_identical_to_unsharded() {
+        let mut ga = Graph::new();
+        let (out_plain, _, grads_plain) = sharded_case(&mut ga, None);
+        let mut gb = Graph::new();
+        let (out_sharded, _, grads_sharded) = sharded_case(&mut gb, Some(toy_split()));
+        assert!(
+            out_plain.approx_eq(&out_sharded, 0.0),
+            "sharding must not change forward bits"
+        );
+        // Gradients agree numerically; the parameter grads may differ in the
+        // last bit (per-shard partial merge is the sharded canonical order).
+        for (a, b) in grads_plain.iter().zip(&grads_sharded) {
+            assert!(a.approx_eq(b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn sharded_backward_is_bitwise_invariant_across_worker_counts() {
+        let mut base = Graph::new();
+        let (out_seq, loss_seq, grads_seq) = sharded_case(&mut base, Some(toy_split()));
+        for workers in [1, 2, 3, 8] {
+            let mut g = Graph::new();
+            g.set_worker_pool(Some(Arc::new(WorkerPool::new(workers))));
+            // Force even these toy-sized ops through the pool.
+            g.set_parallel_threshold(0);
+            let (out_par, loss_par, grads_par) = sharded_case(&mut g, Some(toy_split()));
+            assert!(
+                out_seq.approx_eq(&out_par, 0.0),
+                "forward diverged at {workers} workers"
+            );
+            assert_eq!(loss_seq, loss_par, "loss diverged at {workers} workers");
+            for (i, (a, b)) in grads_seq.iter().zip(&grads_par).enumerate() {
+                assert!(
+                    a.approx_eq(b, 0.0),
+                    "grad {i} diverged at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_ops_handle_empty_shards() {
+        // Second sample contributes no active rows at this position.
+        let rows = [0usize, 1];
+        let ids = [1usize, 0];
+        let split = ShardSplit {
+            active: &[0, 2, 2],
+            dense: &SH_DENSE,
+            entity: &SH_ENTITY,
+        };
+        let run = |split: Option<ShardSplit<'_>>, pool: Option<Arc<WorkerPool>>| {
+            let mut g = Graph::new();
+            g.set_worker_pool(pool);
+            g.set_parallel_threshold(0);
+            let vars = toy_gru(&mut g, 4, 3, 13);
+            let states = g.param(det_matrix(6, 3, 60));
+            let h = g.param(det_matrix(5, 4, 61));
+            let x = g.gather_rows_sharded(states, &ids, split);
+            let h2 = g.gru_step_rows_sharded(&vars, h, x, &rows, split);
+            let acc0 = g.constant(Matrix::zeros(6, 4));
+            let out = g.segment_acc_rows_sharded(acc0, h2, &rows, &ids, split);
+            let sq = g.square(out);
+            let loss = g.mean(sq);
+            g.backward(loss);
+            (g.value(out).clone(), g.grad(h).unwrap().clone())
+        };
+        let (out_seq, gh_seq) = run(Some(split), None);
+        let (out_par, gh_par) = run(Some(split), Some(Arc::new(WorkerPool::new(4))));
+        assert!(out_seq.approx_eq(&out_par, 0.0));
+        assert!(gh_seq.approx_eq(&gh_par, 0.0));
+        let (out_plain, _) = run(None, None);
+        assert!(out_seq.approx_eq(&out_plain, 0.0));
+    }
+
+    #[test]
+    fn single_shard_splits_record_no_shards() {
+        // A 1-sample "megabatch" must stay on the legacy backward path, so
+        // its gradients remain bitwise identical to plain single plans.
+        let split = ShardSplit {
+            active: &[0, 4],
+            dense: &[0, 5],
+            entity: &[0, 6],
+        };
+        let mut ga = Graph::new();
+        let (_, loss_a, grads_a) = sharded_case(&mut ga, Some(split));
+        let mut gb = Graph::new();
+        let (_, loss_b, grads_b) = sharded_case(&mut gb, None);
+        assert_eq!(loss_a, loss_b);
+        for (a, b) in grads_a.iter().zip(&grads_b) {
+            assert!(a.approx_eq(b, 0.0), "1-shard split must be a no-op");
+        }
+    }
+
+    #[test]
+    fn inference_steps_consume_their_input_state_in_place() {
+        let mut g = Graph::new();
+        g.set_inference_mode(true);
+        let vars = toy_gru(&mut g, 4, 4, 3);
+        let h = g.constant(det_matrix(5, 4, 30));
+        let x = g.constant(det_matrix(5, 4, 31));
+        let h1 = g.gru_step(&vars, h, x, None);
+        // The input state's buffer was stolen: h is now empty, h1 owns it.
+        assert_eq!(g.value(h).shape(), (0, 0), "h consumed by in-place step");
+        assert_eq!(g.value(h1).shape(), (5, 4));
+        let acc = g.constant(Matrix::zeros(3, 4));
+        let out = g.segment_acc_rows(acc, h1, &[0, 2], &[1, 2]);
+        assert_eq!(g.value(acc).shape(), (0, 0), "acc consumed in place");
+        assert_eq!(g.value(out).shape(), (3, 4));
+        // Training mode copies: inputs stay readable.
+        let mut t = Graph::new();
+        let vars = toy_gru(&mut t, 4, 4, 3);
+        let h = t.constant(det_matrix(5, 4, 30));
+        let x = t.constant(det_matrix(5, 4, 31));
+        let h1t = t.gru_step(&vars, h, x, None);
+        assert_eq!(t.value(h).shape(), (5, 4), "training mode must not steal");
+        // And the in-place values are bitwise identical to the copying ones.
+        assert!(g.value(h1).approx_eq(t.value(h1t), 0.0));
     }
 
     #[test]

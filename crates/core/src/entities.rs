@@ -88,6 +88,13 @@ pub struct CompiledSteps {
     /// compacted forward gathers/scatter-adds through these, skipping
     /// padded rows entirely.
     pub active_ids_flat: Vec<usize>,
+    /// Megabatch shard bounds into each step's active list, flat with
+    /// stride `num_shards + 1`: step `s`, shard `b` covers active entries
+    /// `shard_bounds[s*(num_shards+1)+b] .. ..+b+1` (offsets relative to
+    /// the step's active slice). Empty when the plan is unsharded.
+    pub shard_bounds: Vec<usize>,
+    /// Number of shards (samples) the plan was packed from; 0 = unsharded.
+    pub num_shards: usize,
 }
 
 impl CompiledSteps {
@@ -102,6 +109,8 @@ impl CompiledSteps {
             active_offsets: Vec::with_capacity(steps.len() + 1),
             active_rows_flat: Vec::new(),
             active_ids_flat: Vec::new(),
+            shard_bounds: Vec::new(),
+            num_shards: 0,
         };
         out.offsets.push(0);
         out.active_offsets.push(0);
@@ -146,6 +155,75 @@ impl CompiledSteps {
     pub fn active_ids(&self, s: usize) -> &[usize] {
         &self.active_ids_flat[self.active_offsets[s]..self.active_offsets[s + 1]]
     }
+
+    /// Precompile per-step shard bounds for a block-diagonal megabatch whose
+    /// per-sample path row bounds are `path_bounds` (`B + 1` ascending
+    /// entries). Each step's active rows are ascending, so every sample's
+    /// slice of the active list is found by binary search; the resulting
+    /// bounds are relative to the step's active slice and feed straight into
+    /// the sharded tape ops.
+    pub fn compute_shard_bounds(&mut self, path_bounds: &[usize]) {
+        let shards = path_bounds.len().saturating_sub(1);
+        self.num_shards = shards;
+        self.shard_bounds.clear();
+        self.shard_bounds.reserve(self.len() * (shards + 1));
+        let mut bounds = std::mem::take(&mut self.shard_bounds);
+        for s in 0..self.len() {
+            let active = self.active_rows(s);
+            debug_assert!(active.windows(2).all(|w| w[0] < w[1]));
+            for &bound in path_bounds {
+                bounds.push(active.partition_point(|&row| row < bound));
+            }
+        }
+        self.shard_bounds = bounds;
+    }
+
+    /// The shard bounds of step `s` (len `num_shards + 1`, offsets relative
+    /// to the step's active slice). Panics when the plan is unsharded.
+    pub fn step_shard_bounds(&self, s: usize) -> &[usize] {
+        let stride = self.num_shards + 1;
+        &self.shard_bounds[s * stride..(s + 1) * stride]
+    }
+}
+
+/// Per-sample row bounds of a block-diagonal megabatch plan — the shard
+/// layout the fused forward/backward passes parallelize over.
+///
+/// All three vectors have `B + 1` ascending entries; sample `b` owns path
+/// rows `path_bounds[b]..path_bounds[b+1]`, link rows
+/// `link_bounds[b]..link_bounds[b+1]` and node rows
+/// `node_bounds[b]..node_bounds[b+1]`. Because the megabatch is
+/// block-diagonal, a shard's gathers and scatters never leave its own
+/// ranges, which is what lets shards run on separate threads with **bitwise
+/// identical** results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanShards {
+    /// Per-sample path row bounds (len `B + 1`).
+    pub path_bounds: Vec<usize>,
+    /// Per-sample directed-link row bounds (len `B + 1`).
+    pub link_bounds: Vec<usize>,
+    /// Per-sample node row bounds (len `B + 1`).
+    pub node_bounds: Vec<usize>,
+}
+
+impl PlanShards {
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.path_bounds.len().saturating_sub(1)
+    }
+
+    /// True when there are no shards.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entity bounds for a step of the given kind.
+    pub fn entity_bounds(&self, kind: EntityKind) -> &[usize] {
+        match kind {
+            EntityKind::Link => &self.link_bounds,
+            EntityKind::Node => &self.node_bounds,
+        }
+    }
 }
 
 /// Precomputed forward-pass inputs for one sample.
@@ -185,6 +263,11 @@ pub struct SamplePlan {
     pub targets_raw: Vec<f64>,
     /// Rows whose labels are reliable enough to train/evaluate on.
     pub reliable_idx: Vec<usize>,
+    /// Megabatch shard layout (`None` for single-sample plans). When set,
+    /// the fused sweep records shard descriptors on its tape nodes, enabling
+    /// the parallel sharded backward and its canonical per-shard gradient
+    /// reduction.
+    pub shards: Option<PlanShards>,
 }
 
 /// Options controlling plan construction.
@@ -361,6 +444,7 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
         targets_norm,
         targets_raw,
         reliable_idx,
+        shards: None,
     }
 }
 
@@ -557,8 +641,26 @@ pub fn try_build_megabatch(parts: &[&SamplePlan]) -> Result<MegabatchPlan, Megab
         path_ranges.push((path_off[b], path_off[b] + p.n_paths));
     }
 
-    let extended_csr = CompiledSteps::compile(&extended_steps);
-    let original_csr = CompiledSteps::compile(&original_steps);
+    let mut extended_csr = CompiledSteps::compile(&extended_steps);
+    let mut original_csr = CompiledSteps::compile(&original_steps);
+    // Shard layout: per-sample row bounds in every entity space, plus the
+    // per-step splits of the CSR active lists. A single-sample "megabatch"
+    // stays unsharded so it runs the exact legacy kernels bit for bit.
+    let shards = (parts.len() > 1).then(|| {
+        let close = |offs: &[usize], total: usize| {
+            let mut bounds = offs.to_vec();
+            bounds.push(total);
+            bounds
+        };
+        let shards = PlanShards {
+            path_bounds: close(&path_off, n_paths),
+            link_bounds: close(&link_off, num_links),
+            node_bounds: close(&node_off, num_nodes),
+        };
+        extended_csr.compute_shard_bounds(&shards.path_bounds);
+        original_csr.compute_shard_bounds(&shards.path_bounds);
+        shards
+    });
     Ok(MegabatchPlan {
         plan: SamplePlan {
             n_paths,
@@ -577,6 +679,7 @@ pub fn try_build_megabatch(parts: &[&SamplePlan]) -> Result<MegabatchPlan, Megab
             targets_norm,
             targets_raw,
             reliable_idx,
+            shards,
         },
         path_ranges,
         sample_mean_weights,
@@ -910,6 +1013,75 @@ mod tests {
                 .sum();
             assert!((sum - 1.0).abs() < 1e-5, "sample {b} weight sum {sum}");
         }
+    }
+
+    #[test]
+    fn megabatch_shard_layout_is_disjoint_complete_and_sample_aligned() {
+        let topo = topologies::toy5();
+        let config = GeneratorConfig {
+            sim: SimConfig {
+                duration_s: 60.0,
+                warmup_s: 10.0,
+                ..SimConfig::default()
+            },
+            ..GeneratorConfig::default()
+        };
+        let ds = generate(&topo, &config, 34, 3);
+        let delays: Vec<f64> = ds
+            .samples
+            .iter()
+            .flat_map(|s| s.targets.iter().map(|t| t.mean_delay_s.max(1e-6)))
+            .collect();
+        let prep = preprocessing(&delays);
+        let cfg = plan_config(&prep);
+        let plans: Vec<SamplePlan> = ds.samples.iter().map(|s| build_plan(s, &cfg)).collect();
+        let parts: Vec<&SamplePlan> = plans.iter().collect();
+        let mb = build_megabatch(&parts);
+
+        let shards = mb.plan.shards.as_ref().expect("megabatch must shard");
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.path_bounds, vec![0, 20, 40, 60]);
+        assert_eq!(*shards.link_bounds.last().unwrap(), mb.plan.num_links);
+        assert_eq!(*shards.node_bounds.last().unwrap(), mb.plan.num_nodes);
+
+        for csr in [&mb.plan.extended_csr, &mb.plan.original_csr] {
+            assert_eq!(csr.num_shards, 3);
+            for s in 0..csr.len() {
+                let bounds = csr.step_shard_bounds(s);
+                let active = csr.active_rows(s);
+                // Complete and disjoint: ascending bounds spanning the list.
+                assert_eq!(bounds[0], 0);
+                assert_eq!(*bounds.last().unwrap(), active.len());
+                assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+                // Sample-aligned: shard b's rows live in b's path range.
+                for b in 0..3 {
+                    for &row in &active[bounds[b]..bounds[b + 1]] {
+                        assert!(
+                            row >= shards.path_bounds[b] && row < shards.path_bounds[b + 1],
+                            "step {s} shard {b}: row {row} outside sample range"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_sample_megabatch_stays_unsharded() {
+        let (_, sample) = toy_sample();
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
+        let mb = build_megabatch(&[&plan]);
+        assert!(
+            mb.plan.shards.is_none(),
+            "1-sample megabatch must run the legacy (bitwise-seed) kernels"
+        );
+        assert_eq!(mb.plan.extended_csr.num_shards, 0);
     }
 
     #[test]

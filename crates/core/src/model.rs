@@ -2,11 +2,11 @@
 
 use crate::config::{ModelConfig, NodeUpdate};
 use crate::entities::{
-    build_megabatch, build_plan, CompiledSteps, EntityKind, PlanConfig, SamplePlan, StepPlan,
-    TargetKind,
+    build_megabatch, build_plan, CompiledSteps, EntityKind, PlanConfig, PlanShards, SamplePlan,
+    StepPlan, TargetKind,
 };
 use crate::features::FeatureScales;
-use rn_autograd::{Graph, Var};
+use rn_autograd::{Graph, ShardSplit, Var};
 use rn_dataset::{Dataset, Normalizer, Sample};
 use rn_nn::{Activation, BoundGruCell, BoundMlp, GruCell, Layer, Mlp};
 use rn_tensor::{Matrix, Prng};
@@ -170,6 +170,7 @@ fn path_sweep(
     num_links: usize,
     num_nodes: usize,
     collect_node_messages: bool,
+    shards: Option<&PlanShards>,
 ) -> (Var, Var, Option<Var>) {
     let state_dim = g.value(link_state).cols();
     let mut link_acc = g.constant_with(num_links, state_dim, |_| {});
@@ -192,14 +193,26 @@ fn path_sweep(
             EntityKind::Link => link_state,
             EntityKind::Node => node_state.expect("node step requires node states"),
         };
-        let x = g.gather_rows(states, ids);
-        path_state = g.gru_step_rows(&gru_vars, path_state, x, rows);
+        // Megabatch plans carry per-sample shard bounds: the fused ops then
+        // record shard descriptors, so this step's work can fan out across
+        // a worker pool (forward and backward) with bitwise-identical
+        // results, and the backward reduces parameter gradients in the
+        // canonical per-shard order.
+        let split = shards.map(|sh| ShardSplit {
+            active: csr.step_shard_bounds(s),
+            dense: &sh.path_bounds,
+            entity: sh.entity_bounds(csr.kinds[s]),
+        });
+        let x = g.gather_rows_sharded(states, ids, split);
+        path_state = g.gru_step_rows_sharded(&gru_vars, path_state, x, rows, split);
         // The post-step hidden state is the message to this position's entity.
         match csr.kinds[s] {
-            EntityKind::Link => link_acc = g.segment_acc_rows(link_acc, path_state, rows, ids),
+            EntityKind::Link => {
+                link_acc = g.segment_acc_rows_sharded(link_acc, path_state, rows, ids, split)
+            }
             EntityKind::Node => {
                 if let Some(acc) = node_acc {
-                    node_acc = Some(g.segment_acc_rows(acc, path_state, rows, ids));
+                    node_acc = Some(g.segment_acc_rows_sharded(acc, path_state, rows, ids, split));
                 }
             }
         }
@@ -379,6 +392,7 @@ impl PathPredictor for OriginalRouteNet {
                 plan.num_links,
                 plan.num_nodes,
                 false,
+                plan.shards.as_ref(),
             );
             path_state = new_path;
             link_state = bound.gru_link.step_fused(g, link_state, link_acc);
@@ -539,6 +553,7 @@ impl PathPredictor for ExtendedRouteNet {
                 plan.num_links,
                 plan.num_nodes,
                 positional,
+                plan.shards.as_ref(),
             );
             path_state = new_path;
             let node_input = if positional {

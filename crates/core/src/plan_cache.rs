@@ -424,6 +424,93 @@ mod tests {
     }
 
     #[test]
+    fn lru_order_survives_interleaved_hits_misses_and_flushes() {
+        // Synthetic keys over one toy plan: the cache's LRU bookkeeping is
+        // key-based, so plan content is irrelevant here.
+        let samples = toy_samples(1);
+        let p = prep();
+        let cfg = config(&p);
+        let plan = build_plan(&samples[0], &cfg);
+        let cache = PlanCache::new(3);
+
+        // Fill: 1, 2, 3 (LRU order: 1 oldest).
+        for key in [1u64, 2, 3] {
+            cache.insert(key, plan.clone());
+        }
+        // Interleave hits to rotate the LRU order to: 2 oldest, then 1, 3.
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert!(cache.get(9).is_none(), "unknown key must miss");
+        // Insert over capacity: 2 (the LRU victim) must go.
+        cache.insert(4, plan.clone());
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(2).is_none(), "LRU entry 2 must be evicted");
+        assert!(cache.get(1).is_some() && cache.get(3).is_some());
+        assert!(cache.get(4).is_some());
+
+        // Re-inserting a resident key refreshes it without eviction.
+        cache.insert(1, plan.clone());
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1, "replacement must not evict");
+        // Now 3 is oldest (1 and 4 were touched more recently).
+        cache.insert(5, plan.clone());
+        assert!(cache.get(3).is_none(), "entry 3 was the LRU victim");
+        assert_eq!(cache.evictions(), 2);
+
+        // Swap-flush (model hot-swap): everything goes, counters persist.
+        let (hits_before, misses_before) = (cache.hits(), cache.misses());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), hits_before, "clear must keep hit totals");
+        assert_eq!(cache.misses(), misses_before);
+        assert!(cache.get(1).is_none(), "flushed entries miss");
+        assert_eq!(cache.misses(), misses_before + 1);
+
+        // The LRU clock survives the flush: refill and evict again.
+        for key in [6u64, 7, 8] {
+            cache.insert(key, plan.clone());
+        }
+        assert!(cache.get(6).is_some());
+        cache.insert(9, plan.clone());
+        assert!(cache.get(7).is_none(), "post-flush LRU order must hold");
+        assert!(cache.get(6).is_some() && cache.get(8).is_some());
+    }
+
+    #[test]
+    fn hit_miss_counters_are_exact_over_mixed_sequences() {
+        let samples = toy_samples(2);
+        let p = prep();
+        let cfg = config(&p);
+        let cache = PlanCache::new(2);
+        let plan = build_plan(&samples[0], &cfg);
+
+        // 3 misses via get, 2 inserts, then a deterministic hit/miss mix.
+        assert!(cache.get(100).is_none());
+        assert!(cache.get(101).is_none());
+        assert!(cache.get(102).is_none());
+        cache.insert(100, plan.clone());
+        cache.insert(101, plan.clone());
+        for _ in 0..4 {
+            assert!(cache.get(100).is_some());
+        }
+        assert!(cache.get(101).is_some());
+        assert!(cache.get(200).is_none());
+        assert_eq!(cache.hits(), 5);
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.evictions(), 0);
+
+        // get_or_build counts exactly one miss then pure hits.
+        let (_, key) = cache.get_or_build(&samples[1], &cfg);
+        assert_eq!(cache.misses(), 5, "first get_or_build misses once");
+        assert_eq!(cache.evictions(), 1, "capacity-2 cache evicts the LRU");
+        let (_, key_again) = cache.get_or_build(&samples[1], &cfg);
+        assert_eq!(key, key_again);
+        assert_eq!(cache.hits(), 6);
+        assert_eq!(cache.misses(), 5);
+    }
+
+    #[test]
     fn cache_is_shareable_across_threads() {
         let samples = toy_samples(2);
         let p = prep();

@@ -17,12 +17,14 @@
 use crate::entities::{build_megabatch, SamplePlan};
 use crate::model::PathPredictor;
 use rayon::prelude::*;
+use rayon::WorkerPool;
 use rn_autograd::{Graph, TapePool};
 use rn_dataset::Dataset;
 use rn_nn::loss::Loss;
 use rn_nn::{clip_global_norm, Adam, Optimizer};
 use rn_tensor::{Matrix, Prng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -57,6 +59,14 @@ pub struct TrainConfig {
     /// Fixed shard boundaries keep training seed-deterministic regardless
     /// of worker count.
     pub megabatch_size: usize,
+    /// Worker threads for the sharded forward/backward *inside* one
+    /// megabatch: the block-diagonal plan's per-sample shards fan out to a
+    /// persistent worker pool, and gradients are reduced in a fixed
+    /// per-sample order, so results are **bitwise identical** for any value
+    /// here (1 runs everything inline). This lever composes with
+    /// `megabatch_size`: megabatches parallelize across the batch, shards
+    /// parallelize within each megabatch.
+    pub backward_shards: usize,
 }
 
 impl Default for TrainConfig {
@@ -74,6 +84,7 @@ impl Default for TrainConfig {
             verbose: false,
             use_megabatch: true,
             megabatch_size: 4,
+            backward_shards: 1,
         }
     }
 }
@@ -265,6 +276,23 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
     // Reusable tapes shared by whichever workers process shards; buffers
     // survive across batches and epochs.
     let tape_pool = TapePool::new();
+    // Intra-megabatch shard gang: each checked-out tape fans the fused ops'
+    // per-sample shards across these workers. Gradients are identical at
+    // any worker count (ordered per-shard reduction), so this is purely a
+    // throughput lever. With the gang enabled, megabatches are processed
+    // sequentially — intra-batch parallelism *replaces* inter-batch
+    // parallelism. Running both at once would only make every rayon worker
+    // queue on the gang's one-job-at-a-time publisher gate; picking one
+    // axis keeps the cores busy without contention. Chunk results are
+    // folded in the same order either way, so the choice cannot change a
+    // bit of the gradients.
+    let shard_pool: Option<Arc<WorkerPool>> = (config.use_megabatch && config.backward_shards > 1)
+        .then(|| Arc::new(WorkerPool::new(config.backward_shards)));
+    let sharded_tape = |pool: &TapePool| {
+        let mut tape = pool.acquire();
+        tape.set_worker_pool(shard_pool.clone());
+        tape
+    };
 
     for epoch in 0..config.epochs {
         if config.lr_halve_epochs.contains(&epoch) {
@@ -295,17 +323,19 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                     continue;
                 }
                 let shards: Vec<&[usize]> = batch.chunks(config.megabatch_size).collect();
-                let results: Vec<(f64, usize, Vec<Matrix>)> = shards
-                    .par_iter()
-                    .filter_map(|shard| {
-                        let parts: Vec<&SamplePlan> = shard.iter().map(|&i| &plans[i]).collect();
-                        let mut tape = tape_pool.acquire();
-                        let out =
-                            megabatch_gradients(snapshot, &parts, config.loss, labelled, &mut tape);
-                        tape_pool.release(tape);
-                        out
-                    })
-                    .collect();
+                let run_shard = |shard: &&[usize]| {
+                    let parts: Vec<&SamplePlan> = shard.iter().map(|&i| &plans[i]).collect();
+                    let mut tape = sharded_tape(&tape_pool);
+                    let out =
+                        megabatch_gradients(snapshot, &parts, config.loss, labelled, &mut tape);
+                    tape_pool.release(tape);
+                    out
+                };
+                let results: Vec<(f64, usize, Vec<Matrix>)> = if shard_pool.is_some() {
+                    shards.iter().filter_map(run_shard).collect()
+                } else {
+                    shards.par_iter().filter_map(run_shard).collect()
+                };
                 let mut loss_sum = 0.0;
                 let mut count = 0usize;
                 let mut grads: Option<Vec<Matrix>> = None;
@@ -371,15 +401,23 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
         let mut val_msg = String::new();
         if !val_plans.is_empty() {
             let snapshot: &M = model;
-            let (sum, count) = if config.use_megabatch {
+            let run_val_shard = |shard: &[SamplePlan]| {
+                let mut tape = sharded_tape(&tape_pool);
+                let out = megabatch_loss(snapshot, shard, config.loss, &mut tape);
+                tape_pool.release(tape);
+                out
+            };
+            let (sum, count) = if config.use_megabatch && shard_pool.is_some() {
+                // Same axis choice as training: the gang parallelizes inside
+                // each chunk, so chunks run one after another.
+                val_plans
+                    .chunks(config.megabatch_size)
+                    .map(run_val_shard)
+                    .fold((0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+            } else if config.use_megabatch {
                 val_plans
                     .par_chunks(config.megabatch_size)
-                    .map(|shard| {
-                        let mut tape = tape_pool.acquire();
-                        let out = megabatch_loss(snapshot, shard, config.loss, &mut tape);
-                        tape_pool.release(tape);
-                        out
-                    })
+                    .map(run_val_shard)
                     .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
             } else {
                 val_plans

@@ -139,4 +139,117 @@ proptest! {
         let b = mk(seed + 1);
         prop_assert_ne!(a, b);
     }
+
+    #[test]
+    fn megabatch_shard_partitions_are_sound_on_arbitrary_batches(
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(3usize..7, 1..5),
+    ) {
+        // Ragged batches: every sample comes from a *different* random
+        // topology, so path counts, sequence lengths and entity counts all
+        // differ (short samples have empty shard ranges in late steps).
+        let scales = FeatureScales::unit();
+        let normalizer = Normalizer::identity();
+        let config = PlanConfig {
+            scales: &scales,
+            normalizer: &normalizer,
+            state_dim: 6,
+            min_packets: 1,
+            target: routenet::entities::TargetKind::Delay,
+        };
+        let plans: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mut rng = Prng::new(seed.wrapping_add(i as u64));
+                let topo = generators::erdos_renyi_connected(n, 0.4, 1e4, &mut rng);
+                let sample = generate_sample(&topo, &quick_gen(), seed.wrapping_add(i as u64), 0);
+                routenet::entities::build_plan(&sample, &config)
+            })
+            .collect();
+        let parts: Vec<&routenet::SamplePlan> = plans.iter().collect();
+        let mb = routenet::entities::build_megabatch(&parts);
+
+        if parts.len() == 1 {
+            // 1-sample batches stay unsharded (legacy bitwise path).
+            prop_assert!(mb.plan.shards.is_none());
+            return;
+        }
+        let shards = mb.plan.shards.as_ref().expect("multi-sample batch shards");
+        prop_assert_eq!(shards.len(), parts.len());
+        // Bounds are complete partitions of each entity space.
+        let mut expect_path = vec![0usize];
+        let mut expect_link = vec![0usize];
+        let mut expect_node = vec![0usize];
+        for p in &plans {
+            expect_path.push(expect_path.last().unwrap() + p.n_paths);
+            expect_link.push(expect_link.last().unwrap() + p.num_links);
+            expect_node.push(expect_node.last().unwrap() + p.num_nodes);
+        }
+        prop_assert_eq!(&shards.path_bounds, &expect_path);
+        prop_assert_eq!(&shards.link_bounds, &expect_link);
+        prop_assert_eq!(&shards.node_bounds, &expect_node);
+
+        for csr in [&mb.plan.extended_csr, &mb.plan.original_csr] {
+            prop_assert_eq!(csr.num_shards, parts.len());
+            for s in 0..csr.len() {
+                let bounds = csr.step_shard_bounds(s);
+                let active = csr.active_rows(s);
+                let ids = csr.active_ids(s);
+                // Disjoint + complete: ascending bounds spanning the list.
+                prop_assert_eq!(bounds[0], 0);
+                prop_assert_eq!(*bounds.last().unwrap(), active.len());
+                prop_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+                for b in 0..parts.len() {
+                    let (lo, hi) = (bounds[b], bounds[b + 1]);
+                    // Sample boundaries respected: shard b's path rows stay
+                    // in its path range, and its entity ids in its block of
+                    // the (kind-dependent) entity space.
+                    let entity = match csr.kinds[s] {
+                        routenet::EntityKind::Link => &shards.link_bounds,
+                        routenet::EntityKind::Node => &shards.node_bounds,
+                    };
+                    for k in lo..hi {
+                        prop_assert!(active[k] >= shards.path_bounds[b]);
+                        prop_assert!(active[k] < shards.path_bounds[b + 1]);
+                        prop_assert!(ids[k] >= entity[b] && ids[k] < entity[b + 1]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_megabatch_forward_matches_unsharded_per_sample(
+        seed in any::<u64>(),
+        batch in 2usize..5,
+    ) {
+        // The sharded fused forward over a block-diagonal plan must agree
+        // with per-sample prediction (and be deterministic under reuse).
+        let mut rng = Prng::new(seed);
+        let topo = generators::erdos_renyi_connected(5, 0.4, 1e4, &mut rng);
+        let samples: Vec<_> = (0..batch as u64)
+            .map(|i| generate_sample(&topo, &quick_gen(), seed.wrapping_add(i), i))
+            .collect();
+        let ds = Dataset { topology: topo, samples };
+        let mut model = ExtendedRouteNet::new(ModelConfig {
+            state_dim: 6,
+            mp_iterations: 2,
+            readout_hidden: 8,
+            seed: 1,
+            ..ModelConfig::default()
+        });
+        model.fit_preprocessing(&ds, 1);
+        let plans: Vec<_> = ds.samples.iter().map(|s| model.plan(s)).collect();
+        let batched = model.predict_batch(&plans);
+        for (b, plan) in plans.iter().enumerate() {
+            let single = model.predict(plan);
+            prop_assert_eq!(batched[b].len(), single.len());
+            for (x, y) in batched[b].iter().zip(&single) {
+                let denom = y.abs().max(1e-12);
+                prop_assert!(((x - y).abs() / denom) < 1e-5,
+                    "sample {}: batched {} vs single {}", b, x, y);
+            }
+        }
+    }
 }

@@ -44,7 +44,7 @@ pub mod server;
 pub mod service;
 
 pub use loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport};
-pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use metrics::{nearest_rank, MetricsSnapshot, ServeMetrics};
 pub use registry::ModelRegistry;
 pub use server::{Request, Response, TcpServer};
 pub use service::{ServeConfig, ServeError, ServeHandle, Service};

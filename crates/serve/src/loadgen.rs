@@ -88,8 +88,8 @@ impl LatencySummary {
         latencies.sort();
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         let at = |p: f64| {
-            let rank = ((p / 100.0) * latencies.len() as f64).ceil().max(1.0) as usize;
-            ms(latencies[rank.min(latencies.len()) - 1])
+            let idx = crate::metrics::nearest_rank(latencies.len(), p).expect("non-empty");
+            ms(latencies[idx])
         };
         let sum: f64 = latencies.iter().map(|&d| ms(d)).sum();
         Self {

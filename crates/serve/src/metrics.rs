@@ -17,6 +17,23 @@ const BUCKETS: usize = 64;
 const LOW_US: f64 = 10.0;
 const GROWTH: f64 = 1.5;
 
+/// Zero-based index of the **nearest-rank** percentile element among `n`
+/// sorted samples: the smallest index `i` such that at least `p` percent of
+/// the samples are `<= sample[i]`. `None` when there are no samples.
+///
+/// This is the single definition every latency percentile in the workspace
+/// goes through — the histogram's bucket walk ([`LatencyHistogram`]) and the
+/// exact client-side summaries (`rn_serve::loadgen`) — so the degenerate
+/// cases agree everywhere: 0 samples have no percentile (callers report
+/// 0.0), 1 sample is every percentile, and `p = 100` is the maximum.
+pub fn nearest_rank(n: usize, p: f64) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+    Some(rank.min(n) - 1)
+}
+
 /// Geometric-bucket latency histogram with atomic counters.
 ///
 /// Percentiles are read back as the upper bound of the bucket holding the
@@ -73,10 +90,10 @@ impl LatencyHistogram {
     /// the bucket containing the rank. 0.0 when nothing was recorded.
     pub fn percentile_ms(&self, p: f64) -> f64 {
         let total = self.count();
-        if total == 0 {
+        let Some(rank_idx) = nearest_rank(total as usize, p) else {
             return 0.0;
-        }
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        };
+        let rank = rank_idx as u64 + 1;
         let mut seen = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
             seen += c.load(Ordering::Relaxed);
@@ -332,8 +349,61 @@ mod tests {
     #[test]
     fn empty_histogram_reads_zero() {
         let h = LatencyHistogram::new();
-        assert_eq!(h.percentile_ms(50.0), 0.0);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile_ms(p), 0.0, "p{p} of nothing must be 0");
+        }
         assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_millis(3));
+        let p50 = h.percentile_ms(50.0);
+        for p in [0.0, 1.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile_ms(p), p50, "one sample answers every p");
+        }
+        // Bucket upper bound: an over-estimate of at most one growth step.
+        assert!((3.0..=4.6).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn nearest_rank_definition_pins_the_degenerate_cases() {
+        assert_eq!(nearest_rank(0, 50.0), None);
+        assert_eq!(nearest_rank(0, 99.0), None);
+        // One sample: every percentile is index 0.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(nearest_rank(1, p), Some(0));
+        }
+        // Classic nearest-rank table for n = 10.
+        assert_eq!(nearest_rank(10, 0.0), Some(0));
+        assert_eq!(nearest_rank(10, 10.0), Some(0));
+        assert_eq!(nearest_rank(10, 50.0), Some(4));
+        assert_eq!(nearest_rank(10, 95.0), Some(9));
+        assert_eq!(nearest_rank(10, 99.0), Some(9));
+        assert_eq!(nearest_rank(10, 100.0), Some(9));
+        // Ranks never exceed the sample count (p > 100 clamps).
+        assert_eq!(nearest_rank(4, 150.0), Some(3));
+    }
+
+    #[test]
+    fn loadgen_summary_uses_the_shared_helper_for_degenerates() {
+        use crate::loadgen::LatencySummary;
+        let empty = LatencySummary::of(&mut []);
+        assert_eq!(
+            (empty.p50_ms, empty.p99_ms, empty.max_ms),
+            (0.0, 0.0, 0.0),
+            "no samples: all zeros"
+        );
+        let mut one = [Duration::from_millis(7)];
+        let s = LatencySummary::of(&mut one);
+        assert_eq!(s.p50_ms, 7.0);
+        assert_eq!(s.p90_ms, 7.0);
+        assert_eq!(s.p95_ms, 7.0);
+        assert_eq!(s.p99_ms, 7.0);
+        assert_eq!(s.mean_ms, 7.0);
+        assert_eq!(s.max_ms, 7.0);
     }
 
     #[test]

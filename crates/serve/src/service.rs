@@ -29,7 +29,7 @@
 
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
-use rn_autograd::TapePool;
+use rn_autograd::{TapePool, WorkerPool};
 use rn_dataset::Sample;
 use routenet::entities::PlanConfig;
 use routenet::model::PathPredictor;
@@ -59,6 +59,13 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Compiled plans kept in the shared [`PlanCache`].
     pub plan_cache_capacity: usize,
+    /// Worker threads for **intra-batch sharding**: when a worker flushes a
+    /// multi-request batch and the queue behind it is empty (shallow load —
+    /// no co-workers to keep busy), the fused block-diagonal forward fans
+    /// its per-sample shards out to this many threads instead of leaving
+    /// them idle. `1` disables the gang. Results are bitwise identical
+    /// either way; this only trades idle cores for latency at low load.
+    pub intra_batch_shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +79,7 @@ impl Default for ServeConfig {
             flush_deadline: Duration::ZERO,
             queue_capacity: 1024,
             plan_cache_capacity: 256,
+            intra_batch_shards: 1,
         }
     }
 }
@@ -135,6 +143,9 @@ struct Inner<M> {
     metrics: ServeMetrics,
     plans: PlanCache,
     tapes: TapePool,
+    /// Shared shard gang for shallow-queue batches (see
+    /// [`ServeConfig::intra_batch_shards`]); `None` when disabled.
+    shard_pool: Option<Arc<WorkerPool>>,
 }
 
 /// Cloneable client handle to a running [`Service`]. Dropping handles does
@@ -170,6 +181,8 @@ impl<M: PathPredictor + 'static> Service<M> {
             registry: ModelRegistry::new(model),
             plans: PlanCache::new(config.plan_cache_capacity),
             tapes: TapePool::new(),
+            shard_pool: (config.intra_batch_shards > 1)
+                .then(|| Arc::new(WorkerPool::new(config.intra_batch_shards))),
             config,
         });
         let workers = (0..inner.config.workers.max(1))
@@ -357,7 +370,7 @@ fn drain_batch(st: &mut QueueState, config: &ServeConfig) -> Vec<Job> {
 /// on a pooled tape, deliver per-request results.
 fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
     loop {
-        let batch = {
+        let (batch, backlog) = {
             let mut st = inner.state.lock().expect("serve queue poisoned");
             loop {
                 if st.queue.is_empty() {
@@ -371,7 +384,10 @@ fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
                 let deadline = st.queue[0].enqueued + inner.config.flush_deadline;
                 let now = Instant::now();
                 if full || st.shutdown || now >= deadline {
-                    break drain_batch(&mut st, &inner.config);
+                    let batch = drain_batch(&mut st, &inner.config);
+                    // Requests left behind after this flush: other workers
+                    // will pick those up, so the machine is already busy.
+                    break (batch, st.queue.len());
                 }
                 let (next, _timeout) = inner
                     .ready
@@ -412,7 +428,19 @@ fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
         let refs: Vec<&SamplePlan> = group.iter().map(|j| j.plan.as_ref()).collect();
         let total_paths: usize = refs.iter().map(|p| p.n_paths).sum();
         let mut tape = inner.tapes.acquire();
+        // Shallow queue: nothing left for co-workers to chew on, so spare
+        // cores are free — exploit the batch's intra-megabatch shards
+        // instead. Under backlog the inter-batch parallelism already
+        // saturates the workers, and the gang would only add contention.
+        // Either way the predictions are bitwise identical.
+        let shard_here = backlog == 0 && refs.len() > 1;
+        tape.set_worker_pool(if shard_here {
+            inner.shard_pool.clone()
+        } else {
+            None
+        });
         let results = model.predict_batch_refs_with(&mut tape, &refs);
+        tape.set_worker_pool(None);
         inner.tapes.release(tape);
 
         inner.metrics.batches.record(group.len(), total_paths);

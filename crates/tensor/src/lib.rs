@@ -24,6 +24,6 @@ pub mod matrix;
 pub mod rng;
 pub mod stats;
 
-pub use matrix::Matrix;
+pub use matrix::{kernels, Matrix};
 pub use rng::Prng;
 pub use stats::{empirical_cdf, percentile, Summary};

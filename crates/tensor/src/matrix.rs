@@ -449,13 +449,31 @@ impl Matrix {
     pub fn matmul_acc(&self, other: &Self, out: &mut Self) {
         let (m, k, n) = self.assert_matmul_shapes(other);
         assert_eq!(out.shape(), (m, n), "matmul_acc: bad output shape");
-        #[cfg(target_arch = "x86_64")]
-        if simd::have_avx2() {
-            // SAFETY: the AVX2 requirement was just checked at runtime.
-            unsafe { simd::matmul_acc_avx2(&self.data, &other.data, m, k, n, &mut out.data) };
-            return;
-        }
-        matmul_acc_body(&self.data, &other.data, m, k, n, &mut out.data);
+        kernels::matmul_acc(&self.data, &other.data, m, k, n, &mut out.data);
+    }
+
+    /// Row-range form of [`Matrix::matmul_acc`]:
+    /// `out[row_lo..row_hi] += self[row_lo..row_hi] · other`, touching no
+    /// other output row. Each output row is accumulated in exactly the same
+    /// per-element order as the full kernel, so computing a matrix in
+    /// disjoint row ranges (e.g. one per megabatch shard, possibly on
+    /// different threads) is **bitwise identical** to one full call — the
+    /// property the sharded forward/backward passes rest on.
+    pub fn matmul_acc_rows(&self, other: &Self, out: &mut Self, row_lo: usize, row_hi: usize) {
+        let (m, k, n) = self.assert_matmul_shapes(other);
+        assert_eq!(out.shape(), (m, n), "matmul_acc_rows: bad output shape");
+        assert!(
+            row_lo <= row_hi && row_hi <= m,
+            "matmul_acc_rows: bad row range {row_lo}..{row_hi} for {m} rows"
+        );
+        kernels::matmul_acc(
+            &self.data[row_lo * k..row_hi * k],
+            &other.data,
+            row_hi - row_lo,
+            k,
+            n,
+            &mut out.data[row_lo * n..row_hi * n],
+        );
     }
 
     fn assert_tn_shapes(&self, other: &Self) -> (usize, usize, usize) {
@@ -493,13 +511,29 @@ impl Matrix {
     pub fn matmul_tn_acc(&self, other: &Self, out: &mut Self) {
         let (k, m, n) = self.assert_tn_shapes(other);
         assert_eq!(out.shape(), (m, n), "matmul_tn_acc: bad output shape");
-        #[cfg(target_arch = "x86_64")]
-        if simd::have_avx2() {
-            // SAFETY: the AVX2 requirement was just checked at runtime.
-            unsafe { simd::matmul_tn_acc_avx2(&self.data, &other.data, k, m, n, &mut out.data) };
-            return;
-        }
-        matmul_tn_acc_body(&self.data, &other.data, k, m, n, &mut out.data);
+        kernels::matmul_tn_acc(&self.data, &other.data, k, m, n, &mut out.data);
+    }
+
+    /// Shared-dimension-range form of [`Matrix::matmul_tn_acc`]:
+    /// `out += self[row_lo..row_hi]^T · other[row_lo..row_hi]`. Restricting
+    /// the reduction to a row range is what per-shard gradient *partials*
+    /// are made of: each shard reduces its own row range into a zeroed
+    /// buffer, and the partials are merged in fixed shard order.
+    pub fn matmul_tn_acc_rows(&self, other: &Self, out: &mut Self, row_lo: usize, row_hi: usize) {
+        let (k, m, n) = self.assert_tn_shapes(other);
+        assert_eq!(out.shape(), (m, n), "matmul_tn_acc_rows: bad output shape");
+        assert!(
+            row_lo <= row_hi && row_hi <= k,
+            "matmul_tn_acc_rows: bad row range {row_lo}..{row_hi} for {k} rows"
+        );
+        kernels::matmul_tn_acc(
+            &self.data[row_lo * m..row_hi * m],
+            &other.data[row_lo * n..row_hi * n],
+            row_hi - row_lo,
+            m,
+            n,
+            &mut out.data,
+        );
     }
 
     fn assert_nt_shapes(&self, other: &Self) -> (usize, usize, usize) {
@@ -838,6 +872,32 @@ impl Matrix {
         out
     }
 
+    /// Split the backing buffer into contiguous row blocks at `bounds`
+    /// (ascending, `bounds[0] == 0`, `bounds.last() == rows`). Block `i`
+    /// covers rows `bounds[i]..bounds[i+1]`; empty blocks are fine.
+    ///
+    /// The blocks are independent `&mut [f32]`s (and `Send`), so disjoint
+    /// row ranges of one matrix can be written from different threads with
+    /// no unsafe code at the call site — the foundation of the sharded
+    /// megabatch kernels.
+    pub fn row_blocks_mut(&mut self, bounds: &[usize]) -> Vec<&mut [f32]> {
+        assert!(
+            bounds.first() == Some(&0) && bounds.last() == Some(&self.rows),
+            "row_blocks_mut: bounds must span 0..rows ({bounds:?} for {} rows)",
+            self.rows
+        );
+        let cols = self.cols;
+        let mut blocks = Vec::with_capacity(bounds.len() - 1);
+        let mut rest: &mut [f32] = &mut self.data;
+        for w in bounds.windows(2) {
+            assert!(w[0] <= w[1], "row_blocks_mut: bounds must be ascending");
+            let (block, tail) = rest.split_at_mut((w[1] - w[0]) * cols);
+            blocks.push(block);
+            rest = tail;
+        }
+        blocks
+    }
+
     // ------------------------------------------------------------------
     // Comparisons
     // ------------------------------------------------------------------
@@ -868,6 +928,47 @@ impl Matrix {
             other.rows,
             other.cols
         );
+    }
+}
+
+/// Slice-level matmul kernels with runtime AVX2 dispatch.
+///
+/// The [`Matrix`] methods delegate here; the sharded autograd kernels call
+/// these directly on disjoint sub-slices produced by
+/// [`Matrix::row_blocks_mut`], so several threads can fill one output matrix
+/// without aliasing `&mut Matrix`. Per output row the accumulation order is
+/// independent of how rows are grouped into calls (the 2-row block and the
+/// 1-row tail evaluate each element with the same chained expression), so
+/// any row-range decomposition of `matmul_acc` is bitwise identical to one
+/// full call.
+pub mod kernels {
+    /// `out += a·b` where `a` is `m x k`, `b` is `k x n`, `out` is `m x n`,
+    /// all row-major slices.
+    pub fn matmul_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        #[cfg(target_arch = "x86_64")]
+        if super::simd::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { super::simd::matmul_acc_avx2(a, b, m, k, n, out) };
+            return;
+        }
+        super::matmul_acc_body(a, b, m, k, n, out);
+    }
+
+    /// `out += a^T·b` where `a` is `k x m`, `b` is `k x n`, `out` is `m x n`.
+    pub fn matmul_tn_acc(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        #[cfg(target_arch = "x86_64")]
+        if super::simd::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { super::simd::matmul_tn_acc_avx2(a, b, k, m, n, out) };
+            return;
+        }
+        super::matmul_tn_acc_body(a, b, k, m, n, out);
     }
 }
 
@@ -1291,6 +1392,82 @@ mod tests {
         let mut out_nt = Matrix::filled(5, 4, 3.5);
         a.matmul_nt_into(&bt, &mut out_nt);
         assert!(out_nt.approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn row_range_matmul_is_bitwise_identical_to_full() {
+        // Any partition of the rows must reproduce the full kernel exactly:
+        // odd boundaries shift the 2-row blocking phase, which must not
+        // change per-row arithmetic.
+        for &(m, k, n) in &[(7, 9, 5), (8, 16, 32), (5, 3, 11)] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.37 - 2.0);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.21 - 1.0);
+            let mut full = Matrix::zeros(m, n);
+            a.matmul_acc(&b, &mut full);
+            for bounds in [vec![0, m], vec![0, 1, m], vec![0, 3, 3, m.min(5), m]] {
+                let mut pieced = Matrix::zeros(m, n);
+                for w in bounds.windows(2) {
+                    a.matmul_acc_rows(&b, &mut pieced, w[0], w[1]);
+                }
+                assert!(
+                    pieced.approx_eq(&full, 0.0),
+                    "row-range decomposition {bounds:?} diverged for {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tn_row_range_partials_sum_to_full_reduction() {
+        // Per-shard partials merged in order approximate the full reduction
+        // (they are NOT bitwise equal — that is exactly why the sharded
+        // backward defines partial-merge as its canonical order).
+        let (k, m, n) = (10, 6, 4);
+        let a = Matrix::from_fn(k, m, |r, c| ((r * 13 + c * 5) % 9) as f32 * 0.5 - 2.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 7 + c) % 10) as f32 * 0.3 - 1.5);
+        let mut full = Matrix::zeros(m, n);
+        a.matmul_tn_acc(&b, &mut full);
+        let mut merged = Matrix::zeros(m, n);
+        for w in [0, 3, 7, k].windows(2) {
+            let mut partial = Matrix::zeros(m, n);
+            a.matmul_tn_acc_rows(&b, &mut partial, w[0], w[1]);
+            merged.add_assign(&partial);
+        }
+        assert!(merged.approx_eq(&full, 1e-4));
+        // And the partial-merge itself is deterministic: recompute == equal.
+        let mut again = Matrix::zeros(m, n);
+        for w in [0, 3, 7, k].windows(2) {
+            let mut partial = Matrix::zeros(m, n);
+            a.matmul_tn_acc_rows(&b, &mut partial, w[0], w[1]);
+            again.add_assign(&partial);
+        }
+        assert!(again.approx_eq(&merged, 0.0));
+    }
+
+    #[test]
+    fn row_blocks_cover_the_matrix_disjointly() {
+        let mut m = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32);
+        let blocks = m.row_blocks_mut(&[0, 2, 2, 5, 6]);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].len(), 6);
+        assert_eq!(blocks[1].len(), 0);
+        assert_eq!(blocks[2].len(), 9);
+        assert_eq!(blocks[3].len(), 3);
+        assert_eq!(blocks[3][0], 15.0);
+        for b in blocks {
+            for v in b.iter_mut() {
+                *v += 1.0;
+            }
+        }
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(5, 2), 18.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must span")]
+    fn row_blocks_reject_partial_bounds() {
+        let mut m = Matrix::zeros(4, 2);
+        let _ = m.row_blocks_mut(&[0, 2]);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! every core for the heavyweight per-item work this workspace does
 //! (simulating samples, per-graph backward passes).
 
+pub mod pool;
+
+pub use pool::WorkerPool;
+
 use std::num::NonZeroUsize;
 
 fn worker_count(items: usize) -> usize {

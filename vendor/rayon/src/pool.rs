@@ -1,0 +1,240 @@
+//! A persistent fork-join worker gang for intra-batch sharding.
+//!
+//! The `par_iter` surface in this crate spawns scoped threads per call, which
+//! is fine for coarse work (one backward pass per item) but far too slow for
+//! the sharded megabatch kernels: those dispatch a parallel section per tape
+//! node, hundreds of times per backward pass. [`WorkerPool`] keeps `n`
+//! threads parked on a condvar and wakes them for one job at a time:
+//! [`WorkerPool::run`] publishes a `Fn(usize)` closure, every worker invokes
+//! it once with its own index, and `run` returns when all workers are done.
+//!
+//! ## Safety
+//!
+//! `run` accepts a closure borrowing caller-stack data even though worker
+//! threads are `'static`. The lifetime is erased by storing a raw pointer to
+//! the `&dyn Fn(usize)` trait object; soundness rests on `run` not returning
+//! until every worker has finished the generation it published, so the
+//! pointee strictly outlives every dereference. This is the same contract
+//! real rayon's `scope`/`broadcast` implement internally.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The lifetime-erased job pointer. Only ever dereferenced between a
+/// generation's publication and its completion, while the publishing `run`
+/// call keeps the referent alive on its stack.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointer is only sent to workers that dereference it while the
+// publishing thread blocks in `run` (see module docs).
+unsafe impl Send for JobPtr {}
+
+struct State {
+    job: Option<JobPtr>,
+    generation: u64,
+    /// Workers still running the current generation.
+    remaining: usize,
+    /// Workers that panicked in the current generation.
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a new generation (or shutdown).
+    work_ready: Condvar,
+    /// The publisher waits here for `remaining == 0`.
+    work_done: Condvar,
+}
+
+/// A fixed-size gang of persistent worker threads executing one broadcast
+/// job at a time (see module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Serializes concurrent publishers: one `run` owns the gang at a time.
+    gate: Mutex<()>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a gang of `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                remaining: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rn-shard-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self {
+            shared,
+            gate: Mutex::new(()),
+            workers,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `job(i)` once on every worker `i in 0..workers()`, blocking until
+    /// all invocations return. Concurrent callers are serialized. Panics if
+    /// any worker's invocation panicked.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        let _own = self.gate.lock().expect("worker pool gate poisoned");
+        // SAFETY: erase the borrow's lifetime; `run` blocks below until every
+        // worker finished this generation, so the pointee outlives all uses.
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(job as *const _)
+        });
+        let mut st = self.shared.state.lock().expect("worker pool poisoned");
+        st.job = Some(ptr);
+        st.generation += 1;
+        st.remaining = self.workers;
+        st.panicked = 0;
+        let generation = st.generation;
+        self.shared.work_ready.notify_all();
+        while st.remaining > 0 {
+            st = self
+                .shared
+                .work_done
+                .wait(st)
+                .expect("worker pool poisoned");
+        }
+        debug_assert_eq!(st.generation, generation);
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        assert!(panicked == 0, "{panicked} shard worker(s) panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("worker pool poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for h in self.handles.drain(..) {
+            h.join().expect("shard worker panicked at shutdown");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("worker pool poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > seen {
+                    seen = st.generation;
+                    break st.job.expect("generation published without a job");
+                }
+                st = shared.work_ready.wait(st).expect("worker pool poisoned");
+            }
+        };
+        // SAFETY: the publisher keeps the closure alive until `remaining`
+        // reaches 0, which happens strictly after this call returns.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(index) }));
+        let mut st = shared.state.lock().expect("worker pool poisoned");
+        if result.is_err() {
+            st.panicked += 1;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_exactly_once_per_job() {
+        let pool = WorkerPool::new(4);
+        let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..100 {
+            pool.run(&|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn borrows_caller_stack_data() {
+        let pool = WorkerPool::new(3);
+        let mut blocks = [0u64, 0, 0];
+        let slots: Vec<Mutex<&mut u64>> = blocks.iter_mut().map(Mutex::new).collect();
+        pool.run(&|i| {
+            **slots[i].lock().unwrap() = i as u64 + 1;
+        });
+        drop(slots);
+        assert_eq!(blocks, [1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_survives_many_generations_and_shutdown() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..1000 {
+            pool.run(&|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2000);
+        drop(pool); // must join cleanly
+    }
+
+    #[test]
+    fn concurrent_publishers_are_serialized() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        pool.run(&|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 2);
+    }
+}
