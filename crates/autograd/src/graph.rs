@@ -1046,6 +1046,21 @@ impl Graph {
         self.constant(m)
     }
 
+    /// Register a non-differentiable leaf holding a copy of `src`, built in
+    /// a pooled buffer.
+    ///
+    /// This is how a forward pass binds against **borrowed** plan state (a
+    /// cached megabatch composition shared behind an `Arc`): the tape needs
+    /// its own mutable copy — inference mode advances GRU states in place,
+    /// stealing the input buffer — but `src.clone()` would hit the allocator
+    /// every forward. Values are bit-for-bit the clone's; only the buffer's
+    /// provenance changes.
+    pub fn constant_copy(&mut self, src: &Matrix) -> Var {
+        let mut m = pool_matrix_scratch(&mut self.pool, src.rows(), src.cols());
+        m.as_mut_slice().copy_from_slice(src.as_slice());
+        self.constant(m)
+    }
+
     /// Forward value of a variable.
     pub fn value(&self, v: Var) -> &Matrix {
         &self.nodes[v.0].value

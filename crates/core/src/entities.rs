@@ -27,6 +27,7 @@ use crate::features::FeatureScales;
 use rn_dataset::{Normalizer, Sample};
 use rn_tensor::Matrix;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Which entity type a sequence position refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -268,6 +269,11 @@ pub struct SamplePlan {
     /// the parallel sharded backward and its canonical per-shard gradient
     /// reduction.
     pub shards: Option<PlanShards>,
+    /// Memoized structure fingerprint (see
+    /// [`SamplePlan::structure_fingerprint`]): computed on first use, shared
+    /// by clones. Covers only the shape-dependent parts of the plan, so it
+    /// stays valid when features (targets, reliability) are edited in place.
+    pub(crate) structure_fp: OnceLock<u64>,
 }
 
 /// Options controlling plan construction.
@@ -445,6 +451,7 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
         targets_raw,
         reliable_idx,
         shards: None,
+        structure_fp: OnceLock::new(),
     }
 }
 
@@ -515,180 +522,19 @@ pub fn build_megabatch(parts: &[&SamplePlan]) -> MegabatchPlan {
 
 /// Fallible [`build_megabatch`]: returns a [`MegabatchError`] instead of
 /// panicking on an empty part list or mismatched state widths.
+///
+/// Implemented on top of the composition layer ([`crate::compose`]): a
+/// fresh build is exactly "compose the structure, extract the features,
+/// assemble" — which is what makes a cached
+/// [`crate::compose::ComposedMegabatch`] with refilled features **bitwise
+/// identical** to this function by construction rather than by test alone.
 pub fn try_build_megabatch(parts: &[&SamplePlan]) -> Result<MegabatchPlan, MegabatchError> {
-    if parts.is_empty() {
-        return Err(MegabatchError::EmptyBatch);
-    }
-    let state_dim = parts[0].path_init.cols();
-    let n_paths: usize = parts.iter().map(|p| p.n_paths).sum();
-    let num_links: usize = parts.iter().map(|p| p.num_links).sum();
-    let num_nodes: usize = parts.iter().map(|p| p.num_nodes).sum();
-
-    // Entity offsets per part.
-    let mut path_off = Vec::with_capacity(parts.len());
-    let mut link_off = Vec::with_capacity(parts.len());
-    let mut node_off = Vec::with_capacity(parts.len());
-    let (mut po, mut lo, mut no) = (0usize, 0usize, 0usize);
-    for p in parts {
-        if p.path_init.cols() != state_dim {
-            return Err(MegabatchError::StateDimMismatch(
-                state_dim,
-                p.path_init.cols(),
-            ));
-        }
-        path_off.push(po);
-        link_off.push(lo);
-        node_off.push(no);
-        po += p.n_paths;
-        lo += p.num_links;
-        no += p.num_nodes;
-    }
-
-    // Block-stacked initial states.
-    let mut path_init = Matrix::zeros(n_paths, state_dim);
-    let mut link_init = Matrix::zeros(num_links, state_dim);
-    let mut node_init = Matrix::zeros(num_nodes, state_dim);
-    for (b, p) in parts.iter().enumerate() {
-        copy_rows(&mut path_init, path_off[b], &p.path_init);
-        copy_rows(&mut link_init, link_off[b], &p.link_init);
-        copy_rows(&mut node_init, node_off[b], &p.node_init);
-    }
-
-    // Steps padded to the longest sequence in the pack; ids shifted into the
-    // union id space. Padded rows point at the part's first entity (any valid
-    // id works — the zero mask makes the position inert).
-    let merge_steps = |select: fn(&SamplePlan) -> &Vec<StepPlan>, alternate: bool| {
-        let max_len = parts.iter().map(|p| select(p).len()).max().unwrap_or(0);
-        let mut merged = Vec::with_capacity(max_len);
-        for pos in 0..max_len {
-            let kind = if alternate {
-                if pos % 2 == 0 {
-                    EntityKind::Node
-                } else {
-                    EntityKind::Link
-                }
-            } else {
-                EntityKind::Link
-            };
-            let mut ids = vec![0usize; n_paths];
-            let mut mask = Matrix::zeros(n_paths, 1);
-            let mut active = 0usize;
-            for (b, p) in parts.iter().enumerate() {
-                let offset = match kind {
-                    EntityKind::Link => link_off[b],
-                    EntityKind::Node => node_off[b],
-                };
-                let rows = path_off[b]..path_off[b] + p.n_paths;
-                match select(p).get(pos) {
-                    Some(step) => {
-                        debug_assert_eq!(step.kind, kind, "interleave mismatch");
-                        for (row, &id) in rows.zip(&step.ids) {
-                            ids[row] = offset + id;
-                            let m = step.mask.get(row - path_off[b], 0);
-                            mask.set(row, 0, m);
-                        }
-                        active += step.active;
-                    }
-                    None => {
-                        for row in rows {
-                            ids[row] = offset;
-                        }
-                    }
-                }
-            }
-            merged.push(StepPlan {
-                kind,
-                ids,
-                mask,
-                active,
-            });
-        }
-        merged
-    };
-    let extended_steps = merge_steps(|p| &p.extended_steps, true);
-    let original_steps = merge_steps(|p| &p.original_steps, false);
-
-    // Incidences, targets, reliability, loss weights.
-    let mut node_incidence_paths = Vec::new();
-    let mut node_incidence_nodes = Vec::new();
-    let mut pairs = Vec::with_capacity(n_paths);
-    let mut targets_norm = Matrix::zeros(n_paths, 1);
-    let mut targets_raw = Vec::with_capacity(n_paths);
-    let mut reliable_idx = Vec::new();
-    let mut sample_mean_weights = Vec::new();
-    let mut path_ranges = Vec::with_capacity(parts.len());
-    let mut reliable_samples = 0usize;
-    for (b, p) in parts.iter().enumerate() {
-        for (&pi, &ni) in p.node_incidence_paths.iter().zip(&p.node_incidence_nodes) {
-            node_incidence_paths.push(path_off[b] + pi);
-            node_incidence_nodes.push(node_off[b] + ni);
-        }
-        for &(s, d) in &p.pairs {
-            pairs.push((node_off[b] + s, node_off[b] + d));
-        }
-        for row in 0..p.n_paths {
-            targets_norm.set(path_off[b] + row, 0, p.targets_norm.get(row, 0));
-        }
-        targets_raw.extend_from_slice(&p.targets_raw);
-        let r_s = p.reliable_idx.len();
-        if r_s > 0 {
-            reliable_samples += 1;
-        }
-        for &i in &p.reliable_idx {
-            reliable_idx.push(path_off[b] + i);
-            sample_mean_weights.push(1.0 / r_s as f32);
-        }
-        path_ranges.push((path_off[b], path_off[b] + p.n_paths));
-    }
-
-    let mut extended_csr = CompiledSteps::compile(&extended_steps);
-    let mut original_csr = CompiledSteps::compile(&original_steps);
-    // Shard layout: per-sample row bounds in every entity space, plus the
-    // per-step splits of the CSR active lists. A single-sample "megabatch"
-    // stays unsharded so it runs the exact legacy kernels bit for bit.
-    let shards = (parts.len() > 1).then(|| {
-        let close = |offs: &[usize], total: usize| {
-            let mut bounds = offs.to_vec();
-            bounds.push(total);
-            bounds
-        };
-        let shards = PlanShards {
-            path_bounds: close(&path_off, n_paths),
-            link_bounds: close(&link_off, num_links),
-            node_bounds: close(&node_off, num_nodes),
-        };
-        extended_csr.compute_shard_bounds(&shards.path_bounds);
-        original_csr.compute_shard_bounds(&shards.path_bounds);
-        shards
-    });
-    Ok(MegabatchPlan {
-        plan: SamplePlan {
-            n_paths,
-            num_links,
-            num_nodes,
-            pairs,
-            path_init,
-            link_init,
-            node_init,
-            extended_steps,
-            original_steps,
-            extended_csr,
-            original_csr,
-            node_incidence_paths,
-            node_incidence_nodes,
-            targets_norm,
-            targets_raw,
-            reliable_idx,
-            shards,
-        },
-        path_ranges,
-        sample_mean_weights,
-        reliable_samples,
-    })
+    crate::compose::ComposedMegabatch::compose(parts)
+        .map(crate::compose::ComposedMegabatch::into_plan)
 }
 
 /// Copy all of `src`'s rows into `dst` starting at row `at`.
-fn copy_rows(dst: &mut Matrix, at: usize, src: &Matrix) {
+pub(crate) fn copy_rows(dst: &mut Matrix, at: usize, src: &Matrix) {
     for r in 0..src.rows() {
         dst.row_mut(at + r).copy_from_slice(src.row(r));
     }

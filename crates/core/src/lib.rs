@@ -38,7 +38,12 @@
 //! - [`persist`] — atomic JSON save/load of trained models.
 //! - [`plan_cache`] — scenario fingerprints and the compiled-plan LRU cache
 //!   the serving layer (`rn_serve`) builds on.
+//! - [`compose`] — the megabatch composition layer: shape-dependent
+//!   structure split from per-batch features, with in-place feature refill
+//!   and the LRU composition cache recurring batch shapes hit instead of
+//!   re-running `build_megabatch`.
 
+pub mod compose;
 pub mod config;
 pub mod entities;
 pub mod eval;
@@ -48,6 +53,7 @@ pub mod persist;
 pub mod plan_cache;
 pub mod trainer;
 
+pub use compose::{ComposedMegabatch, CompositionCache, MegabatchFeatures, MegabatchStructure};
 pub use config::{ModelConfig, NodeUpdate};
 pub use entities::{EntityKind, MegabatchError, SamplePlan};
 pub use eval::{evaluate, EvalReport};

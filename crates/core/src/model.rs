@@ -2,8 +2,8 @@
 
 use crate::config::{ModelConfig, NodeUpdate};
 use crate::entities::{
-    build_megabatch, build_plan, CompiledSteps, EntityKind, PlanConfig, PlanShards, SamplePlan,
-    StepPlan, TargetKind,
+    build_megabatch, build_plan, CompiledSteps, EntityKind, MegabatchPlan, PlanConfig, PlanShards,
+    SamplePlan, StepPlan, TargetKind,
 };
 use crate::features::FeatureScales;
 use rn_autograd::{Graph, ShardSplit, Var};
@@ -125,6 +125,16 @@ pub trait PathPredictor: Layer + Clone + Send + Sync {
             return vec![self.predict_with(g, plans[0])];
         }
         let mb = build_megabatch(plans);
+        self.predict_megabatch_with(g, &mb)
+    }
+
+    /// Batched inference over an **already composed** megabatch — the entry
+    /// point the composition layer (`crate::compose`) feeds: a serving
+    /// worker that checked a cached [`crate::compose::ComposedMegabatch`]
+    /// out of the composition cache and refilled its features runs this
+    /// instead of re-planning, with bitwise-identical results to
+    /// [`PathPredictor::predict_batch_refs_with`] over the same parts.
+    fn predict_megabatch_with(&self, g: &mut Graph, mb: &MegabatchPlan) -> Vec<Vec<f64>> {
         g.reset();
         g.set_inference_mode(true);
         let bound = self.bind(g);
@@ -379,8 +389,11 @@ impl PathPredictor for OriginalRouteNet {
     }
 
     fn forward(&self, g: &mut Graph, bound: &BoundOriginal, plan: &SamplePlan) -> Var {
-        let mut path_state = g.constant(plan.path_init.clone());
-        let mut link_state = g.constant(plan.link_init.clone());
+        // Pooled copies: the plan may be a cached composition shared behind
+        // an Arc, so the tape takes its own (recycled) buffers; bits match
+        // `constant(clone())` exactly.
+        let mut path_state = g.constant_copy(&plan.path_init);
+        let mut link_state = g.constant_copy(&plan.link_init);
         for _ in 0..self.config.mp_iterations {
             let (new_path, link_acc, _) = path_sweep(
                 g,
@@ -538,9 +551,10 @@ impl PathPredictor for ExtendedRouteNet {
     }
 
     fn forward(&self, g: &mut Graph, bound: &BoundExtended, plan: &SamplePlan) -> Var {
-        let mut path_state = g.constant(plan.path_init.clone());
-        let mut link_state = g.constant(plan.link_init.clone());
-        let mut node_state = g.constant(plan.node_init.clone());
+        // Pooled copies — see `OriginalRouteNet::forward`.
+        let mut path_state = g.constant_copy(&plan.path_init);
+        let mut link_state = g.constant_copy(&plan.link_init);
+        let mut node_state = g.constant_copy(&plan.node_init);
         let positional = self.config.node_update == NodeUpdate::PositionalMessages;
         for _ in 0..self.config.mp_iterations {
             let (new_path, link_acc, node_acc) = path_sweep(

@@ -169,6 +169,44 @@ impl SamplePlan {
             .usizes(&self.node_incidence_nodes);
         fp.finish()
     }
+
+    /// Fingerprint of the plan's **structure** alone: entity counts, state
+    /// width, routing pairs, the full compiled step schedules and the
+    /// path↔node incidences — everything that determines the shape-dependent
+    /// half of a megabatch composition (`crate::compose`), and nothing that
+    /// doesn't. Feature values (initial-state matrices), targets and
+    /// reliability are deliberately excluded: two plans that differ only in
+    /// traffic/capacity/queue features or labels share one composed
+    /// structure. Memoized on first use; clones share the cached value.
+    pub fn structure_fingerprint(&self) -> u64 {
+        *self.structure_fp.get_or_init(|| {
+            let mut fp = Fingerprint::new();
+            fp.usize(self.path_init.cols()) // state width shapes every buffer
+                .usize(self.n_paths)
+                .usize(self.num_links)
+                .usize(self.num_nodes);
+            for &(s, d) in &self.pairs {
+                fp.usize(s).usize(d);
+            }
+            for csr in [&self.extended_csr, &self.original_csr] {
+                fp.usize(csr.len())
+                    .usizes(&csr.offsets)
+                    .usizes(&csr.ids_flat)
+                    .usizes(&csr.active_offsets)
+                    .usizes(&csr.active_rows_flat)
+                    .usizes(&csr.active_ids_flat);
+                for &kind in &csr.kinds {
+                    fp.u64(match kind {
+                        crate::entities::EntityKind::Link => 0,
+                        crate::entities::EntityKind::Node => 1,
+                    });
+                }
+            }
+            fp.usizes(&self.node_incidence_paths)
+                .usizes(&self.node_incidence_nodes);
+            fp.finish()
+        })
+    }
 }
 
 /// One cache slot: the shared plan plus its LRU stamp.

@@ -8,13 +8,26 @@
 //! an order of magnitude fewer tape nodes. Workers draw reusable tapes from
 //! a [`TapePool`], so the steady-state loop is allocation-free.
 //!
+//! ## Batch scheduler and structure reuse
+//!
+//! Megabatch **membership is fixed once** from the seeded shuffle; later
+//! epochs only permute the order batches are visited in. That means every
+//! megabatch's composed structure ([`crate::compose::ComposedMegabatch`]) is
+//! built exactly once — lazily on first visit, with the *next* batch
+//! composed ahead of time on the worker pool's background lane while the
+//! current batch runs — and epochs ≥ 2 do **zero** structure work per step:
+//! the steady-state loop binds straight against cached compositions.
+//! Validation chunks are composed once up front and reused every epoch.
+//!
 //! The loss of a megabatch is weighted per row so its gradient equals the
 //! mean of per-sample mean losses — the exact semantics of the legacy
 //! per-sample path, which remains available via
 //! [`TrainConfig::use_megabatch`] `= false` (samples then run on their own
-//! tapes, in parallel with rayon, like the original TensorFlow RouteNet).
+//! tapes, in parallel with rayon, like the original TensorFlow RouteNet;
+//! that path keeps its per-epoch membership reshuffle).
 
-use crate::entities::{build_megabatch, SamplePlan};
+use crate::compose::ComposedMegabatch;
+use crate::entities::{MegabatchPlan, SamplePlan};
 use crate::model::PathPredictor;
 use rayon::prelude::*;
 use rayon::WorkerPool;
@@ -89,6 +102,44 @@ impl Default for TrainConfig {
     }
 }
 
+impl TrainConfig {
+    /// The env var overriding [`TrainConfig::backward_shards`] — the single
+    /// knob CI uses to inject extra shard-worker configurations. Read it
+    /// through [`TrainConfig::env_backward_shards`] (tests, benches) or
+    /// [`TrainConfig::from_env`] (training entry points); ad-hoc
+    /// `std::env::var` reads of this name are how the knob drifts.
+    pub const BACKWARD_SHARDS_ENV: &'static str = "RN_BACKWARD_SHARDS";
+
+    /// The `RN_BACKWARD_SHARDS` override, if set to a positive integer.
+    /// Malformed or non-positive values are ignored (`None`), never a panic:
+    /// CI environments outlive the code that validates them.
+    pub fn env_backward_shards() -> Option<usize> {
+        Self::parse_backward_shards(std::env::var(Self::BACKWARD_SHARDS_ENV).ok().as_deref())
+    }
+
+    /// Interpret a raw `RN_BACKWARD_SHARDS` value: positive integers apply
+    /// (surrounding whitespace tolerated), everything else is ignored. Pure
+    /// and unit-testable — the tests exercise this instead of mutating
+    /// process-global env state under a multi-threaded test harness.
+    pub fn parse_backward_shards(raw: Option<&str>) -> Option<usize> {
+        raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+    }
+
+    /// [`TrainConfig::default`] with every recognized env override applied.
+    pub fn from_env() -> Self {
+        Self::default().with_env_overrides()
+    }
+
+    /// Apply env overrides (currently `RN_BACKWARD_SHARDS`) on top of an
+    /// explicitly constructed config.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(shards) = Self::env_backward_shards() {
+            self.backward_shards = shards;
+        }
+        self
+    }
+}
+
 /// Per-epoch loss record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainingHistory {
@@ -153,7 +204,8 @@ fn sample_loss<M: PathPredictor>(model: &M, plan: &SamplePlan, loss: Loss) -> Op
     Some(g.value(loss_node).get(0, 0) as f64)
 }
 
-/// One fused forward/backward over a megabatch shard on a pooled tape.
+/// One fused forward/backward over a **pre-composed** megabatch shard on a
+/// pooled tape.
 ///
 /// Returns `(sum_of_per_sample_mean_losses, samples_with_labels, grads)`;
 /// the gradients are of `sum_s mean_loss_s / scale`, so with
@@ -161,12 +213,11 @@ fn sample_loss<M: PathPredictor>(model: &M, plan: &SamplePlan, loss: Loss) -> Op
 /// batch simply add up to the batch-mean gradient.
 fn megabatch_gradients<M: PathPredictor>(
     model: &M,
-    shard: &[&SamplePlan],
+    mb: &MegabatchPlan,
     loss: Loss,
     scale: usize,
     g: &mut Graph,
 ) -> Option<(f64, usize, Vec<Matrix>)> {
-    let mb = build_megabatch(shard);
     if mb.plan.reliable_idx.is_empty() {
         return None;
     }
@@ -188,15 +239,14 @@ fn megabatch_gradients<M: PathPredictor>(
     Some((sum_of_means, mb.reliable_samples, model.grads(g, &bound)))
 }
 
-/// Validation loss of a megabatch shard: `(sum_of_per_sample_means, count)`.
+/// Validation loss of a pre-composed megabatch chunk:
+/// `(sum_of_per_sample_means, count)`.
 fn megabatch_loss<M: PathPredictor>(
     model: &M,
-    shard: &[SamplePlan],
+    mb: &MegabatchPlan,
     loss: Loss,
     g: &mut Graph,
 ) -> (f64, usize) {
-    let parts: Vec<&SamplePlan> = shard.iter().collect();
-    let mb = build_megabatch(&parts);
     if mb.plan.reliable_idx.is_empty() {
         return (0.0, 0);
     }
@@ -276,6 +326,11 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
     // Reusable tapes shared by whichever workers process shards; buffers
     // survive across batches and epochs.
     let tape_pool = TapePool::new();
+    // The worker pool serves two roles on the megabatch path: its gang runs
+    // the intra-megabatch sharded kernels (engaged on tapes only when
+    // backward_shards > 1), and its background lane is where the prefetch
+    // stage composes upcoming megabatches while the gang is busy.
+    //
     // Intra-megabatch shard gang: each checked-out tape fans the fused ops'
     // per-sample shards across these workers. Gradients are identical at
     // any worker count (ordered per-shard reduction), so this is purely a
@@ -286,12 +341,70 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
     // axis keeps the cores busy without contention. Chunk results are
     // folded in the same order either way, so the choice cannot change a
     // bit of the gradients.
-    let shard_pool: Option<Arc<WorkerPool>> = (config.use_megabatch && config.backward_shards > 1)
+    let worker_pool: Option<Arc<WorkerPool>> = config
+        .use_megabatch
         .then(|| Arc::new(WorkerPool::new(config.backward_shards)));
+    let gang: Option<Arc<WorkerPool>> = worker_pool
+        .as_ref()
+        .filter(|_| config.backward_shards > 1)
+        .cloned();
     let sharded_tape = |pool: &TapePool| {
         let mut tape = pool.acquire();
-        tape.set_worker_pool(shard_pool.clone());
+        tape.set_worker_pool(gang.clone());
         tape
+    };
+
+    // ---- Batch scheduler (megabatch path) --------------------------------
+    // Megabatch membership is fixed ONCE from the seeded shuffle; epochs
+    // >= 2 only permute the order batches are visited in. Fixed membership
+    // is what makes structure reuse total: each batch's composed megabatch
+    // (structure + features, both static across epochs here) is built once
+    // and replayed verbatim, so the steady-state loop runs zero per-step
+    // `build_megabatch` work.
+    let (batches, batch_labelled): (Vec<Vec<usize>>, Vec<usize>) = if config.use_megabatch {
+        let mut order: Vec<usize> = (0..plans.len()).collect();
+        rng.shuffle(&mut order);
+        let batches: Vec<Vec<usize>> = order
+            .chunks(config.batch_size)
+            .map(<[usize]>::to_vec)
+            .collect();
+        // Samples with labels per batch — the fixed gradient scale.
+        let labelled = batches
+            .iter()
+            .map(|batch| {
+                batch
+                    .iter()
+                    .filter(|&&i| !plans[i].reliable_idx.is_empty())
+                    .count()
+            })
+            .collect();
+        (batches, labelled)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    // One composed megabatch per shard of each batch, built lazily on the
+    // first visit and cached for every later epoch.
+    let mut composed: Vec<Option<Vec<ComposedMegabatch>>> = batches.iter().map(|_| None).collect();
+    let compose_batch = |batch: &[usize]| -> Vec<ComposedMegabatch> {
+        batch
+            .chunks(config.megabatch_size)
+            .map(|shard| {
+                let parts: Vec<&SamplePlan> = shard.iter().map(|&i| &plans[i]).collect();
+                ComposedMegabatch::compose(&parts).expect("train: uniform-width non-empty shard")
+            })
+            .collect()
+    };
+    // Validation chunks are composed once up front and reused every epoch.
+    let val_composed: Vec<ComposedMegabatch> = if config.use_megabatch {
+        val_plans
+            .chunks(config.megabatch_size)
+            .map(|chunk| {
+                let parts: Vec<&SamplePlan> = chunk.iter().collect();
+                ComposedMegabatch::compose(&parts).expect("train: uniform-width val chunk")
+            })
+            .collect()
+    } else {
+        Vec::new()
     };
 
     for epoch in 0..config.epochs {
@@ -306,35 +419,74 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 );
             }
         }
-        let mut order: Vec<usize> = (0..plans.len()).collect();
-        rng.shuffle(&mut order);
 
         let mut epoch_loss_sum = 0.0;
         let mut epoch_loss_count = 0usize;
-        for batch in order.chunks(config.batch_size) {
-            let snapshot: &M = model;
-            let (batch_loss_sum, batch_count, grads) = if config.use_megabatch {
-                // Samples with labels in this batch — the gradient scale.
-                let labelled = batch
-                    .iter()
-                    .filter(|&&i| !plans[i].reliable_idx.is_empty())
-                    .count();
+        if config.use_megabatch {
+            // Visit order: the first epoch follows membership order (the
+            // seeded shuffle above — identical batching to the pre-scheduler
+            // trainer); later epochs permute which batch is visited when.
+            let mut visit: Vec<usize> = (0..batches.len()).collect();
+            if epoch > 0 {
+                rng.shuffle(&mut visit);
+            }
+            // Double-buffered prefetch: while the current batch runs on the
+            // gang, the pool's background lane composes the next batch that
+            // has no cached structure yet. Only the cold first epoch ever
+            // has compose work to hide; the handle drains within the epoch.
+            let mut pending: Option<(usize, rayon::Prefetch<'_, Vec<ComposedMegabatch>>)> = None;
+            for (vi, &bi) in visit.iter().enumerate() {
+                let labelled = batch_labelled[bi];
                 if labelled == 0 {
                     continue;
                 }
-                let shards: Vec<&[usize]> = batch.chunks(config.megabatch_size).collect();
-                let run_shard = |shard: &&[usize]| {
-                    let parts: Vec<&SamplePlan> = shard.iter().map(|&i| &plans[i]).collect();
+                // Claim this batch's compositions: from the prefetch lane
+                // when it ran ahead, inline otherwise (cold start).
+                if composed[bi].is_none() {
+                    if let Some((pi, task)) = pending.take() {
+                        composed[pi] = Some(task.join());
+                    }
+                }
+                if composed[bi].is_none() {
+                    composed[bi] = Some(compose_batch(&batches[bi]));
+                }
+                // Aim the background lane at the next uncomposed batch.
+                if pending.is_none() {
+                    if let Some(pool) = worker_pool.as_deref() {
+                        if let Some(&nb) = visit[vi + 1..]
+                            .iter()
+                            .find(|&&b| composed[b].is_none() && batch_labelled[b] > 0)
+                        {
+                            let compose_batch = &compose_batch;
+                            let batches = &batches;
+                            // SAFETY: the Prefetch handle is joined (or
+                            // dropped, which blocks) strictly within this
+                            // epoch's scope, and is never leaked — the
+                            // borrowed plans/batches outlive it.
+                            let task = unsafe { pool.submit(move || compose_batch(&batches[nb])) };
+                            pending = Some((nb, task));
+                        }
+                    }
+                }
+
+                let snapshot: &M = model;
+                let comps = composed[bi].as_ref().expect("composed above");
+                let run_shard = |c: &ComposedMegabatch| {
                     let mut tape = sharded_tape(&tape_pool);
-                    let out =
-                        megabatch_gradients(snapshot, &parts, config.loss, labelled, &mut tape);
+                    let out = megabatch_gradients(
+                        snapshot,
+                        c.megabatch(),
+                        config.loss,
+                        labelled,
+                        &mut tape,
+                    );
                     tape_pool.release(tape);
                     out
                 };
-                let results: Vec<(f64, usize, Vec<Matrix>)> = if shard_pool.is_some() {
-                    shards.iter().filter_map(run_shard).collect()
+                let results: Vec<(f64, usize, Vec<Matrix>)> = if gang.is_some() {
+                    comps.iter().filter_map(run_shard).collect()
                 } else {
-                    shards.par_iter().filter_map(run_shard).collect()
+                    comps.par_iter().filter_map(run_shard).collect()
                 };
                 let mut loss_sum = 0.0;
                 let mut count = 0usize;
@@ -351,11 +503,21 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                         }
                     }
                 }
-                // Shard gradients are already scaled by 1/labelled; their sum
-                // is the batch-mean gradient.
-                let Some(grads) = grads else { continue };
-                (loss_sum, count, grads)
-            } else {
+                // Shard gradients are already scaled by 1/labelled; their
+                // sum is the batch-mean gradient.
+                let Some(mut grads) = grads else { continue };
+                epoch_loss_sum += loss_sum;
+                epoch_loss_count += count;
+                clip_global_norm(&mut grads, config.grad_clip);
+                optimizer.step(&mut model.params_mut(), &grads);
+            }
+        } else {
+            // Legacy per-sample path: membership reshuffles every epoch,
+            // exactly as the original TensorFlow RouteNet trained.
+            let mut order: Vec<usize> = (0..plans.len()).collect();
+            rng.shuffle(&mut order);
+            for batch in order.chunks(config.batch_size) {
+                let snapshot: &M = model;
                 let results: Vec<(f64, Vec<Matrix>)> = batch
                     .par_iter()
                     .filter_map(|&i| sample_gradients(snapshot, &plans[i], config.loss))
@@ -382,13 +544,11 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 for g in &mut grads {
                     g.map_inplace(|v| v * scale);
                 }
-                (loss_sum, count, grads)
-            };
-            epoch_loss_sum += batch_loss_sum;
-            epoch_loss_count += batch_count;
-            let mut grads = grads;
-            clip_global_norm(&mut grads, config.grad_clip);
-            optimizer.step(&mut model.params_mut(), &grads);
+                epoch_loss_sum += loss_sum;
+                epoch_loss_count += count;
+                clip_global_norm(&mut grads, config.grad_clip);
+                optimizer.step(&mut model.params_mut(), &grads);
+            }
         }
         let train_loss = if epoch_loss_count > 0 {
             epoch_loss_sum / epoch_loss_count as f64
@@ -401,23 +561,23 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
         let mut val_msg = String::new();
         if !val_plans.is_empty() {
             let snapshot: &M = model;
-            let run_val_shard = |shard: &[SamplePlan]| {
+            let run_val_chunk = |c: &ComposedMegabatch| {
                 let mut tape = sharded_tape(&tape_pool);
-                let out = megabatch_loss(snapshot, shard, config.loss, &mut tape);
+                let out = megabatch_loss(snapshot, c.megabatch(), config.loss, &mut tape);
                 tape_pool.release(tape);
                 out
             };
-            let (sum, count) = if config.use_megabatch && shard_pool.is_some() {
+            let (sum, count) = if config.use_megabatch && gang.is_some() {
                 // Same axis choice as training: the gang parallelizes inside
                 // each chunk, so chunks run one after another.
-                val_plans
-                    .chunks(config.megabatch_size)
-                    .map(run_val_shard)
+                val_composed
+                    .iter()
+                    .map(run_val_chunk)
                     .fold((0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
             } else if config.use_megabatch {
-                val_plans
-                    .par_chunks(config.megabatch_size)
-                    .map(run_val_shard)
+                val_composed
+                    .par_iter()
+                    .map(run_val_chunk)
                     .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
             } else {
                 val_plans
@@ -631,6 +791,54 @@ mod tests {
         let b = make(3);
         let plan = a.plan(&ds.samples[0]);
         assert_eq!(a.predict(&plan), b.predict(&plan));
+    }
+
+    #[test]
+    fn env_override_is_centralized_and_validated() {
+        // The one place RN_BACKWARD_SHARDS is interpreted. The parser is
+        // pure, so it tests without `set_var` (mutating process-global env
+        // under the multi-threaded test harness races other threads'
+        // getenv calls).
+        assert_eq!(TrainConfig::BACKWARD_SHARDS_ENV, "RN_BACKWARD_SHARDS");
+        assert_eq!(TrainConfig::parse_backward_shards(None), None, "unset");
+        assert_eq!(TrainConfig::parse_backward_shards(Some("4")), Some(4));
+        assert_eq!(
+            TrainConfig::parse_backward_shards(Some(" 8 ")),
+            Some(8),
+            "whitespace tolerated"
+        );
+        assert_eq!(
+            TrainConfig::parse_backward_shards(Some("0")),
+            None,
+            "non-positive ignored"
+        );
+        assert_eq!(
+            TrainConfig::parse_backward_shards(Some("lots")),
+            None,
+            "garbage ignored"
+        );
+        assert_eq!(TrainConfig::parse_backward_shards(Some("")), None);
+        assert_eq!(TrainConfig::parse_backward_shards(Some("-2")), None);
+
+        // The live lookup and the override plumbing agree with the parser
+        // on whatever the ambient environment actually holds.
+        let ambient = std::env::var(TrainConfig::BACKWARD_SHARDS_ENV).ok();
+        let expected = TrainConfig::parse_backward_shards(ambient.as_deref());
+        assert_eq!(TrainConfig::env_backward_shards(), expected);
+        assert_eq!(
+            TrainConfig::from_env().backward_shards,
+            expected.unwrap_or(TrainConfig::default().backward_shards)
+        );
+        let explicit = TrainConfig {
+            backward_shards: 2,
+            ..TrainConfig::default()
+        }
+        .with_env_overrides();
+        assert_eq!(
+            explicit.backward_shards,
+            expected.unwrap_or(2),
+            "env wins over explicit when set"
+        );
     }
 
     #[test]

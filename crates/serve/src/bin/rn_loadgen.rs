@@ -12,7 +12,8 @@
 //! so pointing this at a server started on the same topology works without
 //! shipping files around.
 
-use rn_serve::loadgen::{demo_scenarios, run_loadgen, LoadMode, LoadgenConfig};
+use rn_serve::loadgen::{demo_scenarios, run_loadgen, Client, LoadMode, LoadgenConfig};
+use rn_serve::{Request, Response};
 
 fn arg(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -51,4 +52,34 @@ fn main() {
         "{}",
         serde_json::to_string(&report).expect("serialize report")
     );
+
+    // End-of-run server-side cache summary: how much planning the plan
+    // cache absorbed and how many dynamic batches rode a cached megabatch
+    // composition instead of a fresh `build_megabatch`.
+    match Client::connect(&config.addr).and_then(|mut c| {
+        c.round_trip(&Request::Metrics)
+            .map_err(std::io::Error::other)
+    }) {
+        Ok(Response::Metrics { snapshot }) => {
+            eprintln!(
+                "[loadgen] server caches: plan hit rate {:.3} ({}/{} lookups), \
+                 composition hit rate {:.3} ({}/{} batches), {} distinct batch shapes",
+                snapshot.cache_hit_rate,
+                snapshot.cache_hits,
+                snapshot.cache_hits + snapshot.cache_misses,
+                snapshot.compose_hit_rate,
+                snapshot.compose_hits,
+                snapshot.compose_hits + snapshot.compose_misses,
+                snapshot.batch_shapes.len(),
+            );
+            if let Some(top) = snapshot.batch_shapes.first() {
+                eprintln!(
+                    "[loadgen] hottest batch shape {:#018x}: {} batches",
+                    top.shape, top.batches
+                );
+            }
+        }
+        Ok(other) => eprintln!("[loadgen] unexpected metrics response: {other:?}"),
+        Err(e) => eprintln!("[loadgen] metrics fetch failed: {e}"),
+    }
 }

@@ -6,6 +6,7 @@
 //! is taken by [`ServeMetrics::snapshot`], which readers call at human
 //! frequency.
 
+use routenet::compose::ShapeCount;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -225,19 +226,27 @@ impl ServeMetrics {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Snapshot every counter into a serializable record. `cache` statistics
+    /// Snapshot every counter into a serializable record. Cache statistics
     /// and the model version are injected by the service, which owns them.
     pub fn snapshot(
         &self,
-        cache_hits: u64,
-        cache_misses: u64,
-        cache_len: usize,
+        caches: CacheStats,
         model_version: u64,
         queue_depth: usize,
     ) -> MetricsSnapshot {
+        let CacheStats {
+            plan_hits: cache_hits,
+            plan_misses: cache_misses,
+            plan_len: cache_len,
+            compose_hits,
+            compose_misses,
+            compose_len,
+            batch_shapes,
+        } = caches;
         let completed = self.completed.load(Ordering::Relaxed);
         let uptime = self.uptime_s();
         let lookups = cache_hits + cache_misses;
+        let compose_lookups = compose_hits + compose_misses;
         MetricsSnapshot {
             uptime_s: uptime,
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -266,11 +275,42 @@ impl ServeMetrics {
                 0.0
             },
             cache_len: cache_len as u64,
+            compose_hits,
+            compose_misses,
+            compose_hit_rate: if compose_lookups > 0 {
+                compose_hits as f64 / compose_lookups as f64
+            } else {
+                0.0
+            },
+            compose_len: compose_len as u64,
+            batch_shapes,
             model_version,
             model_swaps: self.swaps.load(Ordering::Relaxed),
             queue_depth: queue_depth as u64,
         }
     }
+}
+
+/// Cache statistics the service injects into a [`MetricsSnapshot`]: the
+/// plan cache (scenario fingerprint → compiled plan) and the composition
+/// cache (ordered structure fingerprints → composed megabatch), plus the
+/// batch-shape histogram the composition cache maintains.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses.
+    pub plan_misses: u64,
+    /// Plans resident.
+    pub plan_len: usize,
+    /// Composition-cache hits (multi-request batches that skipped planning).
+    pub compose_hits: u64,
+    /// Composition-cache misses (batches that composed fresh).
+    pub compose_misses: u64,
+    /// Compositions resident.
+    pub compose_len: usize,
+    /// Batch-shape histogram, most-requested shapes first.
+    pub batch_shapes: Vec<ShapeCount>,
 }
 
 /// A point-in-time copy of the service metrics (JSON-serializable; returned
@@ -315,6 +355,19 @@ pub struct MetricsSnapshot {
     pub cache_hit_rate: f64,
     /// Plans resident in the cache.
     pub cache_len: u64,
+    /// Composition-cache hits: multi-request batches whose block-diagonal
+    /// structure was already composed (workers skipped `build_megabatch`
+    /// planning and only refilled features).
+    pub compose_hits: u64,
+    /// Composition-cache misses: batches that composed their structure fresh.
+    pub compose_misses: u64,
+    /// Composition hits over lookups.
+    pub compose_hit_rate: f64,
+    /// Compositions resident in the cache.
+    pub compose_len: u64,
+    /// Batch-shape histogram: how often each distinct ordered batch shape
+    /// (hashed composition key) was requested, most frequent first.
+    pub batch_shapes: Vec<ShapeCount>,
     /// Version of the model serving right now (bumps on hot-swap).
     pub model_version: u64,
     /// Hot-swaps performed.
@@ -428,13 +481,43 @@ mod tests {
         m.completed.fetch_add(3, Ordering::Relaxed);
         m.latency.record(Duration::from_micros(250));
         m.batches.record(3, 42);
-        let snap = m.snapshot(5, 1, 2, 7, 0);
+        let snap = m.snapshot(
+            CacheStats {
+                plan_hits: 5,
+                plan_misses: 1,
+                plan_len: 2,
+                compose_hits: 3,
+                compose_misses: 1,
+                compose_len: 1,
+                batch_shapes: vec![ShapeCount {
+                    shape: 0xfeed,
+                    batches: 4,
+                }],
+            },
+            7,
+            0,
+        );
         assert_eq!(snap.completed, 3);
         assert_eq!(snap.model_version, 7);
         assert!((snap.cache_hit_rate - 5.0 / 6.0).abs() < 1e-12);
+        assert!((snap.compose_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(snap.compose_len, 1);
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.completed, snap.completed);
         assert_eq!(back.batch_size_counts, snap.batch_size_counts);
+        assert_eq!(back.compose_hits, 3);
+        assert_eq!(back.batch_shapes.len(), 1);
+        assert_eq!(back.batch_shapes[0].shape, 0xfeed);
+        assert_eq!(back.batch_shapes[0].batches, 4);
+    }
+
+    #[test]
+    fn empty_cache_stats_read_zero_rates() {
+        let m = ServeMetrics::new(4);
+        let snap = m.snapshot(CacheStats::default(), 1, 0);
+        assert_eq!(snap.cache_hit_rate, 0.0);
+        assert_eq!(snap.compose_hit_rate, 0.0);
+        assert!(snap.batch_shapes.is_empty());
     }
 }

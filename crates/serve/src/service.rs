@@ -27,10 +27,11 @@
 //! rows land inside a megabatch, so batch composition cannot perturb
 //! results. The stress tests pin this down.
 
-use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::metrics::{CacheStats, MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
 use rn_autograd::{TapePool, WorkerPool};
 use rn_dataset::Sample;
+use routenet::compose::{ComposedMegabatch, CompositionCache};
 use routenet::entities::PlanConfig;
 use routenet::model::PathPredictor;
 use routenet::plan_cache::{sample_fingerprint, PlanCache};
@@ -59,6 +60,13 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Compiled plans kept in the shared [`PlanCache`].
     pub plan_cache_capacity: usize,
+    /// Composed megabatch structures kept in the shared
+    /// [`CompositionCache`]. The serving workload is many scenarios over a
+    /// fixed small set of graph shapes, so recurring multi-request batch
+    /// shapes check a ready composition out, refill its features and skip
+    /// `build_megabatch` planning entirely. Results are bitwise identical
+    /// either way.
+    pub compose_cache_capacity: usize,
     /// Worker threads for **intra-batch sharding**: when a worker flushes a
     /// multi-request batch and the queue behind it is empty (shallow load —
     /// no co-workers to keep busy), the fused block-diagonal forward fans
@@ -79,6 +87,7 @@ impl Default for ServeConfig {
             flush_deadline: Duration::ZERO,
             queue_capacity: 1024,
             plan_cache_capacity: 256,
+            compose_cache_capacity: 32,
             intra_batch_shards: 1,
         }
     }
@@ -142,6 +151,10 @@ struct Inner<M> {
     registry: ModelRegistry<M>,
     metrics: ServeMetrics,
     plans: PlanCache,
+    /// Composed megabatch structures for recurring batch shapes (checked
+    /// out exclusively per batch, refilled with that batch's features,
+    /// published back).
+    compositions: CompositionCache,
     tapes: TapePool,
     /// Shared shard gang for shallow-queue batches (see
     /// [`ServeConfig::intra_batch_shards`]); `None` when disabled.
@@ -180,6 +193,7 @@ impl<M: PathPredictor + 'static> Service<M> {
             metrics: ServeMetrics::new(config.max_batch),
             registry: ModelRegistry::new(model),
             plans: PlanCache::new(config.plan_cache_capacity),
+            compositions: CompositionCache::new(config.compose_cache_capacity),
             tapes: TapePool::new(),
             shard_pool: (config.intra_batch_shards > 1)
                 .then(|| Arc::new(WorkerPool::new(config.intra_batch_shards))),
@@ -277,8 +291,13 @@ impl<M: PathPredictor> ServeHandle<M> {
     /// fingerprints get `UnknownPlan` and re-register (re-keying under the
     /// new preprocessing); in-flight `Arc`s stay valid for their batch.
     pub fn swap_model(&self, model: M) -> u64 {
+        let state_dim = model.config().state_dim;
         let version = self.inner.registry.swap(model);
         self.inner.plans.clear();
+        // Compositions are preprocessing-independent, so same-width entries
+        // stay useful across the swap; entries compiled for a different
+        // state width can never be keyed again and are purged.
+        self.inner.compositions.retain_width(state_dim);
         self.inner.metrics.swaps.fetch_add(1, Ordering::Relaxed);
         version
     }
@@ -298,9 +317,15 @@ impl<M: PathPredictor> ServeHandle<M> {
             .queue
             .len();
         self.inner.metrics.snapshot(
-            self.inner.plans.hits(),
-            self.inner.plans.misses(),
-            self.inner.plans.len(),
+            CacheStats {
+                plan_hits: self.inner.plans.hits(),
+                plan_misses: self.inner.plans.misses(),
+                plan_len: self.inner.plans.len(),
+                compose_hits: self.inner.compositions.hits(),
+                compose_misses: self.inner.compositions.misses(),
+                compose_len: self.inner.compositions.len(),
+                batch_shapes: self.inner.compositions.shape_counts(),
+            },
             self.inner.registry.version(),
             queue_depth,
         )
@@ -343,6 +368,10 @@ impl<M: PathPredictor> ServeHandle<M> {
     {
         let version = self.inner.registry.load_and_swap(path)?;
         self.inner.plans.clear();
+        // Same hygiene as `swap_model`: stale-width compositions can never
+        // be keyed again under the new model.
+        let state_dim = self.inner.registry.snapshot().0.config().state_dim;
+        self.inner.compositions.retain_width(state_dim);
         self.inner.metrics.swaps.fetch_add(1, Ordering::Relaxed);
         Ok(version)
     }
@@ -439,7 +468,30 @@ fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
         } else {
             None
         });
-        let results = model.predict_batch_refs_with(&mut tape, &refs);
+        let results = if refs.len() > 1 {
+            // Multi-request batches go through the composition cache: a
+            // recurring batch shape checks its composed block-diagonal
+            // structure out, refills the feature rows for *these* requests
+            // and skips `build_megabatch` planning entirely. Misses compose
+            // fresh and publish for the next batch with this shape. Bitwise
+            // identical to `predict_batch_refs_with` either way.
+            let key = CompositionCache::key_of(&refs);
+            let composed = match inner.compositions.checkout(&key) {
+                Some(mut cached) => {
+                    cached.refill_features(&refs);
+                    cached
+                }
+                None => ComposedMegabatch::compose(&refs)
+                    .expect("worker batch is non-empty and width-checked"),
+            };
+            let out = model.predict_megabatch_with(&mut tape, composed.megabatch());
+            inner.compositions.publish(composed);
+            out
+        } else {
+            // Single-request flushes take the legacy (bitwise-seed) path,
+            // exactly as `predict_batch_refs_with` special-cases them.
+            model.predict_batch_refs_with(&mut tape, &refs)
+        };
         tape.set_worker_pool(None);
         inner.tapes.release(tape);
 

@@ -400,6 +400,170 @@ fn tcp_protocol_round_trips_and_matches_direct_predictions() {
 }
 
 #[test]
+fn composition_cache_hits_recurring_batch_shapes_bitwise() {
+    // Same four scenarios submitted round after round: after the first
+    // rounds, recurring multi-request batch shapes must be answered from
+    // cached compositions (structure reused, features refilled) — with bits
+    // identical to a direct predict_batch, and the metrics must show
+    // composition hits plus a populated batch-shape histogram.
+    let ds = toy_dataset(4, 41);
+    let model = fitted_model(&ds, 5);
+    let plans: Vec<Arc<SamplePlan>> = ds.samples.iter().map(|s| Arc::new(model.plan(s))).collect();
+    let owned: Vec<SamplePlan> = plans.iter().map(|p| (**p).clone()).collect();
+    let reference: Vec<Vec<u64>> = model
+        .predict_batch(&owned)
+        .iter()
+        .map(|v| bits(v))
+        .collect();
+
+    let service = Service::start(
+        model,
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            // A generous deadline so each round's four requests ride one
+            // (or few) multi-request batches whose shapes recur.
+            flush_deadline: Duration::from_millis(25),
+            compose_cache_capacity: 8,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    for _round in 0..12 {
+        std::thread::scope(|s| {
+            let joins: Vec<_> = plans
+                .iter()
+                .map(|plan| {
+                    let handle = handle.clone();
+                    let plan = Arc::clone(plan);
+                    s.spawn(move || handle.predict_plan(plan).expect("predict"))
+                })
+                .collect();
+            for (b, join) in joins.into_iter().enumerate() {
+                let served = join.join().expect("client thread");
+                assert_eq!(
+                    bits(&served),
+                    reference[b],
+                    "cached-composition serving changed bits for sample {b}"
+                );
+            }
+        });
+    }
+
+    let m = handle.metrics();
+    assert_eq!(m.completed, 48);
+    assert_eq!(m.errors, 0);
+    assert!(
+        m.compose_hits >= 1,
+        "recurring batch shapes must hit the composition cache \
+         (hits {}, misses {})",
+        m.compose_hits,
+        m.compose_misses
+    );
+    assert!(m.compose_len >= 1, "compositions must stay resident");
+    assert!(
+        (m.compose_hit_rate - m.compose_hits as f64 / (m.compose_hits + m.compose_misses) as f64)
+            .abs()
+            < 1e-12
+    );
+    assert!(
+        !m.batch_shapes.is_empty(),
+        "the batch-shape histogram must be populated"
+    );
+    let requested: u64 = m.batch_shapes.iter().map(|s| s.batches).sum();
+    assert_eq!(
+        requested,
+        m.compose_hits + m.compose_misses,
+        "histogram rows must account for every multi-request batch"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn composition_cache_survives_hot_swap_with_refilled_features() {
+    // A hot-swap to a same-width model keeps cached compositions useful:
+    // the structure is model-independent, and feature refill happens per
+    // batch anyway. Post-swap batches must produce model B's exact bits.
+    let ds = toy_dataset(3, 43);
+    let model_a = fitted_model(&ds, 1);
+    let model_b = fitted_model(&ds, 2);
+    let plans: Vec<Arc<SamplePlan>> = ds
+        .samples
+        .iter()
+        .map(|s| Arc::new(model_a.plan(s)))
+        .collect();
+    let owned: Vec<SamplePlan> = plans.iter().map(|p| (**p).clone()).collect();
+    let expected_b: Vec<Vec<u64>> = model_b
+        .predict_batch(&owned)
+        .iter()
+        .map(|v| bits(v))
+        .collect();
+
+    let service = Service::start(
+        model_a,
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            flush_deadline: Duration::from_millis(25),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    // Warm the composition cache under model A.
+    for _ in 0..3 {
+        std::thread::scope(|s| {
+            for plan in &plans {
+                let handle = handle.clone();
+                let plan = Arc::clone(plan);
+                s.spawn(move || handle.predict_plan(plan).expect("warm predict"));
+            }
+        });
+    }
+    handle.swap_model(model_b);
+    // Post-swap, served bits must be model B's — even when the batch rides
+    // a composition cached under model A.
+    std::thread::scope(|s| {
+        let joins: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let handle = handle.clone();
+                let plan = Arc::clone(plan);
+                s.spawn(move || handle.predict_plan(plan).expect("post-swap predict"))
+            })
+            .collect();
+        for (b, join) in joins.into_iter().enumerate() {
+            assert_eq!(
+                bits(&join.join().expect("client thread")),
+                expected_b[b],
+                "post-swap sample {b} must carry model B bits"
+            );
+        }
+    });
+    let m = handle.metrics();
+    assert_eq!(m.errors, 0);
+
+    // A swap to a *resized* model purges the now-unkeyable old-width
+    // compositions (same-width entries survived the A→B swap above).
+    if m.compose_len > 0 {
+        let mut wide = ExtendedRouteNet::new(ModelConfig {
+            state_dim: 16,
+            mp_iterations: 2,
+            readout_hidden: 16,
+            seed: 9,
+            ..ModelConfig::default()
+        });
+        wide.fit_preprocessing(&ds, 5);
+        handle.swap_model(wide);
+        assert_eq!(
+            handle.metrics().compose_len,
+            0,
+            "resized hot-swap must purge stale-width compositions"
+        );
+    }
+    service.shutdown();
+}
+
+#[test]
 fn intra_batch_sharding_keeps_served_bits_identical() {
     // With a shard gang enabled, a worker that flushes a multi-request
     // batch against an empty queue fans the fused forward out across

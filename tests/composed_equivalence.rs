@@ -1,0 +1,234 @@
+//! Golden bit-identity tests for the megabatch composition layer.
+//!
+//! The contract under test: a cached [`ComposedMegabatch`] whose features
+//! were **refilled** for a new batch is bitwise identical to a fresh
+//! `build_megabatch` over that batch — predictions AND gradients, at any
+//! shard-worker count, and across model hot-swaps (same structure, new
+//! preprocessing). Structure reuse must be invisible to the numerics; only
+//! the planning cost may change.
+
+use rn_autograd::{Graph, WorkerPool};
+use rn_dataset::{generate, Dataset, GeneratorConfig, Sample};
+use rn_netgraph::topologies;
+use rn_netsim::SimConfig;
+use rn_nn::Layer;
+use rn_tensor::Matrix;
+use routenet::compose::{ComposedMegabatch, CompositionCache};
+use routenet::entities::{build_megabatch, MegabatchPlan};
+use routenet::model::PathPredictor;
+use routenet::{ExtendedRouteNet, ModelConfig, SamplePlan};
+use std::sync::Arc;
+
+fn nsfnet_dataset(batch: usize, seed: u64) -> Dataset {
+    let gen_config = GeneratorConfig {
+        sim: SimConfig {
+            duration_s: 30.0,
+            warmup_s: 5.0,
+            ..SimConfig::default()
+        },
+        ..GeneratorConfig::default()
+    };
+    generate(&topologies::nsfnet_default(), &gen_config, seed, batch)
+}
+
+fn fitted_model(ds: &Dataset, weight_seed: u64) -> ExtendedRouteNet {
+    let mut model = ExtendedRouteNet::new(ModelConfig {
+        state_dim: 16,
+        mp_iterations: 3,
+        readout_hidden: 16,
+        seed: weight_seed,
+        ..ModelConfig::default()
+    });
+    model.fit_preprocessing(ds, 5);
+    model
+}
+
+/// Feature-only mutation: routing, topology and queue layout untouched, so
+/// the per-sample structure fingerprints must not move. One sample also
+/// loses a reliable label, so the refill path has to rewrite reliability
+/// and loss weights, not just the feature matrices.
+fn perturb_features(samples: &[Sample]) -> Vec<Sample> {
+    let mut out: Vec<Sample> = samples.to_vec();
+    for (i, s) in out.iter_mut().enumerate() {
+        for c in &mut s.link_capacities {
+            *c *= 1.0 + 0.05 * (i as f64 + 1.0);
+        }
+        for t in &mut s.targets {
+            t.mean_delay_s *= 1.25;
+        }
+    }
+    // Knock one label out entirely: reliable_idx (a feature) must shrink.
+    out[0].targets[0].delivered = 0;
+    out[0].targets[0].mean_delay_s = 0.0;
+    out
+}
+
+/// One fused forward + backward on the megabatch with the given worker
+/// pool; returns the loss bits and every parameter gradient.
+fn megabatch_step(
+    model: &ExtendedRouteNet,
+    mb: &MegabatchPlan,
+    pool: Option<Arc<WorkerPool>>,
+) -> (u32, Vec<Matrix>) {
+    let mut g = Graph::new();
+    g.set_worker_pool(pool);
+    let bound = model.bind(&mut g);
+    let pred = model.forward(&mut g, &bound, &mb.plan);
+    let reliable = g.gather_rows(pred, &mb.plan.reliable_idx);
+    let target = g.constant(mb.plan.reliable_targets_norm());
+    let loss = g.mse(reliable, target);
+    g.backward(loss);
+    (g.value(loss).get(0, 0).to_bits(), model.grads(&g, &bound))
+}
+
+fn prediction_bits(model: &ExtendedRouteNet, mb: &MegabatchPlan) -> Vec<Vec<u64>> {
+    let mut g = Graph::new();
+    model
+        .predict_megabatch_with(&mut g, mb)
+        .iter()
+        .map(|v| v.iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn cached_refill_is_bitwise_identical_to_fresh_build_across_shards() {
+    let ds_a = nsfnet_dataset(4, 20_260_729);
+    let model = fitted_model(&ds_a, 11);
+    let plans_a: Vec<SamplePlan> = ds_a.samples.iter().map(|s| model.plan(s)).collect();
+    let samples_b = perturb_features(&ds_a.samples);
+    let plans_b: Vec<SamplePlan> = samples_b.iter().map(|s| model.plan(s)).collect();
+    let parts_a: Vec<&SamplePlan> = plans_a.iter().collect();
+    let parts_b: Vec<&SamplePlan> = plans_b.iter().collect();
+    assert_eq!(
+        CompositionCache::key_of(&parts_a),
+        CompositionCache::key_of(&parts_b),
+        "feature perturbation must not move the structure key"
+    );
+    assert_ne!(
+        plans_a[0].reliable_idx, plans_b[0].reliable_idx,
+        "the perturbation must change reliability, or refill is under-tested"
+    );
+
+    // Compose once from batch A, then refill for batch B — the cache-hit
+    // path a serving worker takes.
+    let mut composed = ComposedMegabatch::compose(&parts_a).expect("compose");
+    composed.refill_features(&parts_b);
+    let fresh_b = build_megabatch(&parts_b);
+
+    // Predictions: bitwise across the refill.
+    assert_eq!(
+        prediction_bits(&model, composed.megabatch()),
+        prediction_bits(&model, &fresh_b),
+        "refilled composition changed prediction bits"
+    );
+
+    // Gradients: bitwise, at every shard-worker count (inline, 1, 2, 4 —
+    // plus whatever CI injects through the centralized env override).
+    let mut worker_counts: Vec<Option<usize>> = vec![None, Some(1), Some(2), Some(4)];
+    if let Some(extra) = routenet::TrainConfig::env_backward_shards() {
+        if !worker_counts.contains(&Some(extra)) {
+            worker_counts.push(Some(extra));
+        }
+    }
+    let (loss_ref, grads_ref) = megabatch_step(&model, &fresh_b, None);
+    for workers in worker_counts {
+        let pool = workers.map(|w| Arc::new(WorkerPool::new(w)));
+        let (loss_fresh, grads_fresh) = megabatch_step(&model, &fresh_b, pool.clone());
+        let (loss_cached, grads_cached) = megabatch_step(&model, composed.megabatch(), pool);
+        assert_eq!(
+            loss_fresh, loss_cached,
+            "loss bits diverged at {workers:?} workers"
+        );
+        assert_eq!(loss_ref, loss_cached, "loss bits diverged from inline");
+        assert_eq!(grads_fresh.len(), grads_cached.len());
+        for (i, (a, b)) in grads_fresh.iter().zip(&grads_cached).enumerate() {
+            assert!(
+                a.approx_eq(b, 0.0),
+                "gradient {i} diverged at {workers:?} workers"
+            );
+        }
+        for (i, (a, b)) in grads_ref.iter().zip(&grads_cached).enumerate() {
+            assert!(a.approx_eq(b, 0.0), "gradient {i} diverged from inline");
+        }
+    }
+
+    // Round-trip: refilling back to batch A reproduces a fresh A bitwise.
+    composed.refill_features(&parts_a);
+    let fresh_a = build_megabatch(&parts_a);
+    assert_eq!(
+        prediction_bits(&model, composed.megabatch()),
+        prediction_bits(&model, &fresh_a)
+    );
+}
+
+#[test]
+fn cached_refill_is_bitwise_identical_across_hot_swapped_models() {
+    // The serving scenario: a composition cached under model v1 survives a
+    // hot-swap (structure is preprocessing-independent) and is refilled
+    // with plans compiled under v2's preprocessing. Results must carry v2's
+    // exact bits.
+    let ds = nsfnet_dataset(3, 777);
+    let other = nsfnet_dataset(6, 778);
+    let model_v1 = fitted_model(&ds, 1);
+    // Same width, different weights AND different preprocessing (fitted on
+    // a different dataset), so v2 plans differ in every feature.
+    let model_v2 = fitted_model(&other, 2);
+    assert_eq!(model_v2.config().state_dim, model_v1.config().state_dim);
+
+    let plans_v1: Vec<SamplePlan> = ds.samples.iter().map(|s| model_v1.plan(s)).collect();
+    let plans_v2: Vec<SamplePlan> = ds.samples.iter().map(|s| model_v2.plan(s)).collect();
+    let parts_v1: Vec<&SamplePlan> = plans_v1.iter().collect();
+    let parts_v2: Vec<&SamplePlan> = plans_v2.iter().collect();
+    assert_eq!(
+        CompositionCache::key_of(&parts_v1),
+        CompositionCache::key_of(&parts_v2),
+        "preprocessing changes must not move the structure key"
+    );
+
+    let mut composed = ComposedMegabatch::compose(&parts_v1).expect("compose under v1");
+    composed.refill_features(&parts_v2);
+    let fresh_v2 = build_megabatch(&parts_v2);
+    assert_eq!(
+        prediction_bits(&model_v2, composed.megabatch()),
+        prediction_bits(&model_v2, &fresh_v2),
+        "post-swap refill changed prediction bits"
+    );
+    let (loss_fresh, grads_fresh) = megabatch_step(&model_v2, &fresh_v2, None);
+    let (loss_cached, grads_cached) = megabatch_step(&model_v2, composed.megabatch(), None);
+    assert_eq!(loss_fresh, loss_cached);
+    for (i, (a, b)) in grads_fresh.iter().zip(&grads_cached).enumerate() {
+        assert!(a.approx_eq(b, 0.0), "post-swap gradient {i} diverged");
+    }
+}
+
+#[test]
+fn trainer_epochs_reuse_compositions_bitwise_across_shard_counts() {
+    // End-to-end through the batch scheduler: multi-epoch training (epochs
+    // >= 2 replay cached compositions; epoch visit order permutes) must
+    // stay bitwise identical across backward_shards — the composition layer
+    // cannot introduce worker-count dependence.
+    use routenet::trainer::{train, TrainConfig};
+    let ds = nsfnet_dataset(6, 775);
+    let run = |backward_shards: usize| {
+        let mut model = fitted_model(&ds, 5);
+        let config = TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            megabatch_size: 2,
+            backward_shards,
+            ..TrainConfig::default()
+        };
+        let history = train(&mut model, &ds, Some(&ds), &config);
+        (history.final_train_loss(), history.val_loss.clone(), model)
+    };
+    let (loss_1, val_1, model_1) = run(1);
+    let (loss_4, val_4, model_4) = run(4);
+    assert_eq!(loss_1, loss_4, "epoch losses must match exactly");
+    assert_eq!(val_1, val_4, "validation losses must match exactly");
+    let plan = model_1.plan(&ds.samples[0]);
+    assert_eq!(
+        model_1.predict(&plan),
+        model_4.predict(&plan),
+        "trained weights must be bitwise identical across shard counts"
+    );
+}

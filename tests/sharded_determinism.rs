@@ -73,13 +73,11 @@ fn megabatch_step(
 }
 
 /// Worker counts under test: the golden 1/2/4/8 ladder plus whatever the CI
-/// job injects via `RN_BACKWARD_SHARDS`.
+/// job injects via `RN_BACKWARD_SHARDS` (read through the one centralized
+/// helper so this suite, the trainer and the benches cannot drift).
 fn worker_counts() -> Vec<usize> {
     let mut counts = vec![1, 2, 4, 8];
-    if let Some(extra) = std::env::var("RN_BACKWARD_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
+    if let Some(extra) = TrainConfig::env_backward_shards() {
         if !counts.contains(&extra) {
             counts.push(extra);
         }

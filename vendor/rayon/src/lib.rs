@@ -12,7 +12,7 @@
 
 pub mod pool;
 
-pub use pool::WorkerPool;
+pub use pool::{Prefetch, WorkerPool};
 
 use std::num::NonZeroUsize;
 

@@ -17,8 +17,9 @@
 //! pointee strictly outlives every dereference. This is the same contract
 //! real rayon's `scope`/`broadcast` implement internally.
 
+use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// The lifetime-erased job pointer. Only ever dereferenced between a
@@ -49,14 +50,67 @@ struct Shared {
     work_done: Condvar,
 }
 
+/// A lifetime-erased one-shot job for the background lane. Soundness rests
+/// on the [`Prefetch`] handle blocking (in `join` or on drop) until the job
+/// has run, so borrowed captures outlive every use — the same contract as
+/// [`WorkerPool::run`], with the handle standing in for the blocked caller.
+type BackgroundJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// The background lane: one spare thread servicing detached one-shot jobs
+/// (megabatch composition prefetch) while the gang runs broadcast kernels.
+/// Spawned lazily on first submit so pools that never prefetch stay at
+/// exactly `workers` threads.
+#[derive(Default)]
+struct BackgroundLane {
+    tx: Option<mpsc::Sender<BackgroundJob>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A pending background job's result handle (see [`WorkerPool::submit`]).
+///
+/// The handle **blocks until the job has completed** — in [`Prefetch::join`]
+/// or, if dropped early, in its destructor. That blocking is what makes it
+/// sound for the job to borrow caller-stack data; leaking the handle with
+/// `mem::forget` would break the contract and must not be done.
+pub struct Prefetch<'scope, T> {
+    rx: mpsc::Receiver<std::thread::Result<T>>,
+    received: bool,
+    /// Ties the handle to the borrows captured by the submitted job.
+    _scope: PhantomData<&'scope ()>,
+}
+
+impl<T> Prefetch<'_, T> {
+    /// Wait for the job and take its result. Re-raises the job's panic, if
+    /// it panicked.
+    pub fn join(mut self) -> T {
+        self.received = true;
+        match self.rx.recv().expect("background worker dropped a job") {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+impl<T> Drop for Prefetch<'_, T> {
+    fn drop(&mut self) {
+        if !self.received {
+            // Block until the job finished; a panic inside the job is
+            // swallowed here (the caller chose not to look at the result).
+            let _ = self.rx.recv();
+        }
+    }
+}
+
 /// A fixed-size gang of persistent worker threads executing one broadcast
-/// job at a time (see module docs).
+/// job at a time (see module docs), plus a lazily-spawned background lane
+/// for detached one-shot jobs ([`WorkerPool::submit`]).
 pub struct WorkerPool {
     shared: Arc<Shared>,
     /// Serializes concurrent publishers: one `run` owns the gang at a time.
     gate: Mutex<()>,
     workers: usize,
     handles: Vec<JoinHandle<()>>,
+    background: Mutex<BackgroundLane>,
 }
 
 impl WorkerPool {
@@ -88,6 +142,70 @@ impl WorkerPool {
             gate: Mutex::new(()),
             workers,
             handles,
+            background: Mutex::new(BackgroundLane::default()),
+        }
+    }
+
+    /// Run `job` on the pool's background thread without blocking the
+    /// caller, returning a [`Prefetch`] handle that yields the result.
+    ///
+    /// The lane is a spare thread next to the gang: a caller can overlap
+    /// preparation work (e.g. composing the next megabatch) with broadcast
+    /// kernels running on the gang via [`WorkerPool::run`]. Jobs run one at
+    /// a time in submission order.
+    ///
+    /// # Safety
+    ///
+    /// The job may borrow caller-stack data even though it runs on a
+    /// `'static` thread. That is sound **only** because the returned handle
+    /// blocks until the job completes — in [`Prefetch::join`] or in its
+    /// destructor. Unlike [`WorkerPool::run`] (which blocks inside the
+    /// call), the guarantee here rests on the destructor actually running:
+    /// the caller must not leak the handle (`std::mem::forget`,
+    /// `ManuallyDrop`, an `Rc` cycle, …) — a leaked handle lets the job run
+    /// against freed stack memory. Hence `unsafe`: the obligation is the
+    /// caller's. (Jobs capturing only `'static` data are trivially fine.)
+    pub unsafe fn submit<'scope, T: Send + 'scope>(
+        &'scope self,
+        job: impl FnOnce() -> T + Send + 'scope,
+    ) -> Prefetch<'scope, T> {
+        let (tx, rx) = mpsc::channel();
+        let task = move || {
+            // The receiver may already be gone (handle dropped mid-panic);
+            // a failed send only means nobody is listening.
+            tx.send(catch_unwind(AssertUnwindSafe(job))).ok();
+        };
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        // SAFETY: erase the borrow's lifetime; the Prefetch handle blocks
+        // (join or drop) until the job has finished, so every capture
+        // strictly outlives its last use — see the handle's docs.
+        let boxed: BackgroundJob = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, BackgroundJob>(boxed)
+        };
+        let mut lane = self.background.lock().expect("background lane poisoned");
+        if lane.tx.is_none() {
+            let (jtx, jrx) = mpsc::channel::<BackgroundJob>();
+            lane.handle = Some(
+                std::thread::Builder::new()
+                    .name("rn-shard-background".into())
+                    .spawn(move || {
+                        while let Ok(job) = jrx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn background worker"),
+            );
+            lane.tx = Some(jtx);
+        }
+        lane.tx
+            .as_ref()
+            .expect("background lane initialized")
+            .send(boxed)
+            .expect("background worker alive");
+        Prefetch {
+            rx,
+            received: false,
+            _scope: PhantomData,
         }
     }
 
@@ -140,6 +258,14 @@ impl Drop for WorkerPool {
         self.shared.work_ready.notify_all();
         for h in self.handles.drain(..) {
             h.join().expect("shard worker panicked at shutdown");
+        }
+        // Close the background lane (drop the sender, join the thread). Any
+        // outstanding Prefetch handle has already blocked to completion —
+        // handles borrow the pool, so they cannot outlive this drop.
+        let mut lane = self.background.lock().expect("background lane poisoned");
+        lane.tx = None;
+        if let Some(h) = lane.handle.take() {
+            h.join().expect("background worker panicked at shutdown");
         }
     }
 }
@@ -216,6 +342,64 @@ mod tests {
         }
         assert_eq!(total.load(Ordering::Relaxed), 2000);
         drop(pool); // must join cleanly
+    }
+
+    #[test]
+    fn background_submit_overlaps_the_gang_and_borrows_stack_data() {
+        let pool = WorkerPool::new(2);
+        let input = [1u64, 2, 3, 4];
+        // The background job borrows `input` while the gang runs jobs.
+        // SAFETY: joined below, never leaked.
+        let task = unsafe { pool.submit(|| input.iter().sum::<u64>()) };
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(&|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(task.join(), 10);
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+        // Jobs run in submission order, one at a time.
+        // SAFETY: 'static captures; joined immediately.
+        let first = unsafe { pool.submit(|| 1u64) };
+        let second = unsafe { pool.submit(|| 2u64) };
+        assert_eq!(first.join(), 1);
+        assert_eq!(second.join(), 2);
+    }
+
+    #[test]
+    fn dropped_prefetch_handle_blocks_until_the_job_ran() {
+        let pool = WorkerPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            // SAFETY: 'static captures; dropped (blocking) in this scope.
+            let handle = unsafe {
+                pool.submit(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    ran.fetch_add(1, Ordering::SeqCst);
+                })
+            };
+            drop(handle); // must block until the job completed
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn background_panic_resurfaces_in_join() {
+        let pool = WorkerPool::new(1);
+        // SAFETY: 'static capture; joined immediately.
+        let task = unsafe { pool.submit(|| -> usize { panic!("background boom") }) };
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| task.join()))
+            .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str panic>");
+        assert!(msg.contains("background boom"), "{msg}");
+        // The lane survives a panicked job.
+        // SAFETY: 'static capture; joined immediately.
+        assert_eq!(unsafe { pool.submit(|| 7usize) }.join(), 7);
     }
 
     #[test]
