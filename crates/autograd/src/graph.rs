@@ -176,6 +176,29 @@ fn validate_split(
     );
 }
 
+/// Validate a dense row-bounds partition (ascending, spanning `0..rows`)
+/// and capture it into a pooled index buffer when it actually splits the
+/// rows (more than one shard). Dense sharded ops — the readout matmuls, bias
+/// adds and SELU maps, and the link/node GRU updates — carry only this one
+/// bounds array: every row is active, so there is no separate active/entity
+/// indirection like the [`ShardSplit`] of the compacted message-passing ops.
+fn capture_dense_shards(
+    idx_pool: &mut Vec<Vec<usize>>,
+    bounds: Option<&[usize]>,
+    rows: usize,
+) -> Option<Vec<usize>> {
+    let b = bounds?;
+    assert!(
+        b.first() == Some(&0) && b.last() == Some(&rows),
+        "dense shards: bounds must span 0..{rows}, got {b:?}"
+    );
+    assert!(
+        b.windows(2).all(|w| w[0] <= w[1]),
+        "dense shards: bounds must be ascending"
+    );
+    (b.len() > 2).then(|| pool_indices(idx_pool, b))
+}
+
 /// Minimum per-op element-traffic estimate before fanning out to the
 /// worker pool: below this, dispatch latency beats the parallel win (late
 /// sequence positions have a handful of active rows). Inline vs pooled
@@ -221,6 +244,39 @@ fn run_shard_tasks<T: Send>(pool: Option<&WorkerPool>, tasks: &mut [T], f: impl 
     }
 }
 
+/// Run `f` over disjoint element chunks of `dst`, inline or on the pool.
+///
+/// The chunk boundaries are a pure function of `dst.len()` (fixed block
+/// size), never of the worker count, and [`kernels::reduce_partials`]'s
+/// per-element accumulation order is chunking-invariant besides — so the
+/// merged bits cannot depend on scheduling.
+fn reduce_partials_parallel(pool: Option<&WorkerPool>, dst: &mut Matrix, partials: &[&Matrix]) {
+    const CHUNK: usize = 4096;
+    let parts: Vec<&[f32]> = partials.iter().map(|p| p.as_slice()).collect();
+    let d = dst.as_mut_slice();
+    if pool.is_none() || d.len() <= CHUNK {
+        kernels::reduce_partials(d, 0, &parts);
+        return;
+    }
+    let mut tasks: Vec<(usize, &mut [f32])> = Vec::with_capacity(d.len() / CHUNK + 1);
+    let mut rest = d;
+    let mut offset = 0;
+    while !rest.is_empty() {
+        let take = rest.len().min(CHUNK);
+        let (chunk, tail) = rest.split_at_mut(take);
+        tasks.push((offset, chunk));
+        offset += take;
+        rest = tail;
+    }
+    run_shard_tasks(
+        pool,
+        &mut tasks,
+        |(off, chunk): &mut (usize, &mut [f32])| {
+            kernels::reduce_partials(chunk, *off, &parts);
+        },
+    );
+}
+
 /// Recorded operation: the inputs and any auxiliary data the adjoint needs.
 #[derive(Debug)]
 enum Op {
@@ -232,11 +288,23 @@ enum Op {
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
-    MatMul(Var, Var),
-    /// Broadcast-add a `1 x c` bias row to every row of `x`.
+    /// Matrix product `a · b`. `shards`, when present, is a dense row-bounds
+    /// partition of `a`'s (and the output's) rows: the forward computes each
+    /// output row block independently (bitwise identical to one full call),
+    /// and the adjoint row-blocks the input gradient while accumulating
+    /// `b`'s weight gradient as per-shard partials merged in shard order.
+    MatMul {
+        a: Var,
+        b: Var,
+        shards: Option<Vec<usize>>,
+    },
+    /// Broadcast-add a `1 x c` bias row to every row of `x`. `shards` is a
+    /// dense row partition (see [`Op::MatMul`]); the sharded adjoint reduces
+    /// the bias gradient as per-shard column-sum partials in shard order.
     AddBias {
         x: Var,
         bias: Var,
+        shards: Option<Vec<usize>>,
     },
     /// Element-wise `a * x + b`. Only the slope is recorded: the adjoint of
     /// an affine map does not depend on the offset.
@@ -247,7 +315,14 @@ enum Op {
     Sigmoid(Var),
     Tanh(Var),
     Relu(Var),
-    Selu(Var),
+    /// SELU activation. `shards` is a dense row partition (see
+    /// [`Op::MatMul`]): element-wise work is trivially row-decomposable, so
+    /// forward and adjoint fan row blocks across the pool bitwise-safely.
+    /// The readout MLP's hidden layers are the only heavy SELU consumers.
+    Selu {
+        x: Var,
+        shards: Option<Vec<usize>>,
+    },
     Softplus(Var),
     Abs(Var),
     Square(Var),
@@ -372,7 +447,7 @@ pub struct Graph {
     worker_pool: Option<Arc<WorkerPool>>,
     /// Work-size floor (estimated element traffic) below which sharded ops
     /// skip the pool and run inline; 0 forces every sharded op through the
-    /// pool. Defaults to [`PAR_MIN_ELEMS`] (set lazily on first use).
+    /// pool. Defaults to `PAR_MIN_ELEMS` (set lazily on first use).
     par_threshold: Option<usize>,
 }
 
@@ -651,6 +726,21 @@ struct GruBwdScratch {
     pb_c: Matrix,
 }
 
+impl GruBwdScratch {
+    /// Return every scratch matrix — intermediates AND parameter partials —
+    /// to the free list. The single field list both backward branches
+    /// recycle through, so adding a field to this struct cannot leak on
+    /// one branch only.
+    fn recycle(self, pool: &mut Vec<Vec<f32>>) {
+        for m in [
+            self.gm, self.gz, self.gc, self.gr, self.g_rhx, self.g_hx, self.pw_z, self.pb_z,
+            self.pw_r, self.pb_r, self.pw_c, self.pb_c,
+        ] {
+            pool_recycle(pool, m);
+        }
+    }
+}
+
 /// One shard's mutable state for the GRU adjoint.
 struct GruRowsBwdTask<'a> {
     k_lo: usize,
@@ -919,7 +1009,7 @@ impl Graph {
     }
 
     /// Override the work-size floor below which sharded ops run inline
-    /// instead of dispatching to the pool (default: [`PAR_MIN_ELEMS`] —
+    /// instead of dispatching to the pool (default: `PAR_MIN_ELEMS` —
     /// late sequence positions with a handful of rows are cheaper inline).
     /// Scheduling only; bits are identical at any threshold. Survives
     /// [`Graph::reset`].
@@ -949,6 +1039,15 @@ impl Graph {
             }
             match node.op {
                 Op::MaskRows { mask, .. } => pool_recycle(pool, mask),
+                Op::MatMul {
+                    shards: Some(s), ..
+                }
+                | Op::AddBias {
+                    shards: Some(s), ..
+                }
+                | Op::Selu {
+                    shards: Some(s), ..
+                } => idx_pool.push(s),
                 Op::GatherRows {
                     indices, shards, ..
                 } => {
@@ -1097,21 +1196,123 @@ impl Graph {
 
     /// Matrix product `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        self.matmul_sharded(a, b, None)
+    }
+
+    /// [`Graph::matmul`] with a dense row-block shard layout: `bounds`
+    /// partitions the rows of `a` (and of the output) into contiguous
+    /// blocks, one per megabatch shard. With a worker pool attached the
+    /// blocks compute in parallel; each output element is produced by
+    /// exactly the full kernel's arithmetic, so the forward is bitwise
+    /// identical to the unsharded call at any worker count. The adjoint
+    /// row-blocks `a`'s gradient the same way and accumulates `b`'s
+    /// (weight) gradient as per-shard partials merged in shard order — its
+    /// own canonical grouping, also worker-count independent. Reference
+    /// mode ignores the split (it reproduces the seed kernels).
+    pub fn matmul_sharded(&mut self, a: Var, b: Var, bounds: Option<&[usize]>) -> Var {
         if self.reference_mode {
             let v = self.value(a).matmul_reference(self.value(b));
-            return self.push(v, Op::MatMul(a, b));
+            return self.push(v, Op::MatMul { a, b, shards: None });
         }
+        let (m, k) = self.value(a).shape();
+        let n = self.value(b).cols();
+        assert_eq!(
+            self.value(b).rows(),
+            k,
+            "matmul: inner dimensions differ ({m}x{k} * {}x{n})",
+            self.value(b).rows()
+        );
+        let shards = capture_dense_shards(&mut self.idx_pool, bounds, m);
         let mut pool = std::mem::take(&mut self.pool);
-        let mut out = pool_matrix_scratch(&mut pool, self.value(a).rows(), self.value(b).cols());
-        self.value(a).matmul_into(self.value(b), &mut out);
+        let mut out = pool_matrix_scratch(&mut pool, m, n);
+        match &shards {
+            Some(bounds) => {
+                let a_slice = self.value(a).as_slice();
+                let b_slice = self.value(b).as_slice();
+                let mut tasks: Vec<(usize, usize, &mut [f32])> = out
+                    .row_blocks_mut(bounds)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, block)| (bounds[s], bounds[s + 1], block))
+                    .collect();
+                run_shard_tasks(
+                    pool_if_worth(&self.worker_pool, self.par_threshold(), m * (k + n)),
+                    &mut tasks,
+                    |(lo, hi, block): &mut (usize, usize, &mut [f32])| {
+                        block.fill(0.0);
+                        kernels::matmul_acc(
+                            &a_slice[*lo * k..*hi * k],
+                            b_slice,
+                            *hi - *lo,
+                            k,
+                            n,
+                            block,
+                        );
+                    },
+                );
+            }
+            None => self.value(a).matmul_into(self.value(b), &mut out),
+        }
         self.pool = pool;
-        self.push(out, Op::MatMul(a, b))
+        self.push(out, Op::MatMul { a, b, shards })
     }
 
     /// Broadcast-add a `1 x c` bias row vector to every row of `x`.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        let v = self.value(x).add_row_broadcast(self.value(bias));
-        self.push(v, Op::AddBias { x, bias })
+        self.add_bias_sharded(x, bias, None)
+    }
+
+    /// [`Graph::add_bias`] with a dense row-block shard layout (see
+    /// [`Graph::matmul_sharded`]). The forward adds the bias row to each
+    /// block independently (bitwise identical to the unsharded op); the
+    /// adjoint reduces the bias gradient as per-shard column-sum partials
+    /// merged in shard order, and row-blocks `x`'s pass-through gradient.
+    pub fn add_bias_sharded(&mut self, x: Var, bias: Var, bounds: Option<&[usize]>) -> Var {
+        let (rows, cols) = self.value(x).shape();
+        assert_eq!(
+            self.value(bias).shape(),
+            (1, cols),
+            "add_bias: bias must be 1 x cols"
+        );
+        let shards = if self.reference_mode {
+            None
+        } else {
+            capture_dense_shards(&mut self.idx_pool, bounds, rows)
+        };
+        match &shards {
+            Some(bounds) => {
+                let mut pool = std::mem::take(&mut self.pool);
+                let mut out = pool_matrix_scratch(&mut pool, rows, cols);
+                {
+                    let x_slice = self.value(x).as_slice();
+                    let bias_row = self.value(bias).as_slice();
+                    let mut tasks: Vec<(usize, &mut [f32])> = out
+                        .row_blocks_mut(bounds)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(s, block)| (bounds[s], block))
+                        .collect();
+                    run_shard_tasks(
+                        pool_if_worth(&self.worker_pool, self.par_threshold(), rows * cols),
+                        &mut tasks,
+                        |(lo, block): &mut (usize, &mut [f32])| {
+                            for (r, dst) in block.chunks_exact_mut(cols).enumerate() {
+                                let src = &x_slice[(*lo + r) * cols..(*lo + r + 1) * cols];
+                                for ((d, &v), &b) in dst.iter_mut().zip(src).zip(bias_row) {
+                                    *d = v + b;
+                                }
+                            }
+                        },
+                    );
+                }
+                self.pool = pool;
+                self.push(out, Op::AddBias { x, bias, shards })
+            }
+            None => {
+                let v = self.value(x).add_row_broadcast(self.value(bias));
+                self.push(v, Op::AddBias { x, bias, shards })
+            }
+        }
     }
 
     /// Element-wise affine map `a * x + b`.
@@ -1163,12 +1364,54 @@ impl Graph {
 
     /// Scaled exponential linear unit (RouteNet's readout activation).
     pub fn selu(&mut self, x: Var) -> Var {
-        let v = if self.reference_mode {
-            self.value(x).map(act::selu_precise)
-        } else {
-            self.value(x).map(act::selu)
-        };
-        self.push(v, Op::Selu(x))
+        self.selu_sharded(x, None)
+    }
+
+    /// [`Graph::selu`] with a dense row-block shard layout (see
+    /// [`Graph::matmul_sharded`]). Element-wise maps decompose by rows
+    /// trivially, so forward and adjoint are bitwise identical to the
+    /// unsharded op at any worker count; the split exists so the readout
+    /// MLP's activation traffic rides the same gang as its matmuls.
+    pub fn selu_sharded(&mut self, x: Var, bounds: Option<&[usize]>) -> Var {
+        if self.reference_mode {
+            let v = self.value(x).map(act::selu_precise);
+            return self.push(v, Op::Selu { x, shards: None });
+        }
+        let (rows, cols) = self.value(x).shape();
+        let shards = capture_dense_shards(&mut self.idx_pool, bounds, rows);
+        match &shards {
+            Some(bounds) => {
+                let mut pool = std::mem::take(&mut self.pool);
+                let mut out = pool_matrix_scratch(&mut pool, rows, cols);
+                {
+                    let x_slice = self.value(x).as_slice();
+                    let mut tasks: Vec<(usize, &mut [f32])> = out
+                        .row_blocks_mut(bounds)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(s, block)| (bounds[s], block))
+                        .collect();
+                    run_shard_tasks(
+                        pool_if_worth(&self.worker_pool, self.par_threshold(), rows * cols),
+                        &mut tasks,
+                        |(lo, block): &mut (usize, &mut [f32])| {
+                            let len = block.len();
+                            for (d, &v) in
+                                block.iter_mut().zip(&x_slice[*lo * cols..*lo * cols + len])
+                            {
+                                *d = act::selu(v);
+                            }
+                        },
+                    );
+                }
+                self.pool = pool;
+                self.push(out, Op::Selu { x, shards })
+            }
+            None => {
+                let v = self.value(x).map(act::selu);
+                self.push(v, Op::Selu { x, shards })
+            }
+        }
     }
 
     /// Softplus `ln(1+e^x)`.
@@ -1828,6 +2071,50 @@ impl Graph {
         )
     }
 
+    /// Dense (every-row) GRU step with a row-block shard layout — the
+    /// link/node entity updates of a megabatch forward. `bounds` partitions
+    /// the `n` state rows into contiguous blocks; `x` must have `n` rows.
+    ///
+    /// With more than one shard this records through the row-compacted
+    /// sharded machinery with an identity row list, so the whole existing
+    /// shard apparatus applies: forward blocks fan across the worker pool,
+    /// the adjoint writes row-disjoint state/input gradients in place and
+    /// accumulates the GRU weight gradients (the `matmul_tn_acc` over the
+    /// z/r/h gates) as per-shard partials merged in canonical shard order —
+    /// bitwise identical at any worker count. Without a split (or with a
+    /// single shard) this is exactly [`Graph::gru_step`], preserving the
+    /// legacy bitwise path for 1-sample plans.
+    pub fn gru_step_dense_sharded(
+        &mut self,
+        vars: &GruVars,
+        h: Var,
+        x: Var,
+        bounds: Option<&[usize]>,
+    ) -> Var {
+        match bounds {
+            Some(b) if b.len() > 2 && !self.reference_mode => {
+                let n = self.value(h).rows();
+                assert_eq!(
+                    self.value(x).rows(),
+                    n,
+                    "gru_step_dense_sharded: x must have one row per state row"
+                );
+                let mut rows = self.idx_pool.pop().unwrap_or_default();
+                rows.clear();
+                rows.extend(0..n);
+                let split = ShardSplit {
+                    active: b,
+                    dense: b,
+                    entity: b,
+                };
+                let out = self.gru_step_rows_sharded(vars, h, x, &rows, Some(split));
+                self.idx_pool.push(rows);
+                out
+            }
+            _ => self.gru_step(vars, h, x, None),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Reductions
     // ------------------------------------------------------------------
@@ -1902,12 +2189,90 @@ impl Graph {
                     accumulate(&mut grads, a, ga);
                     accumulate(&mut grads, b, gb);
                 }
-                &Op::MatMul(a, b) => {
+                Op::MatMul { a, b, shards } => {
+                    let (a, b) = (*a, *b);
                     if self.reference_mode {
                         let ga = g.matmul_nt_reference(self.value(b));
                         let gb = self.value(a).matmul_tn_reference(&g);
                         accumulate(&mut grads, a, ga);
                         accumulate(&mut grads, b, gb);
+                    } else if let Some(bounds) = shards {
+                        // Dense-sharded adjoint. ga = g·bᵀ is row-disjoint:
+                        // each shard fills its own block with exactly the
+                        // full kernel's arithmetic (bitwise identical to one
+                        // call). gb = aᵀ·g reduces over rows, so each shard
+                        // produces a zeroed partial over its row range; the
+                        // partials merge into the gradient slot in shard
+                        // order — the canonical grouping, independent of
+                        // worker count (or the pool's absence).
+                        let bv = self.value(b);
+                        let (k_dim, n_dim) = bv.shape();
+                        let m = g.rows();
+                        let num_shards = bounds.len() - 1;
+                        let mut bt = pool_matrix_scratch(&mut pool, n_dim, k_dim);
+                        bv.transpose_into(&mut bt);
+                        let mut ga = pool_matrix_scratch(&mut pool, m, k_dim);
+                        let mut partials: Vec<Matrix> = (0..num_shards)
+                            .map(|_| pool_matrix(&mut pool, k_dim, n_dim))
+                            .collect();
+                        let worker = pool_if_worth(
+                            &self.worker_pool,
+                            self.par_threshold(),
+                            m * (k_dim + n_dim),
+                        );
+                        {
+                            let g_slice = g.as_slice();
+                            let a_slice = self.value(a).as_slice();
+                            let bt_slice = bt.as_slice();
+                            let mut tasks: Vec<(usize, usize, &mut [f32], &mut Matrix)> = ga
+                                .row_blocks_mut(bounds)
+                                .into_iter()
+                                .zip(partials.iter_mut())
+                                .enumerate()
+                                .map(|(s, (block, partial))| {
+                                    (bounds[s], bounds[s + 1], block, partial)
+                                })
+                                .collect();
+                            run_shard_tasks(
+                                worker,
+                                &mut tasks,
+                                |(lo, hi, ga_block, partial): &mut (
+                                    usize,
+                                    usize,
+                                    &mut [f32],
+                                    &mut Matrix,
+                                )| {
+                                    let rows_s = *hi - *lo;
+                                    ga_block.fill(0.0);
+                                    kernels::matmul_acc(
+                                        &g_slice[*lo * n_dim..*hi * n_dim],
+                                        bt_slice,
+                                        rows_s,
+                                        n_dim,
+                                        k_dim,
+                                        ga_block,
+                                    );
+                                    kernels::matmul_tn_acc(
+                                        &a_slice[*lo * k_dim..*hi * k_dim],
+                                        &g_slice[*lo * n_dim..*hi * n_dim],
+                                        rows_s,
+                                        k_dim,
+                                        n_dim,
+                                        partial.as_mut_slice(),
+                                    );
+                                },
+                            );
+                        }
+                        pool_recycle(&mut pool, bt);
+                        {
+                            let refs: Vec<&Matrix> = partials.iter().collect();
+                            let slot = grad_slot(&mut grads, b, k_dim, n_dim, &mut pool);
+                            reduce_partials_parallel(worker, slot, &refs);
+                        }
+                        for p in partials {
+                            pool_recycle(&mut pool, p);
+                        }
+                        accumulate_pooled(&mut grads, &mut pool, a, ga);
                     } else {
                         let bv = self.value(b);
                         let mut bt = pool_matrix_scratch(&mut pool, bv.cols(), bv.rows());
@@ -1921,9 +2286,53 @@ impl Graph {
                         accumulate_pooled(&mut grads, &mut pool, b, gb);
                     }
                 }
-                &Op::AddBias { x, bias } => {
-                    accumulate(&mut grads, bias, g.sum_rows());
-                    accumulate(&mut grads, x, g.clone());
+                Op::AddBias { x, bias, shards } => {
+                    let (x, bias) = (*x, *bias);
+                    if let Some(bounds) = shards {
+                        // gx is the pass-through gradient, row-blocked; the
+                        // bias gradient reduces as per-shard column-sum
+                        // partials merged in shard order (canonical).
+                        let (rows, cols) = g.shape();
+                        let num_shards = bounds.len() - 1;
+                        let mut gx = pool_matrix_scratch(&mut pool, rows, cols);
+                        let mut partials: Vec<Matrix> = (0..num_shards)
+                            .map(|_| pool_matrix(&mut pool, 1, cols))
+                            .collect();
+                        let worker =
+                            pool_if_worth(&self.worker_pool, self.par_threshold(), rows * cols);
+                        {
+                            let g_slice = g.as_slice();
+                            let mut tasks: Vec<(usize, &mut [f32], &mut Matrix)> = gx
+                                .row_blocks_mut(bounds)
+                                .into_iter()
+                                .zip(partials.iter_mut())
+                                .enumerate()
+                                .map(|(s, (block, partial))| (bounds[s], block, partial))
+                                .collect();
+                            run_shard_tasks(
+                                worker,
+                                &mut tasks,
+                                |(lo, block, partial): &mut (usize, &mut [f32], &mut Matrix)| {
+                                    block.copy_from_slice(
+                                        &g_slice[*lo * cols..*lo * cols + block.len()],
+                                    );
+                                    add_col_sums_slice(partial.as_mut_slice(), block, cols);
+                                },
+                            );
+                        }
+                        {
+                            let refs: Vec<&Matrix> = partials.iter().collect();
+                            let slot = grad_slot(&mut grads, bias, 1, cols, &mut pool);
+                            reduce_partials_parallel(worker, slot, &refs);
+                        }
+                        for p in partials {
+                            pool_recycle(&mut pool, p);
+                        }
+                        accumulate_pooled(&mut grads, &mut pool, x, gx);
+                    } else {
+                        accumulate(&mut grads, bias, g.sum_rows());
+                        accumulate(&mut grads, x, g.clone());
+                    }
                 }
                 &Op::Affine { x, a } => {
                     accumulate(&mut grads, x, g.scale(a));
@@ -1944,14 +2353,43 @@ impl Graph {
                     let gx = g.zip(self.value(x), |gi, xi| gi * act::relu_deriv(xi));
                     accumulate(&mut grads, x, gx);
                 }
-                &Op::Selu(x) => {
+                Op::Selu { x, shards } => {
+                    let x = *x;
                     let deriv = if self.reference_mode {
                         act::selu_deriv_precise
                     } else {
                         act::selu_deriv
                     };
-                    let gx = g.zip(self.value(x), |gi, xi| gi * deriv(xi));
-                    accumulate(&mut grads, x, gx);
+                    if let Some(bounds) = shards {
+                        // Element-wise adjoint, row-blocked: bitwise
+                        // identical to the unsharded zip at any worker count.
+                        let (rows, cols) = g.shape();
+                        let mut gx = pool_matrix_scratch(&mut pool, rows, cols);
+                        {
+                            let g_slice = g.as_slice();
+                            let x_slice = self.value(x).as_slice();
+                            let mut tasks: Vec<(usize, &mut [f32])> = gx
+                                .row_blocks_mut(bounds)
+                                .into_iter()
+                                .enumerate()
+                                .map(|(s, block)| (bounds[s], block))
+                                .collect();
+                            run_shard_tasks(
+                                pool_if_worth(&self.worker_pool, self.par_threshold(), rows * cols),
+                                &mut tasks,
+                                |(lo, block): &mut (usize, &mut [f32])| {
+                                    let off = *lo * cols;
+                                    for (i, d) in block.iter_mut().enumerate() {
+                                        *d = g_slice[off + i] * deriv(x_slice[off + i]);
+                                    }
+                                },
+                            );
+                        }
+                        accumulate_pooled(&mut grads, &mut pool, x, gx);
+                    } else {
+                        let gx = g.zip(self.value(x), |gi, xi| gi * deriv(xi));
+                        accumulate(&mut grads, x, gx);
+                    }
                 }
                 &Op::Softplus(x) => {
                     let gx = g.zip(self.value(x), |gi, xi| gi * act::softplus_deriv(xi));
@@ -2376,12 +2814,7 @@ impl Graph {
                                 ] {
                                     grad_slot(grads, var, rows_, cols_, pool).add_assign(partial);
                                 }
-                                for m in [
-                                    sc.gm, sc.gz, sc.gc, sc.gr, sc.g_rhx, sc.g_hx, sc.pw_z,
-                                    sc.pb_z, sc.pw_r, sc.pb_r, sc.pw_c, sc.pb_c,
-                                ] {
-                                    pool_recycle(pool, m);
-                                }
+                                sc.recycle(pool);
                             };
                         let worker_pool =
                             pool_if_worth(&self.worker_pool, self.par_threshold(), a * width * 6);
@@ -2407,8 +2840,39 @@ impl Graph {
                             run_shard_tasks(worker_pool, &mut tasks, |t| {
                                 gru_rows_backward_shard(&ctx, t)
                             });
+                            // Ordered parallel merge: each parameter's
+                            // per-shard partials reduce in ascending shard
+                            // order — per element exactly the sequential
+                            // merge's addition order, so the bits match it
+                            // at any worker count.
+                            fn field(sc: &GruBwdScratch, i: usize) -> &Matrix {
+                                match i {
+                                    0 => &sc.pw_z,
+                                    1 => &sc.pb_z,
+                                    2 => &sc.pw_r,
+                                    3 => &sc.pb_r,
+                                    4 => &sc.pw_c,
+                                    _ => &sc.pb_c,
+                                }
+                            }
+                            for (i, (var, rows_, cols_)) in [
+                                (vars.w_z, width, hidden),
+                                (vars.b_z, 1, hidden),
+                                (vars.w_r, width, hidden),
+                                (vars.b_r, 1, hidden),
+                                (vars.w_c, width, hidden),
+                                (vars.b_c, 1, hidden),
+                            ]
+                            .into_iter()
+                            .enumerate()
+                            {
+                                let refs: Vec<&Matrix> =
+                                    tasks.iter().map(|t| field(&t.scratch, i)).collect();
+                                let slot = grad_slot(&mut grads, var, rows_, cols_, &mut pool);
+                                reduce_partials_parallel(worker_pool, slot, &refs);
+                            }
                             for t in tasks {
-                                merge_and_recycle(&mut grads, &mut pool, t.scratch);
+                                t.scratch.recycle(&mut pool);
                             }
                         } else {
                             // Sequential canonical path: one scratch set
@@ -3325,6 +3789,141 @@ mod tests {
         assert_eq!(loss_a, loss_b);
         for (a, b) in grads_a.iter().zip(&grads_b) {
             assert!(a.approx_eq(b, 0.0), "1-shard split must be a no-op");
+        }
+    }
+
+    /// A 3-block dense row partition of 7 rows (deliberately unbalanced,
+    /// with one single-row block).
+    const DENSE_BOUNDS: [usize; 4] = [0, 3, 4, 7];
+
+    /// Readout-shaped chain: matmul → add_bias → selu → matmul, dense GRU on
+    /// top, optionally recorded with the dense shard layout. Returns the
+    /// output value, the loss bits and every parameter gradient.
+    fn dense_sharded_case(g: &mut Graph, bounds: Option<&[usize]>) -> (Matrix, f32, Vec<Matrix>) {
+        let vars = toy_gru(g, 4, 4, 21);
+        let h = g.param(det_matrix(7, 4, 70));
+        let acc = g.param(det_matrix(7, 4, 71));
+        let stepped = g.gru_step_dense_sharded(&vars, h, acc, bounds);
+        let w1 = g.param(det_matrix(4, 5, 72));
+        let b1 = g.param(det_matrix(1, 5, 73));
+        let lin = g.matmul_sharded(stepped, w1, bounds);
+        let biased = g.add_bias_sharded(lin, b1, bounds);
+        let act = g.selu_sharded(biased, bounds);
+        let w2 = g.param(det_matrix(5, 1, 74));
+        let out = g.matmul_sharded(act, w2, bounds);
+        let sq = g.square(out);
+        let loss = g.mean(sq);
+        g.backward(loss);
+        let grads = [
+            vars.w_z, vars.b_z, vars.w_r, vars.b_r, vars.w_c, vars.b_c, h, acc, w1, b1, w2,
+        ]
+        .iter()
+        .map(|&v| g.grad(v).unwrap().clone())
+        .collect();
+        (g.value(out).clone(), g.value(loss).get(0, 0), grads)
+    }
+
+    #[test]
+    fn dense_sharded_forward_is_bitwise_identical_to_unsharded() {
+        let mut ga = Graph::new();
+        let (out_plain, _, grads_plain) = dense_sharded_case(&mut ga, None);
+        let mut gb = Graph::new();
+        let (out_sharded, _, grads_sharded) = dense_sharded_case(&mut gb, Some(&DENSE_BOUNDS));
+        assert!(
+            out_plain.approx_eq(&out_sharded, 0.0),
+            "dense sharding must not change forward bits"
+        );
+        // Gradients agree numerically; weight grads may differ in the last
+        // bit (per-shard partial merge is the sharded canonical grouping).
+        for (i, (a, b)) in grads_plain.iter().zip(&grads_sharded).enumerate() {
+            assert!(a.approx_eq(b, 1e-4), "grad {i} diverged numerically");
+        }
+    }
+
+    #[test]
+    fn dense_sharded_backward_is_bitwise_invariant_across_worker_counts() {
+        let mut base = Graph::new();
+        let (out_seq, loss_seq, grads_seq) = dense_sharded_case(&mut base, Some(&DENSE_BOUNDS));
+        for workers in [1, 2, 3, 8] {
+            let mut g = Graph::new();
+            g.set_worker_pool(Some(Arc::new(WorkerPool::new(workers))));
+            // Force even toy-sized dense ops through the pool.
+            g.set_parallel_threshold(0);
+            let (out_par, loss_par, grads_par) = dense_sharded_case(&mut g, Some(&DENSE_BOUNDS));
+            assert!(
+                out_seq.approx_eq(&out_par, 0.0),
+                "forward diverged at {workers} workers"
+            );
+            assert_eq!(
+                loss_seq.to_bits(),
+                loss_par.to_bits(),
+                "loss diverged at {workers} workers"
+            );
+            for (i, (a, b)) in grads_seq.iter().zip(&grads_par).enumerate() {
+                assert!(
+                    a.approx_eq(b, 0.0),
+                    "grad {i} diverged at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_sharded_ops_reset_reuse_is_bit_identical() {
+        let mut fresh = Graph::new();
+        let (_, loss_fresh, grads_fresh) = dense_sharded_case(&mut fresh, Some(&DENSE_BOUNDS));
+        let mut reused = Graph::new();
+        let _ = dense_sharded_case(&mut reused, Some(&DENSE_BOUNDS));
+        reused.reset();
+        let (_, loss_reused, grads_reused) = dense_sharded_case(&mut reused, Some(&DENSE_BOUNDS));
+        assert_eq!(loss_fresh.to_bits(), loss_reused.to_bits());
+        for (a, b) in grads_fresh.iter().zip(&grads_reused) {
+            assert!(a.approx_eq(b, 0.0), "reused dense-sharded tape drifted");
+        }
+    }
+
+    #[test]
+    fn single_block_dense_bounds_record_no_shards() {
+        // A [0, n] partition (one shard) must stay on the legacy bitwise
+        // path — exactly what 1-sample megabatch plans rely on.
+        let single = [0usize, 7];
+        let mut ga = Graph::new();
+        let (_, loss_a, grads_a) = dense_sharded_case(&mut ga, Some(&single));
+        let mut gb = Graph::new();
+        let (_, loss_b, grads_b) = dense_sharded_case(&mut gb, None);
+        assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+        for (a, b) in grads_a.iter().zip(&grads_b) {
+            assert!(a.approx_eq(b, 0.0), "1-block dense split must be a no-op");
+        }
+    }
+
+    #[test]
+    fn dense_gru_step_matches_plain_gru_step_numerically() {
+        let run = |bounds: Option<&[usize]>| -> (Matrix, Vec<Matrix>) {
+            let mut g = Graph::new();
+            let vars = toy_gru(&mut g, 4, 3, 33);
+            let h = g.param(det_matrix(7, 4, 80));
+            let x = g.param(det_matrix(7, 3, 81));
+            let out = g.gru_step_dense_sharded(&vars, h, x, bounds);
+            let sq = g.square(out);
+            let loss = g.mean(sq);
+            g.backward(loss);
+            let grads = [
+                vars.w_z, vars.b_z, vars.w_r, vars.b_r, vars.w_c, vars.b_c, h, x,
+            ]
+            .iter()
+            .map(|&v| g.grad(v).unwrap().clone())
+            .collect();
+            (g.value(out).clone(), grads)
+        };
+        let (out_plain, grads_plain) = run(None);
+        let (out_dense, grads_dense) = run(Some(&DENSE_BOUNDS));
+        assert!(
+            out_plain.approx_eq(&out_dense, 0.0),
+            "dense GRU forward must be bitwise identical"
+        );
+        for (i, (a, b)) in grads_plain.iter().zip(&grads_dense).enumerate() {
+            assert!(a.approx_eq(b, 1e-4), "dense GRU grad {i} diverged");
         }
     }
 

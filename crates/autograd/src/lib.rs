@@ -20,6 +20,10 @@
 //! [`check`] provides finite-difference gradient checking, used extensively in
 //! the test suites of this crate and of `rn-nn`.
 //!
+//! See `docs/ARCHITECTURE.md` at the workspace root for how the tape fits
+//! into the plan → compose → megabatch → tape pipeline and which
+//! bitwise-determinism invariants this crate promises the layers above it.
+//!
 //! ## Example
 //!
 //! ```
@@ -34,6 +38,8 @@
 //! g.backward(loss);
 //! assert_eq!(g.grad(w).unwrap().as_slice(), &[1.0, 2.0]); // d(loss)/dw = xᵀ
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod activations;
 pub mod check;

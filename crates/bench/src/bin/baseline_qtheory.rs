@@ -1,7 +1,7 @@
 //! **E6 (beyond paper)** — the queueing-theory baseline.
 //!
 //! The paper's introduction motivates learned models by claiming traditional
-//! queueing theory "often fail[s] to provide accurate models for complex
+//! queueing theory "often fail\[s\] to provide accurate models for complex
 //! real-world scenarios". This experiment quantifies the claim: a per-hop
 //! M/M/1/K decomposition predictor (`rn-qtheory`) is evaluated on the same
 //! held-out datasets as the RouteNets. If figure2 has been run, its saved

@@ -40,8 +40,8 @@
 //! composition's buffers.
 
 use crate::entities::{
-    copy_rows, CompiledSteps, EntityKind, MegabatchError, MegabatchPlan, PlanShards, SamplePlan,
-    StepPlan,
+    balanced_row_bounds, copy_rows, CompiledSteps, EntityKind, MegabatchError, MegabatchPlan,
+    PlanShards, SamplePlan, StepPlan,
 };
 use crate::plan_cache::Fingerprint;
 use rn_tensor::Matrix;
@@ -216,6 +216,13 @@ impl MegabatchStructure {
                 path_bounds: close(&path_off, n_paths),
                 link_bounds: close(&link_off, num_links),
                 node_bounds: close(&node_off, num_nodes),
+                // Dense ops (readout MLP, link/node GRU updates) have no
+                // block-diagonal constraint, so their shard partition is
+                // balanced rather than per-sample — ragged batches then
+                // spread the dense rows evenly over the gang.
+                dense_path_bounds: balanced_row_bounds(n_paths, parts.len()),
+                dense_link_bounds: balanced_row_bounds(num_links, parts.len()),
+                dense_node_bounds: balanced_row_bounds(num_nodes, parts.len()),
             };
             extended_csr.compute_shard_bounds(&shards.path_bounds);
             original_csr.compute_shard_bounds(&shards.path_bounds);
@@ -446,6 +453,57 @@ impl ComposedMegabatch {
     /// `build_megabatch` over `parts`: the writer is the same function fresh
     /// extraction runs, the structure was compiled by the same code, and
     /// matrices are fully overwritten row by row.
+    ///
+    /// # Example
+    ///
+    /// A feature-only change (here: scaled link capacities) keeps the
+    /// structure fingerprint, so a cached composition refills in place and
+    /// reproduces a fresh build bit for bit:
+    ///
+    /// ```
+    /// use rn_dataset::{generate, GeneratorConfig, Normalizer};
+    /// use rn_netsim::SimConfig;
+    /// use routenet::compose::ComposedMegabatch;
+    /// use routenet::entities::{build_megabatch, build_plan, PlanConfig, TargetKind};
+    /// use routenet::FeatureScales;
+    ///
+    /// let gen = GeneratorConfig {
+    ///     sim: SimConfig { duration_s: 30.0, warmup_s: 5.0, ..SimConfig::default() },
+    ///     ..GeneratorConfig::default()
+    /// };
+    /// let ds = generate(&rn_netgraph::topologies::toy5(), &gen, 9, 2);
+    /// let (scales, normalizer) = (FeatureScales::unit(), Normalizer::identity());
+    /// let cfg = PlanConfig {
+    ///     scales: &scales,
+    ///     normalizer: &normalizer,
+    ///     state_dim: 8,
+    ///     min_packets: 1,
+    ///     target: TargetKind::Delay,
+    /// };
+    /// let plans_a: Vec<_> = ds.samples.iter().map(|s| build_plan(s, &cfg)).collect();
+    /// // Same topology/routing/queues, different features: structure match.
+    /// let perturbed: Vec<_> = ds
+    ///     .samples
+    ///     .iter()
+    ///     .map(|s| {
+    ///         let mut s = s.clone();
+    ///         for c in &mut s.link_capacities {
+    ///             *c *= 1.25;
+    ///         }
+    ///         s
+    ///     })
+    ///     .collect();
+    /// let plans_b: Vec<_> = perturbed.iter().map(|s| build_plan(s, &cfg)).collect();
+    /// let parts_a: Vec<_> = plans_a.iter().collect();
+    /// let parts_b: Vec<_> = plans_b.iter().collect();
+    ///
+    /// let mut composed = ComposedMegabatch::compose(&parts_a).unwrap();
+    /// composed.refill_features(&parts_b);
+    /// let fresh = build_megabatch(&parts_b);
+    /// // Bitwise identical to building from scratch (0.0 tolerance).
+    /// assert!(composed.plan().link_init.approx_eq(&fresh.plan.link_init, 0.0));
+    /// assert!(composed.plan().targets_norm.approx_eq(&fresh.plan.targets_norm, 0.0));
+    /// ```
     pub fn refill_features(&mut self, parts: &[&SamplePlan]) {
         assert_eq!(
             parts.len(),

@@ -205,6 +205,30 @@ pub struct PlanShards {
     pub link_bounds: Vec<usize>,
     /// Per-sample node row bounds (len `B + 1`).
     pub node_bounds: Vec<usize>,
+    /// Balanced row-block bounds over the **path** rows for the dense
+    /// per-row work — the readout MLP forward/backward (len `B + 1`, built
+    /// by [`balanced_row_bounds`]). Unlike the per-sample bounds above,
+    /// dense ops touch every row independently, so the partition need not
+    /// follow sample boundaries: balanced blocks keep ragged batches from
+    /// leaving workers idle. Empty disables dense sharding (legacy path).
+    pub dense_path_bounds: Vec<usize>,
+    /// Balanced row-block bounds over the link rows for the dense link-GRU
+    /// entity update (len `B + 1`, empty = dense sharding disabled).
+    pub dense_link_bounds: Vec<usize>,
+    /// Balanced row-block bounds over the node rows for the dense node-GRU
+    /// entity update (len `B + 1`, empty = dense sharding disabled).
+    pub dense_node_bounds: Vec<usize>,
+}
+
+/// Evenly balanced row-block bounds: `shards` contiguous blocks covering
+/// `0..total` whose sizes differ by at most one row (`bounds[s] = s * total
+/// / shards`, `shards + 1` ascending entries). Every row lands in exactly
+/// one block; blocks may be empty when `total < shards`. This is the dense
+/// shard partition — any contiguous partition is bitwise-safe for dense
+/// ops, so the balanced one is chosen for load balance on ragged batches.
+pub fn balanced_row_bounds(total: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    (0..=shards).map(|s| s * total / shards).collect()
 }
 
 impl PlanShards {
@@ -224,6 +248,22 @@ impl PlanShards {
             EntityKind::Link => &self.link_bounds,
             EntityKind::Node => &self.node_bounds,
         }
+    }
+
+    /// The dense row partition for the readout MLP (path rows), or `None`
+    /// when dense sharding is disabled (bounds stripped or degenerate).
+    pub fn dense_path(&self) -> Option<&[usize]> {
+        (self.dense_path_bounds.len() > 2).then_some(self.dense_path_bounds.as_slice())
+    }
+
+    /// The dense row partition for the link-GRU entity update, if enabled.
+    pub fn dense_link(&self) -> Option<&[usize]> {
+        (self.dense_link_bounds.len() > 2).then_some(self.dense_link_bounds.as_slice())
+    }
+
+    /// The dense row partition for the node-GRU entity update, if enabled.
+    pub fn dense_node(&self) -> Option<&[usize]> {
+        (self.dense_node_bounds.len() > 2).then_some(self.dense_node_bounds.as_slice())
     }
 }
 
@@ -513,6 +553,43 @@ impl std::error::Error for MegabatchError {}
 /// Panics on an empty slice or on state-width mismatches between parts; use
 /// [`try_build_megabatch`] where those are runtime conditions (e.g. a
 /// serving queue) rather than caller bugs.
+///
+/// # Example
+///
+/// Plan two simulated scenarios and pack them into one megabatch whose
+/// entity spaces are the samples stacked block-diagonally:
+///
+/// ```
+/// use rn_dataset::{generate, GeneratorConfig, Normalizer};
+/// use rn_netsim::SimConfig;
+/// use routenet::entities::{build_megabatch, build_plan, PlanConfig, TargetKind};
+/// use routenet::FeatureScales;
+///
+/// let gen = GeneratorConfig {
+///     sim: SimConfig { duration_s: 30.0, warmup_s: 5.0, ..SimConfig::default() },
+///     ..GeneratorConfig::default()
+/// };
+/// let ds = generate(&rn_netgraph::topologies::toy5(), &gen, 7, 2);
+/// let (scales, normalizer) = (FeatureScales::unit(), Normalizer::identity());
+/// let cfg = PlanConfig {
+///     scales: &scales,
+///     normalizer: &normalizer,
+///     state_dim: 8,
+///     min_packets: 1,
+///     target: TargetKind::Delay,
+/// };
+/// let plans: Vec<_> = ds.samples.iter().map(|s| build_plan(s, &cfg)).collect();
+/// let parts: Vec<_> = plans.iter().collect();
+///
+/// let mb = build_megabatch(&parts);
+/// assert_eq!(mb.plan.n_paths, plans[0].n_paths + plans[1].n_paths);
+/// assert_eq!(mb.path_ranges.len(), 2);
+/// // Multi-sample packs precompile the shard layout the parallel backward
+/// // fans out over (1-sample packs stay on the legacy bitwise path).
+/// let shards = mb.plan.shards.as_ref().unwrap();
+/// assert_eq!(shards.len(), 2);
+/// assert!(shards.dense_path().is_some());
+/// ```
 pub fn build_megabatch(parts: &[&SamplePlan]) -> MegabatchPlan {
     match try_build_megabatch(parts) {
         Ok(mb) => mb,

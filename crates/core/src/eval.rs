@@ -138,7 +138,7 @@ fn eval_chunks(plans: &[SamplePlan]) -> Vec<(usize, usize)> {
 }
 
 /// Evaluate a trained model over a dataset: plan every sample (in parallel),
-/// predict in fused megabatches packed by [`eval_chunks`] (greedy, up to
+/// predict in fused megabatches packed by `eval_chunks` (greedy, up to
 /// `EVAL_PATH_BUDGET` path rows each), collect reliable paths, compute the
 /// relative-error report.
 pub fn evaluate<M: PathPredictor>(
@@ -178,7 +178,7 @@ pub fn evaluate_baseline(name: &str, dataset_name: &str, pairs: &[(f64, f64)]) -
 /// Plan-level prediction collection — exposed for harnesses that already
 /// built plans (avoids re-planning in ablation sweeps). Runs the fused
 /// megabatch inference path: workers pack size-aware chunks (see
-/// [`eval_chunks`]) into block-diagonal forward passes on pooled tapes;
+/// `eval_chunks`) into block-diagonal forward passes on pooled tapes;
 /// each chunk flows through the composition layer (`build_megabatch` is
 /// compose + extract + assemble). One-shot evaluation has no recurring
 /// batch shapes to cache, so no `CompositionCache` sits here — the trainer

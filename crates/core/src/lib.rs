@@ -43,6 +43,8 @@
 //!   and the LRU composition cache recurring batch shapes hit instead of
 //!   re-running `build_megabatch`.
 
+#![warn(missing_docs)]
+
 pub mod compose;
 pub mod config;
 pub mod entities;

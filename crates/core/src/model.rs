@@ -394,6 +394,12 @@ impl PathPredictor for OriginalRouteNet {
         // `constant(clone())` exactly.
         let mut path_state = g.constant_copy(&plan.path_init);
         let mut link_state = g.constant_copy(&plan.link_init);
+        // Dense row partitions for the per-entity GRU update and the
+        // readout: the work the per-sample shards leave sequential fans
+        // across the same worker gang (None on single-sample plans, which
+        // stay on the legacy bitwise path).
+        let dense_link = plan.shards.as_ref().and_then(|s| s.dense_link());
+        let dense_path = plan.shards.as_ref().and_then(|s| s.dense_path());
         for _ in 0..self.config.mp_iterations {
             let (new_path, link_acc, _) = path_sweep(
                 g,
@@ -408,9 +414,11 @@ impl PathPredictor for OriginalRouteNet {
                 plan.shards.as_ref(),
             );
             path_state = new_path;
-            link_state = bound.gru_link.step_fused(g, link_state, link_acc);
+            link_state = bound
+                .gru_link
+                .step_fused_sharded(g, link_state, link_acc, dense_link);
         }
-        bound.readout.forward(g, path_state)
+        bound.readout.forward_sharded(g, path_state, dense_path)
     }
 
     fn forward_unfused(&self, g: &mut Graph, bound: &BoundOriginal, plan: &SamplePlan) -> Var {
@@ -556,6 +564,10 @@ impl PathPredictor for ExtendedRouteNet {
         let mut link_state = g.constant_copy(&plan.link_init);
         let mut node_state = g.constant_copy(&plan.node_init);
         let positional = self.config.node_update == NodeUpdate::PositionalMessages;
+        // Dense row partitions — see `OriginalRouteNet::forward`.
+        let dense_link = plan.shards.as_ref().and_then(|s| s.dense_link());
+        let dense_node = plan.shards.as_ref().and_then(|s| s.dense_node());
+        let dense_path = plan.shards.as_ref().and_then(|s| s.dense_path());
         for _ in 0..self.config.mp_iterations {
             let (new_path, link_acc, node_acc) = path_sweep(
                 g,
@@ -578,10 +590,14 @@ impl PathPredictor for ExtendedRouteNet {
                 let gathered = g.gather_rows(path_state, &plan.node_incidence_paths);
                 g.segment_sum(gathered, &plan.node_incidence_nodes, plan.num_nodes)
             };
-            link_state = bound.gru_link.step_fused(g, link_state, link_acc);
-            node_state = bound.gru_node.step_fused(g, node_state, node_input);
+            link_state = bound
+                .gru_link
+                .step_fused_sharded(g, link_state, link_acc, dense_link);
+            node_state = bound
+                .gru_node
+                .step_fused_sharded(g, node_state, node_input, dense_node);
         }
-        bound.readout.forward(g, path_state)
+        bound.readout.forward_sharded(g, path_state, dense_path)
     }
 
     fn forward_unfused(&self, g: &mut Graph, bound: &BoundExtended, plan: &SamplePlan) -> Var {

@@ -110,6 +110,17 @@ impl TrainConfig {
     /// `std::env::var` reads of this name are how the knob drifts.
     pub const BACKWARD_SHARDS_ENV: &'static str = "RN_BACKWARD_SHARDS";
 
+    /// Every training-side environment knob, as `(name, what it overrides)`
+    /// pairs — the **single source of truth** the README's "Configuration"
+    /// table is checked against (`readme_documents_every_env_knob` test).
+    /// Add a row here whenever a new `RN_*` training env is introduced and
+    /// the README table, the parser and the docs stay in lockstep.
+    pub const ENV_DOCS: &'static [(&'static str, &'static str)] = &[(
+        Self::BACKWARD_SHARDS_ENV,
+        "worker threads for the sharded (megabatch-internal) forward/backward; \
+         overrides TrainConfig::backward_shards, bitwise-identical at any value",
+    )];
+
     /// The `RN_BACKWARD_SHARDS` override, if set to a positive integer.
     /// Malformed or non-positive values are ignored (`None`), never a panic:
     /// CI environments outlive the code that validates them.

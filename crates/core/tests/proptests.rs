@@ -220,6 +220,67 @@ proptest! {
     }
 
     #[test]
+    fn dense_shard_partitions_cover_every_row_exactly_once_on_ragged_batches(
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(3usize..7, 2..6),
+    ) {
+        // Mirror of the CSR shard-partition proptest for the DENSE row
+        // partitions (readout MLP rows, link/node GRU rows): balanced
+        // contiguous blocks that cover each entity space exactly once, no
+        // matter how ragged the batch is. Contiguity + exact cover is what
+        // makes `row_blocks_mut` hand each worker a disjoint slice.
+        let scales = FeatureScales::unit();
+        let normalizer = Normalizer::identity();
+        let config = PlanConfig {
+            scales: &scales,
+            normalizer: &normalizer,
+            state_dim: 6,
+            min_packets: 1,
+            target: routenet::entities::TargetKind::Delay,
+        };
+        let plans: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mut rng = Prng::new(seed.wrapping_add(i as u64));
+                let topo = generators::erdos_renyi_connected(n, 0.4, 1e4, &mut rng);
+                let sample = generate_sample(&topo, &quick_gen(), seed.wrapping_add(i as u64), 0);
+                routenet::entities::build_plan(&sample, &config)
+            })
+            .collect();
+        let parts: Vec<&routenet::SamplePlan> = plans.iter().collect();
+        let mb = routenet::entities::build_megabatch(&parts);
+        let shards = mb.plan.shards.as_ref().expect("multi-sample batch shards");
+
+        for (bounds, total) in [
+            (&shards.dense_path_bounds, mb.plan.n_paths),
+            (&shards.dense_link_bounds, mb.plan.num_links),
+            (&shards.dense_node_bounds, mb.plan.num_nodes),
+        ] {
+            // B + 1 ascending entries spanning 0..total.
+            prop_assert_eq!(bounds.len(), parts.len() + 1);
+            prop_assert_eq!(bounds[0], 0);
+            prop_assert_eq!(*bounds.last().unwrap(), total);
+            prop_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+            // Exact cover: every row is claimed by exactly one block.
+            let mut claimed = vec![0u32; total];
+            for w in bounds.windows(2) {
+                for c in &mut claimed[w[0]..w[1]] {
+                    *c += 1;
+                }
+            }
+            prop_assert!(claimed.iter().all(|&c| c == 1), "row claimed != once");
+            // Balance: block sizes differ by at most one row.
+            let sizes: Vec<usize> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+            let (min, max) = (
+                sizes.iter().min().copied().unwrap_or(0),
+                sizes.iter().max().copied().unwrap_or(0),
+            );
+            prop_assert!(max - min <= 1, "unbalanced dense blocks: {sizes:?}");
+        }
+    }
+
+    #[test]
     fn structure_fingerprint_collisions_imply_identical_compiled_structure(
         seed in any::<u64>(),
         n in 3usize..7,

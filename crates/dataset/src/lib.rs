@@ -6,7 +6,7 @@
 //! A [`Sample`] is one simulated network scenario: a routing scheme, a traffic
 //! matrix, per-node queue profiles and per-link capacities, plus the simulated
 //! per-path delay/jitter/loss labels. A [`Dataset`] is a topology plus many
-//! samples; [`generate`] produces them in parallel, each fully determined by
+//! samples; [`generate()`] produces them in parallel, each fully determined by
 //! `master_seed` and its index (so regenerating sample 17 alone yields exactly
 //! the same scenario).
 //!

@@ -2,7 +2,7 @@
 //!
 //! - [`nsfnet`]: the standard 14-node / 21-edge NSFNET T1 backbone, the
 //!   adjacency used by the RouteNet datasets (and by Hei et al. 2004, the
-//!   paper's reference [3]).
+//!   paper's reference \[3\]).
 //! - [`geant2`]: a 24-node / 37-edge topology modeled after the GEANT2
 //!   pan-European research network. **Substitution note** (see DESIGN.md): the
 //!   exact `.ned` adjacency of the paper's dataset was not available offline;

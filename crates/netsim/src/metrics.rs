@@ -84,7 +84,7 @@ pub struct LinkStats {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
     /// Per-flow statistics, indexed like the flow table (see
-    /// [`crate::Simulation::flows`]).
+    /// `crate::Simulation::flows`).
     pub flows: Vec<FlowStats>,
     /// `(src, dst)` of each flow, aligned with `flows`.
     pub flow_pairs: Vec<(usize, usize)>,

@@ -34,6 +34,18 @@ impl Activation {
         }
     }
 
+    /// [`Activation::apply`] with a dense row-block shard layout. SELU — the
+    /// readout's hidden activation, the only one on a megabatch hot path —
+    /// rides the sharded op so its forward/adjoint traffic fans across the
+    /// worker gang; every other variant falls back to the unsharded op
+    /// (element-wise results are identical either way).
+    pub fn apply_sharded(self, g: &mut Graph, x: Var, bounds: Option<&[usize]>) -> Var {
+        match self {
+            Activation::Selu => g.selu_sharded(x, bounds),
+            other => other.apply(g, x),
+        }
+    }
+
     /// Apply the activation directly to a matrix (no tape), for inference-only
     /// code paths.
     pub fn apply_matrix(self, x: &rn_tensor::Matrix) -> rn_tensor::Matrix {

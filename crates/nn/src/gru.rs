@@ -120,6 +120,22 @@ impl BoundGruCell {
         g.gru_step(&self.vars(), h, x, None)
     }
 
+    /// [`BoundGruCell::step_fused`] with a dense row-block shard layout —
+    /// the megabatch link/node entity updates. `bounds` partitions the state
+    /// rows; forward blocks and backward adjoints (including the dense GRU
+    /// weight-gradient matmuls) fan across the tape's worker pool with
+    /// bitwise-identical results at any worker count. `None` is exactly the
+    /// legacy fused step.
+    pub fn step_fused_sharded(
+        &self,
+        g: &mut Graph,
+        h: Var,
+        x: Var,
+        bounds: Option<&[usize]>,
+    ) -> Var {
+        g.gru_step_dense_sharded(&self.vars(), h, x, bounds)
+    }
+
     /// Fused masked step: rows with `mask == 0` keep their previous state.
     /// Numerically equivalent to [`BoundGruCell::step_masked`].
     pub fn step_masked_fused(&self, g: &mut Graph, h: Var, x: Var, mask: &Matrix) -> Var {

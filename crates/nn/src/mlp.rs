@@ -89,6 +89,16 @@ impl BoundMlp {
     pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
         self.layers.iter().fold(x, |h, layer| layer.forward(g, h))
     }
+
+    /// [`BoundMlp::forward`] with a dense row-block shard layout shared by
+    /// every layer (the batch row count is constant through the stack) —
+    /// this is how the megabatch readout fans its matmul/bias/activation
+    /// work, forward and backward, across the worker gang.
+    pub fn forward_sharded(&self, g: &mut Graph, x: Var, bounds: Option<&[usize]>) -> Var {
+        self.layers
+            .iter()
+            .fold(x, |h, layer| layer.forward_sharded(g, h, bounds))
+    }
 }
 
 impl Layer for Mlp {

@@ -37,7 +37,9 @@ fn main() {
         .unwrap_or(16);
     let mp_iters: usize = arg("--mp-iters").and_then(|v| v.parse().ok()).unwrap_or(4);
 
-    let mut config = ServeConfig::default();
+    // Env first (the RN_SERVE_* knobs of ServeConfig::ENV_DOCS), explicit
+    // CLI flags override.
+    let mut config = ServeConfig::from_env();
     if let Some(w) = arg("--workers").and_then(|v| v.parse().ok()) {
         config.workers = w;
     }

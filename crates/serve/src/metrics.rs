@@ -18,15 +18,28 @@ const BUCKETS: usize = 64;
 const LOW_US: f64 = 10.0;
 const GROWTH: f64 = 1.5;
 
-/// Zero-based index of the **nearest-rank** percentile element among `n`
-/// sorted samples: the smallest index `i` such that at least `p` percent of
-/// the samples are `<= sample[i]`. `None` when there are no samples.
+/// Zero-based index of the **inclusive nearest-rank** percentile element
+/// among `n` sorted samples: the smallest index `i` such that at least `p`
+/// percent of the samples are `<= sample[i]` (the rank is `max(1,
+/// ceil(p/100 · n))`, the comparison **inclusive** of `sample[i]` itself).
+/// `None` when there are no samples.
+///
+/// The convention, spelled out at the boundaries (pinned by the
+/// `nearest_rank_boundary_convention_*` tests):
+///
+/// - `p = 0` is the **minimum** (the rank clamps up to 1, never "no
+///   element" — an exclusive reading would have no answer at p0);
+/// - `p = 100` is the **maximum** (never one past the end);
+/// - ties round **down**: `p = 50` of an even count is the *lower* median
+///   (index `n/2 - 1`), not an interpolated midpoint — every reported
+///   percentile is a value that actually occurred;
+/// - 1 sample is every percentile; `p > 100` clamps to the maximum.
 ///
 /// This is the single definition every latency percentile in the workspace
-/// goes through — the histogram's bucket walk ([`LatencyHistogram`]) and the
+/// goes through — the histogram's bucket walk ([`LatencyHistogram`]), the
+/// snapshot fields ([`MetricsSnapshot::latency_p50_ms`] and friends) and the
 /// exact client-side summaries (`rn_serve::loadgen`) — so the degenerate
-/// cases agree everywhere: 0 samples have no percentile (callers report
-/// 0.0), 1 sample is every percentile, and `p = 100` is the maximum.
+/// cases agree everywhere (0 samples: callers report 0.0).
 pub fn nearest_rank(n: usize, p: f64) -> Option<usize> {
     if n == 0 {
         return None;
@@ -329,11 +342,17 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Completed requests per second of uptime.
     pub throughput_rps: f64,
-    /// Median end-to-end latency (ms, bucket upper bound).
+    /// Median end-to-end latency (ms, bucket upper bound). Percentiles use
+    /// the **inclusive nearest-rank** convention of [`nearest_rank`]: the
+    /// smallest recorded value with cumulative proportion ≥ p/100, so p50 of
+    /// an even count is the lower median, p0 would be the minimum and p100
+    /// the maximum — never an interpolated value.
     pub latency_p50_ms: f64,
-    /// 95th-percentile latency (ms).
+    /// 95th-percentile latency (ms, inclusive nearest-rank — see
+    /// [`MetricsSnapshot::latency_p50_ms`]).
     pub latency_p95_ms: f64,
-    /// 99th-percentile latency (ms).
+    /// 99th-percentile latency (ms, inclusive nearest-rank — see
+    /// [`MetricsSnapshot::latency_p50_ms`]).
     pub latency_p99_ms: f64,
     /// Mean latency (ms, exact).
     pub latency_mean_ms: f64,
@@ -438,6 +457,41 @@ mod tests {
         assert_eq!(nearest_rank(10, 100.0), Some(9));
         // Ranks never exceed the sample count (p > 100 clamps).
         assert_eq!(nearest_rank(4, 150.0), Some(3));
+    }
+
+    #[test]
+    fn nearest_rank_boundary_convention_on_one_and_two_samples() {
+        // The inclusive nearest-rank convention at its extremes: p0 is the
+        // minimum (rank clamps up to 1), p100 is the maximum (never one
+        // past the end), and ties round DOWN (p50 of two samples is the
+        // lower median). These are exactly the cases where an exclusive
+        // reading would disagree.
+        assert_eq!(nearest_rank(1, 0.0), Some(0), "p0 of one sample");
+        assert_eq!(nearest_rank(1, 100.0), Some(0), "p100 of one sample");
+        assert_eq!(nearest_rank(2, 0.0), Some(0), "p0 of two = minimum");
+        assert_eq!(nearest_rank(2, 50.0), Some(0), "p50 of two = lower median");
+        assert_eq!(nearest_rank(2, 100.0), Some(1), "p100 of two = maximum");
+        // Just past a rank boundary the index steps up (inclusive ≥, not >).
+        assert_eq!(nearest_rank(2, 50.1), Some(1));
+    }
+
+    #[test]
+    fn nearest_rank_boundary_convention_through_the_consumers() {
+        use crate::loadgen::LatencySummary;
+        // Two exact client-side samples: the shared helper's lower-median
+        // and maximum conventions must surface unchanged.
+        let mut two = [Duration::from_millis(2), Duration::from_millis(10)];
+        let s = LatencySummary::of(&mut two);
+        assert_eq!(s.p50_ms, 2.0, "p50 of two samples is the LOWER median");
+        assert_eq!(s.max_ms, 10.0);
+        // The histogram consumer: p100's bucket is the maximum's bucket,
+        // p0's the minimum's (upper bounds, so compare bucket ordering).
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_millis(2));
+        h.record(Duration::from_millis(10));
+        assert!(h.percentile_ms(0.0) <= h.percentile_ms(100.0));
+        assert_eq!(h.percentile_ms(50.0), h.percentile_ms(0.0), "lower median");
+        assert!(h.percentile_ms(100.0) >= 10.0);
     }
 
     #[test]

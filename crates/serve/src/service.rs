@@ -93,6 +93,111 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Every serving-side environment knob, as `(name, what it overrides)`
+    /// pairs — the **single source of truth** the README's "Configuration"
+    /// table is checked against (`readme_documents_every_env_knob` test in
+    /// this crate). [`ServeConfig::with_env_overrides`] recognizes exactly
+    /// these names; add a row here when introducing a new one and the
+    /// parser, the docs and the README cannot drift apart.
+    pub const ENV_DOCS: &'static [(&'static str, &'static str)] = &[
+        (
+            "RN_SERVE_WORKERS",
+            "serving worker threads (ServeConfig::workers)",
+        ),
+        (
+            "RN_SERVE_MAX_BATCH",
+            "requests per dynamic batch, at most (ServeConfig::max_batch)",
+        ),
+        (
+            "RN_SERVE_MAX_BATCH_PATHS",
+            "path-row budget per dynamic batch (ServeConfig::max_batch_paths)",
+        ),
+        (
+            "RN_SERVE_DEADLINE_US",
+            "microseconds the oldest queued request may wait for co-batchers \
+             (ServeConfig::flush_deadline; 0 flushes whenever a worker is free)",
+        ),
+        (
+            "RN_SERVE_QUEUE_CAPACITY",
+            "admission-queue depth before load shedding (ServeConfig::queue_capacity)",
+        ),
+        (
+            "RN_SERVE_PLAN_CACHE",
+            "compiled plans kept in the shared plan cache \
+             (ServeConfig::plan_cache_capacity)",
+        ),
+        (
+            "RN_SERVE_COMPOSE_CACHE",
+            "composed megabatch structures kept for refill \
+             (ServeConfig::compose_cache_capacity)",
+        ),
+        (
+            "RN_SERVE_SHARDS",
+            "intra-batch shard-gang threads engaged on shallow queues \
+             (ServeConfig::intra_batch_shards; 1 disables, results bitwise \
+             identical either way)",
+        ),
+    ];
+
+    /// [`ServeConfig::default`] with every recognized env override applied.
+    pub fn from_env() -> Self {
+        Self::default().with_env_overrides()
+    }
+
+    /// Apply the `RN_SERVE_*` env overrides (the knobs listed in
+    /// [`ServeConfig::ENV_DOCS`]) on top of an explicitly constructed
+    /// config. Malformed or non-positive values are ignored, never a panic —
+    /// deployment environments outlive the code that validates them.
+    /// `RN_SERVE_DEADLINE_US` alone accepts 0 (a zero deadline is the
+    /// "flush when free" mode, not a degenerate value).
+    pub fn with_env_overrides(self) -> Self {
+        self.with_overrides_from(|name| std::env::var(name).ok())
+    }
+
+    /// The testable core of [`ServeConfig::with_env_overrides`]: resolve
+    /// knob values through `lookup` instead of the process environment.
+    /// Tests feed a pure lookup covering every [`ServeConfig::ENV_DOCS`]
+    /// name and assert each one moves its field — so a knob renamed in this
+    /// parser without updating `ENV_DOCS` (or vice versa) fails the build
+    /// rather than silently going dead.
+    pub fn with_overrides_from(mut self, lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let positive = |name: &str| -> Option<usize> {
+            lookup(name)?
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+        };
+        if let Some(v) = positive("RN_SERVE_WORKERS") {
+            self.workers = v;
+        }
+        if let Some(v) = positive("RN_SERVE_MAX_BATCH") {
+            self.max_batch = v;
+        }
+        if let Some(v) = positive("RN_SERVE_MAX_BATCH_PATHS") {
+            self.max_batch_paths = v;
+        }
+        if let Some(us) = lookup("RN_SERVE_DEADLINE_US").and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            self.flush_deadline = Duration::from_micros(us);
+        }
+        if let Some(v) = positive("RN_SERVE_QUEUE_CAPACITY") {
+            self.queue_capacity = v;
+        }
+        if let Some(v) = positive("RN_SERVE_PLAN_CACHE") {
+            self.plan_cache_capacity = v;
+        }
+        if let Some(v) = positive("RN_SERVE_COMPOSE_CACHE") {
+            self.compose_cache_capacity = v;
+        }
+        if let Some(v) = positive("RN_SERVE_SHARDS") {
+            self.intra_batch_shards = v;
+        }
+        self
+    }
+}
+
 /// Why a request was not answered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
@@ -503,5 +608,122 @@ fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
             // A caller that gave up (dropped the receiver) is not an error.
             job.respond.try_send(Ok(delays)).ok();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The README "Configuration" table is generated from the `ENV_DOCS`
+    /// constants; this test is the generator's enforcement half — a knob
+    /// added to code without a README row (or vice versa: a renamed knob
+    /// leaving a stale row) fails here, not in a reviewer's memory.
+    #[test]
+    fn readme_documents_every_env_knob() {
+        let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+        let table_start = readme
+            .find("## Configuration")
+            .expect("README must keep the Configuration section");
+        let table = &readme[table_start..];
+        for (name, _) in ServeConfig::ENV_DOCS
+            .iter()
+            .chain(routenet::TrainConfig::ENV_DOCS)
+        {
+            assert!(
+                table.contains(&format!("`{name}`")),
+                "env knob {name} (from ENV_DOCS) is missing from README's \
+                 Configuration table"
+            );
+        }
+    }
+
+    #[test]
+    fn every_documented_knob_actually_moves_its_field() {
+        // The real drift guard: feed the parser (through its pure lookup
+        // core — no process-env mutation under the multi-threaded harness)
+        // a distinct value for every ENV_DOCS name and check every config
+        // field moved off its default. A knob renamed in the parser but not
+        // in ENV_DOCS (or vice versa) leaves a field at its default and
+        // fails here.
+        for (name, docs) in ServeConfig::ENV_DOCS {
+            assert!(name.starts_with("RN_SERVE_"), "{name}");
+            assert!(!docs.is_empty());
+        }
+        let values: Vec<(usize, String)> = ServeConfig::ENV_DOCS
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i, format!("{}", 1000 + i)))
+            .collect();
+        let overridden = ServeConfig::default().with_overrides_from(|name| {
+            ServeConfig::ENV_DOCS
+                .iter()
+                .position(|(n, _)| *n == name)
+                .map(|i| values[i].1.clone())
+        });
+        let defaults = ServeConfig::default();
+        let moved = [
+            ("RN_SERVE_WORKERS", overridden.workers != defaults.workers),
+            (
+                "RN_SERVE_MAX_BATCH",
+                overridden.max_batch != defaults.max_batch,
+            ),
+            (
+                "RN_SERVE_MAX_BATCH_PATHS",
+                overridden.max_batch_paths != defaults.max_batch_paths,
+            ),
+            (
+                "RN_SERVE_DEADLINE_US",
+                overridden.flush_deadline != defaults.flush_deadline,
+            ),
+            (
+                "RN_SERVE_QUEUE_CAPACITY",
+                overridden.queue_capacity != defaults.queue_capacity,
+            ),
+            (
+                "RN_SERVE_PLAN_CACHE",
+                overridden.plan_cache_capacity != defaults.plan_cache_capacity,
+            ),
+            (
+                "RN_SERVE_COMPOSE_CACHE",
+                overridden.compose_cache_capacity != defaults.compose_cache_capacity,
+            ),
+            (
+                "RN_SERVE_SHARDS",
+                overridden.intra_batch_shards != defaults.intra_batch_shards,
+            ),
+        ];
+        assert_eq!(
+            moved.len(),
+            ServeConfig::ENV_DOCS.len(),
+            "new knob: extend this field map, ENV_DOCS and the README table"
+        );
+        for (name, changed) in moved {
+            assert!(
+                ServeConfig::ENV_DOCS.iter().any(|(n, _)| *n == name),
+                "{name} is parsed but undocumented in ENV_DOCS"
+            );
+            assert!(changed, "{name} is documented but did not move its field");
+        }
+    }
+
+    #[test]
+    fn from_env_without_overrides_is_default() {
+        // In the absence of RN_SERVE_* vars (the test environment), env
+        // resolution must reproduce the defaults exactly.
+        let clean = std::env::vars().all(|(k, _)| !k.starts_with("RN_SERVE_"));
+        if !clean {
+            return; // an outer harness set serving knobs; nothing to assert
+        }
+        let a = ServeConfig::default();
+        let b = ServeConfig::from_env();
+        assert_eq!(a.workers, b.workers);
+        assert_eq!(a.max_batch, b.max_batch);
+        assert_eq!(a.max_batch_paths, b.max_batch_paths);
+        assert_eq!(a.flush_deadline, b.flush_deadline);
+        assert_eq!(a.queue_capacity, b.queue_capacity);
+        assert_eq!(a.plan_cache_capacity, b.plan_cache_capacity);
+        assert_eq!(a.compose_cache_capacity, b.compose_cache_capacity);
+        assert_eq!(a.intra_batch_shards, b.intra_batch_shards);
     }
 }

@@ -970,6 +970,28 @@ pub mod kernels {
         }
         super::matmul_tn_acc_body(a, b, k, m, n, out);
     }
+
+    /// Ordered partial reduction: `dst[i] += partials[0][offset + i] +
+    /// partials[1][offset + i] + ...`, accumulating the partials in slice
+    /// order for every element.
+    ///
+    /// This is how per-shard parameter-gradient partials merge into the one
+    /// true gradient: `dst` is a chunk of the gradient buffer starting at
+    /// `offset`, `partials` are the full per-shard partial buffers in
+    /// canonical (sample) order. Because each element's additions happen in
+    /// partial order regardless of how the element range is chunked, fanning
+    /// disjoint chunks out to different threads produces bitwise-identical
+    /// results to one sequential pass — the property the parallel gradient
+    /// reduction rests on.
+    pub fn reduce_partials(dst: &mut [f32], offset: usize, partials: &[&[f32]]) {
+        let len = dst.len();
+        for p in partials {
+            debug_assert!(p.len() >= offset + len);
+            for (d, &v) in dst.iter_mut().zip(&p[offset..offset + len]) {
+                *d += v;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1193,6 +1215,31 @@ mod tests {
     #[should_panic(expected = "buffer length")]
     fn from_vec_rejects_bad_length() {
         let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reduce_partials_is_chunking_invariant() {
+        // Summing per-shard partials element-by-element in partial order
+        // must give the same bits no matter how the element range is split
+        // into chunks — the contract the parallel gradient reduction needs.
+        let partials: Vec<Vec<f32>> = (0..5)
+            .map(|s| {
+                (0..37)
+                    .map(|i| ((s * 31 + i * 17) % 13) as f32 / 7.0 - 0.9)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = partials.iter().map(|p| p.as_slice()).collect();
+        let mut whole = [0.25f32; 37];
+        kernels::reduce_partials(&mut whole, 0, &refs);
+        let mut chunked = [0.25f32; 37];
+        for (lo, hi) in [(0usize, 10usize), (10, 11), (11, 30), (30, 37)] {
+            kernels::reduce_partials(&mut chunked[lo..hi], lo, &refs);
+        }
+        assert_eq!(
+            whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            chunked.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -115,6 +115,96 @@ fn sharded_backward_is_bitwise_identical_to_sequential() {
     }
 }
 
+/// Strip the dense row partitions from a megabatch plan, leaving only the
+/// per-sample message-passing shards — the PR-3-era layout where the dense
+/// link/node GRU updates and the readout MLP run sequentially.
+fn strip_dense_shards(mb: &mut MegabatchPlan) {
+    let shards = mb.plan.shards.as_mut().expect("sharded plan");
+    shards.dense_path_bounds.clear();
+    shards.dense_link_bounds.clear();
+    shards.dense_node_bounds.clear();
+}
+
+#[test]
+fn dense_sharded_backward_is_bitwise_identical_across_worker_counts() {
+    // The fully-parallel backward: per-sample shards for the message
+    // passing PLUS balanced dense row blocks for the link/node GRU updates
+    // and the readout MLP. The dense partitions must actually be engaged,
+    // and the gradients must stay bitwise identical to the sequential
+    // canonical path at every worker count.
+    let (model, plans) = nsfnet_setup(6);
+    let parts: Vec<&SamplePlan> = plans.iter().collect();
+    let mb = build_megabatch(&parts);
+    let shards = mb.plan.shards.as_ref().expect("sharded plan");
+    assert!(
+        shards.dense_path().is_some()
+            && shards.dense_link().is_some()
+            && shards.dense_node().is_some(),
+        "megabatch plans must precompile dense row partitions"
+    );
+
+    let (loss_seq, grads_seq) = megabatch_step(&model, &mb, None);
+    for workers in worker_counts() {
+        let pool = Arc::new(WorkerPool::new(workers));
+        let (loss_par, grads_par) = megabatch_step(&model, &mb, Some(pool));
+        assert_eq!(
+            loss_seq.to_bits(),
+            loss_par.to_bits(),
+            "dense-sharded loss diverged at {workers} workers"
+        );
+        for (i, (a, b)) in grads_seq.iter().zip(&grads_par).enumerate() {
+            assert!(
+                a.approx_eq(b, 0.0),
+                "dense-sharded gradient {i} diverged at {workers} workers"
+            );
+        }
+    }
+
+    // Against the dense-stripped plan (dense ops sequential, message
+    // passing still sharded): the dense partial merge is a different —
+    // equally canonical — float grouping, so gradients agree numerically
+    // but need not share bits. Forward values must, though: dense forward
+    // blocks compute each element with the full kernel's arithmetic.
+    let mut mb_dense_seq = build_megabatch(&parts);
+    strip_dense_shards(&mut mb_dense_seq);
+    let (loss_nodense, grads_nodense) = megabatch_step(&model, &mb_dense_seq, None);
+    assert_eq!(
+        loss_seq.to_bits(),
+        loss_nodense.to_bits(),
+        "dense sharding must not change forward bits"
+    );
+    for (i, (a, b)) in grads_seq.iter().zip(&grads_nodense).enumerate() {
+        let tol = 1e-4 * a.max_abs().max(1.0);
+        assert!(
+            a.approx_eq(b, tol),
+            "gradient {i} diverged numerically between dense-sharded and dense-sequential"
+        );
+    }
+}
+
+#[test]
+fn dense_stripped_backward_stays_bitwise_across_worker_counts() {
+    // The per-sample-only layout (dense work sequential) remains its own
+    // canonical path: bitwise invariant across worker counts, so older
+    // plans or stripped configurations cannot lose determinism.
+    let (model, plans) = nsfnet_setup(4);
+    let parts: Vec<&SamplePlan> = plans.iter().collect();
+    let mut mb = build_megabatch(&parts);
+    strip_dense_shards(&mut mb);
+    let (loss_seq, grads_seq) = megabatch_step(&model, &mb, None);
+    for workers in [2, 8] {
+        let (loss_par, grads_par) =
+            megabatch_step(&model, &mb, Some(Arc::new(WorkerPool::new(workers))));
+        assert_eq!(loss_seq.to_bits(), loss_par.to_bits());
+        for (i, (a, b)) in grads_seq.iter().zip(&grads_par).enumerate() {
+            assert!(
+                a.approx_eq(b, 0.0),
+                "stripped grad {i} diverged at {workers} workers"
+            );
+        }
+    }
+}
+
 #[test]
 fn sharded_backward_is_reuse_stable_on_a_pooled_tape() {
     // A reused tape (pooled buffers, shard scratch recycled) must reproduce

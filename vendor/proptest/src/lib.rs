@@ -237,7 +237,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Lengths acceptable to [`vec`]: a fixed `usize` or a range.
+    /// Lengths acceptable to [`vec()`]: a fixed `usize` or a range.
     pub trait SizeRange {
         /// Draw a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
