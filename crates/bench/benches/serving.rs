@@ -9,22 +9,29 @@
 //! 3. **concurrent cached serving** — the intended pattern: clients register
 //!    scenarios once, then stream fingerprint queries that hit the plan
 //!    cache and ride shared dynamic batches.
+//! 4. **overload at 2× queue capacity** — a deliberately starved service
+//!    (one slowed worker, tiny admission queue) under twice its capacity in
+//!    closed-loop clients: records the measured reject rate, retry rate and
+//!    client-observed p99 while load shedding, plus the server's `rejected`
+//!    counter — overload behavior as data, not as an assumption.
 //!
-//! Writes `BENCH_serving.json` (req/s for all three, exact client-side
-//! latency percentiles, batch occupancy, cache hit rate, the server's own
-//! metrics snapshot) alongside the other BENCH artifacts.
+//! Writes `BENCH_serving.json` (req/s for the first three, exact
+//! client-side latency percentiles, batch occupancy, cache hit rate, the
+//! overload row, the server's own metrics snapshot) alongside the other
+//! BENCH artifacts.
 //!
 //! Knobs: `RN_SERVE_TOPOLOGY` (nsfnet|geant2), `RN_SERVE_SCENARIOS`,
 //! `RN_SERVE_CLIENTS`, `RN_SERVE_REQUESTS` (per client),
-//! `RN_SERVE_NAIVE_REQUESTS`, `RN_STATE_DIM`, `RN_MP_ITERS`,
-//! `RN_SERVE_SIM_DURATION_S`, `BENCH_OUT_DIR`.
+//! `RN_SERVE_NAIVE_REQUESTS`, `RN_SERVE_OVERLOAD_QUEUE_CAPACITY`,
+//! `RN_STATE_DIM`, `RN_MP_ITERS`, `RN_SERVE_SIM_DURATION_S`,
+//! `BENCH_OUT_DIR`.
 
 use rn_bench::{env_f64, env_usize};
 use rn_dataset::Dataset;
 use rn_serve::loadgen::demo_scenarios;
 use rn_serve::{
-    run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, MetricsSnapshot, ServeConfig, Service,
-    TcpServer,
+    run_loadgen, ChaosPlan, LoadMode, LoadgenConfig, LoadgenReport, MetricsSnapshot, ServeConfig,
+    Service, TcpServer,
 };
 use routenet::model::PathPredictor;
 use routenet::{ExtendedRouteNet, ModelConfig, SamplePlan};
@@ -42,6 +49,35 @@ struct BenchConfig {
     mp_iterations: usize,
     workers: usize,
     max_batch: usize,
+    overload_queue_capacity: usize,
+}
+
+/// The overload phase's results: load shedding measured at 2× queue
+/// capacity in offered closed-loop clients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OverloadReport {
+    /// Clients offered (2× the overload service's queue capacity).
+    offered_clients: usize,
+    /// The overload service's admission-queue capacity.
+    queue_capacity: usize,
+    /// Fraction of wire attempts answered `Overloaded`.
+    reject_rate: f64,
+    /// Backoff retries per wire attempt.
+    retry_rate: f64,
+    /// Fraction of wire attempts answered `DeadlineExceeded`.
+    timeout_rate: f64,
+    /// Client-observed p99 (ms) under overload, backoff waits included.
+    p99_ms: f64,
+    /// Requests that ultimately succeeded (within the retry budget).
+    requests: u64,
+    /// Requests abandoned after exhausting retries.
+    gave_up: u64,
+    /// The overload server's `rejected` counter at the end of the phase.
+    server_rejected: u64,
+    /// The overload server's `deadline_expired` counter.
+    server_deadline_expired: u64,
+    /// Full client-side report for the phase.
+    loadgen: LoadgenReport,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -68,6 +104,9 @@ struct ServingBenchReport {
     compose_hit_rate: f64,
     /// Distinct multi-request batch shapes the run produced.
     distinct_batch_shapes: usize,
+    /// Load-shedding behavior at 2× queue capacity (separate starved
+    /// service instance; does not perturb the throughput phases above).
+    overload_2x_capacity: OverloadReport,
     /// The server's own counters at the end of the run.
     server_metrics: MetricsSnapshot,
 }
@@ -106,6 +145,7 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1),
         max_batch: env_usize("RN_SERVE_MAX_BATCH", 8),
+        overload_queue_capacity: env_usize("RN_SERVE_OVERLOAD_QUEUE_CAPACITY", 8),
     };
     let sim_s = env_f64("RN_SERVE_SIM_DURATION_S", 60.0);
 
@@ -142,6 +182,7 @@ fn main() {
     eprintln!("[serving] direct predict loop: {direct_predict_loop_rps:.1} req/s");
 
     // ---- service under test ----------------------------------------------
+    let overload_model = model.clone();
     let service = Service::start(
         model,
         ServeConfig {
@@ -162,10 +203,10 @@ fn main() {
     let naive = best_of(env_usize("RN_SERVE_RUNS", 2), || {
         run_loadgen(
             &LoadgenConfig {
-                addr: addr.clone(),
                 clients: 1,
                 requests_per_client: config.naive_requests,
                 mode: LoadMode::Naive,
+                ..LoadgenConfig::new(addr.clone())
             },
             &samples,
         )
@@ -185,10 +226,10 @@ fn main() {
     let cached = best_of(env_usize("RN_SERVE_RUNS", 2), || {
         run_loadgen(
             &LoadgenConfig {
-                addr: addr.clone(),
                 clients: config.clients,
                 requests_per_client: config.requests_per_client,
                 mode: LoadMode::Cached,
+                ..LoadgenConfig::new(addr.clone())
             },
             &samples,
         )
@@ -212,6 +253,70 @@ fn main() {
         0.0
     };
 
+    // ---- 4. overload at 2x queue capacity ----------------------------------
+    // A separate, deliberately starved instance: one worker slowed by an
+    // injected ~1.5 ms batch delay and a tiny admission queue, offered twice
+    // its queue capacity in closed-loop clients. This guarantees real load
+    // shedding so the reject/retry/p99 numbers measure the backpressure
+    // path, not an idle queue.
+    let overload_capacity = config.overload_queue_capacity.max(1);
+    let overload_clients = 2 * overload_capacity;
+    eprintln!(
+        "[serving] overload: {} clients against queue capacity {} ...",
+        overload_clients, overload_capacity
+    );
+    let overload_service = Service::start(
+        overload_model,
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            queue_capacity: overload_capacity,
+            chaos: ChaosPlan::none()
+                .with_batch_delay(std::time::Duration::from_micros(1_500))
+                .with_seed(2019),
+            ..ServeConfig::default()
+        },
+    );
+    let overload_handle = overload_service.handle();
+    let overload_server =
+        TcpServer::bind(overload_service.handle(), "127.0.0.1:0").expect("bind overload");
+    let overload_loadgen = run_loadgen(
+        &LoadgenConfig {
+            clients: overload_clients,
+            requests_per_client: env_usize("RN_SERVE_OVERLOAD_REQUESTS", 32),
+            mode: LoadMode::Cached,
+            max_retries: 4,
+            backoff_base_ms: 2,
+            ..LoadgenConfig::new(overload_server.local_addr().to_string())
+        },
+        &samples,
+    )
+    .expect("overload loadgen");
+    let overload_server_metrics = overload_handle.metrics();
+    overload_server.stop();
+    overload_service.shutdown();
+    eprintln!(
+        "[serving] overload: reject rate {:.3}, retry rate {:.3}, p99 {:.2} ms, \
+         {} server-side rejects",
+        overload_loadgen.reject_rate,
+        overload_loadgen.retry_rate,
+        overload_loadgen.latency.p99_ms,
+        overload_server_metrics.rejected
+    );
+    let overload_2x_capacity = OverloadReport {
+        offered_clients: overload_clients,
+        queue_capacity: overload_capacity,
+        reject_rate: overload_loadgen.reject_rate,
+        retry_rate: overload_loadgen.retry_rate,
+        timeout_rate: overload_loadgen.timeout_rate,
+        p99_ms: overload_loadgen.latency.p99_ms,
+        requests: overload_loadgen.requests,
+        gave_up: overload_loadgen.gave_up,
+        server_rejected: overload_server_metrics.rejected,
+        server_deadline_expired: overload_server_metrics.deadline_expired,
+        loadgen: overload_loadgen,
+    };
+
     let report = ServingBenchReport {
         group: "serving".into(),
         speedup_vs_naive_loop: if naive.rps > 0.0 {
@@ -228,6 +333,7 @@ fn main() {
         cache_hit_rate: server_metrics.cache_hit_rate,
         compose_hit_rate: server_metrics.compose_hit_rate,
         distinct_batch_shapes: server_metrics.batch_shapes.len(),
+        overload_2x_capacity,
         config,
         direct_predict_loop_rps,
         naive_single_request_loop: naive,

@@ -3,7 +3,8 @@
 //!
 //! ```sh
 //! rn_loadgen --addr 127.0.0.1:9977 --topology nsfnet \
-//!            --clients 4 --requests 64 --mode cached
+//!            --clients 4 --requests 64 --mode cached \
+//!            --deadline-ms 250 --retries 3 --backoff-ms 5
 //! ```
 //!
 //! `--mode naive` re-sends the full scenario JSON on every request (the
@@ -11,9 +12,14 @@
 //! then queries by fingerprint. Scenario generation is seed-deterministic,
 //! so pointing this at a server started on the same topology works without
 //! shipping files around.
+//!
+//! An unreachable server, a bad flag, or a failed client thread exits
+//! nonzero with a one-line summary on stderr — never a panic/backtrace —
+//! so shell pipelines and the examples' quickstart can branch on `$?`.
 
 use rn_serve::loadgen::{demo_scenarios, run_loadgen, Client, LoadMode, LoadgenConfig};
 use rn_serve::{Request, Response};
+use std::process::ExitCode;
 
 fn arg(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -25,13 +31,32 @@ fn arg(name: &str) -> Option<String> {
     None
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("[loadgen] error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let defaults = LoadgenConfig::new(arg("--addr").unwrap_or_else(|| "127.0.0.1:9977".into()));
     let config = LoadgenConfig {
-        addr: arg("--addr").unwrap_or_else(|| "127.0.0.1:9977".into()),
         clients: arg("--clients").and_then(|v| v.parse().ok()).unwrap_or(4),
         requests_per_client: arg("--requests").and_then(|v| v.parse().ok()).unwrap_or(32),
-        mode: LoadMode::parse(&arg("--mode").unwrap_or_else(|| "cached".into()))
-            .unwrap_or_else(|e| panic!("{e}")),
+        mode: LoadMode::parse(&arg("--mode").unwrap_or_else(|| "cached".into()))?,
+        deadline_ms: arg("--deadline-ms")
+            .and_then(|v| v.parse().ok())
+            .filter(|&ms: &u64| ms > 0),
+        max_retries: arg("--retries")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.max_retries),
+        backoff_base_ms: arg("--backoff-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.backoff_base_ms),
+        ..defaults
     };
     let topology = arg("--topology").unwrap_or_else(|| "nsfnet".into());
     let scenarios: usize = arg("--scenarios").and_then(|v| v.parse().ok()).unwrap_or(4);
@@ -41,17 +66,28 @@ fn main() {
     let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(2019);
 
     eprintln!("[loadgen] generating {scenarios} {topology} scenarios ...");
-    let (_, samples) =
-        demo_scenarios(&topology, scenarios, sim_s, seed).unwrap_or_else(|e| panic!("{e}"));
+    let (_, samples) = demo_scenarios(&topology, scenarios, sim_s, seed)?;
     eprintln!(
         "[loadgen] {} clients x {} requests ({:?}) against {}",
         config.clients, config.requests_per_client, config.mode, config.addr
     );
-    let report = run_loadgen(&config, &samples).unwrap_or_else(|e| panic!("loadgen: {e}"));
+    let report = run_loadgen(&config, &samples)
+        .map_err(|e| format!("{e} (is rn_serve running at {}?)", config.addr))?;
     println!(
         "{}",
-        serde_json::to_string(&report).expect("serialize report")
+        serde_json::to_string(&report).map_err(|e| format!("serialize report: {e}"))?
     );
+    if report.rejected > 0 || report.retries > 0 || report.gave_up > 0 {
+        eprintln!(
+            "[loadgen] overload: {} rejects ({:.1}% of attempts), {} retries, \
+             {} gave up, {} deadline-expired",
+            report.rejected,
+            report.reject_rate * 100.0,
+            report.retries,
+            report.gave_up,
+            report.deadline_exceeded,
+        );
+    }
 
     // End-of-run server-side cache summary: how much planning the plan
     // cache absorbed and how many dynamic batches rode a cached megabatch
@@ -82,4 +118,10 @@ fn main() {
         Ok(other) => eprintln!("[loadgen] unexpected metrics response: {other:?}"),
         Err(e) => eprintln!("[loadgen] metrics fetch failed: {e}"),
     }
+    // A run where every request failed is a failed run, even though the
+    // report printed — quickstart scripts branch on the exit code.
+    if report.requests == 0 {
+        return Err("no request succeeded".into());
+    }
+    Ok(())
 }

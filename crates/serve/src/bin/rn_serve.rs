@@ -16,6 +16,7 @@ use rn_serve::loadgen::demo_scenarios;
 use rn_serve::{ServeConfig, Service, TcpServer};
 use routenet::model::PathPredictor;
 use routenet::{ExtendedRouteNet, ModelConfig};
+use std::process::ExitCode;
 use std::time::Duration;
 
 fn arg(name: &str) -> Option<String> {
@@ -28,7 +29,17 @@ fn arg(name: &str) -> Option<String> {
     None
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("[serve] error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let listen = arg("--listen").unwrap_or_else(|| "127.0.0.1:9977".into());
     let topology = arg("--topology").unwrap_or_else(|| "nsfnet".into());
     let fit_samples: usize = arg("--samples").and_then(|v| v.parse().ok()).unwrap_or(4);
@@ -49,18 +60,28 @@ fn main() {
     if let Some(us) = arg("--deadline-us").and_then(|v| v.parse().ok()) {
         config.flush_deadline = Duration::from_micros(us);
     }
+    if let Some(ms) = arg("--request-deadline-ms").and_then(|v| v.parse::<u64>().ok()) {
+        config.default_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if !config.chaos.is_none() {
+        // Chaos is for test/CI runs; make it impossible to enable in a
+        // production deployment without noticing.
+        eprintln!(
+            "[serve] WARNING: chaos injection active: {:?}",
+            config.chaos
+        );
+    }
 
     let model: ExtendedRouteNet = match arg("--model") {
         Some(path) => routenet::persist::load_model(std::path::Path::new(&path))
-            .unwrap_or_else(|e| panic!("load --model {path}: {e}")),
+            .map_err(|e| format!("load --model {path}: {e}"))?,
         None => {
             // Demo mode: random weights, real preprocessing. Predictions are
             // untrained — this exists to exercise the serving path.
             eprintln!(
                 "[serve] no --model given; fitting a demo model on generated {topology} data"
             );
-            let (_, samples) = demo_scenarios(&topology, fit_samples, 60.0, 2019)
-                .unwrap_or_else(|e| panic!("{e}"));
+            let (_, samples) = demo_scenarios(&topology, fit_samples, 60.0, 2019)?;
             let ds = rn_dataset::Dataset {
                 topology: match topology.as_str() {
                     "geant2" => rn_netgraph::topologies::geant2_default(),
@@ -82,7 +103,7 @@ fn main() {
 
     let service = Service::start(model, config);
     let server = TcpServer::bind(service.handle(), listen.as_str())
-        .unwrap_or_else(|e| panic!("bind {listen}: {e}"));
+        .map_err(|e| format!("bind {listen}: {e}"))?;
     println!(
         "{{\"listening\":\"{}\",\"model\":\"extended\"}}",
         server.local_addr()

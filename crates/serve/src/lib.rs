@@ -32,17 +32,32 @@
 //! - [`metrics`] — throughput, latency percentiles, batch occupancy, cache
 //!   hit rate.
 //! - [`loadgen`] — the measurement client driving the serving benchmark.
+//! - [`fault`] — deterministic chaos injection (worker panics/kills, batch
+//!   latency, connection drops) behind `RN_SERVE_CHAOS_*` knobs.
 //!
 //! Serving results are bitwise identical to direct
 //! [`routenet::PathPredictor::predict_batch`] calls regardless of how the
 //! dynamic batcher groups requests — see the crate's stress tests.
+//!
+//! ## Fault tolerance
+//!
+//! Workers are *supervised*: batch execution runs under `catch_unwind` (a
+//! panicking batch answers its requests with errors instead of aborting the
+//! process), panics escaping a batch respawn the worker loop, and every
+//! lock acquisition recovers from poison instead of cascading. Requests
+//! carry optional deadlines; a full admission queue sheds load with a
+//! structured `Overloaded {retry_after_ms}` reply. `tests/serve_faults.rs`
+//! drives all of it through injected chaos.
 
+pub mod fault;
 pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod service;
+mod sync;
 
+pub use fault::{ChaosPlan, FaultInjector};
 pub use loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport};
 pub use metrics::{nearest_rank, MetricsSnapshot, ServeMetrics};
 pub use registry::ModelRegistry;

@@ -210,6 +210,17 @@ pub struct ServeMetrics {
     pub rejected: AtomicU64,
     /// Requests that failed inside the worker.
     pub errors: AtomicU64,
+    /// Batches that panicked inside a worker's supervised region (each one
+    /// answered its requests with `WorkerPanic` errors — no reply lost).
+    pub worker_panics: AtomicU64,
+    /// Worker-loop respawns: panics that escaped the batch region and were
+    /// caught by the thread's supervisor wrapper.
+    pub worker_restarts: AtomicU64,
+    /// Requests dropped because their deadline expired while they queued
+    /// (answered `DeadlineExceeded` before any forward-pass work).
+    pub deadline_expired: AtomicU64,
+    /// TCP connections dropped by chaos injection (frontend-side).
+    pub conn_drops: AtomicU64,
     /// Model hot-swaps performed.
     pub swaps: AtomicU64,
     /// End-to-end request latency (enqueue → response ready).
@@ -227,6 +238,10 @@ impl ServeMetrics {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            conn_drops: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             batches: BatchHistogram::new(max_batch),
@@ -237,6 +252,25 @@ impl ServeMetrics {
     /// Seconds since the service started.
     pub fn uptime_s(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+
+    /// Backoff hint handed to shed clients in `Overloaded {retry_after_ms}`:
+    /// the time a full queue of `queue_depth` requests needs to drain at the
+    /// service's observed completion rate, floored at 1 ms (a retry storm
+    /// hint of 0 would defeat the point) and capped at 1 s (the estimate is
+    /// from a coarse uptime-average rate; holding clients off longer than a
+    /// second on its authority would be overconfident). Before any request
+    /// has completed there is no rate to extrapolate — a flat 25 ms covers
+    /// warmup.
+    pub fn retry_after_ms_hint(&self, queue_depth: usize) -> u64 {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let uptime = self.uptime_s();
+        if completed == 0 || uptime <= 0.0 {
+            return 25;
+        }
+        let rate = completed as f64 / uptime; // requests per second
+        let drain_s = queue_depth as f64 / rate.max(1e-9);
+        (drain_s * 1_000.0).ceil().clamp(1.0, 1_000.0) as u64
     }
 
     /// Snapshot every counter into a serializable record. Cache statistics
@@ -266,6 +300,10 @@ impl ServeMetrics {
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            conn_drops: self.conn_drops.load(Ordering::Relaxed),
             throughput_rps: if uptime > 0.0 {
                 completed as f64 / uptime
             } else {
@@ -340,6 +378,15 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Requests failed in workers.
     pub errors: u64,
+    /// Batches that panicked inside a worker's supervised region (their
+    /// requests were answered with `WorkerPanic` errors, never dropped).
+    pub worker_panics: u64,
+    /// Worker-loop respawns performed by the per-thread supervisor.
+    pub worker_restarts: u64,
+    /// Requests answered `DeadlineExceeded` because they expired in queue.
+    pub deadline_expired: u64,
+    /// TCP connections dropped by chaos injection.
+    pub conn_drops: u64,
     /// Completed requests per second of uptime.
     pub throughput_rps: f64,
     /// Median end-to-end latency (ms, bucket upper bound). Percentiles use
@@ -564,6 +611,42 @@ mod tests {
         assert_eq!(back.batch_shapes.len(), 1);
         assert_eq!(back.batch_shapes[0].shape, 0xfeed);
         assert_eq!(back.batch_shapes[0].batches, 4);
+    }
+
+    #[test]
+    fn retry_after_hint_is_bounded_and_rate_based() {
+        let m = ServeMetrics::new(4);
+        // No completions yet: flat warmup hint.
+        assert_eq!(m.retry_after_ms_hint(100), 25);
+        // With completions the hint tracks drain time but stays in [1, 1000].
+        m.completed.fetch_add(10_000_000, Ordering::Relaxed);
+        let fast = m.retry_after_ms_hint(1);
+        assert!((1..=1000).contains(&fast), "{fast}");
+        let slow = m.retry_after_ms_hint(usize::MAX / 2);
+        assert_eq!(slow, 1000, "drain estimates cap at one second");
+    }
+
+    #[test]
+    fn snapshot_carries_fault_counters() {
+        let m = ServeMetrics::new(4);
+        m.worker_panics.fetch_add(2, Ordering::Relaxed);
+        m.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        m.deadline_expired.fetch_add(3, Ordering::Relaxed);
+        m.conn_drops.fetch_add(4, Ordering::Relaxed);
+        let snap = m.snapshot(CacheStats::default(), 1, 0);
+        assert_eq!(
+            (
+                snap.worker_panics,
+                snap.worker_restarts,
+                snap.deadline_expired,
+                snap.conn_drops
+            ),
+            (2, 1, 3, 4)
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.worker_panics, 2);
+        assert_eq!(back.conn_drops, 4);
     }
 
     #[test]

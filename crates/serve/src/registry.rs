@@ -5,6 +5,7 @@
 //! Swaps build on [`routenet::persist`]'s atomic save/load — a file being
 //! replaced on disk is either the old or the new model, never a torn one.
 
+use crate::sync::{read_recover, write_recover};
 use routenet::persist;
 use serde::de::DeserializeOwned;
 use std::path::Path;
@@ -29,7 +30,9 @@ impl<M> ModelRegistry<M> {
     /// The current model and its version. The `Arc` keeps the snapshot alive
     /// for as long as a batch needs it, independent of later swaps.
     pub fn snapshot(&self) -> (Arc<M>, u64) {
-        let guard = self.slot.read().expect("model registry poisoned");
+        // Poison recovery, not propagation: the slot only ever holds a whole
+        // `Arc`, so a panic elsewhere can never leave it half-written.
+        let guard = read_recover(&self.slot);
         // Version is read under the lock so the pair is consistent.
         let version = self.version.load(Ordering::Acquire);
         (Arc::clone(&guard), version)
@@ -43,7 +46,7 @@ impl<M> ModelRegistry<M> {
     /// Atomically replace the served model; returns the new version.
     /// In-flight batches keep predicting with the snapshot they took.
     pub fn swap(&self, model: M) -> u64 {
-        let mut guard = self.slot.write().expect("model registry poisoned");
+        let mut guard = write_recover(&self.slot);
         *guard = Arc::new(model);
         self.version.fetch_add(1, Ordering::AcqRel) + 1
     }

@@ -12,6 +12,17 @@
 //! "Ping"                           → "Pong"
 //! ```
 //!
+//! `Predict` and `Cached` optionally carry `"deadline_ms": N` — a request
+//! that expires in queue is answered `"DeadlineExceeded"` without forward
+//! work. A request shed at admission gets `{"Overloaded": {"retry_after_ms":
+//! N}}`; clients should back off at least that long before retrying.
+//!
+//! **Every** request line gets exactly one response line as long as the
+//! connection lives: malformed JSON, invalid UTF-8 and unknown request
+//! shapes are answered with a structured `{"Error": …}` line and the
+//! connection stays usable — a buggy (or adversarial) client wedges only
+//! itself.
+//!
 //! `Register` compiles a scenario into the shared plan cache and returns its
 //! fingerprint; `Cached` predicts by fingerprint alone — the steady-state
 //! what-if loop sends a ~40-byte line instead of re-shipping (and the server
@@ -46,11 +57,18 @@ pub enum Request {
     Predict {
         /// The scenario to predict.
         sample: Sample,
+        /// Optional deadline budget in milliseconds, measured from
+        /// admission; omitted (or `null`) falls back to the server's
+        /// configured default.
+        deadline_ms: Option<u64>,
     },
     /// Predict a scenario previously registered, by fingerprint.
     Cached {
         /// Hex fingerprint from `Registered`/`Delays`.
         plan: String,
+        /// Optional deadline budget in milliseconds (see
+        /// [`Request::Predict`]).
+        deadline_ms: Option<u64>,
     },
     /// Fetch the service metrics snapshot.
     Metrics,
@@ -59,6 +77,10 @@ pub enum Request {
 }
 
 /// A server response line.
+// `Metrics` dwarfs the other variants, but responses are built, serialized
+// and dropped one at a time — boxing the snapshot would only complicate the
+// wire type for a short-lived value.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Response {
     /// Scenario compiled and cached.
@@ -82,6 +104,16 @@ pub enum Response {
     },
     /// Liveness answer.
     Pong,
+    /// Load shed at admission: the queue is full. Back off at least
+    /// `retry_after_ms` (plus jitter) before retrying.
+    Overloaded {
+        /// Server-estimated queue drain time in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline passed while it queued; it was answered
+    /// without spending forward-pass work and may be retried with a larger
+    /// budget.
+    DeadlineExceeded,
     /// The request failed; the connection stays usable.
     Error {
         /// Human-readable cause.
@@ -122,29 +154,47 @@ pub fn respond_line<M: PathPredictor>(handle: &ServeHandle<M>, line: &str) -> Re
                 paths: plan.n_paths,
             }
         }
-        Request::Predict { sample } => match handle.predict_sample(&sample) {
-            Ok((delays_s, fp)) => Response::Delays {
-                plan: fingerprint_to_hex(fp),
-                delays_s,
-            },
-            Err(e) => Response::Error {
-                message: e.to_string(),
-            },
-        },
-        Request::Cached { plan } => match fingerprint_from_hex(&plan) {
-            Err(message) => Response::Error { message },
-            Ok(fp) => match handle.predict_cached(fp) {
-                Ok(delays_s) => Response::Delays {
+        Request::Predict {
+            sample,
+            deadline_ms,
+        } => {
+            let budget = deadline_ms.map(std::time::Duration::from_millis);
+            match handle.predict_sample_with_deadline(&sample, budget) {
+                Ok((delays_s, fp)) => Response::Delays {
                     plan: fingerprint_to_hex(fp),
                     delays_s,
                 },
-                Err(e @ ServeError::UnknownPlan(_)) => Response::Error {
-                    message: format!("{e}; re-send the scenario with Register"),
-                },
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
-            },
+                Err(e) => error_response(e),
+            }
+        }
+        Request::Cached { plan, deadline_ms } => match fingerprint_from_hex(&plan) {
+            Err(message) => Response::Error { message },
+            Ok(fp) => {
+                let budget = deadline_ms.map(std::time::Duration::from_millis);
+                match handle.predict_cached_with_deadline(fp, budget) {
+                    Ok(delays_s) => Response::Delays {
+                        plan: fingerprint_to_hex(fp),
+                        delays_s,
+                    },
+                    Err(e @ ServeError::UnknownPlan(_)) => Response::Error {
+                        message: format!("{e}; re-send the scenario with Register"),
+                    },
+                    Err(e) => error_response(e),
+                }
+            }
+        },
+    }
+}
+
+/// Map a [`ServeError`] to its wire shape: backpressure and deadline
+/// outcomes get structured variants clients can branch on; everything else
+/// is a generic `Error` line.
+fn error_response(e: ServeError) -> Response {
+    match e {
+        ServeError::Overloaded { retry_after_ms } => Response::Overloaded { retry_after_ms },
+        ServeError::DeadlineExceeded => Response::DeadlineExceeded,
+        other => Response::Error {
+            message: other.to_string(),
         },
     }
 }
@@ -204,25 +254,51 @@ impl TcpServer {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         TcpStream::connect(self.addr).ok();
+        // An accept thread found dead is tolerated, not propagated — the
+        // frontend is being torn down either way.
         if let Some(t) = self.accept_thread.take() {
-            t.join().expect("accept thread panicked");
+            t.join().ok();
         }
     }
 }
 
 /// Serve one client connection: read request lines, write response lines.
+///
+/// The read loop is byte-oriented (`read_until`), not `lines()`: a frame
+/// that is not valid UTF-8 must be *answered* with a structured error, not
+/// treated as a connection-fatal I/O error — only EOF and real transport
+/// errors end the connection. Chaos connection-drop injection (when
+/// configured) severs the connection right before a reply is written, the
+/// worst client-visible moment.
 fn serve_connection<M: PathPredictor>(handle: ServeHandle<M>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) | Err(_) => break, // EOF or transport error
+            Ok(_) => {}
         }
-        let response = respond_line(&handle, &line);
+        let response = match std::str::from_utf8(&raw) {
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => respond_line(&handle, line),
+            Err(e) => Response::Error {
+                message: format!("bad request: invalid UTF-8 in request line: {e}"),
+            },
+        };
+        if let Some(chaos) = handle.chaos() {
+            if chaos.should_drop_connection() {
+                handle
+                    .raw_metrics()
+                    .conn_drops
+                    .fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
         let json = match serde_json::to_string(&response) {
             Ok(j) => j,
             Err(_) => "{\"Error\":{\"message\":\"response serialization failed\"}}".to_string(),

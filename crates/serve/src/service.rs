@@ -1,11 +1,16 @@
 //! The concurrent inference service: admission queue, dynamic batcher,
-//! worker shard pool.
+//! worker shard pool — with worker supervision, per-request deadlines and
+//! measured (not assumed) overload behavior.
 //!
 //! ## Request path
 //!
 //! 1. A caller submits a compiled plan (usually an `Arc` out of the shared
 //!    [`PlanCache`]) through a [`ServeHandle`]; admission control rejects
-//!    when the queue is at capacity.
+//!    when the queue is at capacity with a structured
+//!    [`ServeError::Overloaded`] carrying a drain-time `retry_after_ms`
+//!    hint. A request may carry a **deadline**; one that expires while
+//!    queued is answered [`ServeError::DeadlineExceeded`] *before* any
+//!    forward-pass work is spent on it.
 //! 2. Workers assemble **dynamic batches**: a batch flushes when it reaches
 //!    [`ServeConfig::max_batch`] requests (or would exceed
 //!    [`ServeConfig::max_batch_paths`] path rows — megabatches that outgrow
@@ -21,14 +26,39 @@
 //!    allocation-free. Results are split per request and delivered through
 //!    per-request channels.
 //!
+//! ## Supervision
+//!
+//! Partial failure is the normal case for a long-running service, so a
+//! worker panic is an *event*, never an abort:
+//!
+//! - batch execution runs under `catch_unwind`; a panicking batch (a model
+//!   bug, a poisoned kernel, injected chaos) is converted into per-request
+//!   [`ServeError::WorkerPanic`] replies and counted in
+//!   [`ServeMetrics::worker_panics`] — no reply is ever lost;
+//! - a panic that escapes the batch region kills only one worker-loop
+//!   iteration: the supervisor wrapper around every worker thread catches
+//!   it, bumps [`ServeMetrics::worker_restarts`] and re-enters the loop, so
+//!   the pool heals itself;
+//! - queue/registry locks are acquired with poison *recovery*
+//!   (`PoisonError::into_inner`), never poison propagation — a panic while
+//!   holding a lock degrades one request instead of cascading into every
+//!   thread that touches the lock afterwards.
+//!
+//! The [`crate::fault`] module injects exactly these failures on demand
+//! (`RN_SERVE_CHAOS_*` knobs); `tests/serve_faults.rs` proves the service
+//! keeps answering — bitwise identically for surviving requests — through
+//! panics, kills, overload and disconnects.
+//!
 //! Predictions are **bitwise identical** to calling
 //! [`PathPredictor::predict_batch`] directly: the fused kernels accumulate
 //! every output element in the same order regardless of where a sample's
 //! rows land inside a megabatch, so batch composition cannot perturb
 //! results. The stress tests pin this down.
 
+use crate::fault::{ChaosPlan, FaultInjector, CHAOS_WORKER_KILL};
 use crate::metrics::{CacheStats, MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use rn_autograd::{TapePool, WorkerPool};
 use rn_dataset::Sample;
 use routenet::compose::{ComposedMegabatch, CompositionCache};
@@ -37,6 +67,7 @@ use routenet::model::PathPredictor;
 use routenet::plan_cache::{sample_fingerprint, PlanCache};
 use routenet::SamplePlan;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -74,6 +105,13 @@ pub struct ServeConfig {
     /// them idle. `1` disables the gang. Results are bitwise identical
     /// either way; this only trades idle cores for latency at low load.
     pub intra_batch_shards: usize,
+    /// Default per-request deadline applied to submissions that do not
+    /// carry their own (`None` = requests wait as long as they must). A
+    /// request whose deadline passes while it queues is answered
+    /// [`ServeError::DeadlineExceeded`] without spending forward-pass work.
+    pub default_deadline: Option<Duration>,
+    /// Chaos-injection plan (see [`crate::fault`]); empty in production.
+    pub chaos: ChaosPlan,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +127,8 @@ impl Default for ServeConfig {
             plan_cache_capacity: 256,
             compose_cache_capacity: 32,
             intra_batch_shards: 1,
+            default_deadline: None,
+            chaos: ChaosPlan::none(),
         }
     }
 }
@@ -138,6 +178,38 @@ impl ServeConfig {
              (ServeConfig::intra_batch_shards; 1 disables, results bitwise \
              identical either way)",
         ),
+        (
+            "RN_SERVE_REQUEST_DEADLINE_MS",
+            "default per-request deadline in milliseconds for submissions \
+             that carry none (ServeConfig::default_deadline; 0 = wait \
+             forever); expired queued requests get DeadlineExceeded before \
+             any forward work",
+        ),
+        (
+            "RN_SERVE_CHAOS_PANIC_EVERY",
+            "chaos: panic inside every Nth dynamic-batch execution \
+             (ServeConfig::chaos.panic_every; 0 disables)",
+        ),
+        (
+            "RN_SERVE_CHAOS_KILL_EVERY",
+            "chaos: kill the worker loop on every Nth iteration, exercising \
+             supervisor respawn (ServeConfig::chaos.kill_every; 0 disables)",
+        ),
+        (
+            "RN_SERVE_CHAOS_BATCH_DELAY_US",
+            "chaos: artificial pre-forward batch latency in microseconds, \
+             ±50% seeded jitter (ServeConfig::chaos.batch_delay; 0 disables)",
+        ),
+        (
+            "RN_SERVE_CHAOS_DROP_CONN_EVERY",
+            "chaos: drop every Nth TCP connection right before a reply \
+             (ServeConfig::chaos.drop_conn_every; 0 disables)",
+        ),
+        (
+            "RN_SERVE_CHAOS_SEED",
+            "chaos: seed of the deterministic delay jitter \
+             (ServeConfig::chaos.seed)",
+        ),
     ];
 
     /// [`ServeConfig::default`] with every recognized env override applied.
@@ -149,8 +221,9 @@ impl ServeConfig {
     /// [`ServeConfig::ENV_DOCS`]) on top of an explicitly constructed
     /// config. Malformed or non-positive values are ignored, never a panic —
     /// deployment environments outlive the code that validates them.
-    /// `RN_SERVE_DEADLINE_US` alone accepts 0 (a zero deadline is the
-    /// "flush when free" mode, not a degenerate value).
+    /// `RN_SERVE_DEADLINE_US` and the chaos/deadline knobs accept 0 (a zero
+    /// flush deadline is the "flush when free" mode; zero chaos cadence or
+    /// request deadline means "disabled", their defaults).
     pub fn with_env_overrides(self) -> Self {
         self.with_overrides_from(|name| std::env::var(name).ok())
     }
@@ -169,6 +242,7 @@ impl ServeConfig {
                 .ok()
                 .filter(|&n| n > 0)
         };
+        let u64_knob = |name: &str| -> Option<u64> { lookup(name)?.trim().parse::<u64>().ok() };
         if let Some(v) = positive("RN_SERVE_WORKERS") {
             self.workers = v;
         }
@@ -178,8 +252,7 @@ impl ServeConfig {
         if let Some(v) = positive("RN_SERVE_MAX_BATCH_PATHS") {
             self.max_batch_paths = v;
         }
-        if let Some(us) = lookup("RN_SERVE_DEADLINE_US").and_then(|v| v.trim().parse::<u64>().ok())
-        {
+        if let Some(us) = u64_knob("RN_SERVE_DEADLINE_US") {
             self.flush_deadline = Duration::from_micros(us);
         }
         if let Some(v) = positive("RN_SERVE_QUEUE_CAPACITY") {
@@ -194,6 +267,24 @@ impl ServeConfig {
         if let Some(v) = positive("RN_SERVE_SHARDS") {
             self.intra_batch_shards = v;
         }
+        if let Some(ms) = u64_knob("RN_SERVE_REQUEST_DEADLINE_MS") {
+            self.default_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(n) = u64_knob("RN_SERVE_CHAOS_PANIC_EVERY") {
+            self.chaos.panic_every = n;
+        }
+        if let Some(n) = u64_knob("RN_SERVE_CHAOS_KILL_EVERY") {
+            self.chaos.kill_every = n;
+        }
+        if let Some(us) = u64_knob("RN_SERVE_CHAOS_BATCH_DELAY_US") {
+            self.chaos.batch_delay = Duration::from_micros(us);
+        }
+        if let Some(n) = u64_knob("RN_SERVE_CHAOS_DROP_CONN_EVERY") {
+            self.chaos.drop_conn_every = n;
+        }
+        if let Some(n) = u64_knob("RN_SERVE_CHAOS_SEED") {
+            self.chaos.seed = n;
+        }
         self
     }
 }
@@ -201,8 +292,21 @@ impl ServeConfig {
 /// Why a request was not answered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// Admission queue at capacity — shed load and retry later.
-    QueueFull,
+    /// Admission queue at capacity — shed load. `retry_after_ms` is the
+    /// server's estimate of when the queue will have drained enough to
+    /// accept again; clients should back off at least that long (plus
+    /// jitter) before retrying.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline passed while it waited in the queue; no
+    /// forward-pass work was spent on it.
+    DeadlineExceeded,
+    /// The batch this request rode panicked inside a worker. The worker
+    /// survived (or was respawned) and the service keeps serving; the
+    /// request itself was not computed and may be retried.
+    WorkerPanic,
     /// The service is shutting (or has shut) down.
     Shutdown,
     /// A referenced plan fingerprint is not resident in the cache.
@@ -221,7 +325,15 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::QueueFull => write!(f, "admission queue full"),
+            Self::Overloaded { retry_after_ms } => {
+                write!(f, "admission queue full; retry after {retry_after_ms} ms")
+            }
+            Self::DeadlineExceeded => write!(f, "request deadline exceeded while queued"),
+            Self::WorkerPanic => write!(
+                f,
+                "worker panicked while executing this request's batch; \
+                 the service recovered and the request may be retried"
+            ),
             Self::Shutdown => write!(f, "service is shut down"),
             Self::UnknownPlan(fp) => write!(f, "unknown plan fingerprint {fp:#018x}"),
             Self::IncompatiblePlan { expected, found } => write!(
@@ -240,6 +352,8 @@ struct Job {
     plan: Arc<SamplePlan>,
     respond: mpsc::SyncSender<Result<Vec<f64>, ServeError>>,
     enqueued: Instant,
+    /// Absolute point after which the request is not worth answering.
+    deadline: Option<Instant>,
 }
 
 /// Queue state under the batcher mutex.
@@ -264,6 +378,9 @@ struct Inner<M> {
     /// Shared shard gang for shallow-queue batches (see
     /// [`ServeConfig::intra_batch_shards`]); `None` when disabled.
     shard_pool: Option<Arc<WorkerPool>>,
+    /// Chaos injector ([`ServeConfig::chaos`]); `None` in production, so
+    /// the no-chaos hot path pays one `Option` check per injection point.
+    chaos: Option<Arc<FaultInjector>>,
 }
 
 /// Cloneable client handle to a running [`Service`]. Dropping handles does
@@ -287,7 +404,11 @@ pub struct Service<M> {
 }
 
 impl<M: PathPredictor + 'static> Service<M> {
-    /// Start `config.workers` worker threads serving `model`.
+    /// Start `config.workers` worker threads serving `model`. Each thread
+    /// runs the worker loop under a supervisor: a panic that escapes one
+    /// loop iteration is caught, counted in
+    /// [`MetricsSnapshot::worker_restarts`] and the loop re-entered — the
+    /// pool heals itself instead of shrinking until the service starves.
     pub fn start(model: M, config: ServeConfig) -> Self {
         let inner = Arc::new(Inner {
             state: Mutex::new(QueueState {
@@ -302,6 +423,7 @@ impl<M: PathPredictor + 'static> Service<M> {
             tapes: TapePool::new(),
             shard_pool: (config.intra_batch_shards > 1)
                 .then(|| Arc::new(WorkerPool::new(config.intra_batch_shards))),
+            chaos: FaultInjector::from_plan(&config.chaos),
             config,
         });
         let workers = (0..inner.config.workers.max(1))
@@ -309,7 +431,7 @@ impl<M: PathPredictor + 'static> Service<M> {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("rn-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || supervised_worker(&inner))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -324,10 +446,11 @@ impl<M: PathPredictor + 'static> Service<M> {
     }
 
     /// Stop accepting requests, fail whatever is still queued, and join the
-    /// workers.
+    /// workers. A worker found dead at join time (it panicked at the exact
+    /// moment of shutdown) is tolerated, not propagated.
     pub fn shutdown(mut self) {
         {
-            let mut st = self.inner.state.lock().expect("serve queue poisoned");
+            let mut st = lock_recover(&self.inner.state);
             st.shutdown = true;
             for job in st.queue.drain(..) {
                 self.inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -336,7 +459,7 @@ impl<M: PathPredictor + 'static> Service<M> {
         }
         self.inner.ready.notify_all();
         for w in self.workers.drain(..) {
-            w.join().expect("serve worker panicked");
+            w.join().ok();
         }
     }
 }
@@ -344,9 +467,22 @@ impl<M: PathPredictor + 'static> Service<M> {
 impl<M: PathPredictor> ServeHandle<M> {
     /// Submit a compiled plan and block until its predictions arrive.
     /// Returns one denormalized delay per path, bitwise identical to
-    /// `model.predict_batch(&[plan])`.
+    /// `model.predict_batch(&[plan])`. The config's
+    /// [`ServeConfig::default_deadline`] applies, if any.
     pub fn predict_plan(&self, plan: Arc<SamplePlan>) -> Result<Vec<f64>, ServeError> {
-        let rx = self.submit(plan)?;
+        self.predict_plan_with_deadline(plan, None)
+    }
+
+    /// [`ServeHandle::predict_plan`] with an explicit deadline budget
+    /// measured from submission (`None` falls back to the config default).
+    /// If the budget expires while the request queues, the batcher answers
+    /// [`ServeError::DeadlineExceeded`] without spending forward-pass work.
+    pub fn predict_plan_with_deadline(
+        &self,
+        plan: Arc<SamplePlan>,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<f64>, ServeError> {
+        let rx = self.submit(plan, deadline)?;
         rx.recv().map_err(|_| ServeError::Shutdown)?
     }
 
@@ -354,18 +490,38 @@ impl<M: PathPredictor> ServeHandle<M> {
     /// compile + insert), then predict. Returns `(delays, fingerprint)` so
     /// callers can re-query the scenario by fingerprint alone.
     pub fn predict_sample(&self, sample: &Sample) -> Result<(Vec<f64>, u64), ServeError> {
+        self.predict_sample_with_deadline(sample, None)
+    }
+
+    /// [`ServeHandle::predict_sample`] with an explicit deadline budget
+    /// (`None` falls back to the config default).
+    pub fn predict_sample_with_deadline(
+        &self,
+        sample: &Sample,
+        deadline: Option<Duration>,
+    ) -> Result<(Vec<f64>, u64), ServeError> {
         let (plan, fp) = self.plan_sample(sample);
-        Ok((self.predict_plan(plan)?, fp))
+        Ok((self.predict_plan_with_deadline(plan, deadline)?, fp))
     }
 
     /// Predict a scenario already resident in the plan cache.
     pub fn predict_cached(&self, fingerprint: u64) -> Result<Vec<f64>, ServeError> {
+        self.predict_cached_with_deadline(fingerprint, None)
+    }
+
+    /// [`ServeHandle::predict_cached`] with an explicit deadline budget
+    /// (`None` falls back to the config default).
+    pub fn predict_cached_with_deadline(
+        &self,
+        fingerprint: u64,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<f64>, ServeError> {
         let plan = self
             .inner
             .plans
             .get(fingerprint)
             .ok_or(ServeError::UnknownPlan(fingerprint))?;
-        self.predict_plan(plan)
+        self.predict_plan_with_deadline(plan, deadline)
     }
 
     /// Compile (or fetch) the plan for `sample` under the **current** model's
@@ -414,13 +570,7 @@ impl<M: PathPredictor> ServeHandle<M> {
 
     /// Point-in-time service metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let queue_depth = self
-            .inner
-            .state
-            .lock()
-            .expect("serve queue poisoned")
-            .queue
-            .len();
+        let queue_depth = lock_recover(&self.inner.state).queue.len();
         self.inner.metrics.snapshot(
             CacheStats {
                 plan_hits: self.inner.plans.hits(),
@@ -436,25 +586,43 @@ impl<M: PathPredictor> ServeHandle<M> {
         )
     }
 
+    /// The service's chaos injector, if one is configured (the TCP frontend
+    /// uses it for connection-drop injection).
+    pub(crate) fn chaos(&self) -> Option<&Arc<FaultInjector>> {
+        self.inner.chaos.as_ref()
+    }
+
+    /// The raw shared counters (the TCP frontend counts injected
+    /// connection drops here).
+    pub(crate) fn raw_metrics(&self) -> &ServeMetrics {
+        &self.inner.metrics
+    }
+
     /// Enqueue without waiting for the result; the receiver yields it.
     fn submit(
         &self,
         plan: Arc<SamplePlan>,
+        deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<Result<Vec<f64>, ServeError>>, ServeError> {
         let (tx, rx) = mpsc::sync_channel(1);
         {
-            let mut st = self.inner.state.lock().expect("serve queue poisoned");
+            let mut st = lock_recover(&self.inner.state);
             if st.shutdown {
                 return Err(ServeError::Shutdown);
             }
             if st.queue.len() >= self.inner.config.queue_capacity {
                 self.inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(ServeError::QueueFull);
+                return Err(ServeError::Overloaded {
+                    retry_after_ms: self.inner.metrics.retry_after_ms_hint(st.queue.len()),
+                });
             }
+            let enqueued = Instant::now();
+            let budget = deadline.or(self.inner.config.default_deadline);
             st.queue.push_back(Job {
                 plan,
                 respond: tx,
-                enqueued: Instant::now(),
+                enqueued,
+                deadline: budget.map(|d| enqueued + d),
             });
         }
         self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
@@ -500,18 +668,53 @@ fn drain_batch(st: &mut QueueState, config: &ServeConfig) -> Vec<Job> {
     batch
 }
 
+/// The supervisor wrapper every worker thread runs: re-enter the worker
+/// loop after a panic escapes it (a chaos kill, a bug outside the
+/// batch-level `catch_unwind`), counting the restart. Only a clean
+/// shutdown-driven return ends the thread.
+fn supervised_worker<M: PathPredictor>(inner: &Inner<M>) {
+    loop {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(inner))) {
+            Ok(()) => return, // clean shutdown
+            Err(_) => {
+                inner
+                    .metrics
+                    .worker_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+                if lock_recover(&inner.state).shutdown {
+                    return;
+                }
+                // Respawn: re-enter the loop on this thread. Any lock the
+                // panicking iteration held is poisoned, and every
+                // acquisition in this crate recovers from poison, so the
+                // reborn worker picks the queue back up where it stood.
+            }
+        }
+    }
+}
+
 /// Worker: wait for a flush condition, drain a batch, run one fused forward
-/// on a pooled tape, deliver per-request results.
+/// on a pooled tape, deliver per-request results. Batch execution runs
+/// under `catch_unwind`: a panic answers every request in the batch with
+/// [`ServeError::WorkerPanic`] instead of killing the worker.
 fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
     loop {
+        // Chaos worker-kill injection point: fires *between* batches, while
+        // no job and no lock is held, so a kill can never lose a reply —
+        // recovery is the supervisor's respawn alone.
+        if let Some(chaos) = &inner.chaos {
+            if chaos.should_kill_worker() {
+                panic!("{CHAOS_WORKER_KILL}");
+            }
+        }
         let (batch, backlog) = {
-            let mut st = inner.state.lock().expect("serve queue poisoned");
+            let mut st = lock_recover(&inner.state);
             loop {
                 if st.queue.is_empty() {
                     if st.shutdown {
                         return;
                     }
-                    st = inner.ready.wait(st).expect("serve queue poisoned");
+                    st = wait_recover(&inner.ready, st);
                     continue;
                 }
                 let full = st.queue.len() >= inner.config.max_batch;
@@ -523,13 +726,27 @@ fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
                     // will pick those up, so the machine is already busy.
                     break (batch, st.queue.len());
                 }
-                let (next, _timeout) = inner
-                    .ready
-                    .wait_timeout(st, deadline - now)
-                    .expect("serve queue poisoned");
+                let (next, _timeout) = wait_timeout_recover(&inner.ready, st, deadline - now);
                 st = next;
             }
         };
+        if batch.is_empty() {
+            continue;
+        }
+
+        // Requests whose deadline passed while they queued are answered
+        // (and counted) *before* any forward-pass work is spent on them.
+        let now = Instant::now();
+        let (batch, expired): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|job| job.deadline.is_none_or(|d| now < d));
+        for job in expired {
+            inner
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            job.respond.try_send(Err(ServeError::DeadlineExceeded)).ok();
+        }
         if batch.is_empty() {
             continue;
         }
@@ -559,54 +776,85 @@ fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
             continue;
         }
 
-        let refs: Vec<&SamplePlan> = group.iter().map(|j| j.plan.as_ref()).collect();
-        let total_paths: usize = refs.iter().map(|p| p.n_paths).sum();
-        let mut tape = inner.tapes.acquire();
-        // Shallow queue: nothing left for co-workers to chew on, so spare
-        // cores are free — exploit the batch's intra-megabatch shards
-        // instead. Under backlog the inter-batch parallelism already
-        // saturates the workers, and the gang would only add contention.
-        // Either way the predictions are bitwise identical.
-        let shard_here = backlog == 0 && refs.len() > 1;
-        tape.set_worker_pool(if shard_here {
-            inner.shard_pool.clone()
-        } else {
-            None
-        });
-        let results = if refs.len() > 1 {
-            // Multi-request batches go through the composition cache: a
-            // recurring batch shape checks its composed block-diagonal
-            // structure out, refills the feature rows for *these* requests
-            // and skips `build_megabatch` planning entirely. Misses compose
-            // fresh and publish for the next batch with this shape. Bitwise
-            // identical to `predict_batch_refs_with` either way.
-            let key = CompositionCache::key_of(&refs);
-            let composed = match inner.compositions.checkout(&key) {
-                Some(mut cached) => {
-                    cached.refill_features(&refs);
-                    cached
-                }
-                None => ComposedMegabatch::compose(&refs)
-                    .expect("worker batch is non-empty and width-checked"),
+        // The batch region: everything that can panic on a model/kernel bug
+        // (or injected chaos) runs under `catch_unwind`, borrowing `group`
+        // so the jobs stay answerable afterwards. No lock is held here, and
+        // the pooled tape is acquired and released inside the region — a
+        // panic mid-batch drops that tape during unwind (the pool simply
+        // re-allocates later) instead of recycling torn scratch state.
+        let total_paths: usize = group.iter().map(|j| j.plan.n_paths).sum();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(chaos) = &inner.chaos {
+                chaos.before_batch();
+            }
+            let refs: Vec<&SamplePlan> = group.iter().map(|j| j.plan.as_ref()).collect();
+            let mut tape = inner.tapes.acquire();
+            // Shallow queue: nothing left for co-workers to chew on, so
+            // spare cores are free — exploit the batch's intra-megabatch
+            // shards instead. Under backlog the inter-batch parallelism
+            // already saturates the workers, and the gang would only add
+            // contention. Either way the predictions are bitwise identical.
+            let shard_here = backlog == 0 && refs.len() > 1;
+            tape.set_worker_pool(if shard_here {
+                inner.shard_pool.clone()
+            } else {
+                None
+            });
+            let results = if refs.len() > 1 {
+                // Multi-request batches go through the composition cache: a
+                // recurring batch shape checks its composed block-diagonal
+                // structure out, refills the feature rows for *these*
+                // requests and skips `build_megabatch` planning entirely.
+                // Misses compose fresh and publish for the next batch with
+                // this shape. Bitwise identical to `predict_batch_refs_with`
+                // either way.
+                let key = CompositionCache::key_of(&refs);
+                let composed = match inner.compositions.checkout(&key) {
+                    Some(mut cached) => {
+                        cached.refill_features(&refs);
+                        cached
+                    }
+                    None => ComposedMegabatch::compose(&refs)
+                        .expect("worker batch is non-empty and width-checked"),
+                };
+                let out = model.predict_megabatch_with(&mut tape, composed.megabatch());
+                inner.compositions.publish(composed);
+                out
+            } else {
+                // Single-request flushes take the legacy (bitwise-seed)
+                // path, exactly as `predict_batch_refs_with` special-cases
+                // them.
+                model.predict_batch_refs_with(&mut tape, &refs)
             };
-            let out = model.predict_megabatch_with(&mut tape, composed.megabatch());
-            inner.compositions.publish(composed);
-            out
-        } else {
-            // Single-request flushes take the legacy (bitwise-seed) path,
-            // exactly as `predict_batch_refs_with` special-cases them.
-            model.predict_batch_refs_with(&mut tape, &refs)
-        };
-        tape.set_worker_pool(None);
-        inner.tapes.release(tape);
+            tape.set_worker_pool(None);
+            inner.tapes.release(tape);
+            results
+        }));
 
-        inner.metrics.batches.record(group.len(), total_paths);
-        let done = Instant::now();
-        for (job, delays) in group.into_iter().zip(results) {
-            inner.metrics.latency.record(done - job.enqueued);
-            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
-            // A caller that gave up (dropped the receiver) is not an error.
-            job.respond.try_send(Ok(delays)).ok();
+        match outcome {
+            Ok(results) => {
+                inner.metrics.batches.record(group.len(), total_paths);
+                let done = Instant::now();
+                for (job, delays) in group.into_iter().zip(results) {
+                    inner.metrics.latency.record(done - job.enqueued);
+                    inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    // A caller that gave up (dropped the receiver) is not an
+                    // error.
+                    job.respond.try_send(Ok(delays)).ok();
+                }
+            }
+            Err(_) => {
+                // The batch died, the worker did not: every rider gets a
+                // clean WorkerPanic reply and the loop keeps serving.
+                inner.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .metrics
+                    .errors
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                for job in group {
+                    job.respond.try_send(Err(ServeError::WorkerPanic)).ok();
+                }
+            }
         }
     }
 }
@@ -692,6 +940,30 @@ mod tests {
                 "RN_SERVE_SHARDS",
                 overridden.intra_batch_shards != defaults.intra_batch_shards,
             ),
+            (
+                "RN_SERVE_REQUEST_DEADLINE_MS",
+                overridden.default_deadline != defaults.default_deadline,
+            ),
+            (
+                "RN_SERVE_CHAOS_PANIC_EVERY",
+                overridden.chaos.panic_every != defaults.chaos.panic_every,
+            ),
+            (
+                "RN_SERVE_CHAOS_KILL_EVERY",
+                overridden.chaos.kill_every != defaults.chaos.kill_every,
+            ),
+            (
+                "RN_SERVE_CHAOS_BATCH_DELAY_US",
+                overridden.chaos.batch_delay != defaults.chaos.batch_delay,
+            ),
+            (
+                "RN_SERVE_CHAOS_DROP_CONN_EVERY",
+                overridden.chaos.drop_conn_every != defaults.chaos.drop_conn_every,
+            ),
+            (
+                "RN_SERVE_CHAOS_SEED",
+                overridden.chaos.seed != defaults.chaos.seed,
+            ),
         ];
         assert_eq!(
             moved.len(),
@@ -725,5 +997,25 @@ mod tests {
         assert_eq!(a.plan_cache_capacity, b.plan_cache_capacity);
         assert_eq!(a.compose_cache_capacity, b.compose_cache_capacity);
         assert_eq!(a.intra_batch_shards, b.intra_batch_shards);
+        assert_eq!(a.default_deadline, b.default_deadline);
+        assert_eq!(a.chaos, b.chaos);
+        assert!(b.chaos.is_none(), "no chaos unless explicitly enabled");
+    }
+
+    #[test]
+    fn zero_valued_deadline_and_chaos_knobs_mean_disabled() {
+        let cfg = ServeConfig::default().with_overrides_from(|name| {
+            matches!(
+                name,
+                "RN_SERVE_REQUEST_DEADLINE_MS"
+                    | "RN_SERVE_CHAOS_PANIC_EVERY"
+                    | "RN_SERVE_CHAOS_KILL_EVERY"
+                    | "RN_SERVE_CHAOS_BATCH_DELAY_US"
+                    | "RN_SERVE_CHAOS_DROP_CONN_EVERY"
+            )
+            .then(|| "0".to_string())
+        });
+        assert_eq!(cfg.default_deadline, None);
+        assert!(cfg.chaos.is_none());
     }
 }

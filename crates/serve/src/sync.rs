@@ -1,0 +1,125 @@
+//! Poison-recovering lock acquisition.
+//!
+//! A `Mutex`/`RwLock` is *poisoned* when a thread panics while holding it.
+//! For the serving data structures (admission queue, model slot) the
+//! protected state is always left consistent at panic time — workers never
+//! panic mid-mutation of the queue, and the registry only swaps whole
+//! `Arc`s — so propagating the poison would turn one recovered worker panic
+//! into a cascade that takes down every other worker and client thread.
+//! These helpers strip the poison flag and hand back the guard, which is
+//! exactly `PoisonError::into_inner`, named once so every lock acquisition
+//! in the crate degrades the same way.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+use std::time::Duration;
+
+/// Lock a mutex, recovering the guard from a poisoned lock.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Take a read lock, recovering from poison.
+pub(crate) fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Take a write lock, recovering from poison.
+pub(crate) fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Wait on a condvar, recovering the reacquired guard from poison.
+pub(crate) fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Wait on a condvar with a timeout, recovering the reacquired guard from
+/// poison.
+pub(crate) fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Poison `m` by panicking a thread while it holds the lock.
+    fn poison<T: Send + 'static>(m: &Arc<Mutex<T>>) {
+        let m2 = Arc::clone(m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poisoning the mutex on purpose");
+        })
+        .join();
+        assert!(
+            m.is_poisoned(),
+            "setup: the mutex must actually be poisoned"
+        );
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers_with_state_intact() {
+        let m = Arc::new(Mutex::new(41));
+        poison(&m);
+        let mut g = lock_recover(&m);
+        assert_eq!(*g, 41, "state survives the poisoning panic");
+        *g += 1;
+        drop(g);
+        assert_eq!(*lock_recover(&m), 42, "the recovered lock keeps working");
+    }
+
+    #[test]
+    fn poisoned_rwlock_recovers_for_readers_and_writers() {
+        let l = Arc::new(RwLock::new(7));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write().unwrap();
+            panic!("poisoning the rwlock on purpose");
+        })
+        .join();
+        assert_eq!(*read_recover(&l), 7);
+        *write_recover(&l) = 8;
+        assert_eq!(*read_recover(&l), 8);
+    }
+
+    #[test]
+    fn poisoned_condvar_wait_recovers() {
+        // A waiter parked on a mutex that gets poisoned *while it waits*
+        // must get its guard back when notified instead of propagating the
+        // panic out of `Condvar::wait`.
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut done = lock_recover(m);
+            while !*done {
+                let (next, _) = wait_timeout_recover(cv, done, Duration::from_millis(50));
+                done = next;
+            }
+        });
+        // Give the waiter a moment to park, then poison the very mutex it
+        // is waiting on.
+        std::thread::sleep(Duration::from_millis(20));
+        let pair3 = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let _guard = pair3.0.lock().unwrap();
+            panic!("poisoning the waited-on mutex on purpose");
+        })
+        .join();
+        assert!(pair.0.is_poisoned());
+        {
+            let (m, cv) = &*pair;
+            *lock_recover(m) = true;
+            cv.notify_all();
+        }
+        waiter.join().expect("waiter must finish cleanly");
+    }
+}

@@ -303,8 +303,10 @@ fn admission_control_rejects_when_queue_is_full() {
     );
     let handle = service.handle();
     match handle.predict_plan(Arc::clone(&plan)) {
-        Err(ServeError::QueueFull) => {}
-        other => panic!("expected QueueFull, got {other:?}"),
+        Err(ServeError::Overloaded { retry_after_ms }) => {
+            assert!(retry_after_ms >= 1, "hint must be a usable backoff")
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
     }
     assert_eq!(handle.metrics().rejected, 1);
     service.shutdown();
@@ -348,7 +350,10 @@ fn tcp_protocol_round_trips_and_matches_direct_predictions() {
     // Register, then predict by fingerprint.
     let fp = client.register(&ds.samples[0]).expect("register");
     match client
-        .round_trip(&Request::Cached { plan: fp.clone() })
+        .round_trip(&Request::Cached {
+            plan: fp.clone(),
+            deadline_ms: None,
+        })
         .expect("cached")
     {
         Response::Delays { delays_s, plan } => {
@@ -362,6 +367,7 @@ fn tcp_protocol_round_trips_and_matches_direct_predictions() {
     match client
         .round_trip(&Request::Predict {
             sample: ds.samples[1].clone(),
+            deadline_ms: None,
         })
         .expect("predict")
     {
@@ -373,6 +379,7 @@ fn tcp_protocol_round_trips_and_matches_direct_predictions() {
     match client
         .round_trip(&Request::Cached {
             plan: "00000000000000ff".into(),
+            deadline_ms: None,
         })
         .expect("unknown plan")
     {

@@ -58,7 +58,10 @@ fn main() {
     let mut client = Client::connect(&addr).expect("connect");
     let plan_ref = client.register(&ds.samples[1]).expect("register");
     match client
-        .round_trip(&Request::Cached { plan: plan_ref })
+        .round_trip(&Request::Cached {
+            plan: plan_ref,
+            deadline_ms: None,
+        })
         .expect("cached request")
     {
         Response::Delays { delays_s, .. } => {

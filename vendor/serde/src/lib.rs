@@ -37,12 +37,17 @@ pub mod de {
     pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
     impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
 
-    /// Look up `name` in an object value and deserialize the field.
+    /// Look up `name` in an object value and deserialize the field. A field
+    /// absent from the wire is treated as `null` if the target type accepts
+    /// it (`Option<T>` does) — so adding an `Option` field to a wire struct
+    /// stays backward compatible with clients that never send it — and only
+    /// reported as missing otherwise.
     pub fn field<T: DeserializeOwned>(v: &Value, name: &str) -> Result<T, DeError> {
         match v {
             Value::Object(pairs) => match pairs.iter().find(|(k, _)| k == name) {
                 Some((_, fv)) => T::deserialize_value(fv),
-                None => Err(DeError::new(format!("missing field `{name}`"))),
+                None => T::deserialize_value(&Value::Null)
+                    .map_err(|_| DeError::new(format!("missing field `{name}`"))),
             },
             other => Err(DeError::new(format!(
                 "expected object with field `{name}`, found {}",
