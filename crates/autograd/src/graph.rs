@@ -68,7 +68,7 @@ pub struct GruVars {
 
 /// Forward intermediates the fused GRU step saves for its adjoint.
 #[derive(Debug)]
-struct GruSaved {
+pub(crate) struct GruSaved {
     /// `[h | x]`, `n x (hidden + input)`.
     hx: Matrix,
     /// `[r ⊙ h | x]`, `n x (hidden + input)`.
@@ -112,7 +112,7 @@ pub struct ShardSplit<'a> {
 /// Owned copy of a [`ShardSplit`] stored on a tape node (buffers recycled
 /// through the index pool on [`Graph::reset`]).
 #[derive(Debug, Default)]
-struct OpShards {
+pub(crate) struct OpShards {
     active: Vec<usize>,
     dense: Vec<usize>,
     entity: Vec<usize>,
@@ -279,7 +279,7 @@ fn reduce_partials_parallel(pool: Option<&WorkerPool>, dst: &mut Matrix, partial
 
 /// Recorded operation: the inputs and any auxiliary data the adjoint needs.
 #[derive(Debug)]
-enum Op {
+pub(crate) enum Op {
     /// Leaf node. `requires_grad = false` marks constants whose gradient is
     /// never materialized (saves memory for targets and masks).
     Leaf {
@@ -2173,6 +2173,10 @@ impl Graph {
 
         for id in (0..n).rev() {
             let Some(g) = grads[id].take() else { continue };
+            // Per-op-kind timing (RN_TRACE=1): a drop-guard so arms that
+            // `continue` out of the match are still attributed. Inert (one
+            // relaxed atomic load, no clock read) while tracing is off.
+            let _op_span = crate::trace::OpSpan::begin(&self.nodes[id].op);
             match &self.nodes[id].op {
                 Op::Leaf { .. } => {}
                 &Op::Add(a, b) => {

@@ -45,6 +45,7 @@ pub mod activations;
 pub mod check;
 pub mod graph;
 pub mod pool;
+pub mod trace;
 
 pub use graph::{Graph, GruVars, ShardSplit, Var};
 pub use pool::TapePool;

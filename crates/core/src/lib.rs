@@ -53,6 +53,7 @@ pub mod features;
 pub mod model;
 pub mod persist;
 pub mod plan_cache;
+pub mod train_trace;
 pub mod trainer;
 
 pub use compose::{ComposedMegabatch, CompositionCache, MegabatchFeatures, MegabatchStructure};

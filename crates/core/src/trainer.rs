@@ -29,6 +29,7 @@
 use crate::compose::ComposedMegabatch;
 use crate::entities::{MegabatchPlan, SamplePlan};
 use crate::model::PathPredictor;
+use crate::train_trace::{self, TrainTrace};
 use rayon::prelude::*;
 use rayon::WorkerPool;
 use rn_autograd::{Graph, TapePool};
@@ -80,6 +81,12 @@ pub struct TrainConfig {
     /// `megabatch_size`: megabatches parallelize across the batch, shards
     /// parallelize within each megabatch.
     pub backward_shards: usize,
+    /// Where the per-epoch stage-breakdown JSONL stream goes when tracing
+    /// is on (`RN_TRACE=1`); see [`crate::train_trace`]. `None` falls back
+    /// to the `RN_TRACE_TRAIN_OUT` env knob, then `train_metrics.jsonl`.
+    /// Ignored (nothing is written) while tracing is off, so this field is
+    /// wire-optional for configs saved before it existed.
+    pub trace_out: Option<String>,
 }
 
 impl Default for TrainConfig {
@@ -98,6 +105,7 @@ impl Default for TrainConfig {
             use_megabatch: true,
             megabatch_size: 4,
             backward_shards: 1,
+            trace_out: None,
         }
     }
 }
@@ -115,11 +123,32 @@ impl TrainConfig {
     /// table is checked against (`readme_documents_every_env_knob` test).
     /// Add a row here whenever a new `RN_*` training env is introduced and
     /// the README table, the parser and the docs stay in lockstep.
-    pub const ENV_DOCS: &'static [(&'static str, &'static str)] = &[(
-        Self::BACKWARD_SHARDS_ENV,
-        "worker threads for the sharded (megabatch-internal) forward/backward; \
-         overrides TrainConfig::backward_shards, bitwise-identical at any value",
-    )];
+    pub const ENV_DOCS: &'static [(&'static str, &'static str)] = &[
+        (
+            Self::BACKWARD_SHARDS_ENV,
+            "worker threads for the sharded (megabatch-internal) forward/backward; \
+             overrides TrainConfig::backward_shards, bitwise-identical at any value",
+        ),
+        (
+            "RN_TRACE",
+            "master observability switch (read by rn_trace, honored workspace-wide): 1/true/on \
+             records stage-level span timing in the trainer, the serve request lifecycle and \
+             the autograd backward walk; anything else keeps tracing off at one atomic load \
+             per potential span. Never changes results — predictions and gradients are \
+             bitwise identical either way",
+        ),
+        (
+            crate::train_trace::TRACE_OUT_ENV,
+            "path of the trainer's per-epoch stage-breakdown JSONL stream (requires RN_TRACE=1); \
+             overrides TrainConfig::trace_out, defaults to train_metrics.jsonl",
+        ),
+        (
+            "RN_TRACE_SERVE_OUT",
+            "path the serve quickstart example and rn_loadgen write the final MetricsSnapshot \
+             (with per-stage latency breakdown) to as one JSON line (requires RN_TRACE=1); \
+             defaults to serve_metrics.jsonl",
+        ),
+    ];
 
     /// The `RN_BACKWARD_SHARDS` override, if set to a positive integer.
     /// Malformed or non-positive values are ignored (`None`), never a panic:
@@ -141,11 +170,18 @@ impl TrainConfig {
         Self::default().with_env_overrides()
     }
 
-    /// Apply env overrides (currently `RN_BACKWARD_SHARDS`) on top of an
-    /// explicitly constructed config.
+    /// Apply env overrides (`RN_BACKWARD_SHARDS`, `RN_TRACE_TRAIN_OUT`) on
+    /// top of an explicitly constructed config. (`RN_TRACE` itself is read
+    /// lazily by `rn_trace`, not stored here.)
     pub fn with_env_overrides(mut self) -> Self {
         if let Some(shards) = Self::env_backward_shards() {
             self.backward_shards = shards;
+        }
+        if let Some(path) = std::env::var(crate::train_trace::TRACE_OUT_ENV)
+            .ok()
+            .filter(|p| !p.trim().is_empty())
+        {
+            self.trace_out = Some(path);
         }
         self
     }
@@ -186,18 +222,23 @@ fn sample_gradients<M: PathPredictor>(
     model: &M,
     plan: &SamplePlan,
     loss: Loss,
+    stages: &rn_trace::StageRecorder,
 ) -> Option<(f64, Vec<Matrix>)> {
     if plan.reliable_idx.is_empty() {
         return None;
     }
     let mut g = Graph::new();
+    let fwd = stages.span(train_trace::FORWARD);
     let bound = model.bind(&mut g);
     let pred = model.forward(&mut g, &bound, plan);
     let reliable = g.gather_rows(pred, &plan.reliable_idx);
     let target = g.constant(plan.reliable_targets_norm());
     let loss_node = loss.apply(&mut g, reliable, target);
     let loss_value = g.value(loss_node).get(0, 0) as f64;
+    fwd.finish();
+    let bwd = stages.span(train_trace::BACKWARD);
     g.backward(loss_node);
+    bwd.finish();
     Some((loss_value, model.grads(&g, &bound)))
 }
 
@@ -228,11 +269,13 @@ fn megabatch_gradients<M: PathPredictor>(
     loss: Loss,
     scale: usize,
     g: &mut Graph,
+    stages: &rn_trace::StageRecorder,
 ) -> Option<(f64, usize, Vec<Matrix>)> {
     if mb.plan.reliable_idx.is_empty() {
         return None;
     }
     g.reset();
+    let fwd = stages.span(train_trace::FORWARD);
     let bound = model.bind(g);
     let pred = model.forward(g, &bound, &mb.plan);
     let reliable = g.gather_rows(pred, &mb.plan.reliable_idx);
@@ -246,7 +289,10 @@ fn megabatch_gradients<M: PathPredictor>(
     let loss_node = loss.apply_weighted(g, reliable, target, &weights);
     // The weighted node evaluates to (sum of per-sample means) / scale.
     let sum_of_means = g.value(loss_node).get(0, 0) as f64 * scale as f64;
+    fwd.finish();
+    let bwd = stages.span(train_trace::BACKWARD);
     g.backward(loss_node);
+    bwd.finish();
     Some((sum_of_means, mb.reliable_samples, model.grads(g, &bound)))
 }
 
@@ -325,6 +371,12 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
         "train: megabatch_size must be positive"
     );
 
+    // Stage-level tracing (RN_TRACE=1): every span below is inert — one
+    // relaxed atomic load, no clock read — while tracing is off, and
+    // recording never perturbs the math (bitwise-identical models either
+    // way; see crate::train_trace).
+    let trace = TrainTrace::new(config);
+    let stages = trace.recorder();
     let mut optimizer = Adam::new(config.learning_rate);
     let mut rng = Prng::new(config.seed);
     let mut history = TrainingHistory {
@@ -452,14 +504,19 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                     continue;
                 }
                 // Claim this batch's compositions: from the prefetch lane
-                // when it ran ahead, inline otherwise (cold start).
-                if composed[bi].is_none() {
-                    if let Some((pi, task)) = pending.take() {
-                        composed[pi] = Some(task.join());
+                // when it ran ahead, inline otherwise (cold start). The
+                // compose_wait span covers both the lane join and any
+                // inline compose — near-zero from epoch 2 on.
+                {
+                    let _compose_span = stages.span(train_trace::COMPOSE_WAIT);
+                    if composed[bi].is_none() {
+                        if let Some((pi, task)) = pending.take() {
+                            composed[pi] = Some(task.join());
+                        }
                     }
-                }
-                if composed[bi].is_none() {
-                    composed[bi] = Some(compose_batch(&batches[bi]));
+                    if composed[bi].is_none() {
+                        composed[bi] = Some(compose_batch(&batches[bi]));
+                    }
                 }
                 // Aim the background lane at the next uncomposed batch.
                 if pending.is_none() {
@@ -490,6 +547,7 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                         config.loss,
                         labelled,
                         &mut tape,
+                        stages,
                     );
                     tape_pool.release(tape);
                     out
@@ -519,6 +577,7 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 let Some(mut grads) = grads else { continue };
                 epoch_loss_sum += loss_sum;
                 epoch_loss_count += count;
+                let _opt_span = stages.span(train_trace::OPTIMIZER);
                 clip_global_norm(&mut grads, config.grad_clip);
                 optimizer.step(&mut model.params_mut(), &grads);
             }
@@ -531,7 +590,7 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 let snapshot: &M = model;
                 let results: Vec<(f64, Vec<Matrix>)> = batch
                     .par_iter()
-                    .filter_map(|&i| sample_gradients(snapshot, &plans[i], config.loss))
+                    .filter_map(|&i| sample_gradients(snapshot, &plans[i], config.loss, stages))
                     .collect();
                 if results.is_empty() {
                     continue;
@@ -557,6 +616,7 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 }
                 epoch_loss_sum += loss_sum;
                 epoch_loss_count += count;
+                let _opt_span = stages.span(train_trace::OPTIMIZER);
                 clip_global_norm(&mut grads, config.grad_clip);
                 optimizer.step(&mut model.params_mut(), &grads);
             }
@@ -570,7 +630,9 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
         history.stopped_at = epoch + 1;
 
         let mut val_msg = String::new();
+        let mut early_stop = false;
         if !val_plans.is_empty() {
+            let _eval_span = stages.span(train_trace::EVAL);
             let snapshot: &M = model;
             let run_val_chunk = |c: &ComposedMegabatch| {
                 let mut tape = sharded_tape(&tape_pool);
@@ -620,7 +682,8 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                                 patience
                             );
                         }
-                        break;
+                        // Deferred so the epoch still emits its trace line.
+                        early_stop = true;
                     }
                 }
             }
@@ -632,7 +695,12 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 epoch + 1
             );
         }
+        trace.emit_epoch(epoch, train_loss, history.val_loss.last().copied());
+        if early_stop {
+            break;
+        }
     }
+    trace.finish();
     history
 }
 

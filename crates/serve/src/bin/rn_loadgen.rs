@@ -114,6 +114,34 @@ fn run() -> Result<(), String> {
                     top.shape, top.batches
                 );
             }
+            eprintln!(
+                "[loadgen] server: {} workers, model v{}, up {:.1}s",
+                snapshot.workers, snapshot.model_version, snapshot.uptime_s
+            );
+            // Request-lifecycle breakdown, present when the server runs
+            // with RN_TRACE=1: where a request's latency actually goes.
+            for s in &snapshot.stage_latency {
+                eprintln!(
+                    "[loadgen] stage {:>14}: n {:>6}  p50 {:>8.3}ms  p95 {:>8.3}ms  \
+                     p99 {:>8.3}ms  mean {:>8.3}ms  total {:>10.1}ms",
+                    s.name, s.count, s.p50_ms, s.p95_ms, s.p99_ms, s.mean_ms, s.total_ms
+                );
+            }
+            // And mirror the snapshot to a JSONL file for dashboards/CI
+            // artifacts when this side runs traced too.
+            if rn_trace::enabled() {
+                let path = std::env::var("RN_TRACE_SERVE_OUT")
+                    .ok()
+                    .filter(|p| !p.trim().is_empty())
+                    .unwrap_or_else(|| "serve_metrics.jsonl".into());
+                match serde_json::to_string(&snapshot) {
+                    Ok(line) => match std::fs::write(&path, line + "\n") {
+                        Ok(()) => eprintln!("[loadgen] metrics snapshot written to {path}"),
+                        Err(e) => eprintln!("[loadgen] cannot write {path}: {e}"),
+                    },
+                    Err(e) => eprintln!("[loadgen] serialize snapshot: {e}"),
+                }
+            }
         }
         Ok(other) => eprintln!("[loadgen] unexpected metrics response: {other:?}"),
         Err(e) => eprintln!("[loadgen] metrics fetch failed: {e}"),

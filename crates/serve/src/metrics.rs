@@ -37,15 +37,13 @@ const GROWTH: f64 = 1.5;
 ///
 /// This is the single definition every latency percentile in the workspace
 /// goes through — the histogram's bucket walk ([`LatencyHistogram`]), the
-/// snapshot fields ([`MetricsSnapshot::latency_p50_ms`] and friends) and the
-/// exact client-side summaries (`rn_serve::loadgen`) — so the degenerate
+/// snapshot fields ([`MetricsSnapshot::latency_p50_ms`] and friends), the
+/// exact client-side summaries (`rn_serve::loadgen`), and every
+/// `rn_trace` stage histogram (this function now *delegates to*
+/// [`rn_trace::nearest_rank`], the canonical home) — so the degenerate
 /// cases agree everywhere (0 samples: callers report 0.0).
 pub fn nearest_rank(n: usize, p: f64) -> Option<usize> {
-    if n == 0 {
-        return None;
-    }
-    let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
-    Some(rank.min(n) - 1)
+    rn_trace::nearest_rank(n, p)
 }
 
 /// Geometric-bucket latency histogram with atomic counters.
@@ -199,6 +197,41 @@ impl BatchHistogram {
     }
 }
 
+/// Request-lifecycle stage names and indices for the serve-side
+/// [`rn_trace::StageRecorder`]. The five stages are an **exact
+/// decomposition** of the end-to-end latency histogram: for every
+/// completed request, `queue_wait + batch_assembly + compose + forward +
+/// reply` equals the `enqueue → response recorded` duration to the
+/// nanosecond (each boundary instant closes one stage and opens the
+/// next), so stage sums reconcile against `latency` totals with no gap
+/// term. Pinned by `crates/serve/tests/trace.rs`.
+pub mod stage {
+    /// Stage names, recording-index order.
+    pub const NAMES: &[&str] = &[
+        "queue_wait",
+        "batch_assembly",
+        "compose",
+        "forward",
+        "reply",
+    ];
+    /// Enqueue → the dynamic batcher drains the request into a batch.
+    pub const QUEUE_WAIT: usize = 0;
+    /// Drain → composition starts: deadline partitioning, model snapshot,
+    /// plan-ref assembly, tape checkout (and any chaos delay injected
+    /// before the batch region).
+    pub const BATCH_ASSEMBLY: usize = 1;
+    /// Composition-cache checkout + feature refill, or a fresh
+    /// block-diagonal compose (zero-length for singleton batches, which
+    /// skip composition).
+    pub const COMPOSE: usize = 2;
+    /// The model forward pass over the (mega)batch.
+    pub const FORWARD: usize = 3;
+    /// Forward done → per-request latency recorded (result splitting and
+    /// bookkeeping; the actual channel send is after the clock stops,
+    /// matching what the end-to-end histogram measures).
+    pub const REPLY: usize = 4;
+}
+
 /// All service counters, owned by the service and shared with every worker
 /// and frontend.
 pub struct ServeMetrics {
@@ -227,6 +260,10 @@ pub struct ServeMetrics {
     pub latency: LatencyHistogram,
     /// Dynamic-batch occupancy.
     pub batches: BatchHistogram,
+    /// Per-stage request-lifecycle timing (see [`stage`]). Only populated
+    /// while `RN_TRACE=1` — recording is a no-op behind a relaxed atomic
+    /// load otherwise.
+    pub stages: rn_trace::StageRecorder,
     started: Instant,
 }
 
@@ -245,6 +282,7 @@ impl ServeMetrics {
             swaps: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             batches: BatchHistogram::new(max_batch),
+            stages: rn_trace::StageRecorder::new(stage::NAMES),
             started: Instant::now(),
         }
     }
@@ -273,13 +311,15 @@ impl ServeMetrics {
         (drain_s * 1_000.0).ceil().clamp(1.0, 1_000.0) as u64
     }
 
-    /// Snapshot every counter into a serializable record. Cache statistics
-    /// and the model version are injected by the service, which owns them.
+    /// Snapshot every counter into a serializable record. Cache statistics,
+    /// the model version, and the worker count are injected by the service,
+    /// which owns them.
     pub fn snapshot(
         &self,
         caches: CacheStats,
         model_version: u64,
         queue_depth: usize,
+        workers: usize,
     ) -> MetricsSnapshot {
         let CacheStats {
             plan_hits: cache_hits,
@@ -338,6 +378,16 @@ impl ServeMetrics {
             model_version,
             model_swaps: self.swaps.load(Ordering::Relaxed),
             queue_depth: queue_depth as u64,
+            workers: workers as u64,
+            stage_latency: if rn_trace::enabled() {
+                self.stages
+                    .snapshot()
+                    .into_iter()
+                    .map(StageLatency::from)
+                    .collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 }
@@ -440,6 +490,52 @@ pub struct MetricsSnapshot {
     pub model_swaps: u64,
     /// Requests waiting in the queue at snapshot time.
     pub queue_depth: u64,
+    /// Worker threads the service was configured with.
+    pub workers: u64,
+    /// Per-stage request-lifecycle latency breakdown (see [`stage`] for
+    /// the decomposition). Empty unless tracing is on (`RN_TRACE=1`).
+    pub stage_latency: Vec<StageLatency>,
+}
+
+/// One request-lifecycle stage's latency statistics inside a
+/// [`MetricsSnapshot`] — the serializable face of an
+/// [`rn_trace::StageStats`]. Percentiles follow the same inclusive
+/// nearest-rank / bucket-upper-bound convention as the end-to-end
+/// `latency_*` fields; `total_ms` and `mean_ms` are exact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageLatency {
+    /// Stage name (one of [`stage::NAMES`]).
+    pub name: String,
+    /// Spans recorded (one per request for every stage — batch-level work
+    /// is attributed to each request that rode the batch).
+    pub count: u64,
+    /// Exact total time spent in this stage, milliseconds.
+    pub total_ms: f64,
+    /// Exact mean span duration, milliseconds.
+    pub mean_ms: f64,
+    /// Median span duration (ms, bucket upper bound).
+    pub p50_ms: f64,
+    /// 95th-percentile span duration (ms, bucket upper bound).
+    pub p95_ms: f64,
+    /// 99th-percentile span duration (ms, bucket upper bound).
+    pub p99_ms: f64,
+    /// Maximum span duration, milliseconds (exact).
+    pub max_ms: f64,
+}
+
+impl From<rn_trace::StageStats> for StageLatency {
+    fn from(s: rn_trace::StageStats) -> Self {
+        Self {
+            name: s.name.to_string(),
+            count: s.count,
+            total_ms: s.total_ms,
+            mean_ms: s.mean_ms,
+            p50_ms: s.p50_ms,
+            p95_ms: s.p95_ms,
+            p99_ms: s.p99_ms,
+            max_ms: s.max_ms,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -561,6 +657,69 @@ mod tests {
     }
 
     #[test]
+    fn latency_histogram_top_bucket_clamps_overflow() {
+        let h = LatencyHistogram::new();
+        // The top bucket's upper bound is LOW_US * GROWTH^63 µs ≈ 14 days;
+        // record something far beyond it (63 years) and something inside.
+        h.record(Duration::from_secs(2_000_000_000));
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.count(), 2, "overflow must still be counted");
+        // max/sum/mean are exact regardless of bucket clamping.
+        assert!((h.max_ms() - 2e12).abs() < 1.0);
+        assert!((h.mean_ms() - (2e12 + 1.0) / 2.0).abs() < 1.0);
+        // The percentile walk terminates in the (clamped) top bucket with a
+        // finite over-estimate, never a panic or an unbounded value.
+        let p100 = h.percentile_ms(100.0);
+        assert!(p100.is_finite() && p100 > 0.0);
+        let top_upper_ms = LOW_US * GROWTH.powi((BUCKETS - 1) as i32) / 1_000.0;
+        assert_eq!(p100, top_upper_ms, "overflow clamps into the top bucket");
+    }
+
+    #[test]
+    fn latency_histogram_concurrent_records_are_consistent() {
+        let h = LatencyHistogram::new();
+        let threads = 8u64;
+        let per = 2_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..per {
+                        h.record(Duration::from_micros(1 + (t * per + i) % 5_000));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), threads * per, "no recorded sample may be lost");
+        // Bucket counts and the scalar total must agree exactly.
+        let bucket_total: u64 = h.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(bucket_total, h.count());
+        // The exact sum matches an independent computation of the inputs.
+        let expect_us: u64 = (0..threads * per).map(|k| 1 + k % 5_000).sum();
+        assert_eq!(h.sum_ns.load(Ordering::Relaxed), expect_us * 1_000);
+        assert!(h.mean_ms() > 0.0 && h.max_ms() >= h.mean_ms());
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_monotonic_p0_to_p100() {
+        let h = LatencyHistogram::new();
+        for us in [3u64, 40, 400, 4_000, 40_000, 400_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let ps: Vec<f64> = [0.0, 50.0, 99.0, 100.0]
+            .iter()
+            .map(|&p| h.percentile_ms(p))
+            .collect();
+        for w in ps.windows(2) {
+            assert!(w[0] <= w[1], "p0..p100 must be non-decreasing: {ps:?}");
+        }
+        // p0 sits in the floor bucket (3µs <= 10µs floor), p100 brackets
+        // the maximum within one growth factor.
+        assert_eq!(ps[0], LOW_US / 1_000.0);
+        assert!(ps[3] >= 400.0 && ps[3] <= 400.0 * GROWTH);
+    }
+
+    #[test]
     fn batch_histogram_tracks_occupancy() {
         let b = BatchHistogram::new(4);
         b.record(1, 20);
@@ -597,6 +756,7 @@ mod tests {
             },
             7,
             0,
+            2,
         );
         assert_eq!(snap.completed, 3);
         assert_eq!(snap.model_version, 7);
@@ -633,7 +793,7 @@ mod tests {
         m.worker_restarts.fetch_add(1, Ordering::Relaxed);
         m.deadline_expired.fetch_add(3, Ordering::Relaxed);
         m.conn_drops.fetch_add(4, Ordering::Relaxed);
-        let snap = m.snapshot(CacheStats::default(), 1, 0);
+        let snap = m.snapshot(CacheStats::default(), 1, 0, 1);
         assert_eq!(
             (
                 snap.worker_panics,
@@ -650,9 +810,35 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_carries_workers_and_gated_stage_latency() {
+        let m = ServeMetrics::new(4);
+        rn_trace::set_enabled(true);
+        m.stages
+            .record(stage::QUEUE_WAIT, Duration::from_micros(80));
+        m.stages.record(stage::FORWARD, Duration::from_micros(900));
+        let snap = m.snapshot(CacheStats::default(), 1, 0, 3);
+        rn_trace::set_enabled(false);
+        assert_eq!(snap.workers, 3);
+        assert_eq!(snap.stage_latency.len(), stage::NAMES.len());
+        assert_eq!(snap.stage_latency[stage::QUEUE_WAIT].name, "queue_wait");
+        assert_eq!(snap.stage_latency[stage::QUEUE_WAIT].count, 1);
+        assert_eq!(snap.stage_latency[stage::FORWARD].count, 1);
+        assert!((snap.stage_latency[stage::FORWARD].total_ms - 0.9).abs() < 1e-9);
+        // Round-trips through the JSONL wire format.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workers, 3);
+        assert_eq!(back.stage_latency.len(), stage::NAMES.len());
+        assert_eq!(back.stage_latency[stage::FORWARD].count, 1);
+        // With tracing off the breakdown is suppressed entirely.
+        let off = m.snapshot(CacheStats::default(), 1, 0, 3);
+        assert!(off.stage_latency.is_empty());
+    }
+
+    #[test]
     fn empty_cache_stats_read_zero_rates() {
         let m = ServeMetrics::new(4);
-        let snap = m.snapshot(CacheStats::default(), 1, 0);
+        let snap = m.snapshot(CacheStats::default(), 1, 0, 1);
         assert_eq!(snap.cache_hit_rate, 0.0);
         assert_eq!(snap.compose_hit_rate, 0.0);
         assert!(snap.batch_shapes.is_empty());

@@ -56,7 +56,7 @@
 //! results. The stress tests pin this down.
 
 use crate::fault::{ChaosPlan, FaultInjector, CHAOS_WORKER_KILL};
-use crate::metrics::{CacheStats, MetricsSnapshot, ServeMetrics};
+use crate::metrics::{stage, CacheStats, MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
 use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use rn_autograd::{TapePool, WorkerPool};
@@ -583,6 +583,7 @@ impl<M: PathPredictor> ServeHandle<M> {
             },
             self.inner.registry.version(),
             queue_depth,
+            self.inner.config.workers.max(1),
         )
     }
 
@@ -800,7 +801,12 @@ fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
             } else {
                 None
             });
-            let results = if refs.len() > 1 {
+            // Stage-boundary instants (`compose starts` / `forward starts` /
+            // `forward done`) ride out of the region so completed requests
+            // can be attributed per stage — three clock reads per batch,
+            // recorded only while `RN_TRACE=1`.
+            let t_compose = Instant::now();
+            let (results, t_forward, t_forward_end) = if refs.len() > 1 {
                 // Multi-request batches go through the composition cache: a
                 // recurring batch shape checks its composed block-diagonal
                 // structure out, refills the feature rows for *these*
@@ -817,26 +823,42 @@ fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
                     None => ComposedMegabatch::compose(&refs)
                         .expect("worker batch is non-empty and width-checked"),
                 };
+                let t_forward = Instant::now();
                 let out = model.predict_megabatch_with(&mut tape, composed.megabatch());
+                let t_forward_end = Instant::now();
                 inner.compositions.publish(composed);
-                out
+                (out, t_forward, t_forward_end)
             } else {
                 // Single-request flushes take the legacy (bitwise-seed)
                 // path, exactly as `predict_batch_refs_with` special-cases
                 // them.
-                model.predict_batch_refs_with(&mut tape, &refs)
+                let t_forward = Instant::now();
+                let out = model.predict_batch_refs_with(&mut tape, &refs);
+                (out, t_forward, Instant::now())
             };
             tape.set_worker_pool(None);
             inner.tapes.release(tape);
-            results
+            (results, t_compose, t_forward, t_forward_end)
         }));
 
         match outcome {
-            Ok(results) => {
+            Ok((results, t_compose, t_forward, t_forward_end)) => {
                 inner.metrics.batches.record(group.len(), total_paths);
                 let done = Instant::now();
+                let stages = &inner.metrics.stages;
                 for (job, delays) in group.into_iter().zip(results) {
                     inner.metrics.latency.record(done - job.enqueued);
+                    // The five stages decompose `done - enqueued` exactly:
+                    // adjacent stages share their boundary instant (`now` is
+                    // the drain instant captured for deadline partitioning),
+                    // so the per-request stage sum telescopes to the same
+                    // duration the end-to-end histogram records. No-ops
+                    // while tracing is off.
+                    stages.record(stage::QUEUE_WAIT, now - job.enqueued);
+                    stages.record(stage::BATCH_ASSEMBLY, t_compose - now);
+                    stages.record(stage::COMPOSE, t_forward - t_compose);
+                    stages.record(stage::FORWARD, t_forward_end - t_forward);
+                    stages.record(stage::REPLY, done - t_forward_end);
                     inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
                     // A caller that gave up (dropped the receiver) is not an
                     // error.

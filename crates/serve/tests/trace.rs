@@ -1,0 +1,122 @@
+//! Request-lifecycle tracing: the stage breakdown is present when tracing
+//! is on, absent when off, decomposes the end-to-end latency exactly, and
+//! never perturbs predictions.
+//!
+//! Tracing state is process-global (`rn_trace::set_enabled`), so the
+//! off-phase and on-phase live in ONE test function, sequenced explicitly
+//! rather than racing across the harness's test threads.
+
+use rn_dataset::{generate, Dataset, GeneratorConfig};
+use rn_netgraph::topologies;
+use rn_netsim::SimConfig;
+use rn_serve::loadgen::Client;
+use rn_serve::metrics::stage;
+use rn_serve::{Request, Response, ServeConfig, Service, TcpServer};
+use routenet::model::PathPredictor;
+use routenet::{ExtendedRouteNet, ModelConfig};
+
+fn toy_dataset(n: usize, seed: u64) -> Dataset {
+    let config = GeneratorConfig {
+        sim: SimConfig {
+            duration_s: 60.0,
+            warmup_s: 10.0,
+            ..SimConfig::default()
+        },
+        ..GeneratorConfig::default()
+    };
+    generate(&topologies::toy5(), &config, seed, n)
+}
+
+fn fitted_model(ds: &Dataset, weight_seed: u64) -> ExtendedRouteNet {
+    let mut model = ExtendedRouteNet::new(ModelConfig {
+        state_dim: 8,
+        mp_iterations: 2,
+        readout_hidden: 8,
+        seed: weight_seed,
+        ..ModelConfig::default()
+    });
+    model.fit_preprocessing(ds, 5);
+    model
+}
+
+fn serve_all_bits(ds: &Dataset, config: ServeConfig) -> (Vec<Vec<u64>>, Service<ExtendedRouteNet>) {
+    let service = Service::start(fitted_model(ds, 7), config);
+    let handle = service.handle();
+    let bits = ds
+        .samples
+        .iter()
+        .map(|s| {
+            let (delays, _) = handle.predict_sample(s).expect("predict");
+            delays.iter().map(|d| d.to_bits()).collect()
+        })
+        .collect();
+    (bits, service)
+}
+
+#[test]
+fn stage_breakdown_decomposes_latency_and_never_perturbs_predictions() {
+    let ds = toy_dataset(4, 23);
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+
+    // Phase 1 — tracing OFF: no stage data, and the reference bits.
+    rn_trace::set_enabled(false);
+    let (bits_off, service) = serve_all_bits(&ds, config.clone());
+    let snap_off = service.handle().metrics();
+    assert!(
+        snap_off.stage_latency.is_empty(),
+        "stage breakdown must be absent with tracing off"
+    );
+    assert_eq!(snap_off.workers, 2);
+    service.shutdown();
+
+    // Phase 2 — tracing ON: identical bits, full stage breakdown.
+    rn_trace::set_enabled(true);
+    let (bits_on, service) = serve_all_bits(&ds, config);
+    assert_eq!(
+        bits_off, bits_on,
+        "tracing must be bitwise invisible to predictions"
+    );
+    let handle = service.handle();
+    let snap = handle.metrics();
+    assert_eq!(snap.stage_latency.len(), stage::NAMES.len());
+    for (s, &name) in snap.stage_latency.iter().zip(stage::NAMES) {
+        assert_eq!(s.name, name, "snapshot preserves stage order");
+        assert_eq!(
+            s.count, snap.completed,
+            "every completed request records every stage exactly once"
+        );
+        assert!(s.total_ms >= 0.0 && s.total_ms.is_finite());
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+        assert!(s.mean_ms <= s.max_ms + 1e-12);
+    }
+
+    // The five stages share boundary instants, so their per-request sum
+    // telescopes to exactly the duration the end-to-end histogram records.
+    // Totals are exact (nanosecond side-sums), leaving only f64 ms
+    // conversion noise between the two aggregations.
+    let stage_total_ms: f64 = snap.stage_latency.iter().map(|s| s.total_ms).sum();
+    let e2e_total_ms = snap.latency_mean_ms * snap.completed as f64;
+    let tol = 1e-6 * e2e_total_ms.max(1e-3);
+    assert!(
+        (stage_total_ms - e2e_total_ms).abs() <= tol,
+        "stage sum {stage_total_ms} ms must reconcile with end-to-end {e2e_total_ms} ms"
+    );
+
+    // The JSONL Metrics reply carries the same breakdown over the wire.
+    let server = TcpServer::bind(service.handle(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+    match client.round_trip(&Request::Metrics).expect("metrics") {
+        Response::Metrics { snapshot } => {
+            assert_eq!(snapshot.stage_latency.len(), stage::NAMES.len());
+            assert_eq!(snapshot.workers, 2);
+            assert!(snapshot.uptime_s >= 0.0);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    server.stop();
+    service.shutdown();
+    rn_trace::set_enabled(false);
+}

@@ -76,12 +76,38 @@ fn main() {
     println!("hot-swapped to model version {version}");
 
     // 6. Service metrics: throughput, latency percentiles, batch occupancy,
-    //    cache hit rate.
+    //    cache hit rate — plus worker count / version / uptime for
+    //    dashboards that only speak the Metrics reply.
     let m = handle.metrics();
     println!(
         "metrics: {} completed, p50 {:.2}ms, occupancy {:.2}, cache hit rate {:.2}",
         m.completed, m.latency_p50_ms, m.mean_batch_occupancy, m.cache_hit_rate
     );
+    println!(
+        "server: {} workers, model v{}, up {:.1}s",
+        m.workers, m.model_version, m.uptime_s
+    );
+
+    // 7. With RN_TRACE=1 the snapshot also carries the request-lifecycle
+    //    stage breakdown (queue_wait / batch_assembly / compose / forward /
+    //    reply); print it and mirror the full snapshot to one JSON line
+    //    (RN_TRACE_SERVE_OUT, default serve_metrics.jsonl) for dashboards
+    //    and CI artifacts.
+    for s in &m.stage_latency {
+        println!(
+            "stage {:>14}: n {:>4}  p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms  total {:.3}ms",
+            s.name, s.count, s.p50_ms, s.p95_ms, s.p99_ms, s.total_ms
+        );
+    }
+    if rn_trace::enabled() {
+        let path = std::env::var("RN_TRACE_SERVE_OUT")
+            .ok()
+            .filter(|p| !p.trim().is_empty())
+            .unwrap_or_else(|| "serve_metrics.jsonl".into());
+        let line = serde_json::to_string(&m).expect("snapshot serializes");
+        std::fs::write(&path, line + "\n").expect("write metrics jsonl");
+        println!("traced metrics snapshot written to {path}");
+    }
 
     server.stop();
     service.shutdown();

@@ -1,0 +1,494 @@
+//! Workspace-local observability primitive (std-only, zero dependencies):
+//! env-gated span timing over per-stage geometric latency histograms.
+//!
+//! Every layer of the workspace that wants stage-level profiling — the
+//! serve request lifecycle, the trainer's epoch loop, the autograd
+//! backward tape — records into this crate's [`StageRecorder`] instead of
+//! growing its own ad-hoc timing. The design constraints, in order:
+//!
+//! 1. **~Zero cost when off.** Recording is gated on [`enabled`], a single
+//!    relaxed atomic load. No `Instant::now()` is taken for a disabled
+//!    [`Span`], nothing allocates, nothing locks. The release-mode
+//!    overhead smoke test (`tests/trace_overhead.rs` at the workspace
+//!    root) pins this: tracing-off must add well under 2% to a training
+//!    step.
+//! 2. **Never perturbs results.** Tracing only reads clocks and bumps
+//!    atomics — predictions and gradients are bitwise identical with
+//!    tracing on or off (pinned by `tests/trace_equivalence.rs`).
+//! 3. **One percentile convention.** [`nearest_rank`] here is the single
+//!    inclusive nearest-rank definition the whole workspace uses;
+//!    `rn_serve::metrics::nearest_rank` delegates to it, so serve
+//!    dashboards, loadgen summaries, and stage breakdowns all agree on
+//!    the degenerate cases (p0 = min, p100 = max, ties round down).
+//!
+//! Spans live on the thread's call stack (a [`Span`] is a drop guard), so
+//! timing is naturally thread-local: workers on different threads record
+//! into the same [`StageRecorder`] through its atomic histograms without
+//! coordination.
+//!
+//! Recording is switched on by setting `RN_TRACE=1` (or `true`/`on`) in
+//! the environment, read once and cached; tests and benches can flip the
+//! switch programmatically with [`set_enabled`].
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Tri-state master switch: 0 = uninitialised (consult the environment),
+/// 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Is trace recording on? First call reads `RN_TRACE` from the environment
+/// (`1`, `true`, or `on` → on, anything else → off) and caches the answer;
+/// every later call is a single relaxed atomic load — cheap enough to sit
+/// on the hottest path.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => {
+            let on = std::env::var("RN_TRACE")
+                .map(|v| {
+                    let v = v.trim();
+                    v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+                })
+                .unwrap_or(false);
+            // Racing initialisers agree (same env), so a plain store is fine.
+            ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        1 => false,
+        _ => true,
+    }
+}
+
+/// Programmatically force tracing on or off, overriding `RN_TRACE`. For
+/// tests and benches that need both states in one process (environment
+/// mutation is racy under the multi-threaded test harness).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Number of geometric histogram buckets. Bucket `i` covers durations up
+/// to `LOW_NS * GROWTH^i` nanoseconds: 250ns · 1.5^63 ≈ 9 hours in the top
+/// bucket, far above any span this workspace times.
+const BUCKETS: usize = 64;
+/// Upper bound of bucket 0 in nanoseconds. Spans here start at single
+/// autograd tape ops (hundreds of ns), an order of magnitude below the
+/// 10µs floor of `rn_serve`'s request-latency histogram.
+const LOW_NS: f64 = 250.0;
+/// Geometric growth factor between bucket upper bounds (same 1.5x
+/// convention as `rn_serve::metrics::LatencyHistogram`: percentiles
+/// over-estimate by at most one growth factor).
+const GROWTH: f64 = 1.5;
+
+/// Zero-based index of the **inclusive nearest-rank** percentile element
+/// among `n` sorted samples: the smallest index `i` such that at least `p`
+/// percent of the samples are `<= sample[i]` (the rank is `max(1,
+/// ceil(p/100 · n))`, the comparison **inclusive** of `sample[i]` itself).
+/// `None` when there are no samples.
+///
+/// The convention at the boundaries: `p = 0` is the minimum, `p = 100` the
+/// maximum, ties round down (p50 of an even count is the lower median),
+/// one sample is every percentile, `p > 100` clamps to the maximum. This
+/// is the workspace's single percentile definition —
+/// `rn_serve::metrics::nearest_rank` re-exports it, and its boundary
+/// behaviour is pinned by tests on both sides.
+pub fn nearest_rank(n: usize, p: f64) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+    Some(rank.min(n) - 1)
+}
+
+/// Geometric-bucket duration histogram with atomic counters: the same
+/// shape as `rn_serve`'s request-latency histogram (64 buckets, 1.5x
+/// growth, exact sum/max on the side) but floored at 250ns so it can time
+/// individual tape ops as well as whole epochs.
+///
+/// Percentiles read back the upper bound of the bucket holding the
+/// requested rank — an over-estimate by at most one growth factor. The
+/// running `sum` is exact, so totals and means carry no bucket error.
+pub struct GeoHistogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl GeoHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns as f64 <= LOW_NS {
+            return 0;
+        }
+        let idx = (ns as f64 / LOW_NS).log(GROWTH).ceil() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper duration bound (ns) of bucket `i`.
+    fn bucket_upper_ns(i: usize) -> f64 {
+        LOW_NS * GROWTH.powi(i as i32)
+    }
+
+    /// Record one duration (unconditionally — callers gate on [`enabled`]).
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos() as u64);
+    }
+
+    /// Record one duration given in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.counts[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of recorded durations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Maximum recorded duration in milliseconds (exact).
+    pub fn max_ms(&self) -> f64 {
+        self.max_ns.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Mean recorded duration in milliseconds (exact).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_ns() as f64 / n as f64 / 1e6
+    }
+
+    /// Estimated duration (ms) at percentile `p` (0..100): the upper bound
+    /// of the bucket containing the inclusive nearest rank. 0.0 when
+    /// nothing was recorded.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        let total = self.count();
+        let Some(rank_idx) = nearest_rank(total as usize, p) else {
+            return 0.0;
+        };
+        let rank = rank_idx as u64 + 1;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_ns(i) / 1e6;
+            }
+        }
+        self.max_ms()
+    }
+
+    /// Zero every counter. Not atomic with respect to concurrent `record`
+    /// calls — callers reset at quiescent points (e.g. the trainer between
+    /// epochs, after its workers have joined).
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for GeoHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of one stage's histogram: what consumers
+/// serialize into `MetricsSnapshot.stage_latency` entries or
+/// `train_metrics.jsonl` stage arrays. Plain data — this crate stays
+/// serde-free; each consumer owns its wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name (one of the recorder's static stage names).
+    pub name: &'static str,
+    /// Spans recorded.
+    pub count: u64,
+    /// Exact total time in this stage, milliseconds.
+    pub total_ms: f64,
+    /// Exact mean span duration, milliseconds.
+    pub mean_ms: f64,
+    /// Median span duration (ms, bucket upper bound, inclusive
+    /// nearest-rank).
+    pub p50_ms: f64,
+    /// 95th-percentile span duration (ms, bucket upper bound).
+    pub p95_ms: f64,
+    /// 99th-percentile span duration (ms, bucket upper bound).
+    pub p99_ms: f64,
+    /// Maximum span duration, milliseconds (exact).
+    pub max_ms: f64,
+}
+
+/// A named set of stages, one [`GeoHistogram`] each. The unit of wiring:
+/// serve owns one for its request lifecycle, the trainer one per training
+/// run, autograd a process-global one for tape-op kinds.
+///
+/// Stage names are `&'static` and fixed at construction so recording is
+/// index-based (no string hashing on the hot path).
+pub struct StageRecorder {
+    names: &'static [&'static str],
+    hists: Vec<GeoHistogram>,
+}
+
+impl StageRecorder {
+    /// A recorder with one histogram per stage name.
+    pub fn new(names: &'static [&'static str]) -> Self {
+        Self {
+            names,
+            hists: names.iter().map(|_| GeoHistogram::new()).collect(),
+        }
+    }
+
+    /// The stage names, in recording-index order.
+    pub fn names(&self) -> &'static [&'static str] {
+        self.names
+    }
+
+    /// Record a span of `d` in stage `stage` (an index into [`names`]).
+    /// No-op while tracing is off — safe to leave on the hot path.
+    ///
+    /// [`names`]: StageRecorder::names
+    #[inline]
+    pub fn record(&self, stage: usize, d: Duration) {
+        if !enabled() {
+            return;
+        }
+        self.hists[stage].record(d);
+    }
+
+    /// Record a span given start and end instants (same gating as
+    /// [`record`]).
+    ///
+    /// [`record`]: StageRecorder::record
+    #[inline]
+    pub fn record_between(&self, stage: usize, start: Instant, end: Instant) {
+        if !enabled() {
+            return;
+        }
+        self.hists[stage].record(end.duration_since(start));
+    }
+
+    /// Open a drop-guard span for `stage`: the elapsed time is recorded
+    /// when the guard drops. While tracing is off the guard is inert — no
+    /// clock is read.
+    #[inline]
+    pub fn span(&self, stage: usize) -> Span<'_> {
+        Span {
+            recorder: self,
+            stage,
+            start: enabled().then(Instant::now),
+        }
+    }
+
+    /// Direct access to one stage's histogram (for exact-sum consistency
+    /// checks and tests).
+    pub fn histogram(&self, stage: usize) -> &GeoHistogram {
+        &self.hists[stage]
+    }
+
+    /// Snapshot every stage into plain stats, recording-index order.
+    /// Stages with zero recorded spans are included (count 0, all times
+    /// 0.0) so consumers can rely on positional alignment with
+    /// [`names`].
+    ///
+    /// [`names`]: StageRecorder::names
+    pub fn snapshot(&self) -> Vec<StageStats> {
+        self.names
+            .iter()
+            .zip(&self.hists)
+            .map(|(name, h)| StageStats {
+                name,
+                count: h.count(),
+                total_ms: h.sum_ns() as f64 / 1e6,
+                mean_ms: h.mean_ms(),
+                p50_ms: h.percentile_ms(50.0),
+                p95_ms: h.percentile_ms(95.0),
+                p99_ms: h.percentile_ms(99.0),
+                max_ms: h.max_ms(),
+            })
+            .collect()
+    }
+
+    /// Zero every stage histogram (see [`GeoHistogram::reset`] for the
+    /// concurrency caveat).
+    pub fn reset(&self) {
+        for h in &self.hists {
+            h.reset();
+        }
+    }
+}
+
+/// Drop-guard returned by [`StageRecorder::span`]: records the elapsed
+/// time into its stage when dropped. Inert (holds no start instant) when
+/// tracing was off at open time.
+pub struct Span<'a> {
+    recorder: &'a StageRecorder,
+    stage: usize,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// End the span early (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.recorder.record(self.stage, start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests share the process-global switch; every test that depends on
+    /// it sets it explicitly and restores `on` (the harness default here)
+    /// before returning, so parallel execution stays safe as long as
+    /// off-phases don't overlap with recording assertions — which is why
+    /// the off-phase tests use their own recorders.
+    fn with_tracing<R>(on: bool, f: impl FnOnce() -> R) -> R {
+        set_enabled(on);
+        let r = f();
+        set_enabled(true);
+        r
+    }
+
+    #[test]
+    fn nearest_rank_boundary_convention() {
+        assert_eq!(nearest_rank(0, 50.0), None);
+        assert_eq!(nearest_rank(1, 0.0), Some(0));
+        assert_eq!(nearest_rank(1, 100.0), Some(0));
+        assert_eq!(nearest_rank(4, 0.0), Some(0)); // p0 = minimum
+        assert_eq!(nearest_rank(4, 50.0), Some(1)); // lower median
+        assert_eq!(nearest_rank(4, 100.0), Some(3)); // p100 = maximum
+        assert_eq!(nearest_rank(4, 200.0), Some(3)); // clamps
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotonic_and_bounded() {
+        let h = GeoHistogram::new();
+        for us in [5u64, 50, 500, 5_000, 50_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let ps: Vec<f64> = [0.0, 50.0, 95.0, 99.0, 100.0]
+            .iter()
+            .map(|&p| h.percentile_ms(p))
+            .collect();
+        for w in ps.windows(2) {
+            assert!(w[0] <= w[1], "percentiles must be monotonic: {ps:?}");
+        }
+        // Bucket upper bound over-estimates by at most one growth factor.
+        assert!(ps[4] >= 50.0 && ps[4] <= 50.0 * GROWTH);
+        assert!((h.max_ms() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_top_bucket_clamps_overflow() {
+        let h = GeoHistogram::new();
+        h.record(Duration::from_secs(1_000_000)); // ~11.6 days >> top bucket
+        assert_eq!(h.count(), 1);
+        let p100 = h.percentile_ms(100.0);
+        assert!(p100.is_finite() && p100 > 0.0);
+        // max/sum are exact even when the bucket clamps.
+        assert!((h.max_ms() - 1e9).abs() < 1.0);
+        assert_eq!(h.sum_ns(), 1_000_000 * 1_000_000_000);
+    }
+
+    #[test]
+    fn recorder_spans_record_only_when_enabled() {
+        static STAGES: &[&str] = &["a", "b"];
+        with_tracing(false, || {
+            let r = StageRecorder::new(STAGES);
+            {
+                let s = r.span(0);
+                assert!(s.start.is_none(), "disabled span must not read a clock");
+            }
+            r.record(1, Duration::from_millis(1));
+            assert_eq!(r.snapshot()[0].count, 0);
+            assert_eq!(r.snapshot()[1].count, 0);
+        });
+        with_tracing(true, || {
+            let r = StageRecorder::new(STAGES);
+            r.span(0).finish();
+            r.record(1, Duration::from_millis(2));
+            let snap = r.snapshot();
+            assert_eq!(snap[0].name, "a");
+            assert_eq!(snap[0].count, 1);
+            assert_eq!(snap[1].count, 1);
+            assert!((snap[1].total_ms - 2.0).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn recorder_reset_zeroes_everything() {
+        with_tracing(true, || {
+            static STAGES: &[&str] = &["only"];
+            let r = StageRecorder::new(STAGES);
+            r.record(0, Duration::from_micros(123));
+            assert_eq!(r.snapshot()[0].count, 1);
+            r.reset();
+            let s = &r.snapshot()[0];
+            assert_eq!(s.count, 0);
+            assert_eq!(s.total_ms, 0.0);
+            assert_eq!(s.max_ms, 0.0);
+            assert_eq!(s.p99_ms, 0.0);
+        });
+    }
+
+    #[test]
+    fn concurrent_records_agree_on_sum_and_count() {
+        with_tracing(true, || {
+            static STAGES: &[&str] = &["hot"];
+            let r = StageRecorder::new(STAGES);
+            let threads = 8;
+            let per = 1_000u64;
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let r = &r;
+                    scope.spawn(move || {
+                        for i in 0..per {
+                            r.record(0, Duration::from_nanos(1_000 + t * per + i));
+                        }
+                    });
+                }
+            });
+            let h = r.histogram(0);
+            assert_eq!(h.count(), threads * per);
+            let expect: u64 = (0..threads * per).map(|k| 1_000 + k).sum();
+            assert_eq!(h.sum_ns(), expect);
+        });
+    }
+
+    #[test]
+    fn set_enabled_overrides_env() {
+        with_tracing(false, || assert!(!enabled()));
+        with_tracing(true, || assert!(enabled()));
+    }
+}
