@@ -50,6 +50,39 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 // ---------------------------------------------------------------------------
+// Intra-sample shard knob
+// ---------------------------------------------------------------------------
+
+/// The env var setting the ambient **intra-sample** dense shard count picked
+/// up by [`MegabatchStructure::compose`] / [`ComposedMegabatch::compose`]
+/// when a composition holds a single sample. Giant single-sample plans
+/// (ISP-scale topologies) otherwise run fully unsharded; with
+/// `RN_INTRA_SHARDS=N` (N > 1) their dense per-row work — the link/node GRU
+/// entity updates and the readout MLP — fans out over N balanced row blocks
+/// while message passing keeps the exact legacy single-shard schedule.
+/// Explicit callers pass the count to
+/// [`MegabatchStructure::compose_with`] instead of mutating the environment.
+pub const INTRA_SHARDS_ENV: &str = "RN_INTRA_SHARDS";
+
+/// Interpret a raw `RN_INTRA_SHARDS` value: integers above 1 apply
+/// (surrounding whitespace tolerated); anything else — unset, garbage,
+/// `0`, `1` — means "disabled" and returns 1. Pure and unit-testable, so
+/// tests exercise the parser instead of mutating process-global env state
+/// under a multi-threaded harness.
+pub fn parse_intra_shards(raw: Option<&str>) -> usize {
+    raw.and_then(|r| r.trim().parse::<usize>().ok())
+        .filter(|&n| n > 1)
+        .unwrap_or(1)
+}
+
+/// The ambient intra-sample shard count: [`INTRA_SHARDS_ENV`] run through
+/// [`parse_intra_shards`]. Read per composition — composing is orders of
+/// magnitude more expensive than a `getenv`.
+pub fn env_intra_shards() -> usize {
+    parse_intra_shards(std::env::var(INTRA_SHARDS_ENV).ok().as_deref())
+}
+
+// ---------------------------------------------------------------------------
 // Structure
 // ---------------------------------------------------------------------------
 
@@ -100,8 +133,30 @@ pub struct MegabatchStructure {
 
 impl MegabatchStructure {
     /// Compose the shape-dependent state of a block-diagonal megabatch from
-    /// `parts` — the expensive half of `build_megabatch`.
+    /// `parts` — the expensive half of `build_megabatch`. Single-sample
+    /// compositions honor the ambient [`INTRA_SHARDS_ENV`] dense shard
+    /// count; see [`MegabatchStructure::compose_with`].
     pub fn compose(parts: &[&SamplePlan]) -> Result<Self, MegabatchError> {
+        Self::compose_with(parts, env_intra_shards())
+    }
+
+    /// [`MegabatchStructure::compose`] with an explicit intra-sample dense
+    /// shard count instead of the `RN_INTRA_SHARDS` ambient default.
+    ///
+    /// `intra_shards` only matters for **single-sample** compositions:
+    /// multi-sample batches already shard per sample. A single sample cannot
+    /// be subdivided along sample boundaries — splitting its paths across
+    /// message shards would interleave scatter-adds into shared entity rows
+    /// and change float associativity — so with `intra_shards > 1` message
+    /// passing keeps the single-shard (bitwise-legacy) schedule and only the
+    /// dense per-row work (link/node GRU updates, readout MLP), which has no
+    /// block-diagonal constraint, fans out over `intra_shards` balanced row
+    /// blocks. Output is bitwise identical to the unsharded plan at any
+    /// value (`tests/sharded_determinism.rs` pins this).
+    pub fn compose_with(
+        parts: &[&SamplePlan],
+        intra_shards: usize,
+    ) -> Result<Self, MegabatchError> {
         if parts.is_empty() {
             return Err(MegabatchError::EmptyBatch);
         }
@@ -204,15 +259,17 @@ impl MegabatchStructure {
         let mut original_csr = CompiledSteps::compile(&original_steps);
         // Shard layout: per-sample row bounds in every entity space, plus the
         // per-step splits of the CSR active lists. A single-sample
-        // "megabatch" stays unsharded so it runs the exact legacy kernels
-        // bit for bit.
-        let shards = (parts.len() > 1).then(|| {
+        // "megabatch" runs the exact legacy kernels bit for bit — fully
+        // unsharded by default, or (with `intra_shards > 1`) with
+        // single-shard message passing plus balanced dense row blocks, which
+        // is the same arithmetic in the same order.
+        let shards = if parts.len() > 1 {
             let close = |offs: &[usize], total: usize| {
                 let mut bounds = offs.to_vec();
                 bounds.push(total);
                 bounds
             };
-            let shards = PlanShards {
+            Some(PlanShards {
                 path_bounds: close(&path_off, n_paths),
                 link_bounds: close(&link_off, num_links),
                 node_bounds: close(&node_off, num_nodes),
@@ -223,11 +280,27 @@ impl MegabatchStructure {
                 dense_path_bounds: balanced_row_bounds(n_paths, parts.len()),
                 dense_link_bounds: balanced_row_bounds(num_links, parts.len()),
                 dense_node_bounds: balanced_row_bounds(num_nodes, parts.len()),
-            };
-            extended_csr.compute_shard_bounds(&shards.path_bounds);
-            original_csr.compute_shard_bounds(&shards.path_bounds);
-            shards
-        });
+            })
+        } else if intra_shards > 1 {
+            // Intra-sample sharding for giant single-sample plans: the
+            // message-passing sweep stays one shard — its scatter-adds into
+            // shared entity rows cannot be split without changing float
+            // associativity — while the dense per-row bulk fans out.
+            Some(PlanShards {
+                path_bounds: vec![0, n_paths],
+                link_bounds: vec![0, num_links],
+                node_bounds: vec![0, num_nodes],
+                dense_path_bounds: balanced_row_bounds(n_paths, intra_shards),
+                dense_link_bounds: balanced_row_bounds(num_links, intra_shards),
+                dense_node_bounds: balanced_row_bounds(num_nodes, intra_shards),
+            })
+        } else {
+            None
+        };
+        if let Some(sh) = &shards {
+            extended_csr.compute_shard_bounds(&sh.path_bounds);
+            original_csr.compute_shard_bounds(&sh.path_bounds);
+        }
         let part_fps = parts.iter().map(|p| p.structure_fingerprint()).collect();
         Ok(Self {
             state_dim,
@@ -395,9 +468,19 @@ pub struct ComposedMegabatch {
 impl ComposedMegabatch {
     /// Compose structure, extract features and assemble — exactly what a
     /// fresh [`build_megabatch`](crate::entities::build_megabatch) does
-    /// (that function is implemented as this call).
+    /// (that function is implemented as this call). Single-sample
+    /// compositions honor the ambient [`INTRA_SHARDS_ENV`] count.
     pub fn compose(parts: &[&SamplePlan]) -> Result<Self, MegabatchError> {
-        let structure = MegabatchStructure::compose(parts)?;
+        Self::compose_with(parts, env_intra_shards())
+    }
+
+    /// [`ComposedMegabatch::compose`] with an explicit intra-sample dense
+    /// shard count (see [`MegabatchStructure::compose_with`]).
+    pub fn compose_with(
+        parts: &[&SamplePlan],
+        intra_shards: usize,
+    ) -> Result<Self, MegabatchError> {
+        let structure = MegabatchStructure::compose_with(parts, intra_shards)?;
         let features = MegabatchFeatures::extract(&structure, parts);
         Ok(Self::assemble(structure, features, parts))
     }
@@ -1024,13 +1107,73 @@ mod tests {
     }
 
     #[test]
-    fn single_part_composition_stays_unsharded() {
+    fn single_part_composition_stays_unsharded_by_default() {
         let samples = toy_samples(1, 97);
         let p = prep();
         let cfg = config(&p);
         let plan = build_plan(&samples[0], &cfg);
-        let composed = ComposedMegabatch::compose(&[&plan]).unwrap();
+        // intra_shards == 1 (the unset-env default): fully legacy.
+        let composed = ComposedMegabatch::compose_with(&[&plan], 1).unwrap();
         assert!(composed.plan().shards.is_none());
         assert_eq!(composed.plan().extended_csr.num_shards, 0);
+    }
+
+    #[test]
+    fn single_part_intra_sharding_splits_dense_work_only() {
+        let samples = toy_samples(1, 97);
+        let p = prep();
+        let cfg = config(&p);
+        let plan = build_plan(&samples[0], &cfg);
+        let composed = ComposedMegabatch::compose_with(&[&plan], 4).unwrap();
+        let mb = composed.plan();
+        let shards = mb.shards.as_ref().expect("intra-sharded plan");
+        // Message passing: one shard spanning the whole sample — the exact
+        // legacy schedule.
+        assert_eq!(shards.path_bounds, vec![0, mb.n_paths]);
+        assert_eq!(shards.link_bounds, vec![0, mb.num_links]);
+        assert_eq!(shards.node_bounds, vec![0, mb.num_nodes]);
+        assert_eq!(mb.extended_csr.num_shards, 1);
+        assert_eq!(mb.original_csr.num_shards, 1);
+        // Dense work: four balanced row blocks per entity space.
+        for (bounds, total) in [
+            (shards.dense_path().expect("dense path"), mb.n_paths),
+            (shards.dense_link().expect("dense link"), mb.num_links),
+            (shards.dense_node().expect("dense node"), mb.num_nodes),
+        ] {
+            assert_eq!(bounds.len(), 5);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap(), total);
+            assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Structure aside, the sharded composition carries the exact same
+        // features as the legacy one.
+        let legacy = ComposedMegabatch::compose_with(&[&plan], 1).unwrap();
+        assert!(composed
+            .plan()
+            .path_init
+            .approx_eq(&legacy.plan().path_init, 0.0));
+        assert!(composed
+            .plan()
+            .targets_norm
+            .approx_eq(&legacy.plan().targets_norm, 0.0));
+        assert_eq!(composed.plan().reliable_idx, legacy.plan().reliable_idx);
+    }
+
+    #[test]
+    fn intra_shards_env_parsing_is_centralized() {
+        // The one place RN_INTRA_SHARDS is interpreted; the parser is pure
+        // so tests never mutate process-global env state.
+        assert_eq!(INTRA_SHARDS_ENV, "RN_INTRA_SHARDS");
+        assert_eq!(parse_intra_shards(None), 1, "unset -> disabled");
+        assert_eq!(parse_intra_shards(Some("4")), 4);
+        assert_eq!(parse_intra_shards(Some(" 8 ")), 8, "whitespace tolerated");
+        assert_eq!(parse_intra_shards(Some("1")), 1, "1 means disabled");
+        assert_eq!(parse_intra_shards(Some("0")), 1, "0 ignored");
+        assert_eq!(parse_intra_shards(Some("lots")), 1, "garbage ignored");
+        assert_eq!(parse_intra_shards(Some("")), 1);
+        assert_eq!(parse_intra_shards(Some("-2")), 1);
+        // The live lookup agrees with the parser on the ambient env.
+        let ambient = std::env::var(INTRA_SHARDS_ENV).ok();
+        assert_eq!(env_intra_shards(), parse_intra_shards(ambient.as_deref()));
     }
 }

@@ -999,12 +999,76 @@ mod tests {
             .collect();
         let prep = preprocessing(&delays);
         let plan = build_plan(&sample, &plan_config(&prep));
-        let mb = build_megabatch(&[&plan]);
+        // Without the RN_INTRA_SHARDS opt-in (compose_with(parts, N) /
+        // env), a 1-sample megabatch runs the legacy (bitwise-seed)
+        // kernels entirely unsharded.
+        let mb = crate::compose::ComposedMegabatch::compose_with(&[&plan], 1)
+            .unwrap()
+            .into_plan();
         assert!(
             mb.plan.shards.is_none(),
             "1-sample megabatch must run the legacy (bitwise-seed) kernels"
         );
         assert_eq!(mb.plan.extended_csr.num_shards, 0);
+    }
+
+    #[test]
+    fn balanced_row_bounds_handles_degenerate_shapes() {
+        // total < shards: every row still lands in exactly one block; the
+        // surplus blocks are empty, never out of range.
+        let bounds = balanced_row_bounds(3, 8);
+        assert_eq!(bounds.len(), 9);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), 3);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        let sizes: usize = bounds.windows(2).map(|w| w[1] - w[0]).sum();
+        assert_eq!(sizes, 3, "blocks partition all rows");
+
+        // total == 0: all-empty blocks, still well-formed bounds.
+        let empty = balanced_row_bounds(0, 4);
+        assert_eq!(empty, vec![0, 0, 0, 0, 0]);
+
+        // shards == 0 clamps to one block spanning everything.
+        assert_eq!(balanced_row_bounds(7, 0), vec![0, 7]);
+
+        // Exact division: equal blocks.
+        assert_eq!(balanced_row_bounds(8, 4), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn plan_shards_degenerate_bounds_disable_dense_cleanly() {
+        // A PlanShards whose dense bounds are stripped (legacy layout) or
+        // collapsed to a single block must report dense sharding disabled —
+        // the `len() > 2` gate — while per-sample accessors keep working.
+        let shards = PlanShards {
+            path_bounds: vec![0, 10],
+            link_bounds: vec![0, 4],
+            node_bounds: vec![0, 3],
+            dense_path_bounds: Vec::new(),
+            dense_link_bounds: balanced_row_bounds(4, 1),
+            dense_node_bounds: balanced_row_bounds(0, 4),
+        };
+        assert_eq!(shards.len(), 1);
+        assert!(!shards.is_empty());
+        assert!(shards.dense_path().is_none(), "stripped bounds disable");
+        assert!(shards.dense_link().is_none(), "single block disables");
+        assert!(
+            shards.dense_node().is_some(),
+            "zero-row multi-block bounds stay structurally enabled"
+        );
+        assert_eq!(shards.entity_bounds(EntityKind::Link), &[0, 4]);
+        assert_eq!(shards.entity_bounds(EntityKind::Node), &[0, 3]);
+
+        let empty = PlanShards {
+            path_bounds: Vec::new(),
+            link_bounds: Vec::new(),
+            node_bounds: Vec::new(),
+            dense_path_bounds: Vec::new(),
+            dense_link_bounds: Vec::new(),
+            dense_node_bounds: Vec::new(),
+        };
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_empty());
     }
 
     #[test]

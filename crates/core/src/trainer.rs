@@ -81,6 +81,19 @@ pub struct TrainConfig {
     /// `megabatch_size`: megabatches parallelize across the batch, shards
     /// parallelize within each megabatch.
     pub backward_shards: usize,
+    /// Stream megabatch composition instead of caching it: each batch's
+    /// composed megabatch slices are built one visit ahead on the worker
+    /// pool's background lane, consumed, and **dropped** — nothing is
+    /// retained across epochs, so peak memory is bounded by two batches'
+    /// compositions (current + prefetched) instead of the whole epoch's.
+    /// Validation chunks stream the same way. The default (`false`) caches
+    /// every composition after the cold first epoch, which is faster in
+    /// steady state but holds CSR + feature buffers for the entire training
+    /// set — prohibitive for giant (ISP-scale) topologies. Composition is a
+    /// pure function of the plans, and slices are consumed in the same
+    /// fixed order either way, so trained models are **bitwise identical**
+    /// with streaming on or off (pinned by `tests/composed_equivalence.rs`).
+    pub stream_compose: bool,
     /// Where the per-epoch stage-breakdown JSONL stream goes when tracing
     /// is on (`RN_TRACE=1`); see [`crate::train_trace`]. `None` falls back
     /// to the `RN_TRACE_TRAIN_OUT` env knob, then `train_metrics.jsonl`.
@@ -105,6 +118,7 @@ impl Default for TrainConfig {
             use_megabatch: true,
             megabatch_size: 4,
             backward_shards: 1,
+            stream_compose: false,
             trace_out: None,
         }
     }
@@ -118,6 +132,12 @@ impl TrainConfig {
     /// `std::env::var` reads of this name are how the knob drifts.
     pub const BACKWARD_SHARDS_ENV: &'static str = "RN_BACKWARD_SHARDS";
 
+    /// The env var overriding [`TrainConfig::stream_compose`] — the
+    /// memory-bounded composition mode for giant-topology training. Read it
+    /// through [`TrainConfig::env_stream_compose`] or
+    /// [`TrainConfig::from_env`].
+    pub const STREAM_COMPOSE_ENV: &'static str = "RN_STREAM_COMPOSE";
+
     /// Every training-side environment knob, as `(name, what it overrides)`
     /// pairs — the **single source of truth** the README's "Configuration"
     /// table is checked against (`readme_documents_every_env_knob` test).
@@ -128,6 +148,21 @@ impl TrainConfig {
             Self::BACKWARD_SHARDS_ENV,
             "worker threads for the sharded (megabatch-internal) forward/backward; \
              overrides TrainConfig::backward_shards, bitwise-identical at any value",
+        ),
+        (
+            Self::STREAM_COMPOSE_ENV,
+            "1/true/on streams megabatch composition (build one batch ahead, consume, drop) \
+             instead of caching every composition across epochs; overrides \
+             TrainConfig::stream_compose. Bounds training memory to two batches' compositions \
+             — for giant topologies — at the cost of recomposing every epoch. Trained models \
+             are bitwise identical either way",
+        ),
+        (
+            crate::compose::INTRA_SHARDS_ENV,
+            "intra-sample dense shard count for single-sample compositions (giant topologies): \
+             N > 1 fans the link/node GRU updates and the readout MLP out over N balanced row \
+             blocks while message passing keeps the legacy single-shard schedule; bitwise \
+             identical at any value, disabled when unset",
         ),
         (
             "RN_TRACE",
@@ -165,17 +200,38 @@ impl TrainConfig {
         raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
     }
 
+    /// The `RN_STREAM_COMPOSE` override, if set to a recognized boolean.
+    pub fn env_stream_compose() -> Option<bool> {
+        Self::parse_stream_compose(std::env::var(Self::STREAM_COMPOSE_ENV).ok().as_deref())
+    }
+
+    /// Interpret a raw `RN_STREAM_COMPOSE` value: `1`/`true`/`on` enable,
+    /// `0`/`false`/`off` disable (case-insensitive, surrounding whitespace
+    /// tolerated), anything else is ignored. Pure and unit-testable, like
+    /// [`TrainConfig::parse_backward_shards`].
+    pub fn parse_stream_compose(raw: Option<&str>) -> Option<bool> {
+        match raw?.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => Some(true),
+            "0" | "false" | "off" => Some(false),
+            _ => None,
+        }
+    }
+
     /// [`TrainConfig::default`] with every recognized env override applied.
     pub fn from_env() -> Self {
         Self::default().with_env_overrides()
     }
 
-    /// Apply env overrides (`RN_BACKWARD_SHARDS`, `RN_TRACE_TRAIN_OUT`) on
+    /// Apply env overrides (`RN_BACKWARD_SHARDS`, `RN_STREAM_COMPOSE`,
+    /// `RN_TRACE_TRAIN_OUT`) on
     /// top of an explicitly constructed config. (`RN_TRACE` itself is read
     /// lazily by `rn_trace`, not stored here.)
     pub fn with_env_overrides(mut self) -> Self {
         if let Some(shards) = Self::env_backward_shards() {
             self.backward_shards = shards;
+        }
+        if let Some(stream) = Self::env_stream_compose() {
+            self.stream_compose = stream;
         }
         if let Some(path) = std::env::var(crate::train_trace::TRACE_OUT_ENV)
             .ok()
@@ -386,6 +442,13 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
     };
     let mut best_val = f64::INFINITY;
     let mut bad_epochs = 0usize;
+    // Best-validation weight snapshot (patience mode only). Early stopping
+    // fires `patience` epochs *after* the best epoch by construction — the
+    // trigger is that many non-improving epochs — so without a snapshot the
+    // returned model carries the last (worse) epoch's weights. Snapshot at
+    // every improvement, restore before returning; when the final epoch is
+    // itself the best, the restore rewrites identical values.
+    let mut best_weights: Option<Vec<Matrix>> = None;
     // Reusable tapes shared by whichever workers process shards; buffers
     // survive across batches and epochs.
     let tape_pool = TapePool::new();
@@ -446,7 +509,11 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
         (Vec::new(), Vec::new())
     };
     // One composed megabatch per shard of each batch, built lazily on the
-    // first visit and cached for every later epoch.
+    // first visit and cached for every later epoch. In streaming mode
+    // (`config.stream_compose`) this cache stays empty: each batch's
+    // compositions are claimed from the prefetch lane (or built inline),
+    // consumed, and dropped, so resident composition memory is bounded by
+    // two batches — the whole point for giant topologies.
     let mut composed: Vec<Option<Vec<ComposedMegabatch>>> = batches.iter().map(|_| None).collect();
     let compose_batch = |batch: &[usize]| -> Vec<ComposedMegabatch> {
         batch
@@ -457,14 +524,16 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
             })
             .collect()
     };
-    // Validation chunks are composed once up front and reused every epoch.
-    let val_composed: Vec<ComposedMegabatch> = if config.use_megabatch {
+    let compose_val_chunk = |chunk: &[SamplePlan]| -> ComposedMegabatch {
+        let parts: Vec<&SamplePlan> = chunk.iter().collect();
+        ComposedMegabatch::compose(&parts).expect("train: uniform-width val chunk")
+    };
+    // Validation chunks are composed once up front and reused every epoch —
+    // unless streaming, where they are recomposed (and dropped) per epoch.
+    let val_composed: Vec<ComposedMegabatch> = if config.use_megabatch && !config.stream_compose {
         val_plans
             .chunks(config.megabatch_size)
-            .map(|chunk| {
-                let parts: Vec<&SamplePlan> = chunk.iter().collect();
-                ComposedMegabatch::compose(&parts).expect("train: uniform-width val chunk")
-            })
+            .map(compose_val_chunk)
             .collect()
     } else {
         Vec::new()
@@ -506,25 +575,47 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 // Claim this batch's compositions: from the prefetch lane
                 // when it ran ahead, inline otherwise (cold start). The
                 // compose_wait span covers both the lane join and any
-                // inline compose — near-zero from epoch 2 on.
-                {
+                // inline compose — near-zero from epoch 2 on when caching,
+                // the per-batch compose cost when streaming. In streaming
+                // mode the claim is held locally and dropped at the end of
+                // this iteration instead of parked in `composed`.
+                let streamed: Option<Vec<ComposedMegabatch>> = {
                     let _compose_span = stages.span(train_trace::COMPOSE_WAIT);
-                    if composed[bi].is_none() {
-                        if let Some((pi, task)) = pending.take() {
-                            composed[pi] = Some(task.join());
+                    if config.stream_compose {
+                        Some(match pending.take() {
+                            // The lane is always aimed at the next labelled
+                            // batch in visit order, so a pending handle is
+                            // this batch's — but claim defensively.
+                            Some((pi, task)) if pi == bi => task.join(),
+                            Some((_, task)) => {
+                                drop(task.join());
+                                compose_batch(&batches[bi])
+                            }
+                            None => compose_batch(&batches[bi]),
+                        })
+                    } else {
+                        if composed[bi].is_none() {
+                            if let Some((pi, task)) = pending.take() {
+                                composed[pi] = Some(task.join());
+                            }
                         }
+                        if composed[bi].is_none() {
+                            composed[bi] = Some(compose_batch(&batches[bi]));
+                        }
+                        None
                     }
-                    if composed[bi].is_none() {
-                        composed[bi] = Some(compose_batch(&batches[bi]));
-                    }
-                }
-                // Aim the background lane at the next uncomposed batch.
+                };
+                // Aim the background lane at the next batch needing compose
+                // work: the next uncomposed one when caching, the immediate
+                // labelled successor when streaming (nothing is retained,
+                // so every upcoming batch needs it).
                 if pending.is_none() {
                     if let Some(pool) = worker_pool.as_deref() {
-                        if let Some(&nb) = visit[vi + 1..]
-                            .iter()
-                            .find(|&&b| composed[b].is_none() && batch_labelled[b] > 0)
-                        {
+                        let next = visit[vi + 1..].iter().copied().find(|&b| {
+                            batch_labelled[b] > 0
+                                && (config.stream_compose || composed[b].is_none())
+                        });
+                        if let Some(nb) = next {
                             let compose_batch = &compose_batch;
                             let batches = &batches;
                             // SAFETY: the Prefetch handle is joined (or
@@ -538,7 +629,10 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 }
 
                 let snapshot: &M = model;
-                let comps = composed[bi].as_ref().expect("composed above");
+                let comps = streamed
+                    .as_ref()
+                    .or(composed[bi].as_ref())
+                    .expect("composed above");
                 let run_shard = |c: &ComposedMegabatch| {
                     let mut tape = sharded_tape(&tape_pool);
                     let out = megabatch_gradients(
@@ -640,7 +734,22 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 tape_pool.release(tape);
                 out
             };
-            let (sum, count) = if config.use_megabatch && gang.is_some() {
+            let (sum, count) = if config.use_megabatch && config.stream_compose {
+                // Streaming: compose each validation chunk, evaluate it,
+                // drop it — resident memory is one chunk per evaluating
+                // thread instead of the whole validation set.
+                if gang.is_some() {
+                    val_plans
+                        .chunks(config.megabatch_size)
+                        .map(|chunk| run_val_chunk(&compose_val_chunk(chunk)))
+                        .fold((0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+                } else {
+                    val_plans
+                        .par_chunks(config.megabatch_size)
+                        .map(|chunk| run_val_chunk(&compose_val_chunk(chunk)))
+                        .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+                }
+            } else if config.use_megabatch && gang.is_some() {
                 // Same axis choice as training: the gang parallelizes inside
                 // each chunk, so chunks run one after another.
                 val_composed
@@ -671,6 +780,7 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
                 if val < best_val - 1e-9 {
                     best_val = val;
                     bad_epochs = 0;
+                    best_weights = Some(model.params().into_iter().cloned().collect());
                 } else {
                     bad_epochs += 1;
                     if bad_epochs > patience {
@@ -698,6 +808,14 @@ pub fn train_on_plans_with_val<M: PathPredictor>(
         trace.emit_epoch(epoch, train_loss, history.val_loss.last().copied());
         if early_stop {
             break;
+        }
+    }
+    // Patience tracking snapshotted the best-validation weights — hand
+    // those back, not wherever the last epoch happened to land
+    // (`tests: early_stopping_returns_best_validation_weights`).
+    if let Some(best) = best_weights {
+        for (param, saved) in model.params_mut().into_iter().zip(&best) {
+            *param = saved.clone();
         }
     }
     trace.finish();
@@ -779,6 +897,66 @@ mod tests {
         assert_eq!(history.val_loss.len(), history.train_loss.len());
         assert!(history.stopped_at <= 50);
         assert!(history.best_val_loss().is_some());
+    }
+
+    #[test]
+    fn early_stopping_returns_best_validation_weights() {
+        // Early stopping fires `patience` epochs after the best epoch, so
+        // the returned model must carry the best epoch's snapshot, not the
+        // last epoch's weights. Pin it by retraining to exactly the best
+        // epoch: the seeded schedule is a prefix-deterministic function of
+        // the config, so a run truncated at the best epoch reproduces the
+        // snapshot bit for bit.
+        let train_ds = toy_dataset(6, 53);
+        let val_ds = toy_dataset(3, 54);
+        let make_model = || {
+            ExtendedRouteNet::new(ModelConfig {
+                state_dim: 8,
+                mp_iterations: 1,
+                readout_hidden: 8,
+                ..ModelConfig::default()
+            })
+        };
+        let run = |epochs: usize, patience: Option<usize>| {
+            let mut model = make_model();
+            let config = TrainConfig {
+                patience,
+                // Deliberately hot: validation must regress so the best
+                // epoch lands strictly before the stop.
+                learning_rate: 3e-2,
+                ..quick_train_config(60)
+            };
+            let config = TrainConfig { epochs, ..config };
+            let history = train(&mut model, &train_ds, Some(&val_ds), &config);
+            (history, model)
+        };
+        let (history, stopped) = run(60, Some(1));
+        assert!(history.stopped_at < 60, "early stop must fire");
+        let best = history.best_val_loss().expect("validated");
+        let best_epoch = history
+            .val_loss
+            .iter()
+            .position(|&v| v == best)
+            .expect("best epoch recorded");
+        assert!(
+            best_epoch + 1 < history.stopped_at,
+            "stop fires after the best epoch (patience non-improving epochs later)"
+        );
+
+        // Truncated run: same schedule prefix, ends exactly at the best
+        // epoch — its final weights ARE the snapshot.
+        let (trunc_history, best_model) = run(best_epoch + 1, None);
+        assert_eq!(
+            trunc_history.val_loss.last().copied(),
+            Some(best),
+            "truncated run reproduces the best validation loss"
+        );
+        let plan = stopped.plan(&train_ds.samples[0]);
+        assert_eq!(
+            stopped.predict(&plan),
+            best_model.predict(&plan),
+            "early-stopped model must return the best-epoch weights"
+        );
     }
 
     #[test]
@@ -898,6 +1076,34 @@ mod tests {
         );
         assert_eq!(TrainConfig::parse_backward_shards(Some("")), None);
         assert_eq!(TrainConfig::parse_backward_shards(Some("-2")), None);
+
+        // RN_STREAM_COMPOSE: recognized booleans apply, anything else is
+        // ignored.
+        assert_eq!(TrainConfig::STREAM_COMPOSE_ENV, "RN_STREAM_COMPOSE");
+        assert_eq!(TrainConfig::parse_stream_compose(None), None, "unset");
+        assert_eq!(TrainConfig::parse_stream_compose(Some("1")), Some(true));
+        assert_eq!(TrainConfig::parse_stream_compose(Some("true")), Some(true));
+        assert_eq!(TrainConfig::parse_stream_compose(Some(" ON ")), Some(true));
+        assert_eq!(TrainConfig::parse_stream_compose(Some("0")), Some(false));
+        assert_eq!(
+            TrainConfig::parse_stream_compose(Some("off")),
+            Some(false),
+            "explicit off wins over an explicit config"
+        );
+        assert_eq!(
+            TrainConfig::parse_stream_compose(Some("yes")),
+            None,
+            "unrecognized ignored"
+        );
+        let ambient_stream = std::env::var(TrainConfig::STREAM_COMPOSE_ENV).ok();
+        assert_eq!(
+            TrainConfig::env_stream_compose(),
+            TrainConfig::parse_stream_compose(ambient_stream.as_deref())
+        );
+        assert_eq!(
+            TrainConfig::from_env().stream_compose,
+            TrainConfig::env_stream_compose().unwrap_or(TrainConfig::default().stream_compose)
+        );
 
         // The live lookup and the override plumbing agree with the parser
         // on whatever the ambient environment actually holds.

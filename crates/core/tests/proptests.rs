@@ -30,7 +30,7 @@ proptest! {
         n in 3usize..8,
     ) {
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(n, 0.3, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(n, 0.3, 1e4, &mut rng).unwrap();
         let sample = generate_sample(&topo, &quick_gen(), seed, 0);
         let scales = FeatureScales::unit();
         let normalizer = Normalizer::identity();
@@ -69,7 +69,7 @@ proptest! {
         positional in any::<bool>(),
     ) {
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(5, 0.3, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(5, 0.3, 1e4, &mut rng).unwrap();
         let sample = generate_sample(&topo, &quick_gen(), seed, 1);
         let ds = Dataset { topology: topo, samples: vec![sample] };
 
@@ -98,7 +98,7 @@ proptest! {
         new_cap in 1usize..64,
     ) {
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(5, 0.3, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(5, 0.3, 1e4, &mut rng).unwrap();
         let sample = generate_sample(&topo, &quick_gen(), seed, 2);
         let ds = Dataset { topology: topo, samples: vec![sample.clone()] };
         let mut model = OriginalRouteNet::new(ModelConfig {
@@ -121,7 +121,7 @@ proptest! {
         // Different weight seeds must give different functions (sanity check
         // that seeding actually reaches the initializers).
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(4, 0.4, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(4, 0.4, 1e4, &mut rng).unwrap();
         let sample = generate_sample(&topo, &quick_gen(), seed, 3);
         let ds = Dataset { topology: topo, samples: vec![sample] };
         let mk = |weight_seed: u64| {
@@ -162,7 +162,7 @@ proptest! {
             .enumerate()
             .map(|(i, &n)| {
                 let mut rng = Prng::new(seed.wrapping_add(i as u64));
-                let topo = generators::erdos_renyi_connected(n, 0.4, 1e4, &mut rng);
+                let topo = generators::erdos_renyi_connected(n, 0.4, 1e4, &mut rng).unwrap();
                 let sample = generate_sample(&topo, &quick_gen(), seed.wrapping_add(i as u64), 0);
                 routenet::entities::build_plan(&sample, &config)
             })
@@ -243,7 +243,7 @@ proptest! {
             .enumerate()
             .map(|(i, &n)| {
                 let mut rng = Prng::new(seed.wrapping_add(i as u64));
-                let topo = generators::erdos_renyi_connected(n, 0.4, 1e4, &mut rng);
+                let topo = generators::erdos_renyi_connected(n, 0.4, 1e4, &mut rng).unwrap();
                 let sample = generate_sample(&topo, &quick_gen(), seed.wrapping_add(i as u64), 0);
                 routenet::entities::build_plan(&sample, &config)
             })
@@ -302,7 +302,7 @@ proptest! {
             target: routenet::entities::TargetKind::Delay,
         };
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(n, 0.35, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(n, 0.35, 1e4, &mut rng).unwrap();
         let sample = generate_sample(&topo, &quick_gen(), seed, 0);
         let mut feature_twin = sample.clone();
         for c in &mut feature_twin.link_capacities {
@@ -313,7 +313,7 @@ proptest! {
         }
         let sibling = generate_sample(&topo, &quick_gen(), seed.wrapping_add(9), 1);
         let mut rng2 = Prng::new(seed.wrapping_add(1));
-        let other_topo = generators::erdos_renyi_connected(n + 1, 0.35, 1e4, &mut rng2);
+        let other_topo = generators::erdos_renyi_connected(n + 1, 0.35, 1e4, &mut rng2).unwrap();
         let foreign = generate_sample(&other_topo, &quick_gen(), seed, 2);
 
         let plans: Vec<routenet::SamplePlan> = [&sample, &feature_twin, &sibling, &foreign]
@@ -372,7 +372,7 @@ proptest! {
         // The sharded fused forward over a block-diagonal plan must agree
         // with per-sample prediction (and be deterministic under reuse).
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(5, 0.4, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(5, 0.4, 1e4, &mut rng).unwrap();
         let samples: Vec<_> = (0..batch as u64)
             .map(|i| generate_sample(&topo, &quick_gen(), seed.wrapping_add(i), i))
             .collect();

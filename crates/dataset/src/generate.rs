@@ -196,6 +196,167 @@ pub fn generate_sample(
     }
 }
 
+/// Generate one **sparse** sample: only `active_pairs` source–destination
+/// pairs carry traffic, and the routing scheme routes exactly those pairs
+/// ([`Routing::sparse_weighted_shortest_paths`]). This is the giant-topology
+/// entry point: a full scheme on an `n`-node graph is `n(n-1)` paths (a
+/// million for `n = 1000`), while a scenario's label count — the simulator
+/// creates one flow per pair with positive rate — stays at `active_pairs`.
+/// Sparse samples therefore cost `O(active_pairs)` in paths, labels and
+/// plan rows regardless of `n`, which is what lets a model trained on
+/// 14–24-node topologies be *evaluated* on 500+-node graphs.
+///
+/// Pair selection, routing weights, rates, queue profiles and the simulator
+/// seed all derive from `(master_seed, index)` exactly like
+/// [`generate_sample`]. Traffic rates follow the configured
+/// [`TrafficModel`]: `AbsoluteRates` keeps per-path rate features
+/// identically distributed across topology sizes (the cross-topology
+/// generalization requirement); `TargetUtilization` rescales the sparse
+/// matrix so the busiest *loaded* link hits the drawn utilization target.
+pub fn generate_sparse_sample(
+    topo: &Topology,
+    config: &GeneratorConfig,
+    active_pairs: usize,
+    master_seed: u64,
+    index: u64,
+) -> Sample {
+    let n = topo.num_nodes();
+    assert!(n >= 2, "sparse sample needs at least two nodes");
+    let max_pairs = n * (n - 1);
+    let active_pairs = active_pairs.min(max_pairs);
+    assert!(active_pairs > 0, "sparse sample needs at least one pair");
+    let master = Prng::new(master_seed);
+    let mut rng = master.split(index);
+
+    // Per-sample topology: clone and (optionally) re-draw link capacities —
+    // identical to the dense generator.
+    let mut sample_topo = topo.clone();
+    if !config.capacity_choices_bps.is_empty() {
+        for l in 0..sample_topo.num_links() {
+            let cap = *rng.choose(&config.capacity_choices_bps);
+            sample_topo.set_link_capacity(l, cap);
+        }
+    }
+
+    // Distinct ordered pairs, drawn by rejection (active_pairs << n² in the
+    // sparse regime this exists for, so collisions are rare; the draw is
+    // still deterministic and terminates because active_pairs <= n(n-1)).
+    let mut chosen = std::collections::HashSet::with_capacity(active_pairs);
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(active_pairs);
+    while pairs.len() < active_pairs {
+        let src = rng.index(n);
+        let dst = rng.index(n);
+        if src != dst && chosen.insert((src, dst)) {
+            pairs.push((src, dst));
+        }
+    }
+
+    // Routing over exactly the active pairs, with the same weight model as
+    // the dense generator (random weights per sample, or unit weights).
+    let weights: Vec<f64> = if config.randomize_routing {
+        (0..sample_topo.num_links())
+            .map(|_| 1.0 + rng.uniform() as f64)
+            .collect()
+    } else {
+        vec![1.0; sample_topo.num_links()]
+    };
+    let routing = Routing::sparse_weighted_shortest_paths(&sample_topo, &weights, &pairs);
+
+    let mut traffic = TrafficMatrix::zeros(n);
+    match config.traffic_model {
+        TrafficModel::AbsoluteRates {
+            rate_range_bps: (rlo, rhi),
+            intensity_range: (ilo, ihi),
+        } => {
+            let intensity = ilo + (ihi - ilo) * rng.uniform() as f64;
+            for &(src, dst) in &pairs {
+                let rate = rlo + (rhi - rlo) * rng.uniform() as f64;
+                traffic.set(src, dst, rate * intensity);
+            }
+        }
+        TrafficModel::TargetUtilization => {
+            let (ulo, uhi) = config.utilization_range;
+            let target_util = ulo + (uhi - ulo) * rng.uniform() as f64;
+            for &(src, dst) in &pairs {
+                traffic.set(src, dst, 0.5 + rng.uniform() as f64);
+            }
+            let max_util = traffic.max_link_utilization(&sample_topo, &routing);
+            if max_util > 0.0 {
+                let scale = target_util / max_util;
+                for &(src, dst) in &pairs {
+                    let r = traffic.rate(src, dst);
+                    traffic.set(src, dst, r * scale);
+                }
+            }
+        }
+    }
+
+    let (tlo, thi) = config.tiny_fraction_range;
+    let tiny_fraction = tlo + (thi - tlo) * rng.uniform() as f64;
+    let queue_profiles = QueueProfile::random_assignment(n, tiny_fraction, &mut rng);
+    let queue_capacities = QueueProfile::capacities(&queue_profiles, &config.sim);
+
+    let sim_seed = rng.int_range(0, u64::MAX);
+    let sim_config = SimConfig {
+        seed: sim_seed,
+        ..config.sim.clone()
+    };
+    let result = simulate(
+        &sample_topo,
+        &routing,
+        &traffic,
+        &queue_capacities,
+        &sim_config,
+        &FaultPlan::none(),
+    )
+    .expect("generator inputs are validated");
+    debug_assert!(result.conservation_holds(), "simulator lost packets");
+
+    let targets = result
+        .flows
+        .iter()
+        .zip(&result.flow_pairs)
+        .map(|(f, &(src, dst))| PathTarget {
+            src,
+            dst,
+            mean_delay_s: f.mean_delay_s,
+            jitter_s: f.jitter_s,
+            loss_ratio: f.loss_ratio,
+            delivered: f.delivered,
+        })
+        .collect();
+
+    Sample {
+        routing,
+        traffic,
+        queue_profiles,
+        queue_capacities,
+        link_capacities: sample_topo.links().iter().map(|l| l.capacity_bps).collect(),
+        targets,
+        seed: sim_seed,
+    }
+}
+
+/// Generate `count` sparse samples in parallel (see
+/// [`generate_sparse_sample`]).
+pub fn generate_sparse(
+    topo: &Topology,
+    config: &GeneratorConfig,
+    active_pairs: usize,
+    master_seed: u64,
+    count: usize,
+) -> Dataset {
+    config.validate().expect("invalid generator config");
+    let samples: Vec<Sample> = (0..count as u64)
+        .into_par_iter()
+        .map(|i| generate_sparse_sample(topo, config, active_pairs, master_seed, i))
+        .collect();
+    Dataset {
+        topology: topo.clone(),
+        samples,
+    }
+}
+
 /// Generate `count` samples in parallel.
 pub fn generate(
     topo: &Topology,
@@ -354,6 +515,69 @@ mod tests {
         let ds_lo = generate(&topologies::toy5(), &lo, 73, 1);
         let ds_hi = generate(&topologies::toy5(), &hi, 73, 1);
         assert!(ds_hi.samples[0].traffic.total_bps() > 3.0 * ds_lo.samples[0].traffic.total_bps());
+    }
+
+    #[test]
+    fn sparse_samples_validate_and_stay_sparse() {
+        let mut rng = rn_tensor::Prng::new(31);
+        let topo = rn_netgraph::generators::isp_tiered(
+            100,
+            &rn_netgraph::generators::TierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut config = quick_config();
+        config.sim.duration_s = 30.0;
+        config.sim.warmup_s = 5.0;
+        config.traffic_model = TrafficModel::AbsoluteRates {
+            rate_range_bps: (100.0, 1_000.0),
+            intensity_range: (0.5, 1.8),
+        };
+        let ds = generate_sparse(&topo, &config, 32, 41, 2);
+        ds.validate().unwrap();
+        for s in &ds.samples {
+            // Label count tracks the active-pair budget, not n(n-1).
+            assert_eq!(s.routing.num_paths(), 32);
+            assert_eq!(s.targets.len(), 32);
+            // Labels align with iter_paths order (row-major): the invariant
+            // build_plan's target zip relies on.
+            for ((src, dst, _), t) in s.routing.iter_paths().zip(&s.targets) {
+                assert_eq!((src, dst), (t.src, t.dst));
+                assert!(s.traffic.rate(src, dst) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_generation_is_deterministic() {
+        let topo = topologies::nsfnet_default();
+        let mut config = quick_config();
+        config.sim.duration_s = 30.0;
+        let a = generate_sparse(&topo, &config, 20, 53, 2);
+        let b = generate_sparse(&topo, &config, 20, 53, 2);
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(sa.seed, sb.seed);
+            assert_eq!(sa.targets, sb.targets);
+        }
+        // Independent regeneration of one index reproduces it.
+        let lone = generate_sparse_sample(&topo, &config, 20, 53, 1);
+        assert_eq!(a.samples[1].targets, lone.targets);
+    }
+
+    #[test]
+    fn sparse_target_utilization_hits_a_sane_load() {
+        let topo = topologies::nsfnet_default();
+        let mut config = quick_config();
+        config.sim.duration_s = 20.0;
+        config.utilization_range = (0.5, 0.5);
+        let s = generate_sparse_sample(&topo, &config, 12, 61, 0);
+        // The busiest loaded link should sit at the drawn target.
+        let topo_caps = topologies::nsfnet_default();
+        let util = s.traffic.max_link_utilization(&topo_caps, &s.routing);
+        assert!(
+            (util - 0.5).abs() < 1e-9,
+            "sparse rescaling missed the target: {util}"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub mod normalize;
 pub mod schema;
 pub mod split;
 
-pub use generate::{generate, generate_sample, GeneratorConfig, TrafficModel};
+pub use generate::{
+    generate, generate_sample, generate_sparse, generate_sparse_sample, GeneratorConfig,
+    TrafficModel,
+};
 pub use normalize::Normalizer;
 pub use schema::{Dataset, PathTarget, Sample};
 pub use split::train_test_split;

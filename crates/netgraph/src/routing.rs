@@ -149,6 +149,84 @@ impl Routing {
         }
     }
 
+    /// Shortest paths for a **selected subset** of source–destination pairs
+    /// under unit link weights — the giant-topology entry point. A full
+    /// scheme on an `n`-node graph runs `n` Dijkstras and stores `n(n-1)`
+    /// paths; for a 1000-node ISP topology that is a million paths when a
+    /// scenario only exercises a few hundred. This constructor runs one
+    /// Dijkstra per *distinct source* in `pairs` and routes only the
+    /// requested pairs, so [`Routing::num_paths`] (and therefore the label
+    /// count a [`crate::TrafficMatrix`]-driven simulation produces) matches
+    /// the active-pair count exactly.
+    ///
+    /// Self-pairs and unreachable pairs are left unrouted; duplicates
+    /// collapse. Ordering guarantees are identical to the dense scheme:
+    /// [`Routing::iter_paths`] stays row-major over routed pairs.
+    pub fn sparse_shortest_paths(topo: &Topology, pairs: &[(NodeId, NodeId)]) -> Self {
+        let weights = vec![1.0; topo.num_links()];
+        Self::sparse_weighted_shortest_paths(topo, &weights, pairs)
+    }
+
+    /// [`Routing::sparse_shortest_paths`] under explicit positive per-link
+    /// weights, with the same deterministic tie-break as
+    /// [`Routing::weighted_shortest_paths`] — the sparse scheme routes every
+    /// requested pair exactly as the dense scheme would.
+    pub fn sparse_weighted_shortest_paths(
+        topo: &Topology,
+        weights: &[f64],
+        pairs: &[(NodeId, NodeId)],
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            topo.num_links(),
+            "one weight per link required"
+        );
+        assert!(
+            weights.iter().all(|&w| w > 0.0),
+            "link weights must be positive"
+        );
+        let n = topo.num_nodes();
+        let mut by_src: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(src, dst) in pairs {
+            assert!(src < n && dst < n, "pair ({src}, {dst}) out of range");
+            if src != dst {
+                by_src[src].push(dst);
+            }
+        }
+        let mut paths: Vec<Option<Path>> = vec![None; n * n];
+        for (src, dsts) in by_src.iter().enumerate() {
+            if dsts.is_empty() {
+                continue;
+            }
+            let (dist, prev_link) = dijkstra(topo, weights, src);
+            for &dst in dsts {
+                if dist[dst].is_infinite() || paths[src * n + dst].is_some() {
+                    continue;
+                }
+                let mut rev_links = Vec::new();
+                let mut cur = dst;
+                while cur != src {
+                    let l = prev_link[cur].expect("finite distance implies a predecessor");
+                    rev_links.push(l);
+                    cur = topo.link(l).src;
+                }
+                rev_links.reverse();
+                let mut nodes = vec![src];
+                for &l in &rev_links {
+                    nodes.push(topo.link(l).dst);
+                }
+                paths[src * n + dst] = Some(Path {
+                    nodes,
+                    links: rev_links,
+                });
+            }
+        }
+        Self {
+            num_nodes: n,
+            paths,
+        }
+    }
+
     /// The path from `src` to `dst`, if the pair is connected and distinct.
     pub fn path(&self, src: NodeId, dst: NodeId) -> Option<&Path> {
         self.paths
@@ -340,6 +418,40 @@ mod tests {
         let rb = Routing::randomized(&topo, &mut Prng::new(99));
         for (s, d, p) in ra.iter_paths() {
             assert_eq!(p, rb.path(s, d).unwrap());
+        }
+    }
+
+    #[test]
+    fn sparse_routing_matches_dense_on_requested_pairs() {
+        let topo = topologies::geant2_default();
+        let dense = Routing::shortest_paths(&topo);
+        let pairs = [(0, 5), (3, 17), (17, 3), (9, 1), (9, 1), (4, 4)];
+        let sparse = Routing::sparse_shortest_paths(&topo, &pairs);
+        sparse.validate(&topo).unwrap();
+        // Duplicates collapse and self-pairs are unrouted: 4 distinct paths.
+        assert_eq!(sparse.num_paths(), 4);
+        for &(s, d) in &pairs {
+            if s == d {
+                assert!(sparse.path(s, d).is_none());
+            } else {
+                assert_eq!(sparse.path(s, d), dense.path(s, d), "pair ({s},{d})");
+            }
+        }
+        // Unrequested pairs stay unrouted.
+        assert!(sparse.path(0, 1).is_none());
+    }
+
+    #[test]
+    fn sparse_weighted_routing_uses_same_tie_break() {
+        let topo = topologies::nsfnet_default();
+        let weights: Vec<f64> = (0..topo.num_links())
+            .map(|l| 1.0 + (l % 3) as f64 * 0.25)
+            .collect();
+        let dense = Routing::weighted_shortest_paths(&topo, &weights);
+        let pairs: Vec<(usize, usize)> = (0..14).map(|d| (2, d)).filter(|&(s, d)| s != d).collect();
+        let sparse = Routing::sparse_weighted_shortest_paths(&topo, &weights, &pairs);
+        for &(s, d) in &pairs {
+            assert_eq!(sparse.path(s, d), dense.path(s, d), "pair ({s},{d})");
         }
     }
 

@@ -14,7 +14,7 @@ proptest! {
         p in 0.0f64..0.6,
     ) {
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(n, p, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(n, p, 1e4, &mut rng).unwrap();
         let routing = Routing::randomized(&topo, &mut rng);
         prop_assert_eq!(routing.num_paths(), n * (n - 1));
         prop_assert!(routing.validate(&topo).is_ok());
@@ -26,7 +26,7 @@ proptest! {
         n in 4usize..10,
     ) {
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(n, 0.3, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(n, 0.3, 1e4, &mut rng).unwrap();
         let min_hop = Routing::shortest_paths(&topo);
         let weighted = Routing::randomized(&topo, &mut rng);
         for (s, d, p) in weighted.iter_paths() {
@@ -44,7 +44,7 @@ proptest! {
         // Every prefix of a shortest path is itself within the shortest
         // distance bound (Bellman's principle, hop-count metric).
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(n, 0.25, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(n, 0.25, 1e4, &mut rng).unwrap();
         let routing = Routing::shortest_paths(&topo);
         for (s, _d, p) in routing.iter_paths() {
             for (i, &mid) in p.nodes.iter().enumerate().skip(1) {
@@ -63,7 +63,7 @@ proptest! {
     ) {
         // Sum of link loads == sum over pairs of rate * hop_count.
         let mut rng = Prng::new(seed);
-        let topo = generators::erdos_renyi_connected(n, 0.3, 1e4, &mut rng);
+        let topo = generators::erdos_renyi_connected(n, 0.3, 1e4, &mut rng).unwrap();
         let routing = Routing::shortest_paths(&topo);
         let tm = TrafficMatrix::uniform_random(n, &mut rng, 10.0, 100.0);
         let loads: f64 = tm.link_loads(&topo, &routing).iter().sum();
@@ -81,7 +81,7 @@ proptest! {
         m in 1usize..3,
     ) {
         let mut rng = Prng::new(seed);
-        let topo = generators::preferential_attachment(n, m, 1e4, &mut rng);
+        let topo = generators::preferential_attachment(n, m, 1e4, &mut rng).unwrap();
         prop_assert!(topo.is_strongly_connected());
         // Every new node contributes m duplex edges; the seed clique has
         // m*(m+1)/2 duplex edges.

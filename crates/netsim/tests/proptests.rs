@@ -15,7 +15,7 @@ fn random_scenario(
     util: f64,
 ) -> (rn_netgraph::Topology, Routing, TrafficMatrix, Vec<usize>) {
     let mut rng = Prng::new(seed);
-    let topo = generators::erdos_renyi_connected(num_nodes, edge_p, 10_000.0, &mut rng);
+    let topo = generators::erdos_renyi_connected(num_nodes, edge_p, 10_000.0, &mut rng).unwrap();
     let routing = Routing::randomized(&topo, &mut rng);
     let traffic = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, util);
     let caps: Vec<usize> = (0..num_nodes)

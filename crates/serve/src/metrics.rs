@@ -232,6 +232,85 @@ pub mod stage {
     pub const REPLY: usize = 4;
 }
 
+/// Slots in the recent-completion ring. With [`RECENT_SLOT_S`]-second slots
+/// the sliding window spans `RECENT_SLOTS * RECENT_SLOT_S` = 16 seconds —
+/// long enough to smooth batch-sized completion bursts, short enough that a
+/// throughput collapse moves the backoff hint within seconds instead of
+/// being averaged away by hours of uptime.
+const RECENT_SLOTS: usize = 8;
+/// Seconds covered by one recent-completion slot.
+const RECENT_SLOT_S: u64 = 2;
+
+/// Lock-free sliding-window event counter: a ring of atomic slots, each
+/// packing `(slot epoch << 32) | count`. Recording CASes the slot for the
+/// current epoch — bumping the count on an epoch match, claiming the slot
+/// with count 1 when a stale epoch is found — so a slot left over from a
+/// previous ring lap can never leak old counts into the current window.
+/// Reads sum every slot whose epoch is still inside the window.
+///
+/// All methods take the current time explicitly (seconds since service
+/// start), which keeps the arithmetic pure and unit-testable: tests drive a
+/// synthetic clock instead of sleeping through real slot boundaries.
+struct RecentRate {
+    slots: [AtomicU64; RECENT_SLOTS],
+}
+
+impl RecentRate {
+    fn new() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn epoch_of(now_s: f64) -> u64 {
+        (now_s.max(0.0) as u64) / RECENT_SLOT_S
+    }
+
+    /// Count one event at time `now_s`.
+    fn note(&self, now_s: f64) {
+        let epoch = Self::epoch_of(now_s);
+        let slot = &self.slots[(epoch as usize) % RECENT_SLOTS];
+        let tagged = epoch << 32;
+        let mut current = slot.load(Ordering::Relaxed);
+        loop {
+            let next = if current >> 32 == epoch {
+                // Same epoch: bump the packed count (the low half cannot
+                // realistically saturate — 2^32 events in 2 seconds).
+                current + 1
+            } else {
+                // Stale epoch from a previous lap: claim the slot afresh.
+                tagged | 1
+            };
+            match slot.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Events inside the window ending at `now_s`.
+    fn window_count(&self, now_s: f64) -> u64 {
+        let epoch = Self::epoch_of(now_s);
+        let oldest = epoch.saturating_sub(RECENT_SLOTS as u64 - 1);
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|packed| (oldest..=epoch).contains(&(packed >> 32)))
+            .map(|packed| packed & 0xffff_ffff)
+            .sum()
+    }
+
+    /// Events per second over the window ending at `now_s`. The divisor is
+    /// the real span covered: the full ring once the service has been up
+    /// that long, the (shorter) uptime before that — a cold service is not
+    /// penalized for the empty slots it has not lived through yet.
+    fn rate(&self, now_s: f64) -> f64 {
+        let span = (RECENT_SLOTS as u64 * RECENT_SLOT_S) as f64;
+        let window_s = now_s.clamp(RECENT_SLOT_S as f64, span);
+        self.window_count(now_s) as f64 / window_s
+    }
+}
+
 /// All service counters, owned by the service and shared with every worker
 /// and frontend.
 pub struct ServeMetrics {
@@ -264,6 +343,10 @@ pub struct ServeMetrics {
     /// while `RN_TRACE=1` — recording is a no-op behind a relaxed atomic
     /// load otherwise.
     pub stages: rn_trace::StageRecorder,
+    /// Completions inside the last [`RECENT_SLOTS`]·[`RECENT_SLOT_S`]
+    /// seconds — the drain-rate source for [`Self::retry_after_ms_hint`].
+    /// Fed by [`Self::note_completion`] alongside `completed`.
+    recent: RecentRate,
     started: Instant,
 }
 
@@ -283,8 +366,18 @@ impl ServeMetrics {
             latency: LatencyHistogram::new(),
             batches: BatchHistogram::new(max_batch),
             stages: rn_trace::StageRecorder::new(stage::NAMES),
+            recent: RecentRate::new(),
             started: Instant::now(),
         }
+    }
+
+    /// Count one answered request: the lifetime `completed` total plus the
+    /// sliding recent-rate window behind the overload backoff hint. Workers
+    /// call this instead of bumping `completed` directly so the two counters
+    /// cannot drift.
+    pub fn note_completion(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.recent.note(self.uptime_s());
     }
 
     /// Seconds since the service started.
@@ -294,20 +387,33 @@ impl ServeMetrics {
 
     /// Backoff hint handed to shed clients in `Overloaded {retry_after_ms}`:
     /// the time a full queue of `queue_depth` requests needs to drain at the
-    /// service's observed completion rate, floored at 1 ms (a retry storm
-    /// hint of 0 would defeat the point) and capped at 1 s (the estimate is
-    /// from a coarse uptime-average rate; holding clients off longer than a
-    /// second on its authority would be overconfident). Before any request
-    /// has completed there is no rate to extrapolate — a flat 25 ms covers
-    /// warmup.
+    /// service's **recent** completion rate (a 16-second sliding window, not
+    /// the lifetime average — hours of fast uptime must not talk clients
+    /// into hammering a service that collapsed seconds ago), floored at 1 ms
+    /// (a retry-storm hint of 0 would defeat the point) and capped at 1 s
+    /// (the estimate is coarse; holding clients off longer than a second on
+    /// its authority would be overconfident). Before any request has ever
+    /// completed there is no rate to extrapolate — a flat 25 ms covers
+    /// warmup. A service that *has* completed requests but finished none in
+    /// the recent window is not draining at all: shed clients get the full
+    /// 1 s cap.
     pub fn retry_after_ms_hint(&self, queue_depth: usize) -> u64 {
-        let completed = self.completed.load(Ordering::Relaxed);
-        let uptime = self.uptime_s();
-        if completed == 0 || uptime <= 0.0 {
+        self.retry_after_ms_hint_at(queue_depth, self.uptime_s())
+    }
+
+    /// [`Self::retry_after_ms_hint`] at an explicit uptime — the pure,
+    /// clock-free form the unit tests drive with a synthetic timeline.
+    pub fn retry_after_ms_hint_at(&self, queue_depth: usize, now_s: f64) -> u64 {
+        if self.completed.load(Ordering::Relaxed) == 0 {
             return 25;
         }
-        let rate = completed as f64 / uptime; // requests per second
-        let drain_s = queue_depth as f64 / rate.max(1e-9);
+        let rate = self.recent.rate(now_s);
+        if rate <= 0.0 {
+            // Lifetime completions but a dead recent window: nothing is
+            // draining, so claim the whole cap.
+            return 1_000;
+        }
+        let drain_s = queue_depth as f64 / rate;
         (drain_s * 1_000.0).ceil().clamp(1.0, 1_000.0) as u64
     }
 
@@ -777,13 +883,62 @@ mod tests {
     fn retry_after_hint_is_bounded_and_rate_based() {
         let m = ServeMetrics::new(4);
         // No completions yet: flat warmup hint.
-        assert_eq!(m.retry_after_ms_hint(100), 25);
-        // With completions the hint tracks drain time but stays in [1, 1000].
-        m.completed.fetch_add(10_000_000, Ordering::Relaxed);
-        let fast = m.retry_after_ms_hint(1);
-        assert!((1..=1000).contains(&fast), "{fast}");
-        let slow = m.retry_after_ms_hint(usize::MAX / 2);
-        assert_eq!(slow, 1000, "drain estimates cap at one second");
+        assert_eq!(m.retry_after_ms_hint_at(100, 0.5), 25);
+
+        // 100 completions noted at t=100s: the window spans the full ring
+        // (16 s), so the recent rate is 100/16 = 6.25/s. Two queued requests
+        // drain in 320 ms.
+        for _ in 0..100 {
+            m.completed.fetch_add(1, Ordering::Relaxed);
+            m.recent.note(100.0);
+        }
+        assert_eq!(m.retry_after_ms_hint_at(2, 100.0), 320);
+        // A single queued request stays above the 1 ms floor, and a huge
+        // queue caps at one second.
+        assert!(m.retry_after_ms_hint_at(1, 100.0) >= 1);
+        assert_eq!(m.retry_after_ms_hint_at(usize::MAX / 2, 100.0), 1000);
+
+        // Long after the burst the ring has lapped: lifetime completions
+        // exist but the recent window is empty, so the hint claims the full
+        // cap instead of extrapolating a stale lifetime average.
+        let later = 100.0 + (RECENT_SLOTS as u64 * RECENT_SLOT_S) as f64 + 1.0;
+        assert_eq!(m.retry_after_ms_hint_at(5, later), 1000);
+
+        // Fresh completions revive the rate immediately: 40 in the window is
+        // 2.5/s, so one queued request drains in 400 ms.
+        for _ in 0..40 {
+            m.recent.note(later);
+        }
+        assert_eq!(m.retry_after_ms_hint_at(1, later), 400);
+    }
+
+    #[test]
+    fn recent_rate_window_tracks_only_fresh_slots() {
+        let r = RecentRate::new();
+        assert_eq!(r.window_count(10.0), 0);
+        // Three completions spread over two adjacent slots.
+        r.note(10.0);
+        r.note(10.5);
+        r.note(12.1);
+        assert_eq!(r.window_count(12.1), 3);
+        // Still inside the 16 s window from the other end.
+        assert_eq!(r.window_count(10.0 + 15.9), 3);
+        // Outside the window: slots are stale and excluded even though the
+        // ring cells still physically hold the old packed counts.
+        assert_eq!(r.window_count(10.0 + 40.0), 0);
+        // Writing into a lapped slot resets its count instead of
+        // accumulating onto the stale value.
+        r.note(10.0 + 40.0);
+        assert_eq!(r.window_count(10.0 + 40.0), 1);
+        // Rate divides by the full ring span once uptime exceeds it.
+        let span = (RECENT_SLOTS as u64 * RECENT_SLOT_S) as f64;
+        let rate = r.rate(10.0 + 40.0);
+        assert!((rate - 1.0 / span).abs() < 1e-12, "{rate}");
+        // A cold service divides by its (shorter) uptime instead, floored at
+        // one slot so a t=0 note cannot divide by zero.
+        let cold = RecentRate::new();
+        cold.note(1.0);
+        assert!((cold.rate(1.0) - 0.5).abs() < 1e-12);
     }
 
     #[test]

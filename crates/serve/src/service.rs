@@ -859,7 +859,7 @@ fn worker_loop<M: PathPredictor>(inner: &Inner<M>) {
                     stages.record(stage::COMPOSE, t_forward - t_compose);
                     stages.record(stage::FORWARD, t_forward_end - t_forward);
                     stages.record(stage::REPLY, done - t_forward_end);
-                    inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.note_completion();
                     // A caller that gave up (dropped the receiver) is not an
                     // error.
                     job.respond.try_send(Ok(delays)).ok();

@@ -19,6 +19,7 @@ use rn_netgraph::topologies;
 use rn_netsim::SimConfig;
 use rn_nn::Layer;
 use rn_tensor::Matrix;
+use routenet::compose::ComposedMegabatch;
 use routenet::entities::{build_megabatch, MegabatchPlan};
 use routenet::model::PathPredictor;
 use routenet::trainer::{train, TrainConfig};
@@ -179,6 +180,78 @@ fn dense_sharded_backward_is_bitwise_identical_across_worker_counts() {
             a.approx_eq(b, tol),
             "gradient {i} diverged numerically between dense-sharded and dense-sequential"
         );
+    }
+}
+
+#[test]
+fn intra_sharded_single_sample_is_bitwise_identical_to_legacy() {
+    // Single-sample plans historically skipped `PlanShards` entirely; with
+    // `ComposedMegabatch::compose_with(parts, intra_shards)` they keep the
+    // single-shard message-passing schedule and fan only the dense per-row
+    // work out. The contract mirrors the dense megabatch one: forward bits
+    // match the fully-unsharded legacy plan exactly (dense row blocks
+    // compute each element with the full kernel's arithmetic), gradients
+    // match it numerically (the dense backward folds per-shard partials — a
+    // different, equally canonical float grouping), and within one
+    // intra-sharded plan everything is bitwise invariant across worker
+    // counts.
+    let (model, plans) = nsfnet_setup(1);
+    let parts: Vec<&SamplePlan> = vec![&plans[0]];
+    let legacy = ComposedMegabatch::compose_with(&parts, 1)
+        .unwrap()
+        .into_plan();
+    assert!(
+        legacy.plan.shards.is_none(),
+        "legacy plan must be unsharded"
+    );
+    let (loss_legacy, grads_legacy) = megabatch_step(&model, &legacy, None);
+    assert!(loss_legacy.is_finite());
+
+    for intra in [2, 4, 7] {
+        let mb = ComposedMegabatch::compose_with(&parts, intra)
+            .unwrap()
+            .into_plan();
+        let shards = mb.plan.shards.as_ref().expect("intra-sharded plan");
+        assert_eq!(shards.len(), 1, "message passing stays one shard");
+        assert!(
+            shards.dense_path().is_some()
+                && shards.dense_link().is_some()
+                && shards.dense_node().is_some(),
+            "dense partitions must engage at intra={intra}"
+        );
+
+        // Forward bits == legacy; gradients within float round-off of it.
+        let (loss_seq, grads_seq) = megabatch_step(&model, &mb, None);
+        assert_eq!(
+            loss_legacy.to_bits(),
+            loss_seq.to_bits(),
+            "intra={intra}: dense sharding must not change forward bits"
+        );
+        assert_eq!(grads_legacy.len(), grads_seq.len());
+        for (i, (a, b)) in grads_legacy.iter().zip(&grads_seq).enumerate() {
+            let tol = 1e-4 * a.max_abs().max(1.0);
+            assert!(
+                a.approx_eq(b, tol),
+                "intra={intra}: gradient {i} diverged numerically from legacy"
+            );
+        }
+
+        // Scheduling invariance: bitwise identical at every worker count.
+        for workers in worker_counts() {
+            let pool = Arc::new(WorkerPool::new(workers));
+            let (loss, grads) = megabatch_step(&model, &mb, Some(pool));
+            assert_eq!(
+                loss_seq.to_bits(),
+                loss.to_bits(),
+                "loss diverged at intra={intra}, {workers} workers"
+            );
+            for (i, (a, b)) in grads_seq.iter().zip(&grads).enumerate() {
+                assert!(
+                    a.approx_eq(b, 0.0),
+                    "gradient {i} diverged at intra={intra}, {workers} workers"
+                );
+            }
+        }
     }
 }
 
