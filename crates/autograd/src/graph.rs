@@ -29,9 +29,34 @@
 //! primitive ops remain — tests use them as the numerical reference.
 
 use crate::activations as act;
+use crate::index::{IndexInput, IndexList, SharedIndices};
 use rayon::WorkerPool;
+use rn_tensor::simd::activations as vact;
 use rn_tensor::{kernels, Matrix};
 use std::sync::{Arc, Mutex};
+
+/// Environment variable toggling zero-copy index recording (default **on**;
+/// set to `0`, `false` or `off` to force the copying path). When on, callers
+/// holding long-lived structure (a cached megabatch composition) hand the
+/// tape refcounted [`SharedIndices`] views and no index list is copied per
+/// step; when off, every list goes through the pooled-copy path. Both modes
+/// are bitwise identical — the recorded contents are the same.
+pub const ZERO_COPY_ENV: &str = "RN_ZERO_COPY";
+
+/// Parse an `RN_ZERO_COPY` setting (`None` = unset = on).
+pub fn parse_zero_copy(raw: Option<&str>) -> bool {
+    !matches!(
+        raw.map(str::trim),
+        Some("0") | Some("false") | Some("off") | Some("FALSE") | Some("OFF")
+    )
+}
+
+/// Process-wide default for zero-copy mode, read from [`ZERO_COPY_ENV`] once.
+fn env_zero_copy() -> bool {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| parse_zero_copy(std::env::var(ZERO_COPY_ENV).ok().as_deref()))
+}
 
 /// Handle to a node on the tape. Cheap to copy; only valid for the [`Graph`]
 /// that produced it.
@@ -99,23 +124,36 @@ pub(crate) struct GruSaved {
 /// `entity[s]..entity[s+1]` — which is what makes every shard's reads and
 /// writes disjoint, and therefore parallelizable without changing a single
 /// bit of the result.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ShardSplit<'a> {
     /// Offsets into the op's active list (len `B + 1`).
-    pub active: &'a [usize],
+    pub active: IndexInput<'a>,
     /// Dense (path-state) row bounds (len `B + 1`), spanning all rows.
-    pub dense: &'a [usize],
+    pub dense: IndexInput<'a>,
     /// Entity (gather/scatter target) row bounds (len `B + 1`).
-    pub entity: &'a [usize],
+    pub entity: IndexInput<'a>,
 }
 
-/// Owned copy of a [`ShardSplit`] stored on a tape node (buffers recycled
-/// through the index pool on [`Graph::reset`]).
+impl<'a> ShardSplit<'a> {
+    /// Build a split from three borrowed slices — the copying contract every
+    /// pre-zero-copy caller used (and tests still use).
+    pub fn borrowed(active: &'a [usize], dense: &'a [usize], entity: &'a [usize]) -> Self {
+        Self {
+            active: active.into(),
+            dense: dense.into(),
+            entity: entity.into(),
+        }
+    }
+}
+
+/// Owned capture of a [`ShardSplit`] stored on a tape node: pooled copies
+/// (recycled through the index pool on [`Graph::reset`]) or zero-copy shared
+/// views, mirroring what the caller handed in.
 #[derive(Debug, Default)]
 pub(crate) struct OpShards {
-    active: Vec<usize>,
-    dense: Vec<usize>,
-    entity: Vec<usize>,
+    active: IndexList,
+    dense: IndexList,
+    entity: IndexList,
 }
 
 impl OpShards {
@@ -124,18 +162,18 @@ impl OpShards {
         self.active.len().saturating_sub(1)
     }
 
-    fn capture(idx_pool: &mut Vec<Vec<usize>>, split: &ShardSplit<'_>) -> Self {
+    fn capture(idx_pool: &mut Vec<Vec<usize>>, copied: &mut u64, split: &ShardSplit<'_>) -> Self {
         Self {
-            active: pool_indices(idx_pool, split.active),
-            dense: pool_indices(idx_pool, split.dense),
-            entity: pool_indices(idx_pool, split.entity),
+            active: intern_indices(idx_pool, copied, &split.active),
+            dense: intern_indices(idx_pool, copied, &split.dense),
+            entity: intern_indices(idx_pool, copied, &split.entity),
         }
     }
 
     fn recycle(self, idx_pool: &mut Vec<Vec<usize>>) {
-        idx_pool.push(self.active);
-        idx_pool.push(self.dense);
-        idx_pool.push(self.entity);
+        recycle_index(idx_pool, self.active);
+        recycle_index(idx_pool, self.dense);
+        recycle_index(idx_pool, self.entity);
     }
 }
 
@@ -157,21 +195,21 @@ fn validate_split(
             "shard split: {what} bounds must be ascending"
         );
     };
-    check(split.active, active_len, "active");
+    check(split.active.as_slice(), active_len, "active");
     if let Some(n) = dense_rows {
-        check(split.dense, n, "dense");
+        check(split.dense.as_slice(), n, "dense");
     }
     if let Some(n) = entity_rows {
-        check(split.entity, n, "entity");
+        check(split.entity.as_slice(), n, "entity");
     }
     assert_eq!(
-        split.active.len(),
-        split.dense.len(),
+        split.active.as_slice().len(),
+        split.dense.as_slice().len(),
         "shard split: bounds arrays must agree on shard count"
     );
     assert_eq!(
-        split.active.len(),
-        split.entity.len(),
+        split.active.as_slice().len(),
+        split.entity.as_slice().len(),
         "shard split: bounds arrays must agree on shard count"
     );
 }
@@ -184,10 +222,12 @@ fn validate_split(
 /// indirection like the [`ShardSplit`] of the compacted message-passing ops.
 fn capture_dense_shards(
     idx_pool: &mut Vec<Vec<usize>>,
-    bounds: Option<&[usize]>,
+    copied: &mut u64,
+    bounds: Option<&IndexInput<'_>>,
     rows: usize,
-) -> Option<Vec<usize>> {
-    let b = bounds?;
+) -> Option<IndexList> {
+    let input = bounds?;
+    let b = input.as_slice();
     assert!(
         b.first() == Some(&0) && b.last() == Some(&rows),
         "dense shards: bounds must span 0..{rows}, got {b:?}"
@@ -196,7 +236,7 @@ fn capture_dense_shards(
         b.windows(2).all(|w| w[0] <= w[1]),
         "dense shards: bounds must be ascending"
     );
-    (b.len() > 2).then(|| pool_indices(idx_pool, b))
+    (b.len() > 2).then(|| intern_indices(idx_pool, copied, input))
 }
 
 /// Minimum per-op element-traffic estimate before fanning out to the
@@ -296,7 +336,7 @@ pub(crate) enum Op {
     MatMul {
         a: Var,
         b: Var,
-        shards: Option<Vec<usize>>,
+        shards: Option<IndexList>,
     },
     /// Broadcast-add a `1 x c` bias row to every row of `x`. `shards` is a
     /// dense row partition (see [`Op::MatMul`]); the sharded adjoint reduces
@@ -304,7 +344,7 @@ pub(crate) enum Op {
     AddBias {
         x: Var,
         bias: Var,
-        shards: Option<Vec<usize>>,
+        shards: Option<IndexList>,
     },
     /// Element-wise `a * x + b`. Only the slope is recorded: the adjoint of
     /// an affine map does not depend on the offset.
@@ -321,7 +361,7 @@ pub(crate) enum Op {
     /// The readout MLP's hidden layers are the only heavy SELU consumers.
     Selu {
         x: Var,
-        shards: Option<Vec<usize>>,
+        shards: Option<IndexList>,
     },
     Softplus(Var),
     Abs(Var),
@@ -339,14 +379,14 @@ pub(crate) enum Op {
     },
     GatherRows {
         x: Var,
-        indices: Vec<usize>,
+        indices: IndexList,
         /// Megabatch shard layout (`active` splits `indices`; `entity`
         /// bounds the rows of `x` the adjoint scatters into).
         shards: Option<Box<OpShards>>,
     },
     SegmentSum {
         x: Var,
-        segments: Vec<usize>,
+        segments: IndexList,
     },
     /// Multiply each row of `x` by the matching entry of a constant `n x 1`
     /// mask. The mask is captured by value: it is padding structure, not a
@@ -360,7 +400,7 @@ pub(crate) enum Op {
     /// Fused `gather_rows` + `mask_rows`: `out[i] = mask[i] * x[indices[i]]`.
     GatherMask {
         x: Var,
-        indices: Vec<usize>,
+        indices: IndexList,
         mask: Matrix,
     },
     /// Fused masked scatter-add accumulate:
@@ -368,7 +408,7 @@ pub(crate) enum Op {
     SegmentAcc {
         acc: Var,
         x: Var,
-        segments: Vec<usize>,
+        segments: IndexList,
         mask: Matrix,
     },
     /// One whole (optionally masked) GRU step as a single node.
@@ -384,7 +424,7 @@ pub(crate) enum Op {
         vars: GruVars,
         h: Var,
         x: Var,
-        rows: Vec<usize>,
+        rows: IndexList,
         saved: Box<GruSaved>,
         /// Megabatch shard layout (`active` splits `rows`; `dense` bounds
         /// the rows of `h`). When present, the adjoint accumulates the GRU
@@ -397,8 +437,8 @@ pub(crate) enum Op {
     SegmentAccRows {
         acc: Var,
         x: Var,
-        rows: Vec<usize>,
-        segments: Vec<usize>,
+        rows: IndexList,
+        segments: IndexList,
         /// Megabatch shard layout (`active` splits `rows`/`segments`;
         /// `dense` bounds the rows of `x`, `entity` the rows of `acc`).
         shards: Option<Box<OpShards>>,
@@ -449,6 +489,16 @@ pub struct Graph {
     /// skip the pool and run inline; 0 forces every sharded op through the
     /// pool. Defaults to `PAR_MIN_ELEMS` (set lazily on first use).
     par_threshold: Option<usize>,
+    /// Cumulative count of index words the tape has copied into pooled
+    /// buffers (never cleared by `reset`). Zero-copy tests assert this stays
+    /// flat across steps bound against a cached composition.
+    idx_copied: u64,
+    /// Zero-copy override: `Some` wins over the `RN_ZERO_COPY` env knob.
+    zero_copy: Option<bool>,
+    /// Grow-only identity prefix `0..cap`, shared with dense fused steps in
+    /// zero-copy mode so they stop materializing a per-step identity row
+    /// list.
+    identity: Option<Arc<[usize]>>,
 }
 
 /// Pop a recycled buffer (or allocate) and shape it into a zeroed matrix.
@@ -508,12 +558,35 @@ fn recycle_gru_saved(pool: &mut Vec<Vec<f32>>, s: GruSaved) {
     }
 }
 
-/// Copy an index slice into a recycled buffer (or a fresh one).
-fn pool_indices(pool: &mut Vec<Vec<usize>>, src: &[usize]) -> Vec<usize> {
+/// Copy an index slice into a recycled buffer (or a fresh one), counting the
+/// copied words into the tape's traffic counter.
+fn pool_indices(pool: &mut Vec<Vec<usize>>, copied: &mut u64, src: &[usize]) -> Vec<usize> {
+    *copied += src.len() as u64;
     let mut v = pool.pop().unwrap_or_default();
     v.clear();
     v.extend_from_slice(src);
     v
+}
+
+/// Record an index input on the tape: copy a borrowed slice into a pooled
+/// buffer, or store a shared view as-is (zero words copied).
+fn intern_indices(
+    pool: &mut Vec<Vec<usize>>,
+    copied: &mut u64,
+    input: &IndexInput<'_>,
+) -> IndexList {
+    match input {
+        IndexInput::Copied(s) => IndexList::Pooled(pool_indices(pool, copied, s)),
+        IndexInput::Shared(sh) => IndexList::Shared(sh.clone()),
+    }
+}
+
+/// Return a recorded index list to the free list (pooled copies only; shared
+/// views are just dropped).
+fn recycle_index(idx_pool: &mut Vec<Vec<usize>>, list: IndexList) {
+    if let IndexList::Pooled(v) = list {
+        idx_pool.push(v);
+    }
 }
 
 /// Add the column sums of `src` into the `1 x cols` accumulator `bias_grad`.
@@ -654,13 +727,11 @@ fn gru_rows_forward_shard(ctx: &GruRowsFwdCtx<'_>, t: &mut GruRowsFwdTask<'_>) {
             kernels::matmul_acc(t.hx, ctx.w_r.as_slice(), a_s, width, hidden, t.r);
         }
     }
-    for k in 0..a_s {
-        for (v, &b) in t.z[k * hidden..(k + 1) * hidden].iter_mut().zip(ctx.b_z) {
-            *v = act::sigmoid(*v + b);
-        }
-        for (v, &b) in t.r[k * hidden..(k + 1) * hidden].iter_mut().zip(ctx.b_r) {
-            *v = act::sigmoid(*v + b);
-        }
+    // Fused bias + activation over the shard's whole gate block (same
+    // per-element chain as the row loop, vectorized).
+    if hidden > 0 {
+        vact::sigmoid_bias_map_inplace(&mut t.z[..a_s * hidden], ctx.b_z);
+        vact::sigmoid_bias_map_inplace(&mut t.r[..a_s * hidden], ctx.b_r);
     }
     // rhx = [r ⊙ h | x]; candidate c = tanh(rhx·W_c + b_c).
     for k in 0..a_s {
@@ -674,10 +745,8 @@ fn gru_rows_forward_shard(ctx: &GruRowsFwdCtx<'_>, t: &mut GruRowsFwdTask<'_>) {
     }
     t.c.fill(0.0);
     kernels::matmul_acc(t.rhx, ctx.w_c.as_slice(), a_s, width, hidden, t.c);
-    for k in 0..a_s {
-        for (v, &b) in t.c[k * hidden..(k + 1) * hidden].iter_mut().zip(ctx.b_c) {
-            *v = act::tanh(*v + b);
-        }
+    if hidden > 0 {
+        vact::tanh_bias_map_inplace(&mut t.c[..a_s * hidden], ctx.b_c);
     }
     // h' = (1 − z)⊙h + z⊙c on the active rows; inactive rows pass through.
     for k in 0..a_s {
@@ -753,6 +822,39 @@ struct GruRowsBwdTask<'a> {
     scratch: GruBwdScratch,
 }
 
+/// Chunk size (elements) for fanning element-wise adjoints across the
+/// worker pool. A multiple of the 8-lane vector width, so every chunk
+/// decomposes into the same main/tail lanes the monolithic sweep would use.
+const ELEMWISE_CHUNK: usize = 4096;
+
+/// Run a `dst[i] = kernel(g[i], src[i])`-shaped adjoint over fixed chunks,
+/// fanned across the worker pool when attached. Position-independent
+/// element maps split at any boundary without changing bits, so this is
+/// bitwise identical to one whole-slice kernel call at any worker count.
+fn run_elementwise_chunks(
+    pool: Option<&WorkerPool>,
+    g: &[f32],
+    src: &[f32],
+    dst: &mut [f32],
+    kernel: fn(&[f32], &[f32], &mut [f32]),
+) {
+    debug_assert_eq!(g.len(), dst.len());
+    debug_assert_eq!(src.len(), dst.len());
+    let mut tasks: Vec<(usize, &mut [f32])> = dst
+        .chunks_mut(ELEMWISE_CHUNK)
+        .enumerate()
+        .map(|(i, chunk)| (i * ELEMWISE_CHUNK, chunk))
+        .collect();
+    run_shard_tasks(
+        pool,
+        &mut tasks,
+        |(off, chunk): &mut (usize, &mut [f32])| {
+            let len = chunk.len();
+            kernel(&g[*off..*off + len], &src[*off..*off + len], chunk);
+        },
+    );
+}
+
 /// `acc[0..cols] += column sums of the rows of src` (slice form of
 /// [`add_col_sums`]).
 fn add_col_sums_slice(acc: &mut [f32], src: &[f32], cols: usize) {
@@ -814,12 +916,11 @@ fn gru_rows_backward_shard(ctx: &GruRowsBwdCtx<'_>, t: &mut GruRowsBwdTask<'_>) 
         }
     }
 
-    // Candidate branch: gc_pre = gc ⊙ (1 - c²)
-    sc.gc
-        .as_mut_slice()
-        .iter_mut()
-        .zip(&s.c.as_slice()[t.k_lo * hidden..t.k_hi * hidden])
-        .for_each(|(gcv, &cv)| *gcv *= act::tanh_deriv_from_output(cv));
+    // Candidate branch: gc_pre = gc ⊙ (1 - c²), vectorized in place.
+    vact::tanh_deriv_mul_inplace(
+        sc.gc.as_mut_slice(),
+        &s.c.as_slice()[t.k_lo * hidden..t.k_hi * hidden],
+    );
     // pW_c += rhx_shard^T · gc_pre ; pb_c += colsum(gc_pre)
     kernels::matmul_tn_acc(
         &s.rhx.as_slice()[t.k_lo * width..t.k_hi * width],
@@ -862,17 +963,15 @@ fn gru_rows_backward_shard(ctx: &GruRowsBwdCtx<'_>, t: &mut GruRowsBwdTask<'_>) 
         t.gx[k * input..(k + 1) * input].copy_from_slice(&row_slice[hidden..]);
     }
 
-    // Gate pre-activations: σ' from outputs.
-    sc.gz
-        .as_mut_slice()
-        .iter_mut()
-        .zip(&s.z.as_slice()[t.k_lo * hidden..t.k_hi * hidden])
-        .for_each(|(gv, &zv)| *gv *= act::sigmoid_deriv_from_output(zv));
-    sc.gr
-        .as_mut_slice()
-        .iter_mut()
-        .zip(&s.r.as_slice()[t.k_lo * hidden..t.k_hi * hidden])
-        .for_each(|(gv, &rv)| *gv *= act::sigmoid_deriv_from_output(rv));
+    // Gate pre-activations: σ' from outputs, vectorized in place.
+    vact::sigmoid_deriv_mul_inplace(
+        sc.gz.as_mut_slice(),
+        &s.z.as_slice()[t.k_lo * hidden..t.k_hi * hidden],
+    );
+    vact::sigmoid_deriv_mul_inplace(
+        sc.gr.as_mut_slice(),
+        &s.r.as_slice()[t.k_lo * hidden..t.k_hi * hidden],
+    );
 
     let hx_shard = &s.hx.as_slice()[t.k_lo * width..t.k_hi * width];
     kernels::matmul_tn_acc(
@@ -1022,6 +1121,41 @@ impl Graph {
         self.par_threshold.unwrap_or(PAR_MIN_ELEMS)
     }
 
+    /// Whether this tape runs in zero-copy mode: callers that own a cached
+    /// composition hand ops [`IndexInput::Shared`] views instead of slices
+    /// the tape must copy. Defaults to the `RN_ZERO_COPY` env knob (on
+    /// unless set to `0`/`false`/`off`); [`Graph::set_zero_copy`] overrides.
+    /// Recorded contents are identical either way, so this is a pure
+    /// memory-traffic lever — results are bitwise unchanged.
+    pub fn zero_copy(&self) -> bool {
+        self.zero_copy.unwrap_or_else(env_zero_copy)
+    }
+
+    /// Override the zero-copy mode for this tape (wins over `RN_ZERO_COPY`).
+    /// Survives [`Graph::reset`].
+    pub fn set_zero_copy(&mut self, on: bool) {
+        self.zero_copy = Some(on);
+    }
+
+    /// Cumulative count of index words this tape has copied into pooled
+    /// buffers at record time (never cleared by [`Graph::reset`]). A step
+    /// recorded entirely against shared composition views leaves this flat —
+    /// the zero-copy acceptance tests assert exactly that.
+    pub fn index_words_copied(&self) -> u64 {
+        self.idx_copied
+    }
+
+    /// Shared identity row list `0..n`, grown on demand and recorded by
+    /// refcount — the zero-copy replacement for building a fresh identity
+    /// `Vec` per dense fused step.
+    fn identity_rows(&mut self, n: usize) -> SharedIndices {
+        let cur = self.identity.as_ref().map_or(0, |a| a.len());
+        if cur < n {
+            self.identity = Some((0..n.max(cur * 2)).collect::<Vec<_>>().into());
+        }
+        SharedIndices::new(self.identity.clone().expect("identity grown"), 0, n)
+    }
+
     /// Clear the tape for reuse, retaining every allocation.
     ///
     /// All `Var` handles from before the reset become invalid. Node values,
@@ -1047,23 +1181,23 @@ impl Graph {
                 }
                 | Op::Selu {
                     shards: Some(s), ..
-                } => idx_pool.push(s),
+                } => recycle_index(idx_pool, s),
                 Op::GatherRows {
                     indices, shards, ..
                 } => {
-                    idx_pool.push(indices);
+                    recycle_index(idx_pool, indices);
                     if let Some(s) = shards {
                         s.recycle(idx_pool);
                     }
                 }
-                Op::SegmentSum { segments, .. } => idx_pool.push(segments),
+                Op::SegmentSum { segments, .. } => recycle_index(idx_pool, segments),
                 Op::GatherMask { mask, indices, .. } => {
                     pool_recycle(pool, mask);
-                    idx_pool.push(indices);
+                    recycle_index(idx_pool, indices);
                 }
                 Op::SegmentAcc { mask, segments, .. } => {
                     pool_recycle(pool, mask);
-                    idx_pool.push(segments);
+                    recycle_index(idx_pool, segments);
                 }
                 Op::SegmentAccRows {
                     rows,
@@ -1071,8 +1205,8 @@ impl Graph {
                     shards,
                     ..
                 } => {
-                    idx_pool.push(rows);
-                    idx_pool.push(segments);
+                    recycle_index(idx_pool, rows);
+                    recycle_index(idx_pool, segments);
                     if let Some(s) = shards {
                         s.recycle(idx_pool);
                     }
@@ -1086,7 +1220,7 @@ impl Graph {
                     shards,
                     ..
                 } => {
-                    idx_pool.push(rows);
+                    recycle_index(idx_pool, rows);
                     recycle_gru_saved(pool, *saved);
                     if let Some(s) = shards {
                         s.recycle(idx_pool);
@@ -1146,14 +1280,14 @@ impl Graph {
     }
 
     /// Register a non-differentiable leaf holding a copy of `src`, built in
-    /// a pooled buffer.
+    /// a pooled (allocation-free once warm) buffer.
     ///
-    /// This is how a forward pass binds against **borrowed** plan state (a
-    /// cached megabatch composition shared behind an `Arc`): the tape needs
-    /// its own mutable copy — inference mode advances GRU states in place,
-    /// stealing the input buffer — but `src.clone()` would hit the allocator
-    /// every forward. Values are bit-for-bit the clone's; only the buffer's
-    /// provenance changes.
+    /// This is how a forward pass binds **float** state from a borrowed plan
+    /// (a cached megabatch composition shared behind an `Arc`): the tape
+    /// needs its own mutable copy because the fused step ops may advance
+    /// states in place, stealing the leaf's buffer. Note the contrast with
+    /// the tape's *index* lists, which zero-copy mode records as refcounted
+    /// [`SharedIndices`] views precisely because no op ever mutates them.
     pub fn constant_copy(&mut self, src: &Matrix) -> Var {
         let mut m = pool_matrix_scratch(&mut self.pool, src.rows(), src.cols());
         m.as_mut_slice().copy_from_slice(src.as_slice());
@@ -1209,7 +1343,7 @@ impl Graph {
     /// (weight) gradient as per-shard partials merged in shard order — its
     /// own canonical grouping, also worker-count independent. Reference
     /// mode ignores the split (it reproduces the seed kernels).
-    pub fn matmul_sharded(&mut self, a: Var, b: Var, bounds: Option<&[usize]>) -> Var {
+    pub fn matmul_sharded(&mut self, a: Var, b: Var, bounds: Option<IndexInput<'_>>) -> Var {
         if self.reference_mode {
             let v = self.value(a).matmul_reference(self.value(b));
             return self.push(v, Op::MatMul { a, b, shards: None });
@@ -1222,7 +1356,8 @@ impl Graph {
             "matmul: inner dimensions differ ({m}x{k} * {}x{n})",
             self.value(b).rows()
         );
-        let shards = capture_dense_shards(&mut self.idx_pool, bounds, m);
+        let shards =
+            capture_dense_shards(&mut self.idx_pool, &mut self.idx_copied, bounds.as_ref(), m);
         let mut pool = std::mem::take(&mut self.pool);
         let mut out = pool_matrix_scratch(&mut pool, m, n);
         match &shards {
@@ -1267,7 +1402,7 @@ impl Graph {
     /// block independently (bitwise identical to the unsharded op); the
     /// adjoint reduces the bias gradient as per-shard column-sum partials
     /// merged in shard order, and row-blocks `x`'s pass-through gradient.
-    pub fn add_bias_sharded(&mut self, x: Var, bias: Var, bounds: Option<&[usize]>) -> Var {
+    pub fn add_bias_sharded(&mut self, x: Var, bias: Var, bounds: Option<IndexInput<'_>>) -> Var {
         let (rows, cols) = self.value(x).shape();
         assert_eq!(
             self.value(bias).shape(),
@@ -1277,7 +1412,12 @@ impl Graph {
         let shards = if self.reference_mode {
             None
         } else {
-            capture_dense_shards(&mut self.idx_pool, bounds, rows)
+            capture_dense_shards(
+                &mut self.idx_pool,
+                &mut self.idx_copied,
+                bounds.as_ref(),
+                rows,
+            )
         };
         match &shards {
             Some(bounds) => {
@@ -1337,11 +1477,18 @@ impl Graph {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        // Branch outside `map` so each path inlines its function item.
+        // Reference mode keeps the seed's libm map; the fast path runs the
+        // vectorized slice kernel (bitwise-identical to the scalar fast
+        // form) into a pooled buffer.
         let v = if self.reference_mode {
             self.value(x).map(act::sigmoid_precise)
         } else {
-            self.value(x).map(act::sigmoid)
+            let (rows, cols) = self.value(x).shape();
+            let mut pool = std::mem::take(&mut self.pool);
+            let mut out = pool_matrix_scratch(&mut pool, rows, cols);
+            vact::sigmoid_map(self.value(x).as_slice(), out.as_mut_slice());
+            self.pool = pool;
+            out
         };
         self.push(v, Op::Sigmoid(x))
     }
@@ -1351,7 +1498,12 @@ impl Graph {
         let v = if self.reference_mode {
             self.value(x).map(act::tanh_precise)
         } else {
-            self.value(x).map(act::tanh)
+            let (rows, cols) = self.value(x).shape();
+            let mut pool = std::mem::take(&mut self.pool);
+            let mut out = pool_matrix_scratch(&mut pool, rows, cols);
+            vact::tanh_map(self.value(x).as_slice(), out.as_mut_slice());
+            self.pool = pool;
+            out
         };
         self.push(v, Op::Tanh(x))
     }
@@ -1372,13 +1524,18 @@ impl Graph {
     /// trivially, so forward and adjoint are bitwise identical to the
     /// unsharded op at any worker count; the split exists so the readout
     /// MLP's activation traffic rides the same gang as its matmuls.
-    pub fn selu_sharded(&mut self, x: Var, bounds: Option<&[usize]>) -> Var {
+    pub fn selu_sharded(&mut self, x: Var, bounds: Option<IndexInput<'_>>) -> Var {
         if self.reference_mode {
             let v = self.value(x).map(act::selu_precise);
             return self.push(v, Op::Selu { x, shards: None });
         }
         let (rows, cols) = self.value(x).shape();
-        let shards = capture_dense_shards(&mut self.idx_pool, bounds, rows);
+        let shards = capture_dense_shards(
+            &mut self.idx_pool,
+            &mut self.idx_copied,
+            bounds.as_ref(),
+            rows,
+        );
         match &shards {
             Some(bounds) => {
                 let mut pool = std::mem::take(&mut self.pool);
@@ -1396,11 +1553,7 @@ impl Graph {
                         &mut tasks,
                         |(lo, block): &mut (usize, &mut [f32])| {
                             let len = block.len();
-                            for (d, &v) in
-                                block.iter_mut().zip(&x_slice[*lo * cols..*lo * cols + len])
-                            {
-                                *d = act::selu(v);
-                            }
+                            vact::selu_map(&x_slice[*lo * cols..*lo * cols + len], block);
                         },
                     );
                 }
@@ -1408,8 +1561,11 @@ impl Graph {
                 self.push(out, Op::Selu { x, shards })
             }
             None => {
-                let v = self.value(x).map(act::selu);
-                self.push(v, Op::Selu { x, shards })
+                let mut pool = std::mem::take(&mut self.pool);
+                let mut out = pool_matrix_scratch(&mut pool, rows, cols);
+                vact::selu_map(self.value(x).as_slice(), out.as_mut_slice());
+                self.pool = pool;
+                self.push(out, Op::Selu { x, shards })
             }
         }
     }
@@ -1458,7 +1614,7 @@ impl Graph {
     /// Gather rows: `out[i] = x[indices[i]]`. Indices may repeat; the adjoint
     /// scatter-adds into the repeated rows. Output comes from the buffer pool.
     pub fn gather_rows(&mut self, x: Var, indices: &[usize]) -> Var {
-        self.gather_rows_sharded(x, indices, None)
+        self.gather_rows_sharded(x, indices.into(), None)
     }
 
     /// [`Graph::gather_rows`] with a megabatch shard layout: `active` splits
@@ -1469,17 +1625,19 @@ impl Graph {
     pub fn gather_rows_sharded(
         &mut self,
         x: Var,
-        indices: &[usize],
+        ids: IndexInput<'_>,
         split: Option<ShardSplit<'_>>,
     ) -> Var {
         let mut pool = std::mem::take(&mut self.pool);
         let (x_rows, cols) = self.value(x).shape();
+        let indices = ids.as_slice();
         let shards = split.and_then(|s| {
             validate_split(&s, indices.len(), None, Some(x_rows));
             debug_assert!(
                 s.active
+                    .as_slice()
                     .windows(2)
-                    .zip(s.entity.windows(2))
+                    .zip(s.entity.as_slice().windows(2))
                     .all(|(ka, ea)| {
                         indices[ka[0]..ka[1]]
                             .iter()
@@ -1487,7 +1645,13 @@ impl Graph {
                     }),
                 "gather_rows: shard indices escape their entity range"
             );
-            (s.active.len() > 2).then(|| Box::new(OpShards::capture(&mut self.idx_pool, &s)))
+            (s.active.as_slice().len() > 2).then(|| {
+                Box::new(OpShards::capture(
+                    &mut self.idx_pool,
+                    &mut self.idx_copied,
+                    &s,
+                ))
+            })
         });
         let mut out = pool_matrix_scratch(&mut pool, indices.len(), cols);
         if cols > 0 {
@@ -1517,7 +1681,7 @@ impl Graph {
             );
         }
         self.pool = pool;
-        let indices = pool_indices(&mut self.idx_pool, indices);
+        let indices = intern_indices(&mut self.idx_pool, &mut self.idx_copied, &ids);
         self.push(out, Op::GatherRows { x, indices, shards })
     }
 
@@ -1525,7 +1689,11 @@ impl Graph {
     /// This is RouteNet's message aggregation (paths → links, paths → nodes).
     pub fn segment_sum(&mut self, x: Var, segments: &[usize], num_segments: usize) -> Var {
         let v = self.value(x).segment_sum(segments, num_segments);
-        let segments = pool_indices(&mut self.idx_pool, segments);
+        let segments = IndexList::Pooled(pool_indices(
+            &mut self.idx_pool,
+            &mut self.idx_copied,
+            segments,
+        ));
         self.push(v, Op::SegmentSum { x, segments })
     }
 
@@ -1574,7 +1742,11 @@ impl Graph {
         let mut mask_copy = pool_matrix_scratch(&mut pool, mask.rows(), 1);
         mask_copy.as_mut_slice().copy_from_slice(mask.as_slice());
         self.pool = pool;
-        let indices = pool_indices(&mut self.idx_pool, indices);
+        let indices = IndexList::Pooled(pool_indices(
+            &mut self.idx_pool,
+            &mut self.idx_copied,
+            indices,
+        ));
         self.push(
             out,
             Op::GatherMask {
@@ -1620,7 +1792,11 @@ impl Graph {
         let mut mask_copy = pool_matrix_scratch(&mut pool, mask.rows(), 1);
         mask_copy.as_mut_slice().copy_from_slice(mask.as_slice());
         self.pool = pool;
-        let segments = pool_indices(&mut self.idx_pool, segments);
+        let segments = IndexList::Pooled(pool_indices(
+            &mut self.idx_pool,
+            &mut self.idx_copied,
+            segments,
+        ));
         self.push(
             out,
             Op::SegmentAcc {
@@ -1650,7 +1826,7 @@ impl Graph {
         rows: &[usize],
         segments: &[usize],
     ) -> Var {
-        self.segment_acc_rows_sharded(acc, x, rows, segments, None)
+        self.segment_acc_rows_sharded(acc, x, rows.into(), segments.into(), None)
     }
 
     /// [`Graph::segment_acc_rows`] with a megabatch shard layout: `active`
@@ -1664,13 +1840,15 @@ impl Graph {
         &mut self,
         acc: Var,
         x: Var,
-        rows: &[usize],
-        segments: &[usize],
+        rows: IndexInput<'_>,
+        segments: IndexInput<'_>,
         split: Option<ShardSplit<'_>>,
     ) -> Var {
         let mut pool = std::mem::take(&mut self.pool);
         let (num_segments, cols) = self.value(acc).shape();
         let x_rows = self.value(x).rows();
+        let (rows_in, segments_in) = (rows, segments);
+        let (rows, segments) = (rows_in.as_slice(), segments_in.as_slice());
         assert_eq!(
             rows.len(),
             segments.len(),
@@ -1691,8 +1869,9 @@ impl Graph {
             validate_split(&s, rows.len(), Some(x_rows), Some(num_segments));
             debug_assert!(
                 s.active
+                    .as_slice()
                     .windows(2)
-                    .zip(s.entity.windows(2))
+                    .zip(s.entity.as_slice().windows(2))
                     .all(|(ka, ea)| {
                         segments[ka[0]..ka[1]]
                             .iter()
@@ -1700,7 +1879,13 @@ impl Graph {
                     }),
                 "segment_acc_rows: shard segments escape their entity range"
             );
-            (s.active.len() > 2).then(|| Box::new(OpShards::capture(&mut self.idx_pool, &s)))
+            (s.active.as_slice().len() > 2).then(|| {
+                Box::new(OpShards::capture(
+                    &mut self.idx_pool,
+                    &mut self.idx_copied,
+                    &s,
+                ))
+            })
         });
 
         // In-place inference: steal the accumulator instead of copying it.
@@ -1748,8 +1933,8 @@ impl Graph {
             );
         }
         self.pool = pool;
-        let rows = pool_indices(&mut self.idx_pool, rows);
-        let segments = pool_indices(&mut self.idx_pool, segments);
+        let rows = intern_indices(&mut self.idx_pool, &mut self.idx_copied, &rows_in);
+        let segments = intern_indices(&mut self.idx_pool, &mut self.idx_copied, &segments_in);
         self.push(
             out,
             Op::SegmentAccRows {
@@ -1776,7 +1961,7 @@ impl Graph {
     /// becomes empty). Training mode copies, so `h` stays intact for the
     /// adjoint. Output bits are identical either way.
     pub fn gru_step_rows(&mut self, vars: &GruVars, h: Var, x: Var, rows: &[usize]) -> Var {
-        self.gru_step_rows_sharded(vars, h, x, rows, None)
+        self.gru_step_rows_sharded(vars, h, x, rows.into(), None)
     }
 
     /// [`Graph::gru_step_rows`] with a megabatch shard layout: `active`
@@ -1791,11 +1976,13 @@ impl Graph {
         vars: &GruVars,
         h: Var,
         x: Var,
-        rows: &[usize],
+        rows: IndexInput<'_>,
         split: Option<ShardSplit<'_>>,
     ) -> Var {
         let mut pool = std::mem::take(&mut self.pool);
         let (n, hidden) = self.value(h).shape();
+        let rows_in = rows;
+        let rows = rows_in.as_slice();
         let a = rows.len();
         let input = self.value(x).cols();
         assert_eq!(
@@ -1814,14 +2001,24 @@ impl Graph {
         let shards = split.and_then(|s| {
             validate_split(&s, a, Some(n), None);
             debug_assert!(
-                s.active.windows(2).zip(s.dense.windows(2)).all(|(ka, pa)| {
-                    rows[ka[0]..ka[1]]
-                        .iter()
-                        .all(|&row| row >= pa[0] && row < pa[1])
-                }),
+                s.active
+                    .as_slice()
+                    .windows(2)
+                    .zip(s.dense.as_slice().windows(2))
+                    .all(|(ka, pa)| {
+                        rows[ka[0]..ka[1]]
+                            .iter()
+                            .all(|&row| row >= pa[0] && row < pa[1])
+                    }),
                 "gru_step_rows: shard rows escape their dense range"
             );
-            (s.active.len() > 2).then(|| Box::new(OpShards::capture(&mut self.idx_pool, &s)))
+            (s.active.as_slice().len() > 2).then(|| {
+                Box::new(OpShards::capture(
+                    &mut self.idx_pool,
+                    &mut self.idx_copied,
+                    &s,
+                ))
+            })
         });
 
         let needs_zr = vars.w_zr.is_some();
@@ -1928,7 +2125,7 @@ impl Graph {
             })
         };
         self.pool = pool;
-        let rows = pool_indices(&mut self.idx_pool, rows);
+        let rows = intern_indices(&mut self.idx_pool, &mut self.idx_copied, &rows_in);
         self.push(
             out,
             Op::GruStepRows {
@@ -1981,10 +2178,12 @@ impl Graph {
         let mut z = pool_matrix_scratch(&mut pool, n, hidden);
         let mut r = pool_matrix_scratch(&mut pool, n, hidden);
         gate_matmuls(&mut pool, &hx, w_z, w_r, w_zr, hidden, &mut z, &mut r);
-        z.add_row_broadcast_assign(b_z);
-        z.map_inplace(act::sigmoid);
-        r.add_row_broadcast_assign(b_r);
-        r.map_inplace(act::sigmoid);
+        // Fused bias + activation over the whole gate block: one pass, same
+        // per-element chain as broadcast-add followed by the scalar map.
+        if hidden > 0 && n > 0 {
+            vact::sigmoid_bias_map_inplace(z.as_mut_slice(), b_z.as_slice());
+            vact::sigmoid_bias_map_inplace(r.as_mut_slice(), b_r.as_slice());
+        }
 
         let mut rhx = pool_matrix_scratch(&mut pool, n, hidden + input);
         for i in 0..n {
@@ -1997,8 +2196,9 @@ impl Graph {
 
         let mut c = pool_matrix_scratch(&mut pool, n, hidden);
         rhx.matmul_into(w_c, &mut c);
-        c.add_row_broadcast_assign(b_c);
-        c.map_inplace(act::tanh);
+        if hidden > 0 && n > 0 {
+            vact::tanh_bias_map_inplace(c.as_mut_slice(), b_c.as_slice());
+        }
 
         // In-place inference: steal the state buffer (the pass-through part
         // of the blend is then already in place); training mode copies so
@@ -2089,27 +2289,35 @@ impl Graph {
         vars: &GruVars,
         h: Var,
         x: Var,
-        bounds: Option<&[usize]>,
+        bounds: Option<IndexInput<'_>>,
     ) -> Var {
         match bounds {
-            Some(b) if b.len() > 2 && !self.reference_mode => {
+            Some(b) if b.as_slice().len() > 2 && !self.reference_mode => {
                 let n = self.value(h).rows();
                 assert_eq!(
                     self.value(x).rows(),
                     n,
                     "gru_step_dense_sharded: x must have one row per state row"
                 );
-                let mut rows = self.idx_pool.pop().unwrap_or_default();
-                rows.clear();
-                rows.extend(0..n);
                 let split = ShardSplit {
-                    active: b,
-                    dense: b,
+                    active: b.clone(),
+                    dense: b.clone(),
                     entity: b,
                 };
-                let out = self.gru_step_rows_sharded(vars, h, x, &rows, Some(split));
-                self.idx_pool.push(rows);
-                out
+                if self.zero_copy() {
+                    // Record the shared identity prefix by refcount instead
+                    // of materializing (and then copying) a 0..n row list.
+                    let rows = self.identity_rows(n);
+                    self.gru_step_rows_sharded(vars, h, x, rows.into(), Some(split))
+                } else {
+                    let mut rows = self.idx_pool.pop().unwrap_or_default();
+                    rows.clear();
+                    rows.extend(0..n);
+                    let out =
+                        self.gru_step_rows_sharded(vars, h, x, rows.as_slice().into(), Some(split));
+                    self.idx_pool.push(rows);
+                    out
+                }
             }
             _ => self.gru_step(vars, h, x, None),
         }
@@ -2180,11 +2388,11 @@ impl Graph {
             match &self.nodes[id].op {
                 Op::Leaf { .. } => {}
                 &Op::Add(a, b) => {
-                    accumulate(&mut grads, a, g.clone());
-                    accumulate(&mut grads, b, g.clone());
+                    accumulate_ref(&mut grads, &mut pool, a, &g);
+                    accumulate_ref(&mut grads, &mut pool, b, &g);
                 }
                 &Op::Sub(a, b) => {
-                    accumulate(&mut grads, a, g.clone());
+                    accumulate_ref(&mut grads, &mut pool, a, &g);
                     accumulate(&mut grads, b, g.scale(-1.0));
                 }
                 &Op::Mul(a, b) => {
@@ -2335,23 +2543,40 @@ impl Graph {
                         accumulate_pooled(&mut grads, &mut pool, x, gx);
                     } else {
                         accumulate(&mut grads, bias, g.sum_rows());
-                        accumulate(&mut grads, x, g.clone());
+                        accumulate_ref(&mut grads, &mut pool, x, &g);
                     }
                 }
                 &Op::Affine { x, a } => {
                     accumulate(&mut grads, x, g.scale(a));
                 }
                 &Op::Sigmoid(x) => {
-                    let gx = g.zip(&self.nodes[id].value, |gi, y| {
-                        gi * act::sigmoid_deriv_from_output(y)
-                    });
-                    accumulate(&mut grads, x, gx);
+                    // gx = g ⊙ y(1-y) via the fused vector kernel, fanned
+                    // over fixed chunks when a pool is attached — bitwise
+                    // identical to the sequential zip either way (the map is
+                    // position-independent and the kernel is pinned to the
+                    // scalar chain).
+                    let (rows, cols) = g.shape();
+                    let mut gx = pool_matrix_scratch(&mut pool, rows, cols);
+                    run_elementwise_chunks(
+                        pool_if_worth(&self.worker_pool, self.par_threshold(), rows * cols),
+                        g.as_slice(),
+                        self.nodes[id].value.as_slice(),
+                        gx.as_mut_slice(),
+                        vact::sigmoid_deriv_mul,
+                    );
+                    accumulate_pooled(&mut grads, &mut pool, x, gx);
                 }
                 &Op::Tanh(x) => {
-                    let gx = g.zip(&self.nodes[id].value, |gi, y| {
-                        gi * act::tanh_deriv_from_output(y)
-                    });
-                    accumulate(&mut grads, x, gx);
+                    let (rows, cols) = g.shape();
+                    let mut gx = pool_matrix_scratch(&mut pool, rows, cols);
+                    run_elementwise_chunks(
+                        pool_if_worth(&self.worker_pool, self.par_threshold(), rows * cols),
+                        g.as_slice(),
+                        self.nodes[id].value.as_slice(),
+                        gx.as_mut_slice(),
+                        vact::tanh_deriv_mul,
+                    );
+                    accumulate_pooled(&mut grads, &mut pool, x, gx);
                 }
                 &Op::Relu(x) => {
                     let gx = g.zip(self.value(x), |gi, xi| gi * act::relu_deriv(xi));
@@ -2359,41 +2584,50 @@ impl Graph {
                 }
                 Op::Selu { x, shards } => {
                     let x = *x;
-                    let deriv = if self.reference_mode {
-                        act::selu_deriv_precise
-                    } else {
-                        act::selu_deriv
-                    };
+                    if self.reference_mode {
+                        // Seed-faithful libm derivative (shards are never
+                        // recorded in reference mode).
+                        let gx = g.zip(self.value(x), |gi, xi| gi * act::selu_deriv_precise(xi));
+                        accumulate(&mut grads, x, gx);
+                        continue;
+                    }
+                    let (rows, cols) = g.shape();
+                    let mut gx = pool_matrix_scratch(&mut pool, rows, cols);
                     if let Some(bounds) = shards {
                         // Element-wise adjoint, row-blocked: bitwise
-                        // identical to the unsharded zip at any worker count.
-                        let (rows, cols) = g.shape();
-                        let mut gx = pool_matrix_scratch(&mut pool, rows, cols);
-                        {
-                            let g_slice = g.as_slice();
-                            let x_slice = self.value(x).as_slice();
-                            let mut tasks: Vec<(usize, &mut [f32])> = gx
-                                .row_blocks_mut(bounds)
-                                .into_iter()
-                                .enumerate()
-                                .map(|(s, block)| (bounds[s], block))
-                                .collect();
-                            run_shard_tasks(
-                                pool_if_worth(&self.worker_pool, self.par_threshold(), rows * cols),
-                                &mut tasks,
-                                |(lo, block): &mut (usize, &mut [f32])| {
-                                    let off = *lo * cols;
-                                    for (i, d) in block.iter_mut().enumerate() {
-                                        *d = g_slice[off + i] * deriv(x_slice[off + i]);
-                                    }
-                                },
-                            );
-                        }
-                        accumulate_pooled(&mut grads, &mut pool, x, gx);
+                        // identical to the unsharded sweep at any worker
+                        // count.
+                        let g_slice = g.as_slice();
+                        let x_slice = self.value(x).as_slice();
+                        let mut tasks: Vec<(usize, &mut [f32])> = gx
+                            .row_blocks_mut(bounds)
+                            .into_iter()
+                            .enumerate()
+                            .map(|(s, block)| (bounds[s], block))
+                            .collect();
+                        run_shard_tasks(
+                            pool_if_worth(&self.worker_pool, self.par_threshold(), rows * cols),
+                            &mut tasks,
+                            |(lo, block): &mut (usize, &mut [f32])| {
+                                let off = *lo * cols;
+                                let len = block.len();
+                                vact::selu_deriv_mul(
+                                    &g_slice[off..off + len],
+                                    &x_slice[off..off + len],
+                                    block,
+                                );
+                            },
+                        );
                     } else {
-                        let gx = g.zip(self.value(x), |gi, xi| gi * deriv(xi));
-                        accumulate(&mut grads, x, gx);
+                        run_elementwise_chunks(
+                            pool_if_worth(&self.worker_pool, self.par_threshold(), rows * cols),
+                            g.as_slice(),
+                            self.value(x).as_slice(),
+                            gx.as_mut_slice(),
+                            vact::selu_deriv_mul,
+                        );
                     }
+                    accumulate_pooled(&mut grads, &mut pool, x, gx);
                 }
                 &Op::Softplus(x) => {
                     let gx = g.zip(self.value(x), |gi, xi| gi * act::softplus_deriv(xi));
@@ -2527,7 +2761,7 @@ impl Graph {
                         }
                     }
                     accumulate_pooled(&mut grads, &mut pool, *x, gx);
-                    accumulate(&mut grads, *acc, g.clone());
+                    accumulate_ref(&mut grads, &mut pool, *acc, &g);
                 }
                 Op::GruStep { vars, h, x, saved } => {
                     let (vars, h, x) = (*vars, *h, *x);
@@ -2588,11 +2822,8 @@ impl Graph {
                         }
                     }
 
-                    // Candidate branch: gc_pre = gc ⊙ (1 - c²)
-                    gc.as_mut_slice()
-                        .iter_mut()
-                        .zip(s.c.as_slice())
-                        .for_each(|(gcv, &cv)| *gcv *= act::tanh_deriv_from_output(cv));
+                    // Candidate branch: gc_pre = gc ⊙ (1 - c²), vectorized.
+                    vact::tanh_deriv_mul_inplace(gc.as_mut_slice(), s.c.as_slice());
                     let gc_pre = gc;
                     // gW_c += rhx^T · gc_pre ; gb_c += colsum(gc_pre)
                     {
@@ -2635,16 +2866,10 @@ impl Graph {
                     }
                     pool_recycle(&mut pool, g_rhx);
 
-                    // Gate pre-activations: σ' from outputs.
-                    gz.as_mut_slice()
-                        .iter_mut()
-                        .zip(s.z.as_slice())
-                        .for_each(|(gv, &zv)| *gv *= act::sigmoid_deriv_from_output(zv));
+                    // Gate pre-activations: σ' from outputs, vectorized.
+                    vact::sigmoid_deriv_mul_inplace(gz.as_mut_slice(), s.z.as_slice());
                     let gz_pre = gz;
-                    gr.as_mut_slice()
-                        .iter_mut()
-                        .zip(s.r.as_slice())
-                        .for_each(|(gv, &rv)| *gv *= act::sigmoid_deriv_from_output(rv));
+                    vact::sigmoid_deriv_mul_inplace(gr.as_mut_slice(), s.r.as_slice());
                     let gr_pre = gr;
 
                     {
@@ -2744,7 +2969,7 @@ impl Graph {
                         );
                     }
                     accumulate_pooled(&mut grads, &mut pool, *x, gx);
-                    accumulate(&mut grads, *acc, g.clone());
+                    accumulate_ref(&mut grads, &mut pool, *acc, &g);
                 }
                 Op::GruStepRows {
                     vars,
@@ -2949,11 +3174,8 @@ impl Graph {
                         }
                     }
 
-                    // Candidate branch: gc_pre = gc ⊙ (1 - c²)
-                    gc.as_mut_slice()
-                        .iter_mut()
-                        .zip(s.c.as_slice())
-                        .for_each(|(gcv, &cv)| *gcv *= act::tanh_deriv_from_output(cv));
+                    // Candidate branch: gc_pre = gc ⊙ (1 - c²), vectorized.
+                    vact::tanh_deriv_mul_inplace(gc.as_mut_slice(), s.c.as_slice());
                     let gc_pre = gc;
                     {
                         let slot =
@@ -2998,16 +3220,10 @@ impl Graph {
                     }
                     pool_recycle(&mut pool, g_rhx);
 
-                    // Gate pre-activations: σ' from outputs.
-                    gz.as_mut_slice()
-                        .iter_mut()
-                        .zip(s.z.as_slice())
-                        .for_each(|(gv, &zv)| *gv *= act::sigmoid_deriv_from_output(zv));
+                    // Gate pre-activations: σ' from outputs, vectorized.
+                    vact::sigmoid_deriv_mul_inplace(gz.as_mut_slice(), s.z.as_slice());
                     let gz_pre = gz;
-                    gr.as_mut_slice()
-                        .iter_mut()
-                        .zip(s.r.as_slice())
-                        .for_each(|(gv, &rv)| *gv *= act::sigmoid_deriv_from_output(rv));
+                    vact::sigmoid_deriv_mul_inplace(gr.as_mut_slice(), s.r.as_slice());
                     let gr_pre = gr;
 
                     {
@@ -3086,6 +3302,22 @@ impl Graph {
 }
 
 /// Accumulate `delta` into the pending gradient of node `v`.
+/// Accumulate a pass-through adjoint that equals the incoming gradient `g`
+/// itself. When a gradient is already pending the add folds `g` in without
+/// materializing a copy at all; the first contribution is copied into a
+/// pooled buffer instead of `g.clone()`'s fresh allocation. Bits are
+/// unchanged either way — this only changes where the buffer comes from.
+fn accumulate_ref(grads: &mut [Option<Matrix>], pool: &mut Vec<Vec<f32>>, v: Var, g: &Matrix) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => {
+            let mut copy = pool_matrix_scratch(pool, g.rows(), g.cols());
+            copy.as_mut_slice().copy_from_slice(g.as_slice());
+            *slot = Some(copy);
+        }
+    }
+}
+
 fn accumulate(grads: &mut [Option<Matrix>], v: Var, delta: Matrix) {
     match &mut grads[v.0] {
         Some(existing) => existing.add_assign(&delta),
@@ -3678,10 +3910,10 @@ mod tests {
         let vars = toy_gru(g, 4, 3, 11);
         let states = g.param(det_matrix(6, 3, 50));
         let h = g.param(det_matrix(5, 4, 51));
-        let x = g.gather_rows_sharded(states, &SH_IDS, split);
-        let h2 = g.gru_step_rows_sharded(&vars, h, x, &SH_ROWS, split);
+        let x = g.gather_rows_sharded(states, (&SH_IDS).into(), split.clone());
+        let h2 = g.gru_step_rows_sharded(&vars, h, x, (&SH_ROWS).into(), split.clone());
         let acc0 = g.constant(Matrix::zeros(6, 4));
-        let out = g.segment_acc_rows_sharded(acc0, h2, &SH_ROWS, &SH_IDS, split);
+        let out = g.segment_acc_rows_sharded(acc0, h2, (&SH_ROWS).into(), (&SH_IDS).into(), split);
         let sq = g.square(out);
         let loss = g.mean(sq);
         g.backward(loss);
@@ -3695,11 +3927,7 @@ mod tests {
     }
 
     fn toy_split() -> ShardSplit<'static> {
-        ShardSplit {
-            active: &SH_ACTIVE,
-            dense: &SH_DENSE,
-            entity: &SH_ENTITY,
-        }
+        ShardSplit::borrowed(&SH_ACTIVE, &SH_DENSE, &SH_ENTITY)
     }
 
     #[test]
@@ -3748,11 +3976,8 @@ mod tests {
         // Second sample contributes no active rows at this position.
         let rows = [0usize, 1];
         let ids = [1usize, 0];
-        let split = ShardSplit {
-            active: &[0, 2, 2],
-            dense: &SH_DENSE,
-            entity: &SH_ENTITY,
-        };
+        let active = [0usize, 2, 2];
+        let split = ShardSplit::borrowed(&active, &SH_DENSE, &SH_ENTITY);
         let run = |split: Option<ShardSplit<'_>>, pool: Option<Arc<WorkerPool>>| {
             let mut g = Graph::new();
             g.set_worker_pool(pool);
@@ -3760,17 +3985,17 @@ mod tests {
             let vars = toy_gru(&mut g, 4, 3, 13);
             let states = g.param(det_matrix(6, 3, 60));
             let h = g.param(det_matrix(5, 4, 61));
-            let x = g.gather_rows_sharded(states, &ids, split);
-            let h2 = g.gru_step_rows_sharded(&vars, h, x, &rows, split);
+            let x = g.gather_rows_sharded(states, (&ids).into(), split.clone());
+            let h2 = g.gru_step_rows_sharded(&vars, h, x, (&rows).into(), split.clone());
             let acc0 = g.constant(Matrix::zeros(6, 4));
-            let out = g.segment_acc_rows_sharded(acc0, h2, &rows, &ids, split);
+            let out = g.segment_acc_rows_sharded(acc0, h2, (&rows).into(), (&ids).into(), split);
             let sq = g.square(out);
             let loss = g.mean(sq);
             g.backward(loss);
             (g.value(out).clone(), g.grad(h).unwrap().clone())
         };
-        let (out_seq, gh_seq) = run(Some(split), None);
-        let (out_par, gh_par) = run(Some(split), Some(Arc::new(WorkerPool::new(4))));
+        let (out_seq, gh_seq) = run(Some(split.clone()), None);
+        let (out_par, gh_par) = run(Some(split.clone()), Some(Arc::new(WorkerPool::new(4))));
         assert!(out_seq.approx_eq(&out_par, 0.0));
         assert!(gh_seq.approx_eq(&gh_par, 0.0));
         let (out_plain, _) = run(None, None);
@@ -3781,11 +4006,8 @@ mod tests {
     fn single_shard_splits_record_no_shards() {
         // A 1-sample "megabatch" must stay on the legacy backward path, so
         // its gradients remain bitwise identical to plain single plans.
-        let split = ShardSplit {
-            active: &[0, 4],
-            dense: &[0, 5],
-            entity: &[0, 6],
-        };
+        let (active, dense, entity) = ([0usize, 4], [0usize, 5], [0usize, 6]);
+        let split = ShardSplit::borrowed(&active, &dense, &entity);
         let mut ga = Graph::new();
         let (_, loss_a, grads_a) = sharded_case(&mut ga, Some(split));
         let mut gb = Graph::new();
@@ -3807,14 +4029,14 @@ mod tests {
         let vars = toy_gru(g, 4, 4, 21);
         let h = g.param(det_matrix(7, 4, 70));
         let acc = g.param(det_matrix(7, 4, 71));
-        let stepped = g.gru_step_dense_sharded(&vars, h, acc, bounds);
+        let stepped = g.gru_step_dense_sharded(&vars, h, acc, bounds.map(Into::into));
         let w1 = g.param(det_matrix(4, 5, 72));
         let b1 = g.param(det_matrix(1, 5, 73));
-        let lin = g.matmul_sharded(stepped, w1, bounds);
-        let biased = g.add_bias_sharded(lin, b1, bounds);
-        let act = g.selu_sharded(biased, bounds);
+        let lin = g.matmul_sharded(stepped, w1, bounds.map(Into::into));
+        let biased = g.add_bias_sharded(lin, b1, bounds.map(Into::into));
+        let act = g.selu_sharded(biased, bounds.map(Into::into));
         let w2 = g.param(det_matrix(5, 1, 74));
-        let out = g.matmul_sharded(act, w2, bounds);
+        let out = g.matmul_sharded(act, w2, bounds.map(Into::into));
         let sq = g.square(out);
         let loss = g.mean(sq);
         g.backward(loss);
@@ -3908,7 +4130,7 @@ mod tests {
             let vars = toy_gru(&mut g, 4, 3, 33);
             let h = g.param(det_matrix(7, 4, 80));
             let x = g.param(det_matrix(7, 3, 81));
-            let out = g.gru_step_dense_sharded(&vars, h, x, bounds);
+            let out = g.gru_step_dense_sharded(&vars, h, x, bounds.map(Into::into));
             let sq = g.square(out);
             let loss = g.mean(sq);
             g.backward(loss);
@@ -3973,5 +4195,66 @@ mod tests {
         let v = g.constant_with(2, 3, |m| m.set(1, 2, 5.0));
         assert_eq!(g.value(v).get(1, 2), 5.0);
         assert_eq!(g.value(v).get(0, 0), 0.0, "pooled constants start zeroed");
+    }
+
+    #[test]
+    fn index_copy_counter_tracks_copied_but_not_shared_inputs() {
+        use crate::index::SharedIndices;
+        use std::sync::Arc;
+        let ids = [2usize, 0, 1];
+        let shared: Arc<[usize]> = Arc::from(&ids[..]);
+        let run = |input_shared: bool| {
+            let mut g = Graph::new();
+            let x = g.param(det_matrix(3, 4, 77));
+            let y = if input_shared {
+                g.gather_rows_sharded(x, SharedIndices::full(shared.clone()).into(), None)
+            } else {
+                g.gather_rows(x, &ids)
+            };
+            let loss = g.mean(y);
+            g.backward(loss);
+            (
+                g.value(y).clone(),
+                g.grad(x).unwrap().clone(),
+                g.index_words_copied(),
+            )
+        };
+        let (y_copied, gx_copied, words_copied) = run(false);
+        let (y_shared, gx_shared, words_shared) = run(true);
+        assert_eq!(
+            words_copied,
+            ids.len() as u64,
+            "copied input must count each index word"
+        );
+        assert_eq!(
+            words_shared, 0,
+            "shared input is a refcount bump, not a copy"
+        );
+        assert!(
+            y_copied.approx_eq(&y_shared, 0.0),
+            "values must be bitwise equal"
+        );
+        assert!(
+            gx_copied.approx_eq(&gx_shared, 0.0),
+            "grads must be bitwise equal"
+        );
+    }
+
+    #[test]
+    fn index_copy_counter_is_cumulative_across_reset() {
+        let ids = [1usize, 0];
+        let mut g = Graph::new();
+        let x = g.param(det_matrix(2, 2, 5));
+        g.gather_rows(x, &ids);
+        let after_first = g.index_words_copied();
+        assert_eq!(after_first, ids.len() as u64);
+        g.reset();
+        let x = g.param(det_matrix(2, 2, 5));
+        g.gather_rows(x, &ids);
+        assert_eq!(
+            g.index_words_copied(),
+            2 * after_first,
+            "reset recycles buffers but never clears the traffic counter"
+        );
     }
 }

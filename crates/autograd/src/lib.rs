@@ -44,9 +44,11 @@
 pub mod activations;
 pub mod check;
 pub mod graph;
+pub mod index;
 pub mod pool;
 pub mod trace;
 
-pub use graph::{Graph, GruVars, ShardSplit, Var};
+pub use graph::{Graph, GruVars, ShardSplit, Var, ZERO_COPY_ENV};
+pub use index::{IndexInput, SharedIndices};
 pub use pool::TapePool;
 pub use rayon::WorkerPool;

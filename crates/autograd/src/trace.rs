@@ -28,7 +28,15 @@ use std::time::Instant;
 
 /// Coarse op families the backward walk attributes time to, in
 /// recording-index order (the order [`op_snapshot`] returns).
-pub const OP_KINDS: &[&str] = &["gather", "gru", "segment", "matmul", "elementwise", "other"];
+pub const OP_KINDS: &[&str] = &[
+    "gather",
+    "gru",
+    "segment",
+    "matmul",
+    "activation",
+    "elementwise",
+    "other",
+];
 
 /// Scatter/gather index traffic: `GatherRows`, `GatherMask`, `MaskRows`.
 pub const KIND_GATHER: usize = 0;
@@ -39,10 +47,13 @@ pub const KIND_GRU: usize = 1;
 pub const KIND_SEGMENT: usize = 2;
 /// Dense linear algebra: `MatMul`, `AddBias`, `Affine`.
 pub const KIND_MATMUL: usize = 3;
-/// Elementwise arithmetic, activations, reshapes and reductions.
-pub const KIND_ELEMENTWISE: usize = 4;
+/// Nonlinearity maps (the vectorized slice kernels): `Sigmoid`, `Tanh`,
+/// `Relu`, `Selu`, `Softplus`.
+pub const KIND_ACTIVATION: usize = 4;
+/// Elementwise arithmetic, reshapes and reductions.
+pub const KIND_ELEMENTWISE: usize = 5;
 /// Everything else (leaves).
-pub const KIND_OTHER: usize = 5;
+pub const KIND_OTHER: usize = 6;
 
 static RECORDER: OnceLock<rn_trace::StageRecorder> = OnceLock::new();
 
@@ -71,6 +82,9 @@ fn kind_of(op: &Op) -> usize {
         Op::GruStep { .. } | Op::GruStepRows { .. } => KIND_GRU,
         Op::SegmentSum { .. } | Op::SegmentAcc { .. } | Op::SegmentAccRows { .. } => KIND_SEGMENT,
         Op::MatMul { .. } | Op::AddBias { .. } | Op::Affine { .. } => KIND_MATMUL,
+        Op::Sigmoid(_) | Op::Tanh(_) | Op::Relu(_) | Op::Selu { .. } | Op::Softplus(_) => {
+            KIND_ACTIVATION
+        }
         Op::Leaf { .. } => KIND_OTHER,
         _ => KIND_ELEMENTWISE,
     }
@@ -124,8 +138,12 @@ mod tests {
         assert_eq!(snap.len(), OP_KINDS.len());
         assert!(snap[KIND_MATMUL].count >= 1, "matmul adjoint must be timed");
         assert!(
-            snap[KIND_ELEMENTWISE].count >= 2,
-            "tanh + mean adjoints are elementwise"
+            snap[KIND_ACTIVATION].count >= 1,
+            "tanh adjoint lands in the activation bin"
+        );
+        assert!(
+            snap[KIND_ELEMENTWISE].count >= 1,
+            "mean adjoint is elementwise"
         );
         // And with tracing off, nothing further accumulates.
         reset_op_trace();

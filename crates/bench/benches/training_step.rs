@@ -44,6 +44,21 @@
 //!   but honest ratio; `epoch2_structure_ns_eliminated_per_step` records
 //!   the absolute planning time the scheduler removes from every step).
 //!
+//! Two PR-9 families close the loop on the last per-step memory traffic:
+//!
+//! - `activation_map/{scalar,avx2}` — one bulk tanh map over a ~1M-element
+//!   buffer through the scalar reference loop vs the runtime-dispatched
+//!   slice kernel (AVX2 on hosts that have it, bitwise identical either
+//!   way). The derived `activation_speedup` is recorded only when the host
+//!   actually dispatches AVX2; otherwise an
+//!   `activation_speedup_suppressed_no_avx2` marker is written so "not
+//!   measured" cannot be misread as "no speedup".
+//! - `step_zero_copy/{on,off}` — the full precomposed megabatch step with
+//!   the tape's zero-copy index mode pinned on vs off (alternating order
+//!   per round, separate tapes). `zero_copy_step_ratio` = off/on; the mode
+//!   is bitwise-identical by construction, so this ratio is pure memory
+//!   traffic.
+//!
 //! The criterion stand-in writes `BENCH_training_step.json` with ns/op and
 //! throughput per variant plus derived speedups (including the per-shard
 //! backward scaling and the epoch≥2 step-time improvement), so ratios are
@@ -56,6 +71,7 @@ use rn_dataset::{generate_sample, Dataset, GeneratorConfig};
 use rn_netgraph::topologies;
 use rn_netsim::SimConfig;
 use rn_nn::Layer;
+use rn_tensor::simd::activations as vact;
 use routenet::compose::ComposedMegabatch;
 use routenet::entities::{build_megabatch, MegabatchPlan, SamplePlan};
 use routenet::model::PathPredictor;
@@ -245,6 +261,35 @@ fn bench_training_step(_c: &mut Criterion) {
     // round otherwise dominates a ≤5% criterion on a shared runner.
     let mut ov_unsharded_tape = Graph::new();
     let mut ov_dense_tape = Graph::new();
+    // The zero-copy pair: the same precomposed megabatch stepped on two
+    // tapes whose index mode is pinned on/off (alternating order per round
+    // so drift cancels out of the ratio; separate tapes so pooled buffers
+    // never mix).
+    let mut zc_on_tape = Graph::new();
+    zc_on_tape.set_zero_copy(true);
+    let mut zc_off_tape = Graph::new();
+    zc_off_tape.set_zero_copy(false);
+    let zc_step = |tape: &mut Graph| {
+        tape.reset();
+        let bound = model.bind(tape);
+        let pred = model.forward(tape, &bound, &mb.plan);
+        let reliable = if tape.zero_copy() {
+            tape.gather_rows_sharded(pred, mb.plan.reliable_idx_shared().into(), None)
+        } else {
+            tape.gather_rows(pred, &mb.plan.reliable_idx)
+        };
+        let target = tape.constant(mb.plan.reliable_targets_norm());
+        let loss = tape.mse(reliable, target);
+        tape.backward(loss);
+        std::hint::black_box(model.grads(tape, &bound).len());
+    };
+    // Bulk activation map input: ~1M elements (well past L2) spanning the
+    // interesting tanh range, so the row measures streaming kernel
+    // throughput, not cache residency.
+    let act_src: Vec<f32> = (0..1usize << 20)
+        .map(|i| ((i % 977) as f32) * 0.01 - 4.8)
+        .collect();
+    let mut act_dst = vec![0.0f32; act_src.len()];
 
     // Warmup: touch every path once (fills tape pools, faults in pages).
     std::hint::black_box(legacy_step(&model, &plans));
@@ -264,6 +309,11 @@ fn bench_training_step(_c: &mut Criterion) {
         &mut ov_unsharded_tape,
     ));
     std::hint::black_box(megabatch_step(&model, &mb, &mut ov_dense_tape));
+    zc_step(&mut zc_on_tape);
+    zc_step(&mut zc_off_tape);
+    vact::tanh_map(&act_src, &mut act_dst);
+    vact::tanh_map_scalar(&act_src, &mut act_dst);
+    std::hint::black_box(act_dst[0]);
 
     let mut t_legacy = Vec::with_capacity(ROUNDS);
     let mut t_fused = Vec::with_capacity(ROUNDS);
@@ -280,6 +330,10 @@ fn bench_training_step(_c: &mut Criterion) {
     let mut t_dense_seq_bwd: Vec<Vec<f64>> = shard_workers.iter().map(|_| Vec::new()).collect();
     let mut t_ov_unsharded = Vec::with_capacity(ROUNDS);
     let mut t_ov_dense = Vec::with_capacity(ROUNDS);
+    let mut t_zc_on = Vec::with_capacity(ROUNDS);
+    let mut t_zc_off = Vec::with_capacity(ROUNDS);
+    let mut t_act_scalar = Vec::with_capacity(ROUNDS);
+    let mut t_act_simd = Vec::with_capacity(ROUNDS);
     for round in 0..ROUNDS {
         let t = std::time::Instant::now();
         std::hint::black_box(legacy_step(&model, &plans));
@@ -359,6 +413,36 @@ fn bench_training_step(_c: &mut Criterion) {
             t_dense_seq_bwd[i].push(megabatch_step(&model, &mb_dense_seq, tape));
         }
 
+        // Zero-copy on/off pair, alternating order per round.
+        let time_zc = |tape: &mut Graph| {
+            let t = std::time::Instant::now();
+            zc_step(tape);
+            t.elapsed().as_nanos() as f64
+        };
+        if round % 2 == 0 {
+            t_zc_on.push(time_zc(&mut zc_on_tape));
+            t_zc_off.push(time_zc(&mut zc_off_tape));
+        } else {
+            t_zc_off.push(time_zc(&mut zc_off_tape));
+            t_zc_on.push(time_zc(&mut zc_on_tape));
+        }
+
+        // Bulk activation map: dispatched kernel vs scalar reference loop,
+        // alternating order per round.
+        let time_act = |kernel: fn(&[f32], &mut [f32]), dst: &mut Vec<f32>| {
+            let t = std::time::Instant::now();
+            kernel(&act_src, dst);
+            std::hint::black_box(dst[dst.len() / 2]);
+            t.elapsed().as_nanos() as f64
+        };
+        if round % 2 == 0 {
+            t_act_simd.push(time_act(vact::tanh_map, &mut act_dst));
+            t_act_scalar.push(time_act(vact::tanh_map_scalar, &mut act_dst));
+        } else {
+            t_act_scalar.push(time_act(vact::tanh_map_scalar, &mut act_dst));
+            t_act_simd.push(time_act(vact::tanh_map, &mut act_dst));
+        }
+
         // The adjacent overhead pair (see the tape definitions above).
         if round % 2 == 0 {
             t_ov_unsharded.push(megabatch_step(
@@ -410,6 +494,10 @@ fn bench_training_step(_c: &mut Criterion) {
     let shard_step: Vec<f64> = t_shard_step.into_iter().map(median).collect();
     let shard_bwd: Vec<f64> = t_shard_bwd.into_iter().map(median).collect();
     let dense_seq_bwd: Vec<f64> = t_dense_seq_bwd.into_iter().map(median).collect();
+    let zc_on = median(t_zc_on);
+    let zc_off = median(t_zc_off);
+    let act_scalar = median(t_act_scalar);
+    let act_simd = median(t_act_simd);
 
     let mut rows: Vec<(String, f64)> = vec![
         ("before/legacy_per_sample".into(), legacy),
@@ -426,6 +514,13 @@ fn bench_training_step(_c: &mut Criterion) {
         ("small/megabatch_fresh_compose".into(), small_fresh),
         ("small/megabatch_precomposed".into(), small_pre),
         ("after/megabatch".into(), shard_step[0]),
+        // PR-9: the zero-copy index mode pair and the bulk activation map
+        // pair (the latter's "avx2" row falls back to the scalar kernel on
+        // hosts without AVX2 — the derived key below flags that).
+        ("step_zero_copy/on".into(), zc_on),
+        ("step_zero_copy/off".into(), zc_off),
+        ("activation_map/scalar".into(), act_scalar),
+        ("activation_map/avx2".into(), act_simd),
     ];
     for (i, &w) in shard_workers.iter().enumerate() {
         rows.push((format!("parallel_backward/shards_{w}"), shard_step[i]));
@@ -560,8 +655,20 @@ fn bench_training_step(_c: &mut Criterion) {
         ("epoch2_structure_ns_eliminated_per_step", compose_fresh),
         ("compose_fresh_pct_of_step", compose_pct_of_step),
         ("compose_fresh_pct_of_small_step", compose_pct_of_small_step),
+        // Zero-copy step ratio (off/on, > 1 = zero-copy faster): both sides
+        // run on one thread, so a 1-core host measures it fine. Bitwise
+        // identity between the modes is pinned by the test suite, so this
+        // ratio is pure index-traffic cost.
+        ("zero_copy_step_ratio", zc_off / zc_on),
         ("bench_host_cores", bench_host_cores as f64),
     ]);
+    if rn_tensor::simd::have_avx2() {
+        derived.push(("activation_speedup", act_scalar / act_simd));
+    } else {
+        // Without AVX2 the dispatched kernel IS the scalar loop; a ~1.0x
+        // "speedup" there would be noise masquerading as a regression.
+        derived.push(("activation_speedup_suppressed_no_avx2", 1.0));
+    }
     criterion::write_report_with_derived("training_step", &results, &derived);
 }
 

@@ -280,6 +280,7 @@ impl MegabatchStructure {
                 dense_path_bounds: balanced_row_bounds(n_paths, parts.len()),
                 dense_link_bounds: balanced_row_bounds(num_links, parts.len()),
                 dense_node_bounds: balanced_row_bounds(num_nodes, parts.len()),
+                shared: OnceLock::new(),
             })
         } else if intra_shards > 1 {
             // Intra-sample sharding for giant single-sample plans: the
@@ -293,6 +294,7 @@ impl MegabatchStructure {
                 dense_path_bounds: balanced_row_bounds(n_paths, intra_shards),
                 dense_link_bounds: balanced_row_bounds(num_links, intra_shards),
                 dense_node_bounds: balanced_row_bounds(num_nodes, intra_shards),
+                shared: OnceLock::new(),
             })
         } else {
             None
@@ -522,6 +524,7 @@ impl ComposedMegabatch {
                     reliable_idx: features.reliable_idx,
                     shards: structure.shards,
                     structure_fp: OnceLock::new(),
+                    reliable_shared: OnceLock::new(),
                 },
                 path_ranges: structure.path_ranges,
                 sample_mean_weights: features.sample_mean_weights,
@@ -611,6 +614,9 @@ impl ComposedMegabatch {
             );
         }
         let mb = &mut self.mb;
+        // `reliable_idx` is about to be rewritten in place under any
+        // previously built zero-copy mirror; drop the stale cell.
+        mb.plan.reliable_shared = OnceLock::new();
         mb.reliable_samples = write_features(
             parts,
             &self.path_off,

@@ -24,10 +24,11 @@
 
 use crate::config::ModelConfig;
 use crate::features::FeatureScales;
+use rn_autograd::SharedIndices;
 use rn_dataset::{Normalizer, Sample};
 use rn_tensor::Matrix;
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Which entity type a sequence position refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,6 +97,21 @@ pub struct CompiledSteps {
     pub shard_bounds: Vec<usize>,
     /// Number of shards (samples) the plan was packed from; 0 = unsharded.
     pub num_shards: usize,
+    /// Lazily built `Arc<[usize]>` mirrors of the index buffers for the
+    /// tape's zero-copy mode — steps then bind refcounted views instead of
+    /// pooled copies. Built on first use, invalidated by
+    /// [`CompiledSteps::compute_shard_bounds`].
+    shared: OnceLock<SharedCsr>,
+}
+
+/// Zero-copy mirror of the [`CompiledSteps`] flat index buffers: the same
+/// words, re-homed once into `Arc<[usize]>` allocations so per-step windows
+/// ([`rn_autograd::SharedIndices`]) are refcount bumps rather than copies.
+#[derive(Debug, Clone)]
+struct SharedCsr {
+    active_rows: Arc<[usize]>,
+    active_ids: Arc<[usize]>,
+    shard_bounds: Arc<[usize]>,
 }
 
 impl CompiledSteps {
@@ -112,6 +128,7 @@ impl CompiledSteps {
             active_ids_flat: Vec::new(),
             shard_bounds: Vec::new(),
             num_shards: 0,
+            shared: OnceLock::new(),
         };
         out.offsets.push(0);
         out.active_offsets.push(0);
@@ -164,6 +181,9 @@ impl CompiledSteps {
     /// bounds are relative to the step's active slice and feed straight into
     /// the sharded tape ops.
     pub fn compute_shard_bounds(&mut self, path_bounds: &[usize]) {
+        // The shard-bound buffer is about to change under any previously
+        // built zero-copy mirror; drop it so the next view rebuilds.
+        self.shared = OnceLock::new();
         let shards = path_bounds.len().saturating_sub(1);
         self.num_shards = shards;
         self.shard_bounds.clear();
@@ -185,6 +205,44 @@ impl CompiledSteps {
         let stride = self.num_shards + 1;
         &self.shard_bounds[s * stride..(s + 1) * stride]
     }
+
+    fn shared(&self) -> &SharedCsr {
+        self.shared.get_or_init(|| SharedCsr {
+            active_rows: self.active_rows_flat.as_slice().into(),
+            active_ids: self.active_ids_flat.as_slice().into(),
+            shard_bounds: self.shard_bounds.as_slice().into(),
+        })
+    }
+
+    /// Zero-copy view of [`CompiledSteps::active_rows`]: an `Arc`-backed
+    /// window the tape stores without copying the indices.
+    pub fn shared_active_rows(&self, s: usize) -> SharedIndices {
+        SharedIndices::new(
+            self.shared().active_rows.clone(),
+            self.active_offsets[s],
+            self.active_offsets[s + 1],
+        )
+    }
+
+    /// Zero-copy view of [`CompiledSteps::active_ids`].
+    pub fn shared_active_ids(&self, s: usize) -> SharedIndices {
+        SharedIndices::new(
+            self.shared().active_ids.clone(),
+            self.active_offsets[s],
+            self.active_offsets[s + 1],
+        )
+    }
+
+    /// Zero-copy view of [`CompiledSteps::step_shard_bounds`]. Panics when
+    /// the plan is unsharded, like its borrowing counterpart.
+    pub fn shared_step_shard_bounds(&self, s: usize) -> SharedIndices {
+        let stride = self.num_shards + 1;
+        SharedIndices::new(
+            self.shared().shard_bounds.clone(),
+            s * stride,
+            (s + 1) * stride,
+        )
+    }
 }
 
 /// Per-sample row bounds of a block-diagonal megabatch plan — the shard
@@ -197,7 +255,7 @@ impl CompiledSteps {
 /// block-diagonal, a shard's gathers and scatters never leave its own
 /// ranges, which is what lets shards run on separate threads with **bitwise
 /// identical** results.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PlanShards {
     /// Per-sample path row bounds (len `B + 1`).
     pub path_bounds: Vec<usize>,
@@ -218,7 +276,36 @@ pub struct PlanShards {
     /// Balanced row-block bounds over the node rows for the dense node-GRU
     /// entity update (len `B + 1`, empty = dense sharding disabled).
     pub dense_node_bounds: Vec<usize>,
+    /// Lazily built `Arc<[usize]>` mirrors of the six bound vectors for the
+    /// tape's zero-copy mode (see [`CompiledSteps`]'s mirror).
+    pub(crate) shared: OnceLock<SharedShardBounds>,
 }
+
+/// Zero-copy mirror of the [`PlanShards`] bound vectors.
+#[derive(Debug, Clone)]
+pub(crate) struct SharedShardBounds {
+    path: Arc<[usize]>,
+    link: Arc<[usize]>,
+    node: Arc<[usize]>,
+    dense_path: Arc<[usize]>,
+    dense_link: Arc<[usize]>,
+    dense_node: Arc<[usize]>,
+}
+
+// Manual equality: the lazy mirror is a cache of the six vectors, so it is
+// (and must stay) excluded from comparisons.
+impl PartialEq for PlanShards {
+    fn eq(&self, other: &Self) -> bool {
+        self.path_bounds == other.path_bounds
+            && self.link_bounds == other.link_bounds
+            && self.node_bounds == other.node_bounds
+            && self.dense_path_bounds == other.dense_path_bounds
+            && self.dense_link_bounds == other.dense_link_bounds
+            && self.dense_node_bounds == other.dense_node_bounds
+    }
+}
+
+impl Eq for PlanShards {}
 
 /// Evenly balanced row-block bounds: `shards` contiguous blocks covering
 /// `0..total` whose sizes differ by at most one row (`bounds[s] = s * total
@@ -264,6 +351,48 @@ impl PlanShards {
     /// The dense row partition for the node-GRU entity update, if enabled.
     pub fn dense_node(&self) -> Option<&[usize]> {
         (self.dense_node_bounds.len() > 2).then_some(self.dense_node_bounds.as_slice())
+    }
+
+    fn shared(&self) -> &SharedShardBounds {
+        self.shared.get_or_init(|| SharedShardBounds {
+            path: self.path_bounds.as_slice().into(),
+            link: self.link_bounds.as_slice().into(),
+            node: self.node_bounds.as_slice().into(),
+            dense_path: self.dense_path_bounds.as_slice().into(),
+            dense_link: self.dense_link_bounds.as_slice().into(),
+            dense_node: self.dense_node_bounds.as_slice().into(),
+        })
+    }
+
+    /// Zero-copy view of the per-sample path bounds.
+    pub fn shared_path_bounds(&self) -> SharedIndices {
+        SharedIndices::full(self.shared().path.clone())
+    }
+
+    /// Zero-copy view of [`PlanShards::entity_bounds`].
+    pub fn shared_entity_bounds(&self, kind: EntityKind) -> SharedIndices {
+        SharedIndices::full(match kind {
+            EntityKind::Link => self.shared().link.clone(),
+            EntityKind::Node => self.shared().node.clone(),
+        })
+    }
+
+    /// Zero-copy counterpart of [`PlanShards::dense_path`].
+    pub fn shared_dense_path(&self) -> Option<SharedIndices> {
+        (self.dense_path_bounds.len() > 2)
+            .then(|| SharedIndices::full(self.shared().dense_path.clone()))
+    }
+
+    /// Zero-copy counterpart of [`PlanShards::dense_link`].
+    pub fn shared_dense_link(&self) -> Option<SharedIndices> {
+        (self.dense_link_bounds.len() > 2)
+            .then(|| SharedIndices::full(self.shared().dense_link.clone()))
+    }
+
+    /// Zero-copy counterpart of [`PlanShards::dense_node`].
+    pub fn shared_dense_node(&self) -> Option<SharedIndices> {
+        (self.dense_node_bounds.len() > 2)
+            .then(|| SharedIndices::full(self.shared().dense_node.clone()))
     }
 }
 
@@ -314,6 +443,11 @@ pub struct SamplePlan {
     /// by clones. Covers only the shape-dependent parts of the plan, so it
     /// stays valid when features (targets, reliability) are edited in place.
     pub(crate) structure_fp: OnceLock<u64>,
+    /// Lazily built `Arc` mirror of `reliable_idx` for the tape's zero-copy
+    /// loss gather. Must be invalidated (reset to an empty cell) wherever
+    /// `reliable_idx` is rewritten in place — feature refill, eval
+    /// re-thresholding.
+    pub(crate) reliable_shared: OnceLock<Arc<[usize]>>,
 }
 
 /// Options controlling plan construction.
@@ -492,6 +626,7 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
         reliable_idx,
         shards: None,
         structure_fp: OnceLock::new(),
+        reliable_shared: OnceLock::new(),
     }
 }
 
@@ -618,6 +753,16 @@ pub(crate) fn copy_rows(dst: &mut Matrix, at: usize, src: &Matrix) {
 }
 
 impl SamplePlan {
+    /// Zero-copy view of [`SamplePlan::reliable_idx`] — what the loss
+    /// gather binds in the tape's zero-copy mode instead of a pooled copy.
+    pub fn reliable_idx_shared(&self) -> SharedIndices {
+        SharedIndices::full(
+            self.reliable_shared
+                .get_or_init(|| self.reliable_idx.as_slice().into())
+                .clone(),
+        )
+    }
+
     /// Raw targets restricted to reliable rows.
     pub fn reliable_targets_raw(&self) -> Vec<f64> {
         self.reliable_idx
@@ -1047,6 +1192,7 @@ mod tests {
             dense_path_bounds: Vec::new(),
             dense_link_bounds: balanced_row_bounds(4, 1),
             dense_node_bounds: balanced_row_bounds(0, 4),
+            shared: OnceLock::new(),
         };
         assert_eq!(shards.len(), 1);
         assert!(!shards.is_empty());
@@ -1066,6 +1212,7 @@ mod tests {
             dense_path_bounds: Vec::new(),
             dense_link_bounds: Vec::new(),
             dense_node_bounds: Vec::new(),
+            shared: OnceLock::new(),
         };
         assert_eq!(empty.len(), 0);
         assert!(empty.is_empty());

@@ -161,6 +161,7 @@ pub fn evaluate<M: PathPredictor>(
                 .filter(|(_, t)| t.is_reliable(min_packets) && t.mean_delay_s > 0.0)
                 .map(|(i, _)| i)
                 .collect();
+            plan.reliable_shared = std::sync::OnceLock::new();
             plan
         })
         .collect();

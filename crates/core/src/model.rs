@@ -6,7 +6,7 @@ use crate::entities::{
     SamplePlan, StepPlan, TargetKind,
 };
 use crate::features::FeatureScales;
-use rn_autograd::{Graph, ShardSplit, Var};
+use rn_autograd::{Graph, IndexInput, ShardSplit, Var};
 use rn_dataset::{Dataset, Normalizer, Sample};
 use rn_nn::{Activation, BoundGruCell, BoundMlp, GruCell, Layer, Mlp};
 use rn_tensor::{Matrix, Prng};
@@ -190,6 +190,10 @@ fn path_sweep(
         None
     };
     let gru_vars = gru_path.vars();
+    // Zero-copy mode: every step binds Arc-backed views of the compiled CSR
+    // buffers instead of pooled copies, so per-step index traffic collapses
+    // to refcount bumps. The copying branch is the legacy bitwise path.
+    let zero_copy = g.zero_copy();
     for s in 0..csr.len() {
         if csr.active[s] == 0 {
             continue;
@@ -197,8 +201,14 @@ fn path_sweep(
         // Row compaction: gather states for the *active* rows only, advance
         // only those rows through the GRU, and scatter only their messages.
         // Padded rows never touch a kernel.
-        let rows = csr.active_rows(s);
-        let ids = csr.active_ids(s);
+        let (rows, ids): (IndexInput<'_>, IndexInput<'_>) = if zero_copy {
+            (
+                csr.shared_active_rows(s).into(),
+                csr.shared_active_ids(s).into(),
+            )
+        } else {
+            (csr.active_rows(s).into(), csr.active_ids(s).into())
+        };
         let states = match csr.kinds[s] {
             EntityKind::Link => link_state,
             EntityKind::Node => node_state.expect("node step requires node states"),
@@ -208,13 +218,23 @@ fn path_sweep(
         // a worker pool (forward and backward) with bitwise-identical
         // results, and the backward reduces parameter gradients in the
         // canonical per-shard order.
-        let split = shards.map(|sh| ShardSplit {
-            active: csr.step_shard_bounds(s),
-            dense: &sh.path_bounds,
-            entity: sh.entity_bounds(csr.kinds[s]),
+        let split = shards.map(|sh| {
+            if zero_copy {
+                ShardSplit {
+                    active: csr.shared_step_shard_bounds(s).into(),
+                    dense: sh.shared_path_bounds().into(),
+                    entity: sh.shared_entity_bounds(csr.kinds[s]).into(),
+                }
+            } else {
+                ShardSplit::borrowed(
+                    csr.step_shard_bounds(s),
+                    &sh.path_bounds,
+                    sh.entity_bounds(csr.kinds[s]),
+                )
+            }
         });
-        let x = g.gather_rows_sharded(states, ids, split);
-        path_state = g.gru_step_rows_sharded(&gru_vars, path_state, x, rows, split);
+        let x = g.gather_rows_sharded(states, ids.clone(), split.clone());
+        path_state = g.gru_step_rows_sharded(&gru_vars, path_state, x, rows.clone(), split.clone());
         // The post-step hidden state is the message to this position's entity.
         match csr.kinds[s] {
             EntityKind::Link => {
@@ -398,8 +418,21 @@ impl PathPredictor for OriginalRouteNet {
         // readout: the work the per-sample shards leave sequential fans
         // across the same worker gang (None on single-sample plans, which
         // stay on the legacy bitwise path).
-        let dense_link = plan.shards.as_ref().and_then(|s| s.dense_link());
-        let dense_path = plan.shards.as_ref().and_then(|s| s.dense_path());
+        let zero_copy = g.zero_copy();
+        let dense_link: Option<IndexInput<'_>> = plan.shards.as_ref().and_then(|s| {
+            if zero_copy {
+                s.shared_dense_link().map(IndexInput::from)
+            } else {
+                s.dense_link().map(IndexInput::from)
+            }
+        });
+        let dense_path: Option<IndexInput<'_>> = plan.shards.as_ref().and_then(|s| {
+            if zero_copy {
+                s.shared_dense_path().map(IndexInput::from)
+            } else {
+                s.dense_path().map(IndexInput::from)
+            }
+        });
         for _ in 0..self.config.mp_iterations {
             let (new_path, link_acc, _) = path_sweep(
                 g,
@@ -414,9 +447,10 @@ impl PathPredictor for OriginalRouteNet {
                 plan.shards.as_ref(),
             );
             path_state = new_path;
-            link_state = bound
-                .gru_link
-                .step_fused_sharded(g, link_state, link_acc, dense_link);
+            link_state =
+                bound
+                    .gru_link
+                    .step_fused_sharded(g, link_state, link_acc, dense_link.clone());
         }
         bound.readout.forward_sharded(g, path_state, dense_path)
     }
@@ -565,9 +599,28 @@ impl PathPredictor for ExtendedRouteNet {
         let mut node_state = g.constant_copy(&plan.node_init);
         let positional = self.config.node_update == NodeUpdate::PositionalMessages;
         // Dense row partitions — see `OriginalRouteNet::forward`.
-        let dense_link = plan.shards.as_ref().and_then(|s| s.dense_link());
-        let dense_node = plan.shards.as_ref().and_then(|s| s.dense_node());
-        let dense_path = plan.shards.as_ref().and_then(|s| s.dense_path());
+        let zero_copy = g.zero_copy();
+        let dense_link: Option<IndexInput<'_>> = plan.shards.as_ref().and_then(|s| {
+            if zero_copy {
+                s.shared_dense_link().map(IndexInput::from)
+            } else {
+                s.dense_link().map(IndexInput::from)
+            }
+        });
+        let dense_node: Option<IndexInput<'_>> = plan.shards.as_ref().and_then(|s| {
+            if zero_copy {
+                s.shared_dense_node().map(IndexInput::from)
+            } else {
+                s.dense_node().map(IndexInput::from)
+            }
+        });
+        let dense_path: Option<IndexInput<'_>> = plan.shards.as_ref().and_then(|s| {
+            if zero_copy {
+                s.shared_dense_path().map(IndexInput::from)
+            } else {
+                s.dense_path().map(IndexInput::from)
+            }
+        });
         for _ in 0..self.config.mp_iterations {
             let (new_path, link_acc, node_acc) = path_sweep(
                 g,
@@ -590,12 +643,14 @@ impl PathPredictor for ExtendedRouteNet {
                 let gathered = g.gather_rows(path_state, &plan.node_incidence_paths);
                 g.segment_sum(gathered, &plan.node_incidence_nodes, plan.num_nodes)
             };
-            link_state = bound
-                .gru_link
-                .step_fused_sharded(g, link_state, link_acc, dense_link);
-            node_state = bound
-                .gru_node
-                .step_fused_sharded(g, node_state, node_input, dense_node);
+            link_state =
+                bound
+                    .gru_link
+                    .step_fused_sharded(g, link_state, link_acc, dense_link.clone());
+            node_state =
+                bound
+                    .gru_node
+                    .step_fused_sharded(g, node_state, node_input, dense_node.clone());
         }
         bound.readout.forward_sharded(g, path_state, dense_path)
     }

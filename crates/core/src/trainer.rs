@@ -165,6 +165,14 @@ impl TrainConfig {
              identical at any value, disabled when unset",
         ),
         (
+            rn_autograd::ZERO_COPY_ENV,
+            "tape index mode, on by default: steps against a cached composition record \
+             Arc-backed views of the composition's index buffers instead of copying every \
+             row/segment list into the tape pool (0/false/off restores the copying mode). \
+             Gradients and trained models are bitwise identical either way; \
+             Graph::index_words_copied counts what each mode actually copies",
+        ),
+        (
             "RN_TRACE",
             "master observability switch (read by rn_trace, honored workspace-wide): 1/true/on \
              records stage-level span timing in the trainer, the serve request lifecycle and \
@@ -272,6 +280,17 @@ impl TrainingHistory {
     }
 }
 
+/// Gather the reliable prediction rows for the loss, honoring the tape's
+/// zero-copy mode: an `Arc`-backed view of `reliable_idx` when on, the
+/// legacy pooled copy when off (bitwise-identical either way).
+fn gather_reliable(g: &mut Graph, pred: rn_autograd::Var, plan: &SamplePlan) -> rn_autograd::Var {
+    if g.zero_copy() {
+        g.gather_rows_sharded(pred, plan.reliable_idx_shared().into(), None)
+    } else {
+        g.gather_rows(pred, &plan.reliable_idx)
+    }
+}
+
 /// Forward + loss on one plan; returns `(loss, grads)` or `None` when the
 /// plan has no reliable labels. The legacy per-sample gradient path.
 fn sample_gradients<M: PathPredictor>(
@@ -287,7 +306,7 @@ fn sample_gradients<M: PathPredictor>(
     let fwd = stages.span(train_trace::FORWARD);
     let bound = model.bind(&mut g);
     let pred = model.forward(&mut g, &bound, plan);
-    let reliable = g.gather_rows(pred, &plan.reliable_idx);
+    let reliable = gather_reliable(&mut g, pred, plan);
     let target = g.constant(plan.reliable_targets_norm());
     let loss_node = loss.apply(&mut g, reliable, target);
     let loss_value = g.value(loss_node).get(0, 0) as f64;
@@ -306,7 +325,7 @@ fn sample_loss<M: PathPredictor>(model: &M, plan: &SamplePlan, loss: Loss) -> Op
     let mut g = Graph::new();
     let bound = model.bind(&mut g);
     let pred = model.forward(&mut g, &bound, plan);
-    let reliable = g.gather_rows(pred, &plan.reliable_idx);
+    let reliable = gather_reliable(&mut g, pred, plan);
     let target = g.constant(plan.reliable_targets_norm());
     let loss_node = loss.apply(&mut g, reliable, target);
     Some(g.value(loss_node).get(0, 0) as f64)
@@ -334,7 +353,7 @@ fn megabatch_gradients<M: PathPredictor>(
     let fwd = stages.span(train_trace::FORWARD);
     let bound = model.bind(g);
     let pred = model.forward(g, &bound, &mb.plan);
-    let reliable = g.gather_rows(pred, &mb.plan.reliable_idx);
+    let reliable = gather_reliable(g, pred, &mb.plan);
     let target = g.constant(mb.plan.reliable_targets_norm());
     let weights = Matrix::column_vector(
         &mb.sample_mean_weights
@@ -366,7 +385,7 @@ fn megabatch_loss<M: PathPredictor>(
     g.reset();
     let bound = model.bind(g);
     let pred = model.forward(g, &bound, &mb.plan);
-    let reliable = g.gather_rows(pred, &mb.plan.reliable_idx);
+    let reliable = gather_reliable(g, pred, &mb.plan);
     let target = g.constant(mb.plan.reliable_targets_norm());
     let weights = Matrix::column_vector(&mb.sample_mean_weights);
     let loss_node = loss.apply_weighted(g, reliable, target, &weights);

@@ -1,6 +1,6 @@
 //! Activation selector applied through the autograd tape.
 
-use rn_autograd::{Graph, Var};
+use rn_autograd::{Graph, IndexInput, Var};
 use serde::{Deserialize, Serialize};
 
 /// Which nonlinearity a layer applies.
@@ -39,7 +39,7 @@ impl Activation {
     /// rides the sharded op so its forward/adjoint traffic fans across the
     /// worker gang; every other variant falls back to the unsharded op
     /// (element-wise results are identical either way).
-    pub fn apply_sharded(self, g: &mut Graph, x: Var, bounds: Option<&[usize]>) -> Var {
+    pub fn apply_sharded(self, g: &mut Graph, x: Var, bounds: Option<IndexInput<'_>>) -> Var {
         match self {
             Activation::Selu => g.selu_sharded(x, bounds),
             other => other.apply(g, x),
@@ -47,15 +47,22 @@ impl Activation {
     }
 
     /// Apply the activation directly to a matrix (no tape), for inference-only
-    /// code paths.
+    /// code paths. Sigmoid/tanh/SELU run the vectorized slice kernels
+    /// (bitwise identical to the scalar maps).
     pub fn apply_matrix(self, x: &rn_tensor::Matrix) -> rn_tensor::Matrix {
         use rn_autograd::activations as a;
+        use rn_tensor::simd::activations as vact;
+        let mapped = |kernel: fn(&[f32], &mut [f32])| {
+            let mut out = rn_tensor::Matrix::zeros(x.rows(), x.cols());
+            kernel(x.as_slice(), out.as_mut_slice());
+            out
+        };
         match self {
             Activation::Identity => x.clone(),
             Activation::Relu => x.map(a::relu),
-            Activation::Sigmoid => x.map(a::sigmoid),
-            Activation::Tanh => x.map(a::tanh),
-            Activation::Selu => x.map(a::selu),
+            Activation::Sigmoid => mapped(vact::sigmoid_map),
+            Activation::Tanh => mapped(vact::tanh_map),
+            Activation::Selu => mapped(vact::selu_map),
             Activation::Softplus => x.map(a::softplus),
         }
     }

@@ -18,7 +18,7 @@
 //! per call.
 
 use crate::{init, Layer};
-use rn_autograd::{Graph, GruVars, Var};
+use rn_autograd::{Graph, GruVars, IndexInput, Var};
 use rn_tensor::{Matrix, Prng};
 use serde::{Deserialize, Serialize};
 
@@ -131,7 +131,7 @@ impl BoundGruCell {
         g: &mut Graph,
         h: Var,
         x: Var,
-        bounds: Option<&[usize]>,
+        bounds: Option<IndexInput<'_>>,
     ) -> Var {
         g.gru_step_dense_sharded(&self.vars(), h, x, bounds)
     }

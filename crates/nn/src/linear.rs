@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use crate::{init, Activation, Layer};
-use rn_autograd::{Graph, Var};
+use rn_autograd::{Graph, IndexInput, Var};
 use rn_tensor::{Matrix, Prng};
 use serde::{Deserialize, Serialize};
 
@@ -80,9 +80,9 @@ impl BoundLinear {
     /// and activation all record it, so forward *and* backward fan across
     /// the tape's worker pool. `None` (or a single block) is exactly the
     /// legacy unsharded layer.
-    pub fn forward_sharded(&self, g: &mut Graph, x: Var, bounds: Option<&[usize]>) -> Var {
-        let h = g.matmul_sharded(x, self.weight, bounds);
-        let hb = g.add_bias_sharded(h, self.bias, bounds);
+    pub fn forward_sharded(&self, g: &mut Graph, x: Var, bounds: Option<IndexInput<'_>>) -> Var {
+        let h = g.matmul_sharded(x, self.weight, bounds.clone());
+        let hb = g.add_bias_sharded(h, self.bias, bounds.clone());
         self.activation.apply_sharded(g, hb, bounds)
     }
 }

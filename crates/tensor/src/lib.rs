@@ -13,15 +13,24 @@
 //!   exponential, Poisson-process inter-arrivals).
 //! - [`stats`]: descriptive statistics (mean/variance/percentiles), empirical
 //!   CDFs (the output format of the paper's Figure 2) and histograms.
+//! - [`activations`]: the scalar activation functions (fast Cody–Waite
+//!   transcendentals plus libm-backed `*_precise` references) shared by the
+//!   autograd tape and the layer stack.
+//! - [`simd`]: runtime-dispatched AVX2 kernels — the matmul bodies in
+//!   [`matrix`] and the slice-level activation maps — each bitwise identical
+//!   to its scalar form for finite inputs.
 //!
-//! Design notes: following the smoltcp ethos, this crate favours simplicity and
-//! robustness over cleverness — there is no SIMD, no generic scalar type, no
-//! lifetime tricks; every operation validates shapes and panics with a precise
-//! message on misuse (shape errors are programming errors, not runtime
-//! conditions).
+//! Design notes: following the smoltcp ethos, this crate favours simplicity
+//! and robustness over cleverness — no generic scalar type, no lifetime
+//! tricks; every operation validates shapes and panics with a precise message
+//! on misuse (shape errors are programming errors, not runtime conditions).
+//! The one concession to speed is [`simd`], and it buys none of it with
+//! result drift: every vector kernel is pinned bitwise to its scalar loop.
 
+pub mod activations;
 pub mod matrix;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use matrix::{kernels, Matrix};

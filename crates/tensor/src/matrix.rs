@@ -1105,13 +1105,9 @@ fn matmul_tn_acc_body(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &
 /// identical across machines.
 #[cfg(target_arch = "x86_64")]
 mod simd {
-    use std::sync::OnceLock;
-
-    /// Cached runtime AVX2 detection.
-    pub fn have_avx2() -> bool {
-        static AVX2: OnceLock<bool> = OnceLock::new();
-        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
-    }
+    /// Cached runtime AVX2 detection — the crate-wide gate in
+    /// [`crate::simd`], shared with the activation kernels.
+    pub use crate::simd::have_avx2;
 
     /// # Safety
     /// Caller must ensure the CPU supports AVX2 (see [`have_avx2`]).

@@ -1,0 +1,667 @@
+//! Runtime-dispatched SIMD kernels for the bulk activation maps.
+//!
+//! The matmul kernels in [`crate::matrix`] already recompile their bodies
+//! with AVX2; this module extends the same treatment to the transcendental
+//! activation maps that bound the fused GRU sweep once matmuls are fast:
+//! 8-lane `_mm256` versions of the branch-free Cody–Waite
+//! [`fast_exp`](crate::activations::fast_exp) construction plus the
+//! sigmoid/tanh/SELU forms and their derivative-times-adjoint fusions, with
+//! a scalar tail per row/slice.
+//!
+//! ## Bitwise contract
+//!
+//! Every AVX2 body performs, per element, *exactly* the operations of the
+//! matching `*_scalar` form in the same order: the clamp is `max(min(x, hi),
+//! lo)`, the polynomial is the same nested chain, negation is a sign-bit
+//! XOR, and `2^n` is built from `_mm256_cvttps_epi32` (exact — `n` is
+//! integral by construction) and exponent-bit arithmetic. No FMA is used
+//! anywhere (rustc never contracts on its own, and the explicit bodies
+//! follow suit), so for **finite inputs** the vector and scalar paths are
+//! bitwise identical on every machine — the property the kernel-vs-scalar
+//! proptests pin. NaN inputs are the one divergence (`f32::clamp` propagates
+//! NaN, `_mm256_min_ps`/`max_ps` select the second operand); the tape never
+//! feeds NaN through a working model, and a NaN activation means training
+//! already diverged.
+//!
+//! Dispatch is per call through [`have_avx2`], the same cached runtime gate
+//! the matmul kernels use; non-x86-64 targets compile the scalar forms only.
+
+use crate::activations as act;
+
+/// Cached runtime AVX2 detection.
+#[cfg(target_arch = "x86_64")]
+pub fn have_avx2() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// Cached runtime AVX2 detection (always `false` off x86-64).
+#[cfg(not(target_arch = "x86_64"))]
+pub fn have_avx2() -> bool {
+    false
+}
+
+/// Slice-level activation maps with runtime AVX2 dispatch.
+///
+/// Each kernel has three forms: the dispatching entry point (what the tape
+/// ops call), a `*_scalar` reference loop (the bitwise ground truth, also
+/// the non-AVX2 fallback), and — on x86-64 — an `avx2::*` build. The
+/// dispatchers assert shape compatibility; the bodies assume it.
+pub mod activations {
+    use super::act;
+
+    // ---------------------------------------------------------------
+    // Dispatching entry points
+    // ---------------------------------------------------------------
+
+    macro_rules! dispatch_map {
+        ($src:expr, $dst:expr, $avx2:ident, $scalar:ident) => {{
+            assert_eq!($src.len(), $dst.len(), "activation map length mismatch");
+            #[cfg(target_arch = "x86_64")]
+            if super::have_avx2() {
+                // SAFETY: the AVX2 requirement was just checked at runtime.
+                unsafe { avx2::$avx2($src, $dst) };
+                return;
+            }
+            $scalar($src, $dst);
+        }};
+    }
+
+    /// `dst[i] = fast_exp(src[i])`.
+    pub fn exp_map(src: &[f32], dst: &mut [f32]) {
+        dispatch_map!(src, dst, exp_map_avx2, exp_map_scalar);
+    }
+
+    /// `dst[i] = sigmoid(src[i])` (fast-exp form).
+    pub fn sigmoid_map(src: &[f32], dst: &mut [f32]) {
+        dispatch_map!(src, dst, sigmoid_map_avx2, sigmoid_map_scalar);
+    }
+
+    /// `dst[i] = tanh(src[i])` (fast-exp form).
+    pub fn tanh_map(src: &[f32], dst: &mut [f32]) {
+        dispatch_map!(src, dst, tanh_map_avx2, tanh_map_scalar);
+    }
+
+    /// `dst[i] = selu(src[i])` (fast-exp form).
+    pub fn selu_map(src: &[f32], dst: &mut [f32]) {
+        dispatch_map!(src, dst, selu_map_avx2, selu_map_scalar);
+    }
+
+    /// Fused bias-add + sigmoid over a row-major block: for every row of
+    /// width `bias.len()`, `v = sigmoid(v + b)`. Bitwise identical to a
+    /// broadcast add followed by a sigmoid map (same per-element chain).
+    /// The three fused GRU gate activations run through this.
+    pub fn sigmoid_bias_map_inplace(block: &mut [f32], bias: &[f32]) {
+        assert!(!bias.is_empty(), "bias must be non-empty");
+        assert_eq!(block.len() % bias.len(), 0, "block width mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if super::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { avx2::sigmoid_bias_map_inplace_avx2(block, bias) };
+            return;
+        }
+        sigmoid_bias_map_inplace_scalar(block, bias);
+    }
+
+    /// Fused bias-add + tanh over a row-major block (candidate gate).
+    pub fn tanh_bias_map_inplace(block: &mut [f32], bias: &[f32]) {
+        assert!(!bias.is_empty(), "bias must be non-empty");
+        assert_eq!(block.len() % bias.len(), 0, "block width mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if super::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { avx2::tanh_bias_map_inplace_avx2(block, bias) };
+            return;
+        }
+        tanh_bias_map_inplace_scalar(block, bias);
+    }
+
+    /// `dst[i] = g[i] * sigmoid_deriv_from_output(y[i])` — the sigmoid
+    /// adjoint as one pass.
+    pub fn sigmoid_deriv_mul(g: &[f32], y: &[f32], dst: &mut [f32]) {
+        assert!(
+            g.len() == y.len() && y.len() == dst.len(),
+            "adjoint length mismatch"
+        );
+        #[cfg(target_arch = "x86_64")]
+        if super::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { avx2::sigmoid_deriv_mul_avx2(g, y, dst) };
+            return;
+        }
+        sigmoid_deriv_mul_scalar(g, y, dst);
+    }
+
+    /// `dst[i] = g[i] * tanh_deriv_from_output(y[i])`.
+    pub fn tanh_deriv_mul(g: &[f32], y: &[f32], dst: &mut [f32]) {
+        assert!(
+            g.len() == y.len() && y.len() == dst.len(),
+            "adjoint length mismatch"
+        );
+        #[cfg(target_arch = "x86_64")]
+        if super::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { avx2::tanh_deriv_mul_avx2(g, y, dst) };
+            return;
+        }
+        tanh_deriv_mul_scalar(g, y, dst);
+    }
+
+    /// `dst[i] = g[i] * selu_deriv(x[i])` — SELU's adjoint is a function of
+    /// the *input*, not the output.
+    pub fn selu_deriv_mul(g: &[f32], x: &[f32], dst: &mut [f32]) {
+        assert!(
+            g.len() == x.len() && x.len() == dst.len(),
+            "adjoint length mismatch"
+        );
+        #[cfg(target_arch = "x86_64")]
+        if super::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { avx2::selu_deriv_mul_avx2(g, x, dst) };
+            return;
+        }
+        selu_deriv_mul_scalar(g, x, dst);
+    }
+
+    /// `g[i] *= sigmoid_deriv_from_output(y[i])` in place — the fused GRU
+    /// backward gate tails.
+    pub fn sigmoid_deriv_mul_inplace(g: &mut [f32], y: &[f32]) {
+        assert_eq!(g.len(), y.len(), "adjoint length mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if super::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { avx2::sigmoid_deriv_mul_inplace_avx2(g, y) };
+            return;
+        }
+        sigmoid_deriv_mul_inplace_scalar(g, y);
+    }
+
+    /// `g[i] *= tanh_deriv_from_output(y[i])` in place.
+    pub fn tanh_deriv_mul_inplace(g: &mut [f32], y: &[f32]) {
+        assert_eq!(g.len(), y.len(), "adjoint length mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if super::have_avx2() {
+            // SAFETY: the AVX2 requirement was just checked at runtime.
+            unsafe { avx2::tanh_deriv_mul_inplace_avx2(g, y) };
+            return;
+        }
+        tanh_deriv_mul_inplace_scalar(g, y);
+    }
+
+    // ---------------------------------------------------------------
+    // Scalar reference forms (the bitwise ground truth)
+    // ---------------------------------------------------------------
+
+    /// Scalar reference for [`exp_map`].
+    pub fn exp_map_scalar(src: &[f32], dst: &mut [f32]) {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = act::fast_exp(v);
+        }
+    }
+
+    /// Scalar reference for [`sigmoid_map`].
+    pub fn sigmoid_map_scalar(src: &[f32], dst: &mut [f32]) {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = act::sigmoid(v);
+        }
+    }
+
+    /// Scalar reference for [`tanh_map`].
+    pub fn tanh_map_scalar(src: &[f32], dst: &mut [f32]) {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = act::tanh(v);
+        }
+    }
+
+    /// Scalar reference for [`selu_map`].
+    pub fn selu_map_scalar(src: &[f32], dst: &mut [f32]) {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = act::selu(v);
+        }
+    }
+
+    /// Scalar reference for [`sigmoid_bias_map_inplace`].
+    pub fn sigmoid_bias_map_inplace_scalar(block: &mut [f32], bias: &[f32]) {
+        for row in block.chunks_exact_mut(bias.len()) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v = act::sigmoid(*v + b);
+            }
+        }
+    }
+
+    /// Scalar reference for [`tanh_bias_map_inplace`].
+    pub fn tanh_bias_map_inplace_scalar(block: &mut [f32], bias: &[f32]) {
+        for row in block.chunks_exact_mut(bias.len()) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v = act::tanh(*v + b);
+            }
+        }
+    }
+
+    /// Scalar reference for [`sigmoid_deriv_mul`].
+    pub fn sigmoid_deriv_mul_scalar(g: &[f32], y: &[f32], dst: &mut [f32]) {
+        for ((d, &gi), &yi) in dst.iter_mut().zip(g).zip(y) {
+            *d = gi * act::sigmoid_deriv_from_output(yi);
+        }
+    }
+
+    /// Scalar reference for [`tanh_deriv_mul`].
+    pub fn tanh_deriv_mul_scalar(g: &[f32], y: &[f32], dst: &mut [f32]) {
+        for ((d, &gi), &yi) in dst.iter_mut().zip(g).zip(y) {
+            *d = gi * act::tanh_deriv_from_output(yi);
+        }
+    }
+
+    /// Scalar reference for [`selu_deriv_mul`].
+    pub fn selu_deriv_mul_scalar(g: &[f32], x: &[f32], dst: &mut [f32]) {
+        for ((d, &gi), &xi) in dst.iter_mut().zip(g).zip(x) {
+            *d = gi * act::selu_deriv(xi);
+        }
+    }
+
+    /// Scalar reference for [`sigmoid_deriv_mul_inplace`].
+    pub fn sigmoid_deriv_mul_inplace_scalar(g: &mut [f32], y: &[f32]) {
+        for (gi, &yi) in g.iter_mut().zip(y) {
+            *gi *= act::sigmoid_deriv_from_output(yi);
+        }
+    }
+
+    /// Scalar reference for [`tanh_deriv_mul_inplace`].
+    pub fn tanh_deriv_mul_inplace_scalar(g: &mut [f32], y: &[f32]) {
+        for (gi, &yi) in g.iter_mut().zip(y) {
+            *gi *= act::tanh_deriv_from_output(yi);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // AVX2 builds
+    // ---------------------------------------------------------------
+
+    /// 8-lane AVX2 builds of the kernels above.
+    ///
+    /// # Safety
+    /// Every function requires AVX2 at runtime (checked by the dispatchers
+    /// through [`super::have_avx2`]).
+    #[cfg(target_arch = "x86_64")]
+    pub mod avx2 {
+        use super::act;
+        use crate::activations::{
+            EXP_CLAMP, LN2_HI, LN2_LO, ROUND_MAGIC, SELU_ALPHA, SELU_LAMBDA, TANH_CLAMP,
+        };
+        use std::arch::x86_64::*;
+
+        /// 8-lane `fast_exp`, operation-for-operation the scalar body.
+        /// `#[inline(always)]` (no `target_feature`) so it compiles inside
+        /// each caller's AVX2-enabled context.
+        #[inline(always)]
+        unsafe fn fast_exp8(x: __m256) -> __m256 {
+            let one = _mm256_set1_ps(1.0);
+            // Scalar clamp is min-then-max for finite inputs.
+            let x = _mm256_max_ps(
+                _mm256_min_ps(x, _mm256_set1_ps(EXP_CLAMP)),
+                _mm256_set1_ps(-EXP_CLAMP),
+            );
+            let n = _mm256_sub_ps(
+                _mm256_add_ps(
+                    _mm256_mul_ps(x, _mm256_set1_ps(std::f32::consts::LOG2_E)),
+                    _mm256_set1_ps(ROUND_MAGIC),
+                ),
+                _mm256_set1_ps(ROUND_MAGIC),
+            );
+            let g = _mm256_sub_ps(
+                _mm256_sub_ps(x, _mm256_mul_ps(n, _mm256_set1_ps(LN2_HI))),
+                _mm256_mul_ps(n, _mm256_set1_ps(LN2_LO)),
+            );
+            // Same nested Horner chain as the scalar polynomial.
+            let p = _mm256_add_ps(
+                _mm256_set1_ps(1.0 / 120.0),
+                _mm256_mul_ps(g, _mm256_set1_ps(1.0 / 720.0)),
+            );
+            let p = _mm256_add_ps(_mm256_set1_ps(1.0 / 24.0), _mm256_mul_ps(g, p));
+            let p = _mm256_add_ps(_mm256_set1_ps(1.0 / 6.0), _mm256_mul_ps(g, p));
+            let p = _mm256_add_ps(_mm256_set1_ps(0.5), _mm256_mul_ps(g, p));
+            let p = _mm256_add_ps(one, _mm256_mul_ps(g, p));
+            let p = _mm256_add_ps(one, _mm256_mul_ps(g, p));
+            // `n as i32` truncates; n is integral from the magic-number
+            // rounding, so cvttps is exact. |n| <= 126, so the exponent-bit
+            // arithmetic never wraps.
+            let ni = _mm256_cvttps_epi32(n);
+            let bits = _mm256_slli_epi32::<23>(_mm256_add_epi32(ni, _mm256_set1_epi32(127)));
+            _mm256_mul_ps(_mm256_castsi256_ps(bits), p)
+        }
+
+        /// 8-lane sigmoid: `1 / (1 + fast_exp(-x))`; `-x` is the sign-bit
+        /// XOR the scalar negation lowers to.
+        #[inline(always)]
+        unsafe fn sigmoid8(x: __m256) -> __m256 {
+            let one = _mm256_set1_ps(1.0);
+            let e = fast_exp8(_mm256_xor_ps(x, _mm256_set1_ps(-0.0)));
+            _mm256_div_ps(one, _mm256_add_ps(one, e))
+        }
+
+        /// 8-lane tanh: clamp ±9, `(e^{2x} − 1) / (e^{2x} + 1)`.
+        #[inline(always)]
+        unsafe fn tanh8(x: __m256) -> __m256 {
+            let one = _mm256_set1_ps(1.0);
+            let x = _mm256_max_ps(
+                _mm256_min_ps(x, _mm256_set1_ps(TANH_CLAMP)),
+                _mm256_set1_ps(-TANH_CLAMP),
+            );
+            let e2 = fast_exp8(_mm256_mul_ps(_mm256_set1_ps(2.0), x));
+            _mm256_div_ps(_mm256_sub_ps(e2, one), _mm256_add_ps(e2, one))
+        }
+
+        /// 8-lane SELU: compute both branches, blend on `x > 0`. The scalar
+        /// `SELU_LAMBDA * SELU_ALPHA * (e − 1)` associates left, so the
+        /// λ·α product is one constant here — identical rounding.
+        #[inline(always)]
+        unsafe fn selu8(x: __m256) -> __m256 {
+            const LA: f32 = SELU_LAMBDA * SELU_ALPHA;
+            let pos = _mm256_mul_ps(_mm256_set1_ps(SELU_LAMBDA), x);
+            let neg = _mm256_mul_ps(
+                _mm256_set1_ps(LA),
+                _mm256_sub_ps(fast_exp8(x), _mm256_set1_ps(1.0)),
+            );
+            let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(x, _mm256_setzero_ps());
+            _mm256_blendv_ps(neg, pos, gt)
+        }
+
+        /// 8-lane SELU derivative (function of the input).
+        #[inline(always)]
+        unsafe fn selu_deriv8(x: __m256) -> __m256 {
+            const LA: f32 = SELU_LAMBDA * SELU_ALPHA;
+            let pos = _mm256_set1_ps(SELU_LAMBDA);
+            let neg = _mm256_mul_ps(_mm256_set1_ps(LA), fast_exp8(x));
+            let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(x, _mm256_setzero_ps());
+            _mm256_blendv_ps(neg, pos, gt)
+        }
+
+        macro_rules! avx2_map {
+            ($(#[$doc:meta])* $name:ident, $lanes:ident, $scalar_fn:path) => {
+                $(#[$doc])*
+                /// # Safety
+                /// Requires AVX2.
+                #[target_feature(enable = "avx2")]
+                pub unsafe fn $name(src: &[f32], dst: &mut [f32]) {
+                    debug_assert_eq!(src.len(), dst.len());
+                    let n = src.len();
+                    let mut i = 0;
+                    while i + 8 <= n {
+                        let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                        _mm256_storeu_ps(dst.as_mut_ptr().add(i), $lanes(v));
+                        i += 8;
+                    }
+                    while i < n {
+                        dst[i] = $scalar_fn(src[i]);
+                        i += 1;
+                    }
+                }
+            };
+        }
+
+        avx2_map!(
+            /// AVX2 build of [`super::exp_map`].
+            exp_map_avx2,
+            fast_exp8,
+            act::fast_exp
+        );
+        avx2_map!(
+            /// AVX2 build of [`super::sigmoid_map`].
+            sigmoid_map_avx2,
+            sigmoid8,
+            act::sigmoid
+        );
+        avx2_map!(
+            /// AVX2 build of [`super::tanh_map`].
+            tanh_map_avx2,
+            tanh8,
+            act::tanh
+        );
+        avx2_map!(
+            /// AVX2 build of [`super::selu_map`].
+            selu_map_avx2,
+            selu8,
+            act::selu
+        );
+
+        macro_rules! avx2_bias_map {
+            ($(#[$doc:meta])* $name:ident, $lanes:ident, $scalar_fn:path) => {
+                $(#[$doc])*
+                /// # Safety
+                /// Requires AVX2; `block.len()` must be a multiple of
+                /// `bias.len()`.
+                #[target_feature(enable = "avx2")]
+                pub unsafe fn $name(block: &mut [f32], bias: &[f32]) {
+                    let w = bias.len();
+                    for row in block.chunks_exact_mut(w) {
+                        let mut j = 0;
+                        while j + 8 <= w {
+                            let v = _mm256_loadu_ps(row.as_ptr().add(j));
+                            let b = _mm256_loadu_ps(bias.as_ptr().add(j));
+                            _mm256_storeu_ps(row.as_mut_ptr().add(j), $lanes(_mm256_add_ps(v, b)));
+                            j += 8;
+                        }
+                        while j < w {
+                            row[j] = $scalar_fn(row[j] + bias[j]);
+                            j += 1;
+                        }
+                    }
+                }
+            };
+        }
+
+        avx2_bias_map!(
+            /// AVX2 build of [`super::sigmoid_bias_map_inplace`].
+            sigmoid_bias_map_inplace_avx2,
+            sigmoid8,
+            act::sigmoid
+        );
+        avx2_bias_map!(
+            /// AVX2 build of [`super::tanh_bias_map_inplace`].
+            tanh_bias_map_inplace_avx2,
+            tanh8,
+            act::tanh
+        );
+
+        /// AVX2 build of [`super::sigmoid_deriv_mul`].
+        /// # Safety
+        /// Requires AVX2.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn sigmoid_deriv_mul_avx2(g: &[f32], y: &[f32], dst: &mut [f32]) {
+            let one = _mm256_set1_ps(1.0);
+            let n = g.len();
+            let mut i = 0;
+            while i + 8 <= n {
+                let gv = _mm256_loadu_ps(g.as_ptr().add(i));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                let d = _mm256_mul_ps(yv, _mm256_sub_ps(one, yv));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_mul_ps(gv, d));
+                i += 8;
+            }
+            while i < n {
+                dst[i] = g[i] * act::sigmoid_deriv_from_output(y[i]);
+                i += 1;
+            }
+        }
+
+        /// AVX2 build of [`super::tanh_deriv_mul`].
+        /// # Safety
+        /// Requires AVX2.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn tanh_deriv_mul_avx2(g: &[f32], y: &[f32], dst: &mut [f32]) {
+            let one = _mm256_set1_ps(1.0);
+            let n = g.len();
+            let mut i = 0;
+            while i + 8 <= n {
+                let gv = _mm256_loadu_ps(g.as_ptr().add(i));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                let d = _mm256_sub_ps(one, _mm256_mul_ps(yv, yv));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_mul_ps(gv, d));
+                i += 8;
+            }
+            while i < n {
+                dst[i] = g[i] * act::tanh_deriv_from_output(y[i]);
+                i += 1;
+            }
+        }
+
+        /// AVX2 build of [`super::selu_deriv_mul`].
+        /// # Safety
+        /// Requires AVX2.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn selu_deriv_mul_avx2(g: &[f32], x: &[f32], dst: &mut [f32]) {
+            let n = g.len();
+            let mut i = 0;
+            while i + 8 <= n {
+                let gv = _mm256_loadu_ps(g.as_ptr().add(i));
+                let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_mul_ps(gv, selu_deriv8(xv)));
+                i += 8;
+            }
+            while i < n {
+                dst[i] = g[i] * act::selu_deriv(x[i]);
+                i += 1;
+            }
+        }
+
+        /// AVX2 build of [`super::sigmoid_deriv_mul_inplace`].
+        /// # Safety
+        /// Requires AVX2.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn sigmoid_deriv_mul_inplace_avx2(g: &mut [f32], y: &[f32]) {
+            let one = _mm256_set1_ps(1.0);
+            let n = g.len();
+            let mut i = 0;
+            while i + 8 <= n {
+                let gv = _mm256_loadu_ps(g.as_ptr().add(i));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                let d = _mm256_mul_ps(yv, _mm256_sub_ps(one, yv));
+                _mm256_storeu_ps(g.as_mut_ptr().add(i), _mm256_mul_ps(gv, d));
+                i += 8;
+            }
+            while i < n {
+                g[i] *= act::sigmoid_deriv_from_output(y[i]);
+                i += 1;
+            }
+        }
+
+        /// AVX2 build of [`super::tanh_deriv_mul_inplace`].
+        /// # Safety
+        /// Requires AVX2.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn tanh_deriv_mul_inplace_avx2(g: &mut [f32], y: &[f32]) {
+            let one = _mm256_set1_ps(1.0);
+            let n = g.len();
+            let mut i = 0;
+            while i + 8 <= n {
+                let gv = _mm256_loadu_ps(g.as_ptr().add(i));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                let d = _mm256_sub_ps(one, _mm256_mul_ps(yv, yv));
+                _mm256_storeu_ps(g.as_mut_ptr().add(i), _mm256_mul_ps(gv, d));
+                i += 8;
+            }
+            while i < n {
+                g[i] *= act::tanh_deriv_from_output(y[i]);
+                i += 1;
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn ramp(n: usize) -> Vec<f32> {
+            (0..n)
+                .map(|i| (i as f32) * 0.37 - (n as f32) * 0.17)
+                .collect()
+        }
+
+        #[test]
+        fn dispatched_maps_match_scalar_bitwise() {
+            // Covers both branches of the dispatch: on AVX2 hosts this pins
+            // vector-vs-scalar bit identity, elsewhere it is a self-check.
+            for n in [0usize, 1, 7, 8, 9, 64, 257] {
+                let src = ramp(n);
+                let mut a = vec![0.0f32; n];
+                let mut b = vec![0.0f32; n];
+                exp_map(&src, &mut a);
+                exp_map_scalar(&src, &mut b);
+                assert_eq!(bits(&a), bits(&b), "exp n={n}");
+                sigmoid_map(&src, &mut a);
+                sigmoid_map_scalar(&src, &mut b);
+                assert_eq!(bits(&a), bits(&b), "sigmoid n={n}");
+                tanh_map(&src, &mut a);
+                tanh_map_scalar(&src, &mut b);
+                assert_eq!(bits(&a), bits(&b), "tanh n={n}");
+                selu_map(&src, &mut a);
+                selu_map_scalar(&src, &mut b);
+                assert_eq!(bits(&a), bits(&b), "selu n={n}");
+            }
+        }
+
+        #[test]
+        fn fused_bias_maps_match_two_pass_scalar_bitwise() {
+            for w in [1usize, 3, 8, 11, 16] {
+                let rows = 9;
+                let bias: Vec<f32> = (0..w).map(|j| (j as f32) * 0.11 - 0.4).collect();
+                let block = ramp(rows * w);
+                let mut fused = block.clone();
+                sigmoid_bias_map_inplace(&mut fused, &bias);
+                let mut two_pass = block.clone();
+                for row in two_pass.chunks_exact_mut(w) {
+                    for (v, &b) in row.iter_mut().zip(&bias) {
+                        *v += b;
+                    }
+                }
+                let mut expect = vec![0.0f32; rows * w];
+                sigmoid_map_scalar(&two_pass, &mut expect);
+                assert_eq!(bits(&fused), bits(&expect), "sigmoid bias w={w}");
+
+                let mut fused_t = block.clone();
+                tanh_bias_map_inplace(&mut fused_t, &bias);
+                let mut expect_t = vec![0.0f32; rows * w];
+                tanh_map_scalar(&two_pass, &mut expect_t);
+                assert_eq!(bits(&fused_t), bits(&expect_t), "tanh bias w={w}");
+            }
+        }
+
+        #[test]
+        fn deriv_fusions_match_scalar_bitwise() {
+            let n = 133;
+            let g = ramp(n);
+            let x = ramp(n).iter().map(|v| v * 0.13).collect::<Vec<_>>();
+            let mut y = vec![0.0f32; n];
+            sigmoid_map_scalar(&x, &mut y);
+
+            let mut a = vec![0.0f32; n];
+            let mut b = vec![0.0f32; n];
+            sigmoid_deriv_mul(&g, &y, &mut a);
+            sigmoid_deriv_mul_scalar(&g, &y, &mut b);
+            assert_eq!(bits(&a), bits(&b));
+
+            tanh_deriv_mul(&g, &y, &mut a);
+            tanh_deriv_mul_scalar(&g, &y, &mut b);
+            assert_eq!(bits(&a), bits(&b));
+
+            selu_deriv_mul(&g, &x, &mut a);
+            selu_deriv_mul_scalar(&g, &x, &mut b);
+            assert_eq!(bits(&a), bits(&b));
+
+            let mut ip_a = g.clone();
+            let mut ip_b = g.clone();
+            sigmoid_deriv_mul_inplace(&mut ip_a, &y);
+            sigmoid_deriv_mul_inplace_scalar(&mut ip_b, &y);
+            assert_eq!(bits(&ip_a), bits(&ip_b));
+
+            tanh_deriv_mul_inplace(&mut ip_a, &y);
+            tanh_deriv_mul_inplace_scalar(&mut ip_b, &y);
+            assert_eq!(bits(&ip_a), bits(&ip_b));
+        }
+
+        fn bits(v: &[f32]) -> Vec<u32> {
+            v.iter().map(|x| x.to_bits()).collect()
+        }
+    }
+}
