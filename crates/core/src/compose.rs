@@ -102,12 +102,16 @@ pub struct MegabatchStructure {
     pub num_links: usize,
     /// Total nodes.
     pub num_nodes: usize,
+    /// Total scheduler queues (0 for packs of legacy two-entity parts).
+    pub num_queues: usize,
     /// Per-part path row offsets (len `B`).
     pub path_off: Vec<usize>,
     /// Per-part link row offsets (len `B`).
     pub link_off: Vec<usize>,
     /// Per-part node row offsets (len `B`).
     pub node_off: Vec<usize>,
+    /// Per-part queue row offsets (len `B`; all zero for legacy packs).
+    pub queue_off: Vec<usize>,
     /// Ordered per-part structure fingerprints — the composition cache key.
     pub part_fps: Vec<u64>,
     /// Merged `(src, dst)` pairs in the union node id space.
@@ -164,12 +168,14 @@ impl MegabatchStructure {
         let n_paths: usize = parts.iter().map(|p| p.n_paths).sum();
         let num_links: usize = parts.iter().map(|p| p.num_links).sum();
         let num_nodes: usize = parts.iter().map(|p| p.num_nodes).sum();
+        let num_queues: usize = parts.iter().map(|p| p.num_queues).sum();
 
         // Entity offsets per part.
         let mut path_off = Vec::with_capacity(parts.len());
         let mut link_off = Vec::with_capacity(parts.len());
         let mut node_off = Vec::with_capacity(parts.len());
-        let (mut po, mut lo, mut no) = (0usize, 0usize, 0usize);
+        let mut queue_off = Vec::with_capacity(parts.len());
+        let (mut po, mut lo, mut no, mut qo) = (0usize, 0usize, 0usize, 0usize);
         for p in parts {
             if p.path_init.cols() != state_dim {
                 return Err(MegabatchError::StateDimMismatch(
@@ -180,64 +186,67 @@ impl MegabatchStructure {
             path_off.push(po);
             link_off.push(lo);
             node_off.push(no);
+            queue_off.push(qo);
             po += p.n_paths;
             lo += p.num_links;
             no += p.num_nodes;
+            qo += p.num_queues;
         }
 
         // Steps padded to the longest sequence in the pack; ids shifted into
         // the union id space. Padded rows point at the part's first entity
         // (any valid id works — the zero mask makes the position inert).
-        let merge_steps = |select: fn(&SamplePlan) -> &Vec<StepPlan>, alternate: bool| {
-            let max_len = parts.iter().map(|p| select(p).len()).max().unwrap_or(0);
-            let mut merged = Vec::with_capacity(max_len);
-            for pos in 0..max_len {
-                let kind = if alternate {
-                    if pos % 2 == 0 {
-                        EntityKind::Node
-                    } else {
-                        EntityKind::Link
+        // The entity kind at each position is whatever the parts carrying
+        // the position agree on — legacy parts alternate node/link, QoS
+        // parts cycle node/queue/link — and a disagreement (mixed legacy and
+        // QoS parts) is unbatchable: the merged step would need two kinds.
+        let merge_steps =
+            |select: fn(&SamplePlan) -> &Vec<StepPlan>| -> Result<Vec<StepPlan>, MegabatchError> {
+                let max_len = parts.iter().map(|p| select(p).len()).max().unwrap_or(0);
+                let mut merged = Vec::with_capacity(max_len);
+                for pos in 0..max_len {
+                    let mut carried = parts.iter().filter_map(|p| select(p).get(pos));
+                    let kind = carried.next().expect("pos < max_len").kind;
+                    if carried.any(|s| s.kind != kind) {
+                        return Err(MegabatchError::ScheduleMismatch(pos));
                     }
-                } else {
-                    EntityKind::Link
-                };
-                let mut ids = vec![0usize; n_paths];
-                let mut mask = Matrix::zeros(n_paths, 1);
-                let mut active = 0usize;
-                for (b, p) in parts.iter().enumerate() {
-                    let offset = match kind {
-                        EntityKind::Link => link_off[b],
-                        EntityKind::Node => node_off[b],
-                    };
-                    let rows = path_off[b]..path_off[b] + p.n_paths;
-                    match select(p).get(pos) {
-                        Some(step) => {
-                            debug_assert_eq!(step.kind, kind, "interleave mismatch");
-                            for (row, &id) in rows.zip(&step.ids) {
-                                ids[row] = offset + id;
-                                let m = step.mask.get(row - path_off[b], 0);
-                                mask.set(row, 0, m);
+                    let mut ids = vec![0usize; n_paths];
+                    let mut mask = Matrix::zeros(n_paths, 1);
+                    let mut active = 0usize;
+                    for (b, p) in parts.iter().enumerate() {
+                        let offset = match kind {
+                            EntityKind::Link => link_off[b],
+                            EntityKind::Node => node_off[b],
+                            EntityKind::Queue => queue_off[b],
+                        };
+                        let rows = path_off[b]..path_off[b] + p.n_paths;
+                        match select(p).get(pos) {
+                            Some(step) => {
+                                for (row, &id) in rows.zip(&step.ids) {
+                                    ids[row] = offset + id;
+                                    let m = step.mask.get(row - path_off[b], 0);
+                                    mask.set(row, 0, m);
+                                }
+                                active += step.active;
                             }
-                            active += step.active;
-                        }
-                        None => {
-                            for row in rows {
-                                ids[row] = offset;
+                            None => {
+                                for row in rows {
+                                    ids[row] = offset;
+                                }
                             }
                         }
                     }
+                    merged.push(StepPlan {
+                        kind,
+                        ids,
+                        mask,
+                        active,
+                    });
                 }
-                merged.push(StepPlan {
-                    kind,
-                    ids,
-                    mask,
-                    active,
-                });
-            }
-            merged
-        };
-        let extended_steps = merge_steps(|p| &p.extended_steps, true);
-        let original_steps = merge_steps(|p| &p.original_steps, false);
+                Ok(merged)
+            };
+        let extended_steps = merge_steps(|p| &p.extended_steps)?;
+        let original_steps = merge_steps(|p| &p.original_steps)?;
 
         // Pairs, incidences and row ranges live in the union id space.
         let mut node_incidence_paths = Vec::new();
@@ -273,13 +282,15 @@ impl MegabatchStructure {
                 path_bounds: close(&path_off, n_paths),
                 link_bounds: close(&link_off, num_links),
                 node_bounds: close(&node_off, num_nodes),
-                // Dense ops (readout MLP, link/node GRU updates) have no
-                // block-diagonal constraint, so their shard partition is
+                queue_bounds: close(&queue_off, num_queues),
+                // Dense ops (readout MLP, link/node/queue GRU updates) have
+                // no block-diagonal constraint, so their shard partition is
                 // balanced rather than per-sample — ragged batches then
                 // spread the dense rows evenly over the gang.
                 dense_path_bounds: balanced_row_bounds(n_paths, parts.len()),
                 dense_link_bounds: balanced_row_bounds(num_links, parts.len()),
                 dense_node_bounds: balanced_row_bounds(num_nodes, parts.len()),
+                dense_queue_bounds: balanced_row_bounds(num_queues, parts.len()),
                 shared: OnceLock::new(),
             })
         } else if intra_shards > 1 {
@@ -291,9 +302,11 @@ impl MegabatchStructure {
                 path_bounds: vec![0, n_paths],
                 link_bounds: vec![0, num_links],
                 node_bounds: vec![0, num_nodes],
+                queue_bounds: vec![0, num_queues],
                 dense_path_bounds: balanced_row_bounds(n_paths, intra_shards),
                 dense_link_bounds: balanced_row_bounds(num_links, intra_shards),
                 dense_node_bounds: balanced_row_bounds(num_nodes, intra_shards),
+                dense_queue_bounds: balanced_row_bounds(num_queues, intra_shards),
                 shared: OnceLock::new(),
             })
         } else {
@@ -309,9 +322,11 @@ impl MegabatchStructure {
             n_paths,
             num_links,
             num_nodes,
+            num_queues,
             path_off,
             link_off,
             node_off,
+            queue_off,
             part_fps,
             pairs,
             extended_steps,
@@ -347,6 +362,8 @@ pub struct MegabatchFeatures {
     pub link_init: Matrix,
     /// Stacked initial node states.
     pub node_init: Matrix,
+    /// Stacked initial queue states (`0 x state_dim` for legacy packs).
+    pub queue_init: Matrix,
     /// Stacked normalized targets (`n_paths x 1`).
     pub targets_norm: Matrix,
     /// Stacked raw targets.
@@ -366,6 +383,7 @@ struct FeatureSlots<'a> {
     path_init: &'a mut Matrix,
     link_init: &'a mut Matrix,
     node_init: &'a mut Matrix,
+    queue_init: &'a mut Matrix,
     targets_norm: &'a mut Matrix,
     targets_raw: &'a mut Vec<f64>,
     reliable_idx: &'a mut Vec<usize>,
@@ -380,12 +398,14 @@ fn write_features(
     path_off: &[usize],
     link_off: &[usize],
     node_off: &[usize],
+    queue_off: &[usize],
     slots: FeatureSlots<'_>,
 ) -> usize {
     for (b, p) in parts.iter().enumerate() {
         copy_rows(slots.path_init, path_off[b], &p.path_init);
         copy_rows(slots.link_init, link_off[b], &p.link_init);
         copy_rows(slots.node_init, node_off[b], &p.node_init);
+        copy_rows(slots.queue_init, queue_off[b], &p.queue_init);
     }
     slots.targets_raw.clear();
     slots.reliable_idx.clear();
@@ -417,6 +437,7 @@ impl MegabatchFeatures {
             path_init: Matrix::zeros(structure.n_paths, structure.state_dim),
             link_init: Matrix::zeros(structure.num_links, structure.state_dim),
             node_init: Matrix::zeros(structure.num_nodes, structure.state_dim),
+            queue_init: Matrix::zeros(structure.num_queues, structure.state_dim),
             targets_norm: Matrix::zeros(structure.n_paths, 1),
             targets_raw: Vec::with_capacity(structure.n_paths),
             reliable_idx: Vec::new(),
@@ -428,10 +449,12 @@ impl MegabatchFeatures {
             &structure.path_off,
             &structure.link_off,
             &structure.node_off,
+            &structure.queue_off,
             FeatureSlots {
                 path_init: &mut features.path_init,
                 link_init: &mut features.link_init,
                 node_init: &mut features.node_init,
+                queue_init: &mut features.queue_init,
                 targets_norm: &mut features.targets_norm,
                 targets_raw: &mut features.targets_raw,
                 reliable_idx: &mut features.reliable_idx,
@@ -457,9 +480,11 @@ pub struct ComposedMegabatch {
     path_off: Vec<usize>,
     link_off: Vec<usize>,
     node_off: Vec<usize>,
-    /// Per-part `(n_paths, num_links, num_nodes)` — the cheap release-mode
-    /// sanity check refill runs before trusting a fingerprint match.
-    part_dims: Vec<(usize, usize, usize)>,
+    queue_off: Vec<usize>,
+    /// Per-part `(n_paths, num_links, num_nodes, num_queues)` — the cheap
+    /// release-mode sanity check refill runs before trusting a fingerprint
+    /// match.
+    part_dims: Vec<(usize, usize, usize, usize)>,
     /// Entity state width.
     state_dim: usize,
     /// The assembled plan. Structural fields are immutable after assembly;
@@ -495,13 +520,14 @@ impl ComposedMegabatch {
     ) -> Self {
         let part_dims = parts
             .iter()
-            .map(|p| (p.n_paths, p.num_links, p.num_nodes))
+            .map(|p| (p.n_paths, p.num_links, p.num_nodes, p.num_queues))
             .collect();
         Self {
             part_fps: structure.part_fps,
             path_off: structure.path_off,
             link_off: structure.link_off,
             node_off: structure.node_off,
+            queue_off: structure.queue_off,
             part_dims,
             state_dim: structure.state_dim,
             mb: MegabatchPlan {
@@ -509,10 +535,12 @@ impl ComposedMegabatch {
                     n_paths: structure.n_paths,
                     num_links: structure.num_links,
                     num_nodes: structure.num_nodes,
+                    num_queues: structure.num_queues,
                     pairs: structure.pairs,
                     path_init: features.path_init,
                     link_init: features.link_init,
                     node_init: features.node_init,
+                    queue_init: features.queue_init,
                     extended_steps: structure.extended_steps,
                     original_steps: structure.original_steps,
                     extended_csr: structure.extended_csr,
@@ -598,7 +626,7 @@ impl ComposedMegabatch {
         );
         for (b, p) in parts.iter().enumerate() {
             assert_eq!(
-                (p.n_paths, p.num_links, p.num_nodes),
+                (p.n_paths, p.num_links, p.num_nodes, p.num_queues),
                 self.part_dims[b],
                 "refill_features: part {b} entity counts diverge from the cached structure"
             );
@@ -622,10 +650,12 @@ impl ComposedMegabatch {
             &self.path_off,
             &self.link_off,
             &self.node_off,
+            &self.queue_off,
             FeatureSlots {
                 path_init: &mut mb.plan.path_init,
                 link_init: &mut mb.plan.link_init,
                 node_init: &mut mb.plan.node_init,
+                queue_init: &mut mb.plan.queue_init,
                 targets_norm: &mut mb.plan.targets_norm,
                 targets_raw: &mut mb.plan.targets_raw,
                 reliable_idx: &mut mb.plan.reliable_idx,

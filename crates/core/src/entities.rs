@@ -21,6 +21,19 @@
 //! Even positions are therefore always nodes and odd positions always links —
 //! a uniform alternation that lets a whole batch of paths advance through one
 //! GRU step per position.
+//!
+//! ## QoS sequence convention
+//!
+//! Samples carrying a QoS dimension (a scheduling policy with more than one
+//! ToS class — see `rn_dataset::schema::SampleQos`) grow a third entity: one
+//! **queue** per (directed link, class) pair, id `link * num_classes +
+//! class`. The extended sequence becomes 3-periodic per hop — `v₀, q₁, l₁,
+//! v₁, q₂, l₂, …` (length `3k`): the forwarding node, then the per-class
+//! queue the path's packets wait in at that port, then the link that drains
+//! it. Legacy samples (`qos: None`) and single-class FIFO QoS samples build
+//! the exact 2-periodic structure above with `num_queues == 0`, so plans —
+//! and everything downstream of them — are bitwise identical to the
+//! two-entity model.
 
 use crate::config::ModelConfig;
 use crate::features::FeatureScales;
@@ -37,6 +50,8 @@ pub enum EntityKind {
     Link,
     /// A forwarding device.
     Node,
+    /// A per-(link, class) scheduler queue — present only in QoS plans.
+    Queue,
 }
 
 /// What the regression target is.
@@ -263,6 +278,9 @@ pub struct PlanShards {
     pub link_bounds: Vec<usize>,
     /// Per-sample node row bounds (len `B + 1`).
     pub node_bounds: Vec<usize>,
+    /// Per-sample queue row bounds (len `B + 1`; all-zero spans for packs
+    /// without queue entities).
+    pub queue_bounds: Vec<usize>,
     /// Balanced row-block bounds over the **path** rows for the dense
     /// per-row work — the readout MLP forward/backward (len `B + 1`, built
     /// by [`balanced_row_bounds`]). Unlike the per-sample bounds above,
@@ -276,7 +294,11 @@ pub struct PlanShards {
     /// Balanced row-block bounds over the node rows for the dense node-GRU
     /// entity update (len `B + 1`, empty = dense sharding disabled).
     pub dense_node_bounds: Vec<usize>,
-    /// Lazily built `Arc<[usize]>` mirrors of the six bound vectors for the
+    /// Balanced row-block bounds over the queue rows for the dense queue-GRU
+    /// entity update (len `B + 1`, empty = dense sharding disabled or no
+    /// queue entities).
+    pub dense_queue_bounds: Vec<usize>,
+    /// Lazily built `Arc<[usize]>` mirrors of the bound vectors for the
     /// tape's zero-copy mode (see [`CompiledSteps`]'s mirror).
     pub(crate) shared: OnceLock<SharedShardBounds>,
 }
@@ -287,21 +309,25 @@ pub(crate) struct SharedShardBounds {
     path: Arc<[usize]>,
     link: Arc<[usize]>,
     node: Arc<[usize]>,
+    queue: Arc<[usize]>,
     dense_path: Arc<[usize]>,
     dense_link: Arc<[usize]>,
     dense_node: Arc<[usize]>,
+    dense_queue: Arc<[usize]>,
 }
 
-// Manual equality: the lazy mirror is a cache of the six vectors, so it is
+// Manual equality: the lazy mirror is a cache of the bound vectors, so it is
 // (and must stay) excluded from comparisons.
 impl PartialEq for PlanShards {
     fn eq(&self, other: &Self) -> bool {
         self.path_bounds == other.path_bounds
             && self.link_bounds == other.link_bounds
             && self.node_bounds == other.node_bounds
+            && self.queue_bounds == other.queue_bounds
             && self.dense_path_bounds == other.dense_path_bounds
             && self.dense_link_bounds == other.dense_link_bounds
             && self.dense_node_bounds == other.dense_node_bounds
+            && self.dense_queue_bounds == other.dense_queue_bounds
     }
 }
 
@@ -334,6 +360,7 @@ impl PlanShards {
         match kind {
             EntityKind::Link => &self.link_bounds,
             EntityKind::Node => &self.node_bounds,
+            EntityKind::Queue => &self.queue_bounds,
         }
     }
 
@@ -353,14 +380,21 @@ impl PlanShards {
         (self.dense_node_bounds.len() > 2).then_some(self.dense_node_bounds.as_slice())
     }
 
+    /// The dense row partition for the queue-GRU entity update, if enabled.
+    pub fn dense_queue(&self) -> Option<&[usize]> {
+        (self.dense_queue_bounds.len() > 2).then_some(self.dense_queue_bounds.as_slice())
+    }
+
     fn shared(&self) -> &SharedShardBounds {
         self.shared.get_or_init(|| SharedShardBounds {
             path: self.path_bounds.as_slice().into(),
             link: self.link_bounds.as_slice().into(),
             node: self.node_bounds.as_slice().into(),
+            queue: self.queue_bounds.as_slice().into(),
             dense_path: self.dense_path_bounds.as_slice().into(),
             dense_link: self.dense_link_bounds.as_slice().into(),
             dense_node: self.dense_node_bounds.as_slice().into(),
+            dense_queue: self.dense_queue_bounds.as_slice().into(),
         })
     }
 
@@ -374,6 +408,7 @@ impl PlanShards {
         SharedIndices::full(match kind {
             EntityKind::Link => self.shared().link.clone(),
             EntityKind::Node => self.shared().node.clone(),
+            EntityKind::Queue => self.shared().queue.clone(),
         })
     }
 
@@ -394,6 +429,12 @@ impl PlanShards {
         (self.dense_node_bounds.len() > 2)
             .then(|| SharedIndices::full(self.shared().dense_node.clone()))
     }
+
+    /// Zero-copy counterpart of [`PlanShards::dense_queue`].
+    pub fn shared_dense_queue(&self) -> Option<SharedIndices> {
+        (self.dense_queue_bounds.len() > 2)
+            .then(|| SharedIndices::full(self.shared().dense_queue.clone()))
+    }
 }
 
 /// Precomputed forward-pass inputs for one sample.
@@ -405,6 +446,9 @@ pub struct SamplePlan {
     pub num_links: usize,
     /// Number of nodes.
     pub num_nodes: usize,
+    /// Number of scheduler queues (`num_links * num_classes` for QoS plans,
+    /// 0 for legacy/single-class-FIFO plans — see the module docs).
+    pub num_queues: usize,
     /// `(src, dst)` per path, aligned with rows.
     pub pairs: Vec<(usize, usize)>,
     /// Initial path states: `n_paths x state_dim` (traffic feature in col 0).
@@ -414,6 +458,10 @@ pub struct SamplePlan {
     /// Initial node states: `num_nodes x state_dim` (queue size in col 0,
     /// tiny-queue indicator in col 1).
     pub node_init: Matrix,
+    /// Initial queue states: `num_queues x state_dim` (scheduler share of
+    /// the queue's class in col 0, priority rank in col 1). `0 x state_dim`
+    /// for plans without queue entities.
+    pub queue_init: Matrix,
     /// Steps of the extended interleaved sequence.
     pub extended_steps: Vec<StepPlan>,
     /// Steps of the original links-only sequence.
@@ -522,30 +570,59 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
         node_init.set(n, 1, is_tiny);
     }
 
+    // ---- Queue entities (QoS plans only) ----------------------------------
+    // One queue per (directed link, class); single-class FIFO degenerates to
+    // the legacy two-entity plan so existing scenarios stay bitwise
+    // identical.
+    let qos = sample.qos.as_ref().filter(|q| !q.is_single_class_fifo());
+    let num_classes = qos.map_or(1, |q| q.num_classes());
+    let num_queues = qos.map_or(0, |_| num_links * num_classes);
+    let mut queue_init = Matrix::zeros(num_queues, d);
+    if let Some(q) = qos {
+        for link in 0..num_links {
+            for class in 0..num_classes {
+                let row = link * num_classes + class;
+                // Col 0: the scheduler's long-run share of the link this
+                // class is configured for (exact for WFQ/DRR, a rank proxy
+                // for strict priority). Col 1: priority rank in (0, 1],
+                // highest class first — disambiguates strict priority from
+                // equal-share policies.
+                queue_init.set(row, 0, q.policy.class_share(class, num_classes) as f32);
+                queue_init.set(row, 1, 1.0 - class as f32 / num_classes as f32);
+            }
+        }
+    }
+
     // ---- Sequences --------------------------------------------------------
-    // Extended: v0, l1, v1, l2, ..., v_{k-1}, l_k  (length 2k)
+    // Extended: v0, l1, v1, l2, ..., v_{k-1}, l_k  (length 2k);
+    //   QoS plans: v0, q1, l1, v1, q2, l2, ...     (length 3k)
     // Original: l1, ..., l_k                        (length k)
     let max_hops = paths
         .iter()
         .map(|(_, _, p)| p.hop_count())
         .max()
         .unwrap_or(0);
-    let mut extended_steps = Vec::with_capacity(2 * max_hops);
-    for pos in 0..(2 * max_hops) {
-        let kind = if pos % 2 == 0 {
-            EntityKind::Node
-        } else {
-            EntityKind::Link
+    let period = if qos.is_some() { 3 } else { 2 };
+    let mut extended_steps = Vec::with_capacity(period * max_hops);
+    for pos in 0..(period * max_hops) {
+        let kind = match (pos % period, period) {
+            (0, _) => EntityKind::Node,
+            (1, 3) => EntityKind::Queue,
+            _ => EntityKind::Link,
         };
         let mut ids = vec![0usize; n_paths];
         let mut mask = Matrix::zeros(n_paths, 1);
         let mut active = 0;
         for (row, (_, _, path)) in paths.iter().enumerate() {
-            let hop = pos / 2;
+            let hop = pos / period;
             if hop < path.hop_count() {
                 ids[row] = match kind {
                     EntityKind::Node => path.nodes[hop],
                     EntityKind::Link => path.links[hop],
+                    EntityKind::Queue => {
+                        let class = qos.map_or(0, |q| q.path_classes[row] as usize);
+                        path.links[hop] * num_classes + class
+                    }
                 };
                 mask.set(row, 0, 1.0);
                 active += 1;
@@ -611,10 +688,12 @@ pub fn build_plan(sample: &Sample, config: &PlanConfig) -> SamplePlan {
         n_paths,
         num_links,
         num_nodes,
+        num_queues,
         pairs: paths.iter().map(|&(s, d2, _)| (s, d2)).collect(),
         path_init,
         link_init,
         node_init,
+        queue_init,
         extended_steps,
         original_steps,
         extended_csr,
@@ -667,6 +746,11 @@ pub enum MegabatchError {
     /// Two parts were planned with different `state_dim`s and cannot share
     /// one forward pass. Carries `(expected, found)`.
     StateDimMismatch(usize, usize),
+    /// Parts with incompatible sequence schedules — a legacy two-entity
+    /// part packed with a QoS queue-entity part — would need two different
+    /// entity kinds at the carried sequence position. Batch QoS and legacy
+    /// samples separately.
+    ScheduleMismatch(usize),
 }
 
 impl std::fmt::Display for MegabatchError {
@@ -676,6 +760,11 @@ impl std::fmt::Display for MegabatchError {
             Self::StateDimMismatch(expected, found) => write!(
                 f,
                 "build_megabatch: state_dim mismatch (expected {expected}, found {found})"
+            ),
+            Self::ScheduleMismatch(pos) => write!(
+                f,
+                "build_megabatch: mixed legacy/QoS sequence schedules (entity kind \
+                 conflict at position {pos})"
             ),
         }
     }
@@ -796,6 +885,7 @@ impl SamplePlan {
                     let tag = match step.kind {
                         EntityKind::Node => format!("RNN_P<-node{}", step.ids[row]),
                         EntityKind::Link => format!("RNN_P<-link{}", step.ids[row]),
+                        EntityKind::Queue => format!("RNN_P<-queue{}", step.ids[row]),
                     };
                     parts.push(tag);
                 }
@@ -912,6 +1002,106 @@ mod tests {
                 assert_eq!(plan.extended_steps[pos].mask.get(row, 0), 0.0);
             }
         }
+    }
+
+    fn toy_qos_sample() -> (rn_netgraph::Topology, Sample) {
+        let topo = topologies::toy5();
+        let config = GeneratorConfig {
+            sim: SimConfig {
+                duration_s: 30.0,
+                warmup_s: 5.0,
+                ..SimConfig::default()
+            },
+            qos: Some(rn_dataset::QosGenConfig::two_class_mix()),
+            ..GeneratorConfig::default()
+        };
+        let mut ds = generate(&topo, &config, 41, 1);
+        (topo, ds.samples.pop().unwrap())
+    }
+
+    #[test]
+    fn qos_plan_builds_three_entity_sequence() {
+        let (topo, sample) = toy_qos_sample();
+        let qos = sample.qos.clone().unwrap();
+        let n = qos.num_classes();
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let plan = build_plan(&sample, &plan_config(&prep));
+
+        assert_eq!(plan.num_queues, topo.num_links() * n);
+        assert_eq!(plan.queue_init.shape(), (plan.num_queues, 8));
+        assert_eq!(plan.extended_steps.len(), 3 * plan.original_steps.len());
+        for (i, step) in plan.extended_steps.iter().enumerate() {
+            let expected = match i % 3 {
+                0 => EntityKind::Node,
+                1 => EntityKind::Queue,
+                _ => EntityKind::Link,
+            };
+            assert_eq!(step.kind, expected, "position {i}");
+        }
+        // Queue ids address the (link, class) queue of each hop.
+        for (row, (_, _, path)) in sample.routing.iter_paths().enumerate() {
+            let class = qos.path_classes[row] as usize;
+            for (h, &l) in path.links.iter().enumerate() {
+                let qstep = &plan.extended_steps[3 * h + 1];
+                assert_eq!(qstep.ids[row], l * n + class, "row {row} hop {h}");
+                assert_eq!(qstep.mask.get(row, 0), 1.0);
+                assert_eq!(plan.extended_steps[3 * h].ids[row], path.nodes[h]);
+                assert_eq!(plan.extended_steps[3 * h + 2].ids[row], l);
+            }
+        }
+        // Queue features: per-link scheduler shares sum to 1, ranks descend.
+        for link in 0..topo.num_links() {
+            let share: f32 = (0..n).map(|c| plan.queue_init.get(link * n + c, 0)).sum();
+            assert!((share - 1.0).abs() < 1e-5, "link {link} share sum {share}");
+            for c in 1..n {
+                assert!(
+                    plan.queue_init.get(link * n + c, 1) < plan.queue_init.get(link * n + c - 1, 1),
+                    "priority rank must strictly descend with class index"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_class_fifo_qos_plan_matches_legacy_plan_exactly() {
+        let (_, sample) = toy_sample();
+        let mut fifo = sample.clone();
+        fifo.qos = Some(rn_dataset::SampleQos {
+            policy: rn_netsim::SchedulingPolicy::Fifo,
+            class_profiles: vec![rn_netsim::TrafficProfile::Poisson],
+            path_classes: vec![0; sample.targets.len()],
+            class_targets: rn_netsim::ClassStats::from_accumulators(
+                &vec![Default::default(); sample.targets.len()],
+                &vec![0; sample.targets.len()],
+                1,
+            ),
+        });
+        let delays: Vec<f64> = sample
+            .targets
+            .iter()
+            .map(|t| t.mean_delay_s.max(1e-6))
+            .collect();
+        let prep = preprocessing(&delays);
+        let cfg = plan_config(&prep);
+        let legacy = build_plan(&sample, &cfg);
+        let degenerate = build_plan(&fifo, &cfg);
+
+        assert_eq!(degenerate.num_queues, 0);
+        assert_eq!(degenerate.queue_init.shape(), (0, 8));
+        assert_eq!(degenerate.extended_steps.len(), legacy.extended_steps.len());
+        for (a, b) in legacy.extended_steps.iter().zip(&degenerate.extended_steps) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.ids, b.ids);
+            assert!(a.mask.approx_eq(&b.mask, 0.0));
+        }
+        assert!(legacy.path_init.approx_eq(&degenerate.path_init, 0.0));
+        assert!(legacy.link_init.approx_eq(&degenerate.link_init, 0.0));
+        assert!(legacy.node_init.approx_eq(&degenerate.node_init, 0.0));
     }
 
     #[test]
@@ -1043,6 +1233,7 @@ mod tests {
         for (b, p) in plans.iter().enumerate() {
             let link_base: usize = plans[..b].iter().map(|q| q.num_links).sum();
             let node_base: usize = plans[..b].iter().map(|q| q.num_nodes).sum();
+            let queue_base: usize = plans[..b].iter().map(|q| q.num_queues).sum();
             let (row_lo, row_hi) = mb.path_ranges[b];
             for (pos, step) in mb.plan.extended_steps.iter().enumerate() {
                 for row in row_lo..row_hi {
@@ -1051,6 +1242,7 @@ mod tests {
                         let (base, local_id) = match step.kind {
                             EntityKind::Link => (link_base, local.ids[row - row_lo]),
                             EntityKind::Node => (node_base, local.ids[row - row_lo]),
+                            EntityKind::Queue => (queue_base, local.ids[row - row_lo]),
                         };
                         assert_eq!(step.ids[row], base + local_id, "step {pos} row {row}");
                     }
@@ -1189,9 +1381,11 @@ mod tests {
             path_bounds: vec![0, 10],
             link_bounds: vec![0, 4],
             node_bounds: vec![0, 3],
+            queue_bounds: vec![0, 0],
             dense_path_bounds: Vec::new(),
             dense_link_bounds: balanced_row_bounds(4, 1),
             dense_node_bounds: balanced_row_bounds(0, 4),
+            dense_queue_bounds: Vec::new(),
             shared: OnceLock::new(),
         };
         assert_eq!(shards.len(), 1);
@@ -1209,9 +1403,11 @@ mod tests {
             path_bounds: Vec::new(),
             link_bounds: Vec::new(),
             node_bounds: Vec::new(),
+            queue_bounds: Vec::new(),
             dense_path_bounds: Vec::new(),
             dense_link_bounds: Vec::new(),
             dense_node_bounds: Vec::new(),
+            dense_queue_bounds: Vec::new(),
             shared: OnceLock::new(),
         };
         assert_eq!(empty.len(), 0);

@@ -32,7 +32,8 @@
 //! - [`features`] — feature scaling fitted on the training set.
 //! - [`entities`] — converts a dataset sample into the tensors and
 //!   gather/scatter index plans message passing executes over.
-//! - [`model`] — [`OriginalRouteNet`] and [`ExtendedRouteNet`].
+//! - [`model`] — [`OriginalRouteNet`], [`ExtendedRouteNet`] and the
+//!   QoS-aware [`QosRouteNet`] (adds a per-(link, class) queue entity).
 //! - [`trainer`] — minibatch Adam training with rayon data-parallel gradients.
 //! - [`eval`] — relative-error evaluation and CDF series (Figure 2).
 //! - [`persist`] — atomic JSON save/load of trained models.
@@ -61,6 +62,6 @@ pub use config::{ModelConfig, NodeUpdate};
 pub use entities::{EntityKind, MegabatchError, SamplePlan};
 pub use eval::{evaluate, EvalReport};
 pub use features::FeatureScales;
-pub use model::{ExtendedRouteNet, OriginalRouteNet, PathPredictor};
+pub use model::{ExtendedRouteNet, OriginalRouteNet, PathPredictor, QosRouteNet};
 pub use plan_cache::{sample_fingerprint, PlanCache};
 pub use trainer::{train, TrainConfig, TrainingHistory};

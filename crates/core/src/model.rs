@@ -166,9 +166,11 @@ pub trait PathPredictor: Layer + Clone + Send + Sync {
 /// Three tape nodes per sequence position (`gather_rows`, `gru_step_rows`,
 /// `segment_acc_rows`) instead of the ~20 the unfused sweep records — this is the
 /// training hot path. Returns `(final_path_state, link_message_sum,
-/// node_message_sum)`; the node accumulator is `None` when
-/// `collect_node_messages` is false (original model, or the
-/// FinalPathStateSum ablation).
+/// node_message_sum, queue_message_sum)`; the node accumulator is `None`
+/// when `collect_node_messages` is false (original model, or the
+/// FinalPathStateSum ablation), and the queue accumulator is `None` unless
+/// `queue_state` is supplied (QoS plans only — legacy sweeps record exactly
+/// the same tape ops as before the queue entity existed).
 #[allow(clippy::too_many_arguments)]
 fn path_sweep(
     g: &mut Graph,
@@ -177,15 +179,22 @@ fn path_sweep(
     mut path_state: Var,
     link_state: Var,
     node_state: Option<Var>,
+    queue_state: Option<Var>,
     num_links: usize,
     num_nodes: usize,
+    num_queues: usize,
     collect_node_messages: bool,
     shards: Option<&PlanShards>,
-) -> (Var, Var, Option<Var>) {
+) -> (Var, Var, Option<Var>, Option<Var>) {
     let state_dim = g.value(link_state).cols();
     let mut link_acc = g.constant_with(num_links, state_dim, |_| {});
     let mut node_acc = if collect_node_messages {
         Some(g.constant_with(num_nodes, state_dim, |_| {}))
+    } else {
+        None
+    };
+    let mut queue_acc = if queue_state.is_some() {
+        Some(g.constant_with(num_queues, state_dim, |_| {}))
     } else {
         None
     };
@@ -212,6 +221,7 @@ fn path_sweep(
         let states = match csr.kinds[s] {
             EntityKind::Link => link_state,
             EntityKind::Node => node_state.expect("node step requires node states"),
+            EntityKind::Queue => queue_state.expect("queue step requires queue states"),
         };
         // Megabatch plans carry per-sample shard bounds: the fused ops then
         // record shard descriptors, so this step's work can fan out across
@@ -245,9 +255,14 @@ fn path_sweep(
                     node_acc = Some(g.segment_acc_rows_sharded(acc, path_state, rows, ids, split));
                 }
             }
+            EntityKind::Queue => {
+                if let Some(acc) = queue_acc {
+                    queue_acc = Some(g.segment_acc_rows_sharded(acc, path_state, rows, ids, split));
+                }
+            }
         }
     }
-    (path_state, link_acc, node_acc)
+    (path_state, link_acc, node_acc, queue_acc)
 }
 
 /// The pre-fusion sweep, op by op — the numerical reference for
@@ -260,16 +275,21 @@ fn path_sweep_unfused(
     mut path_state: Var,
     link_state: Var,
     node_state: Option<Var>,
+    queue_state: Option<Var>,
     num_links: usize,
     num_nodes: usize,
+    num_queues: usize,
     collect_node_messages: bool,
-) -> (Var, Var, Option<Var>) {
+) -> (Var, Var, Option<Var>, Option<Var>) {
     let mut link_acc = g.constant(Matrix::zeros(num_links, g.value(link_state).cols()));
     let mut node_acc = if collect_node_messages {
         Some(g.constant(Matrix::zeros(num_nodes, g.value(link_state).cols())))
     } else {
         None
     };
+    let mut queue_acc = queue_state
+        .is_some()
+        .then(|| g.constant(Matrix::zeros(num_queues, g.value(link_state).cols())));
     for step in steps {
         if step.active == 0 {
             continue;
@@ -277,6 +297,7 @@ fn path_sweep_unfused(
         let states = match step.kind {
             EntityKind::Link => link_state,
             EntityKind::Node => node_state.expect("node step requires node states"),
+            EntityKind::Queue => queue_state.expect("queue step requires queue states"),
         };
         let x_raw = g.gather_rows(states, &step.ids);
         let x = g.mask_rows(x_raw, &step.mask);
@@ -294,9 +315,15 @@ fn path_sweep_unfused(
                     node_acc = Some(g.add(acc, contribution));
                 }
             }
+            EntityKind::Queue => {
+                if let Some(acc) = queue_acc {
+                    let contribution = g.segment_sum(msg, &step.ids, num_queues);
+                    queue_acc = Some(g.add(acc, contribution));
+                }
+            }
         }
     }
-    (path_state, link_acc, node_acc)
+    (path_state, link_acc, node_acc, queue_acc)
 }
 
 // ---------------------------------------------------------------------------
@@ -434,15 +461,17 @@ impl PathPredictor for OriginalRouteNet {
             }
         });
         for _ in 0..self.config.mp_iterations {
-            let (new_path, link_acc, _) = path_sweep(
+            let (new_path, link_acc, _, _) = path_sweep(
                 g,
                 &bound.gru_path,
                 &plan.original_csr,
                 path_state,
                 link_state,
                 None,
+                None,
                 plan.num_links,
                 plan.num_nodes,
+                0,
                 false,
                 plan.shards.as_ref(),
             );
@@ -459,15 +488,17 @@ impl PathPredictor for OriginalRouteNet {
         let mut path_state = g.constant(plan.path_init.clone());
         let mut link_state = g.constant(plan.link_init.clone());
         for _ in 0..self.config.mp_iterations {
-            let (new_path, link_acc, _) = path_sweep_unfused(
+            let (new_path, link_acc, _, _) = path_sweep_unfused(
                 g,
                 &bound.gru_path,
                 &plan.original_steps,
                 path_state,
                 link_state,
                 None,
+                None,
                 plan.num_links,
                 plan.num_nodes,
+                0,
                 false,
             );
             path_state = new_path;
@@ -622,15 +653,17 @@ impl PathPredictor for ExtendedRouteNet {
             }
         });
         for _ in 0..self.config.mp_iterations {
-            let (new_path, link_acc, node_acc) = path_sweep(
+            let (new_path, link_acc, node_acc, _) = path_sweep(
                 g,
                 &bound.gru_path,
                 &plan.extended_csr,
                 path_state,
                 link_state,
                 Some(node_state),
+                None,
                 plan.num_links,
                 plan.num_nodes,
+                0,
                 positional,
                 plan.shards.as_ref(),
             );
@@ -661,15 +694,17 @@ impl PathPredictor for ExtendedRouteNet {
         let mut node_state = g.constant(plan.node_init.clone());
         let positional = self.config.node_update == NodeUpdate::PositionalMessages;
         for _ in 0..self.config.mp_iterations {
-            let (new_path, link_acc, node_acc) = path_sweep_unfused(
+            let (new_path, link_acc, node_acc, _) = path_sweep_unfused(
                 g,
                 &bound.gru_path,
                 &plan.extended_steps,
                 path_state,
                 link_state,
                 Some(node_state),
+                None,
                 plan.num_links,
                 plan.num_nodes,
+                0,
                 positional,
             );
             path_state = new_path;
@@ -681,6 +716,259 @@ impl PathPredictor for ExtendedRouteNet {
             };
             link_state = bound.gru_link.step(g, link_state, link_acc);
             node_state = bound.gru_node.step(g, node_state, node_input);
+        }
+        bound.readout.forward(g, path_state)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QoS RouteNet (queue entity)
+// ---------------------------------------------------------------------------
+
+/// The QoS-aware RouteNet: adds a per-(link, class) **queue entity**
+/// (`RNN_Q`) on top of the extended model, so the message passing sees the
+/// scheduler configuration (policy shares, class ranks) of every output
+/// port. On QoS plans the path sequence is 3-periodic (node, queue, link per
+/// hop); on legacy and single-class-FIFO plans `num_queues == 0`, no queue
+/// op is recorded, and the forward/backward tapes are **bitwise identical**
+/// to [`ExtendedRouteNet`] at the same seed — the shared parameters are
+/// drawn in the same `Prng` order and the queue GRU only afterwards.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QosRouteNet {
+    config: ModelConfig,
+    scales: FeatureScales,
+    normalizer: Normalizer,
+    gru_path: GruCell,
+    gru_link: GruCell,
+    gru_node: GruCell,
+    readout: Mlp,
+    gru_queue: GruCell,
+}
+
+/// Tape bindings for [`QosRouteNet`].
+#[derive(Debug, Clone)]
+pub struct BoundQos {
+    gru_path: BoundGruCell,
+    gru_link: BoundGruCell,
+    gru_node: BoundGruCell,
+    readout: BoundMlp,
+    gru_queue: BoundGruCell,
+}
+
+impl QosRouteNet {
+    /// Fresh model with Xavier-initialized weights. The path/link/node GRUs
+    /// and the readout consume the seed stream in exactly
+    /// [`ExtendedRouteNet::new`]'s order, then the queue GRU draws from
+    /// whatever is left: at equal seed the shared parameters are bitwise
+    /// equal, which is what makes the FIFO golden-equivalence tests exact.
+    pub fn new(config: ModelConfig) -> Self {
+        config.validate().expect("invalid model config");
+        let d = config.state_dim;
+        let h = config.readout_hidden;
+        let mut rng = Prng::new(config.seed);
+        Self {
+            gru_path: GruCell::new(&mut rng, d, d),
+            gru_link: GruCell::new(&mut rng, d, d),
+            gru_node: GruCell::new(&mut rng, d, d),
+            readout: Mlp::new(
+                &mut rng,
+                &[d, h, h, 1],
+                Activation::Selu,
+                Activation::Identity,
+            ),
+            gru_queue: GruCell::new(&mut rng, d, d),
+            config,
+            scales: FeatureScales::unit(),
+            normalizer: Normalizer::identity(),
+        }
+    }
+}
+
+impl Layer for QosRouteNet {
+    type Bound = BoundQos;
+
+    fn bind(&self, g: &mut Graph) -> BoundQos {
+        // Queue GRU bound last: on FIFO plans the tape prefix (params and
+        // compute ops alike) matches ExtendedRouteNet node for node.
+        BoundQos {
+            gru_path: self.gru_path.bind(g),
+            gru_link: self.gru_link.bind(g),
+            gru_node: self.gru_node.bind(g),
+            readout: self.readout.bind(g),
+            gru_queue: self.gru_queue.bind(g),
+        }
+    }
+
+    fn params(&self) -> Vec<&Matrix> {
+        let mut p = self.gru_path.params();
+        p.extend(self.gru_link.params());
+        p.extend(self.gru_node.params());
+        p.extend(self.readout.params());
+        p.extend(self.gru_queue.params());
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p = self.gru_path.params_mut();
+        p.extend(self.gru_link.params_mut());
+        p.extend(self.gru_node.params_mut());
+        p.extend(self.readout.params_mut());
+        p.extend(self.gru_queue.params_mut());
+        p
+    }
+
+    fn bound_vars(bound: &BoundQos) -> Vec<Var> {
+        let mut v = GruCell::bound_vars(&bound.gru_path);
+        v.extend(GruCell::bound_vars(&bound.gru_link));
+        v.extend(GruCell::bound_vars(&bound.gru_node));
+        v.extend(Mlp::bound_vars(&bound.readout));
+        v.extend(GruCell::bound_vars(&bound.gru_queue));
+        v
+    }
+}
+
+impl PathPredictor for QosRouteNet {
+    fn name(&self) -> &'static str {
+        "qos"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn preprocessing(&self) -> (&FeatureScales, &Normalizer) {
+        (&self.scales, &self.normalizer)
+    }
+
+    fn fit_preprocessing(&mut self, train: &Dataset, min_packets: u64) {
+        self.scales = FeatureScales::fit(train);
+        let delays = train.all_delays(min_packets);
+        let positive: Vec<f64> = delays.into_iter().filter(|&d| d > 0.0).collect();
+        assert!(
+            !positive.is_empty(),
+            "training set has no positive delay labels"
+        );
+        self.normalizer = Normalizer::fit(&positive, true);
+    }
+
+    fn set_normalizer(&mut self, normalizer: Normalizer) {
+        self.normalizer = normalizer;
+    }
+
+    fn forward(&self, g: &mut Graph, bound: &BoundQos, plan: &SamplePlan) -> Var {
+        // Pooled copies — see `OriginalRouteNet::forward`.
+        let mut path_state = g.constant_copy(&plan.path_init);
+        let mut link_state = g.constant_copy(&plan.link_init);
+        let mut node_state = g.constant_copy(&plan.node_init);
+        // Queue states exist only on QoS plans: when `num_queues == 0` no
+        // queue op of any kind is recorded, keeping the tape bitwise equal
+        // to the extended model's.
+        let mut queue_state = (plan.num_queues > 0).then(|| g.constant_copy(&plan.queue_init));
+        let positional = self.config.node_update == NodeUpdate::PositionalMessages;
+        // Dense row partitions — see `OriginalRouteNet::forward`.
+        let zero_copy = g.zero_copy();
+        let dense_link: Option<IndexInput<'_>> = plan.shards.as_ref().and_then(|s| {
+            if zero_copy {
+                s.shared_dense_link().map(IndexInput::from)
+            } else {
+                s.dense_link().map(IndexInput::from)
+            }
+        });
+        let dense_node: Option<IndexInput<'_>> = plan.shards.as_ref().and_then(|s| {
+            if zero_copy {
+                s.shared_dense_node().map(IndexInput::from)
+            } else {
+                s.dense_node().map(IndexInput::from)
+            }
+        });
+        let dense_queue: Option<IndexInput<'_>> = plan.shards.as_ref().and_then(|s| {
+            if zero_copy {
+                s.shared_dense_queue().map(IndexInput::from)
+            } else {
+                s.dense_queue().map(IndexInput::from)
+            }
+        });
+        let dense_path: Option<IndexInput<'_>> = plan.shards.as_ref().and_then(|s| {
+            if zero_copy {
+                s.shared_dense_path().map(IndexInput::from)
+            } else {
+                s.dense_path().map(IndexInput::from)
+            }
+        });
+        for _ in 0..self.config.mp_iterations {
+            let (new_path, link_acc, node_acc, queue_acc) = path_sweep(
+                g,
+                &bound.gru_path,
+                &plan.extended_csr,
+                path_state,
+                link_state,
+                Some(node_state),
+                queue_state,
+                plan.num_links,
+                plan.num_nodes,
+                plan.num_queues,
+                positional,
+                plan.shards.as_ref(),
+            );
+            path_state = new_path;
+            let node_input = if positional {
+                node_acc.expect("positional sweep collects node messages")
+            } else {
+                let gathered = g.gather_rows(path_state, &plan.node_incidence_paths);
+                g.segment_sum(gathered, &plan.node_incidence_nodes, plan.num_nodes)
+            };
+            link_state =
+                bound
+                    .gru_link
+                    .step_fused_sharded(g, link_state, link_acc, dense_link.clone());
+            node_state =
+                bound
+                    .gru_node
+                    .step_fused_sharded(g, node_state, node_input, dense_node.clone());
+            if let (Some(qs), Some(qa)) = (queue_state, queue_acc) {
+                queue_state = Some(bound.gru_queue.step_fused_sharded(
+                    g,
+                    qs,
+                    qa,
+                    dense_queue.clone(),
+                ));
+            }
+        }
+        bound.readout.forward_sharded(g, path_state, dense_path)
+    }
+
+    fn forward_unfused(&self, g: &mut Graph, bound: &BoundQos, plan: &SamplePlan) -> Var {
+        let mut path_state = g.constant(plan.path_init.clone());
+        let mut link_state = g.constant(plan.link_init.clone());
+        let mut node_state = g.constant(plan.node_init.clone());
+        let mut queue_state = (plan.num_queues > 0).then(|| g.constant(plan.queue_init.clone()));
+        let positional = self.config.node_update == NodeUpdate::PositionalMessages;
+        for _ in 0..self.config.mp_iterations {
+            let (new_path, link_acc, node_acc, queue_acc) = path_sweep_unfused(
+                g,
+                &bound.gru_path,
+                &plan.extended_steps,
+                path_state,
+                link_state,
+                Some(node_state),
+                queue_state,
+                plan.num_links,
+                plan.num_nodes,
+                plan.num_queues,
+                positional,
+            );
+            path_state = new_path;
+            let node_input = if positional {
+                node_acc.expect("positional sweep collects node messages")
+            } else {
+                let gathered = g.gather_rows(path_state, &plan.node_incidence_paths);
+                g.segment_sum(gathered, &plan.node_incidence_nodes, plan.num_nodes)
+            };
+            link_state = bound.gru_link.step(g, link_state, link_acc);
+            node_state = bound.gru_node.step(g, node_state, node_input);
+            if let (Some(qs), Some(qa)) = (queue_state, queue_acc) {
+                queue_state = Some(bound.gru_queue.step(g, qs, qa));
+            }
         }
         bound.readout.forward(g, path_state)
     }
@@ -961,5 +1249,149 @@ mod tests {
         // Extended has one more GRU than original at equal config.
         let orig = OriginalRouteNet::new(small_config());
         assert!(small.param_count() > orig.param_count());
+        // And QoS one more than extended (the queue GRU).
+        let qos = QosRouteNet::new(small_config());
+        assert!(qos.param_count() > small.param_count());
+    }
+
+    fn qos_dataset(n: usize) -> Dataset {
+        let config = GeneratorConfig {
+            sim: SimConfig {
+                duration_s: 30.0,
+                warmup_s: 5.0,
+                ..SimConfig::default()
+            },
+            qos: Some(rn_dataset::QosGenConfig::two_class_mix()),
+            ..GeneratorConfig::default()
+        };
+        generate(&topologies::toy5(), &config, 43, n)
+    }
+
+    #[test]
+    fn qos_model_predicts_one_value_per_path_on_qos_plans() {
+        let ds = qos_dataset(1);
+        let mut model = QosRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan = model.plan(&ds.samples[0]);
+        assert!(
+            plan.num_queues > 0,
+            "QoS sample must produce queue entities"
+        );
+        let preds = model.predict(&plan);
+        assert_eq!(preds.len(), plan.n_paths);
+        for p in preds {
+            assert!(p.is_finite() && p > 0.0, "prediction {p}");
+        }
+    }
+
+    #[test]
+    fn qos_model_fused_forward_matches_unfused_reference() {
+        let ds = qos_dataset(1);
+        let mut model = QosRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan = model.plan(&ds.samples[0]);
+        let mut g = Graph::new();
+        let bound = model.bind(&mut g);
+        let fused = model.forward(&mut g, &bound, &plan);
+        let unfused = model.forward_unfused(&mut g, &bound, &plan);
+        assert!(
+            g.value(fused).approx_eq(g.value(unfused), 1e-5),
+            "fused/unfused diverged on a QoS plan"
+        );
+    }
+
+    #[test]
+    fn qos_model_reacts_to_scheduling_policy() {
+        // Same traffic, same routing — only the scheduler changes. The queue
+        // entity is the only channel through which the model can see that.
+        let ds = qos_dataset(1);
+        let mut sample_b = ds.samples[0].clone();
+        let qos = sample_b.qos.as_mut().expect("QoS sample");
+        let n = qos.num_classes();
+        qos.policy = rn_netsim::SchedulingPolicy::Wfq {
+            weights: (0..n).map(|c| 1.0 + 9.0 * c as f64).collect(),
+        };
+
+        let mut model = QosRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let a = model.predict(&model.plan(&ds.samples[0]));
+        let b = model.predict(&model.plan(&sample_b));
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-9, "QoS model must react to the scheduling policy");
+    }
+
+    #[test]
+    fn qos_model_gradients_reach_the_queue_gru() {
+        let ds = qos_dataset(1);
+        let mut model = QosRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan = model.plan(&ds.samples[0]);
+        let mut g = Graph::new();
+        let bound = model.bind(&mut g);
+        let pred = model.forward(&mut g, &bound, &plan);
+        let reliable = g.gather_rows(pred, &plan.reliable_idx);
+        let target = g.constant(plan.reliable_targets_norm());
+        let loss = g.mse(reliable, target);
+        g.backward(loss);
+        let grads = model.grads(&g, &bound);
+        let nonzero = grads.iter().filter(|m| m.max_abs() > 0.0).count();
+        assert!(
+            nonzero >= grads.len() - 2,
+            "only {nonzero}/{} parameter tensors received gradient",
+            grads.len()
+        );
+        // The queue GRU specifically (the last 6 tensors) must be live.
+        let queue_grads = &grads[grads.len() - 6..];
+        assert!(
+            queue_grads.iter().any(|m| m.max_abs() > 0.0),
+            "queue GRU received no gradient on a QoS plan"
+        );
+    }
+
+    #[test]
+    fn qos_model_is_bitwise_extended_on_legacy_plans() {
+        // Same seed => shared parameters are drawn identically; a legacy
+        // plan records no queue ops => predictions are bitwise equal.
+        let ds = toy_dataset(1);
+        let mut qos = QosRouteNet::new(small_config());
+        let mut ext = ExtendedRouteNet::new(small_config());
+        qos.fit_preprocessing(&ds, 5);
+        ext.fit_preprocessing(&ds, 5);
+        let plan_q = qos.plan(&ds.samples[0]);
+        let plan_e = ext.plan(&ds.samples[0]);
+        assert_eq!(plan_q.num_queues, 0);
+        assert_eq!(qos.predict(&plan_q), ext.predict(&plan_e));
+    }
+
+    #[test]
+    fn qos_model_serde_round_trip_preserves_predictions() {
+        let ds = qos_dataset(1);
+        let mut model = QosRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plan = model.plan(&ds.samples[0]);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: QosRouteNet = serde_json::from_str(&json).unwrap();
+        assert_eq!(model.predict(&plan), back.predict(&plan));
+    }
+
+    #[test]
+    fn qos_predict_batch_matches_per_sample_predict() {
+        let ds = qos_dataset(3);
+        let mut model = QosRouteNet::new(small_config());
+        model.fit_preprocessing(&ds, 5);
+        let plans: Vec<SamplePlan> = ds.samples.iter().map(|s| model.plan(s)).collect();
+        let batched = model.predict_batch(&plans);
+        assert_eq!(batched.len(), plans.len());
+        for (b, plan) in plans.iter().enumerate() {
+            let single = model.predict(plan);
+            assert_eq!(batched[b].len(), single.len());
+            for (x, y) in batched[b].iter().zip(&single) {
+                let denom = y.abs().max(1e-12);
+                assert!(
+                    ((x - y).abs() / denom) < 1e-5,
+                    "sample {b}: batched {x} vs single {y}"
+                );
+            }
+        }
     }
 }

@@ -137,6 +137,17 @@ pub fn sample_fingerprint(sample: &Sample, config: &PlanConfig) -> u64 {
             .usizes(&path.links)
             .f64(sample.traffic.rate(src, dst));
     }
+    // QoS dimension: the scheduling policy, class profiles and per-path
+    // classes change the compiled plan (queue entities, the 3-periodic
+    // schedule, queue features) and must re-key it. Legacy samples fold
+    // nothing here, so their fingerprints are exactly what they were before
+    // the QoS dimension existed. Serialization is the canonical encoding —
+    // derive-ordered fields, shortest-round-trip floats — so equal specs
+    // fold equal bytes.
+    if let Some(qos) = &sample.qos {
+        let encoded = serde_json::to_string(qos).expect("QoS spec serializes");
+        fp.usize(encoded.len()).bytes(encoded.as_bytes());
+    }
     fp.finish()
 }
 
@@ -150,13 +161,15 @@ impl SamplePlan {
         let mut fp = Fingerprint::new();
         fp.usize(self.n_paths)
             .usize(self.num_links)
-            .usize(self.num_nodes);
+            .usize(self.num_nodes)
+            .usize(self.num_queues);
         for &(s, d) in &self.pairs {
             fp.usize(s).usize(d);
         }
         fp.f32s(self.path_init.as_slice())
             .f32s(self.link_init.as_slice())
-            .f32s(self.node_init.as_slice());
+            .f32s(self.node_init.as_slice())
+            .f32s(self.queue_init.as_slice());
         for csr in [&self.extended_csr, &self.original_csr] {
             fp.usize(csr.len())
                 .usizes(&csr.offsets)
@@ -184,7 +197,8 @@ impl SamplePlan {
             fp.usize(self.path_init.cols()) // state width shapes every buffer
                 .usize(self.n_paths)
                 .usize(self.num_links)
-                .usize(self.num_nodes);
+                .usize(self.num_nodes)
+                .usize(self.num_queues);
             for &(s, d) in &self.pairs {
                 fp.usize(s).usize(d);
             }
@@ -199,6 +213,7 @@ impl SamplePlan {
                     fp.u64(match kind {
                         crate::entities::EntityKind::Link => 0,
                         crate::entities::EntityKind::Node => 1,
+                        crate::entities::EntityKind::Queue => 2,
                     });
                 }
             }

@@ -191,6 +191,12 @@ impl TrainConfig {
              (with per-stage latency breakdown) to as one JSON line (requires RN_TRACE=1); \
              defaults to serve_metrics.jsonl",
         ),
+        (
+            "RN_QOS_VALIDATION_OUT",
+            "path the QoS validation harness (tests/model_vs_simulator.rs, \
+             trained_qos_model_tracks_per_class_delays) writes its JSON report to — per-class \
+             model/simulator/theory delays plus relative errors; unset skips the write",
+        ),
     ];
 
     /// The `RN_BACKWARD_SHARDS` override, if set to a positive integer.

@@ -50,6 +50,7 @@ proptest! {
                     match step.kind {
                         routenet::EntityKind::Link => prop_assert!(id < plan.num_links),
                         routenet::EntityKind::Node => prop_assert!(id < plan.num_nodes),
+                        routenet::EntityKind::Queue => prop_assert!(id < plan.num_queues),
                     }
                 }
             }
@@ -208,6 +209,7 @@ proptest! {
                     let entity = match csr.kinds[s] {
                         routenet::EntityKind::Link => &shards.link_bounds,
                         routenet::EntityKind::Node => &shards.node_bounds,
+                        routenet::EntityKind::Queue => &shards.queue_bounds,
                     };
                     for k in lo..hi {
                         prop_assert!(active[k] >= shards.path_bounds[b]);

@@ -7,10 +7,13 @@
 //! generated in parallel with rayon, which is safe because every sample owns
 //! an independent split RNG stream.
 
-use crate::schema::{Dataset, PathTarget, Sample};
+use crate::schema::{Dataset, PathTarget, Sample, SampleQos};
 use rayon::prelude::*;
 use rn_netgraph::{Routing, Topology, TrafficMatrix};
-use rn_netsim::{simulate, FaultPlan, QueueProfile, SimConfig};
+use rn_netsim::{
+    simulate, simulate_qos, FaultPlan, QosSpec, QueueProfile, SchedulingPolicy, SimConfig,
+    SimResult, TrafficProfile,
+};
 use rn_tensor::Prng;
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +40,58 @@ pub enum TrafficModel {
     },
 }
 
+/// Controls for the QoS dimension of generated scenarios: each sample draws
+/// a scheduling policy from the menu and assigns every flow a ToS class
+/// uniformly at random. The per-class traffic profiles are fixed by the
+/// config (class count = profile count).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QosGenConfig {
+    /// Menu of scheduling policies; each sample draws one uniformly.
+    pub policies: Vec<SchedulingPolicy>,
+    /// Per-class traffic model; the length fixes the number of ToS classes.
+    pub class_profiles: Vec<TrafficProfile>,
+}
+
+impl QosGenConfig {
+    /// A two-class strict-priority/WFQ/DRR mix with heterogeneous traffic —
+    /// a reasonable default QoS scenario space.
+    pub fn two_class_mix() -> Self {
+        Self {
+            policies: vec![
+                SchedulingPolicy::StrictPriority,
+                SchedulingPolicy::Wfq {
+                    weights: vec![3.0, 1.0],
+                },
+                SchedulingPolicy::Drr {
+                    quanta_bits: vec![3_000.0, 1_000.0],
+                },
+            ],
+            class_profiles: vec![
+                TrafficProfile::Poisson,
+                TrafficProfile::OnOff {
+                    on_mean_s: 1.0,
+                    off_mean_s: 1.0,
+                },
+            ],
+        }
+    }
+
+    /// Validate the menu against the class count.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.policies.is_empty() {
+            return Err("QoS config needs at least one policy".into());
+        }
+        let n = self.class_profiles.len();
+        for p in &self.policies {
+            p.validate(n)?;
+        }
+        for p in &self.class_profiles {
+            p.validate()?;
+        }
+        Ok(())
+    }
+}
+
 /// Controls for the dataset generator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GeneratorConfig {
@@ -58,6 +113,15 @@ pub struct GeneratorConfig {
     /// Randomize the routing scheme per sample (Dijkstra under random link
     /// weights). When false, minimum-hop routing is used for every sample.
     pub randomize_routing: bool,
+    /// QoS scenario dimension: per-sample scheduling policies, ToS classes
+    /// and heterogeneous traffic models. `None` (the default, and what old
+    /// configs deserialize to) generates legacy FIFO scenarios **with a
+    /// bit-identical RNG stream** — every QoS draw is gated behind this
+    /// option.
+    pub qos: Option<QosGenConfig>,
+    /// Fault scenario dimension: a fault plan applied to every sample's
+    /// simulation and recorded on the sample. `None` means fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for GeneratorConfig {
@@ -69,6 +133,8 @@ impl Default for GeneratorConfig {
             tiny_fraction_range: (0.2, 0.8),
             capacity_choices_bps: Vec::new(),
             randomize_routing: true,
+            qos: None,
+            faults: None,
         }
     }
 }
@@ -100,8 +166,72 @@ impl GeneratorConfig {
         if self.capacity_choices_bps.iter().any(|&c| c <= 0.0) {
             return Err("capacity choices must be positive".into());
         }
+        if let Some(qos) = &self.qos {
+            qos.validate()?;
+        }
+        if let Some(faults) = &self.faults {
+            // Link indices are checked per-topology at simulation time.
+            faults.validate(usize::MAX)?;
+        }
         Ok(())
     }
+}
+
+/// Draw the per-sample [`QosSpec`] (policy + per-flow classes) and run the
+/// simulator through the matching entry point. All QoS RNG draws happen in
+/// here, *after* the queue-profile draw and *before* the sim-seed draw, so
+/// a `None` QoS config leaves the legacy RNG stream untouched.
+fn draw_qos_and_simulate(
+    rng: &mut Prng,
+    sample_topo: &Topology,
+    routing: &Routing,
+    traffic: &TrafficMatrix,
+    queue_capacities: &[usize],
+    config: &GeneratorConfig,
+) -> (Option<QosSpec>, u64, SimResult) {
+    let spec = config.qos.as_ref().map(|qc| {
+        let policy = rng.choose(&qc.policies).clone();
+        let num_classes = qc.class_profiles.len() as u64;
+        let num_flows = routing
+            .iter_paths()
+            .filter(|&(s, d, _)| traffic.rate(s, d) > 0.0)
+            .count();
+        QosSpec {
+            policy,
+            class_profiles: qc.class_profiles.clone(),
+            flow_classes: (0..num_flows)
+                .map(|_| rng.int_range(0, num_classes) as u8)
+                .collect(),
+        }
+    });
+    let sim_seed = rng.int_range(0, u64::MAX);
+    let sim_config = SimConfig {
+        seed: sim_seed,
+        ..config.sim.clone()
+    };
+    let faults = config.faults.clone().unwrap_or_default();
+    let result = match &spec {
+        Some(spec) => simulate_qos(
+            sample_topo,
+            routing,
+            traffic,
+            queue_capacities,
+            &sim_config,
+            &faults,
+            spec,
+        ),
+        None => simulate(
+            sample_topo,
+            routing,
+            traffic,
+            queue_capacities,
+            &sim_config,
+            &faults,
+        ),
+    }
+    .expect("generator inputs are validated");
+    debug_assert!(result.conservation_holds(), "simulator lost packets");
+    (spec, sim_seed, result)
 }
 
 /// Generate one sample deterministically from `(master_seed, index)`.
@@ -155,21 +285,14 @@ pub fn generate_sample(
         QueueProfile::random_assignment(sample_topo.num_nodes(), tiny_fraction, &mut rng);
     let queue_capacities = QueueProfile::capacities(&queue_profiles, &config.sim);
 
-    let sim_seed = rng.int_range(0, u64::MAX);
-    let sim_config = SimConfig {
-        seed: sim_seed,
-        ..config.sim.clone()
-    };
-    let result = simulate(
+    let (spec, sim_seed, result) = draw_qos_and_simulate(
+        &mut rng,
         &sample_topo,
         &routing,
         &traffic,
         &queue_capacities,
-        &sim_config,
-        &FaultPlan::none(),
-    )
-    .expect("generator inputs are validated");
-    debug_assert!(result.conservation_holds(), "simulator lost packets");
+        config,
+    );
 
     let targets = result
         .flows
@@ -193,6 +316,13 @@ pub fn generate_sample(
         link_capacities: sample_topo.links().iter().map(|l| l.capacity_bps).collect(),
         targets,
         seed: sim_seed,
+        qos: spec.map(|s| SampleQos {
+            policy: s.policy,
+            class_profiles: s.class_profiles,
+            path_classes: s.flow_classes,
+            class_targets: result.classes,
+        }),
+        faults: config.faults.clone(),
     }
 }
 
@@ -296,21 +426,14 @@ pub fn generate_sparse_sample(
     let queue_profiles = QueueProfile::random_assignment(n, tiny_fraction, &mut rng);
     let queue_capacities = QueueProfile::capacities(&queue_profiles, &config.sim);
 
-    let sim_seed = rng.int_range(0, u64::MAX);
-    let sim_config = SimConfig {
-        seed: sim_seed,
-        ..config.sim.clone()
-    };
-    let result = simulate(
+    let (spec, sim_seed, result) = draw_qos_and_simulate(
+        &mut rng,
         &sample_topo,
         &routing,
         &traffic,
         &queue_capacities,
-        &sim_config,
-        &FaultPlan::none(),
-    )
-    .expect("generator inputs are validated");
-    debug_assert!(result.conservation_holds(), "simulator lost packets");
+        config,
+    );
 
     let targets = result
         .flows
@@ -334,6 +457,13 @@ pub fn generate_sparse_sample(
         link_capacities: sample_topo.links().iter().map(|l| l.capacity_bps).collect(),
         targets,
         seed: sim_seed,
+        qos: spec.map(|s| SampleQos {
+            policy: s.policy,
+            class_profiles: s.class_profiles,
+            path_classes: s.flow_classes,
+            class_targets: result.classes,
+        }),
+        faults: config.faults.clone(),
     }
 }
 
@@ -578,6 +708,92 @@ mod tests {
             (util - 0.5).abs() < 1e-9,
             "sparse rescaling missed the target: {util}"
         );
+    }
+
+    #[test]
+    fn qos_samples_carry_classes_and_per_class_labels() {
+        let topo = topologies::toy5();
+        let mut config = quick_config();
+        config.qos = Some(QosGenConfig::two_class_mix());
+        config.faults = Some(FaultPlan::with_drop_chance(0.005));
+        let ds = generate(&topo, &config, 29, 4);
+        ds.validate().unwrap();
+        for s in &ds.samples {
+            let qos = s.qos.as_ref().expect("QoS config produces QoS samples");
+            assert_eq!(qos.path_classes.len(), s.targets.len());
+            assert_eq!(qos.num_classes(), 2);
+            assert_eq!(qos.class_targets.len(), 2);
+            assert!(!qos.is_single_class_fifo());
+            assert_eq!(s.faults, Some(FaultPlan::with_drop_chance(0.005)));
+            // Per-class delivered counts pool the per-flow counts exactly.
+            let per_class: u64 = qos.class_targets.iter().map(|c| c.delivered).sum();
+            let per_flow: u64 = s.targets.iter().map(|t| t.delivered).sum();
+            assert_eq!(per_class, per_flow);
+        }
+        // The policy menu actually varies across samples (drawn per sample).
+        let distinct: std::collections::HashSet<_> = ds
+            .samples
+            .iter()
+            .map(|s| format!("{:?}", s.qos.as_ref().unwrap().policy))
+            .collect();
+        assert!(distinct.len() > 1, "4 samples should draw >1 policy");
+    }
+
+    #[test]
+    fn qos_generation_is_deterministic() {
+        let topo = topologies::toy5();
+        let mut config = quick_config();
+        config.qos = Some(QosGenConfig::two_class_mix());
+        let a = generate(&topo, &config, 37, 2);
+        let b = generate(&topo, &config, 37, 2);
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(sa.targets, sb.targets);
+            assert_eq!(sa.qos, sb.qos);
+        }
+    }
+
+    #[test]
+    fn legacy_config_produces_legacy_samples() {
+        // No QoS, no faults: samples must carry neither dimension, so the
+        // serialized form (and the RNG stream — no gated draws taken) matches
+        // what the pre-QoS generator produced.
+        let topo = topologies::toy5();
+        let ds = generate(&topo, &quick_config(), 42, 2);
+        for s in &ds.samples {
+            assert!(s.qos.is_none());
+            assert!(s.faults.is_none());
+        }
+    }
+
+    #[test]
+    fn sparse_qos_samples_validate() {
+        let topo = topologies::nsfnet_default();
+        let mut config = quick_config();
+        config.sim.duration_s = 30.0;
+        config.qos = Some(QosGenConfig::two_class_mix());
+        let ds = generate_sparse(&topo, &config, 16, 43, 2);
+        ds.validate().unwrap();
+        for s in &ds.samples {
+            assert_eq!(s.qos.as_ref().unwrap().path_classes.len(), 16);
+        }
+    }
+
+    #[test]
+    fn invalid_qos_config_is_rejected() {
+        let mut c = quick_config();
+        c.qos = Some(QosGenConfig {
+            policies: vec![SchedulingPolicy::Wfq {
+                weights: vec![1.0], // arity mismatch with two profiles
+            }],
+            class_profiles: vec![TrafficProfile::Poisson, TrafficProfile::Poisson],
+        });
+        assert!(c.validate().is_err());
+        let mut c = quick_config();
+        c.qos = Some(QosGenConfig {
+            policies: vec![],
+            class_profiles: vec![TrafficProfile::Poisson],
+        });
+        assert!(c.validate().is_err());
     }
 
     #[test]

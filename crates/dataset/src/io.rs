@@ -173,6 +173,54 @@ mod tests {
     }
 
     #[test]
+    fn qos_dimension_round_trips() {
+        let config = GeneratorConfig {
+            sim: SimConfig {
+                duration_s: 30.0,
+                warmup_s: 5.0,
+                ..SimConfig::default()
+            },
+            qos: Some(crate::generate::QosGenConfig::two_class_mix()),
+            faults: Some(rn_netsim::FaultPlan::with_drop_chance(0.01)),
+            ..GeneratorConfig::default()
+        };
+        let ds = generate(&topologies::toy5(), &config, 11, 2);
+        let path = tmp("ds_qos.json");
+        save_json(&ds, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        back.validate().unwrap();
+        for (a, b) in ds.samples.iter().zip(&back.samples) {
+            assert_eq!(a.qos, b.qos, "QoS dimension must survive the round trip");
+            assert_eq!(a.faults, b.faults);
+        }
+    }
+
+    #[test]
+    fn legacy_files_without_qos_fields_still_load() {
+        // A sample serialized before the QoS/fault fields existed has no
+        // `qos`/`faults` keys; the loader must default both to None.
+        let ds = small_dataset();
+        let path = tmp("ds_legacy.json");
+        save_json(&ds, &path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Strip the new keys to reconstruct the legacy wire format.
+        text = text
+            .replace("\"qos\":null,", "")
+            .replace("\"faults\":null,", "");
+        text = text
+            .replace(",\"qos\":null", "")
+            .replace(",\"faults\":null", "");
+        std::fs::write(&path, &text).unwrap();
+        let back = load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        back.validate().unwrap();
+        for s in &back.samples {
+            assert!(s.qos.is_none() && s.faults.is_none());
+        }
+    }
+
+    #[test]
     fn jsonl_round_trip_is_atomic_and_overwrites_cleanly() {
         let ds = small_dataset();
         let path = tmp("atomic.jsonl");

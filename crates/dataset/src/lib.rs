@@ -23,8 +23,8 @@ pub mod split;
 
 pub use generate::{
     generate, generate_sample, generate_sparse, generate_sparse_sample, GeneratorConfig,
-    TrafficModel,
+    QosGenConfig, TrafficModel,
 };
 pub use normalize::Normalizer;
-pub use schema::{Dataset, PathTarget, Sample};
+pub use schema::{Dataset, PathTarget, Sample, SampleQos};
 pub use split::train_test_split;

@@ -1,7 +1,7 @@
 //! Dataset schema: samples, per-path labels, and the dataset container.
 
 use rn_netgraph::{Routing, Topology, TrafficMatrix};
-use rn_netsim::QueueProfile;
+use rn_netsim::{ClassStats, FaultPlan, QueueProfile, SchedulingPolicy, TrafficProfile};
 use serde::{Deserialize, Serialize};
 
 /// Ground-truth labels for one source–destination path.
@@ -29,6 +29,42 @@ impl PathTarget {
     }
 }
 
+/// The QoS dimension of one sample: the scheduling policy and per-class
+/// traffic models the simulator ran, the ToS class of every labeled path,
+/// and the simulator's pooled per-class ground truth (the labels the
+/// queue-theory validation harness checks the model against).
+///
+/// Kept as an `Option` on [`Sample`] — legacy (FIFO, single-class) datasets
+/// simply omit it, and files written before this field existed deserialize
+/// with `qos: None` (the vendored serde maps missing keys to `None` for
+/// `Option` fields; do not add non-`Option` fields to persisted structs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleQos {
+    /// The per-port scheduling discipline of this scenario.
+    pub policy: SchedulingPolicy,
+    /// Per-class traffic model; the length is the number of ToS classes.
+    pub class_profiles: Vec<TrafficProfile>,
+    /// ToS class of each labeled path, aligned with [`Sample::targets`].
+    pub path_classes: Vec<u8>,
+    /// Simulated per-class pooled statistics (ground truth for per-class
+    /// validation), indexed by class.
+    pub class_targets: Vec<ClassStats>,
+}
+
+impl SampleQos {
+    /// Number of ToS classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_profiles.len()
+    }
+
+    /// True when this spec is indistinguishable from the legacy model:
+    /// one class scheduled FIFO. Plans built from such samples carry no
+    /// queue entities.
+    pub fn is_single_class_fifo(&self) -> bool {
+        self.num_classes() == 1 && self.policy == SchedulingPolicy::Fifo
+    }
+}
+
 /// One simulated network scenario with its labels.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sample {
@@ -47,6 +83,12 @@ pub struct Sample {
     pub targets: Vec<PathTarget>,
     /// The seed that generated this sample (provenance).
     pub seed: u64,
+    /// QoS dimension (scheduling policy, classes, per-class labels).
+    /// `None` for legacy FIFO scenarios.
+    pub qos: Option<SampleQos>,
+    /// Fault dimension (random drops, link outages) the simulator applied.
+    /// `None` means the fault-free baseline.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Sample {
@@ -106,6 +148,33 @@ impl Sample {
             if t.mean_delay_s < 0.0 || t.jitter_s < 0.0 || !(0.0..=1.0).contains(&t.loss_ratio) {
                 return Err(format!("out-of-range label on path {}->{}", t.src, t.dst));
             }
+        }
+        if let Some(qos) = &self.qos {
+            if qos.path_classes.len() != self.targets.len() {
+                return Err(format!(
+                    "{} path classes for {} targets",
+                    qos.path_classes.len(),
+                    self.targets.len()
+                ));
+            }
+            let n = qos.num_classes();
+            qos.policy.validate(n)?;
+            for p in &qos.class_profiles {
+                p.validate()?;
+            }
+            if let Some(&c) = qos.path_classes.iter().find(|&&c| c as usize >= n) {
+                return Err(format!("path class {c} out of range (num classes {n})"));
+            }
+            if qos.class_targets.len() != n {
+                return Err(format!(
+                    "{} class targets for {} classes",
+                    qos.class_targets.len(),
+                    n
+                ));
+            }
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate(topo.num_links())?;
         }
         Ok(())
     }
@@ -182,6 +251,21 @@ mod tests {
             link_capacities: vec![1e4; topo.num_links()],
             targets,
             seed: 7,
+            qos: None,
+            faults: None,
+        }
+    }
+
+    fn tiny_qos(num_paths: usize) -> SampleQos {
+        SampleQos {
+            policy: SchedulingPolicy::StrictPriority,
+            class_profiles: vec![TrafficProfile::Poisson, TrafficProfile::Poisson],
+            path_classes: (0..num_paths).map(|i| (i % 2) as u8).collect(),
+            class_targets: ClassStats::from_accumulators(
+                &vec![Default::default(); num_paths],
+                &(0..num_paths).map(|i| (i % 2) as u8).collect::<Vec<_>>(),
+                2,
+            ),
         }
     }
 
@@ -209,6 +293,46 @@ mod tests {
         let mut s = tiny_sample(&topo);
         s.targets.pop();
         assert!(s.validate(&topo).is_err());
+    }
+
+    #[test]
+    fn qos_dimension_validates() {
+        let topo = topologies::toy5();
+        let mut s = tiny_sample(&topo);
+        s.qos = Some(tiny_qos(s.num_paths()));
+        s.faults = Some(FaultPlan::with_drop_chance(0.01));
+        s.validate(&topo).unwrap();
+        assert!(!s.qos.as_ref().unwrap().is_single_class_fifo());
+
+        // Misaligned path classes are rejected.
+        let mut bad = s.clone();
+        bad.qos.as_mut().unwrap().path_classes.pop();
+        assert!(bad.validate(&topo).is_err());
+
+        // Out-of-range classes are rejected.
+        let mut bad = s.clone();
+        bad.qos.as_mut().unwrap().path_classes[0] = 9;
+        assert!(bad.validate(&topo).is_err());
+
+        // Fault plans referencing missing links are rejected.
+        let mut bad = s.clone();
+        bad.faults = Some(FaultPlan::none().with_outage(topo.num_links(), 0.0, 1.0));
+        assert!(bad.validate(&topo).is_err());
+    }
+
+    #[test]
+    fn single_class_fifo_is_recognized_as_legacy() {
+        let q = SampleQos {
+            policy: SchedulingPolicy::Fifo,
+            class_profiles: vec![TrafficProfile::Poisson],
+            path_classes: vec![0; 4],
+            class_targets: ClassStats::from_accumulators(
+                &vec![Default::default(); 4],
+                &[0, 0, 0, 0],
+                1,
+            ),
+        };
+        assert!(q.is_single_class_fifo());
     }
 
     #[test]

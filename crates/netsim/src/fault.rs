@@ -72,6 +72,30 @@ impl FaultPlan {
     pub fn is_none(&self) -> bool {
         self.drop_chance == 0.0 && self.outages.is_empty()
     }
+
+    /// Structural validation against a topology with `num_links` directed
+    /// links — used now that fault plans are a first-class, persisted
+    /// scenario dimension rather than a test-only knob.
+    pub fn validate(&self, num_links: usize) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.drop_chance) {
+            return Err(format!(
+                "drop chance {} is not a probability",
+                self.drop_chance
+            ));
+        }
+        for o in &self.outages {
+            if o.link >= num_links {
+                return Err(format!("outage on link {} of {num_links}", o.link));
+            }
+            if !(o.start_s >= 0.0 && o.end_s > o.start_s) {
+                return Err(format!(
+                    "invalid outage window [{}, {}) on link {}",
+                    o.start_s, o.end_s, o.link
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -25,11 +25,25 @@
 //! events are ordered by a global sequence number, so results do not depend on
 //! platform or on how many flows exist.
 //!
+//! ## QoS scenarios
+//!
+//! A [`QosSpec`] attaches per-flow ToS classes, a multi-queue scheduling
+//! policy (Strict Priority, WFQ/SCFQ, or DRR — see [`SchedulingPolicy`]) and
+//! per-class traffic models ([`TrafficProfile`]: Poisson, on-off, bursty
+//! batches, multimodal packet sizes) to a run via [`simulate_qos`]. Results
+//! then carry pooled per-class statistics ([`metrics::ClassStats`]) next to
+//! the per-flow labels. A single-class FIFO/Poisson spec reproduces the
+//! legacy model bit for bit, and runs without a spec never touch the QoS
+//! code path at all.
+//!
 //! ## Validation
 //!
 //! The test suite checks conservation (created = delivered + dropped +
-//! in-flight), FIFO ordering per port, and — on single-queue scenarios —
-//! agreement with closed-form M/M/1 and M/M/1/K results from `rn-qtheory`.
+//! in-flight), FIFO ordering per port, scheduler invariants (work
+//! conservation, strict-priority ordering, DRR fairness bounds — see
+//! `tests/qos_proptests.rs`), and — on single-queue scenarios — agreement
+//! with closed-form M/M/1, M/M/1/K and priority/WFQ results from
+//! `rn-qtheory`.
 
 pub mod config;
 pub mod engine;
@@ -37,8 +51,10 @@ pub mod event;
 pub mod fault;
 pub mod metrics;
 pub mod port;
+pub mod qos;
 
 pub use config::{QueueProfile, SimConfig};
-pub use engine::{simulate, Simulation};
+pub use engine::{simulate, simulate_qos, Simulation};
 pub use fault::FaultPlan;
-pub use metrics::{FlowStats, LinkStats, SimResult};
+pub use metrics::{ClassStats, FlowStats, LinkStats, SimResult};
+pub use qos::{QosSpec, SchedulingPolicy, TrafficProfile};

@@ -26,6 +26,18 @@ impl FlowAccumulator {
         self.delay_sq_sum += delay_s * delay_s;
     }
 
+    /// Fold another accumulator in (used to aggregate flows into per-class
+    /// statistics — sums are exact, so class stats equal what one big
+    /// accumulator over the same deliveries would report).
+    pub fn merge(&mut self, other: &FlowAccumulator) {
+        self.created += other.created;
+        self.delivered += other.delivered;
+        self.delivered_warmup += other.delivered_warmup;
+        self.dropped += other.dropped;
+        self.delay_sum += other.delay_sum;
+        self.delay_sq_sum += other.delay_sq_sum;
+    }
+
     /// Finalize into reportable statistics.
     pub fn stats(&self) -> FlowStats {
         let mean = if self.delivered > 0 {
@@ -80,6 +92,63 @@ pub struct LinkStats {
     pub utilization: f64,
 }
 
+/// Aggregate statistics of one traffic class (all its flows pooled, so a
+/// class's mean/jitter are exactly what one accumulator over the same
+/// deliveries would report).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// The ToS class (0 = highest priority).
+    pub class: u8,
+    /// Flows assigned to this class.
+    pub num_flows: usize,
+    /// Packets delivered after warmup across the class's flows.
+    pub delivered: u64,
+    /// Packets dropped across the class's flows.
+    pub dropped: u64,
+    /// Delivered-weighted mean end-to-end delay in seconds.
+    pub mean_delay_s: f64,
+    /// Pooled delay standard deviation in seconds.
+    pub jitter_s: f64,
+    /// Dropped / attempted over the class's flows.
+    pub loss_ratio: f64,
+}
+
+impl ClassStats {
+    /// Pool per-flow accumulators into per-class statistics.
+    /// `flow_classes[i]` is the class of flow `i`; `num_classes` fixes the
+    /// output length (classes with no flows report zeroes).
+    pub fn from_accumulators(
+        accs: &[FlowAccumulator],
+        flow_classes: &[u8],
+        num_classes: usize,
+    ) -> Vec<ClassStats> {
+        assert_eq!(accs.len(), flow_classes.len(), "one class per flow");
+        let mut pooled = vec![FlowAccumulator::default(); num_classes];
+        let mut counts = vec![0usize; num_classes];
+        for (acc, &c) in accs.iter().zip(flow_classes) {
+            pooled[c as usize].merge(acc);
+            counts[c as usize] += 1;
+        }
+        pooled
+            .iter()
+            .zip(counts)
+            .enumerate()
+            .map(|(c, (acc, num_flows))| {
+                let s = acc.stats();
+                ClassStats {
+                    class: c as u8,
+                    num_flows,
+                    delivered: s.delivered,
+                    dropped: s.dropped,
+                    mean_delay_s: s.mean_delay_s,
+                    jitter_s: s.jitter_s,
+                    loss_ratio: s.loss_ratio,
+                }
+            })
+            .collect()
+    }
+}
+
 /// Complete result of one simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -88,6 +157,11 @@ pub struct SimResult {
     pub flows: Vec<FlowStats>,
     /// `(src, dst)` of each flow, aligned with `flows`.
     pub flow_pairs: Vec<(usize, usize)>,
+    /// ToS class of each flow, aligned with `flows`. Empty for legacy
+    /// (non-QoS) runs.
+    pub flow_classes: Vec<u8>,
+    /// Per-class pooled statistics. Empty for legacy (non-QoS) runs.
+    pub classes: Vec<ClassStats>,
     /// Per-directed-link statistics.
     pub links: Vec<LinkStats>,
     /// Total packets created.
@@ -177,10 +251,36 @@ mod tests {
     }
 
     #[test]
+    fn class_stats_pool_flows_exactly() {
+        let mut a = FlowAccumulator::default();
+        a.record_delivery(1.0);
+        a.record_delivery(3.0);
+        let mut b = FlowAccumulator::default();
+        b.record_delivery(2.0);
+        b.dropped = 2;
+        let mut c = FlowAccumulator::default();
+        c.record_delivery(10.0);
+
+        // Flows a,b are class 0; flow c is class 1.
+        let classes = ClassStats::from_accumulators(&[a.clone(), b, c], &[0, 0, 1], 3);
+        assert_eq!(classes.len(), 3);
+        assert_eq!(classes[0].num_flows, 2);
+        assert_eq!(classes[0].delivered, 3);
+        assert_eq!(classes[0].dropped, 2);
+        // Pooled mean of {1,3,2} = 2.0 — identical to one big accumulator.
+        assert!((classes[0].mean_delay_s - 2.0).abs() < 1e-12);
+        assert!((classes[1].mean_delay_s - 10.0).abs() < 1e-12);
+        assert_eq!(classes[2].num_flows, 0, "empty class reports zeroes");
+        assert_eq!(classes[2].mean_delay_s, 0.0);
+    }
+
+    #[test]
     fn conservation_check() {
         let r = SimResult {
             flows: vec![],
             flow_pairs: vec![],
+            flow_classes: vec![],
+            classes: vec![],
             links: vec![],
             total_created: 10,
             total_delivered: 7,

@@ -1,0 +1,242 @@
+//! Property-based scheduler invariants for the multi-queue QoS port and the
+//! QoS simulation as a whole:
+//!
+//! - **Work conservation**: an idle port never has waiting packets, under
+//!   every policy and any interleaving of offers and completions.
+//! - **Strict-priority ordering**: a higher class (lower index) never waits
+//!   while a lower class enters service.
+//! - **DRR quantum fairness**: over a continuously backlogged interval, the
+//!   normalized service `bits_c / quantum_c` of any two classes differs by
+//!   at most `2 + max_size/q_c + max_size/q_d` (the Shreedhar–Varghese
+//!   deficit bound plus one cut-off round).
+//! - **Counter conservation**: per class, `admitted = sent + waiting +
+//!   in-service`, and `offered = admitted + dropped` — for random event
+//!   scripts at the port, and end to end (`created = delivered + dropped +
+//!   in-flight`, per-class sums matching flow sums) for random scenarios
+//!   and seeds at the simulation level.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rn_netgraph::{generators, Routing, TrafficMatrix};
+use rn_netsim::port::{Packet, SchedPort};
+use rn_netsim::{simulate_qos, FaultPlan, QosSpec, SchedulingPolicy, SimConfig, TrafficProfile};
+use rn_tensor::Prng;
+
+fn pkt(class: u8, size_bits: f64, seq: usize) -> Packet {
+    Packet {
+        flow: 0,
+        class,
+        size_bits,
+        // Monotone stand-in for arrival time (the port only compares them).
+        created_at: seq as f64,
+        hop: 0,
+    }
+}
+
+/// One of the four policies, picked by index; weights/quanta derive from a
+/// seeded RNG so the proptest cases cover asymmetric configurations.
+fn policy_from(idx: u32, num_classes: usize, seed: u64) -> SchedulingPolicy {
+    let mut rng = Prng::new(seed);
+    match idx % 4 {
+        0 => SchedulingPolicy::Fifo,
+        1 => SchedulingPolicy::StrictPriority,
+        2 => SchedulingPolicy::Wfq {
+            weights: (0..num_classes)
+                .map(|_| rng.uniform_range(0.5, 8.0) as f64)
+                .collect(),
+        },
+        _ => SchedulingPolicy::Drr {
+            quanta_bits: (0..num_classes)
+                .map(|_| rng.uniform_range(500.0, 4_000.0) as f64)
+                .collect(),
+        },
+    }
+}
+
+/// A random per-flow QoS spec over `num_flows` flows.
+fn random_spec(num_flows: usize, policy_idx: u32, num_classes: usize, seed: u64) -> QosSpec {
+    let mut rng = Prng::new(seed ^ 0x9e37_79b9);
+    let profiles = (0..num_classes)
+        .map(|c| match (seed as usize + c) % 4 {
+            0 => TrafficProfile::Poisson,
+            1 => TrafficProfile::OnOff {
+                on_mean_s: rng.uniform_range(0.5, 3.0) as f64,
+                off_mean_s: rng.uniform_range(0.5, 3.0) as f64,
+            },
+            2 => TrafficProfile::Bursty {
+                batch_mean: rng.uniform_range(1.5, 5.0) as f64,
+            },
+            _ => TrafficProfile::MultimodalSizes {
+                modes: vec![(400.0, 0.6), (4_000.0, 0.4)],
+            },
+        })
+        .collect();
+    QosSpec {
+        policy: policy_from(policy_idx, num_classes, seed),
+        class_profiles: profiles,
+        flow_classes: (0..num_flows)
+            .map(|_| rng.int_range(0, num_classes as u64) as u8)
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Work conservation + counter conservation under random event scripts:
+    /// drive a port with a random interleaving of offers and service
+    /// completions and check the invariants after every single event.
+    #[test]
+    fn sched_port_is_work_conserving_and_conserves_packets(
+        policy_idx in 0u32..4,
+        num_classes in 1usize..5,
+        capacity in 0usize..12,
+        seed in any::<u64>(),
+        script in pvec((any::<bool>(), 0u32..5, 1.0f64..5_000.0), 1..200),
+    ) {
+        let policy = policy_from(policy_idx, num_classes, seed);
+        let mut port = SchedPort::new(num_classes, capacity, &policy);
+        let mut offered = vec![0u64; num_classes];
+        for (seq, &(is_offer, class, size)) in script.iter().enumerate() {
+            if is_offer || !port.busy() {
+                let c = class as usize % num_classes;
+                offered[c] += 1;
+                port.offer(pkt(c as u8, size, seq));
+            } else {
+                port.complete_service();
+            }
+            // Work conservation: the server never idles with work waiting.
+            prop_assert!(port.busy() || port.backlog() == 0,
+                "idle port with {} waiting packets", port.backlog());
+            // Per-class counter conservation at every step.
+            for (c, &offered_c) in offered.iter().enumerate() {
+                let in_service = u64::from(port.in_service_class() == Some(c as u8));
+                prop_assert_eq!(
+                    port.class_admitted[c],
+                    port.class_sent_pkts[c] + port.class_backlog(c) as u64 + in_service,
+                    "class {} admitted != sent + waiting + in-service", c);
+                prop_assert_eq!(offered_c, port.class_admitted[c] + port.class_dropped[c],
+                    "class {} offered != admitted + dropped", c);
+            }
+            // The shared waiting budget is honored.
+            prop_assert!(port.backlog() <= capacity);
+        }
+    }
+
+    /// Strict priority: the packet entering service always comes from the
+    /// lowest-indexed non-empty class — a higher-class packet never waits
+    /// behind a lower-class one at the same port.
+    #[test]
+    fn strict_priority_never_serves_past_a_higher_class(
+        num_classes in 2usize..5,
+        script in pvec((any::<bool>(), 0u32..5, 1.0f64..5_000.0), 1..200),
+    ) {
+        let mut port = SchedPort::new(num_classes, 16, &SchedulingPolicy::StrictPriority);
+        for (seq, &(is_offer, class, size)) in script.iter().enumerate() {
+            if is_offer || !port.busy() {
+                port.offer(pkt((class as usize % num_classes) as u8, size, seq));
+            } else {
+                let best_waiting = (0..num_classes).find(|&c| port.class_backlog(c) > 0);
+                let (_, next) = port.complete_service();
+                if let Some(expect) = best_waiting {
+                    prop_assert_eq!(next.map(|p| p.class), Some(expect as u8),
+                        "strict priority must serve class {} next", expect);
+                }
+            }
+        }
+    }
+
+    /// DRR fairness: with every class continuously backlogged, normalized
+    /// service is balanced within the deficit-round bound.
+    #[test]
+    fn drr_fairness_bound_on_backlogged_port(
+        num_classes in 2usize..4,
+        seed in any::<u64>(),
+        completions in 50usize..200,
+    ) {
+        let mut rng = Prng::new(seed);
+        let quanta: Vec<f64> = (0..num_classes)
+            .map(|_| rng.uniform_range(500.0, 4_000.0) as f64)
+            .collect();
+        let max_size = 2_000.0f64;
+        let mut port = SchedPort::new(
+            num_classes,
+            4 * completions,
+            &SchedulingPolicy::Drr { quanta_bits: quanta.clone() },
+        );
+        // Pre-load deep backlogs so every class stays backlogged throughout.
+        let mut seq = 0;
+        for _ in 0..(2 * completions) {
+            for c in 0..num_classes {
+                port.offer(pkt(c as u8, rng.uniform_range(1.0, max_size as f32) as f64, seq));
+                seq += 1;
+            }
+        }
+        let mut bits = vec![0.0f64; num_classes];
+        // Skip the warm-up packet that entered service before backlogs built.
+        port.complete_service();
+        for _ in 0..completions {
+            let (departed, _) = port.complete_service();
+            bits[departed.class as usize] += departed.size_bits;
+        }
+        for c in 0..num_classes {
+            prop_assert!(port.class_backlog(c) > 0, "class {} drained — raise backlog", c);
+            for d in (c + 1)..num_classes {
+                let diff = (bits[c] / quanta[c] - bits[d] / quanta[d]).abs();
+                let bound = 2.0 + max_size / quanta[c] + max_size / quanta[d];
+                prop_assert!(diff <= bound,
+                    "DRR fairness: |{:.2} - {:.2}| = {:.2} > bound {:.2} (quanta {:?})",
+                    bits[c] / quanta[c], bits[d] / quanta[d], diff, bound, &quanta);
+            }
+        }
+    }
+
+    /// End-to-end conservation on random QoS scenarios: every created packet
+    /// is delivered, dropped, or in flight, per-class sums match per-flow
+    /// sums, and the same seed reproduces bit-identical results.
+    #[test]
+    fn qos_simulation_conserves_packets_across_seeds(
+        seed in any::<u64>(),
+        num_nodes in 3usize..8,
+        util in 0.2f64..1.2,
+        policy_idx in 0u32..4,
+        num_classes in 1usize..4,
+    ) {
+        let mut rng = Prng::new(seed);
+        let topo = generators::erdos_renyi_connected(num_nodes, 0.3, 10_000.0, &mut rng).unwrap();
+        let routing = Routing::randomized(&topo, &mut rng);
+        let traffic = TrafficMatrix::with_target_utilization(&topo, &routing, &mut rng, util);
+        let caps: Vec<usize> = (0..num_nodes).map(|_| if rng.bernoulli(0.5) { 1 } else { 16 }).collect();
+        let config = SimConfig { duration_s: 60.0, warmup_s: 10.0, seed, ..SimConfig::default() };
+        let num_flows = (0..num_nodes).flat_map(|s| (0..num_nodes).map(move |d| (s, d)))
+            .filter(|&(s, d)| s != d && traffic.rate(s, d) > 0.0)
+            .count();
+        if num_flows == 0 {
+            continue;
+        }
+        let spec = random_spec(num_flows, policy_idx, num_classes, seed);
+        let run = |s: u64| {
+            let cfg = SimConfig { seed: s, ..config };
+            simulate_qos(&topo, &routing, &traffic, &caps, &cfg, &FaultPlan::none(), &spec).unwrap()
+        };
+        let r = run(seed);
+        prop_assert!(r.conservation_holds(),
+            "created {} != delivered {} + dropped {} + in-flight {}",
+            r.total_created, r.total_delivered, r.total_dropped, r.total_in_flight);
+        // Per-class pooled counters must match the per-flow totals exactly.
+        prop_assert_eq!(r.classes.len(), spec.num_classes());
+        let class_delivered: u64 = r.classes.iter().map(|c| c.delivered).sum();
+        let class_dropped: u64 = r.classes.iter().map(|c| c.dropped).sum();
+        let flow_delivered: u64 = r.flows.iter().map(|f| f.delivered).sum();
+        let flow_dropped: u64 = r.flows.iter().map(|f| f.dropped).sum();
+        prop_assert_eq!(class_delivered, flow_delivered);
+        prop_assert_eq!(class_dropped, flow_dropped);
+        prop_assert_eq!(r.classes.iter().map(|c| c.num_flows).sum::<usize>(), r.flows.len());
+        // Same seed, same bits; different seed still conserves.
+        let again = run(seed);
+        prop_assert_eq!(&r.flows, &again.flows);
+        prop_assert_eq!(&r.classes, &again.classes);
+        let other = run(seed ^ 0xdead_beef);
+        prop_assert!(other.conservation_holds());
+    }
+}

@@ -9,11 +9,22 @@
 //!    complex real-world scenarios"; [`PathDelayPredictor`] is that
 //!    traditional model (per-hop M/M/1/K with offered loads from the traffic
 //!    matrix), compared against both RouteNets in experiment E6.
+//!
+//! The QoS extension adds per-class oracles for scheduled ports:
+//! [`Mm1Priority`] (strict priority, non-preemptive and preemptive-resume)
+//! and [`WfqApprox`] (weighted-share effective-rate approximation for
+//! WFQ/DRR). The queue-entity model's per-class delay predictions are
+//! validated against these the same way the seed validated FIFO against
+//! M/M/1/K.
 
 pub mod mm1;
 pub mod mm1k;
 pub mod predictor;
+pub mod priority;
+pub mod wfq;
 
 pub use mm1::Mm1;
 pub use mm1k::Mm1k;
 pub use predictor::PathDelayPredictor;
+pub use priority::Mm1Priority;
+pub use wfq::WfqApprox;

@@ -1,0 +1,222 @@
+//! M/M/1 priority queues: exact mean delays under strict priority, in both
+//! the non-preemptive and preemptive-resume disciplines.
+//!
+//! Classes are indexed `0..K` with **class 0 the highest priority** (matching
+//! `rn_netsim`'s ToS convention). All classes share one exponential server of
+//! rate `mu` packets/second; class `k` arrives Poisson at `lambdas[k]`.
+//!
+//! Notation: `rho_k = lambda_k / mu` and `sigma_k = rho_0 + … + rho_k` (the
+//! utilization of class `k` and above in priority). The classic results
+//! (Cobham; see Kleinrock vol. II):
+//!
+//! - **Non-preemptive** waiting time of class `k`:
+//!   `W_k = R / ((1 − sigma_{k−1})(1 − sigma_k))` with mean residual service
+//!   `R = sigma_K / mu` (exponential service), sojourn `T_k = W_k + 1/mu`.
+//! - **Preemptive-resume** sojourn:
+//!   `T_k = (1/mu)/(1 − sigma_{k−1}) + (sigma_k/mu)/((1 − sigma_{k−1})(1 − sigma_k))`.
+//!
+//! Both degenerate to the plain M/M/1 sojourn `1/(mu − lambda)` for a single
+//! class, and class `k` is stable iff `sigma_k < 1` (saturated classes report
+//! infinite delays rather than panicking — scenario sweeps hit the boundary).
+
+/// An M/M/1 queue serving `K` strict-priority classes.
+#[derive(Debug, Clone)]
+pub struct Mm1Priority {
+    lambdas: Vec<f64>,
+    mu: f64,
+}
+
+impl Mm1Priority {
+    /// A priority queue with per-class arrival rates `lambdas` (class 0 =
+    /// highest priority) and shared service rate `mu`, all in packets/second.
+    pub fn new(lambdas: Vec<f64>, mu: f64) -> Self {
+        assert!(!lambdas.is_empty(), "need at least one class");
+        assert!(
+            lambdas.iter().all(|l| l.is_finite() && *l >= 0.0),
+            "arrival rates must be non-negative"
+        );
+        assert!(mu.is_finite() && mu > 0.0, "service rate must be positive");
+        Self { lambdas, mu }
+    }
+
+    /// Number of priority classes.
+    pub fn num_classes(&self) -> usize {
+        self.lambdas.len()
+    }
+
+    /// Utilization of class `k` alone.
+    pub fn rho(&self, k: usize) -> f64 {
+        self.lambdas[k] / self.mu
+    }
+
+    /// Cumulative utilization of classes `0..=k` — the traffic that outranks
+    /// or ties class `k`.
+    pub fn sigma(&self, k: usize) -> f64 {
+        self.lambdas[..=k].iter().sum::<f64>() / self.mu
+    }
+
+    /// Total utilization across all classes.
+    pub fn total_utilization(&self) -> f64 {
+        self.sigma(self.num_classes() - 1)
+    }
+
+    /// True when class `k` is stable (`sigma_k < 1`). Lower-priority classes
+    /// can be unstable while higher ones are fine.
+    pub fn is_stable(&self, k: usize) -> bool {
+        self.sigma(k) < 1.0
+    }
+
+    /// `sigma_{k-1}`, with the empty sum for the top class.
+    fn sigma_above(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.sigma(k - 1)
+        }
+    }
+
+    /// Mean waiting time (queueing only) of class `k` under non-preemptive
+    /// priority. Infinite when class `k` is saturated.
+    pub fn nonpreemptive_wait_s(&self, k: usize) -> f64 {
+        let (sa, sk) = (self.sigma_above(k), self.sigma(k));
+        if sa >= 1.0 || sk >= 1.0 {
+            return f64::INFINITY;
+        }
+        // Mean residual service seen on arrival: sum_i rho_i * E[S^2]/(2 E[S])
+        // = sigma_K / mu for exponential service.
+        let residual = self.total_utilization() / self.mu;
+        residual / ((1.0 - sa) * (1.0 - sk))
+    }
+
+    /// Mean sojourn (waiting + service) of class `k` under non-preemptive
+    /// priority.
+    pub fn nonpreemptive_sojourn_s(&self, k: usize) -> f64 {
+        self.nonpreemptive_wait_s(k) + 1.0 / self.mu
+    }
+
+    /// Mean sojourn of class `k` under preemptive-resume priority. Class `k`
+    /// is entirely blind to lower classes; the top class sees a pure M/M/1.
+    pub fn preemptive_sojourn_s(&self, k: usize) -> f64 {
+        let (sa, sk) = (self.sigma_above(k), self.sigma(k));
+        if sa >= 1.0 || sk >= 1.0 {
+            return f64::INFINITY;
+        }
+        (1.0 / self.mu) / (1.0 - sa) + (sk / self.mu) / ((1.0 - sa) * (1.0 - sk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1::Mm1;
+
+    const MU: f64 = 10.0;
+
+    #[test]
+    fn single_class_degenerates_to_mm1_exactly() {
+        // Satellite boundary case: one class under either discipline IS the
+        // plain M/M/1.
+        for lambda in [0.5, 3.0, 7.0, 9.5] {
+            let p = Mm1Priority::new(vec![lambda], MU);
+            let mm1 = Mm1::new(lambda, MU).mean_sojourn_s();
+            assert!(
+                (p.nonpreemptive_sojourn_s(0) - mm1).abs() < 1e-12,
+                "non-preemptive {} vs M/M/1 {}",
+                p.nonpreemptive_sojourn_s(0),
+                mm1
+            );
+            assert!(
+                (p.preemptive_sojourn_s(0) - mm1).abs() < 1e-12,
+                "preemptive {} vs M/M/1 {}",
+                p.preemptive_sojourn_s(0),
+                mm1
+            );
+        }
+    }
+
+    #[test]
+    fn light_traffic_limit_is_pure_service_time() {
+        // rho -> 0: no queueing, every class's sojourn tends to 1/mu.
+        let p = Mm1Priority::new(vec![1e-9, 1e-9, 1e-9], MU);
+        for k in 0..3 {
+            assert!((p.nonpreemptive_sojourn_s(k) - 1.0 / MU).abs() < 1e-9);
+            assert!((p.preemptive_sojourn_s(k) - 1.0 / MU).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_blows_up_the_low_class_only() {
+        // rho -> 1: the bottom class diverges; under preemption the top
+        // class still sees exactly its own M/M/1.
+        let lam0 = 2.0;
+        for total in [0.99, 0.999, 0.9999] {
+            let lam1 = total * MU - lam0;
+            let p = Mm1Priority::new(vec![lam0, lam1], MU);
+            let low = p.nonpreemptive_sojourn_s(1);
+            assert!(
+                low > 1.0 / (1.0 - total) / MU * 0.5,
+                "low class must diverge as rho->1, got {low} at rho {total}"
+            );
+            let top = p.preemptive_sojourn_s(0);
+            let mm1_top = Mm1::new(lam0, MU).mean_sojourn_s();
+            assert!(
+                (top - mm1_top).abs() < 1e-12,
+                "preemptive top class is blind to the rest: {top} vs {mm1_top}"
+            );
+            // Non-preemptive top class pays at most one residual service on
+            // top of its own M/M/1-like delay — bounded as rho -> 1.
+            assert!(p.nonpreemptive_sojourn_s(0) < 10.0 / MU);
+        }
+    }
+
+    #[test]
+    fn saturated_classes_report_infinity() {
+        let p = Mm1Priority::new(vec![4.0, 8.0], MU); // sigma_1 = 1.2
+        assert!(p.is_stable(0));
+        assert!(!p.is_stable(1));
+        assert!(p.nonpreemptive_sojourn_s(1).is_infinite());
+        assert!(p.preemptive_sojourn_s(1).is_infinite());
+        assert!(p.nonpreemptive_sojourn_s(0).is_finite());
+    }
+
+    #[test]
+    fn priority_ordering_holds_at_every_load() {
+        let p = Mm1Priority::new(vec![2.0, 3.0, 4.0], MU);
+        assert!(p.nonpreemptive_sojourn_s(0) < p.nonpreemptive_sojourn_s(1));
+        assert!(p.nonpreemptive_sojourn_s(1) < p.nonpreemptive_sojourn_s(2));
+        assert!(p.preemptive_sojourn_s(0) < p.preemptive_sojourn_s(1));
+        assert!(p.preemptive_sojourn_s(1) < p.preemptive_sojourn_s(2));
+    }
+
+    #[test]
+    fn preemption_helps_the_top_and_hurts_the_bottom() {
+        let p = Mm1Priority::new(vec![3.0, 5.0], MU);
+        assert!(
+            p.preemptive_sojourn_s(0) < p.nonpreemptive_sojourn_s(0),
+            "top class gains from preempting"
+        );
+        assert!(
+            p.preemptive_sojourn_s(1) >= p.nonpreemptive_sojourn_s(1),
+            "bottom class loses service continuity"
+        );
+    }
+
+    #[test]
+    fn classwide_conservation_of_work() {
+        // The weighted average waiting time across classes must equal the
+        // FIFO M/M/1 wait (work conservation — scheduling redistributes
+        // waiting, it cannot destroy it). Holds for non-preemptive priority
+        // with exponential service.
+        let lambdas = [2.0, 3.0, 4.0];
+        let p = Mm1Priority::new(lambdas.to_vec(), MU);
+        let total: f64 = lambdas.iter().sum();
+        let fifo_wait = Mm1::new(total, MU).mean_wait_s();
+        let avg_wait: f64 = (0..3)
+            .map(|k| lambdas[k] / total * p.nonpreemptive_wait_s(k))
+            .sum();
+        assert!(
+            (avg_wait - fifo_wait).abs() / fifo_wait < 1e-9,
+            "work conservation: {avg_wait} vs FIFO {fifo_wait}"
+        );
+    }
+}

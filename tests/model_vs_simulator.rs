@@ -2,13 +2,15 @@
 //! implements — queue sizes matter to the extended model only, load raises
 //! delay, and the analytical baseline agrees at low load.
 
-use rn_dataset::{generate, GeneratorConfig};
-use rn_netgraph::{topologies, Routing, TrafficMatrix};
-use rn_netsim::{simulate, FaultPlan, SimConfig};
-use rn_qtheory::PathDelayPredictor;
+use rn_dataset::{generate, Dataset, GeneratorConfig, QosGenConfig};
+use rn_netgraph::{topologies, Routing, Topology, TrafficMatrix};
+use rn_netsim::{
+    simulate, simulate_qos, FaultPlan, QosSpec, SchedulingPolicy, SimConfig, TrafficProfile,
+};
+use rn_qtheory::{Mm1Priority, PathDelayPredictor};
 use rn_tensor::Prng;
 use routenet::model::PathPredictor;
-use routenet::{train, ExtendedRouteNet, ModelConfig, OriginalRouteNet, TrainConfig};
+use routenet::{train, ExtendedRouteNet, ModelConfig, OriginalRouteNet, QosRouteNet, TrainConfig};
 
 fn tiny_gen_config() -> GeneratorConfig {
     GeneratorConfig {
@@ -189,6 +191,192 @@ fn evaluation_is_parallelism_invariant() {
     let a = routenet::evaluate(&model, &ds, "toy5", 10);
     let b = routenet::evaluate(&model, &ds, "toy5", 10);
     assert_eq!(a.rel_errors, b.rel_errors);
+}
+
+/// Per-class aggregates of a prediction/label pair set: `(model_mean,
+/// sim_mean, count)` per class, over reliable paths only.
+fn per_class_means(
+    ds: &Dataset,
+    model: &QosRouteNet,
+    num_classes: usize,
+) -> Vec<(f64, f64, usize)> {
+    let mut sums = vec![(0.0f64, 0.0f64, 0usize); num_classes];
+    for sample in &ds.samples {
+        let qos = sample.qos.as_ref().expect("QoS sample");
+        let preds = model.predict(&model.plan(sample));
+        for (row, target) in sample.targets.iter().enumerate() {
+            if target.delivered < 5 || target.mean_delay_s <= 0.0 {
+                continue;
+            }
+            let c = qos.path_classes[row] as usize;
+            sums[c].0 += preds[row];
+            sums[c].1 += target.mean_delay_s;
+            sums[c].2 += 1;
+        }
+    }
+    sums.into_iter()
+        .map(|(p, s, n)| (p / n.max(1) as f64, s / n.max(1) as f64, n))
+        .collect()
+}
+
+#[test]
+fn trained_qos_model_tracks_per_class_delays() {
+    // The queue-entity validation harness (see docs/ARCHITECTURE.md):
+    //
+    // 1. **Model vs simulator** — a QoS model trained on scheduled scenarios
+    //    must reproduce the simulator's *per-class* mean delays, not just the
+    //    pooled mean. Documented tolerance: 35% per class on the in-sample
+    //    aggregate (tiny model, tiny training budget — the bound is about
+    //    ranking and scale, not convergence).
+    // 2. **Simulator vs theory** — the strict-priority bottleneck checked
+    //    against `Mm1Priority` (documented tolerance 20% at this shortened
+    //    duration; the long-run 12% bound lives in rn_netsim's
+    //    qos_theory_agreement suite).
+    //
+    // When `RN_QOS_VALIDATION_OUT` is set (the CI qos-validation job does),
+    // the harness writes all three delay columns per class as a JSON report.
+    let gen_config = GeneratorConfig {
+        sim: SimConfig {
+            duration_s: 120.0,
+            warmup_s: 20.0,
+            ..SimConfig::default()
+        },
+        utilization_range: (0.5, 0.9),
+        qos: Some(QosGenConfig::two_class_mix()),
+        ..GeneratorConfig::default()
+    };
+    let ds = generate(&topologies::toy5(), &gen_config, 909, 14);
+    let num_classes = ds.samples[0].qos.as_ref().unwrap().num_classes();
+    let mut model = QosRouteNet::new(tiny_model_config());
+    train(
+        &mut model,
+        &ds,
+        None,
+        &TrainConfig {
+            epochs: 8,
+            batch_size: 4,
+            ..TrainConfig::default()
+        },
+    );
+
+    let per_class = per_class_means(&ds, &model, num_classes);
+    let mut model_vs_sim = Vec::new();
+    for (c, &(model_mean, sim_mean, n)) in per_class.iter().enumerate() {
+        assert!(n > 20, "class {c}: need statistics, got {n} paths");
+        let rel = (model_mean - sim_mean).abs() / sim_mean;
+        assert!(
+            rel < 0.35,
+            "class {c}: model mean {model_mean:.5}s vs sim mean {sim_mean:.5}s \
+             (rel err {rel:.3} over {n} paths)"
+        );
+        model_vs_sim.push((c, model_mean, sim_mean, rel, n));
+    }
+
+    // Simulator vs theory on the controlled strict-priority bottleneck: the
+    // 3-node line 0-1-2, flows (0,2) and (1,2) sharing the 1->2 port; flow
+    // (1,2) crosses only that port, so its delay is one queue's sojourn.
+    let mu = 10.0; // 10_000 bps links / 1_000-bit mean packets
+    let lambda = 3.0;
+    let theory = Mm1Priority::new(vec![lambda, lambda], mu);
+    let topo = Topology::from_undirected_edges("line", 3, &[(0, 1), (1, 2)], 10_000.0, 0.0);
+    let routing = Routing::shortest_paths(&topo);
+    let mut tm = TrafficMatrix::zeros(3);
+    tm.set(0, 2, lambda * 1_000.0);
+    tm.set(1, 2, lambda * 1_000.0);
+    let sim_config = SimConfig {
+        duration_s: 6_000.0,
+        warmup_s: 600.0,
+        mean_packet_bits: 1_000.0,
+        max_packet_bits: 100_000.0,
+        standard_queue_pkts: 10_000,
+        seed: 17,
+    };
+    let mut sim_vs_theory = Vec::new();
+    for class in [0u8, 1u8] {
+        // Flow order is routing order: (0,2) then (1,2).
+        let spec = QosSpec {
+            policy: SchedulingPolicy::StrictPriority,
+            class_profiles: vec![TrafficProfile::Poisson, TrafficProfile::Poisson],
+            flow_classes: vec![1 - class, class],
+        };
+        let r = simulate_qos(
+            &topo,
+            &routing,
+            &tm,
+            &[10_000, 10_000, 10_000],
+            &sim_config,
+            &FaultPlan::none(),
+            &spec,
+        )
+        .unwrap();
+        let sim = r.flow(1, 2).unwrap().mean_delay_s;
+        let t = theory.nonpreemptive_sojourn_s(class as usize);
+        let rel = (sim - t).abs() / t;
+        assert!(
+            rel < 0.20,
+            "class {class}: sim {sim:.4}s vs theory {t:.4}s (rel err {rel:.3})"
+        );
+        sim_vs_theory.push((class as usize, sim, t, rel));
+    }
+
+    // The validation report the CI job archives.
+    if let Ok(path) = std::env::var("RN_QOS_VALIDATION_OUT") {
+        if !path.is_empty() {
+            let model_rows: Vec<String> = model_vs_sim
+                .iter()
+                .map(|(c, m, s, rel, n)| {
+                    format!(
+                        "{{\"class\":{c},\"model_mean_delay_s\":{m},\
+                         \"sim_mean_delay_s\":{s},\"rel_err\":{rel},\"paths\":{n}}}"
+                    )
+                })
+                .collect();
+            let theory_rows: Vec<String> = sim_vs_theory
+                .iter()
+                .map(|(c, sim, t, rel)| {
+                    format!(
+                        "{{\"class\":{c},\"sim_delay_s\":{sim},\
+                         \"theory_delay_s\":{t},\"rel_err\":{rel}}}"
+                    )
+                })
+                .collect();
+            let report = format!(
+                "{{\"harness\":\"qos_model_validation\",\
+                 \"model_vs_simulator\":{{\"tolerance\":0.35,\"per_class\":[{}]}},\
+                 \"simulator_vs_theory\":{{\"policy\":\"strict_priority\",\
+                 \"tolerance\":0.20,\"per_class\":[{}]}}}}",
+                model_rows.join(","),
+                theory_rows.join(",")
+            );
+            std::fs::write(&path, report).expect("write QoS validation report");
+        }
+    }
+}
+
+#[test]
+fn fifo_only_trained_qos_model_matches_the_two_entity_baseline() {
+    // "No worse than the baseline" in its strongest form: on legacy
+    // (FIFO-only) data the queue-entity model *is* the two-entity model —
+    // training records identical tapes (no queue steps, zero queue
+    // gradients, untouched Adam state for the queue GRU), so the trained
+    // predictions are bitwise equal, not merely close.
+    let ds = generate(&topologies::toy5(), &tiny_gen_config(), 606, 8);
+    let tc = TrainConfig {
+        epochs: 3,
+        batch_size: 4,
+        ..TrainConfig::default()
+    };
+    let mut qos = QosRouteNet::new(tiny_model_config());
+    let mut ext = ExtendedRouteNet::new(tiny_model_config());
+    train(&mut qos, &ds, None, &tc);
+    train(&mut ext, &ds, None, &tc);
+    for sample in &ds.samples {
+        assert_eq!(
+            qos.predict(&qos.plan(sample)),
+            ext.predict(&ext.plan(sample)),
+            "trained FIFO-only QoS model diverged from the extended baseline"
+        );
+    }
 }
 
 #[test]
